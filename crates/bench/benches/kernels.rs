@@ -1,0 +1,125 @@
+//! Criterion benchmarks of every performance-relevant kernel: the pieces
+//! whose runtimes compose Table IV.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use atlas_core::features::build_submodule_data;
+use atlas_designs::DesignConfig;
+use atlas_gbdt::{Gbdt, GbdtConfig};
+use atlas_layout::{global_route, place::place, run_layout, LayoutConfig, RouteConfig};
+use atlas_liberty::Library;
+use atlas_nn::{EncoderConfig, GraphEncoder, InferenceEncoder, Matrix, SparseAdj};
+use atlas_power::PowerModel;
+use atlas_sim::{simulate, PhasedWorkload};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_design() -> atlas_designs::DesignConfig {
+    DesignConfig::c1().scaled(0.5)
+}
+
+/// Encoder forward pass (training path vs frozen inference path).
+fn encoder_forward(c: &mut Criterion) {
+    let cfg = EncoderConfig::default();
+    let trained = GraphEncoder::new(cfg.clone());
+    let frozen = InferenceEncoder::from_state(&trained.state());
+    let n = 120;
+    let edges: Vec<(u32, u32)> = (0..n as u32 - 1).map(|i| (i, i + 1)).collect();
+    let adj = Arc::new(SparseAdj::normalized_from_edges(n, &edges));
+    let feats = Matrix::xavier(n, cfg.input_dim, 7);
+
+    let mut g = c.benchmark_group("encoder_forward");
+    g.bench_function("training_tape", |b| {
+        b.iter(|| trained.encode(&adj, &feats))
+    });
+    g.bench_function("inference_full", |b| {
+        b.iter(|| frozen.encode(&adj, &feats))
+    });
+    g.bench_function("inference_graph_only", |b| {
+        b.iter(|| frozen.encode_graph(&adj, &feats))
+    });
+    g.finish();
+}
+
+/// Cycle-based logic simulation throughput.
+fn simulation_throughput(c: &mut Criterion) {
+    let design = bench_design().generate();
+    c.bench_function("simulate_64_cycles", |b| {
+        b.iter(|| simulate(&design, &mut PhasedWorkload::w1(1), 64).expect("simulates"))
+    });
+}
+
+/// Golden power engine: model build and per-trace evaluation.
+fn power_engine(c: &mut Criterion) {
+    let lib = Library::synthetic_40nm();
+    let gate = bench_design().generate();
+    let post = run_layout(&gate, &lib, &LayoutConfig::default()).design;
+    let trace = simulate(&post, &mut PhasedWorkload::w1(1), 64).expect("simulates");
+    let mut g = c.benchmark_group("power_engine");
+    g.bench_function("model_build", |b| b.iter(|| PowerModel::new(&post, &lib)));
+    let model = PowerModel::new(&post, &lib);
+    g.bench_function("evaluate_64_cycles", |b| b.iter(|| model.evaluate(&trace)));
+    g.finish();
+}
+
+/// The layout flow (the paper's "P&R" column) and its routing stage.
+fn layout_flow(c: &mut Criterion) {
+    let lib = Library::synthetic_40nm();
+    let gate = bench_design().generate();
+    let mut g = c.benchmark_group("layout_flow");
+    g.sample_size(10);
+    g.bench_function("full_pnr", |b| {
+        b.iter(|| run_layout(&gate, &lib, &LayoutConfig::default()))
+    });
+    let placement = place(&gate, &lib, 0.7);
+    g.bench_function("global_route", |b| {
+        b.iter(|| global_route(&gate, &placement, &RouteConfig::default()))
+    });
+    g.finish();
+}
+
+/// GBDT predictions (the fine-tuned heads' share of inference).
+fn gbdt_predict(c: &mut Criterion) {
+    let n = 2000;
+    let d = 51;
+    let x: Vec<f64> = (0..n * d).map(|i| ((i * 2654435761) % 997) as f64 / 997.0).collect();
+    let y: Vec<f64> = (0..n).map(|i| x[i * d] * 3.0 + x[i * d + 1]).collect();
+    let model = Gbdt::fit(&x, d, &y, &GbdtConfig { n_estimators: 160, ..GbdtConfig::default() });
+    c.bench_function("gbdt_predict_2000_rows", |b| b.iter(|| model.predict_batch(&x)));
+}
+
+/// Per-sub-module feature extraction + embedding — the ATLAS inference
+/// kernel (one sub-module over many cycles).
+fn atlas_inference_kernel(c: &mut Criterion) {
+    let lib = Library::synthetic_40nm();
+    let design = bench_design().generate();
+    let trace = simulate(&design, &mut PhasedWorkload::w1(1), 64).expect("simulates");
+    let data = build_submodule_data(&design, &lib);
+    let smd = data.iter().max_by_key(|s| s.node_count()).expect("nonempty");
+    let frozen = InferenceEncoder::from_state(
+        &GraphEncoder::new(EncoderConfig::default()).state(),
+    );
+    c.bench_function(
+        &format!("submodule_embed_per_cycle/{}_nodes", smd.node_count()),
+        |b| {
+            b.iter(|| {
+                let feats = smd.features_for_cycle(&design, &trace, 13);
+                frozen.encode_graph(smd.adj(), &feats)
+            })
+        },
+    );
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_secs(1))
+        .sample_size(20)
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = encoder_forward, simulation_throughput, power_engine, layout_flow, gbdt_predict, atlas_inference_kernel
+}
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Ablation: the paper's `n`/`I`/`C` side features (§V).
+//!
+//! The fine-tuned combinational/register heads use toggle-weighted cell
+//! internal power and capacitance alongside the embedding. This ablation
+//! trains once with and once without them.
+
+use atlas_bench::{bench_config, pct, write_result};
+use atlas_core::pipeline::train_atlas;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    variant: String,
+    design: String,
+    total_mape: f64,
+    comb_mape: f64,
+    reg_mape: f64,
+}
+
+fn main() {
+    let mut base = bench_config();
+    base.cycles = 160;
+    base.scale = 0.35;
+    base.pretrain.steps = 120;
+    base.finetune.cycles_per_design = 24;
+    base.finetune.gbdt.n_estimators = 100;
+
+    let mut rows = Vec::new();
+    for with_side in [true, false] {
+        let mut cfg = base.clone();
+        cfg.finetune.side_features = with_side;
+        let name = if with_side { "embedding + n/I/C" } else { "embedding only" };
+        println!("training: {name}...");
+        let trained = train_atlas(&cfg);
+        for design in ["C2", "C4"] {
+            let row = trained.evaluate_test_design(design, "W1");
+            println!(
+                "  {design}: total {:>7}  comb {:>7}  reg {:>7}",
+                pct(row.atlas_mape_total),
+                pct(row.atlas_mape_comb),
+                pct(row.atlas_mape_reg)
+            );
+            rows.push(Row {
+                variant: name.to_owned(),
+                design: design.to_owned(),
+                total_mape: row.atlas_mape_total,
+                comb_mape: row.atlas_mape_comb,
+                reg_mape: row.atlas_mape_reg,
+            });
+        }
+    }
+
+    println!("\nSide-feature ablation (W1):\n");
+    println!("{:<20} {:<7} {:>8} {:>8} {:>8}", "Head features", "Design", "Total", "Comb", "Reg");
+    for r in &rows {
+        println!(
+            "{:<20} {:<7} {:>8} {:>8} {:>8}",
+            r.variant, r.design, pct(r.total_mape), pct(r.comb_mape), pct(r.reg_mape)
+        );
+    }
+    write_result("ablation_features", &rows);
+}

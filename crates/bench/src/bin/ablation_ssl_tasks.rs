@@ -1,0 +1,76 @@
+//! Ablation: contribution of each self-supervised pre-training task.
+//!
+//! Re-runs the training protocol with subsets of the five SSL tasks
+//! (paper §IV) disabled and reports the downstream total-power MAPE on
+//! the unseen C2/W1, plus the clock-tree MAPE — the group that depends
+//! entirely on what the encoder learned (F_CT sees only the embedding).
+
+use atlas_bench::{bench_config, pct, write_result};
+use atlas_core::pipeline::train_atlas;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    variant: String,
+    total_mape: f64,
+    ct_mape: f64,
+    comb_mape: f64,
+}
+
+fn main() {
+    // Smaller budget than the headline run: five trainings.
+    let mut base = bench_config();
+    base.cycles = 160;
+    base.scale = 0.35;
+    base.pretrain.steps = 120;
+    base.finetune.cycles_per_design = 24;
+    base.finetune.gbdt.n_estimators = 100;
+
+    let variants: Vec<(&str, Box<dyn Fn(&mut atlas_core::pretrain::PretrainConfig)>)> = vec![
+        ("all five tasks", Box::new(|_| {})),
+        ("no masked tasks (①②)", Box::new(|p| {
+            p.task_mask_toggle = false;
+            p.task_mask_type = false;
+        })),
+        ("no size task (③)", Box::new(|p| p.task_size = false)),
+        ("no contrastive (④⑤)", Box::new(|p| {
+            p.task_cl_gate = false;
+            p.task_cl_cross = false;
+        })),
+        ("no cross-stage (⑤)", Box::new(|p| p.task_cl_cross = false)),
+    ];
+
+    let mut rows = Vec::new();
+    for (name, tweak) in variants {
+        let mut cfg = base.clone();
+        tweak(&mut cfg.pretrain);
+        println!("training variant: {name}...");
+        let trained = train_atlas(&cfg);
+        let row = trained.evaluate_test_design("C2", "W1");
+        println!(
+            "  → total {:>7}  clock-tree {:>7}  comb {:>7}",
+            pct(row.atlas_mape_total),
+            pct(row.atlas_mape_ct),
+            pct(row.atlas_mape_comb)
+        );
+        rows.push(Row {
+            variant: name.to_owned(),
+            total_mape: row.atlas_mape_total,
+            ct_mape: row.atlas_mape_ct,
+            comb_mape: row.atlas_mape_comb,
+        });
+    }
+
+    println!("\nSSL task ablation (unseen C2 under W1):\n");
+    println!("{:<26} {:>10} {:>12} {:>10}", "Pre-training variant", "Total", "Clock Tree", "Comb");
+    for r in &rows {
+        println!(
+            "{:<26} {:>10} {:>12} {:>10}",
+            r.variant,
+            pct(r.total_mape),
+            pct(r.ct_mape),
+            pct(r.comb_mape)
+        );
+    }
+    write_result("ablation_ssl_tasks", &rows);
+}

@@ -1,0 +1,106 @@
+//! Fig. 5 — per-cycle power traces over 300 cycles for C2 and C4 under
+//! W1: combinational / clock-tree+register / total panels, for the label,
+//! ATLAS, and the gate-level baseline, with MAPE annotations.
+//!
+//! Emits the series as CSV under `target/atlas-results/fig5_<design>.csv`
+//! (cycle, label/atlas/baseline × comb/ctreg/total) — the exact data a
+//! plotting script needs to redraw the figure.
+
+use std::fs;
+
+use atlas_bench::{bench_config, load_or_train, pct, results_dir, write_result};
+use atlas_power::metrics::mape;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Summary {
+    design: String,
+    workload: String,
+    atlas_mape_comb: f64,
+    atlas_mape_ct_reg: f64,
+    atlas_mape_total: f64,
+    baseline_mape_comb: f64,
+    baseline_mape_ct_reg: f64,
+    baseline_mape_total: f64,
+    atlas_pearson_total: f64,
+}
+
+fn main() {
+    let cfg = bench_config();
+    let trained = load_or_train(&cfg);
+    let mut summaries = Vec::new();
+
+    for design in ["C2", "C4"] {
+        println!("tracing {design} under W1...");
+        let eval = trained.evaluate_test(design, "W1");
+        let panels = [
+            ("comb", eval.labels.group_series(atlas_liberty::PowerGroup::Combinational),
+                     eval.atlas.group_series(atlas_liberty::PowerGroup::Combinational),
+                     eval.baseline.group_series(atlas_liberty::PowerGroup::Combinational)),
+            ("ctreg", eval.labels.ct_reg_series(), eval.atlas.ct_reg_series(), eval.baseline.ct_reg_series()),
+            ("total", eval.labels.non_memory_series(), eval.atlas.non_memory_series(), eval.baseline.non_memory_series()),
+        ];
+
+        // CSV dump.
+        let mut csv = String::from("cycle");
+        for (name, _, _, _) in &panels {
+            csv.push_str(&format!(",label_{name},atlas_{name},baseline_{name}"));
+        }
+        csv.push('\n');
+        for t in 0..cfg.cycles {
+            csv.push_str(&t.to_string());
+            for (_, label, atlas, base) in &panels {
+                csv.push_str(&format!(",{:.6e},{:.6e},{:.6e}", label[t], atlas[t], base[t]));
+            }
+            csv.push('\n');
+        }
+        let path = results_dir().join(format!("fig5_{design}.csv"));
+        fs::write(&path, csv).expect("write CSV");
+        println!("(wrote {})", path.display());
+
+        println!("\nFig. 5 panel MAPEs for {design} under W1 ({} cycles):", cfg.cycles);
+        println!(
+            "{:<22} {:>10} {:>12}",
+            "panel", "ATLAS", "Gate-Level"
+        );
+        let mut panel_mapes = Vec::new();
+        for (name, label, atlas, base) in &panels {
+            let ma = mape(label, atlas);
+            let mb = mape(label, base);
+            println!("{:<22} {:>10} {:>12}", name, pct(ma), pct(mb));
+            panel_mapes.push((name.to_string(), ma, mb));
+        }
+        // ASCII sparkline of the total panel so the trace shape is visible
+        // in the terminal.
+        let (_, label, atlas, _) = &panels[2];
+        println!("\n  total power trace (first 100 cycles; L=label, A=ATLAS):");
+        print_spark("  L", &label[..100.min(label.len())]);
+        print_spark("  A", &atlas[..100.min(atlas.len())]);
+
+        summaries.push(Summary {
+            design: design.to_owned(),
+            workload: "W1".to_owned(),
+            atlas_mape_comb: panel_mapes[0].1,
+            atlas_mape_ct_reg: panel_mapes[1].1,
+            atlas_mape_total: panel_mapes[2].1,
+            baseline_mape_comb: panel_mapes[0].2,
+            baseline_mape_ct_reg: panel_mapes[1].2,
+            baseline_mape_total: panel_mapes[2].2,
+            atlas_pearson_total: eval.row.atlas_pearson_total,
+        });
+        println!();
+    }
+    write_result("fig5", &summaries);
+}
+
+fn print_spark(label: &str, series: &[f64]) {
+    const LEVELS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    let min = series.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = series.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let span = (max - min).max(1e-12);
+    let line: String = series
+        .iter()
+        .map(|&v| LEVELS[(((v - min) / span) * 7.0).round() as usize])
+        .collect();
+    println!("{label} {line}");
+}

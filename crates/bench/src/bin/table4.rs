@@ -1,0 +1,96 @@
+//! Table IV — runtime comparison between ATLAS and the traditional flow
+//! for the 300-cycle workload, across all six designs.
+//!
+//! Absolute numbers are not comparable to the paper's (our layout
+//! substrate is a simplified open implementation, not a commercial
+//! signoff flow on 600K-cell designs — see EXPERIMENTS.md); the shape
+//! under test is that ATLAS bypasses the layout step whose cost grows
+//! fastest with design size.
+
+use atlas_bench::{bench_config, load_or_train, write_result};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    design: String,
+    cells: usize,
+    atlas_pre_s: f64,
+    atlas_infer_s: f64,
+    atlas_total_s: f64,
+    flow_pnr_s: f64,
+    flow_sim_s: f64,
+    flow_total_s: f64,
+    speedup: f64,
+}
+
+fn main() {
+    let cfg = bench_config();
+    let trained = load_or_train(&cfg);
+
+    let mut rows = Vec::new();
+    for name in ["C1", "C2", "C3", "C4", "C5", "C6"] {
+        println!("timing {name}...");
+        let eval = trained.evaluate_test(name, "W1");
+        let t = eval.timing;
+        rows.push(Row {
+            design: name.to_owned(),
+            cells: eval.gate.cell_count(),
+            atlas_pre_s: t.atlas_pre_s,
+            atlas_infer_s: t.atlas_infer_s,
+            atlas_total_s: t.atlas_total_s(),
+            flow_pnr_s: t.flow_pnr_s,
+            flow_sim_s: t.flow_sim_s,
+            flow_total_s: t.flow_total_s(),
+            speedup: t.speedup(),
+        });
+    }
+
+    println!("\nTable IV: runtime (seconds) for {} cycles of W1\n", cfg.cycles);
+    println!(
+        "{:<7} {:>7} | {:>8} {:>8} {:>8} | {:>8} {:>10} {:>8} | {:>8}",
+        "Design", "Cells", "Pre.", "Infer", "Total", "P&R", "Simulation", "Total", "Speedup"
+    );
+    let mut sum = Row {
+        design: "Average".into(),
+        cells: 0,
+        atlas_pre_s: 0.0,
+        atlas_infer_s: 0.0,
+        atlas_total_s: 0.0,
+        flow_pnr_s: 0.0,
+        flow_sim_s: 0.0,
+        flow_total_s: 0.0,
+        speedup: 0.0,
+    };
+    for r in &rows {
+        println!(
+            "{:<7} {:>7} | {:>8.2} {:>8.2} {:>8.2} | {:>8.2} {:>10.2} {:>8.2} | {:>7.2}x",
+            r.design, r.cells, r.atlas_pre_s, r.atlas_infer_s, r.atlas_total_s,
+            r.flow_pnr_s, r.flow_sim_s, r.flow_total_s, r.speedup
+        );
+        sum.cells += r.cells / rows.len();
+        sum.atlas_pre_s += r.atlas_pre_s / rows.len() as f64;
+        sum.atlas_infer_s += r.atlas_infer_s / rows.len() as f64;
+        sum.atlas_total_s += r.atlas_total_s / rows.len() as f64;
+        sum.flow_pnr_s += r.flow_pnr_s / rows.len() as f64;
+        sum.flow_sim_s += r.flow_sim_s / rows.len() as f64;
+        sum.flow_total_s += r.flow_total_s / rows.len() as f64;
+    }
+    sum.speedup = sum.flow_total_s / sum.atlas_total_s.max(1e-12);
+    println!(
+        "{:<7} {:>7} | {:>8.2} {:>8.2} {:>8.2} | {:>8.2} {:>10.2} {:>8.2} | {:>7.2}x",
+        sum.design, sum.cells, sum.atlas_pre_s, sum.atlas_infer_s, sum.atlas_total_s,
+        sum.flow_pnr_s, sum.flow_sim_s, sum.flow_total_s, sum.speedup
+    );
+
+    // Shape: the flow's P&R cost grows faster with design size than ATLAS
+    // inference. Compare smallest vs largest design.
+    let (first, last) = (&rows[0], &rows[rows.len() - 1]);
+    let flow_growth = last.flow_pnr_s / first.flow_pnr_s.max(1e-9);
+    let atlas_growth = last.atlas_total_s / first.atlas_total_s.max(1e-9);
+    println!("\nScaling shape (C6 vs C1): P&R grew {flow_growth:.2}x, ATLAS {atlas_growth:.2}x.");
+    println!("The paper's >1000x gap comes from commercial P&R taking ~10^5 s on 600K-cell");
+    println!("designs; our open substitute is orders of magnitude cheaper at demo scale, so");
+    println!("absolute speedups are NOT comparable — see EXPERIMENTS.md for the discussion.");
+    rows.push(sum);
+    write_result("table4", &rows);
+}

@@ -1,0 +1,136 @@
+//! Shared harness for the table/figure reproduction binaries.
+//!
+//! Every table and figure of the paper has a binary under `src/bin/`:
+//!
+//! | Binary | Reproduces |
+//! |---|---|
+//! | `table1` | Table I (capability matrix of prior work vs ATLAS) |
+//! | `table2` | Table II (gate counts at gate-level vs post-layout) |
+//! | `table3` | Table III (MAPE per power group, ATLAS vs Gate-Level baseline) |
+//! | `table4` | Table IV (runtime: ATLAS vs traditional flow) |
+//! | `fig5`   | Fig. 5 (per-cycle power traces, C2/C4 under W1) |
+//! | `fig6`   | Fig. 6 (component-level power, C2/C4) |
+//! | `memory_group` | §VI-B (memory-group model accuracy) |
+//! | `ablation_ssl_tasks` | pre-training task ablation |
+//! | `ablation_features` | fine-tuning side-feature ablation |
+//! | `ablation_cones` | §III-A sub-modules vs overlapping logic cones |
+//!
+//! Results print as human-readable tables and are also written as JSON
+//! under `target/atlas-results/`, which EXPERIMENTS.md references.
+//!
+//! Training is cached under `target/atlas-cache/` keyed by a hash of the
+//! experiment configuration, so the binaries can share one trained model.
+
+use std::fs;
+use std::path::PathBuf;
+
+use atlas_core::pipeline::{train_atlas, ExperimentConfig, TrainedAtlas};
+use atlas_core::AtlasModel;
+
+/// The experiment configuration used by all paper-reproduction binaries.
+///
+/// Scale 0.5 keeps the six designs in the 3K–8K cell range so the full
+/// protocol (layout + simulation + pre-training + fine-tuning + four
+/// evaluations) completes in minutes on a laptop CPU; see DESIGN.md §2 on
+/// the scale substitution.
+pub fn bench_config() -> ExperimentConfig {
+    let mut cfg = ExperimentConfig::default();
+    cfg.cycles = 300;
+    cfg.scale = 0.5;
+    cfg.pretrain.steps = 220;
+    cfg.pretrain.hidden_dim = 48;
+    cfg.finetune.cycles_per_design = 36;
+    cfg.finetune.gbdt.n_estimators = 160;
+    cfg
+}
+
+/// Directory for machine-readable results.
+pub fn results_dir() -> PathBuf {
+    let dir = PathBuf::from("target/atlas-results");
+    let _ = fs::create_dir_all(&dir);
+    dir
+}
+
+/// Write a serializable result next to the printed table.
+pub fn write_result<T: serde::Serialize>(name: &str, value: &T) {
+    let path = results_dir().join(format!("{name}.json"));
+    match serde_json::to_string_pretty(value) {
+        Ok(json) => {
+            if let Err(e) = fs::write(&path, json) {
+                eprintln!("warning: could not write {}: {e}", path.display());
+            } else {
+                println!("(wrote {})", path.display());
+            }
+        }
+        Err(e) => eprintln!("warning: could not serialize {name}: {e}"),
+    }
+}
+
+fn config_hash(cfg: &ExperimentConfig) -> u64 {
+    let bytes = serde_json::to_vec(cfg).unwrap_or_default();
+    // FNV-1a.
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// Train ATLAS under `cfg`, reusing a cached model from a previous binary
+/// run when the configuration is identical.
+pub fn load_or_train(cfg: &ExperimentConfig) -> TrainedAtlas {
+    let dir = PathBuf::from("target/atlas-cache");
+    let _ = fs::create_dir_all(&dir);
+    let path = dir.join(format!("model-{:016x}.json", config_hash(cfg)));
+    if let Ok(json) = fs::read_to_string(&path) {
+        if let Ok(model) = AtlasModel::from_json(&json) {
+            println!("(loaded cached model {})", path.display());
+            return TrainedAtlas {
+                model,
+                pretrain_stats: Default::default(),
+                timing: Default::default(),
+                config: cfg.clone(),
+            };
+        }
+    }
+    println!("(training ATLAS: 4 designs × {} cycles — cached for later binaries)", cfg.cycles);
+    let trained = train_atlas(cfg);
+    if let Ok(json) = trained.model.to_json() {
+        let _ = fs::write(&path, json);
+    }
+    println!(
+        "(trained in {:.1}s prepare + {:.1}s pretrain + {:.1}s finetune)",
+        trained.timing.prepare_s, trained.timing.pretrain_s, trained.timing.finetune_s
+    );
+    trained
+}
+
+/// Format a MAPE cell the way the paper prints them.
+pub fn pct(v: f64) -> String {
+    if (v - 100.0).abs() < 1e-9 {
+        "100%".to_owned()
+    } else {
+        format!("{v:.2}%")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_hash_is_stable_and_sensitive() {
+        let a = bench_config();
+        let mut b = bench_config();
+        assert_eq!(config_hash(&a), config_hash(&a));
+        b.cycles += 1;
+        assert_ne!(config_hash(&a), config_hash(&b));
+    }
+
+    #[test]
+    fn pct_formatting() {
+        assert_eq!(pct(100.0), "100%");
+        assert_eq!(pct(5.123), "5.12%");
+    }
+}

@@ -1,0 +1,166 @@
+//! Dataset preparation: everything ATLAS needs about one design.
+
+use atlas_designs::DesignConfig;
+use atlas_layout::{run_layout, LayoutConfig, LayoutReport};
+use atlas_liberty::Library;
+use atlas_netlist::Design;
+use atlas_power::{compute_power, PowerTrace};
+use atlas_sim::{simulate, PhasedWorkload, ToggleTrace};
+
+use crate::features::{build_submodule_data, SubmoduleData};
+
+/// One design prepared for training or evaluation: the aligned
+/// `Ng`/`N+g`/`Np` triple, a simulated workload on each stage, golden
+/// labels, and prebuilt sub-module graph data (paper §III).
+#[derive(Debug, Clone)]
+pub struct DesignBundle {
+    /// Post-synthesis gate-level netlist `Ng`.
+    pub gate: Design,
+    /// Functionally-equivalent restructured netlist `N+g`.
+    pub plus: Design,
+    /// Post-layout netlist `Np`.
+    pub post: Design,
+    /// Layout flow report (Table II's raw numbers).
+    pub layout_report: LayoutReport,
+    /// Workload toggles on `Ng` (available at inference time).
+    pub gate_trace: ToggleTrace,
+    /// Workload toggles on `N+g` (pre-training positives need features).
+    pub plus_trace: ToggleTrace,
+    /// Workload toggles on `Np` (label generation + alignment task).
+    pub post_trace: ToggleTrace,
+    /// Golden per-cycle per-sub-module labels from the post-layout stage.
+    pub labels: PowerTrace,
+    /// Sub-module graph data for `Ng`.
+    pub gate_data: Vec<SubmoduleData>,
+    /// Sub-module graph data for `N+g`.
+    pub plus_data: Vec<SubmoduleData>,
+    /// Sub-module graph data for `Np`.
+    pub post_data: Vec<SubmoduleData>,
+}
+
+impl DesignBundle {
+    /// Prepare a bundle: generate the design, produce `N+g` and `Np`,
+    /// simulate `cycles` cycles of the named workload on all three stages,
+    /// compute golden labels, and build sub-module data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workload` is not a known preset (`"W1"`/`"W2"`) — the
+    /// presets are the experiment vocabulary of the paper.
+    pub fn prepare(
+        design_cfg: &DesignConfig,
+        lib: &Library,
+        layout_cfg: &LayoutConfig,
+        workload: &str,
+        cycles: usize,
+    ) -> DesignBundle {
+        let gate = design_cfg.generate();
+        // N+g: heavier, independent restructuring (contrastive positives).
+        let plus = atlas_layout::restructure::restructure(&gate, design_cfg.seed ^ 0xA11A5, 0.5);
+        let layout = run_layout(&gate, lib, layout_cfg);
+
+        let w = |_label: &str| {
+            PhasedWorkload::preset(workload, design_cfg.seed)
+                .unwrap_or_else(|| panic!("unknown workload preset `{workload}`"))
+        };
+        let gate_trace = simulate(&gate, &mut w("g"), cycles).expect("generated designs are acyclic");
+        let plus_trace = simulate(&plus, &mut w("p"), cycles).expect("restructured stays acyclic");
+        let post_trace =
+            simulate(&layout.design, &mut w("l"), cycles).expect("layout preserves acyclicity");
+
+        let labels = compute_power(&layout.design, lib, &post_trace);
+        let gate_data = build_submodule_data(&gate, lib);
+        let plus_data = build_submodule_data(&plus, lib);
+        let post_data = build_submodule_data(&layout.design, lib);
+
+        DesignBundle {
+            gate,
+            plus,
+            post: layout.design,
+            layout_report: layout.report,
+            gate_trace,
+            plus_trace,
+            post_trace,
+            labels,
+            gate_data,
+            plus_data,
+            post_data,
+        }
+    }
+
+    /// Design name.
+    pub fn name(&self) -> &str {
+        self.gate.name()
+    }
+
+    /// Number of simulated cycles.
+    pub fn cycles(&self) -> usize {
+        self.gate_trace.cycles()
+    }
+
+    /// The gate-level sub-module data index aligned with `plus`/`post`
+    /// data: entries are matched by [`SubmoduleData::submodule`] id, which
+    /// the restructuring and layout flows preserve.
+    pub fn aligned_indices(&self) -> Vec<(usize, usize, usize)> {
+        let find = |data: &[SubmoduleData], sm: atlas_netlist::SubmoduleId| {
+            data.iter().position(|d| d.submodule() == sm)
+        };
+        let mut out = Vec::new();
+        for (gi, g) in self.gate_data.iter().enumerate() {
+            let sm = g.submodule();
+            if let (Some(pi), Some(li)) = (find(&self.plus_data, sm), find(&self.post_data, sm)) {
+                out.push((gi, pi, li));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_bundle() -> DesignBundle {
+        DesignBundle::prepare(
+            &DesignConfig::tiny(),
+            &Library::synthetic_40nm(),
+            &LayoutConfig::default(),
+            "W1",
+            12,
+        )
+    }
+
+    #[test]
+    fn bundle_is_internally_consistent() {
+        let b = tiny_bundle();
+        assert_eq!(b.name(), "TINY");
+        assert_eq!(b.cycles(), 12);
+        assert_eq!(b.labels.cycles(), 12);
+        assert_eq!(b.labels.submodule_count(), b.post.submodules().len());
+        assert!(b.post.cell_count() > b.gate.cell_count());
+        assert!(b.plus.cell_count() > b.gate.cell_count());
+    }
+
+    #[test]
+    fn alignment_covers_every_gate_submodule() {
+        let b = tiny_bundle();
+        let aligned = b.aligned_indices();
+        assert_eq!(aligned.len(), b.gate_data.len());
+        for &(gi, pi, li) in &aligned {
+            assert_eq!(b.gate_data[gi].submodule(), b.plus_data[pi].submodule());
+            assert_eq!(b.gate_data[gi].submodule(), b.post_data[li].submodule());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown workload")]
+    fn unknown_workload_panics() {
+        let _ = DesignBundle::prepare(
+            &DesignConfig::tiny(),
+            &Library::synthetic_40nm(),
+            &LayoutConfig::default(),
+            "W9",
+            4,
+        );
+    }
+}

@@ -1,0 +1,184 @@
+//! Accuracy evaluation against golden labels (Table III / Fig. 5 / Fig. 6
+//! machinery).
+
+use atlas_liberty::PowerGroup;
+use atlas_netlist::{Design, SubmoduleId};
+use atlas_power::metrics::{mape, pearson};
+use atlas_power::PowerTrace;
+use serde::{Deserialize, Serialize};
+
+/// One row of the Table III comparison: per-group MAPE of ATLAS and of
+/// the Gate-Level-PTPX-style baseline against the post-layout labels.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EvalRow {
+    /// Design name (e.g. `C2`).
+    pub design: String,
+    /// Workload name (e.g. `W1`).
+    pub workload: String,
+    /// ATLAS combinational-group MAPE (%).
+    pub atlas_mape_comb: f64,
+    /// ATLAS clock-tree-group MAPE (%).
+    pub atlas_mape_ct: f64,
+    /// ATLAS register-group MAPE (%).
+    pub atlas_mape_reg: f64,
+    /// ATLAS clock-tree + register MAPE (%).
+    pub atlas_mape_ct_reg: f64,
+    /// ATLAS total (non-memory) MAPE (%).
+    pub atlas_mape_total: f64,
+    /// ATLAS memory-group MAPE (%) — reported separately, as in §VI-B.
+    pub atlas_mape_memory: f64,
+    /// Baseline combinational MAPE (%).
+    pub baseline_mape_comb: f64,
+    /// Baseline clock-tree MAPE (%) — 100 by construction.
+    pub baseline_mape_ct: f64,
+    /// Baseline register MAPE (%).
+    pub baseline_mape_reg: f64,
+    /// Baseline clock-tree + register MAPE (%).
+    pub baseline_mape_ct_reg: f64,
+    /// Baseline total (non-memory) MAPE (%).
+    pub baseline_mape_total: f64,
+    /// Pearson correlation of the ATLAS total trace with the label trace.
+    pub atlas_pearson_total: f64,
+    /// Pearson correlation of the baseline total trace with the label trace.
+    pub baseline_pearson_total: f64,
+}
+
+/// Compare prediction and baseline traces against labels.
+///
+/// # Panics
+///
+/// Panics if the traces disagree on cycle count.
+pub fn evaluate(labels: &PowerTrace, atlas: &PowerTrace, baseline: &PowerTrace) -> EvalRow {
+    assert_eq!(labels.cycles(), atlas.cycles(), "cycle count mismatch");
+    assert_eq!(labels.cycles(), baseline.cycles(), "cycle count mismatch");
+    let g = |p: &PowerTrace, group: PowerGroup| p.group_series(group);
+    let labels_total = labels.non_memory_series();
+    let atlas_total = atlas.non_memory_series();
+    let baseline_total = baseline.non_memory_series();
+    EvalRow {
+        design: labels.design().to_owned(),
+        workload: labels.workload().to_owned(),
+        atlas_mape_comb: mape(&g(labels, PowerGroup::Combinational), &g(atlas, PowerGroup::Combinational)),
+        atlas_mape_ct: mape(&g(labels, PowerGroup::ClockTree), &g(atlas, PowerGroup::ClockTree)),
+        atlas_mape_reg: mape(&g(labels, PowerGroup::Register), &g(atlas, PowerGroup::Register)),
+        atlas_mape_ct_reg: mape(&labels.ct_reg_series(), &atlas.ct_reg_series()),
+        atlas_mape_total: mape(&labels_total, &atlas_total),
+        atlas_mape_memory: mape(&g(labels, PowerGroup::Memory), &g(atlas, PowerGroup::Memory)),
+        baseline_mape_comb: mape(&g(labels, PowerGroup::Combinational), &g(baseline, PowerGroup::Combinational)),
+        baseline_mape_ct: mape(&g(labels, PowerGroup::ClockTree), &g(baseline, PowerGroup::ClockTree)),
+        baseline_mape_reg: mape(&g(labels, PowerGroup::Register), &g(baseline, PowerGroup::Register)),
+        baseline_mape_ct_reg: mape(&labels.ct_reg_series(), &baseline.ct_reg_series()),
+        baseline_mape_total: mape(&labels_total, &baseline_total),
+        atlas_pearson_total: pearson(&labels_total, &atlas_total),
+        baseline_pearson_total: pearson(&labels_total, &baseline_total),
+    }
+}
+
+/// One row of the Fig. 6 component table.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ComponentRow {
+    /// Component name (`frontend`, `lsu`, ...).
+    pub component: String,
+    /// Mean label power (W, non-memory groups).
+    pub label_w: f64,
+    /// Mean ATLAS-predicted power (W).
+    pub atlas_w: f64,
+    /// MAPE (%) of the per-cycle component power series.
+    pub mape: f64,
+}
+
+/// Per-cycle power series of one component (non-memory groups).
+pub fn component_series(trace: &PowerTrace, design: &Design, component: &str) -> Vec<f64> {
+    let sms: Vec<SubmoduleId> = design
+        .submodule_ids()
+        .filter(|&sm| design.submodule(sm).component() == component)
+        .filter(|&sm| sm.index() < trace.submodule_count())
+        .collect();
+    (0..trace.cycles())
+        .map(|t| {
+            sms.iter()
+                .map(|&sm| {
+                    PowerGroup::ALL
+                        .iter()
+                        .filter(|&&g| g != PowerGroup::Memory)
+                        .map(|&g| trace.at(t, sm, g))
+                        .sum::<f64>()
+                })
+                .sum()
+        })
+        .collect()
+}
+
+/// Build the Fig. 6 component table for a design. Components with no
+/// measurable label power (e.g. the empty `cts` pseudo-component) are
+/// skipped.
+pub fn component_table(labels: &PowerTrace, atlas: &PowerTrace, design: &Design) -> Vec<ComponentRow> {
+    design
+        .components()
+        .into_iter()
+        .filter_map(|comp| {
+            let label = component_series(labels, design, comp);
+            let pred = component_series(atlas, design, comp);
+            let label_mean = label.iter().sum::<f64>() / label.len().max(1) as f64;
+            if label_mean <= 0.0 {
+                return None;
+            }
+            let pred_mean = pred.iter().sum::<f64>() / pred.len().max(1) as f64;
+            Some(ComponentRow {
+                component: comp.to_owned(),
+                label_w: label_mean,
+                atlas_w: pred_mean,
+                mape: mape(&label, &pred),
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fake_trace(vals: &[(usize, usize, PowerGroup, f64)], cycles: usize, sms: usize) -> PowerTrace {
+        let mut p = PowerTrace::new("D".into(), "W".into(), cycles, sms);
+        for &(t, sm, g, w) in vals {
+            p.add(t, sm, g.index(), w);
+        }
+        p
+    }
+
+    #[test]
+    fn perfect_prediction_scores_zero() {
+        let labels = fake_trace(
+            &[(0, 0, PowerGroup::Combinational, 1.0), (1, 0, PowerGroup::Register, 2.0)],
+            2,
+            1,
+        );
+        let row = evaluate(&labels, &labels.clone(), &labels.clone());
+        assert_eq!(row.atlas_mape_total, 0.0);
+        assert_eq!(row.atlas_mape_comb, 0.0);
+    }
+
+    #[test]
+    fn missing_clock_tree_scores_100() {
+        let labels = fake_trace(&[(0, 0, PowerGroup::ClockTree, 1.0)], 1, 1);
+        let baseline = fake_trace(&[], 1, 1);
+        let row = evaluate(&labels, &labels.clone(), &baseline);
+        assert_eq!(row.baseline_mape_ct, 100.0);
+        assert_eq!(row.atlas_mape_ct, 0.0);
+    }
+
+    #[test]
+    fn component_table_skips_empty_components() {
+        use atlas_designs::DesignConfig;
+        let design = DesignConfig::tiny().generate();
+        let sms = design.submodules().len();
+        let mut labels = PowerTrace::new("T".into(), "W".into(), 2, sms);
+        // Put power only in sub-module 0 (a frontend sub-module).
+        labels.add(0, 0, PowerGroup::Combinational.index(), 1.0);
+        labels.add(1, 0, PowerGroup::Combinational.index(), 1.0);
+        let table = component_table(&labels, &labels.clone(), &design);
+        assert_eq!(table.len(), 1);
+        assert_eq!(table[0].component, "frontend");
+        assert_eq!(table[0].mape, 0.0);
+    }
+}

@@ -1,0 +1,226 @@
+//! The deployable ATLAS model.
+
+use atlas_liberty::{Library, PowerGroup};
+use atlas_netlist::{Design, Stage};
+use atlas_nn::{EncoderState, InferenceEncoder};
+use atlas_power::PowerTrace;
+use atlas_sim::ToggleTrace;
+use serde::{Deserialize, Serialize};
+
+use crate::features::{build_submodule_data, side_features, SubmoduleData};
+use crate::finetune::PowerHeads;
+
+/// A trained ATLAS model: frozen encoder + fine-tuned power heads.
+///
+/// Input at inference time is exactly what a designer has *before* layout:
+/// the gate-level netlist, the technology library, and a workload toggle
+/// trace. Output is the predicted per-cycle post-layout power of every
+/// sub-module and power group — no layout information required (paper §II).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AtlasModel {
+    encoder: EncoderState,
+    heads: PowerHeads,
+}
+
+impl AtlasModel {
+    /// Assemble a model from its trained parts.
+    pub fn new(encoder: EncoderState, heads: PowerHeads) -> AtlasModel {
+        AtlasModel { encoder, heads }
+    }
+
+    /// The frozen encoder weights.
+    pub fn encoder(&self) -> &EncoderState {
+        &self.encoder
+    }
+
+    /// The fine-tuned heads.
+    pub fn heads(&self) -> &PowerHeads {
+        &self.heads
+    }
+
+    /// Serialize to JSON (model persistence).
+    ///
+    /// # Errors
+    ///
+    /// Returns any `serde_json` serialization error.
+    pub fn to_json(&self) -> Result<String, serde_json::Error> {
+        serde_json::to_string(self)
+    }
+
+    /// Deserialize from JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns any `serde_json` parse error.
+    pub fn from_json(json: &str) -> Result<AtlasModel, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+
+    /// Predict per-cycle post-layout power for a **gate-level** design
+    /// under the given toggle trace. Sub-module embeddings are computed on
+    /// worker threads (the trace is the only per-cycle input).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gate` is a post-layout design (ATLAS's whole point is to
+    /// not need one) or if the trace does not belong to `gate`.
+    pub fn predict(&self, gate: &Design, lib: &Library, trace: &ToggleTrace) -> PowerTrace {
+        assert_eq!(
+            gate.stage(),
+            Stage::GateLevel,
+            "ATLAS predicts from the gate-level netlist"
+        );
+        let data = build_submodule_data(gate, lib);
+        self.predict_prepared(gate, lib, &data, trace)
+    }
+
+    /// [`predict`](Self::predict) with pre-built sub-module data, so
+    /// repeated predictions (new workloads on the same design) skip
+    /// preprocessing.
+    pub fn predict_prepared(
+        &self,
+        gate: &Design,
+        lib: &Library,
+        data: &[SubmoduleData],
+        trace: &ToggleTrace,
+    ) -> PowerTrace {
+        let cycles = trace.cycles();
+        let encoder = InferenceEncoder::from_state(&self.encoder);
+        let n_sm = gate.submodules().len();
+        let mut out = PowerTrace::new(
+            gate.name().to_owned(),
+            trace.workload().to_owned(),
+            cycles,
+            n_sm,
+        );
+
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+            .min(8)
+            .min(data.len().max(1));
+        let chunk = data.len().div_ceil(threads);
+        // (submodule index, cycle, [comb, reg, ct, mem]) per entry.
+        let results: Vec<Vec<(usize, usize, [f64; 4])>> = crossbeam::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for piece in data.chunks(chunk.max(1)) {
+                let encoder = &encoder;
+                let heads = &self.heads;
+                handles.push(scope.spawn(move |_| {
+                    let mut local = Vec::with_capacity(piece.len() * cycles);
+                    for smd in piece {
+                        for t in 0..cycles {
+                            let feats = smd.features_for_cycle(gate, trace, t);
+                            let emb = encoder.encode_graph(smd.adj(), &feats);
+                            let side = side_features(smd, gate, lib, trace, t);
+                            let [comb, reg, ct] = heads.predict_groups(&emb, &side);
+                            let mem = heads.memory.predict(&side);
+                            local.push((smd.submodule().index(), t, [comb, reg, ct, mem]));
+                        }
+                    }
+                    local
+                }));
+            }
+            handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+        })
+        .expect("scoped threads join");
+
+        for batch in results {
+            for (sm, t, [comb, reg, ct, mem]) in batch {
+                out.add(t, sm, PowerGroup::Combinational.index(), comb);
+                out.add(t, sm, PowerGroup::Register.index(), reg);
+                out.add(t, sm, PowerGroup::ClockTree.index(), ct);
+                out.add(t, sm, PowerGroup::Memory.index(), mem);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use atlas_designs::DesignConfig;
+    use atlas_layout::LayoutConfig;
+    use atlas_nn::InferenceEncoder;
+
+    use super::*;
+    use crate::bundle::DesignBundle;
+    use crate::finetune::{finetune, FinetuneConfig};
+    use crate::pretrain::{pretrain, PretrainConfig};
+
+    fn tiny_model() -> (AtlasModel, DesignBundle, Library) {
+        let lib = Library::synthetic_40nm();
+        let bundle = DesignBundle::prepare(
+            &DesignConfig::tiny(),
+            &lib,
+            &LayoutConfig::default(),
+            "W1",
+            10,
+        );
+        let bundles = vec![bundle];
+        let (encoder, _) = pretrain(&bundles, &PretrainConfig::test_tiny());
+        let state = encoder.state();
+        let heads = finetune(
+            &InferenceEncoder::from_state(&state),
+            &bundles,
+            &lib,
+            &FinetuneConfig::test_tiny(),
+        );
+        (
+            AtlasModel::new(state, heads),
+            bundles.into_iter().next().expect("one bundle"),
+            lib,
+        )
+    }
+
+    #[test]
+    fn prediction_has_label_shape_and_is_positive() {
+        let (model, bundle, lib) = tiny_model();
+        let pred = model.predict(&bundle.gate, &lib, &bundle.gate_trace);
+        assert_eq!(pred.cycles(), bundle.gate_trace.cycles());
+        for t in 0..pred.cycles() {
+            assert!(pred.total(t) >= 0.0);
+        }
+        // Predicts a nonzero clock tree despite seeing no layout — the
+        // cross-stage claim in miniature.
+        let ct: f64 = pred.group_series(PowerGroup::ClockTree).iter().sum();
+        assert!(ct > 0.0, "clock-tree prediction must be nonzero");
+    }
+
+    #[test]
+    fn training_fit_is_sane() {
+        // On its own training design, even a tiny model must beat the
+        // gate-level baseline for total power.
+        let (model, bundle, lib) = tiny_model();
+        let pred = model.predict(&bundle.gate, &lib, &bundle.gate_trace);
+        let baseline = atlas_power::compute_power(&bundle.gate, &lib, &bundle.gate_trace);
+        let labels = &bundle.labels;
+        let label_series: Vec<f64> = (0..labels.cycles()).map(|t| labels.non_memory_total(t)).collect();
+        let pred_series: Vec<f64> = (0..pred.cycles()).map(|t| pred.non_memory_total(t)).collect();
+        let base_series: Vec<f64> =
+            (0..baseline.cycles()).map(|t| baseline.non_memory_total(t)).collect();
+        let atlas_err = atlas_power::metrics::mape(&label_series, &pred_series);
+        let base_err = atlas_power::metrics::mape(&label_series, &base_series);
+        assert!(
+            atlas_err < base_err,
+            "ATLAS ({atlas_err:.1}%) must beat the gate-level baseline ({base_err:.1}%)"
+        );
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let (model, _, _) = tiny_model();
+        let json = model.to_json().expect("serializes");
+        let back = AtlasModel::from_json(&json).expect("parses");
+        assert_eq!(model, back);
+    }
+
+    #[test]
+    fn rejects_post_layout_input() {
+        let (model, bundle, lib) = tiny_model();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _ = model.predict(&bundle.post, &lib, &bundle.post_trace);
+        }));
+        assert!(result.is_err());
+    }
+}

@@ -1,0 +1,332 @@
+//! Self-supervised encoder pre-training — the paper's five tasks (§IV).
+//!
+//! Per step, a batch of sub-modules is sampled across the training
+//! designs at random cycles, and the joint loss
+//! `L = L_MT + L_MN + L_Size + L_CL1 + L_CL2` (Eq. 6) is minimized with
+//! Adam. Each task can be disabled individually, which is what the
+//! `ablation_ssl_tasks` bench sweeps.
+
+use atlas_netlist::detrng::DetRng;
+use atlas_nn::{info_nce, Adam, EncoderConfig, GraphEncoder, Matrix, MlpHead, Tensor};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::bundle::DesignBundle;
+use crate::features::FEATURE_DIM;
+
+/// Pre-training hyperparameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PretrainConfig {
+    /// Encoder hidden width.
+    pub hidden_dim: usize,
+    /// Encoder layers.
+    pub layers: usize,
+    /// Optimizer steps.
+    pub steps: usize,
+    /// Sub-modules per batch.
+    pub batch: usize,
+    /// Adam learning rate (paper: 1e-4; demo default is larger because the
+    /// demo runs orders of magnitude fewer steps).
+    pub lr: f64,
+    /// Node masking fraction for tasks ① and ②.
+    pub mask_frac: f64,
+    /// InfoNCE temperature.
+    pub tau: f64,
+    /// Sampling seed.
+    pub seed: u64,
+    /// Enable task ① masked-toggle propagation learning.
+    pub task_mask_toggle: bool,
+    /// Enable task ② masked-node-type learning.
+    pub task_mask_type: bool,
+    /// Enable task ③ sub-module-size learning.
+    pub task_size: bool,
+    /// Enable task ④ gate-level contrastive learning.
+    pub task_cl_gate: bool,
+    /// Enable task ⑤ cross-stage alignment contrastive learning.
+    pub task_cl_cross: bool,
+}
+
+impl Default for PretrainConfig {
+    fn default() -> PretrainConfig {
+        PretrainConfig {
+            hidden_dim: 48,
+            layers: 2,
+            steps: 240,
+            batch: 8,
+            lr: 3e-3,
+            mask_frac: 0.15,
+            tau: 0.2,
+            seed: 11,
+            task_mask_toggle: true,
+            task_mask_type: true,
+            task_size: true,
+            task_cl_gate: true,
+            task_cl_cross: true,
+        }
+    }
+}
+
+impl PretrainConfig {
+    /// A very small configuration for unit tests.
+    pub fn test_tiny() -> PretrainConfig {
+        PretrainConfig {
+            hidden_dim: 16,
+            layers: 1,
+            steps: 12,
+            batch: 4,
+            ..PretrainConfig::default()
+        }
+    }
+}
+
+/// Loss curves recorded during pre-training (one entry per step).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct PretrainStats {
+    /// Joint loss per step.
+    pub total: Vec<f64>,
+    /// Task ① loss per step (0 when disabled).
+    pub mask_toggle: Vec<f64>,
+    /// Task ② loss per step.
+    pub mask_type: Vec<f64>,
+    /// Task ③ loss per step.
+    pub size: Vec<f64>,
+    /// Task ④ loss per step.
+    pub cl_gate: Vec<f64>,
+    /// Task ⑤ loss per step.
+    pub cl_cross: Vec<f64>,
+}
+
+impl PretrainStats {
+    /// Mean of the first `k` and last `k` total losses — a crude
+    /// convergence check.
+    pub fn improvement(&self, k: usize) -> (f64, f64) {
+        let k = k.min(self.total.len());
+        if k == 0 {
+            return (0.0, 0.0);
+        }
+        let head: f64 = self.total[..k].iter().sum::<f64>() / k as f64;
+        let tail: f64 = self.total[self.total.len() - k..].iter().sum::<f64>() / k as f64;
+        (head, tail)
+    }
+}
+
+/// Pre-train the encoder over the training bundles. Returns the encoder
+/// (the temporary task heads are dropped, as in the paper) and the loss
+/// curves.
+///
+/// # Panics
+///
+/// Panics if `bundles` is empty or a bundle has no sub-modules.
+pub fn pretrain(bundles: &[DesignBundle], cfg: &PretrainConfig) -> (GraphEncoder, PretrainStats) {
+    assert!(!bundles.is_empty(), "need at least one training design");
+    let enc_cfg = EncoderConfig {
+        input_dim: FEATURE_DIM,
+        hidden_dim: cfg.hidden_dim,
+        layers: cfg.layers,
+        alpha: 0.5,
+        seed: cfg.seed,
+    };
+    let encoder = GraphEncoder::new(enc_cfg);
+    let d = cfg.hidden_dim;
+    let head_toggle = MlpHead::new(d, d, 2, cfg.seed ^ 0x101);
+    let head_type = MlpHead::new(d, d, atlas_liberty::CellClass::COUNT, cfg.seed ^ 0x202);
+    let head_size = MlpHead::new(d, d, 1, cfg.seed ^ 0x303);
+
+    let mut params = encoder.params();
+    params.extend(head_toggle.params());
+    params.extend(head_type.params());
+    params.extend(head_size.params());
+    let mut opt = Adam::new(params, cfg.lr);
+    let mut rng = DetRng::new(cfg.seed);
+    let mut stats = PretrainStats::default();
+
+    for _step in 0..cfg.steps {
+        // --- Sample a batch of (bundle, submodule, cycle) ---
+        let mut batch = Vec::with_capacity(cfg.batch);
+        for _ in 0..cfg.batch {
+            let b = &bundles[rng.gen_range(0..bundles.len())];
+            let aligned = b.aligned_indices();
+            assert!(!aligned.is_empty(), "bundle without sub-modules");
+            let (gi, pi, li) = aligned[rng.gen_range(0..aligned.len())];
+            let cycle = rng.gen_range(0..b.cycles());
+            batch.push((b, gi, pi, li, cycle));
+        }
+
+        let mut task_losses: [Option<Tensor>; 5] = [None, None, None, None, None];
+
+        // --- Anchor embeddings (used by tasks ③, ④, ⑤) ---
+        let mut anchor_graphs = Vec::with_capacity(cfg.batch);
+        let mut size_targets = Vec::with_capacity(cfg.batch);
+        for &(b, gi, _, _, cycle) in &batch {
+            let smd = &b.gate_data[gi];
+            let feats = smd.features_for_cycle(&b.gate, &b.gate_trace, cycle);
+            let (_, graph) = encoder.encode(smd.adj(), &feats);
+            anchor_graphs.push(graph);
+            size_targets.push((smd.node_count() as f64).ln() / 8.0);
+        }
+        let anchors = Tensor::concat_rows(&anchor_graphs);
+
+        // --- Tasks ① & ②: masked recovery on a separate masked pass ---
+        if cfg.task_mask_toggle || cfg.task_mask_type {
+            let mut toggle_logits = Vec::new();
+            let mut toggle_labels: Vec<usize> = Vec::new();
+            let mut type_logits = Vec::new();
+            let mut type_labels: Vec<usize> = Vec::new();
+            for &(b, gi, _, _, cycle) in &batch {
+                let smd = &b.gate_data[gi];
+                let m = smd.masked_features(&b.gate, &b.gate_trace, cycle, cfg.mask_frac, &mut rng);
+                if m.toggle_nodes.is_empty() && m.type_nodes.is_empty() {
+                    continue;
+                }
+                let (nodes, _) = encoder.encode(smd.adj(), &m.features);
+                if cfg.task_mask_toggle && !m.toggle_nodes.is_empty() {
+                    toggle_logits.push(head_toggle.forward(&nodes.select_rows(&m.toggle_nodes)));
+                    toggle_labels.extend(&m.toggle_labels);
+                }
+                if cfg.task_mask_type && !m.type_nodes.is_empty() {
+                    type_logits.push(head_type.forward(&nodes.select_rows(&m.type_nodes)));
+                    type_labels.extend(&m.type_labels);
+                }
+            }
+            if cfg.task_mask_toggle && !toggle_logits.is_empty() {
+                let logits = Tensor::concat_rows(&toggle_logits);
+                task_losses[0] = Some(logits.softmax_cross_entropy(&toggle_labels));
+            }
+            if cfg.task_mask_type && !type_logits.is_empty() {
+                let logits = Tensor::concat_rows(&type_logits);
+                task_losses[1] = Some(logits.softmax_cross_entropy(&type_labels));
+            }
+        }
+
+        // --- Task ③: sub-module size regression from graph embeddings ---
+        if cfg.task_size {
+            let preds = head_size.forward(&anchors);
+            let target = Matrix::from_vec(cfg.batch, 1, size_targets.clone());
+            task_losses[2] = Some(preds.mse_loss(&target));
+        }
+
+        // --- Task ④: gate-level contrastive (Ng vs N+g) ---
+        if cfg.task_cl_gate {
+            let mut pos = Vec::with_capacity(cfg.batch);
+            for &(b, _, pi, _, cycle) in &batch {
+                let smd = &b.plus_data[pi];
+                let feats = smd.features_for_cycle(&b.plus, &b.plus_trace, cycle);
+                let (_, graph) = encoder.encode(smd.adj(), &feats);
+                pos.push(graph);
+            }
+            let positives = Tensor::concat_rows(&pos);
+            task_losses[3] = Some(info_nce(&anchors, &positives, cfg.tau));
+        }
+
+        // --- Task ⑤: cross-stage alignment (Ng vs Np) ---
+        if cfg.task_cl_cross {
+            let mut pos = Vec::with_capacity(cfg.batch);
+            for &(b, _, _, li, cycle) in &batch {
+                let smd = &b.post_data[li];
+                let feats = smd.features_for_cycle(&b.post, &b.post_trace, cycle);
+                let (_, graph) = encoder.encode(smd.adj(), &feats);
+                pos.push(graph);
+            }
+            let positives = Tensor::concat_rows(&pos);
+            task_losses[4] = Some(info_nce(&anchors, &positives, cfg.tau));
+        }
+
+        // --- Joint loss (Eq. 6) ---
+        let record = |slot: &Option<Tensor>| slot.as_ref().map(|t| t.value().get(0, 0)).unwrap_or(0.0);
+        stats.mask_toggle.push(record(&task_losses[0]));
+        stats.mask_type.push(record(&task_losses[1]));
+        stats.size.push(record(&task_losses[2]));
+        stats.cl_gate.push(record(&task_losses[3]));
+        stats.cl_cross.push(record(&task_losses[4]));
+
+        let active: Vec<Tensor> = task_losses.into_iter().flatten().collect();
+        if active.is_empty() {
+            stats.total.push(0.0);
+            continue;
+        }
+        let mut loss = active[0].clone();
+        for t in &active[1..] {
+            loss = loss.add(t);
+        }
+        stats.total.push(loss.value().get(0, 0));
+        opt.zero_grad();
+        loss.backward();
+        opt.step();
+    }
+
+    (encoder, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use atlas_designs::DesignConfig;
+    use atlas_layout::LayoutConfig;
+    use atlas_liberty::Library;
+
+    use super::*;
+
+    fn tiny_bundles() -> Vec<DesignBundle> {
+        vec![DesignBundle::prepare(
+            &DesignConfig::tiny(),
+            &Library::synthetic_40nm(),
+            &LayoutConfig::default(),
+            "W1",
+            10,
+        )]
+    }
+
+    #[test]
+    fn pretraining_reduces_joint_loss() {
+        let bundles = tiny_bundles();
+        let cfg = PretrainConfig {
+            steps: 40,
+            ..PretrainConfig::test_tiny()
+        };
+        let (_, stats) = pretrain(&bundles, &cfg);
+        assert_eq!(stats.total.len(), 40);
+        let (head, tail) = stats.improvement(8);
+        assert!(
+            tail < head,
+            "joint SSL loss should fall: head={head:.4} tail={tail:.4}"
+        );
+    }
+
+    #[test]
+    fn all_five_tasks_are_recorded() {
+        let bundles = tiny_bundles();
+        let (_, stats) = pretrain(&bundles, &PretrainConfig::test_tiny());
+        assert!(stats.mask_toggle.iter().any(|&v| v > 0.0));
+        assert!(stats.mask_type.iter().any(|&v| v > 0.0));
+        assert!(stats.size.iter().any(|&v| v > 0.0));
+        assert!(stats.cl_gate.iter().any(|&v| v > 0.0));
+        assert!(stats.cl_cross.iter().any(|&v| v > 0.0));
+    }
+
+    #[test]
+    fn tasks_can_be_disabled() {
+        let bundles = tiny_bundles();
+        let cfg = PretrainConfig {
+            task_mask_toggle: false,
+            task_cl_cross: false,
+            steps: 4,
+            ..PretrainConfig::test_tiny()
+        };
+        let (_, stats) = pretrain(&bundles, &cfg);
+        assert!(stats.mask_toggle.iter().all(|&v| v == 0.0));
+        assert!(stats.cl_cross.iter().all(|&v| v == 0.0));
+        assert!(stats.cl_gate.iter().any(|&v| v > 0.0));
+    }
+
+    #[test]
+    fn pretraining_is_deterministic() {
+        let bundles = tiny_bundles();
+        let cfg = PretrainConfig {
+            steps: 6,
+            ..PretrainConfig::test_tiny()
+        };
+        let (enc_a, stats_a) = pretrain(&bundles, &cfg);
+        let (enc_b, stats_b) = pretrain(&bundles, &cfg);
+        assert_eq!(stats_a, stats_b);
+        assert_eq!(enc_a.state(), enc_b.state());
+    }
+}

@@ -1,0 +1,186 @@
+//! Design configurations (the C1..C6 presets).
+
+use atlas_netlist::Design;
+use serde::{Deserialize, Serialize};
+
+use crate::cpu;
+
+/// Parameters of one synthetic CPU-like design.
+///
+/// The six presets [`c1`](DesignConfig::c1)..[`c6`](DesignConfig::c6)
+/// mirror the paper's six designs: same architecture family, increasing
+/// size. All generation is deterministic in `(name, seed, scale, ...)`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DesignConfig {
+    /// Design name (`C1`..`C6`).
+    pub name: String,
+    /// Generation seed.
+    pub seed: u64,
+    /// Multiplier on all unit counts (1.0 = demo scale).
+    pub scale: f64,
+    /// Datapath width in bits.
+    pub width: usize,
+    /// Number of primary inputs.
+    pub pi_count: usize,
+    /// Units in the `frontend` component.
+    pub frontend_units: usize,
+    /// Units in the `core` component.
+    pub core_units: usize,
+    /// Units in the `lsu` component.
+    pub lsu_units: usize,
+    /// Units in the `dcache` component.
+    pub dcache_units: usize,
+    /// Units in the `ptw` component.
+    pub ptw_units: usize,
+}
+
+impl DesignConfig {
+    fn preset(
+        name: &str,
+        seed: u64,
+        width: usize,
+        frontend_units: usize,
+        core_units: usize,
+        lsu_units: usize,
+        dcache_units: usize,
+        ptw_units: usize,
+    ) -> DesignConfig {
+        DesignConfig {
+            name: name.to_owned(),
+            seed,
+            scale: 1.0,
+            width,
+            pi_count: 48,
+            frontend_units,
+            core_units,
+            lsu_units,
+            dcache_units,
+            ptw_units,
+        }
+    }
+
+    /// Smallest benchmark design.
+    pub fn c1() -> DesignConfig {
+        DesignConfig::preset("C1", 101, 13, 26, 30, 10, 12, 4)
+    }
+
+    /// Second design (a held-out *test* design in the paper's split).
+    pub fn c2() -> DesignConfig {
+        DesignConfig::preset("C2", 202, 14, 28, 33, 11, 13, 4)
+    }
+
+    /// Third design.
+    pub fn c3() -> DesignConfig {
+        DesignConfig::preset("C3", 303, 15, 30, 36, 12, 14, 5)
+    }
+
+    /// Fourth design (the other held-out *test* design).
+    pub fn c4() -> DesignConfig {
+        DesignConfig::preset("C4", 404, 16, 33, 39, 13, 15, 5)
+    }
+
+    /// Fifth design.
+    pub fn c5() -> DesignConfig {
+        DesignConfig::preset("C5", 505, 16, 37, 45, 15, 17, 6)
+    }
+
+    /// Largest benchmark design.
+    pub fn c6() -> DesignConfig {
+        DesignConfig::preset("C6", 606, 18, 42, 52, 18, 20, 7)
+    }
+
+    /// All six presets, smallest to largest.
+    pub fn all() -> Vec<DesignConfig> {
+        vec![
+            DesignConfig::c1(),
+            DesignConfig::c2(),
+            DesignConfig::c3(),
+            DesignConfig::c4(),
+            DesignConfig::c5(),
+            DesignConfig::c6(),
+        ]
+    }
+
+    /// The paper's training designs (C1, C3, C5, C6).
+    pub fn training_set() -> Vec<DesignConfig> {
+        vec![
+            DesignConfig::c1(),
+            DesignConfig::c3(),
+            DesignConfig::c5(),
+            DesignConfig::c6(),
+        ]
+    }
+
+    /// The paper's held-out test designs (C2, C4).
+    pub fn test_set() -> Vec<DesignConfig> {
+        vec![DesignConfig::c2(), DesignConfig::c4()]
+    }
+
+    /// A minimal configuration for fast unit tests.
+    pub fn tiny() -> DesignConfig {
+        DesignConfig {
+            pi_count: 16,
+            ..DesignConfig::preset("TINY", 7, 8, 2, 2, 1, 1, 1)
+        }
+    }
+
+    /// Scale all unit counts by `factor` (use > 20 to approach the paper's
+    /// 300K–600K cell counts).
+    pub fn scaled(mut self, factor: f64) -> DesignConfig {
+        self.scale = factor;
+        self
+    }
+
+    /// Effective unit count after scaling (at least 1).
+    pub(crate) fn units(&self, base: usize) -> usize {
+        ((base as f64 * self.scale).round() as usize).max(1)
+    }
+
+    /// Generate the design.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use atlas_designs::DesignConfig;
+    ///
+    /// let d = DesignConfig::tiny().generate();
+    /// assert!(d.validate().is_empty());
+    /// ```
+    pub fn generate(&self) -> Design {
+        cpu::generate(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_grow_monotonically() {
+        let sizes: Vec<usize> = DesignConfig::all()
+            .iter()
+            .map(|c| c.frontend_units + c.core_units + c.lsu_units + c.dcache_units + c.ptw_units)
+            .collect();
+        for w in sizes.windows(2) {
+            assert!(w[0] < w[1], "unit counts must grow: {sizes:?}");
+        }
+    }
+
+    #[test]
+    fn train_test_split_is_disjoint() {
+        let train: Vec<String> = DesignConfig::training_set().iter().map(|c| c.name.clone()).collect();
+        let test: Vec<String> = DesignConfig::test_set().iter().map(|c| c.name.clone()).collect();
+        assert_eq!(train, vec!["C1", "C3", "C5", "C6"]);
+        assert_eq!(test, vec!["C2", "C4"]);
+        for t in &test {
+            assert!(!train.contains(t));
+        }
+    }
+
+    #[test]
+    fn scaling_multiplies_units() {
+        let c = DesignConfig::c1().scaled(2.0);
+        assert_eq!(c.units(10), 20);
+        assert_eq!(c.units(0), 1);
+    }
+}

@@ -1,0 +1,466 @@
+//! Assembly of the CPU-shaped designs from generator blocks.
+//!
+//! A design is five components (`frontend`, `core`, `lsu`, `dcache`,
+//! `ptw`), each a sequence of *units*. A unit is one sub-module built from
+//! a component-specific menu of block recipes; its operands are drawn from
+//! a pool of previously produced nets (plus the primary inputs), and its
+//! outputs are registered before joining the pool, which bounds
+//! combinational depth the way pipeline registers do in real CPUs.
+
+use atlas_netlist::detrng::DetRng;
+use atlas_netlist::{BuildError, Design, NetId, NetlistBuilder, SubmoduleId};
+use rand::Rng;
+
+use crate::blocks;
+use crate::config::DesignConfig;
+
+/// Pool of nets available as operands for the next unit.
+struct NetPool {
+    /// Primary inputs — always pickable, keeps activity workload-coupled.
+    anchors: Vec<NetId>,
+    /// Recently produced (registered) nets.
+    recent: Vec<NetId>,
+    cap: usize,
+}
+
+impl NetPool {
+    fn new(anchors: Vec<NetId>) -> NetPool {
+        NetPool {
+            anchors,
+            recent: Vec::new(),
+            cap: 1024,
+        }
+    }
+
+    fn pick(&self, rng: &mut DetRng) -> NetId {
+        if self.recent.is_empty() || rng.chance(0.3) {
+            self.anchors[rng.gen_range(0..self.anchors.len())]
+        } else {
+            // Bias toward the newest nets so data flows forward.
+            let n = self.recent.len();
+            let start = n.saturating_sub(256);
+            self.recent[rng.gen_range(start..n)]
+        }
+    }
+
+    fn pick_bus(&self, rng: &mut DetRng, width: usize) -> Vec<NetId> {
+        (0..width).map(|_| self.pick(rng)).collect()
+    }
+
+    fn push(&mut self, nets: &[NetId]) {
+        self.recent.extend_from_slice(nets);
+        if self.recent.len() > self.cap {
+            let excess = self.recent.len() - self.cap;
+            self.recent.drain(..excess);
+        }
+    }
+}
+
+/// The block recipes available to each component.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum UnitKind {
+    Fetch,
+    Decode,
+    Predict,
+    IQueue,
+    ICache,
+    Alu,
+    Mul,
+    Regfile,
+    Issue,
+    Bypass,
+    Agen,
+    Queue,
+    CacheBank,
+    TagCheck,
+    Mshr,
+    Walker,
+}
+
+impl UnitKind {
+    fn label(self) -> &'static str {
+        match self {
+            UnitKind::Fetch => "fetch",
+            UnitKind::Decode => "decode",
+            UnitKind::Predict => "predict",
+            UnitKind::IQueue => "iqueue",
+            UnitKind::ICache => "icache",
+            UnitKind::Alu => "alu",
+            UnitKind::Mul => "mul",
+            UnitKind::Regfile => "regfile",
+            UnitKind::Issue => "issue",
+            UnitKind::Bypass => "bypass",
+            UnitKind::Agen => "agen",
+            UnitKind::Queue => "queue",
+            UnitKind::CacheBank => "bank",
+            UnitKind::TagCheck => "tag",
+            UnitKind::Mshr => "mshr",
+            UnitKind::Walker => "walker",
+        }
+    }
+}
+
+/// Menu of unit kinds per component, cycled with jitter.
+fn menu(component: &str) -> &'static [UnitKind] {
+    match component {
+        "frontend" => &[
+            UnitKind::Fetch,
+            UnitKind::Decode,
+            UnitKind::Predict,
+            UnitKind::IQueue,
+            UnitKind::ICache,
+        ],
+        "core" => &[
+            UnitKind::Alu,
+            UnitKind::Regfile,
+            UnitKind::Bypass,
+            UnitKind::Issue,
+            UnitKind::Mul,
+        ],
+        "lsu" => &[UnitKind::Agen, UnitKind::Queue],
+        "dcache" => &[
+            UnitKind::CacheBank,
+            UnitKind::TagCheck,
+            UnitKind::CacheBank,
+            UnitKind::Mshr,
+        ],
+        "ptw" => &[UnitKind::Walker],
+        other => panic!("unknown component {other}"),
+    }
+}
+
+/// Generate the full design described by `cfg`.
+pub(crate) fn generate(cfg: &DesignConfig) -> Design {
+    try_generate(cfg).expect("generator invariants guarantee a valid design")
+}
+
+fn try_generate(cfg: &DesignConfig) -> Result<Design, BuildError> {
+    let mut b = NetlistBuilder::new(&cfg.name);
+    let mut rng = DetRng::new(cfg.seed);
+    let pis = b.add_inputs(cfg.pi_count);
+    // Reserve the reset net up front so Dffr-containing units can use it.
+    let _ = b.reset_net();
+    let mut pool = NetPool::new(pis);
+
+    let components: [(&str, usize); 5] = [
+        ("frontend", cfg.units(cfg.frontend_units)),
+        ("core", cfg.units(cfg.core_units)),
+        ("lsu", cfg.units(cfg.lsu_units)),
+        ("dcache", cfg.units(cfg.dcache_units)),
+        ("ptw", cfg.units(cfg.ptw_units)),
+    ];
+
+    for (component, count) in components {
+        let kinds = menu(component);
+        for i in 0..count {
+            // Cycle the menu with occasional random substitution for variety.
+            let kind = if rng.chance(0.25) {
+                kinds[rng.gen_range(0..kinds.len())]
+            } else {
+                kinds[i % kinds.len()]
+            };
+            let sm = b.add_submodule(format!("{component}.{}{i}", kind.label()), component);
+            let outs = build_unit(&mut b, sm, kind, cfg.width, &pool, &mut rng)?;
+            // Buffer each unit output before exporting it: the registered
+            // Q nets stay local to the unit (register power is then
+            // dominated by clock-pin energy, as in real designs), and the
+            // long cross-unit wire belongs to the output buffer — i.e. to
+            // the combinational group.
+            let mut exported = Vec::with_capacity(outs.len());
+            for &o in &outs {
+                exported.push(b.add_cell(
+                    atlas_liberty::CellClass::Buf,
+                    atlas_liberty::Drive::X2,
+                    &[o],
+                    sm,
+                )?);
+            }
+            pool.push(&exported);
+        }
+    }
+
+    // Primary outputs: a digest sub-module observing the final pool state,
+    // so nothing is dangling and the design has real outputs.
+    let sm = b.add_submodule("core.obs", "core");
+    let sample = pool.pick_bus(&mut rng, cfg.width.max(8));
+    let digest = blocks::xor_reduce(&mut b, sm, &sample)?;
+    let held = blocks::register_bank(&mut b, sm, &sample)?;
+    b.mark_output(digest);
+    for &n in held.iter().take(8) {
+        b.mark_output(n);
+    }
+    b.finish()
+}
+
+/// Build one unit; returns its (registered) output nets.
+fn build_unit(
+    b: &mut NetlistBuilder,
+    sm: SubmoduleId,
+    kind: UnitKind,
+    width: usize,
+    pool: &NetPool,
+    rng: &mut DetRng,
+) -> Result<Vec<NetId>, BuildError> {
+    let w = width.max(4);
+    match kind {
+        UnitKind::Fetch => {
+            // Program counter: free-running counter + offset adder.
+            let pc = blocks::counter(b, sm, w)?;
+            let offset = pool.pick_bus(rng, w);
+            let (next_pc, _) = blocks::ripple_adder(b, sm, &pc, &offset, None)?;
+            blocks::register_bank(b, sm, &next_pc)
+        }
+        UnitKind::Decode => {
+            let sel = pool.pick_bus(rng, 5);
+            let onehot = blocks::decoder(b, sm, &sel)?;
+            // Register a sample of decode lines plus a grouped mux.
+            let choice = blocks::mux_tree(b, sm, &onehot[0..8], &pool.pick_bus(rng, 3))?;
+            let mut outs = blocks::register_bank(b, sm, &onehot[0..w.min(16)])?;
+            outs.push(b.add_dff(choice, sm)?);
+            Ok(outs)
+        }
+        UnitKind::Predict => {
+            // Branch-history hash: LFSR xored with live data.
+            let hist = blocks::lfsr(b, sm, w)?;
+            let live = pool.pick_bus(rng, w);
+            let mixed: Vec<NetId> = hist
+                .iter()
+                .zip(&live)
+                .map(|(&h, &l)| {
+                    b.add_cell(atlas_liberty::CellClass::Xor2, atlas_liberty::Drive::X1, &[h, l], sm)
+                })
+                .collect::<Result<_, _>>()?;
+            blocks::register_bank(b, sm, &mixed)
+        }
+        UnitKind::IQueue => {
+            // Instruction queue: parallel shift registers.
+            let mut outs = Vec::new();
+            for _ in 0..(w / 2).max(2) {
+                let input = pool.pick(rng);
+                let taps = blocks::shift_register(b, sm, input, 4)?;
+                outs.push(*taps.last().expect("depth >= 1"));
+            }
+            Ok(outs)
+        }
+        UnitKind::ICache => {
+            let q = blocks::sram_bank(
+                b,
+                sm,
+                512,
+                64,
+                pool.pick(rng),
+                pool.pick(rng),
+                pool.pick(rng),
+                pool.pick(rng),
+            )?;
+            // A little way-select logic around the macro.
+            let tag_a = pool.pick_bus(rng, w / 2);
+            let tag_b = pool.pick_bus(rng, w / 2);
+            let hit = blocks::comparator_eq(b, sm, &tag_a, &tag_b)?;
+            Ok(vec![q, b.add_dff(hit, sm)?])
+        }
+        UnitKind::Alu => {
+            let a = pool.pick_bus(rng, w);
+            let bb = pool.pick_bus(rng, w);
+            let op = [pool.pick(rng), pool.pick(rng)];
+            let r = blocks::alu(b, sm, &a, &bb, op)?;
+            blocks::register_bank(b, sm, &r)
+        }
+        UnitKind::Mul => {
+            let half = (w / 2).max(3);
+            let a = pool.pick_bus(rng, half);
+            let bb = pool.pick_bus(rng, half);
+            let p = blocks::multiplier(b, sm, &a, &bb)?;
+            blocks::register_bank(b, sm, &p)
+        }
+        UnitKind::Regfile => {
+            // Four write banks + a read mux per bit.
+            let banks: Vec<Vec<NetId>> = (0..4)
+                .map(|_| blocks::register_bank(b, sm, &pool.pick_bus(rng, w)))
+                .collect::<Result<_, _>>()?;
+            let rsel = pool.pick_bus(rng, 2);
+            let mut reads = Vec::with_capacity(w);
+            for bit in 0..w {
+                let lanes = [banks[0][bit], banks[1][bit], banks[2][bit], banks[3][bit]];
+                reads.push(blocks::mux_tree(b, sm, &lanes, &rsel)?);
+            }
+            blocks::register_bank(b, sm, &reads)
+        }
+        UnitKind::Issue => {
+            // Wakeup match: tag comparators, a grant OR, and an age counter.
+            let mut matches = Vec::new();
+            for _ in 0..4 {
+                let a = pool.pick_bus(rng, (w / 2).max(3));
+                let bb = pool.pick_bus(rng, (w / 2).max(3));
+                matches.push(blocks::comparator_eq(b, sm, &a, &bb)?);
+            }
+            let grant = blocks::or_reduce(b, sm, &matches)?;
+            let age = blocks::gated_counter(b, sm, 4, grant)?;
+            let mut outs = blocks::register_bank(b, sm, &matches)?;
+            outs.extend(age);
+            Ok(outs)
+        }
+        UnitKind::Bypass => {
+            // Forwarding network: per-bit 2:1 muxes plus an XOR checksum.
+            let a = pool.pick_bus(rng, w);
+            let bb = pool.pick_bus(rng, w);
+            let s = pool.pick(rng);
+            let mut fwd = Vec::with_capacity(w);
+            for bit in 0..w {
+                fwd.push(b.add_cell(
+                    atlas_liberty::CellClass::Mux2,
+                    atlas_liberty::Drive::X1,
+                    &[a[bit], bb[bit], s],
+                    sm,
+                )?);
+            }
+            let parity = blocks::xor_reduce(b, sm, &fwd)?;
+            let mut outs = blocks::register_bank(b, sm, &fwd)?;
+            outs.push(b.add_dff(parity, sm)?);
+            Ok(outs)
+        }
+        UnitKind::Agen => {
+            let base = pool.pick_bus(rng, w);
+            let off = pool.pick_bus(rng, w);
+            let (addr, carry) = blocks::ripple_adder(b, sm, &base, &off, None)?;
+            let mut outs = blocks::register_bank(b, sm, &addr)?;
+            outs.push(b.add_dff(carry, sm)?);
+            Ok(outs)
+        }
+        UnitKind::Queue => {
+            let data = pool.pick_bus(rng, (w / 2).max(4));
+            let wen = pool.pick(rng);
+            let ren = pool.pick(rng);
+            let (flag, held) = blocks::fifo_ctrl(b, sm, 4, &data, wen, ren)?;
+            let mut outs = held;
+            outs.push(b.add_dff(flag, sm)?);
+            Ok(outs)
+        }
+        UnitKind::CacheBank => {
+            let words = if w >= 16 { 1024 } else { 512 };
+            let q = blocks::sram_bank(
+                b,
+                sm,
+                words,
+                32,
+                pool.pick(rng),
+                pool.pick(rng),
+                pool.pick(rng),
+                pool.pick(rng),
+            )?;
+            Ok(vec![q])
+        }
+        UnitKind::TagCheck => {
+            let a = pool.pick_bus(rng, (w / 2).max(4));
+            let bb = pool.pick_bus(rng, (w / 2).max(4));
+            let hit = blocks::comparator_eq(b, sm, &a, &bb)?;
+            let ways = blocks::decoder(b, sm, &pool.pick_bus(rng, 3))?;
+            let lru = blocks::register_bank(b, sm, &ways)?;
+            let mut outs = lru;
+            outs.push(b.add_dff(hit, sm)?);
+            Ok(outs)
+        }
+        UnitKind::Mshr => {
+            let data = pool.pick_bus(rng, 4);
+            let (flag, held) = blocks::fifo_ctrl(b, sm, 3, &data, pool.pick(rng), pool.pick(rng))?;
+            let mut outs = held;
+            outs.push(b.add_dff(flag, sm)?);
+            Ok(outs)
+        }
+        UnitKind::Walker => {
+            // Page-walk FSM: level counter, state decode, completion match.
+            let en = pool.pick(rng);
+            let level = blocks::gated_counter(b, sm, 3, en)?;
+            let state = blocks::decoder(b, sm, &level)?;
+            let done = blocks::comparator_eq(b, sm, &level, &pool.pick_bus(rng, 3))?;
+            let mut outs = blocks::register_bank(b, sm, &state)?;
+            outs.push(b.add_dff(done, sm)?);
+            Ok(outs)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use atlas_liberty::PowerGroup;
+    use atlas_sim::{simulate, PhasedWorkload};
+
+    use super::*;
+
+    #[test]
+    fn tiny_design_is_valid_and_simulates() {
+        let d = DesignConfig::tiny().generate();
+        assert!(d.validate().is_empty());
+        let trace = simulate(&d, &mut PhasedWorkload::w1(1), 32).expect("simulates");
+        let total: usize = trace.per_cycle_counts().iter().sum();
+        assert!(total > 0, "a live design must toggle");
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = DesignConfig::c1().generate();
+        let b = DesignConfig::c1().generate();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn designs_have_five_components() {
+        let d = DesignConfig::tiny().generate();
+        assert_eq!(d.components(), vec!["frontend", "core", "lsu", "dcache", "ptw"]);
+    }
+
+    #[test]
+    fn presets_have_increasing_cell_counts() {
+        let counts: Vec<usize> = DesignConfig::all()
+            .iter()
+            .map(|c| c.generate().cell_count())
+            .collect();
+        for w in counts.windows(2) {
+            assert!(w[0] < w[1], "cell counts must grow: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn register_fraction_is_realistic() {
+        let d = DesignConfig::c1().generate();
+        let groups = d.group_counts();
+        let regs = groups[PowerGroup::Register.index()] as f64;
+        let frac = regs / d.cell_count() as f64;
+        assert!(
+            (0.10..0.60).contains(&frac),
+            "register fraction {frac:.2} outside a plausible CPU range"
+        );
+    }
+
+    #[test]
+    fn has_memory_macros() {
+        let d = DesignConfig::c2().generate();
+        assert!(d.count_in_group(PowerGroup::Memory) > 0);
+        assert!(d.stats().sram_bits > 0);
+    }
+
+    #[test]
+    fn workload_dependence() {
+        // Different workloads must produce different activity.
+        let d = DesignConfig::tiny().generate();
+        let t1 = simulate(&d, &mut PhasedWorkload::w1(1), 64).expect("simulates");
+        let t2 = simulate(&d, &mut PhasedWorkload::w2(1), 64).expect("simulates");
+        assert_ne!(t1.per_cycle_counts(), t2.per_cycle_counts());
+    }
+
+    #[test]
+    fn submodules_are_many_and_bounded() {
+        let d = DesignConfig::c1().generate();
+        let graphs = d.submodule_graphs();
+        assert!(graphs.len() >= 20, "expected many sub-modules, got {}", graphs.len());
+        let max = graphs.iter().map(|g| g.node_count()).max().expect("nonempty");
+        assert!(max < 4000, "sub-modules should stay small, got {max}");
+    }
+
+    #[test]
+    fn scaled_config_grows() {
+        let base = DesignConfig::tiny().generate().cell_count();
+        let big = DesignConfig::tiny().scaled(3.0).generate().cell_count();
+        assert!(big > base * 2, "base={base} big={big}");
+    }
+}

@@ -1,0 +1,36 @@
+//! Synthetic CPU-like benchmark designs — the C1..C6 substitute.
+//!
+//! The paper evaluates ATLAS on six realistic designs (out-of-order CPUs,
+//! 300K–600K cells) synthesized from proprietary RTL. This crate generates
+//! the closest open equivalent: parameterized CPU-shaped designs assembled
+//! from structural generator blocks (adders, multipliers, ALUs, register
+//! files, FIFOs, decoders, LFSRs, cache banks with SRAM macros), organized
+//! into the five components the paper's Fig. 6 reports power for —
+//! `frontend`, `core`, `lsu`, `dcache`, `ptw` — each split into many
+//! non-overlapping sub-modules.
+//!
+//! Generation is fully deterministic: a [`DesignConfig`] (name, seed,
+//! scale) always produces the identical [`atlas_netlist::Design`].
+//!
+//! Sizes default to "demo scale" so the entire ML pipeline runs on a CPU
+//! in minutes; [`DesignConfig::scaled`] reaches paper-scale cell counts
+//! when wanted (see DESIGN.md §2 on the scale substitution).
+//!
+//! # Examples
+//!
+//! ```
+//! use atlas_designs::DesignConfig;
+//!
+//! let design = DesignConfig::c1().generate();
+//! assert!(design.cell_count() > 1000);
+//! assert_eq!(
+//!     design.components(),
+//!     vec!["frontend", "core", "lsu", "dcache", "ptw"]
+//! );
+//! ```
+
+pub mod blocks;
+mod config;
+mod cpu;
+
+pub use config::DesignConfig;

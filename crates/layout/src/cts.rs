@@ -1,0 +1,314 @@
+//! Clock tree synthesis.
+//!
+//! Builds a buffered clock distribution network from the clock root to
+//! every register/SRAM clock pin: per-sub-module *leaf* buffers (each
+//! serving a bounded, placement-local group of clock pins) under a
+//! balanced *trunk* of CK-class cells. All inserted cells have class
+//! [`CellClass::Clk`] — the paper's `CK` node type — and form the
+//! clock-tree power group that simply does not exist in the gate-level
+//! netlist (hence Gate-Level PTPX's 100% MAPE on it, Table III).
+//!
+//! Leaf buffers are assigned to the sub-module whose registers they feed,
+//! so per-sub-module clock-tree power labels are well-defined; trunk cells
+//! live in a dedicated `cts.trunk` sub-module whose power the power engine
+//! redistributes pro-rata by register count.
+
+use std::collections::HashMap;
+
+use atlas_liberty::{CellClass, Drive};
+use atlas_netlist::{Design, NetId, Sink, SubmoduleId};
+
+use crate::place::Placement;
+
+/// Statistics from clock tree synthesis.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CtsStats {
+    /// Leaf CK buffers (drive register clock pins directly).
+    pub leaf_cells: usize,
+    /// Trunk CK cells (including the root buffer).
+    pub trunk_cells: usize,
+    /// Tree depth from root buffer to leaves.
+    pub levels: usize,
+}
+
+/// The name of the sub-module holding trunk clock cells.
+pub const TRUNK_SUBMODULE: &str = "cts.trunk";
+
+/// The component name given to the trunk sub-module.
+pub const TRUNK_COMPONENT: &str = "cts";
+
+struct Cluster {
+    children: Vec<Cluster>,
+    sinks: Vec<Sink>,
+    pos: (f64, f64),
+    submodule: Option<SubmoduleId>,
+}
+
+/// Synthesize the clock tree. No-op (returns zeros) on designs without a
+/// clock or without clocked cells.
+///
+/// # Examples
+///
+/// ```
+/// use atlas_designs::DesignConfig;
+/// use atlas_layout::cts::synthesize_clock_tree;
+/// use atlas_layout::place::place;
+/// use atlas_liberty::{CellClass, Library};
+///
+/// let mut d = DesignConfig::tiny().generate();
+/// let lib = Library::synthetic_40nm();
+/// let mut p = place(&d, &lib, 0.7);
+/// let stats = synthesize_clock_tree(&mut d, &mut p, 12, 4);
+/// assert!(stats.leaf_cells > 0);
+/// assert!(d.cells().iter().any(|c| c.class() == CellClass::Clk));
+/// ```
+pub fn synthesize_clock_tree(
+    design: &mut Design,
+    placement: &mut Placement,
+    leaf_fanout: usize,
+    branch: usize,
+) -> CtsStats {
+    assert!(leaf_fanout >= 1 && branch >= 2, "bad CTS parameters");
+    let Some(clock_root) = design.clock() else {
+        return CtsStats::default();
+    };
+    let clock_sinks: Vec<Sink> = design.net(clock_root).sinks().to_vec();
+    if clock_sinks.is_empty() {
+        return CtsStats::default();
+    }
+
+    // Group clock pins by the sub-module of their cell.
+    let mut by_sm: HashMap<usize, Vec<Sink>> = HashMap::new();
+    for s in &clock_sinks {
+        by_sm.entry(design.cell(s.cell).submodule().index()).or_default().push(*s);
+    }
+    let mut sm_ids: Vec<usize> = by_sm.keys().copied().collect();
+    sm_ids.sort_unstable();
+
+    // Leaf clusters: placement-local chunks of each sub-module's pins.
+    let mut leaves: Vec<Cluster> = Vec::new();
+    for sm in sm_ids {
+        let mut sinks = by_sm.remove(&sm).expect("key exists");
+        sinks.sort_by(|a, b| {
+            let pa = placement.position(a.cell);
+            let pb = placement.position(b.cell);
+            (pa.0 + pa.1)
+                .partial_cmp(&(pb.0 + pb.1))
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.cell.cmp(&b.cell))
+        });
+        for group in sinks.chunks(leaf_fanout) {
+            leaves.push(Cluster {
+                children: Vec::new(),
+                sinks: group.to_vec(),
+                pos: centroid(placement, group),
+                submodule: Some(SubmoduleId::from_index(sm)),
+            });
+        }
+    }
+
+    // Balanced trunk: repeatedly merge `branch` neighboring clusters.
+    let mut level: Vec<Cluster> = leaves;
+    let mut levels = 1usize;
+    while level.len() > branch {
+        level.sort_by(|a, b| {
+            (a.pos.0 + a.pos.1)
+                .partial_cmp(&(b.pos.0 + b.pos.1))
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let mut next = Vec::with_capacity(level.len().div_ceil(branch));
+        let mut iter = level.into_iter().peekable();
+        while iter.peek().is_some() {
+            let group: Vec<Cluster> = iter.by_ref().take(branch).collect();
+            let pos = avg_pos(&group);
+            next.push(Cluster {
+                children: group,
+                sinks: Vec::new(),
+                pos,
+                submodule: None,
+            });
+        }
+        level = next;
+        levels += 1;
+    }
+    let root = Cluster {
+        pos: avg_pos(&level),
+        children: level,
+        sinks: Vec::new(),
+        submodule: None,
+    };
+
+    let trunk_sm = design.add_submodule(TRUNK_SUBMODULE, TRUNK_COMPONENT);
+    let mut stats = CtsStats {
+        levels: levels + 1,
+        ..CtsStats::default()
+    };
+    emit(design, placement, &root, clock_root, clock_root, trunk_sm, Drive::X8, &mut stats);
+    stats
+}
+
+/// Recursively instantiate the CK cell for `cluster`, driven by
+/// `parent_net`, moving register clock pins off `clock_root` at leaves.
+#[allow(clippy::too_many_arguments)]
+fn emit(
+    design: &mut Design,
+    placement: &mut Placement,
+    cluster: &Cluster,
+    parent_net: NetId,
+    clock_root: NetId,
+    trunk_sm: SubmoduleId,
+    drive: Drive,
+    stats: &mut CtsStats,
+) {
+    let out = design.add_net();
+    let sm = cluster.submodule.unwrap_or(trunk_sm);
+    let cell = design.insert_cell(CellClass::Clk, drive, &[parent_net], out, None, None, sm, None);
+    placement.set_position(cell, cluster.pos);
+    if cluster.children.is_empty() {
+        design.move_sinks(clock_root, out, &cluster.sinks);
+        stats.leaf_cells += 1;
+    } else {
+        stats.trunk_cells += 1;
+        for child in &cluster.children {
+            let child_drive = if child.children.is_empty() { Drive::X2 } else { Drive::X4 };
+            emit(design, placement, child, out, clock_root, trunk_sm, child_drive, stats);
+        }
+    }
+}
+
+fn centroid(placement: &Placement, sinks: &[Sink]) -> (f64, f64) {
+    let mut x = 0.0;
+    let mut y = 0.0;
+    for s in sinks {
+        let p = placement.position(s.cell);
+        x += p.0;
+        y += p.1;
+    }
+    let n = sinks.len().max(1) as f64;
+    (x / n, y / n)
+}
+
+fn avg_pos(clusters: &[Cluster]) -> (f64, f64) {
+    let mut x = 0.0;
+    let mut y = 0.0;
+    for c in clusters {
+        x += c.pos.0;
+        y += c.pos.1;
+    }
+    let n = clusters.len().max(1) as f64;
+    (x / n, y / n)
+}
+
+#[cfg(test)]
+mod tests {
+    use atlas_designs::DesignConfig;
+    use atlas_liberty::Library;
+    use atlas_netlist::SinkPin;
+    use atlas_sim::{PhasedWorkload, Simulator};
+
+    use super::*;
+    use crate::place::place;
+
+    fn with_cts() -> (Design, CtsStats) {
+        let mut d = DesignConfig::tiny().generate();
+        let lib = Library::synthetic_40nm();
+        let mut p = place(&d, &lib, 0.7);
+        let stats = synthesize_clock_tree(&mut d, &mut p, 12, 4);
+        (d, stats)
+    }
+
+    #[test]
+    fn clock_root_drives_only_the_root_buffer() {
+        let (d, _) = with_cts();
+        let root = d.clock().expect("clocked design");
+        let sinks = d.net(root).sinks();
+        assert_eq!(sinks.len(), 1, "root should feed exactly the root CK buffer");
+        assert_eq!(d.cell(sinks[0].cell).class(), CellClass::Clk);
+    }
+
+    #[test]
+    fn every_register_reached_from_root() {
+        let (d, _) = with_cts();
+        // BFS through CK cells from the clock root; every sequential cell's
+        // clock pin must be reachable.
+        let root = d.clock().expect("clocked design");
+        let mut frontier = vec![root];
+        let mut clocked = std::collections::HashSet::new();
+        while let Some(net) = frontier.pop() {
+            for s in d.net(net).sinks() {
+                let cell = d.cell(s.cell);
+                match s.pin {
+                    SinkPin::Clock => {
+                        clocked.insert(s.cell);
+                    }
+                    _ if cell.class() == CellClass::Clk => frontier.push(cell.output()),
+                    _ => {}
+                }
+            }
+        }
+        for id in d.cell_ids() {
+            if d.cell(id).is_sequential() {
+                assert!(clocked.contains(&id), "cell {id} lost its clock");
+            }
+        }
+    }
+
+    #[test]
+    fn leaf_fanout_bounded() {
+        let (d, stats) = with_cts();
+        assert!(stats.leaf_cells > 0);
+        for id in d.cell_ids() {
+            let cell = d.cell(id);
+            if cell.class() == CellClass::Clk {
+                let fanout = d.net(cell.output()).fanout();
+                assert!(fanout <= 12, "CK cell {id} drives {fanout} pins");
+            }
+        }
+    }
+
+    #[test]
+    fn leaf_cells_belong_to_register_submodules() {
+        let (d, _) = with_cts();
+        let mut leaf_in_reg_sm = 0usize;
+        let mut trunk = 0usize;
+        for id in d.cell_ids() {
+            let cell = d.cell(id);
+            if cell.class() != CellClass::Clk {
+                continue;
+            }
+            let sm = d.submodule(cell.submodule());
+            if sm.name() == TRUNK_SUBMODULE {
+                trunk += 1;
+            } else {
+                leaf_in_reg_sm += 1;
+            }
+        }
+        assert!(leaf_in_reg_sm > trunk, "leaves should outnumber trunk cells");
+    }
+
+    #[test]
+    fn cts_preserves_function() {
+        let gate = DesignConfig::tiny().generate();
+        let (d, _) = with_cts();
+        let mut sim_a = Simulator::new(&gate).expect("levelizes");
+        let mut sim_b = Simulator::new(&d).expect("levelizes");
+        let mut stim_a = PhasedWorkload::w2(3);
+        let mut stim_b = PhasedWorkload::w2(3);
+        for _ in 0..48 {
+            sim_a.step(&mut stim_a);
+            sim_b.step(&mut stim_b);
+            for (&pa, &pb) in gate.primary_outputs().iter().zip(d.primary_outputs()) {
+                assert_eq!(sim_a.net_value(pa), sim_b.net_value(pb));
+            }
+        }
+    }
+
+    #[test]
+    fn validates_after_cts() {
+        let (d, stats) = with_cts();
+        assert!(d.validate().is_empty());
+        assert!(stats.levels >= 2);
+        let ck_count = d.cells().iter().filter(|c| c.class() == CellClass::Clk).count();
+        assert_eq!(ck_count, stats.leaf_cells + stats.trunk_cells);
+    }
+}

@@ -1,0 +1,280 @@
+//! The end-to-end layout flow: restructure → place → optimize → CTS → RC.
+
+use atlas_liberty::{CellClass, Library};
+use atlas_netlist::{Design, Stage};
+use serde::{Deserialize, Serialize};
+
+use crate::cts;
+use crate::parasitics;
+use crate::route::{global_route, RouteConfig};
+use crate::place::{place, Placement};
+use crate::restructure::restructure;
+use crate::sizing;
+
+/// Knobs of the layout flow (the Innovus option set of this reproduction).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LayoutConfig {
+    /// Seed for the restructuring pass.
+    pub seed: u64,
+    /// Placement row utilization (0, 1].
+    pub utilization: f64,
+    /// Routing capacitance per micron of HPWL (pF/µm).
+    pub cap_per_um: f64,
+    /// Fixed per-pin via capacitance (pF).
+    pub via_cap: f64,
+    /// Maximum data-net fanout before buffering.
+    pub max_fanout: usize,
+    /// Sinks per inserted buffer.
+    pub buffer_fanout: usize,
+    /// Register clock pins per CTS leaf buffer.
+    pub cts_leaf_fanout: usize,
+    /// CTS trunk branching factor.
+    pub cts_branch: usize,
+    /// Fraction of combinational cells rewritten by the in-flow
+    /// "netlist reconstruction" pass.
+    pub reconstruct_intensity: f64,
+    /// Run congestion-aware global routing and extract RC from routed
+    /// wirelength (`false` falls back to HPWL-based estimation).
+    pub use_router: bool,
+    /// Global-router parameters.
+    pub route: RouteConfig,
+}
+
+impl Default for LayoutConfig {
+    fn default() -> LayoutConfig {
+        LayoutConfig {
+            seed: 1,
+            utilization: 0.7,
+            // Tuned so that wire capacitance dominates pin capacitance the
+            // way it does at 40nm — the root cause of the gate-level
+            // baseline's large combinational-power underestimate.
+            cap_per_um: 0.00022,
+            via_cap: 0.00032,
+            max_fanout: 10,
+            buffer_fanout: 8,
+            cts_leaf_fanout: 12,
+            cts_branch: 4,
+            reconstruct_intensity: 0.03,
+            use_router: true,
+            route: RouteConfig::default(),
+        }
+    }
+}
+
+/// Summary of what the flow did (the "layout report").
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LayoutReport {
+    /// Cells in the input gate-level netlist.
+    pub gate_cells: usize,
+    /// Cells in the post-layout netlist (Table II's second row).
+    pub post_cells: usize,
+    /// Cells added by restructuring ("netlist reconstruction").
+    pub reconstructed_added: usize,
+    /// Buffers inserted by timing optimization.
+    pub buffers_added: usize,
+    /// Cells upsized.
+    pub cells_upsized: usize,
+    /// CK cells inserted by CTS.
+    pub clock_cells: usize,
+    /// Clock tree depth.
+    pub cts_levels: usize,
+    /// Total half-perimeter wirelength (µm).
+    pub wirelength_um: f64,
+    /// Total routed wirelength (µm; 0 when the router is disabled).
+    pub routed_um: f64,
+    /// Grid edges left over capacity by the router.
+    pub route_overflows: usize,
+    /// Die (width, height) in µm.
+    pub die: (f64, f64),
+}
+
+/// The post-layout netlist plus its placement and report.
+#[derive(Debug, Clone)]
+pub struct LayoutResult {
+    /// Post-layout netlist `Np` (stage = [`Stage::PostLayout`]).
+    pub design: Design,
+    /// Final cell placement (including inserted cells).
+    pub placement: Placement,
+    /// Flow statistics.
+    pub report: LayoutReport,
+}
+
+/// Run the full layout flow on a gate-level netlist, producing the
+/// post-layout netlist `Np` with annotated wire capacitance.
+///
+/// Mirrors the paper's flow (§III-B2, §VI-A): logic is lightly
+/// reconstructed for timing, cells are placed, drives are sized, buffers
+/// inserted, the clock tree synthesized, and parasitics extracted. The
+/// input design is not modified.
+///
+/// # Panics
+///
+/// Panics if `gate` is not a [`Stage::GateLevel`] design.
+///
+/// # Examples
+///
+/// ```
+/// use atlas_designs::DesignConfig;
+/// use atlas_layout::{run_layout, LayoutConfig};
+/// use atlas_liberty::Library;
+///
+/// let gate = DesignConfig::tiny().generate();
+/// let result = run_layout(&gate, &Library::synthetic_40nm(), &LayoutConfig::default());
+/// // Timing optimization and CTS only ever add cells (Table II).
+/// assert!(result.report.post_cells > result.report.gate_cells);
+/// ```
+pub fn run_layout(gate: &Design, lib: &Library, cfg: &LayoutConfig) -> LayoutResult {
+    assert_eq!(
+        gate.stage(),
+        Stage::GateLevel,
+        "layout starts from a gate-level netlist"
+    );
+    // 1. Timing-driven netlist reconstruction (light restructuring).
+    let mut design = restructure(gate, cfg.seed, cfg.reconstruct_intensity);
+    let reconstructed_added = design.cell_count() - gate.cell_count();
+
+    // 2. Placement.
+    let mut placement = place(&design, lib, cfg.utilization);
+
+    // 3. Timing optimization: buffering + sizing.
+    let opt = sizing::optimize_timing(
+        &mut design,
+        lib,
+        &mut placement,
+        cfg.cap_per_um,
+        cfg.max_fanout,
+        cfg.buffer_fanout,
+    );
+
+    // 4. Clock tree synthesis.
+    let cts_stats =
+        cts::synthesize_clock_tree(&mut design, &mut placement, cfg.cts_leaf_fanout, cfg.cts_branch);
+
+    // 5. Global routing + parasitic extraction.
+    let (routed_um, route_overflows) = if cfg.use_router {
+        let routed = global_route(&design, &placement, &cfg.route);
+        parasitics::annotate_from_route(&mut design, &routed, cfg.cap_per_um, cfg.via_cap);
+        (routed.total_length_um, routed.overflowed_edges)
+    } else {
+        parasitics::annotate_wire_caps(&mut design, &placement, cfg.cap_per_um, cfg.via_cap);
+        (0.0, 0)
+    };
+
+    design.set_stage(Stage::PostLayout);
+    let report = LayoutReport {
+        gate_cells: gate.cell_count(),
+        post_cells: design.cell_count(),
+        reconstructed_added,
+        buffers_added: opt.buffers,
+        cells_upsized: opt.upsized,
+        clock_cells: cts_stats.leaf_cells + cts_stats.trunk_cells,
+        cts_levels: cts_stats.levels,
+        wirelength_um: placement.total_wirelength(&design),
+        routed_um,
+        route_overflows,
+        die: placement.die(),
+    };
+    LayoutResult {
+        design,
+        placement,
+        report,
+    }
+}
+
+/// Convenience: does this post-layout design contain a clock tree?
+pub fn has_clock_tree(design: &Design) -> bool {
+    design.cells().iter().any(|c| c.class() == CellClass::Clk)
+}
+
+#[cfg(test)]
+mod tests {
+    use atlas_designs::DesignConfig;
+    use atlas_sim::{PhasedWorkload, Simulator};
+
+    use super::*;
+
+    fn flow() -> (Design, LayoutResult) {
+        let gate = DesignConfig::tiny().generate();
+        let lib = Library::synthetic_40nm();
+        let result = run_layout(&gate, &lib, &LayoutConfig::default());
+        (gate, result)
+    }
+
+    #[test]
+    fn cell_count_grows_a_few_percent() {
+        let (gate, result) = flow();
+        let growth =
+            result.report.post_cells as f64 / gate.cell_count() as f64;
+        assert!(
+            (1.01..1.35).contains(&growth),
+            "post/gate cell ratio {growth:.3} outside the plausible band"
+        );
+    }
+
+    #[test]
+    fn post_layout_is_valid_and_staged() {
+        let (_, result) = flow();
+        assert!(result.design.validate().is_empty());
+        assert_eq!(result.design.stage(), Stage::PostLayout);
+        assert!(has_clock_tree(&result.design));
+        assert!(result.report.wirelength_um > 0.0);
+    }
+
+    #[test]
+    fn wire_caps_annotated() {
+        let (_, result) = flow();
+        let total: f64 = result
+            .design
+            .net_ids()
+            .map(|n| result.design.net(n).wire_cap())
+            .sum();
+        assert!(total > 0.0);
+    }
+
+    #[test]
+    fn function_preserved_through_whole_flow() {
+        let (gate, result) = flow();
+        let mut sim_a = Simulator::new(&gate).expect("levelizes");
+        let mut sim_b = Simulator::new(&result.design).expect("levelizes");
+        let mut stim_a = PhasedWorkload::w1(21);
+        let mut stim_b = PhasedWorkload::w1(21);
+        for t in 0..64 {
+            sim_a.step(&mut stim_a);
+            sim_b.step(&mut stim_b);
+            for (&pa, &pb) in gate.primary_outputs().iter().zip(result.design.primary_outputs()) {
+                assert_eq!(sim_a.net_value(pa), sim_b.net_value(pb), "cycle {t}");
+            }
+        }
+    }
+
+    #[test]
+    fn flow_is_deterministic() {
+        let gate = DesignConfig::tiny().generate();
+        let lib = Library::synthetic_40nm();
+        let a = run_layout(&gate, &lib, &LayoutConfig::default());
+        let b = run_layout(&gate, &lib, &LayoutConfig::default());
+        assert_eq!(a.design, b.design);
+        assert_eq!(a.report, b.report);
+    }
+
+    #[test]
+    fn submodule_alignment_preserved() {
+        let (gate, result) = flow();
+        // Every gate-level sub-module still exists at the same id.
+        for (i, sm) in gate.submodules().iter().enumerate() {
+            let post = &result.design.submodules()[i];
+            assert_eq!(sm.name(), post.name());
+            assert_eq!(sm.component(), post.component());
+        }
+        // Layout may append CTS sub-modules after them.
+        assert!(result.design.submodules().len() >= gate.submodules().len());
+    }
+
+    #[test]
+    #[should_panic(expected = "gate-level")]
+    fn rejects_post_layout_input() {
+        let (_, result) = flow();
+        let lib = Library::synthetic_40nm();
+        let _ = run_layout(&result.design, &lib, &LayoutConfig::default());
+    }
+}

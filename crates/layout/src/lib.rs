@@ -1,0 +1,53 @@
+//! Layout-flow substitute — the Innovus stand-in of the ATLAS reproduction.
+//!
+//! The paper transforms each post-synthesis gate-level netlist `Ng` into a
+//! post-layout netlist `Np` with Innovus (mixed-size placement, clock tree
+//! synthesis, routing, with timing optimization at every step) and extracts
+//! RC parasitics into SPEF. This crate reproduces every behaviour of that
+//! flow that matters to power:
+//!
+//! * [`restructure`] — logic-invariant rewriting, producing the
+//!   functionally-equivalent netlist `N+g` used as contrastive positives
+//!   (paper §III-B1), and also applied lightly inside the layout flow to
+//!   model "netlist reconstruction" during timing optimization;
+//! * [`place`] — hierarchical grid placement (sub-modules cluster inside
+//!   component regions), giving every cell a coordinate;
+//! * gate **sizing** and **buffer insertion** driven by load/fanout limits
+//!   (the reason post-layout cell counts exceed gate-level counts in
+//!   Table II);
+//! * [`cts`] — clock tree synthesis: per-sub-module leaf buffers plus a
+//!   balanced trunk of `CK`-class cells (the clock-tree power group exists
+//!   only after this step, which is why a gate-level power tool scores
+//!   100% MAPE on it);
+//! * [`parasitics`] — wire capacitance from placement geometry, written
+//!   and read back as SPEF-lite.
+//!
+//! The entry point is [`run_layout`].
+//!
+//! # Examples
+//!
+//! ```
+//! use atlas_designs::DesignConfig;
+//! use atlas_layout::{run_layout, LayoutConfig};
+//! use atlas_liberty::Library;
+//! use atlas_netlist::Stage;
+//!
+//! let gate = DesignConfig::tiny().generate();
+//! let lib = Library::synthetic_40nm();
+//! let result = run_layout(&gate, &lib, &LayoutConfig::default());
+//! assert_eq!(result.design.stage(), Stage::PostLayout);
+//! assert!(result.design.cell_count() > gate.cell_count());
+//! ```
+
+pub mod cts;
+mod flow;
+pub mod parasitics;
+pub mod place;
+pub mod restructure;
+pub mod route;
+pub mod sizing;
+
+pub use flow::{has_clock_tree, run_layout, LayoutConfig, LayoutReport, LayoutResult};
+pub use parasitics::{annotate_from_route, read_spef, write_spef, ParseSpefError};
+pub use route::{global_route, RouteConfig, RouteResult};
+pub use place::Placement;

@@ -1,0 +1,218 @@
+//! Parasitic estimation and SPEF-lite interchange.
+//!
+//! After placement, every net's wire capacitance is estimated from its
+//! half-perimeter wirelength. The values can be dumped to and re-read from
+//! a SPEF-shaped text format, mirroring how the paper's flow moves RC data
+//! from Innovus to PrimeTime PX.
+
+use std::fmt;
+
+use atlas_netlist::{Design, NetId};
+
+use crate::place::Placement;
+use crate::route::RouteResult;
+
+/// Annotate every net's `wire_cap` from placement geometry:
+/// `cap = hpwl × cap_per_um + fanout × via_cap`.
+///
+/// `cap_per_um` is the routing-layer capacitance per micron (pF/µm);
+/// `via_cap` models the fixed per-pin via/jog contribution.
+pub fn annotate_wire_caps(
+    design: &mut Design,
+    placement: &Placement,
+    cap_per_um: f64,
+    via_cap: f64,
+) {
+    for net in design.net_ids().collect::<Vec<_>>() {
+        let hpwl = placement.hpwl(design, net);
+        let fanout = design.net(net).fanout() as f64;
+        design.set_wire_cap(net, hpwl * cap_per_um + fanout * via_cap);
+    }
+}
+
+/// Annotate wire capacitance from *routed* wirelength:
+/// `cap = routed_len × cap_per_um + fanout × via_cap`. The routed length
+/// reflects congestion detours, which HPWL cannot see.
+pub fn annotate_from_route(
+    design: &mut Design,
+    routed: &RouteResult,
+    cap_per_um: f64,
+    via_cap: f64,
+) {
+    for net in design.net_ids().collect::<Vec<_>>() {
+        let len = routed.net_length_um.get(net.index()).copied().unwrap_or(0.0);
+        let fanout = design.net(net).fanout() as f64;
+        design.set_wire_cap(net, len * cap_per_um + fanout * via_cap);
+    }
+}
+
+/// Error from parsing SPEF-lite text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseSpefError {
+    line: usize,
+    message: String,
+}
+
+impl ParseSpefError {
+    /// 1-based line of the problem.
+    pub fn line(&self) -> usize {
+        self.line
+    }
+
+    /// Description of the problem.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl fmt::Display for ParseSpefError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SPEF parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseSpefError {}
+
+/// Serialize the design's net capacitances as SPEF-lite text.
+///
+/// # Examples
+///
+/// ```
+/// use atlas_designs::DesignConfig;
+/// use atlas_layout::{read_spef, write_spef};
+///
+/// # fn main() -> Result<(), atlas_layout::ParseSpefError> {
+/// let d = DesignConfig::tiny().generate();
+/// let text = write_spef(&d);
+/// let entries = read_spef(&text)?;
+/// assert_eq!(entries.len(), d.net_count());
+/// # Ok(())
+/// # }
+/// ```
+pub fn write_spef(design: &Design) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "*SPEF atlas-lite");
+    let _ = writeln!(out, "*DESIGN {}", design.name());
+    let _ = writeln!(out, "*C_UNIT pf");
+    for net in design.net_ids() {
+        let _ = writeln!(out, "*D_NET n{} {:.9}", net.index(), design.net(net).wire_cap());
+    }
+    out
+}
+
+/// Parse SPEF-lite text into `(net_index, wire_cap_pf)` entries.
+///
+/// # Errors
+///
+/// Returns [`ParseSpefError`] on malformed lines or a missing header.
+pub fn read_spef(text: &str) -> Result<Vec<(usize, f64)>, ParseSpefError> {
+    let mut lines = text.lines().enumerate();
+    match lines.next() {
+        Some((_, first)) if first.trim() == "*SPEF atlas-lite" => {}
+        _ => {
+            return Err(ParseSpefError {
+                line: 1,
+                message: "missing `*SPEF atlas-lite` header".to_owned(),
+            })
+        }
+    }
+    let mut entries = Vec::new();
+    for (i, line) in lines {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with("*DESIGN") || line.starts_with("*C_UNIT") {
+            continue;
+        }
+        let lineno = i + 1;
+        let rest = line.strip_prefix("*D_NET ").ok_or_else(|| ParseSpefError {
+            line: lineno,
+            message: format!("expected `*D_NET`, got `{line}`"),
+        })?;
+        let mut parts = rest.split_whitespace();
+        let name = parts.next().ok_or_else(|| ParseSpefError {
+            line: lineno,
+            message: "missing net name".to_owned(),
+        })?;
+        let idx: usize = name
+            .strip_prefix('n')
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| ParseSpefError {
+                line: lineno,
+                message: format!("bad net name `{name}`"),
+            })?;
+        let cap: f64 = parts
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| ParseSpefError {
+                line: lineno,
+                message: "missing or bad capacitance".to_owned(),
+            })?;
+        entries.push((idx, cap));
+    }
+    Ok(entries)
+}
+
+/// Apply SPEF entries back onto a design (the PTPX-side read path).
+///
+/// Entries referencing nets beyond the design are ignored.
+pub fn apply_spef(design: &mut Design, entries: &[(usize, f64)]) {
+    for &(idx, cap) in entries {
+        if idx < design.net_count() {
+            design.set_wire_cap(NetId::from_index(idx), cap);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use atlas_designs::DesignConfig;
+    use atlas_liberty::Library;
+
+    use super::*;
+    use crate::place::place;
+
+    #[test]
+    fn annotation_produces_positive_caps() {
+        let mut d = DesignConfig::tiny().generate();
+        let lib = Library::synthetic_40nm();
+        let p = place(&d, &lib, 0.7);
+        annotate_wire_caps(&mut d, &p, 0.00025, 0.00005);
+        let with_cap = d.net_ids().filter(|&n| d.net(n).wire_cap() > 0.0).count();
+        assert!(with_cap > d.net_count() / 2, "most nets should get wire cap");
+    }
+
+    #[test]
+    fn spef_roundtrip() {
+        let mut d = DesignConfig::tiny().generate();
+        let lib = Library::synthetic_40nm();
+        let p = place(&d, &lib, 0.7);
+        annotate_wire_caps(&mut d, &p, 0.00025, 0.00005);
+        let text = write_spef(&d);
+        let entries = read_spef(&text).expect("parses");
+        let mut fresh = DesignConfig::tiny().generate();
+        apply_spef(&mut fresh, &entries);
+        for n in d.net_ids() {
+            assert!((d.net(n).wire_cap() - fresh.net(n).wire_cap()).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn bad_header_rejected() {
+        let err = read_spef("hello\n").expect_err("must fail");
+        assert_eq!(err.line(), 1);
+    }
+
+    #[test]
+    fn bad_line_rejected() {
+        let err = read_spef("*SPEF atlas-lite\nnonsense 5\n").expect_err("must fail");
+        assert_eq!(err.line(), 2);
+        assert!(err.message().contains("D_NET"));
+        assert!(err.to_string().contains("line 2"));
+    }
+
+    #[test]
+    fn bad_cap_rejected() {
+        let err = read_spef("*SPEF atlas-lite\n*D_NET n3 banana\n").expect_err("must fail");
+        assert!(err.message().contains("capacitance"));
+    }
+}

@@ -1,0 +1,312 @@
+//! Hierarchical grid placement.
+//!
+//! Components get horizontal die bands proportional to their area;
+//! sub-modules are shelf-packed inside their component band; cells fill a
+//! local grid inside their sub-module tile. The result is what matters to
+//! power: intra-sub-module wires are short, cross-boundary wires are long,
+//! and wire capacitance can be estimated from half-perimeter wirelength.
+
+use std::collections::HashMap;
+
+use atlas_liberty::{CellClass, Library};
+use atlas_netlist::{CellId, Design, NetId};
+use serde::{Deserialize, Serialize};
+
+/// Cell coordinates on the die (µm).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Placement {
+    positions: Vec<(f64, f64)>,
+    die_width: f64,
+    die_height: f64,
+}
+
+impl Placement {
+    /// Position of one placed cell.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell has not been placed (index out of range).
+    pub fn position(&self, cell: CellId) -> (f64, f64) {
+        self.positions[cell.index()]
+    }
+
+    /// Number of placed cells.
+    pub fn len(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// Whether no cells are placed.
+    pub fn is_empty(&self) -> bool {
+        self.positions.is_empty()
+    }
+
+    /// Die dimensions (width, height) in µm.
+    pub fn die(&self) -> (f64, f64) {
+        (self.die_width, self.die_height)
+    }
+
+    /// Place (or move) a cell; extends the table for newly inserted cells.
+    pub fn set_position(&mut self, cell: CellId, pos: (f64, f64)) {
+        if cell.index() >= self.positions.len() {
+            self.positions.resize(cell.index() + 1, (0.0, 0.0));
+        }
+        self.positions[cell.index()] = pos;
+    }
+
+    /// Half-perimeter wirelength of a net (µm) over its placed driver and
+    /// sinks. Nets with fewer than two placed endpoints have zero length.
+    pub fn hpwl(&self, design: &Design, net: NetId) -> f64 {
+        let mut min_x = f64::INFINITY;
+        let mut max_x = f64::NEG_INFINITY;
+        let mut min_y = f64::INFINITY;
+        let mut max_y = f64::NEG_INFINITY;
+        let mut points = 0usize;
+        let mut add = |p: (f64, f64)| {
+            min_x = min_x.min(p.0);
+            max_x = max_x.max(p.0);
+            min_y = min_y.min(p.1);
+            max_y = max_y.max(p.1);
+            points += 1;
+        };
+        let n = design.net(net);
+        if let Some(driver) = n.driver() {
+            if driver.index() < self.positions.len() {
+                add(self.positions[driver.index()]);
+            }
+        }
+        for sink in n.sinks() {
+            if sink.cell.index() < self.positions.len() {
+                add(self.positions[sink.cell.index()]);
+            }
+        }
+        if points < 2 {
+            0.0
+        } else {
+            (max_x - min_x) + (max_y - min_y)
+        }
+    }
+
+    /// Sum of HPWL over all nets (µm) — the layout quality metric reported
+    /// by the flow.
+    pub fn total_wirelength(&self, design: &Design) -> f64 {
+        design.net_ids().map(|n| self.hpwl(design, n)).sum()
+    }
+
+    /// Centroid of a net's sink cells (for placing inserted buffers).
+    pub fn sink_centroid(&self, design: &Design, net: NetId) -> (f64, f64) {
+        let sinks = design.net(net).sinks();
+        if sinks.is_empty() {
+            return (self.die_width / 2.0, self.die_height / 2.0);
+        }
+        let mut x = 0.0;
+        let mut y = 0.0;
+        let mut count = 0usize;
+        for s in sinks {
+            if s.cell.index() < self.positions.len() {
+                let p = self.positions[s.cell.index()];
+                x += p.0;
+                y += p.1;
+                count += 1;
+            }
+        }
+        if count == 0 {
+            (self.die_width / 2.0, self.die_height / 2.0)
+        } else {
+            (x / count as f64, y / count as f64)
+        }
+    }
+}
+
+/// Place every cell of `design`, returning the [`Placement`].
+///
+/// # Examples
+///
+/// ```
+/// use atlas_designs::DesignConfig;
+/// use atlas_layout::place::place;
+/// use atlas_liberty::Library;
+///
+/// let d = DesignConfig::tiny().generate();
+/// let p = place(&d, &Library::synthetic_40nm(), 0.7);
+/// assert_eq!(p.len(), d.cell_count());
+/// assert!(p.total_wirelength(&d) > 0.0);
+/// ```
+pub fn place(design: &Design, lib: &Library, utilization: f64) -> Placement {
+    assert!(utilization > 0.0 && utilization <= 1.0, "utilization must be in (0, 1]");
+    let cell_area = |id: CellId| -> f64 {
+        let c = design.cell(id);
+        if c.class() == CellClass::Sram {
+            c.sram()
+                .and_then(|cfg| lib.sram_at_least(cfg.words, cfg.bits))
+                .map(|m| m.area())
+                .unwrap_or(100.0)
+        } else {
+            lib.cell(c.class(), c.drive()).map(|lc| lc.area()).unwrap_or(1.0)
+        }
+    };
+
+    // Group cells: component -> submodule -> cells.
+    let mut by_component: Vec<(String, Vec<(usize, Vec<CellId>)>)> = Vec::new();
+    {
+        let mut sm_cells: HashMap<usize, Vec<CellId>> = HashMap::new();
+        for id in design.cell_ids() {
+            sm_cells.entry(design.cell(id).submodule().index()).or_default().push(id);
+        }
+        for comp in design.components() {
+            let mut submods: Vec<(usize, Vec<CellId>)> = design
+                .submodule_ids()
+                .filter(|&sm| design.submodule(sm).component() == comp)
+                .filter_map(|sm| sm_cells.remove(&sm.index()).map(|cells| (sm.index(), cells)))
+                .collect();
+            submods.sort_by_key(|(sm, _)| *sm);
+            by_component.push((comp.to_owned(), submods));
+        }
+        // Any cells in components not returned by `components()` (defensive).
+        let mut leftovers: Vec<(usize, Vec<CellId>)> = sm_cells.into_iter().collect();
+        if !leftovers.is_empty() {
+            leftovers.sort_by_key(|(sm, _)| *sm);
+            by_component.push(("misc".to_owned(), leftovers));
+        }
+    }
+
+    let total_area: f64 = design.cell_ids().map(cell_area).sum();
+    let die_area = total_area / utilization;
+    let die_side = die_area.sqrt().max(1.0);
+
+    let mut positions = vec![(0.0, 0.0); design.cell_count()];
+
+    // Horizontal bands per component, heights proportional to area.
+    let comp_area: Vec<f64> = by_component
+        .iter()
+        .map(|(_, submods)| {
+            submods
+                .iter()
+                .flat_map(|(_, cells)| cells.iter())
+                .map(|&c| cell_area(c))
+                .sum::<f64>()
+                / utilization
+        })
+        .collect();
+    let mut band_y = 0.0;
+    for ((_, submods), area) in by_component.iter().zip(&comp_area) {
+        let band_h = (area / die_side).max(1.0);
+        // Shelf-pack sub-module tiles inside the band.
+        let mut shelf_x = 0.0;
+        let mut shelf_y = band_y;
+        let mut shelf_h: f64 = 0.0;
+        for (_, cells) in submods {
+            let sm_area: f64 = cells.iter().map(|&c| cell_area(c)).sum::<f64>() / utilization;
+            let tile = sm_area.sqrt().max(0.5);
+            if shelf_x + tile > die_side && shelf_x > 0.0 {
+                shelf_x = 0.0;
+                shelf_y += shelf_h;
+                shelf_h = 0.0;
+            }
+            shelf_h = shelf_h.max(tile);
+            // Cells in a grid inside the tile.
+            let cols = (cells.len() as f64).sqrt().ceil().max(1.0) as usize;
+            let pitch = tile / cols as f64;
+            for (i, &c) in cells.iter().enumerate() {
+                let col = i % cols;
+                let row = i / cols;
+                positions[c.index()] = (
+                    shelf_x + (col as f64 + 0.5) * pitch,
+                    shelf_y + (row as f64 + 0.5) * pitch,
+                );
+            }
+            shelf_x += tile;
+        }
+        band_y += band_h.max(shelf_y + shelf_h - band_y);
+    }
+
+    Placement {
+        positions,
+        die_width: die_side,
+        die_height: band_y.max(1.0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use atlas_designs::DesignConfig;
+
+    use super::*;
+
+    fn placed() -> (Design, Placement) {
+        let d = DesignConfig::tiny().generate();
+        let p = place(&d, &Library::synthetic_40nm(), 0.7);
+        (d, p)
+    }
+
+    #[test]
+    fn all_cells_placed_inside_die() {
+        let (d, p) = placed();
+        assert_eq!(p.len(), d.cell_count());
+        let (w, h) = p.die();
+        for id in d.cell_ids() {
+            let (x, y) = p.position(id);
+            assert!(x >= 0.0 && x <= w * 1.01, "x={x} outside die width {w}");
+            assert!(y >= 0.0 && y <= h * 1.01, "y={y} outside die height {h}");
+        }
+    }
+
+    #[test]
+    fn same_submodule_cells_are_near() {
+        let (d, p) = placed();
+        // Average intra-submodule distance must be well below die diagonal.
+        let (w, h) = p.die();
+        let diag = (w * w + h * h).sqrt();
+        let mut intra = 0.0;
+        let mut pairs = 0usize;
+        for g in d.submodule_graphs() {
+            let cells = g.cells();
+            for pair in cells.windows(2) {
+                let a = p.position(pair[0]);
+                let b = p.position(pair[1]);
+                intra += ((a.0 - b.0).powi(2) + (a.1 - b.1).powi(2)).sqrt();
+                pairs += 1;
+            }
+        }
+        let avg = intra / pairs.max(1) as f64;
+        assert!(avg < diag * 0.25, "avg intra-submodule distance {avg:.1} vs diagonal {diag:.1}");
+    }
+
+    #[test]
+    fn hpwl_positive_for_multi_terminal_nets() {
+        let (d, p) = placed();
+        let mut nonzero = 0usize;
+        for n in d.net_ids() {
+            let net = d.net(n);
+            if net.driver().is_some() && net.fanout() > 0 {
+                let l = p.hpwl(&d, n);
+                assert!(l >= 0.0);
+                if l > 0.0 {
+                    nonzero += 1;
+                }
+            }
+        }
+        assert!(nonzero > d.net_count() / 4, "most driven nets should have length");
+    }
+
+    #[test]
+    fn set_position_extends() {
+        let (d, mut p) = placed();
+        let new_cell = CellId::from_index(d.cell_count() + 5);
+        p.set_position(new_cell, (1.0, 2.0));
+        assert_eq!(p.position(new_cell), (1.0, 2.0));
+    }
+
+    #[test]
+    fn placement_is_deterministic() {
+        let d = DesignConfig::tiny().generate();
+        let lib = Library::synthetic_40nm();
+        assert_eq!(place(&d, &lib, 0.7), place(&d, &lib, 0.7));
+    }
+
+    #[test]
+    #[should_panic(expected = "utilization")]
+    fn bad_utilization_panics() {
+        let d = DesignConfig::tiny().generate();
+        let _ = place(&d, &Library::synthetic_40nm(), 0.0);
+    }
+}

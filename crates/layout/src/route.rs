@@ -1,0 +1,393 @@
+//! Congestion-aware global routing.
+//!
+//! Real flows spend most of their runtime in placement/routing
+//! optimization — the cost ATLAS bypasses (paper Table IV). This module
+//! implements an honest global router rather than a stopwatch stub:
+//! nets are routed over a capacitated grid graph with congestion-aware
+//! path search and rip-up-and-reroute, and the *routed* wirelength (not
+//! the HPWL lower bound) drives parasitic extraction.
+//!
+//! Algorithm: for each net, grow a Steiner-ish tree by connecting each
+//! terminal to the partial tree with a cheapest path (Dijkstra over grid
+//! edges whose cost rises with congestion); after each pass, nets through
+//! over-capacity edges are ripped up and rerouted with a stiffer
+//! congestion penalty, history-cost style.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use atlas_netlist::Design;
+use serde::{Deserialize, Serialize};
+
+use crate::place::Placement;
+
+/// Router parameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RouteConfig {
+    /// Grid bin pitch in µm.
+    pub bin_um: f64,
+    /// Routing tracks per grid edge.
+    pub capacity: u32,
+    /// Maximum rip-up-and-reroute passes.
+    pub max_passes: usize,
+    /// Congestion penalty multiplier per unit of overflow.
+    pub overflow_penalty: f64,
+}
+
+impl Default for RouteConfig {
+    fn default() -> RouteConfig {
+        RouteConfig {
+            bin_um: 4.0,
+            capacity: 24,
+            max_passes: 3,
+            overflow_penalty: 2.0,
+        }
+    }
+}
+
+/// Result of global routing.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RouteResult {
+    /// Routed wirelength per net (µm), indexed by net id.
+    pub net_length_um: Vec<f64>,
+    /// Total routed wirelength (µm).
+    pub total_length_um: f64,
+    /// Grid edges still over capacity after the final pass.
+    pub overflowed_edges: usize,
+    /// Passes executed.
+    pub passes: usize,
+}
+
+/// Grid-edge usage state.
+struct Grid {
+    w: usize,
+    /// Horizontal edges: (w-1) × h, index `y * (w-1) + x`.
+    h_use: Vec<u32>,
+    /// Vertical edges: w × (h-1), index `y * w + x`.
+    v_use: Vec<u32>,
+    capacity: u32,
+}
+
+impl Grid {
+    fn new(w: usize, h: usize, capacity: u32) -> Grid {
+        Grid {
+            w,
+            h_use: vec![0; (w.saturating_sub(1)) * h],
+            v_use: vec![0; w * h.saturating_sub(1)],
+            capacity,
+        }
+    }
+
+    /// Cost of crossing an edge given current usage.
+    #[inline]
+    fn edge_cost(&self, usage: u32, penalty: f64) -> f64 {
+        let over = usage.saturating_add(1).saturating_sub(self.capacity) as f64;
+        1.0 + penalty * over
+    }
+
+    fn overflowed(&self) -> usize {
+        self.h_use
+            .iter()
+            .chain(self.v_use.iter())
+            .filter(|&&u| u > self.capacity)
+            .count()
+    }
+}
+
+/// One routed path: grid edges as `(node_a, node_b)` with `a < b`.
+type Path = Vec<(u32, u32)>;
+
+/// Route all nets of a placed design.
+///
+/// # Examples
+///
+/// ```
+/// use atlas_designs::DesignConfig;
+/// use atlas_layout::place::place;
+/// use atlas_layout::route::{global_route, RouteConfig};
+/// use atlas_liberty::Library;
+///
+/// let d = DesignConfig::tiny().generate();
+/// let p = place(&d, &Library::synthetic_40nm(), 0.7);
+/// let routed = global_route(&d, &p, &RouteConfig::default());
+/// assert!(routed.total_length_um > 0.0);
+/// assert_eq!(routed.net_length_um.len(), d.net_count());
+/// ```
+pub fn global_route(design: &Design, placement: &Placement, cfg: &RouteConfig) -> RouteResult {
+    let (die_w, die_h) = placement.die();
+    let w = ((die_w / cfg.bin_um).ceil() as usize).max(2);
+    let h = ((die_h / cfg.bin_um).ceil() as usize).max(2);
+    let mut grid = Grid::new(w, h, cfg.capacity);
+
+    let bin_of = |pos: (f64, f64)| -> u32 {
+        let x = ((pos.0 / cfg.bin_um) as usize).min(w - 1);
+        let y = ((pos.1 / cfg.bin_um) as usize).min(h - 1);
+        (y * w + x) as u32
+    };
+
+    // Terminal bins per net (deduped, driver first).
+    let mut terminals: Vec<Vec<u32>> = Vec::with_capacity(design.net_count());
+    for net in design.net_ids() {
+        let n = design.net(net);
+        let mut t = Vec::with_capacity(n.fanout() + 1);
+        if let Some(d) = n.driver() {
+            t.push(bin_of(placement.position(d)));
+        }
+        for s in n.sinks() {
+            t.push(bin_of(placement.position(s.cell)));
+        }
+        t.sort_unstable();
+        t.dedup();
+        terminals.push(t);
+    }
+
+    let mut paths: Vec<Path> = vec![Vec::new(); design.net_count()];
+    let order: Vec<usize> = (0..design.net_count()).collect();
+
+    // Pass 1: route everything. Later passes: rip up and reroute only nets
+    // crossing overflowed edges, with an increasing penalty.
+    let mut passes = 0;
+    for pass in 0..cfg.max_passes {
+        passes = pass + 1;
+        let penalty = cfg.overflow_penalty * (pass + 1) as f64;
+        let reroute: Vec<usize> = if pass == 0 {
+            order.clone()
+        } else {
+            let victims: Vec<usize> = order
+                .iter()
+                .copied()
+                .filter(|&i| path_overflows(&grid, &paths[i]))
+                .collect();
+            if victims.is_empty() {
+                break;
+            }
+            victims
+        };
+        for &i in &reroute {
+            rip_up(&mut grid, &paths[i]);
+            paths[i] = route_net(&grid, &terminals[i], penalty, w, h);
+            commit(&mut grid, &paths[i]);
+        }
+    }
+
+    let mut net_length_um = Vec::with_capacity(design.net_count());
+    let mut total = 0.0;
+    for (i, path) in paths.iter().enumerate() {
+        // Each grid edge is one bin pitch; add a half-pitch pin stub per
+        // terminal for the detail-routing share.
+        let len = path.len() as f64 * cfg.bin_um
+            + terminals[i].len().saturating_sub(1) as f64 * cfg.bin_um * 0.5;
+        net_length_um.push(len);
+        total += len;
+    }
+
+    RouteResult {
+        net_length_um,
+        total_length_um: total,
+        overflowed_edges: grid.overflowed(),
+        passes,
+    }
+}
+
+fn edge_key(a: u32, b: u32) -> (u32, u32) {
+    if a < b {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+fn edge_usage<'a>(grid: &'a mut Grid, a: u32, b: u32) -> &'a mut u32 {
+    let (lo, hi) = edge_key(a, b);
+    let (xl, yl) = ((lo as usize) % grid.w, (lo as usize) / grid.w);
+    if hi == lo + 1 {
+        &mut grid.h_use[yl * (grid.w - 1) + xl]
+    } else {
+        debug_assert_eq!(hi as usize, lo as usize + grid.w);
+        &mut grid.v_use[yl * grid.w + xl]
+    }
+}
+
+fn edge_usage_ro(grid: &Grid, a: u32, b: u32) -> u32 {
+    let (lo, hi) = edge_key(a, b);
+    let (xl, yl) = ((lo as usize) % grid.w, (lo as usize) / grid.w);
+    if hi == lo + 1 {
+        grid.h_use[yl * (grid.w - 1) + xl]
+    } else {
+        grid.v_use[yl * grid.w + xl]
+    }
+}
+
+fn rip_up(grid: &mut Grid, path: &Path) {
+    for &(a, b) in path {
+        let u = edge_usage(grid, a, b);
+        *u = u.saturating_sub(1);
+    }
+}
+
+fn commit(grid: &mut Grid, path: &Path) {
+    for &(a, b) in path {
+        *edge_usage(grid, a, b) += 1;
+    }
+}
+
+fn path_overflows(grid: &Grid, path: &Path) -> bool {
+    path.iter().any(|&(a, b)| edge_usage_ro(grid, a, b) > grid.capacity)
+}
+
+/// Route one net: connect each terminal to the growing tree with a
+/// congestion-aware shortest path.
+fn route_net(grid: &Grid, terminals: &[u32], penalty: f64, w: usize, h: usize) -> Path {
+    if terminals.len() < 2 {
+        return Vec::new();
+    }
+    let n_nodes = w * h;
+    let mut in_tree = vec![false; n_nodes];
+    in_tree[terminals[0] as usize] = true;
+    let mut tree_edges: Path = Vec::new();
+
+    // Scratch buffers reused across searches.
+    let mut dist = vec![f64::INFINITY; n_nodes];
+    let mut prev = vec![u32::MAX; n_nodes];
+
+    for &target in &terminals[1..] {
+        if in_tree[target as usize] {
+            continue;
+        }
+        // Dijkstra from the target until any tree node is reached (the
+        // tree is usually larger than the frontier, so searching from the
+        // single target is cheaper).
+        for d in dist.iter_mut() {
+            *d = f64::INFINITY;
+        }
+        let mut heap: BinaryHeap<Reverse<(u64, u32)>> = BinaryHeap::new();
+        dist[target as usize] = 0.0;
+        heap.push(Reverse((0, target)));
+        let mut reached = u32::MAX;
+        while let Some(Reverse((dq, node))) = heap.pop() {
+            let dq = dq as f64 / 1024.0;
+            if dq > dist[node as usize] {
+                continue;
+            }
+            if in_tree[node as usize] {
+                reached = node;
+                break;
+            }
+            let x = (node as usize) % w;
+            let y = (node as usize) / w;
+            let mut push = |nx: usize, ny: usize| {
+                let next = (ny * w + nx) as u32;
+                let usage = edge_usage_ro(grid, node, next);
+                let cost = grid.edge_cost(usage, penalty);
+                let nd = dq + cost;
+                if nd < dist[next as usize] {
+                    dist[next as usize] = nd;
+                    prev[next as usize] = node;
+                    heap.push(Reverse(((nd * 1024.0) as u64, next)));
+                }
+            };
+            if x + 1 < w {
+                push(x + 1, y);
+            }
+            if x > 0 {
+                push(x - 1, y);
+            }
+            if y + 1 < h {
+                push(x, y + 1);
+            }
+            if y > 0 {
+                push(x, y - 1);
+            }
+        }
+        if reached == u32::MAX {
+            // Grid is connected, so this cannot happen; keep the net
+            // partially routed rather than panicking in release runs.
+            debug_assert!(false, "unreachable terminal");
+            continue;
+        }
+        // Walk back from the tree hit to the target, adding nodes/edges.
+        let mut cur = reached;
+        while cur != target {
+            let p = prev[cur as usize];
+            tree_edges.push(edge_key(cur, p));
+            in_tree[p as usize] = true;
+            cur = p;
+        }
+        in_tree[reached as usize] = true;
+    }
+    tree_edges.sort_unstable();
+    tree_edges.dedup();
+    tree_edges
+}
+
+#[cfg(test)]
+mod tests {
+    use atlas_designs::DesignConfig;
+    use atlas_liberty::Library;
+
+    use super::*;
+    use crate::place::place;
+
+    fn routed() -> (Design, Placement, RouteResult) {
+        let d = DesignConfig::tiny().generate();
+        let p = place(&d, &Library::synthetic_40nm(), 0.7);
+        let r = global_route(&d, &p, &RouteConfig::default());
+        (d, p, r)
+    }
+
+    #[test]
+    fn routed_length_bounds() {
+        let (d, p, r) = routed();
+        assert_eq!(r.net_length_um.len(), d.net_count());
+        let total_hpwl = p.total_wirelength(&d);
+        assert!(r.total_length_um >= total_hpwl * 0.9);
+        // Routing detours are bounded in a sane design.
+        assert!(r.total_length_um < total_hpwl * 5.0 + 1.0);
+    }
+
+    #[test]
+    fn single_terminal_nets_have_zero_length() {
+        let (d, p, r) = routed();
+        for net in d.net_ids() {
+            let n = d.net(net);
+            if n.fanout() == 0 && n.driver().is_none() {
+                assert_eq!(r.net_length_um[net.index()], 0.0);
+            }
+        }
+        let _ = p;
+    }
+
+    #[test]
+    fn congestion_penalty_reduces_overflow() {
+        let d = DesignConfig::tiny().generate();
+        let p = place(&d, &Library::synthetic_40nm(), 0.7);
+        let tight = RouteConfig {
+            capacity: 2,
+            max_passes: 1,
+            ..RouteConfig::default()
+        };
+        let one_pass = global_route(&d, &p, &tight);
+        let multi = RouteConfig {
+            capacity: 2,
+            max_passes: 5,
+            ..RouteConfig::default()
+        };
+        let rerouted = global_route(&d, &p, &multi);
+        assert!(
+            rerouted.overflowed_edges <= one_pass.overflowed_edges,
+            "rip-up-and-reroute must not increase overflow ({} vs {})",
+            rerouted.overflowed_edges,
+            one_pass.overflowed_edges
+        );
+    }
+
+    #[test]
+    fn routing_is_deterministic() {
+        let d = DesignConfig::tiny().generate();
+        let lib = Library::synthetic_40nm();
+        let p = place(&d, &lib, 0.7);
+        let a = global_route(&d, &p, &RouteConfig::default());
+        let b = global_route(&d, &p, &RouteConfig::default());
+        assert_eq!(a, b);
+    }
+}

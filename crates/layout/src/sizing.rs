@@ -1,0 +1,273 @@
+//! Timing optimization: load-driven gate sizing and fanout-driven buffer
+//! insertion.
+//!
+//! These are the transformations that make post-layout power differ from a
+//! naive gate-level estimate: upsized drives present larger input
+//! capacitance, and inserted buffers both burn power themselves and split
+//! heavily loaded nets.
+
+use atlas_liberty::{CellClass, Drive, Library};
+use atlas_netlist::{Design, NetId, Sink, SinkPin, SubmoduleId};
+
+use crate::place::Placement;
+
+/// Statistics from one timing-optimization run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TimingOptStats {
+    /// Cells whose drive strength was increased.
+    pub upsized: usize,
+    /// Buffers inserted for fanout/load control.
+    pub buffers: usize,
+    /// Buffering passes executed.
+    pub passes: usize,
+}
+
+/// Total load on a net (pF): sink pin capacitances plus estimated wire
+/// capacitance from placement geometry.
+pub fn net_load(
+    design: &Design,
+    lib: &Library,
+    placement: &Placement,
+    net: NetId,
+    cap_per_um: f64,
+) -> f64 {
+    let mut cap = placement.hpwl(design, net) * cap_per_um;
+    for sink in design.net(net).sinks() {
+        let cell = design.cell(sink.cell);
+        if cell.class() == CellClass::Sram {
+            if let Some(m) = cell.sram().and_then(|c| lib.sram_at_least(c.words, c.bits)) {
+                cap += m.pin_cap();
+            }
+            continue;
+        }
+        if let Some(lc) = lib.cell(cell.class(), cell.drive()) {
+            cap += match sink.pin {
+                SinkPin::Input(_) | SinkPin::Reset => lc.input_cap(),
+                SinkPin::Clock => lc.clock_cap(),
+            };
+        }
+    }
+    cap
+}
+
+/// Run buffer insertion followed by gate sizing.
+///
+/// Buffering: any non-clock net with fanout above `max_fanout` has its
+/// sinks split into placement-local groups of at most `buffer_fanout`,
+/// each behind a new `BUF_X4`; repeated until no net exceeds the limit
+/// (so giant nets grow a buffer tree).
+///
+/// Sizing: every cell driving more than its library `max_load` is upsized
+/// until the load fits or `X8` is reached.
+pub fn optimize_timing(
+    design: &mut Design,
+    lib: &Library,
+    placement: &mut Placement,
+    cap_per_um: f64,
+    max_fanout: usize,
+    buffer_fanout: usize,
+) -> TimingOptStats {
+    let mut stats = TimingOptStats::default();
+    assert!(buffer_fanout >= 2, "buffer fanout must be at least 2");
+
+    // --- Buffer insertion passes ---
+    loop {
+        let clock = design.clock();
+        let heavy: Vec<NetId> = design
+            .net_ids()
+            .filter(|&n| Some(n) != clock)
+            .filter(|&n| design.net(n).fanout() > max_fanout)
+            // Skip pure clock-pin nets (handled by CTS).
+            .filter(|&n| {
+                design
+                    .net(n)
+                    .sinks()
+                    .iter()
+                    .any(|s| !matches!(s.pin, SinkPin::Clock))
+            })
+            .collect();
+        if heavy.is_empty() || stats.passes >= 8 {
+            break;
+        }
+        stats.passes += 1;
+        for net in heavy {
+            let sinks: Vec<Sink> = design
+                .net(net)
+                .sinks()
+                .iter()
+                .copied()
+                .filter(|s| !matches!(s.pin, SinkPin::Clock))
+                .collect();
+            if sinks.len() <= max_fanout {
+                continue;
+            }
+            // Sort sinks by position so each buffer serves a local group.
+            let mut ordered = sinks;
+            ordered.sort_by(|a, b| {
+                let pa = placement.position(a.cell);
+                let pb = placement.position(b.cell);
+                (pa.0 + pa.1)
+                    .partial_cmp(&(pb.0 + pb.1))
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(a.cell.cmp(&b.cell))
+            });
+            let owner = buffer_submodule(design, net);
+            for group in ordered.chunks(buffer_fanout) {
+                let out = design.add_net();
+                let buf =
+                    design.insert_cell(CellClass::Buf, Drive::X4, &[net], out, None, None, owner, None);
+                // Place the buffer at the centroid of the sinks it serves.
+                let (mut cx, mut cy) = (0.0, 0.0);
+                for s in group {
+                    let p = placement.position(s.cell);
+                    cx += p.0;
+                    cy += p.1;
+                }
+                placement.set_position(buf, (cx / group.len() as f64, cy / group.len() as f64));
+                design.move_sinks(net, out, group);
+                stats.buffers += 1;
+            }
+        }
+    }
+
+    // --- Gate sizing (to a fixpoint: upsizing a cell grows its input
+    // capacitance, which can push its fanin driver over the limit) ---
+    let ids: Vec<_> = design.cell_ids().collect();
+    for _pass in 0..6 {
+        let mut changed = false;
+        for &id in &ids {
+            let class = design.cell(id).class();
+            if class == CellClass::Sram {
+                continue;
+            }
+            loop {
+                let drive = design.cell(id).drive();
+                let Some(lc) = lib.cell(class, drive) else { break };
+                let load = net_load(design, lib, placement, design.cell(id).output(), cap_per_um);
+                if load <= lc.max_load() || drive == Drive::X8 {
+                    break;
+                }
+                design.set_drive(id, drive.upsized());
+                stats.upsized += 1;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    stats
+}
+
+/// Pick the sub-module for a buffer on `net`: the driver's sub-module, or
+/// the first sink's for driverless (primary-input) nets.
+fn buffer_submodule(design: &Design, net: NetId) -> SubmoduleId {
+    if let Some(driver) = design.net(net).driver() {
+        design.cell(driver).submodule()
+    } else {
+        design
+            .net(net)
+            .sinks()
+            .first()
+            .map(|s| design.cell(s.cell).submodule())
+            .unwrap_or_else(|| SubmoduleId::from_index(0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use atlas_designs::DesignConfig;
+    use atlas_liberty::Library;
+    use atlas_sim::{Simulator, PhasedWorkload};
+
+    use super::*;
+    use crate::place::place;
+
+    fn optimized() -> (Design, Placement, TimingOptStats, Design) {
+        let gate = DesignConfig::tiny().generate();
+        let mut d = gate.clone();
+        let lib = Library::synthetic_40nm();
+        let mut p = place(&d, &lib, 0.7);
+        let stats = optimize_timing(&mut d, &lib, &mut p, 0.00025, 10, 8);
+        (d, p, stats, gate)
+    }
+
+    #[test]
+    fn fanout_limit_enforced() {
+        let (d, _, stats, _) = optimized();
+        assert!(stats.buffers > 0, "the design has high-fanout nets to fix");
+        let clock = d.clock();
+        for n in d.net_ids() {
+            if Some(n) == clock {
+                continue;
+            }
+            let data_fanout = d
+                .net(n)
+                .sinks()
+                .iter()
+                .filter(|s| !matches!(s.pin, SinkPin::Clock))
+                .count();
+            assert!(data_fanout <= 10, "net {n} still has fanout {data_fanout}");
+        }
+    }
+
+    #[test]
+    fn structure_stays_valid() {
+        let (d, p, _, _) = optimized();
+        assert!(d.validate().is_empty());
+        assert!(p.len() >= d.cell_count());
+    }
+
+    #[test]
+    fn buffering_preserves_function() {
+        let (d, _, _, gate) = optimized();
+        let mut sim_a = Simulator::new(&gate).expect("levelizes");
+        let mut sim_b = Simulator::new(&d).expect("levelizes");
+        let mut stim_a = PhasedWorkload::w1(5);
+        let mut stim_b = PhasedWorkload::w1(5);
+        for t in 0..64 {
+            sim_a.step(&mut stim_a);
+            sim_b.step(&mut stim_b);
+            for (&pa, &pb) in gate.primary_outputs().iter().zip(d.primary_outputs()) {
+                assert_eq!(sim_a.net_value(pa), sim_b.net_value(pb), "cycle {t}");
+            }
+        }
+    }
+
+    #[test]
+    fn sizing_respects_max_load() {
+        let (d, p, stats, _) = optimized();
+        let lib = Library::synthetic_40nm();
+        assert!(stats.upsized > 0, "some cells should be upsized");
+        let mut violations = 0usize;
+        for id in d.cell_ids() {
+            let cell = d.cell(id);
+            if cell.class() == CellClass::Sram {
+                continue;
+            }
+            let lc = lib.cell(cell.class(), cell.drive()).expect("characterized");
+            let load = net_load(&d, &lib, &p, cell.output(), 0.00025);
+            if load > lc.max_load() && cell.drive() != Drive::X8 {
+                violations += 1;
+            }
+        }
+        assert_eq!(violations, 0);
+    }
+
+    #[test]
+    fn net_load_includes_pins_and_wire() {
+        let (d, p, _, _) = optimized();
+        let lib = Library::synthetic_40nm();
+        // A net with sinks must have nonzero load.
+        let net = d
+            .net_ids()
+            .find(|&n| d.net(n).fanout() > 0 && d.net(n).driver().is_some())
+            .expect("driven net with sinks exists");
+        assert!(net_load(&d, &lib, &p, net, 0.00025) > 0.0);
+        // Wire term grows with cap_per_um.
+        assert!(
+            net_load(&d, &lib, &p, net, 0.01) >= net_load(&d, &lib, &p, net, 0.00025)
+        );
+    }
+}

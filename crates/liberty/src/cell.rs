@@ -1,0 +1,277 @@
+//! Standard cell and SRAM macro descriptors.
+
+use serde::{Deserialize, Serialize};
+
+use crate::lut::EnergyLut;
+use crate::types::{CellClass, Drive};
+
+/// One characterized standard cell (a `(class, drive)` point), carrying the
+/// power- and timing-relevant data ATLAS extracts from the `.lib` file.
+///
+/// # Examples
+///
+/// ```
+/// use atlas_liberty::{CellClass, Drive, Library};
+///
+/// let lib = Library::synthetic_40nm();
+/// let dff = lib.cell(CellClass::Dff, Drive::X1).expect("DFF_X1 exists");
+/// // Registers burn clock-pin internal energy every cycle:
+/// assert!(dff.clock_energy() > 0.0);
+/// assert!(dff.is_sequential());
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LibCell {
+    name: String,
+    class: CellClass,
+    drive: Drive,
+    area: f64,
+    input_cap: f64,
+    clock_cap: f64,
+    leakage: f64,
+    drive_res: f64,
+    max_load: f64,
+    switch_energy: EnergyLut,
+    clock_energy: f64,
+}
+
+impl LibCell {
+    /// Build a cell descriptor. Intended for library construction and the
+    /// liblite parser; downstream code obtains cells from a [`crate::Library`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        name: impl Into<String>,
+        class: CellClass,
+        drive: Drive,
+        area: f64,
+        input_cap: f64,
+        clock_cap: f64,
+        leakage: f64,
+        drive_res: f64,
+        max_load: f64,
+        switch_energy: EnergyLut,
+        clock_energy: f64,
+    ) -> LibCell {
+        LibCell {
+            name: name.into(),
+            class,
+            drive,
+            area,
+            input_cap,
+            clock_cap,
+            leakage,
+            drive_res,
+            max_load,
+            switch_energy,
+            clock_energy,
+        }
+    }
+
+    /// Library cell name, e.g. `NAND2_X2`.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Functional class.
+    pub fn class(&self) -> CellClass {
+        self.class
+    }
+
+    /// Drive strength.
+    pub fn drive(&self) -> Drive {
+        self.drive
+    }
+
+    /// Cell area in µm².
+    pub fn area(&self) -> f64 {
+        self.area
+    }
+
+    /// Capacitance (pF) presented by each logic input pin.
+    pub fn input_cap(&self) -> f64 {
+        self.input_cap
+    }
+
+    /// Capacitance (pF) presented by the clock pin (0 for combinational cells).
+    pub fn clock_cap(&self) -> f64 {
+        self.clock_cap
+    }
+
+    /// State-independent leakage power in nW.
+    pub fn leakage(&self) -> f64 {
+        self.leakage
+    }
+
+    /// Equivalent output drive resistance in kΩ (used for slew/delay
+    /// estimation: `slew ≈ drive_res × load`).
+    pub fn drive_res(&self) -> f64 {
+        self.drive_res
+    }
+
+    /// Maximum output load (pF) before the cell must be upsized or buffered.
+    pub fn max_load(&self) -> f64 {
+        self.max_load
+    }
+
+    /// Internal energy table: pJ per output toggle as f(slew, load).
+    pub fn switch_energy(&self) -> &EnergyLut {
+        &self.switch_energy
+    }
+
+    /// Internal energy (pJ) burned on the clock pin per clock cycle (both
+    /// edges), independent of data activity. Zero for combinational cells.
+    /// This is what makes the register group power nearly constant per cycle
+    /// (paper footnote 3).
+    pub fn clock_energy(&self) -> f64 {
+        self.clock_energy
+    }
+
+    /// Whether this cell is clocked.
+    pub fn is_sequential(&self) -> bool {
+        self.class.is_sequential()
+    }
+
+    /// Total input capacitance over all logic input pins (pF).
+    pub fn total_input_cap(&self) -> f64 {
+        self.input_cap * self.class.input_pins() as f64
+    }
+
+    /// Estimated output slew (ns) when driving `load` pF.
+    pub fn output_slew(&self, load: f64) -> f64 {
+        // RC step response: slew ~ 2.2 * R * C, with R in kΩ and C in pF
+        // giving ns directly.
+        2.2 * self.drive_res * load.max(0.0)
+    }
+}
+
+/// An SRAM macro descriptor: per-access read/write energies and leakage,
+/// mirroring what a memory compiler datasheet provides.
+///
+/// The paper's memory power group (about half of total design power) is
+/// modeled from port toggle activity and these per-access energies (§VI-B).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SramMacro {
+    name: String,
+    words: u32,
+    bits: u32,
+    read_energy: f64,
+    write_energy: f64,
+    leakage: f64,
+    pin_cap: f64,
+    area: f64,
+}
+
+impl SramMacro {
+    /// Build an SRAM macro descriptor.
+    pub fn new(
+        name: impl Into<String>,
+        words: u32,
+        bits: u32,
+        read_energy: f64,
+        write_energy: f64,
+        leakage: f64,
+        pin_cap: f64,
+        area: f64,
+    ) -> SramMacro {
+        SramMacro {
+            name: name.into(),
+            words,
+            bits,
+            read_energy,
+            write_energy,
+            leakage,
+            pin_cap,
+            area,
+        }
+    }
+
+    /// Macro name, e.g. `SRAM_512x64`.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of addressable words.
+    pub fn words(&self) -> u32 {
+        self.words
+    }
+
+    /// Bits per word.
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// Total capacity in bits.
+    pub fn capacity_bits(&self) -> u64 {
+        self.words as u64 * self.bits as u64
+    }
+
+    /// Energy (pJ) per read access.
+    pub fn read_energy(&self) -> f64 {
+        self.read_energy
+    }
+
+    /// Energy (pJ) per write access.
+    pub fn write_energy(&self) -> f64 {
+        self.write_energy
+    }
+
+    /// Leakage power in nW.
+    pub fn leakage(&self) -> f64 {
+        self.leakage
+    }
+
+    /// Capacitance (pF) per data/address pin.
+    pub fn pin_cap(&self) -> f64 {
+        self.pin_cap
+    }
+
+    /// Macro area in µm².
+    pub fn area(&self) -> f64 {
+        self.area
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn inv_x1() -> LibCell {
+        LibCell::new(
+            "INV_X1",
+            CellClass::Inv,
+            Drive::X1,
+            0.53,
+            0.0012,
+            0.0,
+            8.0,
+            4.0,
+            0.06,
+            EnergyLut::constant(0.0011),
+            0.0,
+        )
+    }
+
+    #[test]
+    fn getters() {
+        let c = inv_x1();
+        assert_eq!(c.name(), "INV_X1");
+        assert_eq!(c.class(), CellClass::Inv);
+        assert_eq!(c.drive(), Drive::X1);
+        assert!(!c.is_sequential());
+        assert_eq!(c.clock_energy(), 0.0);
+        assert!((c.total_input_cap() - 0.0012).abs() < 1e-12);
+    }
+
+    #[test]
+    fn output_slew_scales_with_load() {
+        let c = inv_x1();
+        assert!(c.output_slew(0.01) < c.output_slew(0.05));
+        assert_eq!(c.output_slew(-1.0), 0.0);
+    }
+
+    #[test]
+    fn sram_capacity() {
+        let s = SramMacro::new("SRAM_512x64", 512, 64, 8.0, 10.0, 4000.0, 0.004, 12000.0);
+        assert_eq!(s.capacity_bits(), 512 * 64);
+        assert!(s.write_energy() > s.read_energy());
+    }
+}

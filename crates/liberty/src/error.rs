@@ -1,0 +1,40 @@
+//! Error type for the liblite text format.
+
+use std::fmt;
+
+/// Error produced while parsing a liblite library file.
+///
+/// Carries the 1-based line number where parsing failed and a description of
+/// what was expected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseLibError {
+    line: usize,
+    message: String,
+}
+
+impl ParseLibError {
+    pub(crate) fn new(line: usize, message: impl Into<String>) -> ParseLibError {
+        ParseLibError {
+            line,
+            message: message.into(),
+        }
+    }
+
+    /// 1-based line number of the offending token.
+    pub fn line(&self) -> usize {
+        self.line
+    }
+
+    /// Human-readable description of the failure.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl fmt::Display for ParseLibError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "liblite parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseLibError {}

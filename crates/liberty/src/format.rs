@@ -1,0 +1,556 @@
+//! The `liblite` text format: a minimal liberty-like serialization of a
+//! [`Library`], with a writer and a recursive-descent parser.
+//!
+//! The format exists so the reproduction exercises the same "parse the
+//! technology library from a file" code path the paper's flow uses with
+//! real `.lib` files.
+//!
+//! ```text
+//! library atlas40 {
+//!   voltage 1.1;
+//!   clock_period 1;
+//!   cell INV_X1 {
+//!     class inv; drive 1; area 0.53; input_cap 0.0014; clock_cap 0;
+//!     leakage 6; drive_res 4; max_load 0.055; clock_energy 0;
+//!     energy_lut slew [0.01 0.05 0.2 0.8] load [0.001 0.01 0.05 0.2]
+//!       values [0.0008 ... ];
+//!   }
+//!   sram SRAM_512x64 {
+//!     words 512; bits 64; read_energy 7.2; write_energy 8.3;
+//!     leakage 614.4; pin_cap 0.004; area 8192;
+//!   }
+//! }
+//! ```
+
+use std::fmt::Write as _;
+
+use crate::cell::{LibCell, SramMacro};
+use crate::error::ParseLibError;
+use crate::library::Library;
+use crate::lut::EnergyLut;
+use crate::types::{CellClass, Drive};
+
+impl Library {
+    /// Serialize this library to liblite text.
+    pub fn to_liblite(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "library {} {{", self.name());
+        let _ = writeln!(out, "  voltage {};", fmt_num(self.voltage()));
+        let _ = writeln!(out, "  clock_period {};", fmt_num(self.clock_period_ns()));
+        for cell in self.cells() {
+            write_cell(&mut out, cell);
+        }
+        for sram in self.srams() {
+            write_sram(&mut out, sram);
+        }
+        out.push_str("}\n");
+        out
+    }
+
+    /// Parse a library from liblite text.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ParseLibError`] (with line number) on any syntactic or
+    /// semantic problem: unknown keywords, malformed numbers, LUT shape
+    /// mismatches, missing required fields.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use atlas_liberty::Library;
+    ///
+    /// # fn main() -> Result<(), atlas_liberty::ParseLibError> {
+    /// let lib = Library::synthetic_40nm();
+    /// let text = lib.to_liblite();
+    /// let back = Library::from_liblite(&text)?;
+    /// assert_eq!(lib, back);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn from_liblite(text: &str) -> Result<Library, ParseLibError> {
+        Parser::new(text).parse_library()
+    }
+}
+
+fn fmt_num(v: f64) -> String {
+    // Full round-trip precision without trailing noise for integral values.
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        let s = format!("{v:.17}");
+        // Trim to the shortest representation that round-trips.
+        let short = format!("{v}");
+        if short.parse::<f64>() == Ok(v) {
+            short
+        } else {
+            s
+        }
+    }
+}
+
+fn write_cell(out: &mut String, cell: &LibCell) {
+    let _ = writeln!(out, "  cell {} {{", cell.name());
+    let _ = writeln!(
+        out,
+        "    class {}; drive {}; area {}; input_cap {}; clock_cap {};",
+        cell.class().keyword(),
+        cell.drive().suffix(),
+        fmt_num(cell.area()),
+        fmt_num(cell.input_cap()),
+        fmt_num(cell.clock_cap()),
+    );
+    let _ = writeln!(
+        out,
+        "    leakage {}; drive_res {}; max_load {}; clock_energy {};",
+        fmt_num(cell.leakage()),
+        fmt_num(cell.drive_res()),
+        fmt_num(cell.max_load()),
+        fmt_num(cell.clock_energy()),
+    );
+    let lut = cell.switch_energy();
+    let _ = write!(out, "    energy_lut slew [");
+    let _ = write!(
+        out,
+        "{}",
+        lut.slew_axis().iter().map(|v| fmt_num(*v)).collect::<Vec<_>>().join(" ")
+    );
+    let _ = write!(out, "] load [");
+    let _ = write!(
+        out,
+        "{}",
+        lut.load_axis().iter().map(|v| fmt_num(*v)).collect::<Vec<_>>().join(" ")
+    );
+    let _ = write!(out, "] values [");
+    let _ = write!(
+        out,
+        "{}",
+        lut.values().iter().map(|v| fmt_num(*v)).collect::<Vec<_>>().join(" ")
+    );
+    let _ = writeln!(out, "];");
+    let _ = writeln!(out, "  }}");
+}
+
+fn write_sram(out: &mut String, sram: &SramMacro) {
+    let _ = writeln!(out, "  sram {} {{", sram.name());
+    let _ = writeln!(
+        out,
+        "    words {}; bits {}; read_energy {}; write_energy {};",
+        sram.words(),
+        sram.bits(),
+        fmt_num(sram.read_energy()),
+        fmt_num(sram.write_energy()),
+    );
+    let _ = writeln!(
+        out,
+        "    leakage {}; pin_cap {}; area {};",
+        fmt_num(sram.leakage()),
+        fmt_num(sram.pin_cap()),
+        fmt_num(sram.area()),
+    );
+    let _ = writeln!(out, "  }}");
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq)]
+enum Token {
+    Ident(String),
+    Number(f64),
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    Semi,
+}
+
+struct Parser {
+    tokens: Vec<(Token, usize)>,
+    pos: usize,
+}
+
+impl Parser {
+    fn new(text: &str) -> Parser {
+        let mut tokens = Vec::new();
+        for (lineno, line) in text.lines().enumerate() {
+            let line_num = lineno + 1;
+            let line = line.split('#').next().unwrap_or("");
+            let mut chars = line.char_indices().peekable();
+            while let Some(&(start, ch)) = chars.peek() {
+                match ch {
+                    c if c.is_whitespace() => {
+                        chars.next();
+                    }
+                    '{' => {
+                        chars.next();
+                        tokens.push((Token::LBrace, line_num));
+                    }
+                    '}' => {
+                        chars.next();
+                        tokens.push((Token::RBrace, line_num));
+                    }
+                    '[' => {
+                        chars.next();
+                        tokens.push((Token::LBracket, line_num));
+                    }
+                    ']' => {
+                        chars.next();
+                        tokens.push((Token::RBracket, line_num));
+                    }
+                    ';' => {
+                        chars.next();
+                        tokens.push((Token::Semi, line_num));
+                    }
+                    _ => {
+                        let mut end = start;
+                        while let Some(&(i, c)) = chars.peek() {
+                            if c.is_whitespace() || "{}[];".contains(c) {
+                                break;
+                            }
+                            end = i + c.len_utf8();
+                            chars.next();
+                        }
+                        let word = &line[start..end];
+                        if let Ok(n) = word.parse::<f64>() {
+                            tokens.push((Token::Number(n), line_num));
+                        } else {
+                            tokens.push((Token::Ident(word.to_owned()), line_num));
+                        }
+                    }
+                }
+            }
+        }
+        Parser { tokens, pos: 0 }
+    }
+
+    fn line(&self) -> usize {
+        self.tokens
+            .get(self.pos.min(self.tokens.len().saturating_sub(1)))
+            .map(|(_, l)| *l)
+            .unwrap_or(0)
+    }
+
+    fn err(&self, msg: impl Into<String>) -> ParseLibError {
+        ParseLibError::new(self.line(), msg)
+    }
+
+    fn next(&mut self) -> Option<&Token> {
+        let t = self.tokens.get(self.pos).map(|(t, _)| t);
+        self.pos += 1;
+        t
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos).map(|(t, _)| t)
+    }
+
+    fn expect_ident(&mut self) -> Result<String, ParseLibError> {
+        let line = self.line();
+        match self.next() {
+            Some(Token::Ident(s)) => Ok(s.clone()),
+            other => Err(ParseLibError::new(
+                line,
+                format!("expected identifier, got {other:?}"),
+            )),
+        }
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<(), ParseLibError> {
+        let line = self.line();
+        match self.next() {
+            Some(Token::Ident(s)) if s == kw => Ok(()),
+            other => Err(ParseLibError::new(
+                line,
+                format!("expected `{kw}`, got {other:?}"),
+            )),
+        }
+    }
+
+    fn expect_number(&mut self) -> Result<f64, ParseLibError> {
+        let line = self.line();
+        match self.next() {
+            Some(Token::Number(n)) => Ok(*n),
+            other => Err(ParseLibError::new(
+                line,
+                format!("expected number, got {other:?}"),
+            )),
+        }
+    }
+
+    fn expect_token(&mut self, tok: Token) -> Result<(), ParseLibError> {
+        let line = self.line();
+        match self.next() {
+            Some(t) if *t == tok => Ok(()),
+            other => Err(ParseLibError::new(
+                line,
+                format!("expected {tok:?}, got {other:?}"),
+            )),
+        }
+    }
+
+    fn number_list(&mut self) -> Result<Vec<f64>, ParseLibError> {
+        self.expect_token(Token::LBracket)?;
+        let mut out = Vec::new();
+        loop {
+            match self.peek() {
+                Some(Token::Number(_)) => {
+                    out.push(self.expect_number()?);
+                }
+                Some(Token::RBracket) => {
+                    self.next();
+                    return Ok(out);
+                }
+                _ => return Err(self.err("expected number or `]` in list")),
+            }
+        }
+    }
+
+    fn parse_library(&mut self) -> Result<Library, ParseLibError> {
+        self.expect_keyword("library")?;
+        let name = self.expect_ident()?;
+        self.expect_token(Token::LBrace)?;
+        let mut voltage = None;
+        let mut clock_period = None;
+        let mut cells = Vec::new();
+        let mut srams = Vec::new();
+        loop {
+            match self.peek() {
+                Some(Token::RBrace) => {
+                    self.next();
+                    break;
+                }
+                Some(Token::Ident(kw)) => match kw.as_str() {
+                    "voltage" => {
+                        self.next();
+                        voltage = Some(self.expect_number()?);
+                        self.expect_token(Token::Semi)?;
+                    }
+                    "clock_period" => {
+                        self.next();
+                        clock_period = Some(self.expect_number()?);
+                        self.expect_token(Token::Semi)?;
+                    }
+                    "cell" => {
+                        self.next();
+                        cells.push(self.parse_cell()?);
+                    }
+                    "sram" => {
+                        self.next();
+                        srams.push(self.parse_sram()?);
+                    }
+                    other => {
+                        return Err(self.err(format!("unknown library item `{other}`")));
+                    }
+                },
+                other => return Err(self.err(format!("unexpected token {other:?}"))),
+            }
+        }
+        let voltage = voltage.ok_or_else(|| self.err("library is missing `voltage`"))?;
+        let clock_period =
+            clock_period.ok_or_else(|| self.err("library is missing `clock_period`"))?;
+        Ok(Library::new(name, voltage, clock_period, cells, srams))
+    }
+
+    fn parse_cell(&mut self) -> Result<LibCell, ParseLibError> {
+        let name = self.expect_ident()?;
+        self.expect_token(Token::LBrace)?;
+        let mut class = None;
+        let mut drive = None;
+        let mut fields: std::collections::HashMap<String, f64> = Default::default();
+        let mut lut = None;
+        loop {
+            match self.peek() {
+                Some(Token::RBrace) => {
+                    self.next();
+                    break;
+                }
+                Some(Token::Ident(kw)) => {
+                    let kw = kw.clone();
+                    self.next();
+                    match kw.as_str() {
+                        "class" => {
+                            let word = self.expect_ident()?;
+                            class = Some(word.parse::<CellClass>().map_err(|e| {
+                                self.err(format!("bad cell class: {e}"))
+                            })?);
+                            self.expect_token(Token::Semi)?;
+                        }
+                        "drive" => {
+                            let n = self.expect_number()?;
+                            drive = Some(Drive::from_suffix(n as u32).ok_or_else(|| {
+                                self.err(format!("bad drive suffix {n}"))
+                            })?);
+                            self.expect_token(Token::Semi)?;
+                        }
+                        "energy_lut" => {
+                            self.expect_keyword("slew")?;
+                            let slews = self.number_list()?;
+                            self.expect_keyword("load")?;
+                            let loads = self.number_list()?;
+                            self.expect_keyword("values")?;
+                            let values = self.number_list()?;
+                            self.expect_token(Token::Semi)?;
+                            lut = Some(
+                                EnergyLut::new(slews, loads, values)
+                                    .map_err(|e| self.err(e))?,
+                            );
+                        }
+                        "area" | "input_cap" | "clock_cap" | "leakage" | "drive_res"
+                        | "max_load" | "clock_energy" => {
+                            let v = self.expect_number()?;
+                            self.expect_token(Token::Semi)?;
+                            fields.insert(kw, v);
+                        }
+                        other => {
+                            return Err(self.err(format!("unknown cell field `{other}`")));
+                        }
+                    }
+                }
+                other => return Err(self.err(format!("unexpected token {other:?}"))),
+            }
+        }
+        let get = |f: &std::collections::HashMap<String, f64>, key: &str| {
+            f.get(key)
+                .copied()
+                .ok_or_else(|| ParseLibError::new(0, format!("cell `{name}` missing `{key}`")))
+        };
+        Ok(LibCell::new(
+            name.clone(),
+            class.ok_or_else(|| self.err(format!("cell `{name}` missing `class`")))?,
+            drive.ok_or_else(|| self.err(format!("cell `{name}` missing `drive`")))?,
+            get(&fields, "area")?,
+            get(&fields, "input_cap")?,
+            get(&fields, "clock_cap")?,
+            get(&fields, "leakage")?,
+            get(&fields, "drive_res")?,
+            get(&fields, "max_load")?,
+            lut.ok_or_else(|| self.err(format!("cell `{name}` missing `energy_lut`")))?,
+            get(&fields, "clock_energy")?,
+        ))
+    }
+
+    fn parse_sram(&mut self) -> Result<SramMacro, ParseLibError> {
+        let name = self.expect_ident()?;
+        self.expect_token(Token::LBrace)?;
+        let mut fields: std::collections::HashMap<String, f64> = Default::default();
+        loop {
+            match self.peek() {
+                Some(Token::RBrace) => {
+                    self.next();
+                    break;
+                }
+                Some(Token::Ident(kw)) => {
+                    let kw = kw.clone();
+                    self.next();
+                    let v = self.expect_number()?;
+                    self.expect_token(Token::Semi)?;
+                    fields.insert(kw, v);
+                }
+                other => return Err(self.err(format!("unexpected token {other:?}"))),
+            }
+        }
+        let get = |key: &str| {
+            fields
+                .get(key)
+                .copied()
+                .ok_or_else(|| ParseLibError::new(0, format!("sram `{name}` missing `{key}`")))
+        };
+        Ok(SramMacro::new(
+            name.clone(),
+            get("words")? as u32,
+            get("bits")? as u32,
+            get("read_energy")?,
+            get("write_energy")?,
+            get("leakage")?,
+            get("pin_cap")?,
+            get("area")?,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_synthetic_library() {
+        let lib = Library::synthetic_40nm();
+        let text = lib.to_liblite();
+        let back = Library::from_liblite(&text).expect("round-trips");
+        assert_eq!(lib, back);
+    }
+
+    #[test]
+    fn parses_minimal_library() {
+        let text = "\
+library mini {
+  voltage 1.1;
+  clock_period 1;
+  cell INV_X1 {
+    class inv; drive 1; area 0.5; input_cap 0.001; clock_cap 0;
+    leakage 5; drive_res 4; max_load 0.05; clock_energy 0;
+    energy_lut slew [0.01 0.1] load [0.001 0.01] values [1 2 3 4];
+  }
+}";
+        let lib = Library::from_liblite(text).expect("parses");
+        assert_eq!(lib.name(), "mini");
+        assert_eq!(lib.cells().len(), 1);
+        let c = lib.cell_named("INV_X1").expect("present");
+        assert_eq!(c.switch_energy().lookup(0.01, 0.001), 1.0);
+    }
+
+    #[test]
+    fn comments_are_ignored() {
+        let text = "\
+library mini { # a library
+  voltage 1.1; # volts
+  clock_period 1;
+}";
+        let lib = Library::from_liblite(text).expect("parses");
+        assert_eq!(lib.voltage(), 1.1);
+    }
+
+    #[test]
+    fn error_carries_line_number() {
+        let text = "library broken {\n  voltage banana;\n}";
+        let err = Library::from_liblite(text).expect_err("must fail");
+        assert_eq!(err.line(), 2);
+        assert!(err.message().contains("expected number"));
+    }
+
+    #[test]
+    fn missing_voltage_is_an_error() {
+        let text = "library broken {\n  clock_period 1;\n}";
+        let err = Library::from_liblite(text).expect_err("must fail");
+        assert!(err.to_string().contains("voltage"));
+    }
+
+    #[test]
+    fn bad_lut_shape_is_an_error() {
+        let text = "\
+library broken {
+  voltage 1.1;
+  clock_period 1;
+  cell INV_X1 {
+    class inv; drive 1; area 0.5; input_cap 0.001; clock_cap 0;
+    leakage 5; drive_res 4; max_load 0.05; clock_energy 0;
+    energy_lut slew [0.01 0.1] load [0.001 0.01] values [1 2 3];
+  }
+}";
+        assert!(Library::from_liblite(text).is_err());
+    }
+
+    #[test]
+    fn unknown_field_is_an_error() {
+        let text = "\
+library broken {
+  voltage 1.1;
+  clock_period 1;
+  cell INV_X1 { wattage 9; }
+}";
+        let err = Library::from_liblite(text).expect_err("must fail");
+        assert!(err.message().contains("unknown cell field"));
+    }
+}

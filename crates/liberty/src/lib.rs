@@ -1,0 +1,48 @@
+//! Synthetic 40nm-class technology library — the `.lib` (liberty) substitute
+//! used throughout the ATLAS reproduction.
+//!
+//! The ATLAS paper reads per-cell internal energy, leakage, and pin
+//! capacitance from the lookup tables of a TSMC 40nm liberty file. That
+//! library is proprietary, so this crate provides a deterministic synthetic
+//! library with the same *shape*: 18 functional cell classes
+//! ([`CellClass`]), several drive strengths ([`Drive`]), 2-D internal-energy
+//! lookup tables indexed by input slew and output load ([`EnergyLut`]), SRAM
+//! macros with per-access energies ([`SramMacro`]), and a small text format
+//! (`liblite`) with a parser and writer so the file-I/O code path is
+//! exercised.
+//!
+//! Units used consistently across the workspace:
+//!
+//! | Quantity   | Unit |
+//! |------------|------|
+//! | capacitance| pF   |
+//! | time       | ns   |
+//! | energy     | pJ   |
+//! | leakage    | nW   |
+//! | voltage    | V    |
+//! | area       | µm²  |
+//!
+//! # Examples
+//!
+//! ```
+//! use atlas_liberty::{CellClass, Drive, Library};
+//!
+//! let lib = Library::synthetic_40nm();
+//! let nand = lib.cell(CellClass::Nand2, Drive::X1).expect("NAND2_X1 exists");
+//! assert!(nand.input_cap() > 0.0);
+//! let energy = nand.switch_energy().lookup(0.05, 0.01);
+//! assert!(energy > 0.0);
+//! ```
+
+mod cell;
+mod error;
+mod format;
+mod library;
+mod lut;
+mod types;
+
+pub use cell::{LibCell, SramMacro};
+pub use error::ParseLibError;
+pub use library::Library;
+pub use lut::EnergyLut;
+pub use types::{CellClass, Drive, PowerGroup};

@@ -1,0 +1,356 @@
+//! The technology library container and the deterministic synthetic
+//! 40nm-class library used across the reproduction.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::cell::{LibCell, SramMacro};
+use crate::lut::EnergyLut;
+use crate::types::{CellClass, Drive};
+
+/// A technology library: a set of characterized standard cells plus SRAM
+/// macros, with the operating point (voltage, nominal clock period).
+///
+/// # Examples
+///
+/// ```
+/// use atlas_liberty::{CellClass, Drive, Library};
+///
+/// let lib = Library::synthetic_40nm();
+/// assert_eq!(lib.voltage(), 1.1);
+/// // Every (class, drive) point except SRAM is characterized:
+/// for class in CellClass::ALL {
+///     if class != CellClass::Sram {
+///         assert!(lib.cell(class, Drive::X1).is_some());
+///     }
+/// }
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Library {
+    name: String,
+    voltage: f64,
+    clock_period_ns: f64,
+    cells: Vec<LibCell>,
+    srams: Vec<SramMacro>,
+    #[serde(skip)]
+    index: HashMap<(CellClass, Drive), usize>,
+    #[serde(skip)]
+    name_index: HashMap<String, usize>,
+    #[serde(skip)]
+    sram_index: HashMap<String, usize>,
+}
+
+impl Library {
+    /// Assemble a library from parts, building the lookup indices.
+    pub fn new(
+        name: impl Into<String>,
+        voltage: f64,
+        clock_period_ns: f64,
+        cells: Vec<LibCell>,
+        srams: Vec<SramMacro>,
+    ) -> Library {
+        let mut lib = Library {
+            name: name.into(),
+            voltage,
+            clock_period_ns,
+            cells,
+            srams,
+            index: HashMap::new(),
+            name_index: HashMap::new(),
+            sram_index: HashMap::new(),
+        };
+        lib.rebuild_index();
+        lib
+    }
+
+    /// Rebuild the internal indices (needed after deserialization).
+    pub fn rebuild_index(&mut self) {
+        self.index = self
+            .cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| ((c.class(), c.drive()), i))
+            .collect();
+        self.name_index = self
+            .cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (c.name().to_owned(), i))
+            .collect();
+        self.sram_index = self
+            .srams
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (s.name().to_owned(), i))
+            .collect();
+    }
+
+    /// Library name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Supply voltage in volts.
+    pub fn voltage(&self) -> f64 {
+        self.voltage
+    }
+
+    /// Nominal clock period in ns (1.0 ns = the paper's 1 GHz).
+    pub fn clock_period_ns(&self) -> f64 {
+        self.clock_period_ns
+    }
+
+    /// Clock frequency in Hz.
+    pub fn clock_freq_hz(&self) -> f64 {
+        1e9 / self.clock_period_ns
+    }
+
+    /// Look up the cell at a `(class, drive)` point.
+    pub fn cell(&self, class: CellClass, drive: Drive) -> Option<&LibCell> {
+        self.index.get(&(class, drive)).map(|&i| &self.cells[i])
+    }
+
+    /// Look up a cell by its library name (e.g. `NAND2_X2`).
+    pub fn cell_named(&self, name: &str) -> Option<&LibCell> {
+        self.name_index.get(name).map(|&i| &self.cells[i])
+    }
+
+    /// Look up an SRAM macro by name.
+    pub fn sram(&self, name: &str) -> Option<&SramMacro> {
+        self.sram_index.get(name).map(|&i| &self.srams[i])
+    }
+
+    /// Pick the smallest SRAM macro with at least `words × bits` geometry.
+    pub fn sram_at_least(&self, words: u32, bits: u32) -> Option<&SramMacro> {
+        self.srams
+            .iter()
+            .filter(|s| s.words() >= words && s.bits() >= bits)
+            .min_by_key(|s| s.capacity_bits())
+    }
+
+    /// All standard cells.
+    pub fn cells(&self) -> &[LibCell] {
+        &self.cells
+    }
+
+    /// All SRAM macros.
+    pub fn srams(&self) -> &[SramMacro] {
+        &self.srams
+    }
+
+    /// The deterministic synthetic 40nm-class library used by the whole
+    /// reproduction (the TSMC 40nm LP substitute).
+    ///
+    /// Values are derived from a per-class complexity factor so that
+    /// magnitudes are plausible for a 40nm LP process at 1.1 V / 1 GHz:
+    /// femtojoule-scale gate energies, ~1–4 fF input pins, nW-scale cell
+    /// leakage, picojoule-scale SRAM accesses.
+    pub fn synthetic_40nm() -> Library {
+        let mut cells = Vec::new();
+        for class in CellClass::ALL {
+            if class == CellClass::Sram {
+                continue;
+            }
+            for drive in Drive::ALL {
+                cells.push(make_cell(class, drive));
+            }
+        }
+        let srams = vec![
+            make_sram(256, 32),
+            make_sram(512, 64),
+            make_sram(1024, 32),
+            make_sram(1024, 64),
+            make_sram(2048, 64),
+        ];
+        Library::new("atlas40", 1.1, 1.0, cells, srams)
+    }
+}
+
+impl PartialEq for Library {
+    fn eq(&self, other: &Self) -> bool {
+        self.name == other.name
+            && self.voltage == other.voltage
+            && self.clock_period_ns == other.clock_period_ns
+            && self.cells == other.cells
+            && self.srams == other.srams
+    }
+}
+
+/// Per-class relative complexity factor (≈ normalized transistor count),
+/// the single knob all synthetic values derive from.
+fn complexity(class: CellClass) -> f64 {
+    match class {
+        CellClass::Inv => 1.0,
+        CellClass::Buf => 1.4,
+        CellClass::And2 => 1.8,
+        CellClass::Nand2 => 1.3,
+        CellClass::Or2 => 1.9,
+        CellClass::Nor2 => 1.35,
+        CellClass::Xor2 => 2.6,
+        CellClass::Xnor2 => 2.65,
+        CellClass::Mux2 => 2.4,
+        CellClass::Aoi21 => 1.9,
+        CellClass::Oai21 => 1.95,
+        CellClass::Aoi22 => 2.3,
+        CellClass::HalfAdder => 2.8,
+        CellClass::FullAdder => 4.2,
+        CellClass::Dff => 5.5,
+        CellClass::Dffr => 6.2,
+        CellClass::Clk => 1.6,
+        CellClass::Sram => 0.0,
+    }
+}
+
+fn make_cell(class: CellClass, drive: Drive) -> LibCell {
+    let k = complexity(class);
+    let m = drive.multiplier();
+    // Input cap grows sub-linearly with drive; fF-scale.
+    let cap_mult = 0.7 + 0.3 * m;
+    let input_cap = (0.0010 + 0.0004 * k) * cap_mult;
+    let is_seq = class.is_sequential();
+    let clock_cap = if is_seq { 0.0009 * cap_mult } else { 0.0 };
+    let leakage = 6.0 * k * (0.6 + 0.4 * m);
+    let drive_res = 4.0 / m;
+    let max_load = 0.020 * m;
+    let area = 0.53 * k * (0.8 + 0.2 * m);
+
+    // Internal energy per output toggle, fJ-scale, rising with slew
+    // (short-circuit current) and mildly with load.
+    let e0 = 0.0008 * k * (0.8 + 0.2 * m);
+    let slews = vec![0.01, 0.05, 0.2, 0.8];
+    let loads: Vec<f64> = [0.001, 0.01, 0.05, 0.2].iter().map(|l| l * m).collect();
+    let max_slew = 0.8;
+    let max_load_axis = loads[3];
+    let mut values = Vec::with_capacity(16);
+    for &s in &slews {
+        for &l in &loads {
+            values.push(e0 * (1.0 + 0.30 * (s / max_slew) + 0.50 * (l / max_load_axis)));
+        }
+    }
+    let lut = EnergyLut::new(slews, loads, values).expect("synthetic LUT is well-formed");
+
+    // Registers burn clock-pin internal energy every cycle (both edges).
+    // Dominant over data-toggle energy, as in real flop characterization —
+    // this is what keeps the register power group nearly constant per
+    // cycle and stage-stable (paper footnote 3 and Table III).
+    let clock_energy = if is_seq {
+        0.020 * (1.0 + 0.3 * (m - 1.0) / 7.0)
+    } else {
+        0.0
+    };
+
+    let name = format!("{}_{}", class.keyword().to_uppercase(), drive);
+    LibCell::new(
+        name, class, drive, area, input_cap, clock_cap, leakage, drive_res, max_load, lut,
+        clock_energy,
+    )
+}
+
+fn make_sram(words: u32, bits: u32) -> SramMacro {
+    let w = words as f64;
+    let b = bits as f64;
+    let read_energy = 2.0 + 0.004 * w + 0.05 * b;
+    let write_energy = read_energy * 1.15;
+    let leakage = 0.15 * w * b / 8.0; // nW
+    let pin_cap = 0.004;
+    let area = 0.25 * w * b;
+    SramMacro::new(
+        format!("SRAM_{words}x{bits}"),
+        words,
+        bits,
+        read_energy,
+        write_energy,
+        leakage,
+        pin_cap,
+        area,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synthetic_library_is_complete() {
+        let lib = Library::synthetic_40nm();
+        for class in CellClass::ALL {
+            if class == CellClass::Sram {
+                continue;
+            }
+            for drive in Drive::ALL {
+                let cell = lib.cell(class, drive);
+                assert!(cell.is_some(), "missing {class} {drive}");
+                let cell = cell.expect("present");
+                assert!(cell.input_cap() > 0.0);
+                assert!(cell.leakage() > 0.0);
+                assert!(cell.area() > 0.0);
+                assert!(cell.switch_energy().mean() > 0.0);
+            }
+        }
+        assert_eq!(lib.cells().len(), 17 * 4);
+        assert!(!lib.srams().is_empty());
+    }
+
+    #[test]
+    fn synthetic_library_is_deterministic() {
+        assert_eq!(Library::synthetic_40nm(), Library::synthetic_40nm());
+    }
+
+    #[test]
+    fn drive_scaling_monotone() {
+        let lib = Library::synthetic_40nm();
+        let x1 = lib.cell(CellClass::Nand2, Drive::X1).expect("exists");
+        let x8 = lib.cell(CellClass::Nand2, Drive::X8).expect("exists");
+        assert!(x8.input_cap() > x1.input_cap());
+        assert!(x8.drive_res() < x1.drive_res());
+        assert!(x8.max_load() > x1.max_load());
+        assert!(x8.leakage() > x1.leakage());
+    }
+
+    #[test]
+    fn registers_have_clock_energy_and_cap() {
+        let lib = Library::synthetic_40nm();
+        let dff = lib.cell(CellClass::Dff, Drive::X1).expect("exists");
+        assert!(dff.clock_energy() > 0.0);
+        assert!(dff.clock_cap() > 0.0);
+        let nand = lib.cell(CellClass::Nand2, Drive::X1).expect("exists");
+        assert_eq!(nand.clock_energy(), 0.0);
+        assert_eq!(nand.clock_cap(), 0.0);
+    }
+
+    #[test]
+    fn cell_name_lookup() {
+        let lib = Library::synthetic_40nm();
+        let c = lib.cell_named("NAND2_X2").expect("exists");
+        assert_eq!(c.class(), CellClass::Nand2);
+        assert_eq!(c.drive(), Drive::X2);
+        assert!(lib.cell_named("NAND3_X9").is_none());
+    }
+
+    #[test]
+    fn sram_selection() {
+        let lib = Library::synthetic_40nm();
+        let s = lib.sram_at_least(300, 32).expect("a big-enough macro exists");
+        assert!(s.words() >= 300 && s.bits() >= 32);
+        // Picks the smallest adequate macro.
+        assert_eq!(s.name(), "SRAM_512x64");
+        assert!(lib.sram("SRAM_512x64").is_some());
+        assert!(lib.sram("SRAM_7x7").is_none());
+    }
+
+    #[test]
+    fn xor_costs_more_than_nand() {
+        let lib = Library::synthetic_40nm();
+        let xor = lib.cell(CellClass::Xor2, Drive::X1).expect("exists");
+        let nand = lib.cell(CellClass::Nand2, Drive::X1).expect("exists");
+        assert!(xor.switch_energy().mean() > nand.switch_energy().mean());
+        assert!(xor.area() > nand.area());
+    }
+
+    #[test]
+    fn frequency_helper() {
+        let lib = Library::synthetic_40nm();
+        assert!((lib.clock_freq_hz() - 1e9).abs() < 1.0);
+    }
+}

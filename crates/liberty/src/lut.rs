@@ -1,0 +1,218 @@
+//! 2-D energy lookup tables with bilinear interpolation, mirroring the
+//! `internal_power` tables of a liberty file.
+
+use serde::{Deserialize, Serialize};
+
+/// A 2-D lookup table of per-switch internal energy (pJ), indexed by input
+/// slew (ns) and output load (pF).
+///
+/// Lookups bilinearly interpolate inside the table and clamp outside it,
+/// which is how production power tools treat out-of-characterization points.
+///
+/// # Examples
+///
+/// ```
+/// use atlas_liberty::EnergyLut;
+///
+/// let lut = EnergyLut::new(
+///     vec![0.01, 0.1],
+///     vec![0.001, 0.01],
+///     vec![1.0, 2.0, 3.0, 4.0],
+/// ).expect("well-formed lut");
+/// // Exact grid point:
+/// assert_eq!(lut.lookup(0.01, 0.001), 1.0);
+/// // Interpolated midpoint:
+/// let mid = lut.lookup(0.055, 0.0055);
+/// assert!((mid - 2.5).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EnergyLut {
+    slew_axis: Vec<f64>,
+    load_axis: Vec<f64>,
+    /// Row-major `slew_axis.len() × load_axis.len()` values.
+    values: Vec<f64>,
+}
+
+impl EnergyLut {
+    /// Create a lookup table.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err` with a description if either axis is empty or not
+    /// strictly increasing, or if `values.len() != slews.len() * loads.len()`.
+    pub fn new(slews: Vec<f64>, loads: Vec<f64>, values: Vec<f64>) -> Result<EnergyLut, String> {
+        if slews.is_empty() || loads.is_empty() {
+            return Err("energy LUT axes must be non-empty".to_owned());
+        }
+        if !is_strictly_increasing(&slews) {
+            return Err("slew axis must be strictly increasing".to_owned());
+        }
+        if !is_strictly_increasing(&loads) {
+            return Err("load axis must be strictly increasing".to_owned());
+        }
+        if values.len() != slews.len() * loads.len() {
+            return Err(format!(
+                "energy LUT needs {} values (got {})",
+                slews.len() * loads.len(),
+                values.len()
+            ));
+        }
+        Ok(EnergyLut {
+            slew_axis: slews,
+            load_axis: loads,
+            values,
+        })
+    }
+
+    /// A degenerate 1×1 table that always returns `value`.
+    pub fn constant(value: f64) -> EnergyLut {
+        EnergyLut {
+            slew_axis: vec![0.0],
+            load_axis: vec![0.0],
+            values: vec![value],
+        }
+    }
+
+    /// The slew (ns) axis.
+    pub fn slew_axis(&self) -> &[f64] {
+        &self.slew_axis
+    }
+
+    /// The load (pF) axis.
+    pub fn load_axis(&self) -> &[f64] {
+        &self.load_axis
+    }
+
+    /// Row-major table values (pJ).
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Bilinearly interpolated energy (pJ) at the given input slew (ns) and
+    /// output load (pF). Clamps outside the characterized region.
+    pub fn lookup(&self, slew: f64, load: f64) -> f64 {
+        let (si, sf) = bracket(&self.slew_axis, slew);
+        let (li, lf) = bracket(&self.load_axis, load);
+        let ncols = self.load_axis.len();
+        let v = |r: usize, c: usize| self.values[r * ncols + c];
+        let s_hi = (si + 1).min(self.slew_axis.len() - 1);
+        let l_hi = (li + 1).min(self.load_axis.len() - 1);
+        let a = v(si, li) * (1.0 - lf) + v(si, l_hi) * lf;
+        let b = v(s_hi, li) * (1.0 - lf) + v(s_hi, l_hi) * lf;
+        a * (1.0 - sf) + b * sf
+    }
+
+    /// The mean of all table values — a load/slew-independent summary used
+    /// for coarse features.
+    pub fn mean(&self) -> f64 {
+        self.values.iter().sum::<f64>() / self.values.len() as f64
+    }
+
+    /// Returns a copy of the table with all values multiplied by `factor`.
+    pub fn scaled(&self, factor: f64) -> EnergyLut {
+        EnergyLut {
+            slew_axis: self.slew_axis.clone(),
+            load_axis: self.load_axis.clone(),
+            values: self.values.iter().map(|v| v * factor).collect(),
+        }
+    }
+}
+
+fn is_strictly_increasing(xs: &[f64]) -> bool {
+    xs.windows(2).all(|w| w[0] < w[1])
+}
+
+/// Find the interpolation bracket for `x` in a sorted axis: returns the lower
+/// index and the fractional position in `[0, 1]` toward the next index
+/// (clamped at the ends).
+fn bracket(axis: &[f64], x: f64) -> (usize, f64) {
+    if axis.len() == 1 || x <= axis[0] {
+        return (0, 0.0);
+    }
+    let last = axis.len() - 1;
+    if x >= axis[last] {
+        return (last, 0.0);
+    }
+    // axis is small (typically 4 entries); linear scan is fastest.
+    let mut i = 0;
+    while axis[i + 1] < x {
+        i += 1;
+    }
+    let frac = (x - axis[i]) / (axis[i + 1] - axis[i]);
+    (i, frac)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn sample_lut() -> EnergyLut {
+        EnergyLut::new(
+            vec![0.01, 0.05, 0.2, 0.8],
+            vec![0.001, 0.01, 0.05, 0.2],
+            (0..16).map(|i| 1.0 + i as f64).collect(),
+        )
+        .expect("well-formed")
+    }
+
+    #[test]
+    fn rejects_bad_shapes() {
+        assert!(EnergyLut::new(vec![], vec![0.0], vec![]).is_err());
+        assert!(EnergyLut::new(vec![0.0], vec![], vec![]).is_err());
+        assert!(EnergyLut::new(vec![0.1, 0.1], vec![0.0], vec![1.0, 2.0]).is_err());
+        assert!(EnergyLut::new(vec![0.2, 0.1], vec![0.0], vec![1.0, 2.0]).is_err());
+        assert!(EnergyLut::new(vec![0.1, 0.2], vec![0.0], vec![1.0]).is_err());
+    }
+
+    #[test]
+    fn exact_grid_points() {
+        let lut = sample_lut();
+        for (si, &s) in lut.slew_axis().to_vec().iter().enumerate() {
+            for (li, &l) in lut.load_axis().to_vec().iter().enumerate() {
+                let expect = 1.0 + (si * 4 + li) as f64;
+                assert!((lut.lookup(s, l) - expect).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn clamping_outside_range() {
+        let lut = sample_lut();
+        assert_eq!(lut.lookup(-1.0, -1.0), 1.0);
+        assert_eq!(lut.lookup(10.0, 10.0), 16.0);
+        assert_eq!(lut.lookup(-1.0, 10.0), 4.0);
+    }
+
+    #[test]
+    fn constant_table() {
+        let lut = EnergyLut::constant(3.25);
+        assert_eq!(lut.lookup(0.5, 0.5), 3.25);
+        assert_eq!(lut.mean(), 3.25);
+    }
+
+    #[test]
+    fn scaling() {
+        let lut = sample_lut().scaled(2.0);
+        assert!((lut.lookup(0.01, 0.001) - 2.0).abs() < 1e-12);
+        assert!((lut.mean() - sample_lut().mean() * 2.0).abs() < 1e-9);
+    }
+
+    proptest! {
+        /// Interpolated values never leave the [min, max] envelope of the table.
+        #[test]
+        fn lookup_within_envelope(slew in -1.0f64..2.0, load in -1.0f64..2.0) {
+            let lut = sample_lut();
+            let v = lut.lookup(slew, load);
+            prop_assert!(v >= 1.0 - 1e-9 && v <= 16.0 + 1e-9);
+        }
+
+        /// Lookup is monotone in load for a table monotone in load.
+        #[test]
+        fn lookup_monotone_in_load(slew in 0.0f64..1.0, l1 in 0.0f64..0.3, l2 in 0.0f64..0.3) {
+            let lut = sample_lut();
+            let (lo, hi) = if l1 <= l2 { (l1, l2) } else { (l2, l1) };
+            prop_assert!(lut.lookup(slew, lo) <= lut.lookup(slew, hi) + 1e-9);
+        }
+    }
+}

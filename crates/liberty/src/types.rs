@@ -1,0 +1,390 @@
+//! Core enumerations shared by the whole workspace: the 18 functional cell
+//! classes, drive strengths, and power groups.
+
+use std::fmt;
+use std::str::FromStr;
+
+use serde::{Deserialize, Serialize};
+
+/// The 18 functional cell classes used by ATLAS for its one-hot node-type
+/// feature (paper §III-C1).
+///
+/// Clock-related cells (clock buffers, clock gates, clock muxes) are all
+/// folded into the single [`CellClass::Clk`] class, exactly as the paper
+/// folds them into a single `CK` type. SRAM macros get their own class so
+/// the memory power group can be separated.
+///
+/// # Examples
+///
+/// ```
+/// use atlas_liberty::CellClass;
+///
+/// assert_eq!(CellClass::COUNT, 18);
+/// assert_eq!(CellClass::Nand2.input_pins(), 2);
+/// assert!(CellClass::Dff.is_sequential());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum CellClass {
+    /// Inverter.
+    Inv,
+    /// Non-inverting buffer.
+    Buf,
+    /// 2-input AND.
+    And2,
+    /// 2-input NAND.
+    Nand2,
+    /// 2-input OR.
+    Or2,
+    /// 2-input NOR.
+    Nor2,
+    /// 2-input XOR.
+    Xor2,
+    /// 2-input XNOR.
+    Xnor2,
+    /// 2-to-1 multiplexer (`S ? B : A`, pins `A`, `B`, `S`).
+    Mux2,
+    /// AND-OR-invert 2-1: `!(A&B | C)`.
+    Aoi21,
+    /// OR-AND-invert 2-1: `!((A|B) & C)`.
+    Oai21,
+    /// AND-OR-invert 2-2: `!(A&B | C&D)`.
+    Aoi22,
+    /// Half adder (sum output is modeled; carry realized with a companion cell).
+    HalfAdder,
+    /// Full adder (sum output is modeled; carry realized with a companion cell).
+    FullAdder,
+    /// D flip-flop.
+    Dff,
+    /// D flip-flop with synchronous reset.
+    Dffr,
+    /// Clock-network cell (clock buffer / clock gate / clock mux), the
+    /// paper's `CK` type.
+    Clk,
+    /// SRAM macro (memory power group).
+    Sram,
+}
+
+impl CellClass {
+    /// Number of distinct cell classes (the node-type one-hot width).
+    pub const COUNT: usize = 18;
+
+    /// All classes in canonical (one-hot index) order.
+    pub const ALL: [CellClass; CellClass::COUNT] = [
+        CellClass::Inv,
+        CellClass::Buf,
+        CellClass::And2,
+        CellClass::Nand2,
+        CellClass::Or2,
+        CellClass::Nor2,
+        CellClass::Xor2,
+        CellClass::Xnor2,
+        CellClass::Mux2,
+        CellClass::Aoi21,
+        CellClass::Oai21,
+        CellClass::Aoi22,
+        CellClass::HalfAdder,
+        CellClass::FullAdder,
+        CellClass::Dff,
+        CellClass::Dffr,
+        CellClass::Clk,
+        CellClass::Sram,
+    ];
+
+    /// Stable index of this class in [`CellClass::ALL`] (one-hot position).
+    pub fn index(self) -> usize {
+        CellClass::ALL
+            .iter()
+            .position(|&c| c == self)
+            .expect("every class is in ALL")
+    }
+
+    /// Inverse of [`CellClass::index`]; `None` if out of range.
+    pub fn from_index(idx: usize) -> Option<CellClass> {
+        CellClass::ALL.get(idx).copied()
+    }
+
+    /// Number of logic input pins (excluding clock/reset pins).
+    pub fn input_pins(self) -> usize {
+        match self {
+            CellClass::Inv | CellClass::Buf | CellClass::Clk => 1,
+            CellClass::And2
+            | CellClass::Nand2
+            | CellClass::Or2
+            | CellClass::Nor2
+            | CellClass::Xor2
+            | CellClass::Xnor2
+            | CellClass::HalfAdder => 2,
+            CellClass::Mux2 | CellClass::Aoi21 | CellClass::Oai21 | CellClass::FullAdder => 3,
+            CellClass::Aoi22 => 4,
+            CellClass::Dff | CellClass::Dffr => 1,
+            // SRAM macro instances expose single-bit port digests:
+            // read-enable, write-enable, address, write-data.
+            CellClass::Sram => 4,
+        }
+    }
+
+    /// Whether this cell is clocked (has a clock pin).
+    pub fn is_sequential(self) -> bool {
+        matches!(self, CellClass::Dff | CellClass::Dffr | CellClass::Sram)
+    }
+
+    /// Whether this is a plain combinational logic cell.
+    pub fn is_combinational(self) -> bool {
+        self.power_group() == PowerGroup::Combinational
+    }
+
+    /// The power group this class is accounted under (paper §V).
+    pub fn power_group(self) -> PowerGroup {
+        match self {
+            CellClass::Dff | CellClass::Dffr => PowerGroup::Register,
+            CellClass::Clk => PowerGroup::ClockTree,
+            CellClass::Sram => PowerGroup::Memory,
+            _ => PowerGroup::Combinational,
+        }
+    }
+
+    /// Canonical liblite keyword for this class.
+    pub fn keyword(self) -> &'static str {
+        match self {
+            CellClass::Inv => "inv",
+            CellClass::Buf => "buf",
+            CellClass::And2 => "and2",
+            CellClass::Nand2 => "nand2",
+            CellClass::Or2 => "or2",
+            CellClass::Nor2 => "nor2",
+            CellClass::Xor2 => "xor2",
+            CellClass::Xnor2 => "xnor2",
+            CellClass::Mux2 => "mux2",
+            CellClass::Aoi21 => "aoi21",
+            CellClass::Oai21 => "oai21",
+            CellClass::Aoi22 => "aoi22",
+            CellClass::HalfAdder => "addh",
+            CellClass::FullAdder => "addf",
+            CellClass::Dff => "dff",
+            CellClass::Dffr => "dffr",
+            CellClass::Clk => "clk",
+            CellClass::Sram => "sram",
+        }
+    }
+}
+
+impl fmt::Display for CellClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.keyword())
+    }
+}
+
+impl FromStr for CellClass {
+    type Err = ParseCellClassError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        CellClass::ALL
+            .iter()
+            .copied()
+            .find(|c| c.keyword() == s)
+            .ok_or_else(|| ParseCellClassError(s.to_owned()))
+    }
+}
+
+/// Error returned when parsing a [`CellClass`] from an unknown keyword.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseCellClassError(String);
+
+impl fmt::Display for ParseCellClassError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown cell class keyword `{}`", self.0)
+    }
+}
+
+impl std::error::Error for ParseCellClassError {}
+
+/// Discrete drive strengths available for every standard cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Drive {
+    /// Unit drive.
+    X1,
+    /// Double drive.
+    X2,
+    /// Quadruple drive.
+    X4,
+    /// Octuple drive.
+    X8,
+}
+
+impl Drive {
+    /// All drive strengths in increasing order.
+    pub const ALL: [Drive; 4] = [Drive::X1, Drive::X2, Drive::X4, Drive::X8];
+
+    /// Relative drive multiplier (output current) versus X1.
+    pub fn multiplier(self) -> f64 {
+        match self {
+            Drive::X1 => 1.0,
+            Drive::X2 => 2.0,
+            Drive::X4 => 4.0,
+            Drive::X8 => 8.0,
+        }
+    }
+
+    /// The next stronger drive, saturating at [`Drive::X8`].
+    pub fn upsized(self) -> Drive {
+        match self {
+            Drive::X1 => Drive::X2,
+            Drive::X2 => Drive::X4,
+            Drive::X4 | Drive::X8 => Drive::X8,
+        }
+    }
+
+    /// Numeric suffix used in cell names (`1`, `2`, `4`, `8`).
+    pub fn suffix(self) -> u32 {
+        self.multiplier() as u32
+    }
+
+    /// Parse from the numeric suffix.
+    pub fn from_suffix(suffix: u32) -> Option<Drive> {
+        match suffix {
+            1 => Some(Drive::X1),
+            2 => Some(Drive::X2),
+            4 => Some(Drive::X4),
+            8 => Some(Drive::X8),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Drive {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "X{}", self.suffix())
+    }
+}
+
+/// The four power groups ATLAS reports (paper §V and §VI-B).
+///
+/// The paper's headline tables cover [`Combinational`](PowerGroup::Combinational),
+/// [`Register`](PowerGroup::Register) and [`ClockTree`](PowerGroup::ClockTree);
+/// the [`Memory`](PowerGroup::Memory) group is modeled separately and excluded
+/// from the headline MAPE tables, which we mirror.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum PowerGroup {
+    /// Combinational logic cells.
+    Combinational,
+    /// Flip-flops, dominated by their clock-pin internal power (paper fn. 3).
+    Register,
+    /// Clock network cells, present only in the post-layout netlist.
+    ClockTree,
+    /// SRAM macros.
+    Memory,
+}
+
+impl PowerGroup {
+    /// All groups in canonical order.
+    pub const ALL: [PowerGroup; 4] = [
+        PowerGroup::Combinational,
+        PowerGroup::Register,
+        PowerGroup::ClockTree,
+        PowerGroup::Memory,
+    ];
+
+    /// Stable index in [`PowerGroup::ALL`].
+    pub fn index(self) -> usize {
+        PowerGroup::ALL
+            .iter()
+            .position(|&g| g == self)
+            .expect("every group is in ALL")
+    }
+
+    /// Short label used in printed tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            PowerGroup::Combinational => "Combinational",
+            PowerGroup::Register => "Register",
+            PowerGroup::ClockTree => "Clock Tree",
+            PowerGroup::Memory => "Memory",
+        }
+    }
+}
+
+impl fmt::Display for PowerGroup {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_count_is_18() {
+        assert_eq!(CellClass::ALL.len(), 18);
+        assert_eq!(CellClass::COUNT, 18);
+    }
+
+    #[test]
+    fn class_index_roundtrip() {
+        for (i, c) in CellClass::ALL.iter().enumerate() {
+            assert_eq!(c.index(), i);
+            assert_eq!(CellClass::from_index(i), Some(*c));
+        }
+        assert_eq!(CellClass::from_index(18), None);
+    }
+
+    #[test]
+    fn class_keyword_roundtrip() {
+        for c in CellClass::ALL {
+            let parsed: CellClass = c.keyword().parse().expect("keyword parses");
+            assert_eq!(parsed, c);
+        }
+        assert!("bogus".parse::<CellClass>().is_err());
+    }
+
+    #[test]
+    fn sequential_classes() {
+        assert!(CellClass::Dff.is_sequential());
+        assert!(CellClass::Dffr.is_sequential());
+        assert!(CellClass::Sram.is_sequential());
+        assert!(!CellClass::Nand2.is_sequential());
+        assert!(!CellClass::Clk.is_sequential());
+    }
+
+    #[test]
+    fn power_group_mapping() {
+        assert_eq!(CellClass::Nand2.power_group(), PowerGroup::Combinational);
+        assert_eq!(CellClass::Dff.power_group(), PowerGroup::Register);
+        assert_eq!(CellClass::Clk.power_group(), PowerGroup::ClockTree);
+        assert_eq!(CellClass::Sram.power_group(), PowerGroup::Memory);
+        let comb = CellClass::ALL
+            .iter()
+            .filter(|c| c.power_group() == PowerGroup::Combinational)
+            .count();
+        assert_eq!(comb, 14);
+    }
+
+    #[test]
+    fn pin_counts() {
+        assert_eq!(CellClass::Inv.input_pins(), 1);
+        assert_eq!(CellClass::Mux2.input_pins(), 3);
+        assert_eq!(CellClass::Aoi22.input_pins(), 4);
+        assert_eq!(CellClass::FullAdder.input_pins(), 3);
+        assert_eq!(CellClass::Dff.input_pins(), 1);
+    }
+
+    #[test]
+    fn drive_ordering_and_upsize() {
+        assert!(Drive::X1 < Drive::X8);
+        assert_eq!(Drive::X1.upsized(), Drive::X2);
+        assert_eq!(Drive::X8.upsized(), Drive::X8);
+        assert_eq!(Drive::X4.multiplier(), 4.0);
+        assert_eq!(Drive::from_suffix(4), Some(Drive::X4));
+        assert_eq!(Drive::from_suffix(3), None);
+        assert_eq!(Drive::X2.to_string(), "X2");
+    }
+
+    #[test]
+    fn group_labels_and_index() {
+        for (i, g) in PowerGroup::ALL.iter().enumerate() {
+            assert_eq!(g.index(), i);
+            assert!(!g.label().is_empty());
+        }
+        assert_eq!(PowerGroup::ClockTree.to_string(), "Clock Tree");
+    }
+}

@@ -1,0 +1,527 @@
+//! Validated netlist construction.
+
+use std::fmt;
+
+use atlas_liberty::{CellClass, Drive};
+
+use crate::cell::{Cell, SramConfig};
+use crate::design::{Design, Stage, Submodule};
+use crate::ids::{CellId, NetId, Sink, SinkPin, SubmoduleId};
+use crate::net::Net;
+use crate::topo;
+
+/// Error produced while building or finalizing a netlist.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildError {
+    /// A net has no driver and is not a primary input / clock / reset.
+    UndrivenNet(NetId),
+    /// Attempted to drive a net that already has a driver.
+    MultiplyDrivenNet(NetId),
+    /// Wrong number of input nets for the cell class.
+    BadPinCount {
+        /// The offending class.
+        class: CellClass,
+        /// Pins the class requires.
+        expected: usize,
+        /// Pins supplied.
+        got: usize,
+    },
+    /// A purely combinational cycle exists (no register on the loop).
+    CombinationalCycle(CellId),
+    /// The design has no cells.
+    Empty,
+    /// Referenced a sub-module id that was never declared.
+    UnknownSubmodule(SubmoduleId),
+    /// A sequential cell was added but no clock net exists.
+    NoClock,
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::UndrivenNet(n) => write!(f, "net {n} has no driver"),
+            BuildError::MultiplyDrivenNet(n) => write!(f, "net {n} is driven more than once"),
+            BuildError::BadPinCount { class, expected, got } => {
+                write!(f, "cell class {class} expects {expected} inputs, got {got}")
+            }
+            BuildError::CombinationalCycle(c) => {
+                write!(f, "combinational cycle through cell {c}")
+            }
+            BuildError::Empty => write!(f, "design has no cells"),
+            BuildError::UnknownSubmodule(s) => write!(f, "unknown sub-module {s}"),
+            BuildError::NoClock => write!(f, "sequential cell added without a clock net"),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+/// Incremental, validated builder for a [`Design`].
+///
+/// # Examples
+///
+/// ```
+/// use atlas_liberty::{CellClass, Drive};
+/// use atlas_netlist::NetlistBuilder;
+///
+/// # fn main() -> Result<(), atlas_netlist::BuildError> {
+/// let mut b = NetlistBuilder::new("demo");
+/// let sm = b.add_submodule("top.u0", "top");
+/// let a = b.add_input();
+/// let c = b.add_input();
+/// let y = b.add_cell(CellClass::Xor2, Drive::X1, &[a, c], sm)?;
+/// let q = b.add_dff(y, sm)?;
+/// b.mark_output(q);
+/// let design = b.finish()?;
+/// assert_eq!(design.cell_count(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct NetlistBuilder {
+    name: String,
+    cells: Vec<Cell>,
+    nets: Vec<Net>,
+    submodules: Vec<Submodule>,
+    primary_inputs: Vec<NetId>,
+    primary_outputs: Vec<NetId>,
+    clock: Option<NetId>,
+    reset: Option<NetId>,
+}
+
+impl NetlistBuilder {
+    /// Start a new empty design.
+    pub fn new(name: impl Into<String>) -> NetlistBuilder {
+        NetlistBuilder {
+            name: name.into(),
+            cells: Vec::new(),
+            nets: Vec::new(),
+            submodules: Vec::new(),
+            primary_inputs: Vec::new(),
+            primary_outputs: Vec::new(),
+            clock: None,
+            reset: None,
+        }
+    }
+
+    /// Declare a sub-module under a component.
+    pub fn add_submodule(
+        &mut self,
+        name: impl Into<String>,
+        component: impl Into<String>,
+    ) -> SubmoduleId {
+        let id = SubmoduleId::from_index(self.submodules.len());
+        self.submodules.push(Submodule {
+            name: name.into(),
+            component: component.into(),
+        });
+        id
+    }
+
+    /// Number of cells added so far.
+    pub fn cell_count(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Create a fresh undriven net (must be driven before [`finish`](Self::finish)).
+    pub fn new_net(&mut self) -> NetId {
+        let id = NetId::from_index(self.nets.len());
+        self.nets.push(Net {
+            driver: None,
+            sinks: Vec::new(),
+            wire_cap: 0.0,
+        });
+        id
+    }
+
+    /// Create a primary-input net.
+    pub fn add_input(&mut self) -> NetId {
+        let id = self.new_net();
+        self.primary_inputs.push(id);
+        id
+    }
+
+    /// Create several primary-input nets.
+    pub fn add_inputs(&mut self, n: usize) -> Vec<NetId> {
+        (0..n).map(|_| self.add_input()).collect()
+    }
+
+    /// The design's clock root net (created on first use).
+    pub fn clock_net(&mut self) -> NetId {
+        if let Some(c) = self.clock {
+            c
+        } else {
+            let c = self.new_net();
+            self.clock = Some(c);
+            c
+        }
+    }
+
+    /// The design's reset net (created on first use).
+    pub fn reset_net(&mut self) -> NetId {
+        if let Some(r) = self.reset {
+            r
+        } else {
+            let r = self.new_net();
+            self.reset = Some(r);
+            r
+        }
+    }
+
+    /// Mark a net as a primary output.
+    pub fn mark_output(&mut self, net: NetId) {
+        if !self.primary_outputs.contains(&net) {
+            self.primary_outputs.push(net);
+        }
+    }
+
+    /// Add a combinational cell; creates and returns its output net.
+    ///
+    /// # Errors
+    ///
+    /// [`BuildError::BadPinCount`] if `inputs` does not match the class, or
+    /// [`BuildError::UnknownSubmodule`].
+    pub fn add_cell(
+        &mut self,
+        class: CellClass,
+        drive: Drive,
+        inputs: &[NetId],
+        submodule: SubmoduleId,
+    ) -> Result<NetId, BuildError> {
+        let out = self.new_net();
+        self.add_cell_onto(out, class, drive, inputs, submodule)?;
+        Ok(out)
+    }
+
+    /// Add a combinational cell driving the existing (undriven) net `out`.
+    ///
+    /// # Errors
+    ///
+    /// [`BuildError::MultiplyDrivenNet`], [`BuildError::BadPinCount`], or
+    /// [`BuildError::UnknownSubmodule`].
+    pub fn add_cell_onto(
+        &mut self,
+        out: NetId,
+        class: CellClass,
+        drive: Drive,
+        inputs: &[NetId],
+        submodule: SubmoduleId,
+    ) -> Result<CellId, BuildError> {
+        if inputs.len() != class.input_pins() {
+            return Err(BuildError::BadPinCount {
+                class,
+                expected: class.input_pins(),
+                got: inputs.len(),
+            });
+        }
+        self.push_cell(class, drive, inputs.to_vec(), out, None, None, submodule, None)
+    }
+
+    /// Add a D flip-flop clocked by the design clock; returns the Q net.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the same errors as [`add_cell`](Self::add_cell).
+    pub fn add_dff(&mut self, d: NetId, submodule: SubmoduleId) -> Result<NetId, BuildError> {
+        let q = self.new_net();
+        self.add_dff_onto(q, d, submodule)?;
+        Ok(q)
+    }
+
+    /// Add a D flip-flop driving the existing net `q`.
+    ///
+    /// # Errors
+    ///
+    /// [`BuildError::MultiplyDrivenNet`] or [`BuildError::UnknownSubmodule`].
+    pub fn add_dff_onto(
+        &mut self,
+        q: NetId,
+        d: NetId,
+        submodule: SubmoduleId,
+    ) -> Result<CellId, BuildError> {
+        let clk = self.clock_net();
+        self.push_cell(
+            CellClass::Dff,
+            Drive::X1,
+            vec![d],
+            q,
+            Some(clk),
+            None,
+            submodule,
+            None,
+        )
+    }
+
+    /// Add a resettable D flip-flop; returns the Q net.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the same errors as [`add_cell`](Self::add_cell).
+    pub fn add_dffr(&mut self, d: NetId, submodule: SubmoduleId) -> Result<NetId, BuildError> {
+        let q = self.new_net();
+        self.add_dffr_onto(q, d, submodule)?;
+        Ok(q)
+    }
+
+    /// Add a resettable D flip-flop driving the existing net `q`.
+    ///
+    /// # Errors
+    ///
+    /// [`BuildError::MultiplyDrivenNet`] or [`BuildError::UnknownSubmodule`].
+    pub fn add_dffr_onto(
+        &mut self,
+        q: NetId,
+        d: NetId,
+        submodule: SubmoduleId,
+    ) -> Result<CellId, BuildError> {
+        let clk = self.clock_net();
+        let rst = self.reset_net();
+        self.push_cell(
+            CellClass::Dffr,
+            Drive::X1,
+            vec![d],
+            q,
+            Some(clk),
+            Some(rst),
+            submodule,
+            None,
+        )
+    }
+
+    /// Add an SRAM macro instance. `inputs = [ren, wen, addr, data]` are
+    /// single-bit digests of the ports; returns the read-data digest net.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the same errors as [`add_cell`](Self::add_cell).
+    pub fn add_sram(
+        &mut self,
+        words: u32,
+        bits: u32,
+        ren: NetId,
+        wen: NetId,
+        addr: NetId,
+        data: NetId,
+        submodule: SubmoduleId,
+    ) -> Result<NetId, BuildError> {
+        let q = self.new_net();
+        self.add_sram_onto(q, words, bits, ren, wen, addr, data, submodule)?;
+        Ok(q)
+    }
+
+    /// Add an SRAM macro instance driving the existing net `q`.
+    ///
+    /// # Errors
+    ///
+    /// [`BuildError::MultiplyDrivenNet`] or [`BuildError::UnknownSubmodule`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn add_sram_onto(
+        &mut self,
+        q: NetId,
+        words: u32,
+        bits: u32,
+        ren: NetId,
+        wen: NetId,
+        addr: NetId,
+        data: NetId,
+        submodule: SubmoduleId,
+    ) -> Result<CellId, BuildError> {
+        let clk = self.clock_net();
+        self.push_cell(
+            CellClass::Sram,
+            Drive::X1,
+            vec![ren, wen, addr, data],
+            q,
+            Some(clk),
+            None,
+            submodule,
+            Some(SramConfig { words, bits }),
+        )
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn push_cell(
+        &mut self,
+        class: CellClass,
+        drive: Drive,
+        inputs: Vec<NetId>,
+        output: NetId,
+        clock: Option<NetId>,
+        reset: Option<NetId>,
+        submodule: SubmoduleId,
+        sram: Option<SramConfig>,
+    ) -> Result<CellId, BuildError> {
+        if submodule.index() >= self.submodules.len() {
+            return Err(BuildError::UnknownSubmodule(submodule));
+        }
+        if self.nets[output.index()].driver.is_some() {
+            return Err(BuildError::MultiplyDrivenNet(output));
+        }
+        let id = CellId::from_index(self.cells.len());
+        self.nets[output.index()].driver = Some(id);
+        for (pin, &net) in inputs.iter().enumerate() {
+            self.nets[net.index()].sinks.push(Sink::input(id, pin as u8));
+        }
+        if let Some(clk) = clock {
+            self.nets[clk.index()].sinks.push(Sink::clock(id));
+        }
+        if let Some(rst) = reset {
+            self.nets[rst.index()].sinks.push(Sink {
+                cell: id,
+                pin: SinkPin::Reset,
+            });
+        }
+        self.cells.push(Cell {
+            class,
+            drive,
+            inputs,
+            output,
+            clock,
+            reset,
+            submodule,
+            sram,
+        });
+        Ok(id)
+    }
+
+    /// Validate and produce the final [`Design`].
+    ///
+    /// # Errors
+    ///
+    /// * [`BuildError::Empty`] — no cells.
+    /// * [`BuildError::UndrivenNet`] — a net with neither a driver nor
+    ///   primary-input / clock / reset status.
+    /// * [`BuildError::CombinationalCycle`] — a register-free loop.
+    pub fn finish(self) -> Result<Design, BuildError> {
+        if self.cells.is_empty() {
+            return Err(BuildError::Empty);
+        }
+        for (i, net) in self.nets.iter().enumerate() {
+            let id = NetId::from_index(i);
+            let is_source = self.primary_inputs.contains(&id)
+                || self.clock == Some(id)
+                || self.reset == Some(id);
+            if net.driver.is_none() && !is_source {
+                return Err(BuildError::UndrivenNet(id));
+            }
+        }
+        let design = Design {
+            name: self.name,
+            stage: Stage::GateLevel,
+            cells: self.cells,
+            nets: self.nets,
+            submodules: self.submodules,
+            primary_inputs: self.primary_inputs,
+            primary_outputs: self.primary_outputs,
+            clock: self.clock,
+            reset: self.reset,
+        };
+        if let Err(cell) = topo::levelize(&design) {
+            return Err(BuildError::CombinationalCycle(cell));
+        }
+        Ok(design)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_design_is_an_error() {
+        let b = NetlistBuilder::new("empty");
+        assert_eq!(b.finish().unwrap_err(), BuildError::Empty);
+    }
+
+    #[test]
+    fn bad_pin_count_is_an_error() {
+        let mut b = NetlistBuilder::new("bad");
+        let sm = b.add_submodule("t.u", "t");
+        let a = b.add_input();
+        let err = b.add_cell(CellClass::Nand2, Drive::X1, &[a], sm).unwrap_err();
+        assert!(matches!(err, BuildError::BadPinCount { expected: 2, got: 1, .. }));
+    }
+
+    #[test]
+    fn undriven_net_is_an_error() {
+        let mut b = NetlistBuilder::new("undriven");
+        let sm = b.add_submodule("t.u", "t");
+        let dangling = b.new_net();
+        let a = b.add_input();
+        b.add_cell(CellClass::And2, Drive::X1, &[a, dangling], sm)
+            .expect("structurally fine at add time");
+        let err = b.finish().unwrap_err();
+        assert!(matches!(err, BuildError::UndrivenNet(_)));
+    }
+
+    #[test]
+    fn multiply_driven_net_is_an_error() {
+        let mut b = NetlistBuilder::new("multi");
+        let sm = b.add_submodule("t.u", "t");
+        let a = b.add_input();
+        let y = b.add_cell(CellClass::Inv, Drive::X1, &[a], sm).expect("ok");
+        let err = b.add_cell_onto(y, CellClass::Inv, Drive::X1, &[a], sm).unwrap_err();
+        assert_eq!(err, BuildError::MultiplyDrivenNet(y));
+    }
+
+    #[test]
+    fn unknown_submodule_is_an_error() {
+        let mut b = NetlistBuilder::new("nosm");
+        let a = b.add_input();
+        let err = b
+            .add_cell(CellClass::Inv, Drive::X1, &[a], SubmoduleId::from_index(5))
+            .unwrap_err();
+        assert!(matches!(err, BuildError::UnknownSubmodule(_)));
+    }
+
+    #[test]
+    fn combinational_cycle_is_an_error() {
+        let mut b = NetlistBuilder::new("cycle");
+        let sm = b.add_submodule("t.u", "t");
+        let loopback = b.new_net();
+        let a = b.add_input();
+        let y = b.add_cell(CellClass::And2, Drive::X1, &[a, loopback], sm).expect("ok");
+        b.add_cell_onto(loopback, CellClass::Inv, Drive::X1, &[y], sm).expect("ok");
+        let err = b.finish().unwrap_err();
+        assert!(matches!(err, BuildError::CombinationalCycle(_)));
+    }
+
+    #[test]
+    fn register_breaks_cycle() {
+        let mut b = NetlistBuilder::new("regloop");
+        let sm = b.add_submodule("t.u", "t");
+        let q = b.new_net();
+        let nq = b.add_cell(CellClass::Inv, Drive::X1, &[q], sm).expect("ok");
+        b.add_dff_onto(q, nq, sm).expect("ok");
+        assert!(b.finish().is_ok());
+    }
+
+    #[test]
+    fn sram_wiring() {
+        let mut b = NetlistBuilder::new("mem");
+        let sm = b.add_submodule("t.mem", "t");
+        let ren = b.add_input();
+        let wen = b.add_input();
+        let addr = b.add_input();
+        let data = b.add_input();
+        let q = b.add_sram(512, 64, ren, wen, addr, data, sm).expect("ok");
+        b.mark_output(q);
+        let d = b.finish().expect("valid");
+        let sram = &d.cells()[0];
+        assert_eq!(sram.class(), CellClass::Sram);
+        assert_eq!(sram.sram().expect("has config").words, 512);
+        assert!(d.validate().is_empty());
+    }
+
+    #[test]
+    fn outputs_deduplicated() {
+        let mut b = NetlistBuilder::new("dup");
+        let sm = b.add_submodule("t.u", "t");
+        let a = b.add_input();
+        let y = b.add_cell(CellClass::Buf, Drive::X1, &[a], sm).expect("ok");
+        b.mark_output(y);
+        b.mark_output(y);
+        let d = b.finish().expect("valid");
+        assert_eq!(d.primary_outputs().len(), 1);
+    }
+}

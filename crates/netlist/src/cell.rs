@@ -1,0 +1,89 @@
+//! Cell instances.
+
+use atlas_liberty::{CellClass, Drive};
+use serde::{Deserialize, Serialize};
+
+use crate::ids::{NetId, SubmoduleId};
+
+/// Behavioral configuration of an SRAM macro instance.
+///
+/// SRAM macros are modeled at port granularity: the instance samples a read
+/// enable, a write enable, and single-bit address/data digests. This is all
+/// the power engine needs (per-cycle read/write access counts, §VI-B) while
+/// still giving the logic simulator a deterministic sequential element whose
+/// output feeds downstream toggles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SramConfig {
+    /// Words in the instantiated macro.
+    pub words: u32,
+    /// Bits per word.
+    pub bits: u32,
+}
+
+/// One cell instance in a [`crate::Design`].
+///
+/// Pin conventions by class:
+///
+/// * combinational classes: `inputs` holds the logic pins in
+///   [`CellClass`] order, `clock`/`reset` are `None`;
+/// * `Dff`: `inputs[0]` = D, `clock` = Some;
+/// * `Dffr`: `inputs[0]` = D, `clock` = Some, `reset` = Some;
+/// * `Sram`: `inputs = [ren, wen, addr, data]`, `clock` = Some.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Cell {
+    pub(crate) class: CellClass,
+    pub(crate) drive: Drive,
+    pub(crate) inputs: Vec<NetId>,
+    pub(crate) output: NetId,
+    pub(crate) clock: Option<NetId>,
+    pub(crate) reset: Option<NetId>,
+    pub(crate) submodule: SubmoduleId,
+    pub(crate) sram: Option<SramConfig>,
+}
+
+impl Cell {
+    /// Functional class.
+    pub fn class(&self) -> CellClass {
+        self.class
+    }
+
+    /// Drive strength.
+    pub fn drive(&self) -> Drive {
+        self.drive
+    }
+
+    /// Logic input nets in pin order.
+    pub fn inputs(&self) -> &[NetId] {
+        &self.inputs
+    }
+
+    /// Output net.
+    pub fn output(&self) -> NetId {
+        self.output
+    }
+
+    /// Clock net, for sequential cells.
+    pub fn clock(&self) -> Option<NetId> {
+        self.clock
+    }
+
+    /// Synchronous-reset net, for `Dffr`.
+    pub fn reset(&self) -> Option<NetId> {
+        self.reset
+    }
+
+    /// The sub-module this cell belongs to.
+    pub fn submodule(&self) -> SubmoduleId {
+        self.submodule
+    }
+
+    /// SRAM geometry, for `Sram` cells.
+    pub fn sram(&self) -> Option<SramConfig> {
+        self.sram
+    }
+
+    /// Whether the cell is clocked.
+    pub fn is_sequential(&self) -> bool {
+        self.class.is_sequential()
+    }
+}

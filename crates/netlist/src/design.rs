@@ -1,0 +1,435 @@
+//! The flat design container and its editing API.
+
+use atlas_liberty::{CellClass, Drive, PowerGroup};
+use serde::{Deserialize, Serialize};
+
+use crate::cell::{Cell, SramConfig};
+use crate::ids::{CellId, NetId, Sink, SinkPin, SubmoduleId};
+use crate::net::Net;
+
+/// Which stage of the flow a netlist snapshot represents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Stage {
+    /// Post-synthesis gate-level netlist (`Ng` or its equivalent `N+g`):
+    /// no clock tree, no wire parasitics.
+    GateLevel,
+    /// Post-layout netlist (`Np`): clock tree synthesized, buffers inserted,
+    /// drives resized, per-net wire capacitance annotated.
+    PostLayout,
+}
+
+/// One non-overlapping sub-module: the unit ATLAS encodes and predicts
+/// power for (paper §III-A). Each sub-module belongs to a named component
+/// (e.g. `frontend`, `lsu`) used for Fig. 6-style rollups.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Submodule {
+    pub(crate) name: String,
+    pub(crate) component: String,
+}
+
+impl Submodule {
+    /// Full hierarchical name, e.g. `core.alu0`.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Owning component, e.g. `core`.
+    pub fn component(&self) -> &str {
+        &self.component
+    }
+}
+
+/// A flat gate-level design: cells, nets, sub-modules, and port lists.
+///
+/// Constructed with [`crate::NetlistBuilder`]; edited *additively* by the
+/// layout flow (cells are never removed, mirroring how timing optimization
+/// and CTS only grow the cell count in Table II of the paper).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Design {
+    pub(crate) name: String,
+    pub(crate) stage: Stage,
+    pub(crate) cells: Vec<Cell>,
+    pub(crate) nets: Vec<Net>,
+    pub(crate) submodules: Vec<Submodule>,
+    pub(crate) primary_inputs: Vec<NetId>,
+    pub(crate) primary_outputs: Vec<NetId>,
+    pub(crate) clock: Option<NetId>,
+    pub(crate) reset: Option<NetId>,
+}
+
+impl Design {
+    /// Design name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Flow stage of this snapshot.
+    pub fn stage(&self) -> Stage {
+        self.stage
+    }
+
+    /// Mark this snapshot as post-layout. Used by the layout flow.
+    pub fn set_stage(&mut self, stage: Stage) {
+        self.stage = stage;
+    }
+
+    /// Number of cell instances.
+    pub fn cell_count(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Number of nets.
+    pub fn net_count(&self) -> usize {
+        self.nets.len()
+    }
+
+    /// All cells, indexable by [`CellId::index`].
+    pub fn cells(&self) -> &[Cell] {
+        &self.cells
+    }
+
+    /// All nets, indexable by [`NetId::index`].
+    pub fn nets(&self) -> &[Net] {
+        &self.nets
+    }
+
+    /// All sub-modules.
+    pub fn submodules(&self) -> &[Submodule] {
+        &self.submodules
+    }
+
+    /// Look up one cell.
+    pub fn cell(&self, id: CellId) -> &Cell {
+        &self.cells[id.index()]
+    }
+
+    /// Look up one net.
+    pub fn net(&self, id: NetId) -> &Net {
+        &self.nets[id.index()]
+    }
+
+    /// Look up one sub-module.
+    pub fn submodule(&self, id: SubmoduleId) -> &Submodule {
+        &self.submodules[id.index()]
+    }
+
+    /// Iterate cell ids.
+    pub fn cell_ids(&self) -> impl Iterator<Item = CellId> + '_ {
+        (0..self.cells.len()).map(CellId::from_index)
+    }
+
+    /// Iterate net ids.
+    pub fn net_ids(&self) -> impl Iterator<Item = NetId> + '_ {
+        (0..self.nets.len()).map(NetId::from_index)
+    }
+
+    /// Iterate sub-module ids.
+    pub fn submodule_ids(&self) -> impl Iterator<Item = SubmoduleId> + '_ {
+        (0..self.submodules.len()).map(SubmoduleId::from_index)
+    }
+
+    /// Primary input nets (excluding clock and reset).
+    pub fn primary_inputs(&self) -> &[NetId] {
+        &self.primary_inputs
+    }
+
+    /// Primary output nets.
+    pub fn primary_outputs(&self) -> &[NetId] {
+        &self.primary_outputs
+    }
+
+    /// The clock root net, if the design is sequential.
+    pub fn clock(&self) -> Option<NetId> {
+        self.clock
+    }
+
+    /// The reset net, if present.
+    pub fn reset(&self) -> Option<NetId> {
+        self.reset
+    }
+
+    /// The distinct component names, in first-appearance order.
+    pub fn components(&self) -> Vec<&str> {
+        let mut out: Vec<&str> = Vec::new();
+        for sm in &self.submodules {
+            if !out.contains(&sm.component.as_str()) {
+                out.push(&sm.component);
+            }
+        }
+        out
+    }
+
+    /// Count cells in each power group.
+    pub fn group_counts(&self) -> [usize; 4] {
+        let mut counts = [0usize; 4];
+        for cell in &self.cells {
+            counts[cell.class().power_group().index()] += 1;
+        }
+        counts
+    }
+
+    /// Count cells of one power group.
+    pub fn count_in_group(&self, group: PowerGroup) -> usize {
+        self.group_counts()[group.index()]
+    }
+
+    // -----------------------------------------------------------------
+    // Additive editing API (used by the layout flow)
+    // -----------------------------------------------------------------
+
+    /// Create a fresh undriven net and return its id.
+    pub fn add_net(&mut self) -> NetId {
+        let id = NetId::from_index(self.nets.len());
+        self.nets.push(Net {
+            driver: None,
+            sinks: Vec::new(),
+            wire_cap: 0.0,
+        });
+        id
+    }
+
+    /// Add a new sub-module (used by CTS to group clock-tree cells).
+    pub fn add_submodule(&mut self, name: impl Into<String>, component: impl Into<String>) -> SubmoduleId {
+        let id = SubmoduleId::from_index(self.submodules.len());
+        self.submodules.push(Submodule {
+            name: name.into(),
+            component: component.into(),
+        });
+        id
+    }
+
+    /// Insert a new cell driving `output`. All nets must already exist;
+    /// `output` must be undriven. Sink lists of the input nets are updated.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `output` already has a driver or if the input count does
+    /// not match the class's pin count (these indicate a bug in the caller,
+    /// not a recoverable condition — the layout flow is trusted code).
+    #[allow(clippy::too_many_arguments)]
+    pub fn insert_cell(
+        &mut self,
+        class: CellClass,
+        drive: Drive,
+        inputs: &[NetId],
+        output: NetId,
+        clock: Option<NetId>,
+        reset: Option<NetId>,
+        submodule: SubmoduleId,
+        sram: Option<SramConfig>,
+    ) -> CellId {
+        assert_eq!(
+            inputs.len(),
+            class.input_pins(),
+            "{class} expects {} inputs",
+            class.input_pins()
+        );
+        assert!(
+            self.nets[output.index()].driver.is_none(),
+            "net {output} is already driven"
+        );
+        let id = CellId::from_index(self.cells.len());
+        self.cells.push(Cell {
+            class,
+            drive,
+            inputs: inputs.to_vec(),
+            output,
+            clock,
+            reset,
+            submodule,
+            sram,
+        });
+        self.nets[output.index()].driver = Some(id);
+        for (pin, &net) in inputs.iter().enumerate() {
+            self.nets[net.index()].sinks.push(Sink::input(id, pin as u8));
+        }
+        if let Some(clk) = clock {
+            self.nets[clk.index()].sinks.push(Sink::clock(id));
+        }
+        if let Some(rst) = reset {
+            self.nets[rst.index()].sinks.push(Sink {
+                cell: id,
+                pin: SinkPin::Reset,
+            });
+        }
+        id
+    }
+
+    /// Move the given sinks from net `from` to net `to`, rewiring the sink
+    /// cells' pin references. This is the primitive behind buffer insertion
+    /// and clock-tree construction.
+    ///
+    /// Sinks not currently on `from` are ignored.
+    pub fn move_sinks(&mut self, from: NetId, to: NetId, sinks: &[Sink]) {
+        if from == to {
+            return;
+        }
+        let wanted: std::collections::HashSet<Sink> = sinks.iter().copied().collect();
+        let from_net = &mut self.nets[from.index()];
+        let mut moved = Vec::new();
+        from_net.sinks.retain(|s| {
+            if wanted.contains(s) {
+                moved.push(*s);
+                false
+            } else {
+                true
+            }
+        });
+        for sink in &moved {
+            let cell = &mut self.cells[sink.cell.index()];
+            match sink.pin {
+                SinkPin::Input(p) => cell.inputs[p as usize] = to,
+                SinkPin::Clock => cell.clock = Some(to),
+                SinkPin::Reset => cell.reset = Some(to),
+            }
+        }
+        self.nets[to.index()].sinks.extend(moved);
+    }
+
+    /// Change a cell's drive strength in place (gate sizing).
+    pub fn set_drive(&mut self, cell: CellId, drive: Drive) {
+        self.cells[cell.index()].drive = drive;
+    }
+
+    /// Annotate a net's wire capacitance (pF). Used by parasitic estimation.
+    pub fn set_wire_cap(&mut self, net: NetId, cap: f64) {
+        self.nets[net.index()].wire_cap = cap;
+    }
+
+    /// Check structural invariants; returns a list of human-readable
+    /// violations (empty if consistent). Used by tests and after layout
+    /// transformations.
+    pub fn validate(&self) -> Vec<String> {
+        let mut problems = Vec::new();
+        for (i, cell) in self.cells.iter().enumerate() {
+            let id = CellId::from_index(i);
+            if cell.inputs.len() != cell.class.input_pins() {
+                problems.push(format!(
+                    "cell {id} ({}) has {} inputs, expected {}",
+                    cell.class,
+                    cell.inputs.len(),
+                    cell.class.input_pins()
+                ));
+            }
+            if self.nets[cell.output.index()].driver != Some(id) {
+                problems.push(format!("cell {id} output net does not point back to it"));
+            }
+            if cell.class.is_sequential() && cell.clock.is_none() {
+                problems.push(format!("sequential cell {id} has no clock"));
+            }
+            for (pin, &net) in cell.inputs.iter().enumerate() {
+                let ok = self.nets[net.index()]
+                    .sinks
+                    .iter()
+                    .any(|s| s.cell == id && s.pin == SinkPin::Input(pin as u8));
+                if !ok {
+                    problems.push(format!("cell {id} input pin {pin} missing from net {net} sinks"));
+                }
+            }
+        }
+        for (i, net) in self.nets.iter().enumerate() {
+            let id = NetId::from_index(i);
+            if let Some(driver) = net.driver {
+                if self.cells[driver.index()].output != id {
+                    problems.push(format!("net {id} driver does not drive it"));
+                }
+            }
+            for sink in &net.sinks {
+                let cell = &self.cells[sink.cell.index()];
+                let ok = match sink.pin {
+                    SinkPin::Input(p) => cell.inputs.get(p as usize) == Some(&id),
+                    SinkPin::Clock => cell.clock == Some(id),
+                    SinkPin::Reset => cell.reset == Some(id),
+                };
+                if !ok {
+                    problems.push(format!("net {id} sink {sink:?} does not reference it"));
+                }
+            }
+        }
+        problems
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::NetlistBuilder;
+
+    fn tiny() -> Design {
+        let mut b = NetlistBuilder::new("tiny");
+        let sm = b.add_submodule("top.u0", "top");
+        let a = b.add_input();
+        let bnet = b.add_input();
+        let y = b.add_cell(CellClass::Nand2, Drive::X1, &[a, bnet], sm).expect("ok");
+        let q = b.add_dff(y, sm).expect("ok");
+        b.mark_output(q);
+        b.finish().expect("valid")
+    }
+
+    #[test]
+    fn accessors() {
+        let d = tiny();
+        assert_eq!(d.name(), "tiny");
+        assert_eq!(d.cell_count(), 2);
+        assert_eq!(d.primary_inputs().len(), 2);
+        assert_eq!(d.primary_outputs().len(), 1);
+        assert!(d.clock().is_some());
+        assert_eq!(d.components(), vec!["top"]);
+        assert!(d.validate().is_empty());
+    }
+
+    #[test]
+    fn group_counts() {
+        let d = tiny();
+        let g = d.group_counts();
+        assert_eq!(g[PowerGroup::Combinational.index()], 1);
+        assert_eq!(g[PowerGroup::Register.index()], 1);
+        assert_eq!(d.count_in_group(PowerGroup::ClockTree), 0);
+    }
+
+    #[test]
+    fn insert_cell_maintains_links() {
+        let mut d = tiny();
+        let sm = SubmoduleId::from_index(0);
+        let src = d.cells()[0].output();
+        let out = d.add_net();
+        let id = d.insert_cell(CellClass::Buf, Drive::X2, &[src], out, None, None, sm, None);
+        assert_eq!(d.net(out).driver(), Some(id));
+        assert!(d.net(src).sinks().iter().any(|s| s.cell == id));
+        assert!(d.validate().is_empty());
+    }
+
+    #[test]
+    fn move_sinks_rewires() {
+        let mut d = tiny();
+        let sm = SubmoduleId::from_index(0);
+        // nand output currently feeds the dff's D pin.
+        let nand_out = d.cells()[0].output();
+        let dff_id = CellId::from_index(1);
+        let buf_out = d.add_net();
+        let sinks: Vec<Sink> = d.net(nand_out).sinks().to_vec();
+        d.move_sinks(nand_out, buf_out, &sinks);
+        d.insert_cell(CellClass::Buf, Drive::X1, &[nand_out], buf_out, None, None, sm, None);
+        assert_eq!(d.cell(dff_id).inputs()[0], buf_out);
+        assert!(d.validate().is_empty());
+    }
+
+    #[test]
+    fn set_drive_and_wire_cap() {
+        let mut d = tiny();
+        d.set_drive(CellId::from_index(0), Drive::X8);
+        assert_eq!(d.cells()[0].drive(), Drive::X8);
+        let n = NetId::from_index(0);
+        d.set_wire_cap(n, 0.042);
+        assert!((d.net(n).wire_cap() - 0.042).abs() < 1e-12);
+    }
+
+    #[test]
+    fn validate_catches_corruption() {
+        let mut d = tiny();
+        // Corrupt: point a cell's output at a net that doesn't know it.
+        let extra = d.add_net();
+        d.cells[0].output = extra;
+        assert!(!d.validate().is_empty());
+    }
+}

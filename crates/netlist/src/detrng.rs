@@ -1,0 +1,159 @@
+//! A small deterministic RNG (SplitMix64 seeding a xoshiro256**) used by
+//! every generator in the workspace.
+//!
+//! It lives here — the lowest crate every generator depends on — so that
+//! workloads, design generation, and layout decisions reproduce bit-for-bit
+//! regardless of `rand` version changes (the stock `StdRng`/`SmallRng`
+//! explicitly do not promise cross-version stability).
+
+use rand::{RngCore, SeedableRng};
+
+/// Deterministic xoshiro256** generator.
+///
+/// # Examples
+///
+/// ```
+/// use atlas_netlist::detrng::DetRng;
+/// use rand::Rng;
+///
+/// let mut a = DetRng::new(7);
+/// let mut b = DetRng::new(7);
+/// assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+/// ```
+#[derive(Debug, Clone)]
+pub struct DetRng {
+    s: [u64; 4],
+}
+
+impl DetRng {
+    /// Create from a 64-bit seed (SplitMix64-expanded).
+    pub fn new(seed: u64) -> DetRng {
+        let mut sm = seed;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        };
+        let mut s = [next(), next(), next(), next()];
+        if s.iter().all(|&x| x == 0) {
+            s[0] = 1;
+        }
+        DetRng { s }
+    }
+
+    /// Derive an independent stream for a named sub-purpose. Streams from
+    /// different labels are statistically independent.
+    pub fn fork(&mut self, label: u64) -> DetRng {
+        DetRng::new(self.next_u64() ^ label.wrapping_mul(0xA24BAED4963EE407))
+    }
+
+    /// `true` with probability `p`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64) < p
+    }
+}
+
+impl RngCore for DetRng {
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let bytes = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&bytes[..rem.len()]);
+        }
+    }
+
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
+        self.fill_bytes(dest);
+        Ok(())
+    }
+}
+
+impl SeedableRng for DetRng {
+    type Seed = [u8; 8];
+
+    fn from_seed(seed: Self::Seed) -> DetRng {
+        DetRng::new(u64::from_le_bytes(seed))
+    }
+
+    fn seed_from_u64(state: u64) -> DetRng {
+        DetRng::new(state)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use rand::Rng;
+
+    use super::*;
+
+    #[test]
+    fn deterministic_across_instances() {
+        let mut a = DetRng::new(42);
+        let mut b = DetRng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = DetRng::new(1);
+        let mut b = DetRng::new(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn chance_probabilities_roughly_hold() {
+        let mut rng = DetRng::new(7);
+        let hits = (0..10_000).filter(|_| rng.chance(0.25)).count();
+        assert!((2200..2800).contains(&hits), "got {hits}");
+    }
+
+    #[test]
+    fn forks_are_independent() {
+        let mut base = DetRng::new(9);
+        let mut f1 = base.fork(1);
+        let mut f2 = base.fork(2);
+        assert_ne!(f1.next_u64(), f2.next_u64());
+    }
+
+    #[test]
+    fn works_with_rand_traits() {
+        let mut rng = DetRng::new(11);
+        let x: f64 = rng.gen_range(0.0..1.0);
+        assert!((0.0..1.0).contains(&x));
+        let n: u32 = rng.gen_range(0..10);
+        assert!(n < 10);
+    }
+
+    #[test]
+    fn fill_bytes_covers_remainder() {
+        let mut rng = DetRng::new(3);
+        let mut buf = [0u8; 13];
+        rng.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+}

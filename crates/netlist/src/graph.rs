@@ -1,0 +1,188 @@
+//! Sub-module directed graphs — the unit ATLAS encodes (paper §III-C).
+
+use serde::{Deserialize, Serialize};
+
+use crate::design::Design;
+use crate::ids::{CellId, SubmoduleId};
+
+/// The directed graph of one sub-module: nodes are the sub-module's cell
+/// instances, edges follow driver → sink wires *within* the sub-module.
+///
+/// Because sub-modules are non-overlapping, summing per-sub-module power
+/// predictions reconstructs the whole design's power without
+/// double-counting — the paper's core argument for sub-modules over logic
+/// cones (§III-A).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SubmoduleGraph {
+    submodule: SubmoduleId,
+    cells: Vec<CellId>,
+    /// Local (index into `cells`) driver → sink pairs, sorted and deduped.
+    edges: Vec<(u32, u32)>,
+    /// Number of wires crossing the sub-module boundary (context feature).
+    boundary_edges: u32,
+}
+
+impl SubmoduleGraph {
+    /// The sub-module this graph was cut from.
+    pub fn submodule(&self) -> SubmoduleId {
+        self.submodule
+    }
+
+    /// Global cell ids of the nodes, in ascending order. Node `i` of the
+    /// graph is `cells()[i]`.
+    pub fn cells(&self) -> &[CellId] {
+        &self.cells
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Directed edges as local node-index pairs.
+    pub fn edges(&self) -> &[(u32, u32)] {
+        &self.edges
+    }
+
+    /// Wires entering or leaving the sub-module.
+    pub fn boundary_edges(&self) -> u32 {
+        self.boundary_edges
+    }
+}
+
+impl Design {
+    /// Cut the design into its per-sub-module directed graphs.
+    ///
+    /// Every cell appears in exactly one graph (the partition is exact);
+    /// edges crossing sub-module boundaries are counted but not included.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use atlas_liberty::{CellClass, Drive};
+    /// use atlas_netlist::NetlistBuilder;
+    ///
+    /// # fn main() -> Result<(), atlas_netlist::BuildError> {
+    /// let mut b = NetlistBuilder::new("two");
+    /// let sm0 = b.add_submodule("t.a", "t");
+    /// let sm1 = b.add_submodule("t.b", "t");
+    /// let i = b.add_input();
+    /// let x = b.add_cell(CellClass::Inv, Drive::X1, &[i], sm0)?;
+    /// let y = b.add_cell(CellClass::Inv, Drive::X1, &[x], sm1)?;
+    /// b.mark_output(y);
+    /// let d = b.finish()?;
+    /// let graphs = d.submodule_graphs();
+    /// assert_eq!(graphs.len(), 2);
+    /// let total: usize = graphs.iter().map(|g| g.node_count()).sum();
+    /// assert_eq!(total, d.cell_count());
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn submodule_graphs(&self) -> Vec<SubmoduleGraph> {
+        let nsm = self.submodules().len();
+        let mut cells_per: Vec<Vec<CellId>> = vec![Vec::new(); nsm];
+        for id in self.cell_ids() {
+            cells_per[self.cell(id).submodule().index()].push(id);
+        }
+        // local index of each cell within its sub-module
+        let mut local = vec![u32::MAX; self.cell_count()];
+        for cells in &cells_per {
+            for (i, id) in cells.iter().enumerate() {
+                local[id.index()] = i as u32;
+            }
+        }
+        let mut graphs: Vec<SubmoduleGraph> = cells_per
+            .iter()
+            .enumerate()
+            .map(|(i, cells)| SubmoduleGraph {
+                submodule: SubmoduleId::from_index(i),
+                cells: cells.clone(),
+                edges: Vec::new(),
+                boundary_edges: 0,
+            })
+            .collect();
+
+        for id in self.cell_ids() {
+            let cell = self.cell(id);
+            let sm = cell.submodule().index();
+            for sink in self.net(cell.output()).sinks() {
+                let sink_sm = self.cell(sink.cell).submodule().index();
+                if sink_sm == sm {
+                    graphs[sm]
+                        .edges
+                        .push((local[id.index()], local[sink.cell.index()]));
+                } else {
+                    graphs[sm].boundary_edges += 1;
+                    graphs[sink_sm].boundary_edges += 1;
+                }
+            }
+        }
+        for g in &mut graphs {
+            g.edges.sort_unstable();
+            g.edges.dedup();
+        }
+        graphs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use atlas_liberty::{CellClass, Drive};
+
+    use super::*;
+    use crate::builder::NetlistBuilder;
+
+    fn two_submodule_design() -> Design {
+        let mut b = NetlistBuilder::new("two");
+        let sm0 = b.add_submodule("t.a", "t");
+        let sm1 = b.add_submodule("t.b", "t");
+        let i0 = b.add_input();
+        let i1 = b.add_input();
+        let x = b.add_cell(CellClass::And2, Drive::X1, &[i0, i1], sm0).expect("ok");
+        let y = b.add_cell(CellClass::Inv, Drive::X1, &[x], sm0).expect("ok");
+        let z = b.add_cell(CellClass::Or2, Drive::X1, &[y, x], sm1).expect("ok");
+        let q = b.add_dff(z, sm1).expect("ok");
+        b.mark_output(q);
+        b.finish().expect("valid")
+    }
+
+    #[test]
+    fn partition_is_exact() {
+        let d = two_submodule_design();
+        let graphs = d.submodule_graphs();
+        let total: usize = graphs.iter().map(|g| g.node_count()).sum();
+        assert_eq!(total, d.cell_count());
+        // No cell appears twice.
+        let mut seen = std::collections::HashSet::new();
+        for g in &graphs {
+            for c in g.cells() {
+                assert!(seen.insert(*c), "cell {c} appears in two graphs");
+            }
+        }
+    }
+
+    #[test]
+    fn internal_and_boundary_edges() {
+        let d = two_submodule_design();
+        let graphs = d.submodule_graphs();
+        // sm0: and -> inv internal edge.
+        assert_eq!(graphs[0].edges().len(), 1);
+        // and->or and inv->or cross the boundary (2 wires), each counted on
+        // both sides.
+        assert_eq!(graphs[0].boundary_edges(), 2);
+        assert_eq!(graphs[1].boundary_edges(), 2);
+        // sm1: or -> dff internal edge.
+        assert_eq!(graphs[1].edges().len(), 1);
+    }
+
+    #[test]
+    fn edges_are_local_and_valid() {
+        let d = two_submodule_design();
+        for g in d.submodule_graphs() {
+            for &(a, b) in g.edges() {
+                assert!((a as usize) < g.node_count());
+                assert!((b as usize) < g.node_count());
+            }
+        }
+    }
+}

@@ -1,0 +1,116 @@
+//! Typed indices into a [`crate::Design`]'s arenas.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+        )]
+        pub struct $name(pub(crate) u32);
+
+        impl $name {
+            /// Construct from a raw index.
+            pub fn from_index(index: usize) -> $name {
+                $name(index as u32)
+            }
+
+            /// The raw arena index.
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// Index of a [`crate::Cell`] in its design.
+    CellId,
+    "c"
+);
+id_type!(
+    /// Index of a [`crate::Net`] in its design.
+    NetId,
+    "n"
+);
+id_type!(
+    /// Index of a [`crate::Submodule`] in its design.
+    SubmoduleId,
+    "sm"
+);
+
+/// Which pin of a sink cell a net connects to. Needed because clock pins
+/// present different capacitance than logic pins, and the power engine
+/// accounts them differently.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SinkPin {
+    /// Logic input pin `n` (0-based, in [`atlas_liberty::CellClass`] pin order).
+    Input(u8),
+    /// The clock pin of a sequential cell.
+    Clock,
+    /// The synchronous reset pin of a [`atlas_liberty::CellClass::Dffr`].
+    Reset,
+}
+
+/// One (cell, pin) load on a net.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Sink {
+    /// The loaded cell.
+    pub cell: CellId,
+    /// Which of its pins is connected.
+    pub pin: SinkPin,
+}
+
+impl Sink {
+    /// Convenience constructor for a logic-input sink.
+    pub fn input(cell: CellId, pin: u8) -> Sink {
+        Sink {
+            cell,
+            pin: SinkPin::Input(pin),
+        }
+    }
+
+    /// Convenience constructor for a clock-pin sink.
+    pub fn clock(cell: CellId) -> Sink {
+        Sink {
+            cell,
+            pin: SinkPin::Clock,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn id_roundtrip_and_display() {
+        let c = CellId::from_index(7);
+        assert_eq!(c.index(), 7);
+        assert_eq!(c.to_string(), "c7");
+        assert_eq!(NetId::from_index(3).to_string(), "n3");
+        assert_eq!(SubmoduleId::from_index(0).to_string(), "sm0");
+    }
+
+    #[test]
+    fn ids_are_ordered() {
+        assert!(CellId::from_index(1) < CellId::from_index(2));
+    }
+
+    #[test]
+    fn sink_constructors() {
+        let s = Sink::input(CellId::from_index(4), 1);
+        assert_eq!(s.pin, SinkPin::Input(1));
+        let s = Sink::clock(CellId::from_index(4));
+        assert_eq!(s.pin, SinkPin::Clock);
+    }
+}

@@ -1,0 +1,62 @@
+//! Gate-level netlist intermediate representation for the ATLAS reproduction.
+//!
+//! A [`Design`] is a flat sea of [`Cell`]s connected by [`Net`]s, annotated
+//! with a two-level hierarchy ([`Submodule`] → component) that mirrors how
+//! the paper splits each design into non-overlapping sub-modules (§III-A)
+//! and rolls sub-module power up into components (Fig. 6).
+//!
+//! The same IR represents both stages of the flow:
+//!
+//! * the **post-synthesis gate-level netlist** `Ng` ([`Stage::GateLevel`]),
+//! * the **post-layout netlist** `Np` ([`Stage::PostLayout`]) — with clock
+//!   tree cells, inserted buffers, resized drives, and per-net wire
+//!   capacitance filled in by `atlas-layout`.
+//!
+//! Key entry points:
+//!
+//! * [`NetlistBuilder`] — construct designs with validation.
+//! * [`Design::submodule_graphs`] — the directed graphs ATLAS encodes.
+//! * [`topo::levelize`] — combinational levelization used by the simulator.
+//! * [`Design::stats`] — per-class / per-group counts (Table II).
+//!
+//! # Examples
+//!
+//! Build a 1-bit toggler (inverter feeding a flip-flop):
+//!
+//! ```
+//! use atlas_liberty::{CellClass, Drive};
+//! use atlas_netlist::{NetlistBuilder, Stage};
+//!
+//! # fn main() -> Result<(), atlas_netlist::BuildError> {
+//! let mut b = NetlistBuilder::new("toggler");
+//! let sm = b.add_submodule("top.t0", "top");
+//! let q = b.new_net();
+//! let nq = b.add_cell(CellClass::Inv, Drive::X1, &[q], sm)?;
+//! b.add_dff_onto(q, nq, sm)?;
+//! b.mark_output(q);
+//! let design = b.finish()?;
+//! assert_eq!(design.stage(), Stage::GateLevel);
+//! assert_eq!(design.cell_count(), 2);
+//! # Ok(())
+//! # }
+//! ```
+
+mod builder;
+mod cell;
+pub mod detrng;
+mod design;
+mod graph;
+mod ids;
+pub mod logic;
+mod net;
+mod stats;
+pub mod topo;
+mod verilog;
+
+pub use builder::{BuildError, NetlistBuilder};
+pub use cell::{Cell, SramConfig};
+pub use design::{Design, Stage, Submodule};
+pub use graph::SubmoduleGraph;
+pub use ids::{CellId, NetId, Sink, SinkPin, SubmoduleId};
+pub use net::Net;
+pub use stats::DesignStats;

@@ -1,0 +1,160 @@
+//! Boolean semantics of the combinational cell classes.
+//!
+//! Shared by the logic simulator (`atlas-sim`) and the functional
+//! equivalence checks in the restructuring engine (`atlas-layout`).
+
+use atlas_liberty::CellClass;
+
+/// Evaluate a combinational cell class on its input values (in pin order).
+///
+/// Returns `None` for sequential classes ([`CellClass::Dff`],
+/// [`CellClass::Dffr`], [`CellClass::Sram`]) whose outputs are state, not a
+/// function of current inputs.
+///
+/// # Panics
+///
+/// Panics if `inputs.len()` does not match [`CellClass::input_pins`].
+///
+/// # Examples
+///
+/// ```
+/// use atlas_liberty::CellClass;
+/// use atlas_netlist::logic::eval;
+///
+/// assert_eq!(eval(CellClass::Nand2, &[true, true]), Some(false));
+/// assert_eq!(eval(CellClass::Mux2, &[false, true, true]), Some(true));
+/// assert_eq!(eval(CellClass::Dff, &[true]), None);
+/// ```
+pub fn eval(class: CellClass, inputs: &[bool]) -> Option<bool> {
+    assert_eq!(
+        inputs.len(),
+        class.input_pins(),
+        "{class} expects {} inputs, got {}",
+        class.input_pins(),
+        inputs.len()
+    );
+    let v = match class {
+        CellClass::Inv => !inputs[0],
+        CellClass::Buf | CellClass::Clk => inputs[0],
+        CellClass::And2 => inputs[0] & inputs[1],
+        CellClass::Nand2 => !(inputs[0] & inputs[1]),
+        CellClass::Or2 => inputs[0] | inputs[1],
+        CellClass::Nor2 => !(inputs[0] | inputs[1]),
+        CellClass::Xor2 => inputs[0] ^ inputs[1],
+        CellClass::Xnor2 => !(inputs[0] ^ inputs[1]),
+        // Mux2 pins: [A, B, S] — S selects B when high.
+        CellClass::Mux2 => {
+            if inputs[2] {
+                inputs[1]
+            } else {
+                inputs[0]
+            }
+        }
+        // AOI21 pins: [A, B, C] — !(A&B | C).
+        CellClass::Aoi21 => !((inputs[0] & inputs[1]) | inputs[2]),
+        // OAI21 pins: [A, B, C] — !((A|B) & C).
+        CellClass::Oai21 => !((inputs[0] | inputs[1]) & inputs[2]),
+        // AOI22 pins: [A, B, C, D] — !(A&B | C&D).
+        CellClass::Aoi22 => !((inputs[0] & inputs[1]) | (inputs[2] & inputs[3])),
+        // Adder cells model the SUM output; carries are built from AND/OR.
+        CellClass::HalfAdder => inputs[0] ^ inputs[1],
+        CellClass::FullAdder => inputs[0] ^ inputs[1] ^ inputs[2],
+        CellClass::Dff | CellClass::Dffr | CellClass::Sram => return None,
+    };
+    Some(v)
+}
+
+/// Exhaustively compare two single-output combinational functions over all
+/// input assignments of `n` pins. Used by restructuring tests to prove
+/// rewrite rules are logic-invariant.
+pub fn equivalent<F, G>(n: usize, f: F, g: G) -> bool
+where
+    F: Fn(&[bool]) -> bool,
+    G: Fn(&[bool]) -> bool,
+{
+    assert!(n <= 16, "exhaustive check limited to 16 inputs");
+    let mut buf = vec![false; n];
+    for m in 0..(1u32 << n) {
+        for (i, b) in buf.iter_mut().enumerate() {
+            *b = (m >> i) & 1 == 1;
+        }
+        if f(&buf) != g(&buf) {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn truth_tables() {
+        assert_eq!(eval(CellClass::Inv, &[false]), Some(true));
+        assert_eq!(eval(CellClass::Buf, &[true]), Some(true));
+        assert_eq!(eval(CellClass::And2, &[true, false]), Some(false));
+        assert_eq!(eval(CellClass::Or2, &[true, false]), Some(true));
+        assert_eq!(eval(CellClass::Nor2, &[false, false]), Some(true));
+        assert_eq!(eval(CellClass::Xnor2, &[true, true]), Some(true));
+        assert_eq!(eval(CellClass::Aoi21, &[true, true, false]), Some(false));
+        assert_eq!(eval(CellClass::Aoi21, &[false, true, false]), Some(true));
+        assert_eq!(eval(CellClass::Oai21, &[false, false, true]), Some(true));
+        assert_eq!(eval(CellClass::Aoi22, &[true, true, false, false]), Some(false));
+        assert_eq!(eval(CellClass::HalfAdder, &[true, true]), Some(false));
+        assert_eq!(eval(CellClass::FullAdder, &[true, true, true]), Some(true));
+    }
+
+    #[test]
+    fn sequential_returns_none() {
+        assert_eq!(eval(CellClass::Dff, &[true]), None);
+        assert_eq!(eval(CellClass::Dffr, &[false]), None);
+        assert_eq!(eval(CellClass::Sram, &[true, false, true, false]), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "expects 2 inputs")]
+    fn wrong_arity_panics() {
+        let _ = eval(CellClass::And2, &[true]);
+    }
+
+    #[test]
+    fn demorgan_equivalence() {
+        // !(a & b) == !a | !b
+        assert!(equivalent(
+            2,
+            |v| eval(CellClass::Nand2, v).expect("comb"),
+            |v| v.iter().map(|b| !b).fold(false, |acc, x| acc | x),
+        ));
+    }
+
+    #[test]
+    fn mux_via_aoi() {
+        // mux(a, b, s) == !aoi22(a, !s, b, s)
+        assert!(equivalent(
+            3,
+            |v| eval(CellClass::Mux2, v).expect("comb"),
+            |v| {
+                let (a, b, s) = (v[0], v[1], v[2]);
+                let aoi = eval(CellClass::Aoi22, &[a, !s, b, s]).expect("comb");
+                !aoi
+            },
+        ));
+    }
+
+    #[test]
+    fn xor_via_nands() {
+        // a ^ b with four NANDs.
+        assert!(equivalent(
+            2,
+            |v| v[0] ^ v[1],
+            |v| {
+                let (a, b) = (v[0], v[1]);
+                let n1 = !(a & b);
+                let n2 = !(a & n1);
+                let n3 = !(b & n1);
+                !(n2 & n3)
+            },
+        ));
+    }
+}

@@ -1,0 +1,41 @@
+//! Nets (wires).
+
+use serde::{Deserialize, Serialize};
+
+use crate::ids::{CellId, Sink};
+
+/// One net: a single driver (a cell output or a primary input / clock root)
+/// fanning out to zero or more sink pins.
+///
+/// `wire_cap` is 0 at the gate level and is filled in by the layout flow
+/// from placement geometry — this is precisely the information that is
+/// missing when power is (mis)estimated from the gate-level netlist alone,
+/// the gap ATLAS learns to bridge.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Net {
+    pub(crate) driver: Option<CellId>,
+    pub(crate) sinks: Vec<Sink>,
+    pub(crate) wire_cap: f64,
+}
+
+impl Net {
+    /// The driving cell, or `None` for primary inputs and the clock root.
+    pub fn driver(&self) -> Option<CellId> {
+        self.driver
+    }
+
+    /// All (cell, pin) loads on this net.
+    pub fn sinks(&self) -> &[Sink] {
+        &self.sinks
+    }
+
+    /// Fanout (number of sink pins).
+    pub fn fanout(&self) -> usize {
+        self.sinks.len()
+    }
+
+    /// Wire capacitance in pF (0 before layout).
+    pub fn wire_cap(&self) -> f64 {
+        self.wire_cap
+    }
+}

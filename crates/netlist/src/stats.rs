@@ -1,0 +1,150 @@
+//! Design statistics (Table II's raw material).
+
+use atlas_liberty::{CellClass, Library, PowerGroup};
+use serde::{Deserialize, Serialize};
+
+use crate::design::Design;
+use crate::topo;
+
+/// Aggregate statistics of one design snapshot.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DesignStats {
+    /// Total cell instances (the paper's "gate count", Table II).
+    pub cell_count: usize,
+    /// Total nets.
+    pub net_count: usize,
+    /// Instances per cell class, indexed by [`CellClass::index`].
+    pub per_class: Vec<usize>,
+    /// Instances per power group, indexed by [`PowerGroup::index`].
+    pub per_group: Vec<usize>,
+    /// Maximum net fanout.
+    pub max_fanout: usize,
+    /// Maximum combinational depth in cells.
+    pub max_level: u32,
+    /// Total SRAM capacity in bits.
+    pub sram_bits: u64,
+    /// Number of sub-modules.
+    pub submodule_count: usize,
+}
+
+impl DesignStats {
+    /// Instances of one class.
+    pub fn class_count(&self, class: CellClass) -> usize {
+        self.per_class[class.index()]
+    }
+
+    /// Instances in one power group.
+    pub fn group_count(&self, group: PowerGroup) -> usize {
+        self.per_group[group.index()]
+    }
+}
+
+impl Design {
+    /// Compute aggregate statistics for this snapshot.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use atlas_liberty::{CellClass, Drive};
+    /// use atlas_netlist::NetlistBuilder;
+    ///
+    /// # fn main() -> Result<(), atlas_netlist::BuildError> {
+    /// let mut b = NetlistBuilder::new("d");
+    /// let sm = b.add_submodule("t.u", "t");
+    /// let a = b.add_input();
+    /// let y = b.add_cell(CellClass::Inv, Drive::X1, &[a], sm)?;
+    /// b.mark_output(y);
+    /// let stats = b.finish()?.stats();
+    /// assert_eq!(stats.cell_count, 1);
+    /// assert_eq!(stats.class_count(CellClass::Inv), 1);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn stats(&self) -> DesignStats {
+        let mut per_class = vec![0usize; CellClass::COUNT];
+        let mut per_group = vec![0usize; PowerGroup::ALL.len()];
+        let mut sram_bits = 0u64;
+        for cell in self.cells() {
+            per_class[cell.class().index()] += 1;
+            per_group[cell.class().power_group().index()] += 1;
+            if let Some(cfg) = cell.sram() {
+                sram_bits += cfg.words as u64 * cfg.bits as u64;
+            }
+        }
+        let max_fanout = self.nets().iter().map(|n| n.fanout()).max().unwrap_or(0);
+        let (_, max_level) = topo::levels(self);
+        DesignStats {
+            cell_count: self.cell_count(),
+            net_count: self.net_count(),
+            per_class,
+            per_group,
+            max_fanout,
+            max_level,
+            sram_bits,
+            submodule_count: self.submodules().len(),
+        }
+    }
+
+    /// Total standard-cell + macro area in µm² under the given library.
+    pub fn area(&self, lib: &Library) -> f64 {
+        let mut total = 0.0;
+        for cell in self.cells() {
+            if cell.class() == CellClass::Sram {
+                if let Some(cfg) = cell.sram() {
+                    if let Some(m) = lib.sram_at_least(cfg.words, cfg.bits) {
+                        total += m.area();
+                    }
+                }
+            } else if let Some(lc) = lib.cell(cell.class(), cell.drive()) {
+                total += lc.area();
+            }
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use atlas_liberty::Drive;
+
+    use super::*;
+    use crate::builder::NetlistBuilder;
+
+    fn sample() -> Design {
+        let mut b = NetlistBuilder::new("s");
+        let sm = b.add_submodule("t.u", "t");
+        let i0 = b.add_input();
+        let i1 = b.add_input();
+        let x = b.add_cell(CellClass::Xor2, Drive::X1, &[i0, i1], sm).expect("ok");
+        let y = b.add_cell(CellClass::And2, Drive::X1, &[x, i0], sm).expect("ok");
+        let q = b.add_dff(y, sm).expect("ok");
+        let ren = b.add_input();
+        let wen = b.add_input();
+        let m = b.add_sram(256, 32, ren, wen, i0, q, sm).expect("ok");
+        b.mark_output(m);
+        b.finish().expect("valid")
+    }
+
+    #[test]
+    fn counts() {
+        let s = sample().stats();
+        assert_eq!(s.cell_count, 4);
+        assert_eq!(s.class_count(CellClass::Xor2), 1);
+        assert_eq!(s.group_count(PowerGroup::Register), 1);
+        assert_eq!(s.group_count(PowerGroup::Memory), 1);
+        assert_eq!(s.sram_bits, 256 * 32);
+        assert_eq!(s.submodule_count, 1);
+        assert_eq!(s.max_level, 1);
+    }
+
+    #[test]
+    fn area_is_positive_and_dominated_by_sram() {
+        let d = sample();
+        let lib = Library::synthetic_40nm();
+        let area = d.area(&lib);
+        assert!(area > 0.0);
+        let sram_area = lib.sram_at_least(256, 32).expect("exists").area();
+        assert!(area > sram_area);
+        assert!(area < sram_area * 1.5);
+    }
+}

@@ -1,0 +1,177 @@
+//! Combinational levelization (topological ordering).
+//!
+//! Sequential cell outputs and primary inputs are sources; the levelized
+//! order visits every combinational cell after all of its fanin cells.
+//! This single pass is the backbone of the cycle-based simulator and of
+//! slew propagation in the layout flow.
+
+use crate::design::Design;
+use crate::ids::CellId;
+
+/// Compute a topological order of the combinational cells.
+///
+/// Returns `Ok(order)` (combinational cells only, in dependency order), or
+/// `Err(cell)` naming a cell on a register-free cycle.
+///
+/// # Examples
+///
+/// ```
+/// use atlas_liberty::{CellClass, Drive};
+/// use atlas_netlist::{topo, NetlistBuilder};
+///
+/// # fn main() -> Result<(), atlas_netlist::BuildError> {
+/// let mut b = NetlistBuilder::new("chain");
+/// let sm = b.add_submodule("t.u", "t");
+/// let a = b.add_input();
+/// let x = b.add_cell(CellClass::Inv, Drive::X1, &[a], sm)?;
+/// let y = b.add_cell(CellClass::Inv, Drive::X1, &[x], sm)?;
+/// b.mark_output(y);
+/// let d = b.finish()?;
+/// let order = topo::levelize(&d).expect("acyclic");
+/// assert_eq!(order.len(), 2);
+/// # Ok(())
+/// # }
+/// ```
+pub fn levelize(design: &Design) -> Result<Vec<CellId>, CellId> {
+    let n = design.cell_count();
+    // indegree = number of inputs driven by *combinational* cells.
+    let mut indegree = vec![0u32; n];
+    let mut comb_count = 0usize;
+    for (i, cell) in design.cells().iter().enumerate() {
+        if cell.class().is_sequential() {
+            continue;
+        }
+        comb_count += 1;
+        indegree[i] = cell
+            .inputs()
+            .iter()
+            .filter(|&&net| {
+                design
+                    .net(net)
+                    .driver()
+                    .map(|d| !design.cell(d).class().is_sequential())
+                    .unwrap_or(false)
+            })
+            .count() as u32;
+    }
+
+    let mut order = Vec::with_capacity(comb_count);
+    let mut queue: Vec<CellId> = design
+        .cell_ids()
+        .filter(|&id| !design.cell(id).class().is_sequential() && indegree[id.index()] == 0)
+        .collect();
+
+    while let Some(id) = queue.pop() {
+        order.push(id);
+        let out = design.cell(id).output();
+        for sink in design.net(out).sinks() {
+            let sink_cell = design.cell(sink.cell);
+            if sink_cell.class().is_sequential() {
+                continue;
+            }
+            let d = &mut indegree[sink.cell.index()];
+            debug_assert!(*d > 0);
+            *d -= 1;
+            if *d == 0 {
+                queue.push(sink.cell);
+            }
+        }
+    }
+
+    if order.len() != comb_count {
+        // Some combinational cell never reached indegree 0 → cycle.
+        let stuck = design
+            .cell_ids()
+            .find(|&id| !design.cell(id).class().is_sequential() && indegree[id.index()] > 0)
+            .expect("a cell with nonzero indegree exists on a cycle");
+        return Err(stuck);
+    }
+    Ok(order)
+}
+
+/// Logic depth (in cells) of each combinational cell, and the overall
+/// maximum — a proxy for the critical path length used by gate sizing.
+///
+/// Returns `(levels, max_level)`; `levels[cell] == 0` for sequential cells
+/// and combinational cells fed only by sources.
+pub fn levels(design: &Design) -> (Vec<u32>, u32) {
+    let order = levelize(design).unwrap_or_default();
+    let mut level = vec![0u32; design.cell_count()];
+    let mut max = 0;
+    for id in order {
+        let cell = design.cell(id);
+        let lv = cell
+            .inputs()
+            .iter()
+            .filter_map(|&net| design.net(net).driver())
+            .filter(|&d| !design.cell(d).class().is_sequential())
+            .map(|d| level[d.index()] + 1)
+            .max()
+            .unwrap_or(0);
+        level[id.index()] = lv;
+        max = max.max(lv);
+    }
+    (level, max)
+}
+
+#[cfg(test)]
+mod tests {
+    use atlas_liberty::{CellClass, Drive};
+
+    use super::*;
+    use crate::builder::NetlistBuilder;
+
+    fn chain(n: usize) -> Design {
+        let mut b = NetlistBuilder::new("chain");
+        let sm = b.add_submodule("t.u", "t");
+        let mut cur = b.add_input();
+        for _ in 0..n {
+            cur = b.add_cell(CellClass::Inv, Drive::X1, &[cur], sm).expect("ok");
+        }
+        b.mark_output(cur);
+        b.finish().expect("valid")
+    }
+
+    #[test]
+    fn order_respects_dependencies() {
+        let d = chain(10);
+        let order = levelize(&d).expect("acyclic");
+        assert_eq!(order.len(), 10);
+        let pos: Vec<usize> = {
+            let mut p = vec![0; d.cell_count()];
+            for (i, id) in order.iter().enumerate() {
+                p[id.index()] = i;
+            }
+            p
+        };
+        for id in d.cell_ids() {
+            let cell = d.cell(id);
+            for &input in cell.inputs() {
+                if let Some(drv) = d.net(input).driver() {
+                    if !d.cell(drv).class().is_sequential() {
+                        assert!(pos[drv.index()] < pos[id.index()]);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn chain_levels() {
+        let d = chain(5);
+        let (_, max) = levels(&d);
+        assert_eq!(max, 4); // first inverter is level 0
+    }
+
+    #[test]
+    fn registers_are_sources() {
+        let mut b = NetlistBuilder::new("ring");
+        let sm = b.add_submodule("t.u", "t");
+        let q = b.new_net();
+        let nq = b.add_cell(CellClass::Inv, Drive::X1, &[q], sm).expect("ok");
+        b.add_dff_onto(q, nq, sm).expect("ok");
+        let d = b.finish().expect("valid");
+        let order = levelize(&d).expect("register breaks the loop");
+        assert_eq!(order.len(), 1);
+    }
+}

@@ -1,0 +1,147 @@
+//! Structural Verilog-style netlist writer (debug/interchange aid).
+//!
+//! Emits one flat module with library-cell instances. The output is
+//! readable by humans and by structural netlist viewers; it is not meant
+//! to round-trip through a full Verilog parser.
+
+use std::fmt::Write as _;
+
+use atlas_liberty::CellClass;
+
+use crate::design::Design;
+use crate::ids::NetId;
+
+impl Design {
+    /// Render the design as flat structural Verilog.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use atlas_liberty::{CellClass, Drive};
+    /// use atlas_netlist::NetlistBuilder;
+    ///
+    /// # fn main() -> Result<(), atlas_netlist::BuildError> {
+    /// let mut b = NetlistBuilder::new("hello");
+    /// let sm = b.add_submodule("t.u", "t");
+    /// let a = b.add_input();
+    /// let y = b.add_cell(CellClass::Inv, Drive::X1, &[a], sm)?;
+    /// b.mark_output(y);
+    /// let v = b.finish()?.to_verilog();
+    /// assert!(v.contains("module hello"));
+    /// assert!(v.contains("INV_X1"));
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn to_verilog(&self) -> String {
+        let mut out = String::new();
+        let net_name = |n: NetId| format!("n{}", n.index());
+
+        let mut ports: Vec<String> = Vec::new();
+        if let Some(clk) = self.clock() {
+            ports.push(net_name(clk));
+        }
+        if let Some(rst) = self.reset() {
+            ports.push(net_name(rst));
+        }
+        ports.extend(self.primary_inputs().iter().map(|&n| net_name(n)));
+        ports.extend(self.primary_outputs().iter().map(|&n| net_name(n)));
+
+        let _ = writeln!(out, "module {} ({});", self.name, ports.join(", "));
+        if let Some(clk) = self.clock() {
+            let _ = writeln!(out, "  input {};", net_name(clk));
+        }
+        if let Some(rst) = self.reset() {
+            let _ = writeln!(out, "  input {};", net_name(rst));
+        }
+        for &n in self.primary_inputs() {
+            let _ = writeln!(out, "  input {};", net_name(n));
+        }
+        for &n in self.primary_outputs() {
+            let _ = writeln!(out, "  output {};", net_name(n));
+        }
+        let port_nets: std::collections::HashSet<usize> = self
+            .primary_inputs()
+            .iter()
+            .chain(self.primary_outputs())
+            .chain(self.clock().iter())
+            .chain(self.reset().iter())
+            .map(|n| n.index())
+            .collect();
+        for id in self.net_ids() {
+            if !port_nets.contains(&id.index()) {
+                let _ = writeln!(out, "  wire {};", net_name(id));
+            }
+        }
+
+        const PIN_NAMES: [&str; 4] = ["A", "B", "C", "D"];
+        for (i, cell) in self.cells().iter().enumerate() {
+            let cell_name = if cell.class() == CellClass::Sram {
+                let cfg = cell.sram().expect("sram cells carry a config");
+                format!("SRAM_{}x{}", cfg.words, cfg.bits)
+            } else {
+                format!("{}_{}", cell.class().keyword().to_uppercase(), cell.drive())
+            };
+            let mut pins: Vec<String> = Vec::new();
+            if cell.class() == CellClass::Sram {
+                let names = ["REN", "WEN", "ADDR", "DATA"];
+                for (p, &net) in cell.inputs().iter().enumerate() {
+                    pins.push(format!(".{}({})", names[p], net_name(net)));
+                }
+            } else {
+                for (p, &net) in cell.inputs().iter().enumerate() {
+                    pins.push(format!(".{}({})", PIN_NAMES[p], net_name(net)));
+                }
+            }
+            if let Some(clk) = cell.clock() {
+                pins.push(format!(".CK({})", net_name(clk)));
+            }
+            if let Some(rst) = cell.reset() {
+                pins.push(format!(".RN({})", net_name(rst)));
+            }
+            pins.push(format!(".Y({})", net_name(cell.output())));
+            let sm = self.submodule(cell.submodule()).name();
+            let _ = writeln!(out, "  {cell_name} u{i} ({}); // {sm}", pins.join(", "));
+        }
+        out.push_str("endmodule\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use atlas_liberty::{CellClass, Drive};
+
+    use crate::builder::NetlistBuilder;
+
+    #[test]
+    fn verilog_contains_all_cells() {
+        let mut b = NetlistBuilder::new("vtest");
+        let sm = b.add_submodule("t.u", "t");
+        let a = b.add_input();
+        let c = b.add_input();
+        let x = b.add_cell(CellClass::Nand2, Drive::X2, &[a, c], sm).expect("ok");
+        let q = b.add_dff(x, sm).expect("ok");
+        b.mark_output(q);
+        let d = b.finish().expect("valid");
+        let v = d.to_verilog();
+        assert!(v.contains("module vtest"));
+        assert!(v.contains("NAND2_X2"));
+        assert!(v.contains("DFF_X1"));
+        assert!(v.contains(".CK("));
+        assert!(v.ends_with("endmodule\n"));
+        let instance_lines = v.lines().filter(|l| l.contains(" u")).count();
+        assert_eq!(instance_lines, d.cell_count());
+    }
+
+    #[test]
+    fn sram_instance_name() {
+        let mut b = NetlistBuilder::new("m");
+        let sm = b.add_submodule("t.u", "t");
+        let nets = b.add_inputs(4);
+        let q = b.add_sram(512, 64, nets[0], nets[1], nets[2], nets[3], sm).expect("ok");
+        b.mark_output(q);
+        let v = b.finish().expect("valid").to_verilog();
+        assert!(v.contains("SRAM_512x64"));
+        assert!(v.contains(".REN("));
+    }
+}

@@ -1,0 +1,142 @@
+//! The Adam optimizer (Kingma & Ba), as used by the paper (lr = 1e-4).
+
+use crate::matrix::Matrix;
+use crate::tensor::Tensor;
+
+/// Adam with bias-corrected first/second moments.
+///
+/// # Examples
+///
+/// See the crate-level example: build params, call
+/// [`zero_grad`](Adam::zero_grad) → `loss.backward()` → [`step`](Adam::step)
+/// per iteration.
+#[derive(Debug)]
+pub struct Adam {
+    params: Vec<Tensor>,
+    m: Vec<Matrix>,
+    v: Vec<Matrix>,
+    lr: f64,
+    beta1: f64,
+    beta2: f64,
+    eps: f64,
+    t: u64,
+}
+
+impl Adam {
+    /// Standard Adam (β₁ = 0.9, β₂ = 0.999, ε = 1e-8).
+    pub fn new(params: Vec<Tensor>, lr: f64) -> Adam {
+        let m = params
+            .iter()
+            .map(|p| {
+                let (r, c) = p.shape();
+                Matrix::zeros(r, c)
+            })
+            .collect();
+        let v = params
+            .iter()
+            .map(|p| {
+                let (r, c) = p.shape();
+                Matrix::zeros(r, c)
+            })
+            .collect();
+        Adam {
+            params,
+            m,
+            v,
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: 0,
+        }
+    }
+
+    /// Learning rate.
+    pub fn lr(&self) -> f64 {
+        self.lr
+    }
+
+    /// Change the learning rate (e.g. for decay schedules).
+    pub fn set_lr(&mut self, lr: f64) {
+        self.lr = lr;
+    }
+
+    /// Number of parameters tracked.
+    pub fn param_count(&self) -> usize {
+        self.params.len()
+    }
+
+    /// Clear every parameter's gradient.
+    pub fn zero_grad(&self) {
+        for p in &self.params {
+            p.zero_grad();
+        }
+    }
+
+    /// Apply one update from the accumulated gradients. Parameters without
+    /// a gradient (not touched by the last backward pass) are skipped.
+    pub fn step(&mut self) {
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        for (i, p) in self.params.iter().enumerate() {
+            let Some(g) = p.grad() else { continue };
+            let m = &mut self.m[i];
+            let v = &mut self.v[i];
+            let mut new_value = p.value().clone();
+            for idx in 0..g.as_slice().len() {
+                let gi = g.as_slice()[idx];
+                let mi = self.beta1 * m.as_slice()[idx] + (1.0 - self.beta1) * gi;
+                let vi = self.beta2 * v.as_slice()[idx] + (1.0 - self.beta2) * gi * gi;
+                m.as_mut_slice()[idx] = mi;
+                v.as_mut_slice()[idx] = vi;
+                let m_hat = mi / bc1;
+                let v_hat = vi / bc2;
+                new_value.as_mut_slice()[idx] -= self.lr * m_hat / (v_hat.sqrt() + self.eps);
+            }
+            p.set_value(new_value);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimizes_quadratic() {
+        // min (x - 3)²
+        let x = Tensor::param(Matrix::zeros(1, 1));
+        let target = Matrix::full(1, 1, 3.0);
+        let mut opt = Adam::new(vec![x.clone()], 0.1);
+        for _ in 0..300 {
+            let loss = x.mse_loss(&target);
+            opt.zero_grad();
+            loss.backward();
+            opt.step();
+        }
+        assert!((x.value().get(0, 0) - 3.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn skips_params_without_grad() {
+        let used = Tensor::param(Matrix::full(1, 1, 1.0));
+        let unused = Tensor::param(Matrix::full(1, 1, 42.0));
+        let mut opt = Adam::new(vec![used.clone(), unused.clone()], 0.1);
+        let loss = used.mse_loss(&Matrix::zeros(1, 1));
+        opt.zero_grad();
+        loss.backward();
+        opt.step();
+        assert_eq!(unused.value().get(0, 0), 42.0);
+        assert!(used.value().get(0, 0) < 1.0);
+    }
+
+    #[test]
+    fn lr_adjustable() {
+        let x = Tensor::param(Matrix::zeros(1, 1));
+        let mut opt = Adam::new(vec![x], 0.1);
+        opt.set_lr(0.01);
+        assert_eq!(opt.lr(), 0.01);
+        assert_eq!(opt.param_count(), 1);
+    }
+}

@@ -1,0 +1,372 @@
+//! The SGFormer-style graph encoder (paper §IV).
+//!
+//! SGFormer \[13\] pairs one *simple global attention* of linear complexity
+//! with a graph-propagation (GCN) branch, needs no positional encodings,
+//! and scales to graphs with tens of thousands of nodes — the reason the
+//! paper picked it for netlist sub-modules. This is a faithful small-scale
+//! reimplementation:
+//!
+//! * attention branch: kernelized linear attention
+//!   `φ(Q)·(φ(K)ᵀV) / φ(Q)·(φ(K)ᵀ1)` with `φ(x) = relu(x) + ε` —
+//!   O(N·d²), never materializes the N×N matrix;
+//! * propagation branch: `relu(Â·H·W)` over the normalized adjacency;
+//! * the two are mixed with weight `α` per layer;
+//! * readout: mean pooling over node embeddings → the sub-module's graph
+//!   embedding `E_g`.
+
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+
+use crate::linear::Linear;
+use crate::matrix::Matrix;
+use crate::sparse::SparseAdj;
+use crate::tensor::Tensor;
+
+/// Encoder hyperparameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EncoderConfig {
+    /// Node feature width.
+    pub input_dim: usize,
+    /// Hidden/embedding width.
+    pub hidden_dim: usize,
+    /// Number of attention+propagation layers.
+    pub layers: usize,
+    /// Mixing weight of the attention branch (`1-α` goes to propagation).
+    pub alpha: f64,
+    /// Weight-initialization seed.
+    pub seed: u64,
+}
+
+impl Default for EncoderConfig {
+    fn default() -> EncoderConfig {
+        EncoderConfig {
+            input_dim: 24,
+            hidden_dim: 48,
+            layers: 2,
+            alpha: 0.5,
+            seed: 17,
+        }
+    }
+}
+
+/// Sum-pooling normalizer keeping graph embeddings O(1)-ish.
+pub(crate) const SUM_POOL_SCALE: f64 = 0.05;
+
+struct Layer {
+    q: Linear,
+    k: Linear,
+    v: Linear,
+    gcn: Linear,
+}
+
+/// The graph encoder: node features + sub-module graph → node embeddings
+/// and one graph embedding.
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::Arc;
+/// use atlas_nn::{EncoderConfig, GraphEncoder, Matrix, SparseAdj};
+///
+/// let cfg = EncoderConfig { input_dim: 4, hidden_dim: 8, layers: 1, alpha: 0.5, seed: 1 };
+/// let enc = GraphEncoder::new(cfg);
+/// let adj = Arc::new(SparseAdj::normalized_from_edges(5, &[(0, 1), (1, 2), (3, 4)]));
+/// let feats = Matrix::xavier(5, 4, 2);
+/// let (nodes, graph) = enc.encode(&adj, &feats);
+/// assert_eq!(nodes.shape(), (5, 8));
+/// assert_eq!(graph.shape(), (1, 8));
+/// ```
+pub struct GraphEncoder {
+    cfg: EncoderConfig,
+    embed: Linear,
+    layers: Vec<Layer>,
+    out: Linear,
+}
+
+impl GraphEncoder {
+    /// Build a freshly initialized encoder.
+    pub fn new(cfg: EncoderConfig) -> GraphEncoder {
+        let mut seed = cfg.seed.wrapping_mul(0x9E37_79B9);
+        let mut next = || {
+            seed = seed.wrapping_add(0x1234_5677);
+            seed
+        };
+        let embed = Linear::new(cfg.input_dim, cfg.hidden_dim, next());
+        let layers = (0..cfg.layers)
+            .map(|_| Layer {
+                q: Linear::new(cfg.hidden_dim, cfg.hidden_dim, next()),
+                k: Linear::new(cfg.hidden_dim, cfg.hidden_dim, next()),
+                v: Linear::new(cfg.hidden_dim, cfg.hidden_dim, next()),
+                gcn: Linear::new(cfg.hidden_dim, cfg.hidden_dim, next()),
+            })
+            .collect();
+        let out = Linear::new(cfg.hidden_dim, cfg.hidden_dim, next());
+        GraphEncoder {
+            cfg,
+            embed,
+            layers,
+            out,
+        }
+    }
+
+    /// The configuration this encoder was built with.
+    pub fn config(&self) -> &EncoderConfig {
+        &self.cfg
+    }
+
+    /// Embedding width (`hidden_dim`).
+    pub fn embedding_dim(&self) -> usize {
+        self.cfg.hidden_dim
+    }
+
+    /// Encode one sub-module graph: returns `(node_embeddings n×d,
+    /// graph_embedding 1×d)`, both differentiable.
+    pub fn encode(&self, adj: &Arc<SparseAdj>, features: &Matrix) -> (Tensor, Tensor) {
+        assert_eq!(
+            features.cols(),
+            self.cfg.input_dim,
+            "feature width mismatch"
+        );
+        assert_eq!(
+            features.rows(),
+            adj.node_count(),
+            "feature/adjacency node count mismatch"
+        );
+        let n = features.rows();
+        let x = Tensor::constant(features.clone());
+        let mut h = self.embed.forward(&x).relu();
+        let ones = Tensor::constant(Matrix::full(n, 1, 1.0));
+        for layer in &self.layers {
+            // Linear global attention, O(N·d²).
+            let pq = layer.q.forward(&h).relu().add_scalar(0.01);
+            let pk = layer.k.forward(&h).relu().add_scalar(0.01);
+            let v = layer.v.forward(&h);
+            let kv = pk.matmul_tn(&v); // d×d
+            let num = pq.matmul(&kv); // n×d
+            let ksum = pk.matmul_tn(&ones); // d×1
+            let denom = pq.matmul(&ksum); // n×1
+            let attn = num.col_div(&denom);
+            // Graph propagation branch.
+            let prop = layer.gcn.forward(&h.spmm(adj)).relu();
+            h = attn
+                .scale(self.cfg.alpha)
+                .add(&prop.scale(1.0 - self.cfg.alpha))
+                .relu();
+        }
+        let nodes = self.out.forward(&h);
+        // Scaled *sum* pooling: power is extensive, so the graph embedding
+        // must encode absolute size, not just composition (mean pooling
+        // cannot distinguish a sub-module from two copies of it).
+        let graph = nodes.mean_rows().scale(n as f64 * SUM_POOL_SCALE);
+        (nodes, graph)
+    }
+
+    /// All trainable parameters.
+    pub fn params(&self) -> Vec<Tensor> {
+        let mut p = self.embed.params();
+        for l in &self.layers {
+            p.extend(l.q.params());
+            p.extend(l.k.params());
+            p.extend(l.v.params());
+            p.extend(l.gcn.params());
+        }
+        p.extend(self.out.params());
+        p
+    }
+
+    /// Snapshot all weights.
+    pub fn state(&self) -> EncoderState {
+        let mut tensors = self.embed.state();
+        for l in &self.layers {
+            tensors.extend(l.q.state());
+            tensors.extend(l.k.state());
+            tensors.extend(l.v.state());
+            tensors.extend(l.gcn.state());
+        }
+        tensors.extend(self.out.state());
+        EncoderState {
+            config: self.cfg.clone(),
+            tensors,
+        }
+    }
+
+    /// Restore from a snapshot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshot's config does not match this encoder.
+    pub fn load_state(&self, state: &EncoderState) {
+        assert_eq!(state.config, self.cfg, "encoder config mismatch");
+        let mut it = state.tensors.chunks(2);
+        let mut next = || it.next().expect("state has enough tensors");
+        self.embed.load_state(next());
+        for l in &self.layers {
+            l.q.load_state(next());
+            l.k.load_state(next());
+            l.v.load_state(next());
+            l.gcn.load_state(next());
+        }
+        self.out.load_state(next());
+    }
+
+    /// Rebuild an encoder directly from a snapshot.
+    pub fn from_state(state: &EncoderState) -> GraphEncoder {
+        let enc = GraphEncoder::new(state.config.clone());
+        enc.load_state(state);
+        enc
+    }
+}
+
+/// Serializable encoder weights (config + flat weight list).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EncoderState {
+    /// Architecture the weights belong to.
+    pub config: EncoderConfig,
+    /// `[W, b]` pairs in layer order.
+    pub tensors: Vec<Matrix>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adam::Adam;
+    use crate::linear::MlpHead;
+
+    fn toy_graph(n: usize, seed: u64) -> (Arc<SparseAdj>, Matrix) {
+        let edges: Vec<(u32, u32)> = (0..n as u32 - 1).map(|i| (i, i + 1)).collect();
+        (
+            Arc::new(SparseAdj::normalized_from_edges(n, &edges)),
+            Matrix::xavier(n, 4, seed),
+        )
+    }
+
+    fn small_cfg() -> EncoderConfig {
+        EncoderConfig {
+            input_dim: 4,
+            hidden_dim: 8,
+            layers: 2,
+            alpha: 0.5,
+            seed: 5,
+        }
+    }
+
+    #[test]
+    fn output_shapes() {
+        let enc = GraphEncoder::new(small_cfg());
+        let (adj, feats) = toy_graph(7, 1);
+        let (nodes, graph) = enc.encode(&adj, &feats);
+        assert_eq!(nodes.shape(), (7, 8));
+        assert_eq!(graph.shape(), (1, 8));
+    }
+
+    #[test]
+    fn deterministic_construction_and_forward() {
+        let a = GraphEncoder::new(small_cfg());
+        let b = GraphEncoder::new(small_cfg());
+        let (adj, feats) = toy_graph(5, 2);
+        let (_, ga) = a.encode(&adj, &feats);
+        let (_, gb) = b.encode(&adj, &feats);
+        assert_eq!(*ga.value(), *gb.value());
+    }
+
+    #[test]
+    fn permutation_equivariance() {
+        // Relabeling nodes (and permuting features/edges consistently) must
+        // permute node embeddings and keep the graph embedding unchanged.
+        let enc = GraphEncoder::new(small_cfg());
+        let n = 6;
+        let edges = [(0u32, 1u32), (1, 2), (2, 3), (4, 5)];
+        let feats = Matrix::xavier(n, 4, 3);
+        let adj = Arc::new(SparseAdj::normalized_from_edges(n, &edges));
+        let (nodes, graph) = enc.encode(&adj, &feats);
+
+        // Permutation: reverse order.
+        let perm: Vec<usize> = (0..n).rev().collect();
+        let mut pfeats = Matrix::zeros(n, 4);
+        for (new, &old) in perm.iter().enumerate() {
+            for c in 0..4 {
+                pfeats.set(new, c, feats.get(old, c));
+            }
+        }
+        let pedges: Vec<(u32, u32)> = edges
+            .iter()
+            .map(|&(u, v)| {
+                let pu = perm.iter().position(|&o| o == u as usize).expect("in perm") as u32;
+                let pv = perm.iter().position(|&o| o == v as usize).expect("in perm") as u32;
+                (pu, pv)
+            })
+            .collect();
+        let padj = Arc::new(SparseAdj::normalized_from_edges(n, &pedges));
+        let (pnodes, pgraph) = enc.encode(&padj, &pfeats);
+
+        for c in 0..8 {
+            assert!(
+                (graph.value().get(0, c) - pgraph.value().get(0, c)).abs() < 1e-9,
+                "graph embedding changed under permutation"
+            );
+        }
+        for (new, &old) in perm.iter().enumerate() {
+            for c in 0..8 {
+                assert!(
+                    (nodes.value().get(old, c) - pnodes.value().get(new, c)).abs() < 1e-9,
+                    "node embeddings not equivariant"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn learns_graph_size() {
+        // Train encoder + regression head to predict node count — the
+        // paper's Task #3 in miniature.
+        let enc = GraphEncoder::new(small_cfg());
+        let head = MlpHead::new(8, 8, 1, 9);
+        let mut params = enc.params();
+        params.extend(head.params());
+        let mut opt = Adam::new(params, 0.01);
+        let sizes = [3usize, 5, 8, 12];
+        let graphs: Vec<(Arc<SparseAdj>, Matrix)> = sizes
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| toy_graph(n, 100 + i as u64))
+            .collect();
+        let mut first = None;
+        let mut last = 0.0;
+        for _ in 0..60 {
+            let mut losses = Vec::new();
+            for ((adj, feats), &n) in graphs.iter().zip(&sizes) {
+                let (_, graph) = enc.encode(adj, feats);
+                let pred = head.forward(&graph);
+                losses.push(pred.mse_loss(&Matrix::full(1, 1, n as f64 / 12.0)));
+            }
+            let loss = Tensor::concat_rows(&losses).mean_rows();
+            first.get_or_insert(loss.value().get(0, 0));
+            last = loss.value().get(0, 0);
+            opt.zero_grad();
+            loss.backward();
+            opt.step();
+        }
+        let first = first.expect("ran at least once");
+        assert!(last < first * 0.3, "size loss barely moved: {first} → {last}");
+    }
+
+    #[test]
+    fn state_roundtrip() {
+        let enc = GraphEncoder::new(small_cfg());
+        let snap = enc.state();
+        let enc2 = GraphEncoder::from_state(&snap);
+        let (adj, feats) = toy_graph(5, 4);
+        let (_, g1) = enc.encode(&adj, &feats);
+        let (_, g2) = enc2.encode(&adj, &feats);
+        assert_eq!(*g1.value(), *g2.value());
+    }
+
+    #[test]
+    #[should_panic(expected = "feature width")]
+    fn rejects_bad_feature_width() {
+        let enc = GraphEncoder::new(small_cfg());
+        let (adj, _) = toy_graph(5, 4);
+        let _ = enc.encode(&adj, &Matrix::zeros(5, 9));
+    }
+}

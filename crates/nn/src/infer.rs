@@ -1,0 +1,234 @@
+//! Tape-free encoder evaluation for deployment.
+//!
+//! [`GraphEncoder`](crate::GraphEncoder) builds an autodiff tape on every
+//! forward pass — necessary for training, wasteful at inference. An
+//! [`InferenceEncoder`] holds plain weight matrices and evaluates the
+//! identical function with raw matrix math. It is `Send + Sync`, so
+//! per-cycle sub-module embeddings can be computed on worker threads
+//! (ATLAS's inference-speed claim, Table IV, depends on this path).
+
+use crate::encoder::EncoderState;
+use crate::matrix::Matrix;
+use crate::sparse::SparseAdj;
+
+/// A frozen, thread-safe evaluator of a trained encoder.
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::Arc;
+/// use atlas_nn::{EncoderConfig, GraphEncoder, InferenceEncoder, Matrix, SparseAdj};
+///
+/// let cfg = EncoderConfig { input_dim: 4, hidden_dim: 8, layers: 1, alpha: 0.5, seed: 1 };
+/// let trained = GraphEncoder::new(cfg);
+/// let frozen = InferenceEncoder::from_state(&trained.state());
+/// let adj = SparseAdj::normalized_from_edges(3, &[(0, 1)]);
+/// let feats = Matrix::xavier(3, 4, 2);
+/// let (_nodes, graph) = frozen.encode(&adj, &feats);
+/// // Bit-identical to the training-path forward:
+/// let (_, g2) = trained.encode(&Arc::new(adj), &feats);
+/// for (a, b) in graph.iter().zip(g2.value().row(0)) {
+///     assert_eq!(a, b);
+/// }
+/// ```
+#[derive(Debug, Clone)]
+pub struct InferenceEncoder {
+    input_dim: usize,
+    hidden_dim: usize,
+    alpha: f64,
+    /// `[W, b]` pairs: embed, then (q, k, v, gcn) per layer, then out.
+    weights: Vec<Matrix>,
+    layers: usize,
+}
+
+impl InferenceEncoder {
+    /// Freeze a trained encoder's state.
+    pub fn from_state(state: &EncoderState) -> InferenceEncoder {
+        InferenceEncoder {
+            input_dim: state.config.input_dim,
+            hidden_dim: state.config.hidden_dim,
+            alpha: state.config.alpha,
+            weights: state.tensors.clone(),
+            layers: state.config.layers,
+        }
+    }
+
+    /// Embedding width.
+    pub fn embedding_dim(&self) -> usize {
+        self.hidden_dim
+    }
+
+    /// Evaluate: returns `(node_embeddings, graph_embedding)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on feature-shape mismatch.
+    pub fn encode(&self, adj: &SparseAdj, features: &Matrix) -> (Matrix, Vec<f64>) {
+        let h = self.hidden(adj, features);
+        let w = &self.weights[(1 + self.layers * 4) * 2];
+        let b = &self.weights[(1 + self.layers * 4) * 2 + 1];
+        let mut nodes = h.matmul(w);
+        for r in 0..nodes.rows() {
+            for c in 0..nodes.cols() {
+                let v = nodes.get(r, c) + b.get(0, c);
+                nodes.set(r, c, v);
+            }
+        }
+        let s = nodes.rows() as f64 * crate::encoder::SUM_POOL_SCALE;
+        let graph = nodes.mean_rows().map(|v| v * s).row(0).to_vec();
+        (nodes, graph)
+    }
+
+    /// The shared pre-projection hidden state.
+    fn hidden(&self, adj: &SparseAdj, features: &Matrix) -> Matrix {
+        assert_eq!(features.cols(), self.input_dim, "feature width mismatch");
+        assert_eq!(features.rows(), adj.node_count(), "node count mismatch");
+        let linear = |idx: usize, x: &Matrix| -> Matrix {
+            let w = &self.weights[idx * 2];
+            let b = &self.weights[idx * 2 + 1];
+            let mut out = x.matmul(w);
+            for r in 0..out.rows() {
+                for c in 0..out.cols() {
+                    let v = out.get(r, c) + b.get(0, c);
+                    out.set(r, c, v);
+                }
+            }
+            out
+        };
+        let relu = |m: Matrix| m.map(|v| v.max(0.0));
+
+        let mut h = relu(linear(0, features));
+        let n = features.rows();
+        for l in 0..self.layers {
+            let base = 1 + l * 4;
+            let pq = linear(base, &h).map(|v| v.max(0.0) + 0.01);
+            let pk = linear(base + 1, &h).map(|v| v.max(0.0) + 0.01);
+            let v = linear(base + 2, &h);
+            let kv = pk.matmul_tn(&v); // d×d
+            let num = pq.matmul(&kv); // n×d
+            let ksum = pk.matmul_tn(&Matrix::full(n, 1, 1.0)); // d×1
+            let denom = pq.matmul(&ksum); // n×1
+            let mut attn = num;
+            for r in 0..n {
+                let dv = denom.get(r, 0);
+                for c in 0..attn.cols() {
+                    attn.set(r, c, attn.get(r, c) / dv);
+                }
+            }
+            let prop = relu(linear(base + 3, &h.spmm_by(adj)));
+            let mut mixed = Matrix::zeros(n, self.hidden_dim);
+            for i in 0..mixed.as_slice().len() {
+                mixed.as_mut_slice()[i] =
+                    (self.alpha * attn.as_slice()[i] + (1.0 - self.alpha) * prop.as_slice()[i]).max(0.0);
+            }
+            h = mixed;
+        }
+        h
+    }
+
+    /// Evaluate only the graph embedding — the inference hot path.
+    ///
+    /// Exploits that the output layer is affine: the mean of `h·W + b`
+    /// over rows equals `mean(h)·W + b`, so the final projection runs on a
+    /// single row instead of all `n` nodes. Identical result to
+    /// [`encode`](Self::encode)'s graph output.
+    ///
+    /// # Panics
+    ///
+    /// Panics on feature-shape mismatch.
+    pub fn encode_graph(&self, adj: &SparseAdj, features: &Matrix) -> Vec<f64> {
+        let h = self.hidden(adj, features);
+        let n = h.rows() as f64;
+        let pooled = h.mean_rows();
+        let w = &self.weights[(1 + self.layers * 4) * 2];
+        let b = &self.weights[(1 + self.layers * 4) * 2 + 1];
+        let mut out = pooled.matmul(w);
+        let scale = n * crate::encoder::SUM_POOL_SCALE;
+        for c in 0..out.cols() {
+            let v = (out.get(0, c) + b.get(0, c)) * scale;
+            out.set(0, c, v);
+        }
+        out.row(0).to_vec()
+    }
+}
+
+impl Matrix {
+    /// `Â × self` convenience used by the inference path.
+    fn spmm_by(&self, adj: &SparseAdj) -> Matrix {
+        adj.matmul(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::Arc;
+
+    use super::*;
+    use crate::encoder::{EncoderConfig, GraphEncoder};
+
+    #[test]
+    fn matches_training_forward_exactly() {
+        let cfg = EncoderConfig {
+            input_dim: 6,
+            hidden_dim: 12,
+            layers: 2,
+            alpha: 0.5,
+            seed: 3,
+        };
+        let trained = GraphEncoder::new(cfg);
+        let frozen = InferenceEncoder::from_state(&trained.state());
+        for seed in 0..4 {
+            let n = 5 + seed as usize;
+            let edges: Vec<(u32, u32)> = (0..n as u32 - 1).map(|i| (i, i + 1)).collect();
+            let adj = SparseAdj::normalized_from_edges(n, &edges);
+            let feats = Matrix::xavier(n, 6, 50 + seed);
+            let (nodes_f, graph_f) = frozen.encode(&adj, &feats);
+            let (nodes_t, graph_t) = trained.encode(&Arc::new(adj), &feats);
+            for r in 0..n {
+                for c in 0..12 {
+                    assert!(
+                        (nodes_f.get(r, c) - nodes_t.value().get(r, c)).abs() < 1e-12,
+                        "node embedding mismatch"
+                    );
+                }
+            }
+            for (a, b) in graph_f.iter().zip(graph_t.value().row(0)) {
+                assert!((a - b).abs() < 1e-12, "graph embedding mismatch");
+            }
+        }
+    }
+
+    #[test]
+    fn is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<InferenceEncoder>();
+    }
+}
+
+#[cfg(test)]
+mod graph_fast_path_tests {
+    use super::*;
+    use crate::encoder::{EncoderConfig, GraphEncoder};
+
+    #[test]
+    fn encode_graph_matches_full_encode() {
+        let cfg = EncoderConfig {
+            input_dim: 5,
+            hidden_dim: 10,
+            layers: 2,
+            alpha: 0.5,
+            seed: 9,
+        };
+        let frozen = InferenceEncoder::from_state(&GraphEncoder::new(cfg).state());
+        for n in [1usize, 3, 9] {
+            let edges: Vec<(u32, u32)> = (0..n.saturating_sub(1) as u32).map(|i| (i, i + 1)).collect();
+            let adj = SparseAdj::normalized_from_edges(n, &edges);
+            let feats = Matrix::xavier(n, 5, n as u64);
+            let (_, full) = frozen.encode(&adj, &feats);
+            let fast = frozen.encode_graph(&adj, &feats);
+            for (a, b) in full.iter().zip(&fast) {
+                assert!((a - b).abs() < 1e-9, "fast path diverged: {a} vs {b}");
+            }
+        }
+    }
+}

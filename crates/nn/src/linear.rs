@@ -1,0 +1,145 @@
+//! Parameterized modules: linear layers and small MLP heads.
+
+use crate::matrix::Matrix;
+use crate::tensor::Tensor;
+
+/// A dense layer `y = x·W + b`.
+///
+/// # Examples
+///
+/// ```
+/// use atlas_nn::{Linear, Matrix, Tensor};
+///
+/// let layer = Linear::new(4, 2, 7);
+/// let x = Tensor::constant(Matrix::xavier(3, 4, 1));
+/// assert_eq!(layer.forward(&x).shape(), (3, 2));
+/// assert_eq!(layer.params().len(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Linear {
+    w: Tensor,
+    b: Tensor,
+}
+
+impl Linear {
+    /// Xavier-initialized layer, deterministic in `seed`.
+    pub fn new(input: usize, output: usize, seed: u64) -> Linear {
+        Linear {
+            w: Tensor::param(Matrix::xavier(input, output, seed)),
+            b: Tensor::param(Matrix::zeros(1, output)),
+        }
+    }
+
+    /// Apply the layer.
+    pub fn forward(&self, x: &Tensor) -> Tensor {
+        x.matmul(&self.w).add_row(&self.b)
+    }
+
+    /// The trainable parameters (`[W, b]`).
+    pub fn params(&self) -> Vec<Tensor> {
+        vec![self.w.clone(), self.b.clone()]
+    }
+
+    /// Snapshot weights for serialization.
+    pub fn state(&self) -> Vec<Matrix> {
+        vec![self.w.value().clone(), self.b.value().clone()]
+    }
+
+    /// Restore weights from [`Linear::state`] output.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshot does not contain two matrices of matching
+    /// shapes.
+    pub fn load_state(&self, state: &[Matrix]) {
+        assert_eq!(state.len(), 2, "linear state is [W, b]");
+        assert_eq!(state[0].shape(), self.w.shape(), "W shape mismatch");
+        assert_eq!(state[1].shape(), self.b.shape(), "b shape mismatch");
+        self.w.set_value(state[0].clone());
+        self.b.set_value(state[1].clone());
+    }
+}
+
+/// A two-layer MLP head: `Linear → ReLU → Linear`. The paper attaches
+/// temporary heads like this to the encoder for each pre-training task
+/// and discards them afterwards.
+#[derive(Debug, Clone)]
+pub struct MlpHead {
+    l1: Linear,
+    l2: Linear,
+}
+
+impl MlpHead {
+    /// Build a head with the given widths, deterministic in `seed`.
+    pub fn new(input: usize, hidden: usize, output: usize, seed: u64) -> MlpHead {
+        MlpHead {
+            l1: Linear::new(input, hidden, seed.wrapping_mul(2).wrapping_add(1)),
+            l2: Linear::new(hidden, output, seed.wrapping_mul(2).wrapping_add(2)),
+        }
+    }
+
+    /// Apply the head.
+    pub fn forward(&self, x: &Tensor) -> Tensor {
+        self.l2.forward(&self.l1.forward(x).relu())
+    }
+
+    /// All trainable parameters.
+    pub fn params(&self) -> Vec<Tensor> {
+        let mut p = self.l1.params();
+        p.extend(self.l2.params());
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adam::Adam;
+
+    #[test]
+    fn linear_shapes_and_state_roundtrip() {
+        let l = Linear::new(3, 5, 1);
+        let snap = l.state();
+        let l2 = Linear::new(3, 5, 99);
+        l2.load_state(&snap);
+        assert_eq!(l2.state(), snap);
+    }
+
+    #[test]
+    fn mlp_learns_xor() {
+        // The classic nonlinear sanity check.
+        let x = Tensor::constant(Matrix::from_rows(&[
+            &[0.0, 0.0],
+            &[0.0, 1.0],
+            &[1.0, 0.0],
+            &[1.0, 1.0],
+        ]));
+        let targets = [0usize, 1, 1, 0];
+        let head = MlpHead::new(2, 16, 2, 3);
+        let mut opt = Adam::new(head.params(), 0.02);
+        let mut last = f64::INFINITY;
+        for _ in 0..400 {
+            let loss = head.forward(&x).softmax_cross_entropy(&targets);
+            last = loss.value().get(0, 0);
+            opt.zero_grad();
+            loss.backward();
+            opt.step();
+        }
+        assert!(last < 0.05, "xor loss stuck at {last}");
+        // Check predictions.
+        let logits = head.forward(&x);
+        let v = logits.value();
+        for (r, &t) in targets.iter().enumerate() {
+            let pred = if v.get(r, 1) > v.get(r, 0) { 1 } else { 0 };
+            assert_eq!(pred, t, "row {r}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "W shape mismatch")]
+    fn load_state_validates_shape()  {
+        let l = Linear::new(3, 5, 1);
+        let other = Linear::new(4, 5, 2);
+        l.load_state(&other.state());
+    }
+}

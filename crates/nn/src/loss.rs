@@ -1,0 +1,90 @@
+//! Contrastive losses.
+
+use crate::tensor::Tensor;
+
+/// The InfoNCE loss (van den Oord et al. \[14\]) with in-batch negatives —
+/// the objective of the paper's Tasks #4 (gate-level contrastive) and #5
+/// (cross-stage alignment).
+///
+/// `anchors` and `positives` are `B × d` batches where row `i` of
+/// `positives` is the positive sample of row `i` of `anchors`; every other
+/// row in the batch is a negative. Embeddings are cosine-normalized and
+/// compared at temperature `tau`.
+///
+/// # Panics
+///
+/// Panics if the shapes differ or the batch is empty.
+///
+/// # Examples
+///
+/// ```
+/// use atlas_nn::{info_nce, Matrix, Tensor};
+///
+/// let a = Tensor::param(Matrix::xavier(4, 8, 1));
+/// let p = Tensor::constant(Matrix::xavier(4, 8, 1)); // identical pairs
+/// let loss = info_nce(&a, &p, 0.1);
+/// // Matching pairs score much better than random negatives:
+/// assert!(loss.value().get(0, 0) < 0.7);
+/// ```
+pub fn info_nce(anchors: &Tensor, positives: &Tensor, tau: f64) -> Tensor {
+    let (b, d) = anchors.shape();
+    assert_eq!((b, d), positives.shape(), "anchor/positive shape mismatch");
+    assert!(b > 0, "empty batch");
+    assert!(tau > 0.0, "temperature must be positive");
+    let a = anchors.l2_normalize_rows();
+    let p = positives.l2_normalize_rows();
+    let logits = a.matmul_nt(&p).scale(1.0 / tau);
+    let targets: Vec<usize> = (0..b).collect();
+    logits.softmax_cross_entropy(&targets)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adam::Adam;
+    use crate::linear::Linear;
+    use crate::matrix::Matrix;
+
+    #[test]
+    fn perfect_alignment_beats_random() {
+        let m = Matrix::xavier(8, 16, 3);
+        let a = Tensor::constant(m.clone());
+        let p = Tensor::constant(m);
+        let aligned = info_nce(&a, &p, 0.1).value().get(0, 0);
+
+        let q = Tensor::constant(Matrix::xavier(8, 16, 99));
+        let random = info_nce(&a, &q, 0.1).value().get(0, 0);
+        assert!(aligned < random, "aligned={aligned} random={random}");
+    }
+
+    #[test]
+    fn learning_aligns_two_views() {
+        // Learn a projection W so that X·W aligns with a fixed target view.
+        let x = Tensor::constant(Matrix::xavier(6, 8, 1));
+        let y = Tensor::constant(Matrix::xavier(6, 8, 2));
+        let proj = Linear::new(8, 8, 7);
+        let mut opt = Adam::new(proj.params(), 0.02);
+        let mut first = None;
+        let mut last = 0.0;
+        for _ in 0..150 {
+            let loss = info_nce(&proj.forward(&x), &y, 0.2);
+            first.get_or_insert(loss.value().get(0, 0));
+            last = loss.value().get(0, 0);
+            opt.zero_grad();
+            loss.backward();
+            opt.step();
+        }
+        assert!(
+            last < first.expect("ran") * 0.5,
+            "contrastive loss did not improve: {first:?} → {last}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn shape_mismatch_panics() {
+        let a = Tensor::constant(Matrix::zeros(2, 4));
+        let p = Tensor::constant(Matrix::zeros(3, 4));
+        let _ = info_nce(&a, &p, 0.1);
+    }
+}

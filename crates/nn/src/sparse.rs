@@ -1,0 +1,191 @@
+//! Sparse adjacency matrices for graph propagation.
+
+use serde::{Deserialize, Serialize};
+
+use crate::matrix::Matrix;
+
+/// A symmetric, degree-normalized adjacency matrix in CSR form:
+/// `Â = D^(-1/2) (A + Aᵀ + I) D^(-1/2)`.
+///
+/// Symmetrization keeps the backward pass free (`Âᵀ = Â`) at the cost of
+/// edge direction — direction information still reaches the model through
+/// the global attention branch and the toggle features.
+///
+/// # Examples
+///
+/// ```
+/// use atlas_nn::{Matrix, SparseAdj};
+///
+/// let adj = SparseAdj::normalized_from_edges(3, &[(0, 1), (1, 2)]);
+/// let x = Matrix::from_rows(&[&[1.0], &[0.0], &[0.0]]);
+/// let y = adj.matmul(&x);
+/// // Node 1 receives mass from node 0.
+/// assert!(y.get(1, 0) > 0.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SparseAdj {
+    n: usize,
+    row_ptr: Vec<u32>,
+    col_idx: Vec<u32>,
+    vals: Vec<f64>,
+}
+
+impl SparseAdj {
+    /// Build the normalized adjacency from directed edges (`u → v` local
+    /// node indices). Duplicate edges are merged; self-loops are added to
+    /// every node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an endpoint is `>= n` or `n == 0`.
+    pub fn normalized_from_edges(n: usize, edges: &[(u32, u32)]) -> SparseAdj {
+        assert!(n > 0, "graph must have nodes");
+        // Symmetrize + self loops, dedup.
+        let mut pairs: Vec<(u32, u32)> = Vec::with_capacity(edges.len() * 2 + n);
+        for &(u, v) in edges {
+            assert!((u as usize) < n && (v as usize) < n, "edge endpoint out of range");
+            pairs.push((u, v));
+            pairs.push((v, u));
+        }
+        for i in 0..n as u32 {
+            pairs.push((i, i));
+        }
+        pairs.sort_unstable();
+        pairs.dedup();
+
+        let mut degree = vec![0usize; n];
+        for &(u, _) in &pairs {
+            degree[u as usize] += 1;
+        }
+        let inv_sqrt: Vec<f64> = degree.iter().map(|&d| 1.0 / (d as f64).sqrt()).collect();
+
+        let mut row_ptr = Vec::with_capacity(n + 1);
+        let mut col_idx = Vec::with_capacity(pairs.len());
+        let mut vals = Vec::with_capacity(pairs.len());
+        row_ptr.push(0u32);
+        let mut row = 0usize;
+        for &(u, v) in &pairs {
+            while row < u as usize {
+                row += 1;
+                row_ptr.push(col_idx.len() as u32);
+            }
+            col_idx.push(v);
+            vals.push(inv_sqrt[u as usize] * inv_sqrt[v as usize]);
+        }
+        while row < n {
+            row += 1;
+            row_ptr.push(col_idx.len() as u32);
+        }
+        SparseAdj {
+            n,
+            row_ptr,
+            col_idx,
+            vals,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.n
+    }
+
+    /// Number of stored entries.
+    pub fn nnz(&self) -> usize {
+        self.vals.len()
+    }
+
+    /// Sparse-dense product `Â × x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.rows() != node_count()`.
+    pub fn matmul(&self, x: &Matrix) -> Matrix {
+        assert_eq!(x.rows(), self.n, "spmm shape mismatch");
+        let d = x.cols();
+        let mut out = Matrix::zeros(self.n, d);
+        for r in 0..self.n {
+            let start = self.row_ptr[r] as usize;
+            let end = self.row_ptr[r + 1] as usize;
+            let orow_start = r * d;
+            for e in start..end {
+                let c = self.col_idx[e] as usize;
+                let w = self.vals[e];
+                let xrow = x.row(c);
+                let orow = &mut out.as_mut_slice()[orow_start..orow_start + d];
+                for (o, &xv) in orow.iter_mut().zip(xrow) {
+                    *o += w * xv;
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn symmetric_and_normalized() {
+        let adj = SparseAdj::normalized_from_edges(3, &[(0, 1), (1, 2)]);
+        // Dense reconstruction.
+        let mut dense = Matrix::zeros(3, 3);
+        for r in 0..3 {
+            let mut x = Matrix::zeros(3, 1);
+            x.set(r, 0, 1.0);
+            let y = adj.matmul(&x);
+            for c in 0..3 {
+                dense.set(c, r, y.get(c, 0));
+            }
+        }
+        // Symmetric.
+        for r in 0..3 {
+            for c in 0..3 {
+                assert!((dense.get(r, c) - dense.get(c, r)).abs() < 1e-12);
+            }
+        }
+        // Self loops present.
+        for i in 0..3 {
+            assert!(dense.get(i, i) > 0.0);
+        }
+    }
+
+    #[test]
+    fn spectral_radius_bounded() {
+        // The symmetric normalized adjacency of A+I has eigenvalues in
+        // [-1, 1], so it cannot grow the 2-norm of any vector.
+        let adj = SparseAdj::normalized_from_edges(5, &[(0, 1), (0, 2), (0, 3), (3, 4)]);
+        for seed in 0..5 {
+            let x = Matrix::xavier(5, 1, seed);
+            let y = adj.matmul(&x);
+            assert!(
+                y.norm() <= x.norm() + 1e-12,
+                "‖Âx‖={} > ‖x‖={}",
+                y.norm(),
+                x.norm()
+            );
+        }
+    }
+
+    #[test]
+    fn duplicate_edges_merged() {
+        let a = SparseAdj::normalized_from_edges(2, &[(0, 1), (0, 1), (1, 0)]);
+        let b = SparseAdj::normalized_from_edges(2, &[(0, 1)]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn isolated_nodes_keep_identity() {
+        let adj = SparseAdj::normalized_from_edges(2, &[]);
+        let x = Matrix::from_rows(&[&[3.0], &[4.0]]);
+        let y = adj.matmul(&x);
+        assert!((y.get(0, 0) - 3.0).abs() < 1e-12);
+        assert!((y.get(1, 0) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_edge_panics() {
+        let _ = SparseAdj::normalized_from_edges(2, &[(0, 5)]);
+    }
+}

@@ -1,0 +1,733 @@
+//! Reverse-mode automatic differentiation over [`Matrix`] values.
+//!
+//! A [`Tensor`] is a node in a dynamically built computation DAG. Nodes
+//! are reference-counted; node ids increase in creation order, so visiting
+//! reachable nodes in descending id order is a valid reverse topological
+//! order for backpropagation.
+
+use std::cell::{Cell, Ref, RefCell};
+use std::collections::HashMap;
+use std::rc::Rc;
+use std::sync::Arc;
+
+use crate::matrix::Matrix;
+use crate::sparse::SparseAdj;
+
+thread_local! {
+    static NEXT_ID: Cell<u64> = const { Cell::new(0) };
+}
+
+fn next_id() -> u64 {
+    NEXT_ID.with(|c| {
+        let id = c.get();
+        c.set(id + 1);
+        id
+    })
+}
+
+type BackwardFn = Box<dyn Fn(&Matrix, &[Tensor])>;
+
+struct Node {
+    id: u64,
+    value: RefCell<Matrix>,
+    grad: RefCell<Option<Matrix>>,
+    parents: Vec<Tensor>,
+    backward: Option<BackwardFn>,
+}
+
+/// A matrix-valued node of the autodiff graph.
+///
+/// Cloning is cheap (reference-counted). Operations build new nodes;
+/// [`Tensor::backward`] propagates gradients to every reachable parameter.
+///
+/// # Examples
+///
+/// ```
+/// use atlas_nn::{Matrix, Tensor};
+///
+/// let x = Tensor::param(Matrix::from_rows(&[&[3.0]]));
+/// let y = x.mul(&x); // y = x²
+/// y.backward();
+/// assert_eq!(x.grad().expect("has grad").get(0, 0), 6.0); // dy/dx = 2x
+/// ```
+#[derive(Clone)]
+pub struct Tensor {
+    node: Rc<Node>,
+}
+
+impl std::fmt::Debug for Tensor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Tensor")
+            .field("id", &self.node.id)
+            .field("shape", &self.node.value.borrow().shape())
+            .finish()
+    }
+}
+
+impl Tensor {
+    fn new(value: Matrix, parents: Vec<Tensor>, backward: Option<BackwardFn>) -> Tensor {
+        Tensor {
+            node: Rc::new(Node {
+                id: next_id(),
+                value: RefCell::new(value),
+                grad: RefCell::new(None),
+                parents,
+                backward,
+            }),
+        }
+    }
+
+    /// A trainable leaf (gradients are accumulated into it).
+    pub fn param(value: Matrix) -> Tensor {
+        Tensor::new(value, Vec::new(), None)
+    }
+
+    /// A non-trainable leaf (gradients still flow *through* ops but are
+    /// simply accumulated and ignored).
+    pub fn constant(value: Matrix) -> Tensor {
+        Tensor::new(value, Vec::new(), None)
+    }
+
+    /// Borrow the current value.
+    pub fn value(&self) -> Ref<'_, Matrix> {
+        self.node.value.borrow()
+    }
+
+    /// Replace the value (used by optimizers).
+    pub fn set_value(&self, value: Matrix) {
+        *self.node.value.borrow_mut() = value;
+    }
+
+    /// `(rows, cols)` of the value.
+    pub fn shape(&self) -> (usize, usize) {
+        self.node.value.borrow().shape()
+    }
+
+    /// Clone of the accumulated gradient, if any.
+    pub fn grad(&self) -> Option<Matrix> {
+        self.node.grad.borrow().clone()
+    }
+
+    /// Clear the accumulated gradient.
+    pub fn zero_grad(&self) {
+        *self.node.grad.borrow_mut() = None;
+    }
+
+    fn accumulate(&self, g: &Matrix) {
+        let mut slot = self.node.grad.borrow_mut();
+        match slot.as_mut() {
+            Some(existing) => existing.add_assign(g),
+            None => *slot = Some(g.clone()),
+        }
+    }
+
+    /// Run backpropagation from this scalar (1×1) tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not scalar-shaped.
+    pub fn backward(&self) {
+        assert_eq!(self.shape(), (1, 1), "backward() starts from a scalar loss");
+        // Collect reachable nodes.
+        let mut seen: HashMap<u64, Tensor> = HashMap::new();
+        let mut stack = vec![self.clone()];
+        while let Some(t) = stack.pop() {
+            if seen.insert(t.node.id, t.clone()).is_none() {
+                for p in &t.node.parents {
+                    stack.push(p.clone());
+                }
+            }
+        }
+        let mut order: Vec<Tensor> = seen.into_values().collect();
+        order.sort_by(|a, b| b.node.id.cmp(&a.node.id));
+
+        self.accumulate(&Matrix::full(1, 1, 1.0));
+        for t in order {
+            let Some(back) = &t.node.backward else { continue };
+            let grad = t.node.grad.borrow().clone();
+            if let Some(g) = grad {
+                back(&g, &t.node.parents);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Elementwise and broadcast operations
+    // ------------------------------------------------------------------
+
+    /// Elementwise sum.
+    pub fn add(&self, other: &Tensor) -> Tensor {
+        let v = self.value().zip(&other.value(), |a, b| a + b);
+        Tensor::new(
+            v,
+            vec![self.clone(), other.clone()],
+            Some(Box::new(|g, ps| {
+                ps[0].accumulate(g);
+                ps[1].accumulate(g);
+            })),
+        )
+    }
+
+    /// Elementwise difference.
+    pub fn sub(&self, other: &Tensor) -> Tensor {
+        let v = self.value().zip(&other.value(), |a, b| a - b);
+        Tensor::new(
+            v,
+            vec![self.clone(), other.clone()],
+            Some(Box::new(|g, ps| {
+                ps[0].accumulate(g);
+                ps[1].accumulate(&g.map(|x| -x));
+            })),
+        )
+    }
+
+    /// Hadamard (elementwise) product.
+    pub fn mul(&self, other: &Tensor) -> Tensor {
+        let v = self.value().zip(&other.value(), |a, b| a * b);
+        Tensor::new(
+            v,
+            vec![self.clone(), other.clone()],
+            Some(Box::new(|g, ps| {
+                let a = ps[0].value().clone();
+                let b = ps[1].value().clone();
+                ps[0].accumulate(&g.zip(&b, |x, y| x * y));
+                ps[1].accumulate(&g.zip(&a, |x, y| x * y));
+            })),
+        )
+    }
+
+    /// Multiply by a scalar constant.
+    pub fn scale(&self, s: f64) -> Tensor {
+        let v = self.value().map(|x| x * s);
+        Tensor::new(
+            v,
+            vec![self.clone()],
+            Some(Box::new(move |g, ps| {
+                ps[0].accumulate(&g.map(|x| x * s));
+            })),
+        )
+    }
+
+    /// Add a scalar constant.
+    pub fn add_scalar(&self, c: f64) -> Tensor {
+        let v = self.value().map(|x| x + c);
+        Tensor::new(
+            v,
+            vec![self.clone()],
+            Some(Box::new(|g, ps| {
+                ps[0].accumulate(g);
+            })),
+        )
+    }
+
+    /// Rectified linear unit.
+    pub fn relu(&self) -> Tensor {
+        let v = self.value().map(|x| x.max(0.0));
+        Tensor::new(
+            v,
+            vec![self.clone()],
+            Some(Box::new(|g, ps| {
+                let a = ps[0].value().clone();
+                ps[0].accumulate(&g.zip(&a, |gx, ax| if ax > 0.0 { gx } else { 0.0 }));
+            })),
+        )
+    }
+
+    /// Add a `1 × cols` bias row to every row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bias` is not `1 × self.cols`.
+    pub fn add_row(&self, bias: &Tensor) -> Tensor {
+        let v = {
+            let a = self.value();
+            let b = bias.value();
+            assert_eq!(b.shape(), (1, a.cols()), "bias must be 1 × cols");
+            let mut out = a.clone();
+            for r in 0..out.rows() {
+                for c in 0..out.cols() {
+                    let v = out.get(r, c) + b.get(0, c);
+                    out.set(r, c, v);
+                }
+            }
+            out
+        };
+        Tensor::new(
+            v,
+            vec![self.clone(), bias.clone()],
+            Some(Box::new(|g, ps| {
+                ps[0].accumulate(g);
+                // Bias gradient: column sums.
+                let mut bg = Matrix::zeros(1, g.cols());
+                for r in 0..g.rows() {
+                    for c in 0..g.cols() {
+                        bg.set(0, c, bg.get(0, c) + g.get(r, c));
+                    }
+                }
+                ps[1].accumulate(&bg);
+            })),
+        )
+    }
+
+    /// Divide each row by the matching entry of an `n × 1` column tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `denom` is not `rows × 1`.
+    pub fn col_div(&self, denom: &Tensor) -> Tensor {
+        let v = {
+            let a = self.value();
+            let d = denom.value();
+            assert_eq!(d.shape(), (a.rows(), 1), "denominator must be rows × 1");
+            let mut out = a.clone();
+            for r in 0..out.rows() {
+                let dv = d.get(r, 0);
+                for c in 0..out.cols() {
+                    out.set(r, c, out.get(r, c) / dv);
+                }
+            }
+            out
+        };
+        Tensor::new(
+            v,
+            vec![self.clone(), denom.clone()],
+            Some(Box::new(|g, ps| {
+                let a = ps[0].value().clone();
+                let d = ps[1].value().clone();
+                let mut ga = Matrix::zeros(a.rows(), a.cols());
+                let mut gd = Matrix::zeros(d.rows(), 1);
+                for r in 0..a.rows() {
+                    let dv = d.get(r, 0);
+                    let mut acc = 0.0;
+                    for c in 0..a.cols() {
+                        ga.set(r, c, g.get(r, c) / dv);
+                        acc += g.get(r, c) * (-a.get(r, c) / (dv * dv));
+                    }
+                    gd.set(r, 0, acc);
+                }
+                ps[0].accumulate(&ga);
+                ps[1].accumulate(&gd);
+            })),
+        )
+    }
+
+    // ------------------------------------------------------------------
+    // Matrix products
+    // ------------------------------------------------------------------
+
+    /// Matrix product `self × other`.
+    pub fn matmul(&self, other: &Tensor) -> Tensor {
+        let v = self.value().matmul(&other.value());
+        Tensor::new(
+            v,
+            vec![self.clone(), other.clone()],
+            Some(Box::new(|g, ps| {
+                let a = ps[0].value().clone();
+                let b = ps[1].value().clone();
+                ps[0].accumulate(&g.matmul_nt(&b));
+                ps[1].accumulate(&a.matmul_tn(g));
+            })),
+        )
+    }
+
+    /// `selfᵀ × other`.
+    pub fn matmul_tn(&self, other: &Tensor) -> Tensor {
+        let v = self.value().matmul_tn(&other.value());
+        Tensor::new(
+            v,
+            vec![self.clone(), other.clone()],
+            Some(Box::new(|g, ps| {
+                let a = ps[0].value().clone();
+                let b = ps[1].value().clone();
+                ps[0].accumulate(&b.matmul_nt(g));
+                ps[1].accumulate(&a.matmul(g));
+            })),
+        )
+    }
+
+    /// `self × otherᵀ`.
+    pub fn matmul_nt(&self, other: &Tensor) -> Tensor {
+        let v = self.value().matmul_nt(&other.value());
+        Tensor::new(
+            v,
+            vec![self.clone(), other.clone()],
+            Some(Box::new(|g, ps| {
+                let a = ps[0].value().clone();
+                let b = ps[1].value().clone();
+                ps[0].accumulate(&g.matmul(&b));
+                ps[1].accumulate(&g.matmul_tn(&a));
+            })),
+        )
+    }
+
+    /// Multiply by a constant sparse (symmetric, normalized) adjacency:
+    /// `out = A × self`.
+    pub fn spmm(&self, adj: &Arc<SparseAdj>) -> Tensor {
+        let v = adj.matmul(&self.value());
+        let adj_b = Arc::clone(adj);
+        Tensor::new(
+            v,
+            vec![self.clone()],
+            Some(Box::new(move |g, ps| {
+                // A is symmetric, so Aᵀ g = A g.
+                ps[0].accumulate(&adj_b.matmul(g));
+            })),
+        )
+    }
+
+    // ------------------------------------------------------------------
+    // Shape operations
+    // ------------------------------------------------------------------
+
+    /// Column-wise mean over rows: `n × d → 1 × d` (graph readout).
+    pub fn mean_rows(&self) -> Tensor {
+        let v = self.value().mean_rows();
+        Tensor::new(
+            v,
+            vec![self.clone()],
+            Some(Box::new(|g, ps| {
+                let (n, d) = ps[0].shape();
+                let mut ga = Matrix::zeros(n, d);
+                for r in 0..n {
+                    for c in 0..d {
+                        ga.set(r, c, g.get(0, c) / n as f64);
+                    }
+                }
+                ps[0].accumulate(&ga);
+            })),
+        )
+    }
+
+    /// Gather rows by index: `out[i] = self[indices[i]]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of range.
+    pub fn select_rows(&self, indices: &[usize]) -> Tensor {
+        let v = {
+            let a = self.value();
+            let mut out = Matrix::zeros(indices.len(), a.cols());
+            for (i, &idx) in indices.iter().enumerate() {
+                assert!(idx < a.rows(), "row index {idx} out of range");
+                for c in 0..a.cols() {
+                    out.set(i, c, a.get(idx, c));
+                }
+            }
+            out
+        };
+        let idx: Vec<usize> = indices.to_vec();
+        Tensor::new(
+            v,
+            vec![self.clone()],
+            Some(Box::new(move |g, ps| {
+                let (n, d) = ps[0].shape();
+                let mut ga = Matrix::zeros(n, d);
+                for (i, &r) in idx.iter().enumerate() {
+                    for c in 0..d {
+                        ga.set(r, c, ga.get(r, c) + g.get(i, c));
+                    }
+                }
+                ps[0].accumulate(&ga);
+            })),
+        )
+    }
+
+    /// Stack tensors vertically (all must share the column count).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parts` is empty or column counts differ.
+    pub fn concat_rows(parts: &[Tensor]) -> Tensor {
+        assert!(!parts.is_empty(), "concat of nothing");
+        let cols = parts[0].shape().1;
+        let total: usize = parts.iter().map(|p| p.shape().0).sum();
+        let mut v = Matrix::zeros(total, cols);
+        let mut row = 0;
+        for p in parts {
+            let pv = p.value();
+            assert_eq!(pv.cols(), cols, "concat column mismatch");
+            for r in 0..pv.rows() {
+                for c in 0..cols {
+                    v.set(row, c, pv.get(r, c));
+                }
+                row += 1;
+            }
+        }
+        let sizes: Vec<usize> = parts.iter().map(|p| p.shape().0).collect();
+        Tensor::new(
+            v,
+            parts.to_vec(),
+            Some(Box::new(move |g, ps| {
+                let mut row = 0;
+                for (p, &rows) in ps.iter().zip(&sizes) {
+                    let cols = g.cols();
+                    let mut gp = Matrix::zeros(rows, cols);
+                    for r in 0..rows {
+                        for c in 0..cols {
+                            gp.set(r, c, g.get(row + r, c));
+                        }
+                    }
+                    row += rows;
+                    p.accumulate(&gp);
+                }
+            })),
+        )
+    }
+
+    /// L2-normalize each row (cosine-space embeddings for contrastive
+    /// learning).
+    pub fn l2_normalize_rows(&self) -> Tensor {
+        const EPS: f64 = 1e-12;
+        let v = {
+            let a = self.value();
+            let mut out = a.clone();
+            for r in 0..a.rows() {
+                let norm = a.row(r).iter().map(|x| x * x).sum::<f64>().sqrt() + EPS;
+                for c in 0..a.cols() {
+                    out.set(r, c, a.get(r, c) / norm);
+                }
+            }
+            out
+        };
+        Tensor::new(
+            v,
+            vec![self.clone()],
+            Some(Box::new(|g, ps| {
+                let a = ps[0].value().clone();
+                let (n, d) = a.shape();
+                let mut ga = Matrix::zeros(n, d);
+                for r in 0..n {
+                    let norm = a.row(r).iter().map(|x| x * x).sum::<f64>().sqrt() + EPS;
+                    let dot: f64 = (0..d).map(|c| a.get(r, c) * g.get(r, c)).sum();
+                    for c in 0..d {
+                        let val = g.get(r, c) / norm - a.get(r, c) * dot / (norm * norm * norm);
+                        ga.set(r, c, val);
+                    }
+                }
+                ps[0].accumulate(&ga);
+            })),
+        )
+    }
+
+    // ------------------------------------------------------------------
+    // Losses (fused, numerically stable)
+    // ------------------------------------------------------------------
+
+    /// Mean softmax cross-entropy of `self` (logits, `n × k`) against
+    /// integer class targets. Returns a scalar tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `targets.len()` differs from the row count or any target
+    /// is out of range.
+    pub fn softmax_cross_entropy(&self, targets: &[usize]) -> Tensor {
+        let (probs, loss) = {
+            let logits = self.value();
+            let (n, k) = logits.shape();
+            assert_eq!(targets.len(), n, "one target per row");
+            let mut probs = Matrix::zeros(n, k);
+            let mut loss = 0.0;
+            for r in 0..n {
+                let row = logits.row(r);
+                let max = row.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+                let mut z = 0.0;
+                for c in 0..k {
+                    let e = (row[c] - max).exp();
+                    probs.set(r, c, e);
+                    z += e;
+                }
+                for c in 0..k {
+                    probs.set(r, c, probs.get(r, c) / z);
+                }
+                let t = targets[r];
+                assert!(t < k, "target {t} out of range");
+                loss -= probs.get(r, t).max(1e-300).ln();
+            }
+            (probs, loss / n as f64)
+        };
+        let targets: Vec<usize> = targets.to_vec();
+        Tensor::new(
+            Matrix::full(1, 1, loss),
+            vec![self.clone()],
+            Some(Box::new(move |g, ps| {
+                let scale = g.get(0, 0) / targets.len() as f64;
+                let mut gl = probs.clone();
+                for (r, &t) in targets.iter().enumerate() {
+                    gl.set(r, t, gl.get(r, t) - 1.0);
+                }
+                ps[0].accumulate(&gl.map(|x| x * scale));
+            })),
+        )
+    }
+
+    /// Mean squared error against a constant target. Returns a scalar.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn mse_loss(&self, target: &Matrix) -> Tensor {
+        let loss = {
+            let p = self.value();
+            assert_eq!(p.shape(), target.shape(), "mse shape mismatch");
+            let n = (p.rows() * p.cols()) as f64;
+            p.zip(target, |a, b| (a - b) * (a - b)).sum() / n
+        };
+        let target = target.clone();
+        Tensor::new(
+            Matrix::full(1, 1, loss),
+            vec![self.clone()],
+            Some(Box::new(move |g, ps| {
+                let p = ps[0].value().clone();
+                let n = (p.rows() * p.cols()) as f64;
+                let scale = 2.0 * g.get(0, 0) / n;
+                ps[0].accumulate(&p.zip(&target, |a, b| scale * (a - b)));
+            })),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Finite-difference gradient check of `loss_of` with respect to `p`.
+    fn grad_check(p: &Tensor, loss_of: impl Fn() -> Tensor) {
+        let loss = loss_of();
+        p.zero_grad();
+        loss.backward();
+        let analytic = p.grad().expect("parameter receives gradient");
+        let (rows, cols) = p.shape();
+        let eps = 1e-5;
+        for r in 0..rows {
+            for c in 0..cols {
+                let orig = p.value().get(r, c);
+                let mut m = p.value().clone();
+                m.set(r, c, orig + eps);
+                p.set_value(m);
+                let up = loss_of().value().get(0, 0);
+                let mut m = p.value().clone();
+                m.set(r, c, orig - eps);
+                p.set_value(m);
+                let down = loss_of().value().get(0, 0);
+                let mut m = p.value().clone();
+                m.set(r, c, orig);
+                p.set_value(m);
+                let numeric = (up - down) / (2.0 * eps);
+                let a = analytic.get(r, c);
+                assert!(
+                    (a - numeric).abs() < 1e-5 * (1.0 + a.abs().max(numeric.abs())),
+                    "grad mismatch at ({r},{c}): analytic={a} numeric={numeric}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn grad_matmul_chain() {
+        let w = Tensor::param(Matrix::xavier(3, 2, 1));
+        let x = Tensor::constant(Matrix::xavier(4, 3, 2));
+        let t = Matrix::xavier(4, 2, 3);
+        grad_check(&w, || x.matmul(&w).mse_loss(&t));
+    }
+
+    #[test]
+    fn grad_relu_bias() {
+        let w = Tensor::param(Matrix::xavier(3, 3, 4));
+        let b = Tensor::param(Matrix::xavier(1, 3, 5));
+        let x = Tensor::constant(Matrix::xavier(5, 3, 6));
+        let t = Matrix::xavier(5, 3, 7);
+        grad_check(&w, || x.matmul(&w).add_row(&b).relu().mse_loss(&t));
+        grad_check(&b, || x.matmul(&w).add_row(&b).relu().mse_loss(&t));
+    }
+
+    #[test]
+    fn grad_softmax_ce() {
+        let w = Tensor::param(Matrix::xavier(3, 4, 8));
+        let x = Tensor::constant(Matrix::xavier(6, 3, 9));
+        let targets = [0usize, 1, 2, 3, 1, 0];
+        grad_check(&w, || x.matmul(&w).softmax_cross_entropy(&targets));
+    }
+
+    #[test]
+    fn grad_l2_normalize_and_nt() {
+        let a = Tensor::param(Matrix::xavier(3, 4, 10));
+        let b = Tensor::constant(Matrix::xavier(3, 4, 11));
+        let targets = [0usize, 1, 2];
+        grad_check(&a, || {
+            a.l2_normalize_rows()
+                .matmul_nt(&b.l2_normalize_rows())
+                .scale(5.0)
+                .softmax_cross_entropy(&targets)
+        });
+    }
+
+    #[test]
+    fn grad_col_div_mean() {
+        let a = Tensor::param(Matrix::xavier(4, 3, 12).map(|x| x + 3.0));
+        let d = Tensor::param(Matrix::xavier(4, 1, 13).map(|x| x.abs() + 1.0));
+        let t = Matrix::xavier(1, 3, 14);
+        grad_check(&a, || a.col_div(&d).mean_rows().mse_loss(&t));
+        grad_check(&d, || a.col_div(&d).mean_rows().mse_loss(&t));
+    }
+
+    #[test]
+    fn grad_select_concat() {
+        let a = Tensor::param(Matrix::xavier(5, 3, 15));
+        let b = Tensor::param(Matrix::xavier(2, 3, 16));
+        let t = Matrix::xavier(4, 3, 17);
+        let f = || {
+            let sel = a.select_rows(&[0, 2]);
+            Tensor::concat_rows(&[sel, b.clone()]).mse_loss(&t)
+        };
+        grad_check(&a, f);
+        grad_check(&b, f);
+    }
+
+    #[test]
+    fn grad_matmul_tn_spmm() {
+        let adj = Arc::new(SparseAdj::normalized_from_edges(4, &[(0, 1), (1, 2), (2, 3)]));
+        let w = Tensor::param(Matrix::xavier(3, 3, 18));
+        let x = Tensor::constant(Matrix::xavier(4, 3, 19));
+        let t = Matrix::xavier(3, 3, 20);
+        grad_check(&w, || {
+            let h = x.matmul(&w).spmm(&adj);
+            h.matmul_tn(&h).mse_loss(&t)
+        });
+    }
+
+    #[test]
+    fn grad_elementwise_ops() {
+        let a = Tensor::param(Matrix::xavier(3, 3, 21));
+        let b = Tensor::constant(Matrix::xavier(3, 3, 22));
+        let t = Matrix::xavier(3, 3, 23);
+        grad_check(&a, || {
+            a.mul(&b).add(&a.scale(0.5)).sub(&b).add_scalar(0.1).mse_loss(&t)
+        });
+    }
+
+    #[test]
+    fn backward_accumulates_shared_subgraphs() {
+        // y = x + x should give dy/dx = 2.
+        let x = Tensor::param(Matrix::full(1, 1, 5.0));
+        let y = x.add(&x);
+        y.backward();
+        assert_eq!(x.grad().expect("grad").get(0, 0), 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "scalar")]
+    fn backward_requires_scalar() {
+        let x = Tensor::param(Matrix::zeros(2, 2));
+        x.backward();
+    }
+
+    #[test]
+    fn zero_grad_clears() {
+        let x = Tensor::param(Matrix::full(1, 1, 2.0));
+        let y = x.mul(&x);
+        y.backward();
+        assert!(x.grad().is_some());
+        x.zero_grad();
+        assert!(x.grad().is_none());
+    }
+}

@@ -1,0 +1,56 @@
+//! Golden per-cycle grouped power engine — the PrimeTime PX substitute.
+//!
+//! Given a design (gate-level or post-layout), the technology library, and
+//! a per-cycle [`atlas_sim::ToggleTrace`], [`compute_power`] produces a
+//! [`PowerTrace`]: watts per (cycle, sub-module, power group).
+//!
+//! The engine is **stage-agnostic**, which is exactly what makes it both
+//! the label generator and the paper's baseline:
+//!
+//! * run on the post-layout netlist `Np` (wire caps annotated, clock tree
+//!   present) it plays the role of signoff PTPX — the **golden labels**;
+//! * run on the gate-level netlist `Ng` (no wire capacitance, no clock
+//!   tree, ideal uncharged clock) it reproduces the **"Gate-Level PTPX"**
+//!   baseline of Table III, including its characteristic error structure:
+//!   100% MAPE on the (absent) clock-tree group, a large combinational
+//!   underestimate (missing wire capacitance and buffers), and a small
+//!   register-group error (register power is dominated by clock-pin
+//!   internal energy, present at both stages).
+//!
+//! Accounting rules (per clock cycle of period `T`):
+//!
+//! | Contribution | Condition | Group |
+//! |---|---|---|
+//! | `½·C_net·V²` | net toggled this cycle | driver cell's group |
+//! | internal LUT energy | cell output toggled | cell's group |
+//! | register clock-pin energy | every cycle | Register |
+//! | `C_net·V²` + 2× internal | every cycle, clock-cone nets / CK cells | Clock Tree |
+//! | read/write energy | SRAM port accessed | Memory |
+//! | leakage | every cycle | cell's group |
+//!
+//! # Examples
+//!
+//! ```
+//! use atlas_designs::DesignConfig;
+//! use atlas_liberty::{Library, PowerGroup};
+//! use atlas_power::compute_power;
+//! use atlas_sim::{simulate, PhasedWorkload};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let design = DesignConfig::tiny().generate();
+//! let lib = Library::synthetic_40nm();
+//! let trace = simulate(&design, &mut PhasedWorkload::w1(1), 32)?;
+//! let power = compute_power(&design, &lib, &trace);
+//! assert!(power.total(0) > 0.0);
+//! // Gate-level netlists have no clock tree:
+//! assert_eq!(power.group_total(0, PowerGroup::ClockTree), 0.0);
+//! # Ok(())
+//! # }
+//! ```
+
+mod engine;
+pub mod metrics;
+mod trace;
+
+pub use engine::{compute_power, PowerModel};
+pub use trace::PowerTrace;

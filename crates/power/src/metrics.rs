@@ -1,0 +1,144 @@
+//! Accuracy metrics shared by the evaluation harness.
+
+/// Mean Absolute Percentage Error between a label series and a prediction
+/// series (paper Eq. 8), in percent.
+///
+/// Cycles whose label is exactly zero contribute 100% when the prediction
+/// is nonzero and 0% when it is zero — the convention that makes a
+/// gate-level tool score 100% on the absent clock-tree group.
+///
+/// # Panics
+///
+/// Panics if the series lengths differ or are empty.
+///
+/// # Examples
+///
+/// ```
+/// use atlas_power::metrics::mape;
+///
+/// assert_eq!(mape(&[1.0, 2.0], &[1.0, 2.0]), 0.0);
+/// assert_eq!(mape(&[1.0], &[1.5]), 50.0);
+/// assert_eq!(mape(&[0.0], &[0.3]), 100.0);
+/// ```
+pub fn mape(labels: &[f64], predictions: &[f64]) -> f64 {
+    assert_eq!(labels.len(), predictions.len(), "series lengths differ");
+    assert!(!labels.is_empty(), "series are empty");
+    let sum: f64 = labels
+        .iter()
+        .zip(predictions)
+        .map(|(&y, &p)| {
+            if y == 0.0 {
+                if p == 0.0 {
+                    0.0
+                } else {
+                    1.0
+                }
+            } else {
+                ((y - p) / y).abs()
+            }
+        })
+        .sum();
+    100.0 * sum / labels.len() as f64
+}
+
+/// Pearson correlation coefficient between two series (used to check that
+/// a predicted power trace *tracks* the label trace, Fig. 5).
+///
+/// Returns 0.0 when either series has zero variance.
+///
+/// # Panics
+///
+/// Panics if the series lengths differ or are empty.
+pub fn pearson(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "series lengths differ");
+    assert!(!a.is_empty(), "series are empty");
+    let n = a.len() as f64;
+    let ma = a.iter().sum::<f64>() / n;
+    let mb = b.iter().sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut va = 0.0;
+    let mut vb = 0.0;
+    for (&x, &y) in a.iter().zip(b) {
+        cov += (x - ma) * (y - mb);
+        va += (x - ma) * (x - ma);
+        vb += (y - mb) * (y - mb);
+    }
+    if va == 0.0 || vb == 0.0 {
+        0.0
+    } else {
+        cov / (va.sqrt() * vb.sqrt())
+    }
+}
+
+/// Normalized root-mean-square error (% of label mean). A scale-aware
+/// companion to [`mape`] for near-zero label cycles.
+///
+/// # Panics
+///
+/// Panics if the series lengths differ or are empty, or if the label mean
+/// is zero.
+pub fn nrmse(labels: &[f64], predictions: &[f64]) -> f64 {
+    assert_eq!(labels.len(), predictions.len(), "series lengths differ");
+    assert!(!labels.is_empty(), "series are empty");
+    let n = labels.len() as f64;
+    let mean = labels.iter().sum::<f64>() / n;
+    assert!(mean != 0.0, "label mean is zero");
+    let mse: f64 = labels
+        .iter()
+        .zip(predictions)
+        .map(|(&y, &p)| (y - p) * (y - p))
+        .sum::<f64>()
+        / n;
+    100.0 * mse.sqrt() / mean.abs()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn mape_basics() {
+        assert_eq!(mape(&[2.0, 4.0], &[1.0, 2.0]), 50.0);
+        assert_eq!(mape(&[0.0, 0.0], &[0.0, 0.0]), 0.0);
+        assert_eq!(mape(&[0.0, 0.0], &[1.0, 1.0]), 100.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "lengths differ")]
+    fn mape_length_mismatch_panics() {
+        let _ = mape(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn pearson_basics() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let up = [2.0, 4.0, 6.0, 8.0];
+        let down = [8.0, 6.0, 4.0, 2.0];
+        assert!((pearson(&a, &up) - 1.0).abs() < 1e-12);
+        assert!((pearson(&a, &down) + 1.0).abs() < 1e-12);
+        assert_eq!(pearson(&a, &[5.0; 4]), 0.0);
+    }
+
+    #[test]
+    fn nrmse_basics() {
+        assert_eq!(nrmse(&[2.0, 2.0], &[2.0, 2.0]), 0.0);
+        assert!((nrmse(&[2.0, 2.0], &[3.0, 1.0]) - 50.0).abs() < 1e-9);
+    }
+
+    proptest! {
+        #[test]
+        fn mape_is_zero_iff_equal(xs in proptest::collection::vec(0.1f64..10.0, 1..20)) {
+            prop_assert!(mape(&xs, &xs) < 1e-12);
+        }
+
+        #[test]
+        fn pearson_bounded(
+            a in proptest::collection::vec(-10.0f64..10.0, 3..20),
+        ) {
+            let b: Vec<f64> = a.iter().map(|x| x * 2.0 + 1.0).collect();
+            let r = pearson(&a, &b);
+            prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&r));
+        }
+    }
+}

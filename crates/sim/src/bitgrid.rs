@@ -1,0 +1,183 @@
+//! A dense 2-D bit matrix used for per-cycle toggle storage.
+
+use serde::{Deserialize, Serialize};
+
+/// A `rows × cols` bit matrix backed by packed `u64` words.
+///
+/// Used to store one bit per (cycle, net): for a paper-scale design
+/// (600K nets × 300 cycles) this is ~22 MB, versus ~180 MB for `Vec<bool>`.
+///
+/// # Examples
+///
+/// ```
+/// use atlas_sim::BitGrid;
+///
+/// let mut g = BitGrid::new(3, 100);
+/// g.set(1, 42, true);
+/// assert!(g.get(1, 42));
+/// assert!(!g.get(0, 42));
+/// assert_eq!(g.count_row(1), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BitGrid {
+    rows: usize,
+    cols: usize,
+    words_per_row: usize,
+    words: Vec<u64>,
+}
+
+impl BitGrid {
+    /// Allocate an all-zero grid.
+    pub fn new(rows: usize, cols: usize) -> BitGrid {
+        let words_per_row = cols.div_ceil(64);
+        BitGrid {
+            rows,
+            cols,
+            words_per_row,
+            words: vec![0; rows * words_per_row],
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Read one bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row >= rows()` or `col >= cols()`.
+    #[inline]
+    pub fn get(&self, row: usize, col: usize) -> bool {
+        assert!(row < self.rows && col < self.cols, "bit ({row},{col}) out of range");
+        let w = self.words[row * self.words_per_row + col / 64];
+        (w >> (col % 64)) & 1 == 1
+    }
+
+    /// Write one bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row >= rows()` or `col >= cols()`.
+    #[inline]
+    pub fn set(&mut self, row: usize, col: usize, value: bool) {
+        assert!(row < self.rows && col < self.cols, "bit ({row},{col}) out of range");
+        let w = &mut self.words[row * self.words_per_row + col / 64];
+        if value {
+            *w |= 1 << (col % 64);
+        } else {
+            *w &= !(1 << (col % 64));
+        }
+    }
+
+    /// Number of set bits in a row.
+    pub fn count_row(&self, row: usize) -> usize {
+        let start = row * self.words_per_row;
+        self.words[start..start + self.words_per_row]
+            .iter()
+            .map(|w| w.count_ones() as usize)
+            .sum()
+    }
+
+    /// Number of set bits in a column (over all rows).
+    pub fn count_col(&self, col: usize) -> usize {
+        (0..self.rows).filter(|&r| self.get(r, col)).count()
+    }
+
+    /// Total set bits.
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Iterate the set columns of one row.
+    pub fn row_ones(&self, row: usize) -> impl Iterator<Item = usize> + '_ {
+        let start = row * self.words_per_row;
+        let words = &self.words[start..start + self.words_per_row];
+        words.iter().enumerate().flat_map(move |(wi, &w)| {
+            let mut bits = w;
+            std::iter::from_fn(move || {
+                if bits == 0 {
+                    None
+                } else {
+                    let tz = bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    Some(wi * 64 + tz)
+                }
+            })
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn set_get_roundtrip() {
+        let mut g = BitGrid::new(2, 130);
+        g.set(0, 0, true);
+        g.set(0, 63, true);
+        g.set(0, 64, true);
+        g.set(1, 129, true);
+        assert!(g.get(0, 0) && g.get(0, 63) && g.get(0, 64) && g.get(1, 129));
+        assert!(!g.get(1, 0));
+        g.set(0, 63, false);
+        assert!(!g.get(0, 63));
+        assert_eq!(g.count(), 3);
+    }
+
+    #[test]
+    fn row_and_col_counts() {
+        let mut g = BitGrid::new(4, 10);
+        for r in 0..4 {
+            g.set(r, 3, true);
+        }
+        g.set(2, 7, true);
+        assert_eq!(g.count_col(3), 4);
+        assert_eq!(g.count_row(2), 2);
+    }
+
+    #[test]
+    fn row_ones_iterates_in_order() {
+        let mut g = BitGrid::new(1, 200);
+        for c in [5usize, 64, 65, 190] {
+            g.set(0, c, true);
+        }
+        let ones: Vec<usize> = g.row_ones(0).collect();
+        assert_eq!(ones, vec![5, 64, 65, 190]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_panics() {
+        let g = BitGrid::new(1, 8);
+        let _ = g.get(0, 8);
+    }
+
+    proptest! {
+        #[test]
+        fn count_matches_naive(bits in proptest::collection::vec((0usize..5, 0usize..100), 0..50)) {
+            let mut g = BitGrid::new(5, 100);
+            let mut naive = std::collections::HashSet::new();
+            for (r, c) in bits {
+                g.set(r, c, true);
+                naive.insert((r, c));
+            }
+            prop_assert_eq!(g.count(), naive.len());
+            for r in 0..5 {
+                let row: Vec<usize> = g.row_ones(r).collect();
+                let mut expect: Vec<usize> =
+                    naive.iter().filter(|&&(rr, _)| rr == r).map(|&(_, c)| c).collect();
+                expect.sort_unstable();
+                prop_assert_eq!(row, expect);
+            }
+        }
+    }
+}

@@ -1,0 +1,408 @@
+//! The cycle-based simulation engine.
+
+use std::fmt;
+
+use atlas_liberty::CellClass;
+use atlas_netlist::{logic, topo, CellId, Design, NetId};
+
+use crate::bitgrid::BitGrid;
+use crate::stimulus::Stimulus;
+use crate::trace::ToggleTrace;
+
+/// Error produced when a design cannot be simulated.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// The design contains a register-free combinational loop.
+    CombinationalCycle(CellId),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::CombinationalCycle(c) => {
+                write!(f, "cannot levelize: combinational cycle through cell {c}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// A reusable stepping simulator over one design.
+///
+/// Most callers want the one-shot [`simulate`]; `Simulator` exists for
+/// incremental stepping (VCD dumping, interactive debugging).
+///
+/// # Examples
+///
+/// ```
+/// use atlas_liberty::{CellClass, Drive};
+/// use atlas_netlist::NetlistBuilder;
+/// use atlas_sim::{Simulator, VectorStimulus, Stimulus};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut b = NetlistBuilder::new("and");
+/// let sm = b.add_submodule("t.u", "t");
+/// let a = b.add_input();
+/// let c = b.add_input();
+/// let y = b.add_cell(CellClass::And2, Drive::X1, &[a, c], sm)?;
+/// b.mark_output(y);
+/// let d = b.finish()?;
+///
+/// let mut sim = Simulator::new(&d)?;
+/// let mut stim = VectorStimulus::new(vec![vec![true, true]], 0);
+/// sim.step(&mut stim);
+/// assert!(sim.net_value(y));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct Simulator<'a> {
+    design: &'a Design,
+    order: Vec<CellId>,
+    values: Vec<bool>,
+    prev_values: Vec<bool>,
+    /// Next-cycle output value for each sequential cell (by cell index).
+    reg_next: Vec<bool>,
+    /// One-bit state digest per SRAM cell (by cell index).
+    sram_state: Vec<bool>,
+    inputs_buf: Vec<bool>,
+    cycle: usize,
+    /// SRAM cells in trace index order, with their per-step access flags.
+    sram_cells: Vec<CellId>,
+    sram_access: Vec<(bool, bool)>,
+}
+
+impl<'a> Simulator<'a> {
+    /// Prepare a simulator (levelizes the design once).
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::CombinationalCycle`] if the design has a register-free
+    /// loop.
+    pub fn new(design: &'a Design) -> Result<Simulator<'a>, SimError> {
+        let order = topo::levelize(design).map_err(SimError::CombinationalCycle)?;
+        let sram_cells: Vec<CellId> = design
+            .cell_ids()
+            .filter(|&id| design.cell(id).class() == CellClass::Sram)
+            .collect();
+        Ok(Simulator {
+            design,
+            order,
+            values: vec![false; design.net_count()],
+            prev_values: vec![false; design.net_count()],
+            reg_next: vec![false; design.cell_count()],
+            sram_state: vec![false; design.cell_count()],
+            inputs_buf: vec![false; design.primary_inputs().len()],
+            cycle: 0,
+            sram_access: vec![(false, false); sram_cells.len()],
+            sram_cells,
+        })
+    }
+
+    /// The design under simulation.
+    pub fn design(&self) -> &Design {
+        self.design
+    }
+
+    /// Current cycle count (number of completed steps).
+    pub fn cycle(&self) -> usize {
+        self.cycle
+    }
+
+    /// Settled value of a net after the last step.
+    pub fn net_value(&self, net: NetId) -> bool {
+        self.values[net.index()]
+    }
+
+    /// SRAM cells in access-tracking order.
+    pub fn sram_cells(&self) -> &[CellId] {
+        &self.sram_cells
+    }
+
+    /// (read, write) flags of SRAM `idx` during the last step.
+    pub fn sram_access(&self, idx: usize) -> (bool, bool) {
+        self.sram_access[idx]
+    }
+
+    /// Advance one clock cycle: latch register outputs, apply stimulus,
+    /// settle combinational logic, and compute next state.
+    pub fn step(&mut self, stimulus: &mut dyn Stimulus) {
+        let design = self.design;
+
+        // 1. Clock edge: sequential outputs take their latched next values.
+        for id in design.cell_ids() {
+            let cell = design.cell(id);
+            if cell.class().is_sequential() {
+                self.values[cell.output().index()] = self.reg_next[id.index()];
+            }
+        }
+
+        // 2. Primary inputs for this cycle.
+        stimulus.apply(self.cycle, &mut self.inputs_buf);
+        for (&net, &v) in design.primary_inputs().iter().zip(&self.inputs_buf) {
+            self.values[net.index()] = v;
+        }
+        if let Some(rst) = design.reset() {
+            self.values[rst.index()] = stimulus.reset_active(self.cycle);
+        }
+
+        // 3. Settle combinational logic in levelized order.
+        let mut in_vals: Vec<bool> = Vec::with_capacity(4);
+        for &id in &self.order {
+            let cell = design.cell(id);
+            in_vals.clear();
+            in_vals.extend(cell.inputs().iter().map(|&n| self.values[n.index()]));
+            let out = logic::eval(cell.class(), &in_vals)
+                .expect("levelized order contains only combinational cells");
+            self.values[cell.output().index()] = out;
+        }
+
+        // 4. Latch next state for sequential cells.
+        for (sidx, &id) in self.sram_cells.iter().enumerate() {
+            let cell = design.cell(id);
+            let ren = self.values[cell.inputs()[0].index()];
+            let wen = self.values[cell.inputs()[1].index()];
+            let addr = self.values[cell.inputs()[2].index()];
+            let data = self.values[cell.inputs()[3].index()];
+            if wen {
+                self.sram_state[id.index()] = data;
+            }
+            self.reg_next[id.index()] = if ren {
+                addr ^ self.sram_state[id.index()]
+            } else {
+                self.values[cell.output().index()]
+            };
+            self.sram_access[sidx] = (ren, wen);
+        }
+        for id in design.cell_ids() {
+            let cell = design.cell(id);
+            match cell.class() {
+                CellClass::Dff => {
+                    self.reg_next[id.index()] = self.values[cell.inputs()[0].index()];
+                }
+                CellClass::Dffr => {
+                    let rst = cell
+                        .reset()
+                        .map(|r| self.values[r.index()])
+                        .unwrap_or(false);
+                    self.reg_next[id.index()] =
+                        !rst && self.values[cell.inputs()[0].index()];
+                }
+                _ => {}
+            }
+        }
+
+        self.cycle += 1;
+    }
+
+    /// Record this step's toggles against the previous settled state, then
+    /// roll the state forward. Returns the number of toggled nets.
+    fn record_toggles(&mut self, grid: &mut BitGrid, row: usize) -> usize {
+        let mut count = 0;
+        for (i, (&cur, prev)) in self.values.iter().zip(self.prev_values.iter_mut()).enumerate() {
+            if cur != *prev {
+                grid.set(row, i, true);
+                count += 1;
+            }
+            *prev = cur;
+        }
+        count
+    }
+}
+
+/// Simulate `cycles` cycles of `stimulus` on `design` and collect the
+/// per-cycle [`ToggleTrace`].
+///
+/// # Errors
+///
+/// [`SimError::CombinationalCycle`] if the design cannot be levelized.
+pub fn simulate(
+    design: &Design,
+    stimulus: &mut dyn Stimulus,
+    cycles: usize,
+) -> Result<ToggleTrace, SimError> {
+    let mut sim = Simulator::new(design)?;
+    let mut net_toggles = BitGrid::new(cycles, design.net_count());
+    let n_sram = sim.sram_cells.len();
+    let mut sram_reads = BitGrid::new(cycles, n_sram);
+    let mut sram_writes = BitGrid::new(cycles, n_sram);
+
+    for t in 0..cycles {
+        sim.step(stimulus);
+        sim.record_toggles(&mut net_toggles, t);
+        for idx in 0..n_sram {
+            let (r, w) = sim.sram_access[idx];
+            if r {
+                sram_reads.set(t, idx, true);
+            }
+            if w {
+                sram_writes.set(t, idx, true);
+            }
+        }
+    }
+
+    Ok(ToggleTrace::new(
+        stimulus.name().to_owned(),
+        cycles,
+        net_toggles,
+        sim.sram_cells.clone(),
+        sram_reads,
+        sram_writes,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use atlas_liberty::Drive;
+    use atlas_netlist::NetlistBuilder;
+
+    use super::*;
+    use crate::stimulus::{ConstantWorkload, PhasedWorkload, VectorStimulus};
+
+    /// Inverter feeding a DFF: output toggles every cycle after start-up.
+    fn toggler() -> Design {
+        let mut b = NetlistBuilder::new("toggler");
+        let sm = b.add_submodule("top.t", "top");
+        let q = b.new_net();
+        let nq = b.add_cell(CellClass::Inv, Drive::X1, &[q], sm).expect("ok");
+        b.add_dff_onto(q, nq, sm).expect("ok");
+        b.mark_output(q);
+        b.finish().expect("valid")
+    }
+
+    #[test]
+    fn toggler_toggles_every_cycle() {
+        let d = toggler();
+        let mut stim = VectorStimulus::new(vec![vec![]], 0);
+        let trace = simulate(&d, &mut stim, 16).expect("simulates");
+        let q = d.cells()[1].output(); // the dff output net
+        // After the first cycle the register output flips every cycle.
+        for t in 1..16 {
+            assert!(trace.net_toggled(t, q), "q must toggle at cycle {t}");
+        }
+    }
+
+    #[test]
+    fn and_gate_truth() {
+        let mut b = NetlistBuilder::new("and");
+        let sm = b.add_submodule("t.u", "t");
+        let a = b.add_input();
+        let c = b.add_input();
+        let y = b.add_cell(CellClass::And2, Drive::X1, &[a, c], sm).expect("ok");
+        b.mark_output(y);
+        let d = b.finish().expect("valid");
+        let mut sim = Simulator::new(&d).expect("levelizes");
+        let mut stim = VectorStimulus::new(
+            vec![
+                vec![false, false],
+                vec![true, false],
+                vec![true, true],
+            ],
+            0,
+        );
+        sim.step(&mut stim);
+        assert!(!sim.net_value(y));
+        sim.step(&mut stim);
+        assert!(!sim.net_value(y));
+        sim.step(&mut stim);
+        assert!(sim.net_value(y));
+    }
+
+    #[test]
+    fn dffr_resets() {
+        let mut b = NetlistBuilder::new("r");
+        let sm = b.add_submodule("t.u", "t");
+        let din = b.add_input();
+        let q = b.add_dffr(din, sm).expect("ok");
+        b.mark_output(q);
+        let d = b.finish().expect("valid");
+        let mut sim = Simulator::new(&d).expect("levelizes");
+        // Hold D high; reset for 2 cycles.
+        let mut stim = VectorStimulus::new(vec![vec![true]], 2);
+        sim.step(&mut stim); // cycle 0: reset, q stays 0, next=0
+        sim.step(&mut stim); // cycle 1: reset, q=0
+        assert!(!sim.net_value(q));
+        sim.step(&mut stim); // cycle 2: reset released, next latched 1
+        sim.step(&mut stim); // cycle 3: q=1
+        assert!(sim.net_value(q));
+    }
+
+    #[test]
+    fn sram_read_write_behavior() {
+        let mut b = NetlistBuilder::new("mem");
+        let sm = b.add_submodule("t.m", "t");
+        let ren = b.add_input();
+        let wen = b.add_input();
+        let addr = b.add_input();
+        let data = b.add_input();
+        let q = b.add_sram(64, 8, ren, wen, addr, data, sm).expect("ok");
+        b.mark_output(q);
+        let d = b.finish().expect("valid");
+        let mut sim = Simulator::new(&d).expect("levelizes");
+        // cycle 0: write data=1.
+        let mut stim = VectorStimulus::new(
+            vec![
+                vec![false, true, false, true], // write 1
+                vec![true, false, false, false], // read addr 0
+                vec![false, false, false, false], // idle
+            ],
+            0,
+        );
+        sim.step(&mut stim);
+        assert_eq!(sim.sram_access(0), (false, true));
+        sim.step(&mut stim);
+        assert_eq!(sim.sram_access(0), (true, false));
+        sim.step(&mut stim); // q now shows the read digest: addr(0) ^ state(1) = 1
+        assert!(sim.net_value(q));
+    }
+
+    #[test]
+    fn trace_counts_match_grid() {
+        let d = toggler();
+        let mut stim = VectorStimulus::new(vec![vec![]], 0);
+        let trace = simulate(&d, &mut stim, 8).expect("simulates");
+        let per_cycle = trace.per_cycle_counts();
+        assert_eq!(per_cycle.len(), 8);
+        let total: usize = per_cycle.iter().sum();
+        let by_net: usize = d.net_ids().map(|n| trace.toggle_count(n)).sum();
+        assert_eq!(total, by_net);
+    }
+
+    #[test]
+    fn simulation_is_deterministic() {
+        let d = toggler();
+        let t1 = simulate(&d, &mut PhasedWorkload::w1(3), 64).expect("simulates");
+        let t2 = simulate(&d, &mut PhasedWorkload::w1(3), 64).expect("simulates");
+        assert_eq!(t1, t2);
+    }
+
+    #[test]
+    fn activity_scales_with_workload() {
+        // A chain of XORs fed by inputs: hotter stimulus → more toggles.
+        let mut b = NetlistBuilder::new("xors");
+        let sm = b.add_submodule("t.u", "t");
+        let inputs = b.add_inputs(8);
+        let mut nets = inputs.clone();
+        for i in 0..16 {
+            let a = nets[i % nets.len()];
+            let c = nets[(i * 3 + 1) % nets.len()];
+            let y = b.add_cell(CellClass::Xor2, Drive::X1, &[a, c], sm).expect("ok");
+            nets.push(y);
+        }
+        b.mark_output(*nets.last().expect("nonempty"));
+        let d = b.finish().expect("valid");
+        let hot = simulate(&d, &mut ConstantWorkload::new(0.4, 9), 256).expect("simulates");
+        let cold = simulate(&d, &mut ConstantWorkload::new(0.02, 9), 256).expect("simulates");
+        let hot_total: usize = hot.per_cycle_counts().iter().sum();
+        let cold_total: usize = cold.per_cycle_counts().iter().sum();
+        assert!(hot_total > cold_total * 3, "hot={hot_total} cold={cold_total}");
+    }
+
+    #[test]
+    fn workload_name_recorded() {
+        let d = toggler();
+        let trace = simulate(&d, &mut PhasedWorkload::w2(1), 4).expect("simulates");
+        assert_eq!(trace.workload(), "W2");
+    }
+}

@@ -1,0 +1,291 @@
+//! Workload stimulus generation (the paper's W1/W2 substitutes).
+
+use atlas_netlist::detrng::DetRng;
+use serde::{Deserialize, Serialize};
+
+/// A source of primary-input vectors, one per cycle.
+///
+/// Implementations must be deterministic for reproducible traces.
+pub trait Stimulus {
+    /// Fill `inputs` (one `bool` per primary input, in design port order)
+    /// with the values for `cycle`. Values persist between calls, so an
+    /// implementation may flip only a subset each cycle.
+    fn apply(&mut self, cycle: usize, inputs: &mut [bool]);
+
+    /// Whether reset is asserted during `cycle`. Defaults to the first
+    /// four cycles.
+    fn reset_active(&self, cycle: usize) -> bool {
+        cycle < 4
+    }
+
+    /// A short name for reports (e.g. `W1`).
+    fn name(&self) -> &str {
+        "stimulus"
+    }
+}
+
+/// One phase of a [`PhasedWorkload`]: a per-cycle input flip probability
+/// held for a random duration within `[min_len, max_len]` cycles.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadPhase {
+    /// Probability each primary input flips in a cycle of this phase.
+    pub activity: f64,
+    /// Minimum phase duration in cycles.
+    pub min_len: usize,
+    /// Maximum phase duration in cycles.
+    pub max_len: usize,
+}
+
+/// Phase-structured random stimulus: activity moves through bursts,
+/// steady compute, and near-idle stretches, producing realistic per-cycle
+/// power fluctuation (the reason time-based power analysis matters —
+/// peak power and `L·di/dt`, paper §I).
+///
+/// The presets [`PhasedWorkload::w1`] and [`PhasedWorkload::w2`] play the
+/// role of the paper's workloads W1 and W2.
+#[derive(Debug, Clone)]
+pub struct PhasedWorkload {
+    name: String,
+    phases: Vec<WorkloadPhase>,
+    rng: DetRng,
+    phase_idx: usize,
+    cycles_left: usize,
+}
+
+impl PhasedWorkload {
+    /// Build a workload from an explicit phase schedule (cycled in order,
+    /// with per-phase random durations).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `phases` is empty or any phase has `min_len == 0` or
+    /// `min_len > max_len`.
+    pub fn new(name: impl Into<String>, phases: Vec<WorkloadPhase>, seed: u64) -> PhasedWorkload {
+        assert!(!phases.is_empty(), "workload needs at least one phase");
+        for p in &phases {
+            assert!(p.min_len > 0 && p.min_len <= p.max_len, "bad phase length bounds");
+        }
+        PhasedWorkload {
+            name: name.into(),
+            phases,
+            rng: DetRng::new(seed),
+            phase_idx: 0,
+            cycles_left: 0,
+        }
+    }
+
+    /// The paper's W1: a compute-heavy workload — bursts of high activity
+    /// with medium plateaus and short idles.
+    pub fn w1(seed: u64) -> PhasedWorkload {
+        PhasedWorkload::new(
+            "W1",
+            vec![
+                WorkloadPhase { activity: 0.35, min_len: 15, max_len: 40 },
+                WorkloadPhase { activity: 0.15, min_len: 25, max_len: 60 },
+                WorkloadPhase { activity: 0.50, min_len: 5, max_len: 15 },
+                WorkloadPhase { activity: 0.05, min_len: 10, max_len: 30 },
+            ],
+            seed.wrapping_mul(2).wrapping_add(0x57A7E_1),
+        )
+    }
+
+    /// The paper's W2: a memory-ish workload — lower sustained activity
+    /// with longer idle stretches and occasional bursts.
+    pub fn w2(seed: u64) -> PhasedWorkload {
+        PhasedWorkload::new(
+            "W2",
+            vec![
+                WorkloadPhase { activity: 0.20, min_len: 20, max_len: 50 },
+                WorkloadPhase { activity: 0.02, min_len: 30, max_len: 80 },
+                WorkloadPhase { activity: 0.40, min_len: 4, max_len: 12 },
+                WorkloadPhase { activity: 0.10, min_len: 20, max_len: 40 },
+            ],
+            seed.wrapping_mul(3).wrapping_add(0x57A7E_2),
+        )
+    }
+
+    /// Look up a preset by name (`"W1"` / `"W2"`).
+    pub fn preset(name: &str, seed: u64) -> Option<PhasedWorkload> {
+        match name {
+            "W1" => Some(PhasedWorkload::w1(seed)),
+            "W2" => Some(PhasedWorkload::w2(seed)),
+            _ => None,
+        }
+    }
+}
+
+impl Stimulus for PhasedWorkload {
+    fn apply(&mut self, _cycle: usize, inputs: &mut [bool]) {
+        if self.cycles_left == 0 {
+            self.phase_idx = (self.phase_idx + 1) % self.phases.len();
+            let p = self.phases[self.phase_idx];
+            self.cycles_left = if p.min_len == p.max_len {
+                p.min_len
+            } else {
+                p.min_len + (self.rng.next_u64() as usize) % (p.max_len - p.min_len + 1)
+            };
+        }
+        self.cycles_left -= 1;
+        let activity = self.phases[self.phase_idx].activity;
+        for v in inputs.iter_mut() {
+            if self.rng.chance(activity) {
+                *v = !*v;
+            }
+        }
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+use rand::RngCore as _;
+
+/// Uniform random stimulus with a fixed per-cycle flip probability.
+#[derive(Debug, Clone)]
+pub struct ConstantWorkload {
+    activity: f64,
+    rng: DetRng,
+}
+
+impl ConstantWorkload {
+    /// Flip each input with probability `activity` every cycle.
+    pub fn new(activity: f64, seed: u64) -> ConstantWorkload {
+        ConstantWorkload {
+            activity,
+            rng: DetRng::new(seed),
+        }
+    }
+}
+
+impl Stimulus for ConstantWorkload {
+    fn apply(&mut self, _cycle: usize, inputs: &mut [bool]) {
+        for v in inputs.iter_mut() {
+            if self.rng.chance(self.activity) {
+                *v = !*v;
+            }
+        }
+    }
+
+    fn name(&self) -> &str {
+        "constant"
+    }
+}
+
+/// Replay an explicit vector sequence (for directed tests). Cycles beyond
+/// the sequence hold the last vector.
+#[derive(Debug, Clone)]
+pub struct VectorStimulus {
+    vectors: Vec<Vec<bool>>,
+    reset_cycles: usize,
+}
+
+impl VectorStimulus {
+    /// Replay `vectors[cycle]` each cycle, with reset asserted for
+    /// `reset_cycles` cycles.
+    pub fn new(vectors: Vec<Vec<bool>>, reset_cycles: usize) -> VectorStimulus {
+        VectorStimulus { vectors, reset_cycles }
+    }
+}
+
+impl Stimulus for VectorStimulus {
+    fn apply(&mut self, cycle: usize, inputs: &mut [bool]) {
+        if let Some(v) = self.vectors.get(cycle.min(self.vectors.len().saturating_sub(1))) {
+            for (dst, src) in inputs.iter_mut().zip(v) {
+                *dst = *src;
+            }
+        }
+    }
+
+    fn reset_active(&self, cycle: usize) -> bool {
+        cycle < self.reset_cycles
+    }
+
+    fn name(&self) -> &str {
+        "vectors"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phased_workload_is_deterministic() {
+        let mut a = PhasedWorkload::w1(5);
+        let mut b = PhasedWorkload::w1(5);
+        let mut ia = vec![false; 16];
+        let mut ib = vec![false; 16];
+        for t in 0..200 {
+            a.apply(t, &mut ia);
+            b.apply(t, &mut ib);
+            assert_eq!(ia, ib, "diverged at cycle {t}");
+        }
+    }
+
+    #[test]
+    fn w1_and_w2_differ() {
+        let mut a = PhasedWorkload::w1(5);
+        let mut b = PhasedWorkload::w2(5);
+        let mut ia = vec![false; 16];
+        let mut ib = vec![false; 16];
+        let mut same = true;
+        for t in 0..100 {
+            a.apply(t, &mut ia);
+            b.apply(t, &mut ib);
+            if ia != ib {
+                same = false;
+            }
+        }
+        assert!(!same);
+    }
+
+    #[test]
+    fn activity_levels_modulate_flip_rate() {
+        let mut hot = ConstantWorkload::new(0.5, 1);
+        let mut cold = ConstantWorkload::new(0.02, 1);
+        let mut vh = vec![false; 64];
+        let mut vc = vec![false; 64];
+        let mut flips_hot = 0usize;
+        let mut flips_cold = 0usize;
+        let mut prev_h = vh.clone();
+        let mut prev_c = vc.clone();
+        for t in 0..200 {
+            hot.apply(t, &mut vh);
+            cold.apply(t, &mut vc);
+            flips_hot += vh.iter().zip(&prev_h).filter(|(a, b)| a != b).count();
+            flips_cold += vc.iter().zip(&prev_c).filter(|(a, b)| a != b).count();
+            prev_h.copy_from_slice(&vh);
+            prev_c.copy_from_slice(&vc);
+        }
+        assert!(flips_hot > flips_cold * 5, "hot={flips_hot} cold={flips_cold}");
+    }
+
+    #[test]
+    fn vector_stimulus_replays_and_holds() {
+        let mut s = VectorStimulus::new(vec![vec![true, false], vec![false, true]], 1);
+        let mut v = vec![false; 2];
+        s.apply(0, &mut v);
+        assert_eq!(v, vec![true, false]);
+        s.apply(1, &mut v);
+        assert_eq!(v, vec![false, true]);
+        s.apply(5, &mut v);
+        assert_eq!(v, vec![false, true]);
+        assert!(s.reset_active(0));
+        assert!(!s.reset_active(1));
+    }
+
+    #[test]
+    fn preset_lookup() {
+        assert!(PhasedWorkload::preset("W1", 0).is_some());
+        assert!(PhasedWorkload::preset("W2", 0).is_some());
+        assert!(PhasedWorkload::preset("W9", 0).is_none());
+        assert_eq!(PhasedWorkload::w1(0).name(), "W1");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one phase")]
+    fn empty_phases_panics() {
+        let _ = PhasedWorkload::new("bad", vec![], 0);
+    }
+}

@@ -1,0 +1,109 @@
+//! Per-cycle switching-activity traces.
+
+use atlas_netlist::{CellId, Design, NetId};
+use serde::{Deserialize, Serialize};
+
+use crate::bitgrid::BitGrid;
+
+/// The result of simulating a workload: one toggle bit per (cycle, net),
+/// plus exact per-cycle SRAM port activity.
+///
+/// This is the `.vcd`-equivalent artifact the rest of the flow consumes:
+/// the golden power engine turns it into per-cycle power, and ATLAS turns
+/// it into per-node toggle features.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ToggleTrace {
+    workload: String,
+    cycles: usize,
+    net_toggles: BitGrid,
+    sram_cells: Vec<CellId>,
+    sram_reads: BitGrid,
+    sram_writes: BitGrid,
+}
+
+impl ToggleTrace {
+    pub(crate) fn new(
+        workload: String,
+        cycles: usize,
+        net_toggles: BitGrid,
+        sram_cells: Vec<CellId>,
+        sram_reads: BitGrid,
+        sram_writes: BitGrid,
+    ) -> ToggleTrace {
+        ToggleTrace {
+            workload,
+            cycles,
+            net_toggles,
+            sram_cells,
+            sram_reads,
+            sram_writes,
+        }
+    }
+
+    /// Name of the workload that produced this trace.
+    pub fn workload(&self) -> &str {
+        &self.workload
+    }
+
+    /// Number of simulated cycles.
+    pub fn cycles(&self) -> usize {
+        self.cycles
+    }
+
+    /// Whether `net` changed value during `cycle`.
+    pub fn net_toggled(&self, cycle: usize, net: NetId) -> bool {
+        self.net_toggles.get(cycle, net.index())
+    }
+
+    /// Whether `cell`'s output changed value during `cycle`.
+    pub fn cell_toggled(&self, design: &Design, cycle: usize, cell: CellId) -> bool {
+        self.net_toggled(cycle, design.cell(cell).output())
+    }
+
+    /// Total number of cycles in which `net` toggled.
+    pub fn toggle_count(&self, net: NetId) -> usize {
+        self.net_toggles.count_col(net.index())
+    }
+
+    /// Fraction of cycles in which `net` toggled.
+    pub fn toggle_rate(&self, net: NetId) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.toggle_count(net) as f64 / self.cycles as f64
+        }
+    }
+
+    /// Number of nets that toggled in each cycle.
+    pub fn per_cycle_counts(&self) -> Vec<usize> {
+        (0..self.cycles).map(|t| self.net_toggles.count_row(t)).collect()
+    }
+
+    /// Iterate the nets that toggled in `cycle`.
+    pub fn toggled_nets(&self, cycle: usize) -> impl Iterator<Item = NetId> + '_ {
+        self.net_toggles.row_ones(cycle).map(NetId::from_index)
+    }
+
+    /// The SRAM cells tracked by this trace, in port-activity index order.
+    pub fn sram_cells(&self) -> &[CellId] {
+        &self.sram_cells
+    }
+
+    /// Whether SRAM `idx` (position in [`sram_cells`](Self::sram_cells))
+    /// performed a read during `cycle`.
+    pub fn sram_read(&self, cycle: usize, idx: usize) -> bool {
+        self.sram_reads.get(cycle, idx)
+    }
+
+    /// Whether SRAM `idx` performed a write during `cycle`.
+    pub fn sram_write(&self, cycle: usize, idx: usize) -> bool {
+        self.sram_writes.get(cycle, idx)
+    }
+
+    /// Per-cycle (reads, writes) totals across all SRAMs.
+    pub fn sram_access_counts(&self) -> Vec<(usize, usize)> {
+        (0..self.cycles)
+            .map(|t| (self.sram_reads.count_row(t), self.sram_writes.count_row(t)))
+            .collect()
+    }
+}

@@ -1,0 +1,70 @@
+//! Per-cycle power tracing of a CPU-like design (the Fig. 5 workflow):
+//! simulate a workload, compute golden post-layout power, and inspect the
+//! peaks and valleys that only time-based analysis can reveal.
+//!
+//! This example needs no ML — it exercises the substrate stack: design
+//! generation → layout flow → logic simulation → golden power engine.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example cpu_power_trace
+//! ```
+
+use atlas_designs::DesignConfig;
+use atlas_layout::{run_layout, LayoutConfig};
+use atlas_liberty::{Library, PowerGroup};
+use atlas_power::compute_power;
+use atlas_sim::{simulate, PhasedWorkload};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let lib = Library::synthetic_40nm();
+    let gate = DesignConfig::c2().scaled(0.5).generate();
+    println!("design {}: {} cells, {} sub-modules", gate.name(), gate.cell_count(), gate.submodules().len());
+
+    println!("running the layout flow (place, buffer, CTS, route, RC)...");
+    let layout = run_layout(&gate, &lib, &LayoutConfig::default());
+    println!(
+        "  {} → {} cells (+{} buffers, +{} clock cells), {:.0} µm routed wire",
+        layout.report.gate_cells, layout.report.post_cells,
+        layout.report.buffers_added, layout.report.clock_cells, layout.report.routed_um
+    );
+
+    let cycles = 300;
+    println!("simulating {cycles} cycles of workload W1...");
+    let trace = simulate(&layout.design, &mut PhasedWorkload::w1(7), cycles)?;
+    let power = compute_power(&layout.design, &lib, &trace);
+
+    let total = power.non_memory_series();
+    let mean = total.iter().sum::<f64>() / cycles as f64;
+    let (peak_cycle, peak) = total
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).expect("no NaN"))
+        .expect("nonempty");
+    let (idle_cycle, idle) = total
+        .iter()
+        .enumerate()
+        .min_by(|a, b| a.1.partial_cmp(b.1).expect("no NaN"))
+        .expect("nonempty");
+
+    println!("\nper-cycle power (non-memory groups):");
+    println!("  mean {:.3} mW", mean * 1e3);
+    println!("  peak {:.3} mW at cycle {peak_cycle} ({:+.1}% over mean)", peak * 1e3, 100.0 * (peak / mean - 1.0));
+    println!("  idle {:.3} mW at cycle {idle_cycle} ({:+.1}% under mean)", idle * 1e3, 100.0 * (idle / mean - 1.0));
+    println!("\ngroup means:");
+    for g in PowerGroup::ALL {
+        println!("  {:<14} {:.3} mW", g.label(), power.mean_group(g) * 1e3);
+    }
+
+    // The fluctuation the paper motivates (peak power, L·di/dt): the
+    // combinational group swings with the workload phases while clock +
+    // register power stays near-constant.
+    let comb = power.group_series(PowerGroup::Combinational);
+    let comb_mean = comb.iter().sum::<f64>() / cycles as f64;
+    let comb_peak = comb.iter().cloned().fold(0.0f64, f64::max);
+    println!(
+        "\ncombinational swing: peak/mean = {:.2}x — the per-cycle signal an\naverage-power model cannot see.",
+        comb_peak / comb_mean
+    );
+    Ok(())
+}

@@ -1,0 +1,25 @@
+//! Workspace umbrella crate for the ATLAS reproduction.
+//!
+//! This crate exists to host the runnable [examples](../examples) and the
+//! cross-crate integration tests in `tests/`. The actual functionality lives
+//! in the `atlas-*` crates under `crates/`:
+//!
+//! - [`atlas_liberty`] — synthetic 40nm-class technology library.
+//! - [`atlas_netlist`] — gate-level netlist IR and sub-module graphs.
+//! - [`atlas_designs`] — the C1..C6 CPU-like design generators.
+//! - [`atlas_sim`] — cycle-accurate logic simulation and workloads.
+//! - [`atlas_layout`] — placement, buffering, clock-tree synthesis, RC.
+//! - [`atlas_power`] — golden per-cycle grouped power engine.
+//! - [`atlas_nn`] — tensor/autograd and the SGFormer-style graph encoder.
+//! - [`atlas_gbdt`] — gradient-boosted regression trees.
+//! - [`atlas_core`] — the ATLAS pre-training / fine-tuning / inference flow.
+
+pub use atlas_core as core;
+pub use atlas_designs as designs;
+pub use atlas_gbdt as gbdt;
+pub use atlas_layout as layout;
+pub use atlas_liberty as liberty;
+pub use atlas_netlist as netlist;
+pub use atlas_nn as nn;
+pub use atlas_power as power;
+pub use atlas_sim as sim;

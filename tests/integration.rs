@@ -1,0 +1,192 @@
+//! Cross-crate integration tests: the full substrate stack and the ATLAS
+//! pipeline wired together end to end.
+
+use atlas_designs::DesignConfig;
+use atlas_layout::{read_spef, run_layout, write_spef, LayoutConfig};
+use atlas_liberty::{Library, PowerGroup};
+use atlas_power::{compute_power, metrics};
+use atlas_sim::{simulate, PhasedWorkload, Simulator};
+
+fn lib() -> Library {
+    Library::synthetic_40nm()
+}
+
+/// Design generation → layout → simulation → golden power, with every
+/// cross-stage invariant checked in one pass.
+#[test]
+fn substrate_stack_end_to_end() {
+    let lib = lib();
+    let gate = DesignConfig::c1().scaled(0.2).generate();
+    assert!(gate.validate().is_empty());
+
+    let layout = run_layout(&gate, &lib, &LayoutConfig::default());
+    let post = &layout.design;
+    assert!(post.validate().is_empty());
+    assert!(post.cell_count() > gate.cell_count());
+    assert!(layout.report.routed_um > 0.0);
+
+    let cycles = 48;
+    let gate_trace = simulate(&gate, &mut PhasedWorkload::w1(3), cycles).expect("gate sims");
+    let post_trace = simulate(post, &mut PhasedWorkload::w1(3), cycles).expect("post sims");
+
+    let gate_power = compute_power(&gate, &lib, &gate_trace);
+    let post_power = compute_power(post, &lib, &post_trace);
+
+    // The paper's Table III error structure, from first principles:
+    for t in 0..cycles {
+        assert_eq!(gate_power.group_total(t, PowerGroup::ClockTree), 0.0);
+        assert!(post_power.group_total(t, PowerGroup::ClockTree) > 0.0);
+        assert!(post_power.total(t) > gate_power.total(t));
+    }
+    let reg_err = metrics::mape(
+        &post_power.group_series(PowerGroup::Register),
+        &gate_power.group_series(PowerGroup::Register),
+    );
+    let comb_err = metrics::mape(
+        &post_power.group_series(PowerGroup::Combinational),
+        &gate_power.group_series(PowerGroup::Combinational),
+    );
+    assert!(reg_err < 20.0, "register group should be stage-stable, got {reg_err:.1}%");
+    assert!(comb_err > 40.0, "combinational gap should be large, got {comb_err:.1}%");
+}
+
+/// The three netlist stages (`Ng`, `N+g`, `Np`) are cycle-for-cycle
+/// functionally identical at the primary outputs.
+#[test]
+fn three_stages_are_functionally_equivalent() {
+    let lib = lib();
+    let gate = DesignConfig::tiny().generate();
+    let plus = atlas_layout::restructure::restructure(&gate, 99, 0.5);
+    let post = run_layout(&gate, &lib, &LayoutConfig::default()).design;
+
+    let mut sims = [
+        Simulator::new(&gate).expect("levelizes"),
+        Simulator::new(&plus).expect("levelizes"),
+        Simulator::new(&post).expect("levelizes"),
+    ];
+    let mut stims = [
+        PhasedWorkload::w2(5),
+        PhasedWorkload::w2(5),
+        PhasedWorkload::w2(5),
+    ];
+    for t in 0..64 {
+        for (sim, stim) in sims.iter_mut().zip(stims.iter_mut()) {
+            sim.step(stim);
+        }
+        for k in 1..3 {
+            let designs = [&gate, &plus, &post];
+            for (po_a, po_b) in designs[0]
+                .primary_outputs()
+                .iter()
+                .zip(designs[k].primary_outputs())
+            {
+                assert_eq!(
+                    sims[0].net_value(*po_a),
+                    sims[k].net_value(*po_b),
+                    "stage {k} diverged at cycle {t}"
+                );
+            }
+        }
+    }
+}
+
+/// SPEF written by the layout flow round-trips into the power engine:
+/// re-applying the parasitics reproduces the golden power exactly.
+#[test]
+fn spef_roundtrip_reproduces_power() {
+    let lib = lib();
+    let gate = DesignConfig::tiny().generate();
+    let layout = run_layout(&gate, &lib, &LayoutConfig::default());
+    let spef = write_spef(&layout.design);
+
+    // Strip parasitics, then restore them from the SPEF text.
+    let mut stripped = layout.design.clone();
+    for net in stripped.net_ids().collect::<Vec<_>>() {
+        stripped.set_wire_cap(net, 0.0);
+    }
+    let entries = read_spef(&spef).expect("parses");
+    atlas_layout::parasitics::apply_spef(&mut stripped, &entries);
+
+    let trace = simulate(&layout.design, &mut PhasedWorkload::w1(2), 16).expect("sims");
+    let a = compute_power(&layout.design, &lib, &trace);
+    let b = compute_power(&stripped, &lib, &trace);
+    for t in 0..16 {
+        assert!((a.total(t) - b.total(t)).abs() < 1e-12);
+    }
+}
+
+/// Liberty and netlist artifacts survive their text formats.
+#[test]
+fn artifacts_roundtrip() {
+    let lib = lib();
+    let text = lib.to_liblite();
+    let back = Library::from_liblite(&text).expect("liblite parses");
+    assert_eq!(lib, back);
+
+    let design = DesignConfig::tiny().generate();
+    let verilog = design.to_verilog();
+    assert!(verilog.contains("module TINY"));
+    assert!(verilog.matches("SRAM_").count() >= 1);
+}
+
+/// The trained model serializes, reloads, and reproduces its predictions
+/// bit-for-bit — the deployment path.
+#[test]
+fn model_persistence_reproduces_predictions() {
+    use atlas_core::pipeline::{train_atlas, ExperimentConfig};
+
+    let mut cfg = ExperimentConfig::quick();
+    cfg.cycles = 16;
+    cfg.scale = 0.12;
+    cfg.pretrain.steps = 10;
+    cfg.pretrain.hidden_dim = 16;
+    cfg.finetune.cycles_per_design = 6;
+    cfg.finetune.gbdt.n_estimators = 20;
+    let trained = train_atlas(&cfg);
+
+    let lib = cfg.library();
+    let gate = cfg.design("C2").generate();
+    let trace = simulate(&gate, &mut PhasedWorkload::w1(1), 16).expect("sims");
+    let before = trained.model.predict(&gate, &lib, &trace);
+
+    let json = trained.model.to_json().expect("serializes");
+    let reloaded = atlas_core::AtlasModel::from_json(&json).expect("parses");
+    let after = reloaded.predict(&gate, &lib, &trace);
+    assert_eq!(before, after);
+}
+
+/// Sub-module decomposition invariants across the whole flow: exact
+/// partition at every stage and id-stable alignment.
+#[test]
+fn submodule_partition_is_exact_and_aligned() {
+    let lib = lib();
+    let gate = DesignConfig::tiny().generate();
+    let plus = atlas_layout::restructure::restructure(&gate, 7, 0.4);
+    let post = run_layout(&gate, &lib, &LayoutConfig::default()).design;
+
+    for d in [&gate, &plus, &post] {
+        let total: usize = d.submodule_graphs().iter().map(|g| g.node_count()).sum();
+        assert_eq!(total, d.cell_count(), "partition must be exact");
+    }
+    for (i, sm) in gate.submodules().iter().enumerate() {
+        assert_eq!(sm.name(), plus.submodules()[i].name());
+        assert_eq!(sm.name(), post.submodules()[i].name());
+    }
+}
+
+/// Workload choice changes power; determinism holds per workload.
+#[test]
+fn workload_sensitivity_and_determinism() {
+    let lib = lib();
+    let design = DesignConfig::tiny().generate();
+    let t1 = simulate(&design, &mut PhasedWorkload::w1(4), 64).expect("sims");
+    let t1_again = simulate(&design, &mut PhasedWorkload::w1(4), 64).expect("sims");
+    let t2 = simulate(&design, &mut PhasedWorkload::w2(4), 64).expect("sims");
+    assert_eq!(t1, t1_again);
+
+    let p1 = compute_power(&design, &lib, &t1);
+    let p1_again = compute_power(&design, &lib, &t1_again);
+    let p2 = compute_power(&design, &lib, &t2);
+    assert_eq!(p1, p1_again);
+    assert_ne!(p1.total_series(), p2.total_series());
+}

@@ -1,0 +1,120 @@
+//! Cross-crate property-based tests: invariants that must hold for *any*
+//! design the generator can produce, any workload, and any flow
+//! configuration in a sane range.
+
+use atlas_designs::DesignConfig;
+use atlas_layout::{run_layout, LayoutConfig};
+use atlas_liberty::{Library, PowerGroup};
+use atlas_power::compute_power;
+use atlas_sim::{simulate, ConstantWorkload, PhasedWorkload};
+use proptest::prelude::*;
+
+/// A small random design configuration.
+fn arb_design() -> impl Strategy<Value = DesignConfig> {
+    (0u64..1000, 6usize..10, 1usize..3, 1usize..4).prop_map(|(seed, width, fe, core)| {
+        DesignConfig {
+            name: format!("P{seed}"),
+            seed,
+            scale: 1.0,
+            width,
+            pi_count: 16,
+            frontend_units: fe,
+            core_units: core,
+            lsu_units: 1,
+            dcache_units: 1,
+            ptw_units: 1,
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 8, // each case runs a full mini-flow; keep the count low
+        .. ProptestConfig::default()
+    })]
+
+    /// Any generated design is structurally valid, levelizable, and its
+    /// sub-module graphs partition the cells exactly.
+    #[test]
+    fn generated_designs_are_well_formed(cfg in arb_design()) {
+        let d = cfg.generate();
+        prop_assert!(d.validate().is_empty());
+        prop_assert!(atlas_netlist::topo::levelize(&d).is_ok());
+        let total: usize = d.submodule_graphs().iter().map(|g| g.node_count()).sum();
+        prop_assert_eq!(total, d.cell_count());
+    }
+
+    /// The layout flow preserves primary-output behaviour and only adds
+    /// cells, for any generated design.
+    #[test]
+    fn layout_preserves_function_and_grows(cfg in arb_design()) {
+        let lib = Library::synthetic_40nm();
+        let gate = cfg.generate();
+        let result = run_layout(&gate, &lib, &LayoutConfig::default());
+        prop_assert!(result.design.validate().is_empty());
+        prop_assert!(result.design.cell_count() > gate.cell_count());
+
+        let mut sim_a = atlas_sim::Simulator::new(&gate).expect("levelizes");
+        let mut sim_b = atlas_sim::Simulator::new(&result.design).expect("levelizes");
+        let mut stim_a = PhasedWorkload::w1(cfg.seed);
+        let mut stim_b = PhasedWorkload::w1(cfg.seed);
+        for _ in 0..24 {
+            sim_a.step(&mut stim_a);
+            sim_b.step(&mut stim_b);
+            for (&pa, &pb) in gate.primary_outputs().iter().zip(result.design.primary_outputs()) {
+                prop_assert_eq!(sim_a.net_value(pa), sim_b.net_value(pb));
+            }
+        }
+    }
+
+    /// Power is non-negative, finite, and additive over sub-modules for
+    /// any design and activity level.
+    #[test]
+    fn power_is_sane(cfg in arb_design(), activity in 0.0f64..0.5) {
+        let lib = Library::synthetic_40nm();
+        let d = cfg.generate();
+        let trace = simulate(&d, &mut ConstantWorkload::new(activity, cfg.seed), 16)
+            .expect("simulates");
+        let p = compute_power(&d, &lib, &trace);
+        for t in 0..16 {
+            let total = p.total(t);
+            prop_assert!(total.is_finite() && total > 0.0);
+            let by_sm: f64 = d
+                .submodule_ids()
+                .map(|sm| p.submodule_total(t, sm))
+                .sum();
+            prop_assert!((by_sm - total).abs() <= total * 1e-9);
+            // Gate level has no clock tree.
+            prop_assert_eq!(p.group_total(t, PowerGroup::ClockTree), 0.0);
+        }
+    }
+
+    /// More input activity never decreases mean combinational power.
+    #[test]
+    fn power_is_monotone_in_activity(cfg in arb_design()) {
+        let lib = Library::synthetic_40nm();
+        let d = cfg.generate();
+        let cold = simulate(&d, &mut ConstantWorkload::new(0.01, 1), 48).expect("simulates");
+        let hot = simulate(&d, &mut ConstantWorkload::new(0.45, 1), 48).expect("simulates");
+        let pc = compute_power(&d, &lib, &cold);
+        let ph = compute_power(&d, &lib, &hot);
+        prop_assert!(
+            ph.mean_group(PowerGroup::Combinational)
+                >= pc.mean_group(PowerGroup::Combinational)
+        );
+    }
+
+    /// Restructuring at any intensity keeps the design valid and the
+    /// sequential-cell population identical.
+    #[test]
+    fn restructure_invariants(cfg in arb_design(), intensity in 0.0f64..1.0, seed in 0u64..100) {
+        let gate = cfg.generate();
+        let plus = atlas_layout::restructure::restructure(&gate, seed, intensity);
+        prop_assert!(plus.validate().is_empty());
+        prop_assert!(plus.cell_count() >= gate.cell_count());
+        let gs = gate.stats();
+        let ps = plus.stats();
+        prop_assert_eq!(gs.group_count(PowerGroup::Register), ps.group_count(PowerGroup::Register));
+        prop_assert_eq!(gs.group_count(PowerGroup::Memory), ps.group_count(PowerGroup::Memory));
+    }
+}
