@@ -29,12 +29,8 @@ fn encoder_forward(c: &mut Criterion) {
     let feats = Matrix::xavier(n, cfg.input_dim, 7);
 
     let mut g = c.benchmark_group("encoder_forward");
-    g.bench_function("training_tape", |b| {
-        b.iter(|| trained.encode(&adj, &feats))
-    });
-    g.bench_function("inference_full", |b| {
-        b.iter(|| frozen.encode(&adj, &feats))
-    });
+    g.bench_function("training_tape", |b| b.iter(|| trained.encode(&adj, &feats)));
+    g.bench_function("inference_full", |b| b.iter(|| frozen.encode(&adj, &feats)));
     g.bench_function("inference_graph_only", |b| {
         b.iter(|| frozen.encode_graph(&adj, &feats))
     });
@@ -82,10 +78,22 @@ fn layout_flow(c: &mut Criterion) {
 fn gbdt_predict(c: &mut Criterion) {
     let n = 2000;
     let d = 51;
-    let x: Vec<f64> = (0..n * d).map(|i| ((i * 2654435761) % 997) as f64 / 997.0).collect();
+    let x: Vec<f64> = (0..n * d)
+        .map(|i| ((i * 2654435761) % 997) as f64 / 997.0)
+        .collect();
     let y: Vec<f64> = (0..n).map(|i| x[i * d] * 3.0 + x[i * d + 1]).collect();
-    let model = Gbdt::fit(&x, d, &y, &GbdtConfig { n_estimators: 160, ..GbdtConfig::default() });
-    c.bench_function("gbdt_predict_2000_rows", |b| b.iter(|| model.predict_batch(&x)));
+    let model = Gbdt::fit(
+        &x,
+        d,
+        &y,
+        &GbdtConfig {
+            n_estimators: 160,
+            ..GbdtConfig::default()
+        },
+    );
+    c.bench_function("gbdt_predict_2000_rows", |b| {
+        b.iter(|| model.predict_batch(&x))
+    });
 }
 
 /// Per-sub-module feature extraction + embedding — the ATLAS inference
@@ -95,10 +103,11 @@ fn atlas_inference_kernel(c: &mut Criterion) {
     let design = bench_design().generate();
     let trace = simulate(&design, &mut PhasedWorkload::w1(1), 64).expect("simulates");
     let data = build_submodule_data(&design, &lib);
-    let smd = data.iter().max_by_key(|s| s.node_count()).expect("nonempty");
-    let frozen = InferenceEncoder::from_state(
-        &GraphEncoder::new(EncoderConfig::default()).state(),
-    );
+    let smd = data
+        .iter()
+        .max_by_key(|s| s.node_count())
+        .expect("nonempty");
+    let frozen = InferenceEncoder::from_state(&GraphEncoder::new(EncoderConfig::default()).state());
     c.bench_function(
         &format!("submodule_embed_per_cycle/{}_nodes", smd.node_count()),
         |b| {

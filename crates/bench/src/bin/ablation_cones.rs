@@ -22,8 +22,11 @@ struct Row {
 
 /// Cells in the combinational fanin cone of one register (stops at
 /// sequential outputs and primary inputs, as cone-based works define it).
-fn cone_size(design: &Design, reg: CellId, visited: &mut Vec<u32>, stamp: u32) -> usize {
-    let mut stack: Vec<CellId> = design.cell(reg).inputs().iter()
+fn cone_size(design: &Design, reg: CellId, visited: &mut [u32], stamp: u32) -> usize {
+    let mut stack: Vec<CellId> = design
+        .cell(reg)
+        .inputs()
+        .iter()
         .filter_map(|&n| design.net(n).driver())
         .collect();
     let mut size = 0;

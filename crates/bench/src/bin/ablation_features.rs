@@ -29,7 +29,11 @@ fn main() {
     for with_side in [true, false] {
         let mut cfg = base.clone();
         cfg.finetune.side_features = with_side;
-        let name = if with_side { "embedding + n/I/C" } else { "embedding only" };
+        let name = if with_side {
+            "embedding + n/I/C"
+        } else {
+            "embedding only"
+        };
         println!("training: {name}...");
         let trained = train_atlas(&cfg);
         for design in ["C2", "C4"] {
@@ -51,11 +55,18 @@ fn main() {
     }
 
     println!("\nSide-feature ablation (W1):\n");
-    println!("{:<20} {:<7} {:>8} {:>8} {:>8}", "Head features", "Design", "Total", "Comb", "Reg");
+    println!(
+        "{:<20} {:<7} {:>8} {:>8} {:>8}",
+        "Head features", "Design", "Total", "Comb", "Reg"
+    );
     for r in &rows {
         println!(
             "{:<20} {:<7} {:>8} {:>8} {:>8}",
-            r.variant, r.design, pct(r.total_mape), pct(r.comb_mape), pct(r.reg_mape)
+            r.variant,
+            r.design,
+            pct(r.total_mape),
+            pct(r.comb_mape),
+            pct(r.reg_mape)
         );
     }
     write_result("ablation_features", &rows);

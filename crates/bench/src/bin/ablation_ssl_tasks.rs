@@ -28,15 +28,21 @@ fn main() {
 
     let variants: Vec<(&str, Box<dyn Fn(&mut atlas_core::pretrain::PretrainConfig)>)> = vec![
         ("all five tasks", Box::new(|_| {})),
-        ("no masked tasks (①②)", Box::new(|p| {
-            p.task_mask_toggle = false;
-            p.task_mask_type = false;
-        })),
+        (
+            "no masked tasks (①②)",
+            Box::new(|p| {
+                p.task_mask_toggle = false;
+                p.task_mask_type = false;
+            }),
+        ),
         ("no size task (③)", Box::new(|p| p.task_size = false)),
-        ("no contrastive (④⑤)", Box::new(|p| {
-            p.task_cl_gate = false;
-            p.task_cl_cross = false;
-        })),
+        (
+            "no contrastive (④⑤)",
+            Box::new(|p| {
+                p.task_cl_gate = false;
+                p.task_cl_cross = false;
+            }),
+        ),
         ("no cross-stage (⑤)", Box::new(|p| p.task_cl_cross = false)),
     ];
 
@@ -62,7 +68,10 @@ fn main() {
     }
 
     println!("\nSSL task ablation (unseen C2 under W1):\n");
-    println!("{:<26} {:>10} {:>12} {:>10}", "Pre-training variant", "Total", "Clock Tree", "Comb");
+    println!(
+        "{:<26} {:>10} {:>12} {:>10}",
+        "Pre-training variant", "Total", "Clock Tree", "Comb"
+    );
     for r in &rows {
         println!(
             "{:<26} {:>10} {:>12} {:>10}",

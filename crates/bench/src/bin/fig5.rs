@@ -34,11 +34,27 @@ fn main() {
         println!("tracing {design} under W1...");
         let eval = trained.evaluate_test(design, "W1");
         let panels = [
-            ("comb", eval.labels.group_series(atlas_liberty::PowerGroup::Combinational),
-                     eval.atlas.group_series(atlas_liberty::PowerGroup::Combinational),
-                     eval.baseline.group_series(atlas_liberty::PowerGroup::Combinational)),
-            ("ctreg", eval.labels.ct_reg_series(), eval.atlas.ct_reg_series(), eval.baseline.ct_reg_series()),
-            ("total", eval.labels.non_memory_series(), eval.atlas.non_memory_series(), eval.baseline.non_memory_series()),
+            (
+                "comb",
+                eval.labels
+                    .group_series(atlas_liberty::PowerGroup::Combinational),
+                eval.atlas
+                    .group_series(atlas_liberty::PowerGroup::Combinational),
+                eval.baseline
+                    .group_series(atlas_liberty::PowerGroup::Combinational),
+            ),
+            (
+                "ctreg",
+                eval.labels.ct_reg_series(),
+                eval.atlas.ct_reg_series(),
+                eval.baseline.ct_reg_series(),
+            ),
+            (
+                "total",
+                eval.labels.non_memory_series(),
+                eval.atlas.non_memory_series(),
+                eval.baseline.non_memory_series(),
+            ),
         ];
 
         // CSV dump.
@@ -50,7 +66,10 @@ fn main() {
         for t in 0..cfg.cycles {
             csv.push_str(&t.to_string());
             for (_, label, atlas, base) in &panels {
-                csv.push_str(&format!(",{:.6e},{:.6e},{:.6e}", label[t], atlas[t], base[t]));
+                csv.push_str(&format!(
+                    ",{:.6e},{:.6e},{:.6e}",
+                    label[t], atlas[t], base[t]
+                ));
             }
             csv.push('\n');
         }
@@ -58,11 +77,11 @@ fn main() {
         fs::write(&path, csv).expect("write CSV");
         println!("(wrote {})", path.display());
 
-        println!("\nFig. 5 panel MAPEs for {design} under W1 ({} cycles):", cfg.cycles);
         println!(
-            "{:<22} {:>10} {:>12}",
-            "panel", "ATLAS", "Gate-Level"
+            "\nFig. 5 panel MAPEs for {design} under W1 ({} cycles):",
+            cfg.cycles
         );
+        println!("{:<22} {:>10} {:>12}", "panel", "ATLAS", "Gate-Level");
         let mut panel_mapes = Vec::new();
         for (name, label, atlas, base) in &panels {
             let ma = mape(label, atlas);

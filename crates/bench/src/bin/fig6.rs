@@ -15,7 +15,10 @@ fn main() {
         let eval = trained.evaluate_test(design, "W1");
         let table = component_table(&eval.labels, &eval.atlas, &eval.gate);
         println!("\nFig. 6 ({design} under W1): component-level power\n");
-        println!("{:<12} {:>12} {:>12} {:>9}", "Component", "Label (W)", "ATLAS (W)", "MAPE (%)");
+        println!(
+            "{:<12} {:>12} {:>12} {:>9}",
+            "Component", "Label (W)", "ATLAS (W)", "MAPE (%)"
+        );
         for row in &table {
             println!(
                 "{:<12} {:>12.4} {:>12.4} {:>9.2}",

@@ -43,7 +43,12 @@ fn main() {
     for r in &rows {
         println!(
             "{:<8} {:<4} {:>12.3} {:>12.3} {:>9} {:>15.1}%",
-            r.design, r.workload, r.label_mw, r.predicted_mw, pct(r.mape), r.share_of_total_pct
+            r.design,
+            r.workload,
+            r.label_mw,
+            r.predicted_mw,
+            pct(r.mape),
+            r.share_of_total_pct
         );
     }
     println!("\nPaper shape checks: the memory group is a large share of total power (the");

@@ -15,7 +15,14 @@ fn main() {
         ("SNS V2 [MICRO'23]", "RTL", "No", "No", "Yes", "No"),
         ("MasterRTL [ICCAD'23]", "RTL", "Yes", "No", "Yes", "No"),
         ("PowPredictCT [DAC'24]", "RTL", "Yes", "No", "Yes", "Yes"),
-        ("ATLAS (this reproduction)", "Netlist", "Yes", "Yes", "Yes", "Yes"),
+        (
+            "ATLAS (this reproduction)",
+            "Netlist",
+            "Yes",
+            "Yes",
+            "Yes",
+            "Yes",
+        ),
     ];
     println!(
         "{:<28} {:>8} {:>10} {:>11} {:>13} {:>14}",

@@ -31,7 +31,8 @@ fn main() {
             design: name.to_owned(),
             gate_level: result.report.gate_cells,
             post_layout: result.report.post_cells,
-            growth_pct: 100.0 * (result.report.post_cells as f64 / result.report.gate_cells as f64 - 1.0),
+            growth_pct: 100.0
+                * (result.report.post_cells as f64 / result.report.gate_cells as f64 - 1.0),
             buffers: result.report.buffers_added,
             clock_cells: result.report.clock_cells,
             reconstructed: result.report.reconstructed_added,
@@ -44,7 +45,13 @@ fn main() {
     for r in &rows {
         println!(
             "{:<8} {:>11} {:>12} {:>7.2}% {:>9} {:>12} {:>14}",
-            r.design, r.gate_level, r.post_layout, r.growth_pct, r.buffers, r.clock_cells, r.reconstructed
+            r.design,
+            r.gate_level,
+            r.post_layout,
+            r.growth_pct,
+            r.buffers,
+            r.clock_cells,
+            r.reconstructed
         );
     }
     println!("\nPaper shape check: post-layout counts exceed gate-level counts by a few");

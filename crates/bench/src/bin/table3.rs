@@ -23,7 +23,18 @@ fn main() {
     );
     println!(
         "{:<10} {:<4} | {:>8} {:>8} {:>8} {:>8} {:>8} | {:>8} {:>8} {:>8} {:>8} {:>8}",
-        "Design", "WL", "Comb", "CT", "Reg", "CT+Reg", "Total", "Comb", "CT", "Reg", "CT+Reg", "Total"
+        "Design",
+        "WL",
+        "Comb",
+        "CT",
+        "Reg",
+        "CT+Reg",
+        "Total",
+        "Comb",
+        "CT",
+        "Reg",
+        "CT+Reg",
+        "Total"
     );
     let mut avg = [0.0f64; 10];
     for r in &rows {
@@ -73,8 +84,23 @@ fn main() {
         pct(avg[9]),
     );
     println!("\nPaper shape checks:");
-    println!("  - baseline clock-tree MAPE = 100% (group absent at gate level): {}", if avg[6] >= 99.9 { "HOLDS" } else { "VIOLATED" });
-    println!("  - ATLAS total ≪ baseline total: {:.2}% vs {:.2}%: {}", avg[4], avg[9], if avg[4] < avg[9] / 2.0 { "HOLDS" } else { "VIOLATED" });
-    println!("  - combinational is ATLAS's hardest group: {}", if avg[0] > avg[2] { "HOLDS" } else { "VIOLATED" });
+    println!(
+        "  - baseline clock-tree MAPE = 100% (group absent at gate level): {}",
+        if avg[6] >= 99.9 { "HOLDS" } else { "VIOLATED" }
+    );
+    println!(
+        "  - ATLAS total ≪ baseline total: {:.2}% vs {:.2}%: {}",
+        avg[4],
+        avg[9],
+        if avg[4] < avg[9] / 2.0 {
+            "HOLDS"
+        } else {
+            "VIOLATED"
+        }
+    );
+    println!(
+        "  - combinational is ATLAS's hardest group: {}",
+        if avg[0] > avg[2] { "HOLDS" } else { "VIOLATED" }
+    );
     write_result("table3", &rows);
 }

@@ -45,7 +45,10 @@ fn main() {
         });
     }
 
-    println!("\nTable IV: runtime (seconds) for {} cycles of W1\n", cfg.cycles);
+    println!(
+        "\nTable IV: runtime (seconds) for {} cycles of W1\n",
+        cfg.cycles
+    );
     println!(
         "{:<7} {:>7} | {:>8} {:>8} {:>8} | {:>8} {:>10} {:>8} | {:>8}",
         "Design", "Cells", "Pre.", "Infer", "Total", "P&R", "Simulation", "Total", "Speedup"
@@ -64,8 +67,15 @@ fn main() {
     for r in &rows {
         println!(
             "{:<7} {:>7} | {:>8.2} {:>8.2} {:>8.2} | {:>8.2} {:>10.2} {:>8.2} | {:>7.2}x",
-            r.design, r.cells, r.atlas_pre_s, r.atlas_infer_s, r.atlas_total_s,
-            r.flow_pnr_s, r.flow_sim_s, r.flow_total_s, r.speedup
+            r.design,
+            r.cells,
+            r.atlas_pre_s,
+            r.atlas_infer_s,
+            r.atlas_total_s,
+            r.flow_pnr_s,
+            r.flow_sim_s,
+            r.flow_total_s,
+            r.speedup
         );
         sum.cells += r.cells / rows.len();
         sum.atlas_pre_s += r.atlas_pre_s / rows.len() as f64;
@@ -78,8 +88,15 @@ fn main() {
     sum.speedup = sum.flow_total_s / sum.atlas_total_s.max(1e-12);
     println!(
         "{:<7} {:>7} | {:>8.2} {:>8.2} {:>8.2} | {:>8.2} {:>10.2} {:>8.2} | {:>7.2}x",
-        sum.design, sum.cells, sum.atlas_pre_s, sum.atlas_infer_s, sum.atlas_total_s,
-        sum.flow_pnr_s, sum.flow_sim_s, sum.flow_total_s, sum.speedup
+        sum.design,
+        sum.cells,
+        sum.atlas_pre_s,
+        sum.atlas_infer_s,
+        sum.atlas_total_s,
+        sum.flow_pnr_s,
+        sum.flow_sim_s,
+        sum.flow_total_s,
+        sum.speedup
     );
 
     // Shape: the flow's P&R cost grows faster with design size than ATLAS

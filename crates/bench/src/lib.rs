@@ -34,9 +34,11 @@ use atlas_core::AtlasModel;
 /// evaluations) completes in minutes on a laptop CPU; see DESIGN.md §2 on
 /// the scale substitution.
 pub fn bench_config() -> ExperimentConfig {
-    let mut cfg = ExperimentConfig::default();
-    cfg.cycles = 300;
-    cfg.scale = 0.5;
+    let mut cfg = ExperimentConfig {
+        cycles: 300,
+        scale: 0.5,
+        ..ExperimentConfig::default()
+    };
     cfg.pretrain.steps = 220;
     cfg.pretrain.hidden_dim = 48;
     cfg.finetune.cycles_per_design = 36;
@@ -94,7 +96,10 @@ pub fn load_or_train(cfg: &ExperimentConfig) -> TrainedAtlas {
             };
         }
     }
-    println!("(training ATLAS: 4 designs × {} cycles — cached for later binaries)", cfg.cycles);
+    println!(
+        "(training ATLAS: 4 designs × {} cycles — cached for later binaries)",
+        cfg.cycles
+    );
     let trained = train_atlas(cfg);
     if let Ok(json) = trained.model.to_json() {
         let _ = fs::write(&path, json);

@@ -63,7 +63,8 @@ impl DesignBundle {
             PhasedWorkload::preset(workload, design_cfg.seed)
                 .unwrap_or_else(|| panic!("unknown workload preset `{workload}`"))
         };
-        let gate_trace = simulate(&gate, &mut w("g"), cycles).expect("generated designs are acyclic");
+        let gate_trace =
+            simulate(&gate, &mut w("g"), cycles).expect("generated designs are acyclic");
         let plus_trace = simulate(&plus, &mut w("p"), cycles).expect("restructured stays acyclic");
         let post_trace =
             simulate(&layout.design, &mut w("l"), cycles).expect("layout preserves acyclicity");

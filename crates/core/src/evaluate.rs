@@ -58,15 +58,36 @@ pub fn evaluate(labels: &PowerTrace, atlas: &PowerTrace, baseline: &PowerTrace) 
     EvalRow {
         design: labels.design().to_owned(),
         workload: labels.workload().to_owned(),
-        atlas_mape_comb: mape(&g(labels, PowerGroup::Combinational), &g(atlas, PowerGroup::Combinational)),
-        atlas_mape_ct: mape(&g(labels, PowerGroup::ClockTree), &g(atlas, PowerGroup::ClockTree)),
-        atlas_mape_reg: mape(&g(labels, PowerGroup::Register), &g(atlas, PowerGroup::Register)),
+        atlas_mape_comb: mape(
+            &g(labels, PowerGroup::Combinational),
+            &g(atlas, PowerGroup::Combinational),
+        ),
+        atlas_mape_ct: mape(
+            &g(labels, PowerGroup::ClockTree),
+            &g(atlas, PowerGroup::ClockTree),
+        ),
+        atlas_mape_reg: mape(
+            &g(labels, PowerGroup::Register),
+            &g(atlas, PowerGroup::Register),
+        ),
         atlas_mape_ct_reg: mape(&labels.ct_reg_series(), &atlas.ct_reg_series()),
         atlas_mape_total: mape(&labels_total, &atlas_total),
-        atlas_mape_memory: mape(&g(labels, PowerGroup::Memory), &g(atlas, PowerGroup::Memory)),
-        baseline_mape_comb: mape(&g(labels, PowerGroup::Combinational), &g(baseline, PowerGroup::Combinational)),
-        baseline_mape_ct: mape(&g(labels, PowerGroup::ClockTree), &g(baseline, PowerGroup::ClockTree)),
-        baseline_mape_reg: mape(&g(labels, PowerGroup::Register), &g(baseline, PowerGroup::Register)),
+        atlas_mape_memory: mape(
+            &g(labels, PowerGroup::Memory),
+            &g(atlas, PowerGroup::Memory),
+        ),
+        baseline_mape_comb: mape(
+            &g(labels, PowerGroup::Combinational),
+            &g(baseline, PowerGroup::Combinational),
+        ),
+        baseline_mape_ct: mape(
+            &g(labels, PowerGroup::ClockTree),
+            &g(baseline, PowerGroup::ClockTree),
+        ),
+        baseline_mape_reg: mape(
+            &g(labels, PowerGroup::Register),
+            &g(baseline, PowerGroup::Register),
+        ),
         baseline_mape_ct_reg: mape(&labels.ct_reg_series(), &baseline.ct_reg_series()),
         baseline_mape_total: mape(&labels_total, &baseline_total),
         atlas_pearson_total: pearson(&labels_total, &atlas_total),
@@ -112,7 +133,11 @@ pub fn component_series(trace: &PowerTrace, design: &Design, component: &str) ->
 /// Build the Fig. 6 component table for a design. Components with no
 /// measurable label power (e.g. the empty `cts` pseudo-component) are
 /// skipped.
-pub fn component_table(labels: &PowerTrace, atlas: &PowerTrace, design: &Design) -> Vec<ComponentRow> {
+pub fn component_table(
+    labels: &PowerTrace,
+    atlas: &PowerTrace,
+    design: &Design,
+) -> Vec<ComponentRow> {
     design
         .components()
         .into_iter()
@@ -138,7 +163,11 @@ pub fn component_table(labels: &PowerTrace, atlas: &PowerTrace, design: &Design)
 mod tests {
     use super::*;
 
-    fn fake_trace(vals: &[(usize, usize, PowerGroup, f64)], cycles: usize, sms: usize) -> PowerTrace {
+    fn fake_trace(
+        vals: &[(usize, usize, PowerGroup, f64)],
+        cycles: usize,
+        sms: usize,
+    ) -> PowerTrace {
         let mut p = PowerTrace::new("D".into(), "W".into(), cycles, sms);
         for &(t, sm, g, w) in vals {
             p.add(t, sm, g.index(), w);
@@ -149,7 +178,10 @@ mod tests {
     #[test]
     fn perfect_prediction_scores_zero() {
         let labels = fake_trace(
-            &[(0, 0, PowerGroup::Combinational, 1.0), (1, 0, PowerGroup::Register, 2.0)],
+            &[
+                (0, 0, PowerGroup::Combinational, 1.0),
+                (1, 0, PowerGroup::Register, 2.0),
+            ],
             2,
             1,
         );

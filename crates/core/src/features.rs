@@ -66,12 +66,7 @@ impl SubmoduleData {
 
     /// Node features for one cycle: the static features with the toggle
     /// channel filled from the trace.
-    pub fn features_for_cycle(
-        &self,
-        design: &Design,
-        trace: &ToggleTrace,
-        cycle: usize,
-    ) -> Matrix {
+    pub fn features_for_cycle(&self, design: &Design, trace: &ToggleTrace, cycle: usize) -> Matrix {
         let mut f = self.static_feats.clone();
         for (i, &cell) in self.cells.iter().enumerate() {
             if trace.cell_toggled(design, cycle, cell) {
@@ -184,7 +179,11 @@ pub fn build_submodule_data(design: &Design, lib: &Library) -> Vec<SubmoduleData
                     feats.set(i, CAP_CHANNEL, m.pin_cap() * CAP_SCALE);
                 }
             } else if let Some(lc) = lib.cell(class, cell.drive()) {
-                feats.set(i, INTERNAL_CHANNEL, lc.switch_energy().mean() * INTERNAL_SCALE);
+                feats.set(
+                    i,
+                    INTERNAL_CHANNEL,
+                    lc.switch_energy().mean() * INTERNAL_SCALE,
+                );
                 feats.set(i, LEAKAGE_CHANNEL, lc.leakage() * LEAKAGE_SCALE);
                 feats.set(i, CAP_CHANNEL, lc.total_input_cap() * CAP_SCALE);
             }
@@ -340,7 +339,10 @@ mod tests {
     #[test]
     fn masking_hides_and_labels() {
         let (d, _, trace, data) = setup();
-        let sm = data.iter().max_by_key(|s| s.node_count()).expect("nonempty");
+        let sm = data
+            .iter()
+            .max_by_key(|s| s.node_count())
+            .expect("nonempty");
         let mut rng = DetRng::new(3);
         let m = sm.masked_features(&d, &trace, 4, 0.3, &mut rng);
         assert!(!m.toggle_nodes.is_empty(), "some toggles masked");
@@ -369,7 +371,10 @@ mod tests {
         let (d, lib, _, data) = setup();
         let hot = simulate(&d, &mut atlas_sim::ConstantWorkload::new(0.45, 2), 16).expect("ok");
         let cold = simulate(&d, &mut atlas_sim::ConstantWorkload::new(0.0, 2), 16).expect("ok");
-        let sm = data.iter().max_by_key(|s| s.node_count()).expect("nonempty");
+        let sm = data
+            .iter()
+            .max_by_key(|s| s.node_count())
+            .expect("nonempty");
         let sh = side_features(sm, &d, &lib, &hot, 10);
         let sc = side_features(sm, &d, &lib, &cold, 10);
         assert!(sh.i_comb >= sc.i_comb);

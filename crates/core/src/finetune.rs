@@ -262,7 +262,11 @@ fn gaussian_solve(a: &mut [f64; 16], b: &mut [f64; 4]) -> [f64; 4] {
             acc -= a[row * N + c] * x[c];
         }
         let pivot = a[row * N + row];
-        x[row] = if pivot.abs() < 1e-30 { 0.0 } else { acc / pivot };
+        x[row] = if pivot.abs() < 1e-30 {
+            0.0
+        } else {
+            acc / pivot
+        };
     }
     x
 }

@@ -48,5 +48,5 @@ pub mod pipeline;
 pub mod pretrain;
 
 pub use evaluate::EvalRow;
-pub use model::AtlasModel;
-pub use pipeline::{train_atlas, ExperimentConfig, TrainedAtlas};
+pub use model::{AtlasModel, SubmoduleEmbeddings, TraceEmbeddings};
+pub use pipeline::{train_atlas, ExperimentConfig, LookupError, TrainedAtlas};

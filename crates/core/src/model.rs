@@ -7,8 +7,61 @@ use atlas_power::PowerTrace;
 use atlas_sim::ToggleTrace;
 use serde::{Deserialize, Serialize};
 
-use crate::features::{build_submodule_data, side_features, SubmoduleData};
+use crate::features::{build_submodule_data, side_features, SideFeatures, SubmoduleData};
 use crate::finetune::PowerHeads;
+
+/// Stage-one inference output for one sub-module across a whole trace:
+/// per-cycle encoder embeddings and side features.
+#[derive(Debug, Clone)]
+pub struct SubmoduleEmbeddings {
+    /// Index of the sub-module in its design.
+    pub submodule: usize,
+    /// `embeddings[cycle]` — the graph embedding for that cycle.
+    pub embeddings: Vec<Vec<f64>>,
+    /// `sides[cycle]` — the toggle-weighted side features for that cycle.
+    pub sides: Vec<SideFeatures>,
+}
+
+/// Everything stage two (the power heads) needs, for every sub-module and
+/// cycle of one (design, workload trace) pair.
+///
+/// This is the expensive, **cacheable** part of ATLAS inference: feature
+/// construction and encoder forwards dominate the prediction cost, and
+/// both are fully determined by the design and the toggle trace. A
+/// serving layer can keep `TraceEmbeddings` keyed by (design, workload,
+/// cycles) and answer repeat requests with only the cheap head stage
+/// ([`AtlasModel::predict_from_embeddings`]).
+#[derive(Debug, Clone)]
+pub struct TraceEmbeddings {
+    design: String,
+    workload: String,
+    cycles: usize,
+    n_submodules: usize,
+    per_submodule: Vec<SubmoduleEmbeddings>,
+}
+
+impl TraceEmbeddings {
+    /// Number of cycles embedded.
+    pub fn cycles(&self) -> usize {
+        self.cycles
+    }
+
+    /// Per-sub-module embedding tables.
+    pub fn per_submodule(&self) -> &[SubmoduleEmbeddings] {
+        &self.per_submodule
+    }
+
+    /// Approximate heap size in bytes (for cache accounting).
+    pub fn approx_bytes(&self) -> usize {
+        self.per_submodule
+            .iter()
+            .map(|s| {
+                s.embeddings.iter().map(|e| e.len() * 8).sum::<usize>()
+                    + s.sides.len() * std::mem::size_of::<SideFeatures>()
+            })
+            .sum()
+    }
+}
 
 /// A trained ATLAS model: frozen encoder + fine-tuned power heads.
 ///
@@ -77,6 +130,10 @@ impl AtlasModel {
     /// [`predict`](Self::predict) with pre-built sub-module data, so
     /// repeated predictions (new workloads on the same design) skip
     /// preprocessing.
+    ///
+    /// Equivalent to [`embed_trace`](Self::embed_trace) followed by
+    /// [`predict_from_embeddings`](Self::predict_from_embeddings); call
+    /// the stages separately to cache the expensive first one.
     pub fn predict_prepared(
         &self,
         gate: &Design,
@@ -84,53 +141,102 @@ impl AtlasModel {
         data: &[SubmoduleData],
         trace: &ToggleTrace,
     ) -> PowerTrace {
+        let embeddings = self.embed_trace(gate, lib, data, trace, 0);
+        self.predict_from_embeddings(&embeddings)
+    }
+
+    /// Inference stage one (expensive, cacheable): per-cycle feature
+    /// construction, encoder forwards, and side features for every
+    /// sub-module of the trace.
+    ///
+    /// Work is split across `threads` std threads (`0` = auto: available
+    /// parallelism capped at 8); within each sub-module the cycles are
+    /// embedded through the encoder's batched path
+    /// ([`InferenceEncoder::encode_graph_batch`]), which amortizes the
+    /// output projection over the whole trace. Results are bit-identical
+    /// to the per-cycle path.
+    pub fn embed_trace(
+        &self,
+        gate: &Design,
+        lib: &Library,
+        data: &[SubmoduleData],
+        trace: &ToggleTrace,
+        threads: usize,
+    ) -> TraceEmbeddings {
         let cycles = trace.cycles();
         let encoder = InferenceEncoder::from_state(&self.encoder);
-        let n_sm = gate.submodules().len();
-        let mut out = PowerTrace::new(
-            gate.name().to_owned(),
-            trace.workload().to_owned(),
-            cycles,
-            n_sm,
-        );
+        let threads = if threads == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4)
+                .min(8)
+        } else {
+            threads
+        }
+        .min(data.len().max(1));
+        let chunk = data.len().div_ceil(threads.max(1));
 
-        let threads = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(4)
-            .min(8)
-            .min(data.len().max(1));
-        let chunk = data.len().div_ceil(threads);
-        // (submodule index, cycle, [comb, reg, ct, mem]) per entry.
-        let results: Vec<Vec<(usize, usize, [f64; 4])>> = crossbeam::thread::scope(|scope| {
+        let per_submodule: Vec<SubmoduleEmbeddings> = crossbeam::thread::scope(|scope| {
             let mut handles = Vec::new();
             for piece in data.chunks(chunk.max(1)) {
                 let encoder = &encoder;
-                let heads = &self.heads;
                 handles.push(scope.spawn(move |_| {
-                    let mut local = Vec::with_capacity(piece.len() * cycles);
+                    let mut local = Vec::with_capacity(piece.len());
                     for smd in piece {
-                        for t in 0..cycles {
-                            let feats = smd.features_for_cycle(gate, trace, t);
-                            let emb = encoder.encode_graph(smd.adj(), &feats);
-                            let side = side_features(smd, gate, lib, trace, t);
-                            let [comb, reg, ct] = heads.predict_groups(&emb, &side);
-                            let mem = heads.memory.predict(&side);
-                            local.push((smd.submodule().index(), t, [comb, reg, ct, mem]));
-                        }
+                        // One batched encode over all cycles of the
+                        // sub-module; features are built per cycle inside
+                        // the batch so only one feature matrix is live at
+                        // a time (a whole trace of them would be GBs on a
+                        // large sub-module).
+                        let embeddings = encoder.encode_graph_batch_with(smd.adj(), cycles, |t| {
+                            smd.features_for_cycle(gate, trace, t)
+                        });
+                        let sides = (0..cycles)
+                            .map(|t| side_features(smd, gate, lib, trace, t))
+                            .collect();
+                        local.push(SubmoduleEmbeddings {
+                            submodule: smd.submodule().index(),
+                            embeddings,
+                            sides,
+                        });
                     }
                     local
                 }));
             }
-            handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("worker panicked"))
+                .collect()
         })
         .expect("scoped threads join");
 
-        for batch in results {
-            for (sm, t, [comb, reg, ct, mem]) in batch {
-                out.add(t, sm, PowerGroup::Combinational.index(), comb);
-                out.add(t, sm, PowerGroup::Register.index(), reg);
-                out.add(t, sm, PowerGroup::ClockTree.index(), ct);
-                out.add(t, sm, PowerGroup::Memory.index(), mem);
+        TraceEmbeddings {
+            design: gate.name().to_owned(),
+            workload: trace.workload().to_owned(),
+            cycles,
+            n_submodules: gate.submodules().len(),
+            per_submodule,
+        }
+    }
+
+    /// Inference stage two (cheap): run the fine-tuned heads over
+    /// precomputed [`TraceEmbeddings`]. This is all a serving layer pays
+    /// on a cache hit.
+    pub fn predict_from_embeddings(&self, embeddings: &TraceEmbeddings) -> PowerTrace {
+        let mut out = PowerTrace::new(
+            embeddings.design.clone(),
+            embeddings.workload.clone(),
+            embeddings.cycles,
+            embeddings.n_submodules,
+        );
+        for sm in &embeddings.per_submodule {
+            for (t, (emb, side)) in sm.embeddings.iter().zip(&sm.sides).enumerate() {
+                let [comb, reg, ct] = self.heads.predict_groups(emb, side);
+                let mem = self.heads.memory.predict(side);
+                out.add(t, sm.submodule, PowerGroup::Combinational.index(), comb);
+                out.add(t, sm.submodule, PowerGroup::Register.index(), reg);
+                out.add(t, sm.submodule, PowerGroup::ClockTree.index(), ct);
+                out.add(t, sm.submodule, PowerGroup::Memory.index(), mem);
             }
         }
         out
@@ -195,16 +301,33 @@ mod tests {
         let pred = model.predict(&bundle.gate, &lib, &bundle.gate_trace);
         let baseline = atlas_power::compute_power(&bundle.gate, &lib, &bundle.gate_trace);
         let labels = &bundle.labels;
-        let label_series: Vec<f64> = (0..labels.cycles()).map(|t| labels.non_memory_total(t)).collect();
-        let pred_series: Vec<f64> = (0..pred.cycles()).map(|t| pred.non_memory_total(t)).collect();
-        let base_series: Vec<f64> =
-            (0..baseline.cycles()).map(|t| baseline.non_memory_total(t)).collect();
+        let label_series: Vec<f64> = (0..labels.cycles())
+            .map(|t| labels.non_memory_total(t))
+            .collect();
+        let pred_series: Vec<f64> = (0..pred.cycles())
+            .map(|t| pred.non_memory_total(t))
+            .collect();
+        let base_series: Vec<f64> = (0..baseline.cycles())
+            .map(|t| baseline.non_memory_total(t))
+            .collect();
         let atlas_err = atlas_power::metrics::mape(&label_series, &pred_series);
         let base_err = atlas_power::metrics::mape(&label_series, &base_series);
         assert!(
             atlas_err < base_err,
             "ATLAS ({atlas_err:.1}%) must beat the gate-level baseline ({base_err:.1}%)"
         );
+    }
+
+    #[test]
+    fn staged_inference_matches_fused_path() {
+        let (model, bundle, lib) = tiny_model();
+        let data = build_submodule_data(&bundle.gate, &lib);
+        let fused = model.predict_prepared(&bundle.gate, &lib, &data, &bundle.gate_trace);
+        let embeddings = model.embed_trace(&bundle.gate, &lib, &data, &bundle.gate_trace, 2);
+        assert_eq!(embeddings.cycles(), bundle.gate_trace.cycles());
+        assert!(embeddings.approx_bytes() > 0);
+        let staged = model.predict_from_embeddings(&embeddings);
+        assert_eq!(fused, staged, "stage split must not change predictions");
     }
 
     #[test]

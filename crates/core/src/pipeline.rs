@@ -18,6 +18,33 @@ use crate::finetune::{finetune, FinetuneConfig};
 use crate::model::AtlasModel;
 use crate::pretrain::{pretrain, PretrainConfig, PretrainStats};
 
+/// A name lookup against the experiment vocabulary failed.
+///
+/// The paper's experiment space is a closed set of design presets
+/// (`C1`..`C6`, `TINY`) and workload presets (`W1`/`W2`). The bench
+/// binaries treat an unknown name as a programming error and panic via
+/// the [`ExperimentConfig::design`] wrapper; long-lived services must
+/// instead surface this error to the caller (`atlas-serve` maps it onto a
+/// protocol error response).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LookupError {
+    /// No design preset with this name.
+    UnknownDesign(String),
+    /// No workload preset with this name.
+    UnknownWorkload(String),
+}
+
+impl std::fmt::Display for LookupError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LookupError::UnknownDesign(name) => write!(f, "unknown design `{name}`"),
+            LookupError::UnknownWorkload(name) => write!(f, "unknown workload `{name}`"),
+        }
+    }
+}
+
+impl std::error::Error for LookupError {}
+
 /// Everything that defines one reproduction run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ExperimentConfig {
@@ -80,10 +107,11 @@ impl ExperimentConfig {
 
     /// A design preset by name, at this run's scale.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics on an unknown design name.
-    pub fn design(&self, name: &str) -> DesignConfig {
+    /// [`LookupError::UnknownDesign`] when the name is not one of
+    /// `C1`..`C6` / `TINY`.
+    pub fn try_design(&self, name: &str) -> Result<DesignConfig, LookupError> {
         let cfg = match name {
             "C1" => DesignConfig::c1(),
             "C2" => DesignConfig::c2(),
@@ -92,9 +120,29 @@ impl ExperimentConfig {
             "C5" => DesignConfig::c5(),
             "C6" => DesignConfig::c6(),
             "TINY" => DesignConfig::tiny(),
-            other => panic!("unknown design `{other}`"),
+            other => return Err(LookupError::UnknownDesign(other.to_owned())),
         };
-        cfg.scaled(self.scale)
+        Ok(cfg.scaled(self.scale))
+    }
+
+    /// [`try_design`](Self::try_design) for the experiment binaries, where
+    /// an unknown name is a bug in the experiment script.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown design name.
+    pub fn design(&self, name: &str) -> DesignConfig {
+        self.try_design(name).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// A workload preset by name, seeded for one design.
+    ///
+    /// # Errors
+    ///
+    /// [`LookupError::UnknownWorkload`] when the name is not `W1`/`W2`.
+    pub fn try_workload(&self, name: &str, seed: u64) -> Result<PhasedWorkload, LookupError> {
+        PhasedWorkload::preset(name, seed)
+            .ok_or_else(|| LookupError::UnknownWorkload(name.to_owned()))
     }
 
     /// The training designs at this run's scale (C1, C3, C5, C6).
@@ -242,8 +290,9 @@ impl TrainedAtlas {
         let layout = atlas_layout::run_layout(&gate, &lib, &cfg.layout);
         let flow_pnr_s = t0.elapsed().as_secs_f64();
         let t1 = Instant::now();
-        let mut w = PhasedWorkload::preset(workload, dcfg.seed)
-            .unwrap_or_else(|| panic!("unknown workload `{workload}`"));
+        let mut w = cfg
+            .try_workload(workload, dcfg.seed)
+            .unwrap_or_else(|e| panic!("{e}"));
         let post_trace =
             simulate(&layout.design, &mut w, cfg.cycles).expect("layout output simulates");
         let labels = compute_power(&layout.design, &lib, &post_trace);
@@ -251,7 +300,9 @@ impl TrainedAtlas {
 
         // --- ATLAS path (timed): gate-level simulation + preprocessing...
         let t2 = Instant::now();
-        let mut w = PhasedWorkload::preset(workload, dcfg.seed).expect("checked above");
+        let mut w = cfg
+            .try_workload(workload, dcfg.seed)
+            .expect("checked above");
         let gate_trace = simulate(&gate, &mut w, cfg.cycles).expect("gate design simulates");
         let data = build_submodule_data(&gate, &lib);
         let atlas_pre_s = t2.elapsed().as_secs_f64();
@@ -333,5 +384,19 @@ mod tests {
     #[should_panic(expected = "unknown design")]
     fn unknown_design_panics() {
         let _ = ExperimentConfig::default().design("C9");
+    }
+
+    #[test]
+    fn typed_lookups() {
+        let cfg = ExperimentConfig::default();
+        assert_eq!(
+            cfg.try_design("C9"),
+            Err(LookupError::UnknownDesign("C9".to_owned()))
+        );
+        assert!(cfg.try_design("TINY").is_ok());
+        assert!(cfg.try_workload("W2", 3).is_ok());
+        let err = cfg.try_workload("W9", 3).unwrap_err();
+        assert_eq!(err, LookupError::UnknownWorkload("W9".to_owned()));
+        assert_eq!(err.to_string(), "unknown workload `W9`");
     }
 }

@@ -232,7 +232,8 @@ pub fn pretrain(bundles: &[DesignBundle], cfg: &PretrainConfig) -> (GraphEncoder
         }
 
         // --- Joint loss (Eq. 6) ---
-        let record = |slot: &Option<Tensor>| slot.as_ref().map(|t| t.value().get(0, 0)).unwrap_or(0.0);
+        let record =
+            |slot: &Option<Tensor>| slot.as_ref().map(|t| t.value().get(0, 0)).unwrap_or(0.0);
         stats.mask_toggle.push(record(&task_losses[0]));
         stats.mask_type.push(record(&task_losses[1]));
         stats.size.push(record(&task_losses[2]));

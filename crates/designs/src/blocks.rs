@@ -126,7 +126,12 @@ pub fn lfsr(
     assert!(width >= 2);
     let q: Vec<NetId> = (0..width).map(|_| b.new_net()).collect();
     // Feedback = XNOR of the last two stages (all-zeros is a working state).
-    let fb = b.add_cell(CellClass::Xnor2, Drive::X1, &[q[width - 1], q[width - 2]], sm)?;
+    let fb = b.add_cell(
+        CellClass::Xnor2,
+        Drive::X1,
+        &[q[width - 1], q[width - 2]],
+        sm,
+    )?;
     b.add_dff_onto(q[0], fb, sm)?;
     for i in 1..width {
         b.add_dff_onto(q[i], q[i - 1], sm)?;
@@ -149,7 +154,10 @@ pub fn decoder(
     sm: SubmoduleId,
     sel: &[NetId],
 ) -> Result<Vec<NetId>, BuildError> {
-    assert!(!sel.is_empty() && sel.len() <= 6, "decoder select must be 1..=6 bits");
+    assert!(
+        !sel.is_empty() && sel.len() <= 6,
+        "decoder select must be 1..=6 bits"
+    );
     let inv: Vec<NetId> = sel
         .iter()
         .map(|&s| b.add_cell(CellClass::Inv, Drive::X1, &[s], sm))
@@ -475,8 +483,16 @@ mod tests {
                 v
             },
             |v| {
-                let a = v[0..4].iter().enumerate().map(|(i, &x)| (x as usize) << i).sum::<usize>();
-                let b = v[4..8].iter().enumerate().map(|(i, &x)| (x as usize) << i).sum::<usize>();
+                let a = v[0..4]
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &x)| (x as usize) << i)
+                    .sum::<usize>();
+                let b = v[4..8]
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &x)| (x as usize) << i)
+                    .sum::<usize>();
                 let s = a + b;
                 (0..5).map(|i| (s >> i) & 1 == 1).collect()
             },
@@ -489,8 +505,16 @@ mod tests {
             6,
             |b, sm, ins| multiplier(b, sm, &ins[0..3], &ins[3..6]).expect("builds"),
             |v| {
-                let a = v[0..3].iter().enumerate().map(|(i, &x)| (x as usize) << i).sum::<usize>();
-                let b = v[3..6].iter().enumerate().map(|(i, &x)| (x as usize) << i).sum::<usize>();
+                let a = v[0..3]
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &x)| (x as usize) << i)
+                    .sum::<usize>();
+                let b = v[3..6]
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &x)| (x as usize) << i)
+                    .sum::<usize>();
                 let p = a * b;
                 (0..3).map(|i| (p >> i) & 1 == 1).collect()
             },
@@ -503,7 +527,11 @@ mod tests {
             3,
             |b, sm, ins| decoder(b, sm, ins).expect("builds"),
             |v| {
-                let idx = v.iter().enumerate().map(|(i, &x)| (x as usize) << i).sum::<usize>();
+                let idx = v
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &x)| (x as usize) << i)
+                    .sum::<usize>();
                 (0..8).map(|i| i == idx).collect()
             },
         );
@@ -525,9 +553,7 @@ mod tests {
     fn alu_ops() {
         check_comb(
             6,
-            |b, sm, ins| {
-                alu(b, sm, &ins[0..2], &ins[2..4], [ins[4], ins[5]]).expect("builds")
-            },
+            |b, sm, ins| alu(b, sm, &ins[0..2], &ins[2..4], [ins[4], ins[5]]).expect("builds"),
             |v| {
                 let a = (v[0] as usize) | ((v[1] as usize) << 1);
                 let b = (v[2] as usize) | ((v[3] as usize) << 1);
@@ -620,7 +646,11 @@ mod tests {
                 .sum();
             states.insert(state);
         }
-        assert!(states.len() > 30, "LFSR visited only {} states", states.len());
+        assert!(
+            states.len() > 30,
+            "LFSR visited only {} states",
+            states.len()
+        );
     }
 
     #[test]
@@ -636,7 +666,13 @@ mod tests {
         let mut sim = Simulator::new(&d).expect("levelizes");
         // Pulse on cycle 0, then zeros.
         let mut stim = VectorStimulus::new(
-            vec![vec![true], vec![false], vec![false], vec![false], vec![false]],
+            vec![
+                vec![true],
+                vec![false],
+                vec![false],
+                vec![false],
+                vec![false],
+            ],
             0,
         );
         sim.step(&mut stim); // pulse captured by stage 0 at end of cycle 0
@@ -682,8 +718,7 @@ mod tests {
         let mut b = NetlistBuilder::new("bank");
         let sm = b.add_submodule("t.u", "t");
         let pins = b.add_inputs(4);
-        let q = sram_bank(&mut b, sm, 256, 32, pins[0], pins[1], pins[2], pins[3])
-            .expect("builds");
+        let q = sram_bank(&mut b, sm, 256, 32, pins[0], pins[1], pins[2], pins[3]).expect("builds");
         b.mark_output(q);
         let d = b.finish().expect("valid");
         assert_eq!(d.stats().sram_bits, 256 * 32);

@@ -168,8 +168,14 @@ mod tests {
 
     #[test]
     fn train_test_split_is_disjoint() {
-        let train: Vec<String> = DesignConfig::training_set().iter().map(|c| c.name.clone()).collect();
-        let test: Vec<String> = DesignConfig::test_set().iter().map(|c| c.name.clone()).collect();
+        let train: Vec<String> = DesignConfig::training_set()
+            .iter()
+            .map(|c| c.name.clone())
+            .collect();
+        let test: Vec<String> = DesignConfig::test_set()
+            .iter()
+            .map(|c| c.name.clone())
+            .collect();
         assert_eq!(train, vec!["C1", "C3", "C5", "C6"]);
         assert_eq!(test, vec!["C2", "C4"]);
         for t in &test {

@@ -227,7 +227,12 @@ fn build_unit(
                 .iter()
                 .zip(&live)
                 .map(|(&h, &l)| {
-                    b.add_cell(atlas_liberty::CellClass::Xor2, atlas_liberty::Drive::X1, &[h, l], sm)
+                    b.add_cell(
+                        atlas_liberty::CellClass::Xor2,
+                        atlas_liberty::Drive::X1,
+                        &[h, l],
+                        sm,
+                    )
                 })
                 .collect::<Result<_, _>>()?;
             blocks::register_bank(b, sm, &mixed)
@@ -280,8 +285,8 @@ fn build_unit(
                 .collect::<Result<_, _>>()?;
             let rsel = pool.pick_bus(rng, 2);
             let mut reads = Vec::with_capacity(w);
-            for bit in 0..w {
-                let lanes = [banks[0][bit], banks[1][bit], banks[2][bit], banks[3][bit]];
+            let lane = |bit: usize| [banks[0][bit], banks[1][bit], banks[2][bit], banks[3][bit]];
+            for lanes in (0..w).map(lane) {
                 reads.push(blocks::mux_tree(b, sm, &lanes, &rsel)?);
             }
             blocks::register_bank(b, sm, &reads)
@@ -406,7 +411,10 @@ mod tests {
     #[test]
     fn designs_have_five_components() {
         let d = DesignConfig::tiny().generate();
-        assert_eq!(d.components(), vec!["frontend", "core", "lsu", "dcache", "ptw"]);
+        assert_eq!(
+            d.components(),
+            vec!["frontend", "core", "lsu", "dcache", "ptw"]
+        );
     }
 
     #[test]
@@ -452,8 +460,16 @@ mod tests {
     fn submodules_are_many_and_bounded() {
         let d = DesignConfig::c1().generate();
         let graphs = d.submodule_graphs();
-        assert!(graphs.len() >= 20, "expected many sub-modules, got {}", graphs.len());
-        let max = graphs.iter().map(|g| g.node_count()).max().expect("nonempty");
+        assert!(
+            graphs.len() >= 20,
+            "expected many sub-modules, got {}",
+            graphs.len()
+        );
+        let max = graphs
+            .iter()
+            .map(|g| g.node_count())
+            .max()
+            .expect("nonempty");
         assert!(max < 4000, "sub-modules should stay small, got {max}");
     }
 

@@ -91,7 +91,11 @@ impl Gbdt {
     /// the configuration is degenerate (zero estimators/depth/bins).
     pub fn fit(x: &[f64], n_features: usize, y: &[f64], cfg: &GbdtConfig) -> Gbdt {
         assert!(!y.is_empty(), "training set is empty");
-        assert_eq!(x.len(), y.len() * n_features, "feature matrix shape mismatch");
+        assert_eq!(
+            x.len(),
+            y.len() * n_features,
+            "feature matrix shape mismatch"
+        );
         assert!(
             cfg.n_estimators > 0 && cfg.max_depth > 0 && cfg.bins >= 2,
             "degenerate configuration"
@@ -142,7 +146,8 @@ impl Gbdt {
                 cfg.min_samples_leaf,
             );
             for i in 0..n {
-                pred[i] += cfg.learning_rate * tree.predict_binned(&binned[i * n_features..(i + 1) * n_features]);
+                pred[i] += cfg.learning_rate
+                    * tree.predict_binned(&binned[i * n_features..(i + 1) * n_features]);
             }
             trees.push(tree);
         }
@@ -175,7 +180,9 @@ impl Gbdt {
     /// Panics if `x.len()` is not a multiple of the feature width.
     pub fn predict_batch(&self, x: &[f64]) -> Vec<f64> {
         assert_eq!(x.len() % self.n_features, 0, "ragged batch");
-        x.chunks(self.n_features).map(|row| self.predict(row)).collect()
+        x.chunks(self.n_features)
+            .map(|row| self.predict(row))
+            .collect()
     }
 
     /// Number of boosted trees.
@@ -266,8 +273,12 @@ mod tests {
         let (x, y) = grid(400);
         let model = Gbdt::fit(&x, 2, &y, &GbdtConfig::default());
         let preds = model.predict_batch(&x);
-        let mse: f64 =
-            preds.iter().zip(&y).map(|(p, t)| (p - t) * (p - t)).sum::<f64>() / y.len() as f64;
+        let mse: f64 = preds
+            .iter()
+            .zip(&y)
+            .map(|(p, t)| (p - t) * (p - t))
+            .sum::<f64>()
+            / y.len() as f64;
         assert!(mse < 0.01, "mse={mse}");
     }
 
@@ -334,7 +345,15 @@ mod tests {
     #[test]
     fn serde_roundtrip() {
         let (x, y) = grid(60);
-        let model = Gbdt::fit(&x, 2, &y, &GbdtConfig { n_estimators: 10, ..GbdtConfig::default() });
+        let model = Gbdt::fit(
+            &x,
+            2,
+            &y,
+            &GbdtConfig {
+                n_estimators: 10,
+                ..GbdtConfig::default()
+            },
+        );
         let json = serde_json::to_string(&model).expect("serializes");
         let back: Gbdt = serde_json::from_str(&json).expect("deserializes");
         assert_eq!(model, back);

@@ -99,7 +99,16 @@ impl Tree {
         let mut indices: Vec<u32> = rows.to_vec();
         let len = indices.len();
         tree.build(
-            binned, binning, n_features, targets, cols, max_depth, min_leaf, &mut indices, 0, len,
+            binned,
+            binning,
+            n_features,
+            targets,
+            cols,
+            max_depth,
+            min_leaf,
+            &mut indices,
+            0,
+            len,
             0,
         );
         tree
@@ -122,7 +131,10 @@ impl Tree {
         depth: usize,
     ) -> u32 {
         let n = end - start;
-        let sum: f64 = indices[start..end].iter().map(|&i| targets[i as usize]).sum();
+        let sum: f64 = indices[start..end]
+            .iter()
+            .map(|&i| targets[i as usize])
+            .sum();
         let mean = sum / n as f64;
         if depth >= max_depth || n < 2 * min_leaf {
             return self.push(Node::Leaf(mean));
@@ -181,11 +193,29 @@ impl Tree {
 
         let id = self.push(Node::Leaf(0.0)); // placeholder, patched below
         let left = self.build(
-            binned, binning, n_features, targets, cols, max_depth, min_leaf, indices, start, mid,
+            binned,
+            binning,
+            n_features,
+            targets,
+            cols,
+            max_depth,
+            min_leaf,
+            indices,
+            start,
+            mid,
             depth + 1,
         );
         let right = self.build(
-            binned, binning, n_features, targets, cols, max_depth, min_leaf, indices, mid, end,
+            binned,
+            binning,
+            n_features,
+            targets,
+            cols,
+            max_depth,
+            min_leaf,
+            indices,
+            mid,
+            end,
             depth + 1,
         );
         self.nodes[id as usize] = Node::Split {

@@ -80,7 +80,10 @@ pub fn synthesize_clock_tree(
     // Group clock pins by the sub-module of their cell.
     let mut by_sm: HashMap<usize, Vec<Sink>> = HashMap::new();
     for s in &clock_sinks {
-        by_sm.entry(design.cell(s.cell).submodule().index()).or_default().push(*s);
+        by_sm
+            .entry(design.cell(s.cell).submodule().index())
+            .or_default()
+            .push(*s);
     }
     let mut sm_ids: Vec<usize> = by_sm.keys().copied().collect();
     sm_ids.sort_unstable();
@@ -143,7 +146,16 @@ pub fn synthesize_clock_tree(
         levels: levels + 1,
         ..CtsStats::default()
     };
-    emit(design, placement, &root, clock_root, clock_root, trunk_sm, Drive::X8, &mut stats);
+    emit(
+        design,
+        placement,
+        &root,
+        clock_root,
+        clock_root,
+        trunk_sm,
+        Drive::X8,
+        &mut stats,
+    );
     stats
 }
 
@@ -162,7 +174,16 @@ fn emit(
 ) {
     let out = design.add_net();
     let sm = cluster.submodule.unwrap_or(trunk_sm);
-    let cell = design.insert_cell(CellClass::Clk, drive, &[parent_net], out, None, None, sm, None);
+    let cell = design.insert_cell(
+        CellClass::Clk,
+        drive,
+        &[parent_net],
+        out,
+        None,
+        None,
+        sm,
+        None,
+    );
     placement.set_position(cell, cluster.pos);
     if cluster.children.is_empty() {
         design.move_sinks(clock_root, out, &cluster.sinks);
@@ -170,8 +191,21 @@ fn emit(
     } else {
         stats.trunk_cells += 1;
         for child in &cluster.children {
-            let child_drive = if child.children.is_empty() { Drive::X2 } else { Drive::X4 };
-            emit(design, placement, child, out, clock_root, trunk_sm, child_drive, stats);
+            let child_drive = if child.children.is_empty() {
+                Drive::X2
+            } else {
+                Drive::X4
+            };
+            emit(
+                design,
+                placement,
+                child,
+                out,
+                clock_root,
+                trunk_sm,
+                child_drive,
+                stats,
+            );
         }
     }
 }
@@ -222,7 +256,11 @@ mod tests {
         let (d, _) = with_cts();
         let root = d.clock().expect("clocked design");
         let sinks = d.net(root).sinks();
-        assert_eq!(sinks.len(), 1, "root should feed exactly the root CK buffer");
+        assert_eq!(
+            sinks.len(),
+            1,
+            "root should feed exactly the root CK buffer"
+        );
         assert_eq!(d.cell(sinks[0].cell).class(), CellClass::Clk);
     }
 
@@ -283,7 +321,10 @@ mod tests {
                 leaf_in_reg_sm += 1;
             }
         }
-        assert!(leaf_in_reg_sm > trunk, "leaves should outnumber trunk cells");
+        assert!(
+            leaf_in_reg_sm > trunk,
+            "leaves should outnumber trunk cells"
+        );
     }
 
     #[test]
@@ -308,7 +349,11 @@ mod tests {
         let (d, stats) = with_cts();
         assert!(d.validate().is_empty());
         assert!(stats.levels >= 2);
-        let ck_count = d.cells().iter().filter(|c| c.class() == CellClass::Clk).count();
+        let ck_count = d
+            .cells()
+            .iter()
+            .filter(|c| c.class() == CellClass::Clk)
+            .count();
         assert_eq!(ck_count, stats.leaf_cells + stats.trunk_cells);
     }
 }

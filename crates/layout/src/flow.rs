@@ -6,9 +6,9 @@ use serde::{Deserialize, Serialize};
 
 use crate::cts;
 use crate::parasitics;
-use crate::route::{global_route, RouteConfig};
 use crate::place::{place, Placement};
 use crate::restructure::restructure;
+use crate::route::{global_route, RouteConfig};
 use crate::sizing;
 
 /// Knobs of the layout flow (the Innovus option set of this reproduction).
@@ -147,8 +147,12 @@ pub fn run_layout(gate: &Design, lib: &Library, cfg: &LayoutConfig) -> LayoutRes
     );
 
     // 4. Clock tree synthesis.
-    let cts_stats =
-        cts::synthesize_clock_tree(&mut design, &mut placement, cfg.cts_leaf_fanout, cfg.cts_branch);
+    let cts_stats = cts::synthesize_clock_tree(
+        &mut design,
+        &mut placement,
+        cfg.cts_leaf_fanout,
+        cfg.cts_branch,
+    );
 
     // 5. Global routing + parasitic extraction.
     let (routed_um, route_overflows) = if cfg.use_router {
@@ -203,8 +207,7 @@ mod tests {
     #[test]
     fn cell_count_grows_a_few_percent() {
         let (gate, result) = flow();
-        let growth =
-            result.report.post_cells as f64 / gate.cell_count() as f64;
+        let growth = result.report.post_cells as f64 / gate.cell_count() as f64;
         assert!(
             (1.01..1.35).contains(&growth),
             "post/gate cell ratio {growth:.3} outside the plausible band"
@@ -241,7 +244,11 @@ mod tests {
         for t in 0..64 {
             sim_a.step(&mut stim_a);
             sim_b.step(&mut stim_b);
-            for (&pa, &pb) in gate.primary_outputs().iter().zip(result.design.primary_outputs()) {
+            for (&pa, &pb) in gate
+                .primary_outputs()
+                .iter()
+                .zip(result.design.primary_outputs())
+            {
                 assert_eq!(sim_a.net_value(pa), sim_b.net_value(pb), "cycle {t}");
             }
         }

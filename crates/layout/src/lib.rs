@@ -49,5 +49,5 @@ pub mod sizing;
 
 pub use flow::{has_clock_tree, run_layout, LayoutConfig, LayoutReport, LayoutResult};
 pub use parasitics::{annotate_from_route, read_spef, write_spef, ParseSpefError};
-pub use route::{global_route, RouteConfig, RouteResult};
 pub use place::Placement;
+pub use route::{global_route, RouteConfig, RouteResult};

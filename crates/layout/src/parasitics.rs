@@ -40,7 +40,11 @@ pub fn annotate_from_route(
     via_cap: f64,
 ) {
     for net in design.net_ids().collect::<Vec<_>>() {
-        let len = routed.net_length_um.get(net.index()).copied().unwrap_or(0.0);
+        let len = routed
+            .net_length_um
+            .get(net.index())
+            .copied()
+            .unwrap_or(0.0);
         let fanout = design.net(net).fanout() as f64;
         design.set_wire_cap(net, len * cap_per_um + fanout * via_cap);
     }
@@ -67,7 +71,11 @@ impl ParseSpefError {
 
 impl fmt::Display for ParseSpefError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "SPEF parse error at line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "SPEF parse error at line {}: {}",
+            self.line, self.message
+        )
     }
 }
 
@@ -96,7 +104,12 @@ pub fn write_spef(design: &Design) -> String {
     let _ = writeln!(out, "*DESIGN {}", design.name());
     let _ = writeln!(out, "*C_UNIT pf");
     for net in design.net_ids() {
-        let _ = writeln!(out, "*D_NET n{} {:.9}", net.index(), design.net(net).wire_cap());
+        let _ = writeln!(
+            out,
+            "*D_NET n{} {:.9}",
+            net.index(),
+            design.net(net).wire_cap()
+        );
     }
     out
 }
@@ -178,7 +191,10 @@ mod tests {
         let p = place(&d, &lib, 0.7);
         annotate_wire_caps(&mut d, &p, 0.00025, 0.00005);
         let with_cap = d.net_ids().filter(|&n| d.net(n).wire_cap() > 0.0).count();
-        assert!(with_cap > d.net_count() / 2, "most nets should get wire cap");
+        assert!(
+            with_cap > d.net_count() / 2,
+            "most nets should get wire cap"
+        );
     }
 
     #[test]

@@ -132,7 +132,10 @@ impl Placement {
 /// assert!(p.total_wirelength(&d) > 0.0);
 /// ```
 pub fn place(design: &Design, lib: &Library, utilization: f64) -> Placement {
-    assert!(utilization > 0.0 && utilization <= 1.0, "utilization must be in (0, 1]");
+    assert!(
+        utilization > 0.0 && utilization <= 1.0,
+        "utilization must be in (0, 1]"
+    );
     let cell_area = |id: CellId| -> f64 {
         let c = design.cell(id);
         if c.class() == CellClass::Sram {
@@ -141,7 +144,9 @@ pub fn place(design: &Design, lib: &Library, utilization: f64) -> Placement {
                 .map(|m| m.area())
                 .unwrap_or(100.0)
         } else {
-            lib.cell(c.class(), c.drive()).map(|lc| lc.area()).unwrap_or(1.0)
+            lib.cell(c.class(), c.drive())
+                .map(|lc| lc.area())
+                .unwrap_or(1.0)
         }
     };
 
@@ -150,13 +155,20 @@ pub fn place(design: &Design, lib: &Library, utilization: f64) -> Placement {
     {
         let mut sm_cells: HashMap<usize, Vec<CellId>> = HashMap::new();
         for id in design.cell_ids() {
-            sm_cells.entry(design.cell(id).submodule().index()).or_default().push(id);
+            sm_cells
+                .entry(design.cell(id).submodule().index())
+                .or_default()
+                .push(id);
         }
         for comp in design.components() {
             let mut submods: Vec<(usize, Vec<CellId>)> = design
                 .submodule_ids()
                 .filter(|&sm| design.submodule(sm).component() == comp)
-                .filter_map(|sm| sm_cells.remove(&sm.index()).map(|cells| (sm.index(), cells)))
+                .filter_map(|sm| {
+                    sm_cells
+                        .remove(&sm.index())
+                        .map(|cells| (sm.index(), cells))
+                })
                 .collect();
             submods.sort_by_key(|(sm, _)| *sm);
             by_component.push((comp.to_owned(), submods));
@@ -268,7 +280,10 @@ mod tests {
             }
         }
         let avg = intra / pairs.max(1) as f64;
-        assert!(avg < diag * 0.25, "avg intra-submodule distance {avg:.1} vs diagonal {diag:.1}");
+        assert!(
+            avg < diag * 0.25,
+            "avg intra-submodule distance {avg:.1} vs diagonal {diag:.1}"
+        );
     }
 
     #[test]
@@ -285,7 +300,10 @@ mod tests {
                 }
             }
         }
-        assert!(nonzero > d.net_count() / 4, "most driven nets should have length");
+        assert!(
+            nonzero > d.net_count() / 4,
+            "most driven nets should have length"
+        );
     }
 
     #[test]

@@ -271,9 +271,18 @@ mod tests {
         let plus = restructure(&gate, 5, 0.9);
         let gs = gate.stats();
         let ps = plus.stats();
-        assert_eq!(gs.class_count(CellClass::Dff), ps.class_count(CellClass::Dff));
-        assert_eq!(gs.class_count(CellClass::Dffr), ps.class_count(CellClass::Dffr));
-        assert_eq!(gs.class_count(CellClass::Sram), ps.class_count(CellClass::Sram));
+        assert_eq!(
+            gs.class_count(CellClass::Dff),
+            ps.class_count(CellClass::Dff)
+        );
+        assert_eq!(
+            gs.class_count(CellClass::Dffr),
+            ps.class_count(CellClass::Dffr)
+        );
+        assert_eq!(
+            gs.class_count(CellClass::Sram),
+            ps.class_count(CellClass::Sram)
+        );
         assert_eq!(gs.sram_bits, ps.sram_bits);
     }
 
@@ -305,7 +314,10 @@ mod tests {
                     let mut stim = VectorStimulus::new(vec![vec], 0);
                     sim.step(&mut stim);
                     let got = sim.net_value(plus.primary_outputs()[0]);
-                    assert_eq!(got, expect, "{class} rewrite (seed {seed}) broke input {code:b}");
+                    assert_eq!(
+                        got, expect,
+                        "{class} rewrite (seed {seed}) broke input {code:b}"
+                    );
                 }
             }
         }
@@ -319,10 +331,10 @@ mod tests {
         let plus = restructure(&gate, 11, 0.4);
         let tg = simulate(&gate, &mut PhasedWorkload::w1(3), 128).expect("simulates");
         let tp = simulate(&plus, &mut PhasedWorkload::w1(3), 128).expect("simulates");
-        let rate_g: f64 = tg.per_cycle_counts().iter().sum::<usize>() as f64
-            / (gate.net_count() * 128) as f64;
-        let rate_p: f64 = tp.per_cycle_counts().iter().sum::<usize>() as f64
-            / (plus.net_count() * 128) as f64;
+        let rate_g: f64 =
+            tg.per_cycle_counts().iter().sum::<usize>() as f64 / (gate.net_count() * 128) as f64;
+        let rate_p: f64 =
+            tp.per_cycle_counts().iter().sum::<usize>() as f64 / (plus.net_count() * 128) as f64;
         assert!(
             (rate_g - rate_p).abs() < 0.1,
             "toggle rates diverged: {rate_g:.3} vs {rate_p:.3}"

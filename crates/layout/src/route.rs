@@ -197,7 +197,7 @@ fn edge_key(a: u32, b: u32) -> (u32, u32) {
     }
 }
 
-fn edge_usage<'a>(grid: &'a mut Grid, a: u32, b: u32) -> &'a mut u32 {
+fn edge_usage(grid: &mut Grid, a: u32, b: u32) -> &mut u32 {
     let (lo, hi) = edge_key(a, b);
     let (xl, yl) = ((lo as usize) % grid.w, (lo as usize) / grid.w);
     if hi == lo + 1 {
@@ -232,7 +232,8 @@ fn commit(grid: &mut Grid, path: &Path) {
 }
 
 fn path_overflows(grid: &Grid, path: &Path) -> bool {
-    path.iter().any(|&(a, b)| edge_usage_ro(grid, a, b) > grid.capacity)
+    path.iter()
+        .any(|&(a, b)| edge_usage_ro(grid, a, b) > grid.capacity)
 }
 
 /// Route one net: connect each terminal to the growing tree with a

@@ -114,8 +114,16 @@ pub fn optimize_timing(
             let owner = buffer_submodule(design, net);
             for group in ordered.chunks(buffer_fanout) {
                 let out = design.add_net();
-                let buf =
-                    design.insert_cell(CellClass::Buf, Drive::X4, &[net], out, None, None, owner, None);
+                let buf = design.insert_cell(
+                    CellClass::Buf,
+                    Drive::X4,
+                    &[net],
+                    out,
+                    None,
+                    None,
+                    owner,
+                    None,
+                );
                 // Place the buffer at the centroid of the sinks it serves.
                 let (mut cx, mut cy) = (0.0, 0.0);
                 for s in group {
@@ -142,7 +150,9 @@ pub fn optimize_timing(
             }
             loop {
                 let drive = design.cell(id).drive();
-                let Some(lc) = lib.cell(class, drive) else { break };
+                let Some(lc) = lib.cell(class, drive) else {
+                    break;
+                };
                 let load = net_load(design, lib, placement, design.cell(id).output(), cap_per_um);
                 if load <= lc.max_load() || drive == Drive::X8 {
                     break;
@@ -179,7 +189,7 @@ fn buffer_submodule(design: &Design, net: NetId) -> SubmoduleId {
 mod tests {
     use atlas_designs::DesignConfig;
     use atlas_liberty::Library;
-    use atlas_sim::{Simulator, PhasedWorkload};
+    use atlas_sim::{PhasedWorkload, Simulator};
 
     use super::*;
     use crate::place::place;
@@ -266,8 +276,6 @@ mod tests {
             .expect("driven net with sinks exists");
         assert!(net_load(&d, &lib, &p, net, 0.00025) > 0.0);
         // Wire term grows with cap_per_um.
-        assert!(
-            net_load(&d, &lib, &p, net, 0.01) >= net_load(&d, &lib, &p, net, 0.00025)
-        );
+        assert!(net_load(&d, &lib, &p, net, 0.01) >= net_load(&d, &lib, &p, net, 0.00025));
     }
 }

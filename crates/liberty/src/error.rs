@@ -33,7 +33,11 @@ impl ParseLibError {
 
 impl fmt::Display for ParseLibError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "liblite parse error at line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "liblite parse error at line {}: {}",
+            self.line, self.message
+        )
     }
 }
 

@@ -113,19 +113,31 @@ fn write_cell(out: &mut String, cell: &LibCell) {
     let _ = write!(
         out,
         "{}",
-        lut.slew_axis().iter().map(|v| fmt_num(*v)).collect::<Vec<_>>().join(" ")
+        lut.slew_axis()
+            .iter()
+            .map(|v| fmt_num(*v))
+            .collect::<Vec<_>>()
+            .join(" ")
     );
     let _ = write!(out, "] load [");
     let _ = write!(
         out,
         "{}",
-        lut.load_axis().iter().map(|v| fmt_num(*v)).collect::<Vec<_>>().join(" ")
+        lut.load_axis()
+            .iter()
+            .map(|v| fmt_num(*v))
+            .collect::<Vec<_>>()
+            .join(" ")
     );
     let _ = write!(out, "] values [");
     let _ = write!(
         out,
         "{}",
-        lut.values().iter().map(|v| fmt_num(*v)).collect::<Vec<_>>().join(" ")
+        lut.values()
+            .iter()
+            .map(|v| fmt_num(*v))
+            .collect::<Vec<_>>()
+            .join(" ")
     );
     let _ = writeln!(out, "];");
     let _ = writeln!(out, "  }}");
@@ -372,16 +384,18 @@ impl Parser {
                     match kw.as_str() {
                         "class" => {
                             let word = self.expect_ident()?;
-                            class = Some(word.parse::<CellClass>().map_err(|e| {
-                                self.err(format!("bad cell class: {e}"))
-                            })?);
+                            class = Some(
+                                word.parse::<CellClass>()
+                                    .map_err(|e| self.err(format!("bad cell class: {e}")))?,
+                            );
                             self.expect_token(Token::Semi)?;
                         }
                         "drive" => {
                             let n = self.expect_number()?;
-                            drive = Some(Drive::from_suffix(n as u32).ok_or_else(|| {
-                                self.err(format!("bad drive suffix {n}"))
-                            })?);
+                            drive = Some(
+                                Drive::from_suffix(n as u32)
+                                    .ok_or_else(|| self.err(format!("bad drive suffix {n}")))?,
+                            );
                             self.expect_token(Token::Semi)?;
                         }
                         "energy_lut" => {
@@ -393,8 +407,7 @@ impl Parser {
                             let values = self.number_list()?;
                             self.expect_token(Token::Semi)?;
                             lut = Some(
-                                EnergyLut::new(slews, loads, values)
-                                    .map_err(|e| self.err(e))?,
+                                EnergyLut::new(slews, loads, values).map_err(|e| self.err(e))?,
                             );
                         }
                         "area" | "input_cap" | "clock_cap" | "leakage" | "drive_res"

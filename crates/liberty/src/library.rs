@@ -242,7 +242,16 @@ fn make_cell(class: CellClass, drive: Drive) -> LibCell {
 
     let name = format!("{}_{}", class.keyword().to_uppercase(), drive);
     LibCell::new(
-        name, class, drive, area, input_cap, clock_cap, leakage, drive_res, max_load, lut,
+        name,
+        class,
+        drive,
+        area,
+        input_cap,
+        clock_cap,
+        leakage,
+        drive_res,
+        max_load,
+        lut,
         clock_energy,
     )
 }
@@ -331,7 +340,9 @@ mod tests {
     #[test]
     fn sram_selection() {
         let lib = Library::synthetic_40nm();
-        let s = lib.sram_at_least(300, 32).expect("a big-enough macro exists");
+        let s = lib
+            .sram_at_least(300, 32)
+            .expect("a big-enough macro exists");
         assert!(s.words() >= 300 && s.bits() >= 32);
         // Picks the smallest adequate macro.
         assert_eq!(s.name(), "SRAM_512x64");

@@ -204,7 +204,7 @@ mod tests {
         fn lookup_within_envelope(slew in -1.0f64..2.0, load in -1.0f64..2.0) {
             let lut = sample_lut();
             let v = lut.lookup(slew, load);
-            prop_assert!(v >= 1.0 - 1e-9 && v <= 16.0 + 1e-9);
+            prop_assert!((1.0 - 1e-9..=16.0 + 1e-9).contains(&v));
         }
 
         /// Lookup is monotone in load for a table monotone in load.

@@ -41,7 +41,11 @@ impl fmt::Display for BuildError {
         match self {
             BuildError::UndrivenNet(n) => write!(f, "net {n} has no driver"),
             BuildError::MultiplyDrivenNet(n) => write!(f, "net {n} is driven more than once"),
-            BuildError::BadPinCount { class, expected, got } => {
+            BuildError::BadPinCount {
+                class,
+                expected,
+                got,
+            } => {
                 write!(f, "cell class {class} expects {expected} inputs, got {got}")
             }
             BuildError::CombinationalCycle(c) => {
@@ -214,7 +218,16 @@ impl NetlistBuilder {
                 got: inputs.len(),
             });
         }
-        self.push_cell(class, drive, inputs.to_vec(), out, None, None, submodule, None)
+        self.push_cell(
+            class,
+            drive,
+            inputs.to_vec(),
+            out,
+            None,
+            None,
+            submodule,
+            None,
+        )
     }
 
     /// Add a D flip-flop clocked by the design clock; returns the Q net.
@@ -360,7 +373,9 @@ impl NetlistBuilder {
         let id = CellId::from_index(self.cells.len());
         self.nets[output.index()].driver = Some(id);
         for (pin, &net) in inputs.iter().enumerate() {
-            self.nets[net.index()].sinks.push(Sink::input(id, pin as u8));
+            self.nets[net.index()]
+                .sinks
+                .push(Sink::input(id, pin as u8));
         }
         if let Some(clk) = clock {
             self.nets[clk.index()].sinks.push(Sink::clock(id));
@@ -438,8 +453,17 @@ mod tests {
         let mut b = NetlistBuilder::new("bad");
         let sm = b.add_submodule("t.u", "t");
         let a = b.add_input();
-        let err = b.add_cell(CellClass::Nand2, Drive::X1, &[a], sm).unwrap_err();
-        assert!(matches!(err, BuildError::BadPinCount { expected: 2, got: 1, .. }));
+        let err = b
+            .add_cell(CellClass::Nand2, Drive::X1, &[a], sm)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            BuildError::BadPinCount {
+                expected: 2,
+                got: 1,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -460,7 +484,9 @@ mod tests {
         let sm = b.add_submodule("t.u", "t");
         let a = b.add_input();
         let y = b.add_cell(CellClass::Inv, Drive::X1, &[a], sm).expect("ok");
-        let err = b.add_cell_onto(y, CellClass::Inv, Drive::X1, &[a], sm).unwrap_err();
+        let err = b
+            .add_cell_onto(y, CellClass::Inv, Drive::X1, &[a], sm)
+            .unwrap_err();
         assert_eq!(err, BuildError::MultiplyDrivenNet(y));
     }
 
@@ -480,8 +506,11 @@ mod tests {
         let sm = b.add_submodule("t.u", "t");
         let loopback = b.new_net();
         let a = b.add_input();
-        let y = b.add_cell(CellClass::And2, Drive::X1, &[a, loopback], sm).expect("ok");
-        b.add_cell_onto(loopback, CellClass::Inv, Drive::X1, &[y], sm).expect("ok");
+        let y = b
+            .add_cell(CellClass::And2, Drive::X1, &[a, loopback], sm)
+            .expect("ok");
+        b.add_cell_onto(loopback, CellClass::Inv, Drive::X1, &[y], sm)
+            .expect("ok");
         let err = b.finish().unwrap_err();
         assert!(matches!(err, BuildError::CombinationalCycle(_)));
     }

@@ -189,7 +189,11 @@ impl Design {
     }
 
     /// Add a new sub-module (used by CTS to group clock-tree cells).
-    pub fn add_submodule(&mut self, name: impl Into<String>, component: impl Into<String>) -> SubmoduleId {
+    pub fn add_submodule(
+        &mut self,
+        name: impl Into<String>,
+        component: impl Into<String>,
+    ) -> SubmoduleId {
         let id = SubmoduleId::from_index(self.submodules.len());
         self.submodules.push(Submodule {
             name: name.into(),
@@ -241,7 +245,9 @@ impl Design {
         });
         self.nets[output.index()].driver = Some(id);
         for (pin, &net) in inputs.iter().enumerate() {
-            self.nets[net.index()].sinks.push(Sink::input(id, pin as u8));
+            self.nets[net.index()]
+                .sinks
+                .push(Sink::input(id, pin as u8));
         }
         if let Some(clk) = clock {
             self.nets[clk.index()].sinks.push(Sink::clock(id));
@@ -323,7 +329,9 @@ impl Design {
                     .iter()
                     .any(|s| s.cell == id && s.pin == SinkPin::Input(pin as u8));
                 if !ok {
-                    problems.push(format!("cell {id} input pin {pin} missing from net {net} sinks"));
+                    problems.push(format!(
+                        "cell {id} input pin {pin} missing from net {net} sinks"
+                    ));
                 }
             }
         }
@@ -360,7 +368,9 @@ mod tests {
         let sm = b.add_submodule("top.u0", "top");
         let a = b.add_input();
         let bnet = b.add_input();
-        let y = b.add_cell(CellClass::Nand2, Drive::X1, &[a, bnet], sm).expect("ok");
+        let y = b
+            .add_cell(CellClass::Nand2, Drive::X1, &[a, bnet], sm)
+            .expect("ok");
         let q = b.add_dff(y, sm).expect("ok");
         b.mark_output(q);
         b.finish().expect("valid")
@@ -409,7 +419,16 @@ mod tests {
         let buf_out = d.add_net();
         let sinks: Vec<Sink> = d.net(nand_out).sinks().to_vec();
         d.move_sinks(nand_out, buf_out, &sinks);
-        d.insert_cell(CellClass::Buf, Drive::X1, &[nand_out], buf_out, None, None, sm, None);
+        d.insert_cell(
+            CellClass::Buf,
+            Drive::X1,
+            &[nand_out],
+            buf_out,
+            None,
+            None,
+            sm,
+            None,
+        );
         assert_eq!(d.cell(dff_id).inputs()[0], buf_out);
         assert!(d.validate().is_empty());
     }

@@ -138,9 +138,15 @@ mod tests {
         let sm1 = b.add_submodule("t.b", "t");
         let i0 = b.add_input();
         let i1 = b.add_input();
-        let x = b.add_cell(CellClass::And2, Drive::X1, &[i0, i1], sm0).expect("ok");
-        let y = b.add_cell(CellClass::Inv, Drive::X1, &[x], sm0).expect("ok");
-        let z = b.add_cell(CellClass::Or2, Drive::X1, &[y, x], sm1).expect("ok");
+        let x = b
+            .add_cell(CellClass::And2, Drive::X1, &[i0, i1], sm0)
+            .expect("ok");
+        let y = b
+            .add_cell(CellClass::Inv, Drive::X1, &[x], sm0)
+            .expect("ok");
+        let z = b
+            .add_cell(CellClass::Or2, Drive::X1, &[y, x], sm1)
+            .expect("ok");
         let q = b.add_dff(z, sm1).expect("ok");
         b.mark_output(q);
         b.finish().expect("valid")

@@ -43,8 +43,8 @@
 
 mod builder;
 mod cell;
-pub mod detrng;
 mod design;
+pub mod detrng;
 mod graph;
 mod ids;
 pub mod logic;

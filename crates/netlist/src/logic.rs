@@ -100,7 +100,10 @@ mod tests {
         assert_eq!(eval(CellClass::Aoi21, &[true, true, false]), Some(false));
         assert_eq!(eval(CellClass::Aoi21, &[false, true, false]), Some(true));
         assert_eq!(eval(CellClass::Oai21, &[false, false, true]), Some(true));
-        assert_eq!(eval(CellClass::Aoi22, &[true, true, false, false]), Some(false));
+        assert_eq!(
+            eval(CellClass::Aoi22, &[true, true, false, false]),
+            Some(false)
+        );
         assert_eq!(eval(CellClass::HalfAdder, &[true, true]), Some(false));
         assert_eq!(eval(CellClass::FullAdder, &[true, true, true]), Some(true));
     }

@@ -115,8 +115,12 @@ mod tests {
         let sm = b.add_submodule("t.u", "t");
         let i0 = b.add_input();
         let i1 = b.add_input();
-        let x = b.add_cell(CellClass::Xor2, Drive::X1, &[i0, i1], sm).expect("ok");
-        let y = b.add_cell(CellClass::And2, Drive::X1, &[x, i0], sm).expect("ok");
+        let x = b
+            .add_cell(CellClass::Xor2, Drive::X1, &[i0, i1], sm)
+            .expect("ok");
+        let y = b
+            .add_cell(CellClass::And2, Drive::X1, &[x, i0], sm)
+            .expect("ok");
         let q = b.add_dff(y, sm).expect("ok");
         let ren = b.add_input();
         let wen = b.add_input();

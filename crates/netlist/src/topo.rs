@@ -126,7 +126,9 @@ mod tests {
         let sm = b.add_submodule("t.u", "t");
         let mut cur = b.add_input();
         for _ in 0..n {
-            cur = b.add_cell(CellClass::Inv, Drive::X1, &[cur], sm).expect("ok");
+            cur = b
+                .add_cell(CellClass::Inv, Drive::X1, &[cur], sm)
+                .expect("ok");
         }
         b.mark_output(cur);
         b.finish().expect("valid")

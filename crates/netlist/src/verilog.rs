@@ -119,7 +119,9 @@ mod tests {
         let sm = b.add_submodule("t.u", "t");
         let a = b.add_input();
         let c = b.add_input();
-        let x = b.add_cell(CellClass::Nand2, Drive::X2, &[a, c], sm).expect("ok");
+        let x = b
+            .add_cell(CellClass::Nand2, Drive::X2, &[a, c], sm)
+            .expect("ok");
         let q = b.add_dff(x, sm).expect("ok");
         b.mark_output(q);
         let d = b.finish().expect("valid");
@@ -138,7 +140,9 @@ mod tests {
         let mut b = NetlistBuilder::new("m");
         let sm = b.add_submodule("t.u", "t");
         let nets = b.add_inputs(4);
-        let q = b.add_sram(512, 64, nets[0], nets[1], nets[2], nets[3], sm).expect("ok");
+        let q = b
+            .add_sram(512, 64, nets[0], nets[1], nets[2], nets[3], sm)
+            .expect("ok");
         b.mark_output(q);
         let v = b.finish().expect("valid").to_verilog();
         assert!(v.contains("SRAM_512x64"));

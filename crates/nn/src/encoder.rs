@@ -348,7 +348,10 @@ mod tests {
             opt.step();
         }
         let first = first.expect("ran at least once");
-        assert!(last < first * 0.3, "size loss barely moved: {first} → {last}");
+        assert!(
+            last < first * 0.3,
+            "size loss barely moved: {first} → {last}"
+        );
     }
 
     #[test]

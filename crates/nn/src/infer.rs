@@ -118,8 +118,9 @@ impl InferenceEncoder {
             let prop = relu(linear(base + 3, &h.spmm_by(adj)));
             let mut mixed = Matrix::zeros(n, self.hidden_dim);
             for i in 0..mixed.as_slice().len() {
-                mixed.as_mut_slice()[i] =
-                    (self.alpha * attn.as_slice()[i] + (1.0 - self.alpha) * prop.as_slice()[i]).max(0.0);
+                mixed.as_mut_slice()[i] = (self.alpha * attn.as_slice()[i]
+                    + (1.0 - self.alpha) * prop.as_slice()[i])
+                    .max(0.0);
             }
             h = mixed;
         }
@@ -149,6 +150,68 @@ impl InferenceEncoder {
             out.set(0, c, v);
         }
         out.row(0).to_vec()
+    }
+
+    /// Batched [`encode_graph`](Self::encode_graph): embed the same graph
+    /// under many feature matrices (one per cycle) in one call.
+    ///
+    /// The per-cycle pooled hidden states are stacked into a single
+    /// `B×hidden` matrix so the output projection runs as **one** matmul
+    /// for the whole batch instead of `B` single-row products — the
+    /// serving path's inner loop. Results are bit-identical to calling
+    /// [`encode_graph`](Self::encode_graph) per feature matrix, because
+    /// each output row is the same dot-product sequence.
+    ///
+    /// # Panics
+    ///
+    /// Panics on feature-shape mismatch in any batch entry.
+    pub fn encode_graph_batch(&self, adj: &SparseAdj, features: &[Matrix]) -> Vec<Vec<f64>> {
+        self.encode_graph_batch_with(adj, features.len(), |i| features[i].clone())
+    }
+
+    /// [`encode_graph_batch`](Self::encode_graph_batch) with streamed
+    /// feature construction: `make_features(i)` is called once per batch
+    /// entry and the matrix is dropped as soon as it is pooled, so only
+    /// one `n×input_dim` feature matrix is live at a time regardless of
+    /// batch size (a whole-trace batch over a large sub-module would
+    /// otherwise hold gigabytes of features at once).
+    ///
+    /// # Panics
+    ///
+    /// Panics on feature-shape mismatch in any batch entry.
+    pub fn encode_graph_batch_with<F>(
+        &self,
+        adj: &SparseAdj,
+        count: usize,
+        mut make_features: F,
+    ) -> Vec<Vec<f64>>
+    where
+        F: FnMut(usize) -> Matrix,
+    {
+        if count == 0 {
+            return Vec::new();
+        }
+        let n = adj.node_count() as f64;
+        let mut pooled = Matrix::zeros(count, self.hidden_dim);
+        for row in 0..count {
+            let feats = make_features(row);
+            let h = self.hidden(adj, &feats);
+            let mean = h.mean_rows();
+            for c in 0..self.hidden_dim {
+                pooled.set(row, c, mean.get(0, c));
+            }
+        }
+        let w = &self.weights[(1 + self.layers * 4) * 2];
+        let b = &self.weights[(1 + self.layers * 4) * 2 + 1];
+        let mut out = pooled.matmul(w);
+        let scale = n * crate::encoder::SUM_POOL_SCALE;
+        for r in 0..out.rows() {
+            for c in 0..out.cols() {
+                let v = (out.get(r, c) + b.get(0, c)) * scale;
+                out.set(r, c, v);
+            }
+        }
+        (0..out.rows()).map(|r| out.row(r).to_vec()).collect()
     }
 }
 
@@ -211,6 +274,29 @@ mod graph_fast_path_tests {
     use crate::encoder::{EncoderConfig, GraphEncoder};
 
     #[test]
+    fn encode_graph_batch_is_bit_identical() {
+        let cfg = EncoderConfig {
+            input_dim: 7,
+            hidden_dim: 12,
+            layers: 2,
+            alpha: 0.5,
+            seed: 21,
+        };
+        let frozen = InferenceEncoder::from_state(&GraphEncoder::new(cfg).state());
+        let n = 6;
+        let edges: Vec<(u32, u32)> = (0..n as u32 - 1).map(|i| (i, i + 1)).collect();
+        let adj = SparseAdj::normalized_from_edges(n, &edges);
+        let batch: Vec<Matrix> = (0..5).map(|i| Matrix::xavier(n, 7, 100 + i)).collect();
+        let batched = frozen.encode_graph_batch(&adj, &batch);
+        assert_eq!(batched.len(), batch.len());
+        for (feats, got) in batch.iter().zip(&batched) {
+            let single = frozen.encode_graph(&adj, feats);
+            assert_eq!(&single, got, "batched embedding diverged");
+        }
+        assert!(frozen.encode_graph_batch(&adj, &[]).is_empty());
+    }
+
+    #[test]
     fn encode_graph_matches_full_encode() {
         let cfg = EncoderConfig {
             input_dim: 5,
@@ -221,7 +307,9 @@ mod graph_fast_path_tests {
         };
         let frozen = InferenceEncoder::from_state(&GraphEncoder::new(cfg).state());
         for n in [1usize, 3, 9] {
-            let edges: Vec<(u32, u32)> = (0..n.saturating_sub(1) as u32).map(|i| (i, i + 1)).collect();
+            let edges: Vec<(u32, u32)> = (0..n.saturating_sub(1) as u32)
+                .map(|i| (i, i + 1))
+                .collect();
             let adj = SparseAdj::normalized_from_edges(n, &edges);
             let feats = Matrix::xavier(n, 5, n as u64);
             let (_, full) = frozen.encode(&adj, &feats);

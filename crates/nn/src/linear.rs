@@ -137,7 +137,7 @@ mod tests {
 
     #[test]
     #[should_panic(expected = "W shape mismatch")]
-    fn load_state_validates_shape()  {
+    fn load_state_validates_shape() {
         let l = Linear::new(3, 5, 1);
         let other = Linear::new(4, 5, 2);
         l.load_state(&other.state());

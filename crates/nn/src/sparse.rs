@@ -43,7 +43,10 @@ impl SparseAdj {
         // Symmetrize + self loops, dedup.
         let mut pairs: Vec<(u32, u32)> = Vec::with_capacity(edges.len() * 2 + n);
         for &(u, v) in edges {
-            assert!((u as usize) < n && (v as usize) < n, "edge endpoint out of range");
+            assert!(
+                (u as usize) < n && (v as usize) < n,
+                "edge endpoint out of range"
+            );
             pairs.push((u, v));
             pairs.push((v, u));
         }

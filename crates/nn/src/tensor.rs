@@ -139,11 +139,13 @@ impl Tensor {
             }
         }
         let mut order: Vec<Tensor> = seen.into_values().collect();
-        order.sort_by(|a, b| b.node.id.cmp(&a.node.id));
+        order.sort_by_key(|t| std::cmp::Reverse(t.node.id));
 
         self.accumulate(&Matrix::full(1, 1, 1.0));
         for t in order {
-            let Some(back) = &t.node.backward else { continue };
+            let Some(back) = &t.node.backward else {
+                continue;
+            };
             let grad = t.node.grad.borrow().clone();
             if let Some(g) = grad {
                 back(&g, &t.node.parents);
@@ -527,19 +529,18 @@ impl Tensor {
             assert_eq!(targets.len(), n, "one target per row");
             let mut probs = Matrix::zeros(n, k);
             let mut loss = 0.0;
-            for r in 0..n {
+            for (r, &t) in targets.iter().enumerate() {
                 let row = logits.row(r);
                 let max = row.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
                 let mut z = 0.0;
-                for c in 0..k {
-                    let e = (row[c] - max).exp();
+                for (c, &logit) in row.iter().enumerate() {
+                    let e = (logit - max).exp();
                     probs.set(r, c, e);
                     z += e;
                 }
                 for c in 0..k {
                     probs.set(r, c, probs.get(r, c) / z);
                 }
-                let t = targets[r];
                 assert!(t < k, "target {t} out of range");
                 loss -= probs.get(r, t).max(1e-300).ln();
             }
@@ -685,7 +686,10 @@ mod tests {
 
     #[test]
     fn grad_matmul_tn_spmm() {
-        let adj = Arc::new(SparseAdj::normalized_from_edges(4, &[(0, 1), (1, 2), (2, 3)]));
+        let adj = Arc::new(SparseAdj::normalized_from_edges(
+            4,
+            &[(0, 1), (1, 2), (2, 3)],
+        ));
         let w = Tensor::param(Matrix::xavier(3, 3, 18));
         let x = Tensor::constant(Matrix::xavier(4, 3, 19));
         let t = Matrix::xavier(3, 3, 20);
@@ -701,7 +705,11 @@ mod tests {
         let b = Tensor::constant(Matrix::xavier(3, 3, 22));
         let t = Matrix::xavier(3, 3, 23);
         grad_check(&a, || {
-            a.mul(&b).add(&a.scale(0.5)).sub(&b).add_scalar(0.1).mse_loss(&t)
+            a.mul(&b)
+                .add(&a.scale(0.5))
+                .sub(&b)
+                .add_scalar(0.1)
+                .mse_loss(&t)
         });
     }
 

@@ -92,11 +92,7 @@ impl<'a> PowerModel<'a> {
             }
             if let Some(lc) = lib.cell(cell.class(), cell.drive()) {
                 let load = net_cap[cell.output().index()];
-                let slew = cell
-                    .inputs()
-                    .first()
-                    .map(|&n| est_slew(n))
-                    .unwrap_or(0.05);
+                let slew = cell.inputs().first().map(|&n| est_slew(n)).unwrap_or(0.05);
                 cell_internal[id.index()] = lc.switch_energy().lookup(slew, load);
             }
         }
@@ -186,9 +182,7 @@ impl<'a> PowerModel<'a> {
         let mut sram_sm = Vec::with_capacity(sram_cells.len());
         for &id in &sram_cells {
             let cell = design.cell(id);
-            let m = cell
-                .sram()
-                .and_then(|c| lib.sram_at_least(c.words, c.bits));
+            let m = cell.sram().and_then(|c| lib.sram_at_least(c.words, c.bits));
             sram_read_w.push(m.map(|m| m.read_energy() * to_w).unwrap_or(0.0));
             sram_write_w.push(m.map(|m| m.write_energy() * to_w).unwrap_or(0.0));
             sram_sm.push(cell.submodule().index() as u32);
@@ -343,8 +337,14 @@ mod tests {
         let tp = simulate(&post, &mut PhasedWorkload::w1(1), 64).expect("simulates");
         let pg = compute_power(&gate, &lib, &tg);
         let pp = compute_power(&post, &lib, &tp);
-        let err = mape(&pp.group_series(PowerGroup::Register), &pg.group_series(PowerGroup::Register));
-        assert!(err < 25.0, "register group gate-vs-layout MAPE {err:.1}% too large");
+        let err = mape(
+            &pp.group_series(PowerGroup::Register),
+            &pg.group_series(PowerGroup::Register),
+        );
+        assert!(
+            err < 25.0,
+            "register group gate-vs-layout MAPE {err:.1}% too large"
+        );
     }
 
     #[test]
@@ -357,7 +357,10 @@ mod tests {
         let min = ct.iter().cloned().fold(f64::INFINITY, f64::min);
         let max = ct.iter().cloned().fold(0.0, f64::max);
         assert!(max > 0.0);
-        assert!((max - min) / max < 1e-9, "ungated tree power must be constant");
+        assert!(
+            (max - min) / max < 1e-9,
+            "ungated tree power must be constant"
+        );
     }
 
     #[test]
@@ -404,10 +407,7 @@ mod tests {
         let p = compute_power(&post, &lib, &tr);
         for t in 0..16 {
             for g in PowerGroup::ALL {
-                let by_sm: f64 = post
-                    .submodule_ids()
-                    .map(|sm| p.at(t, sm, g))
-                    .sum();
+                let by_sm: f64 = post.submodule_ids().map(|sm| p.at(t, sm, g)).sum();
                 let total = p.group_total(t, g);
                 assert!((by_sm - total).abs() <= 1e-12 + total * 1e-9);
             }
@@ -427,9 +427,15 @@ mod tests {
         assert_eq!(p.at(0, trunk, PowerGroup::ClockTree), 0.0);
         // Component rollup: the `cts` pseudo-component carries ~nothing.
         let comps = p.component_means(&post);
-        let cts = comps.iter().find(|(n, _)| n == "cts").expect("cts component exists");
+        let cts = comps
+            .iter()
+            .find(|(n, _)| n == "cts")
+            .expect("cts component exists");
         let total: f64 = comps.iter().map(|(_, w)| w).sum();
-        assert!(cts.1 < total * 0.01, "cts component should be ~empty after redistribution");
+        assert!(
+            cts.1 < total * 0.01,
+            "cts component should be ~empty after redistribution"
+        );
     }
 
     #[test]
@@ -441,7 +447,10 @@ mod tests {
         let comps = p.component_means(&post);
         let sum: f64 = comps.iter().map(|(_, w)| w).sum();
         let mean = p.mean_non_memory();
-        assert!((sum - mean).abs() < mean * 1e-9, "components partition the design");
+        assert!(
+            (sum - mean).abs() < mean * 1e-9,
+            "components partition the design"
+        );
     }
 
     #[test]
@@ -466,6 +475,10 @@ mod tests {
         let p = compute_power(&post, &lib, &tr);
         let mem = p.mean_group(PowerGroup::Memory);
         let total: f64 = PowerGroup::ALL.iter().map(|&g| p.mean_group(g)).sum();
-        assert!(mem / total > 0.05, "memory share {:.1}% too small", 100.0 * mem / total);
+        assert!(
+            mem / total > 0.05,
+            "memory share {:.1}% too small",
+            100.0 * mem / total
+        );
     }
 }

@@ -26,12 +26,7 @@ impl PowerTrace {
     /// Create an all-zero trace to accumulate into. Used by the golden
     /// engine and by ATLAS inference, so predictions and labels share one
     /// type and one set of rollup methods.
-    pub fn new(
-        design: String,
-        workload: String,
-        cycles: usize,
-        n_submodules: usize,
-    ) -> PowerTrace {
+    pub fn new(design: String, workload: String, cycles: usize, n_submodules: usize) -> PowerTrace {
         PowerTrace {
             design,
             workload,
@@ -79,12 +74,17 @@ impl PowerTrace {
     /// Design-level power (W) of one group in one cycle.
     pub fn group_total(&self, cycle: usize, group: PowerGroup) -> f64 {
         let base = cycle * self.n_submodules * NGROUPS + group.index();
-        (0..self.n_submodules).map(|sm| self.data[base + sm * NGROUPS]).sum()
+        (0..self.n_submodules)
+            .map(|sm| self.data[base + sm * NGROUPS])
+            .sum()
     }
 
     /// Design-level total power (W) in one cycle, all groups.
     pub fn total(&self, cycle: usize) -> f64 {
-        PowerGroup::ALL.iter().map(|&g| self.group_total(cycle, g)).sum()
+        PowerGroup::ALL
+            .iter()
+            .map(|&g| self.group_total(cycle, g))
+            .sum()
     }
 
     /// Total power excluding the memory group — the quantity the paper's
@@ -95,7 +95,9 @@ impl PowerTrace {
 
     /// Per-cycle series of one group.
     pub fn group_series(&self, group: PowerGroup) -> Vec<f64> {
-        (0..self.cycles).map(|t| self.group_total(t, group)).collect()
+        (0..self.cycles)
+            .map(|t| self.group_total(t, group))
+            .collect()
     }
 
     /// Per-cycle series of the design total (all groups).

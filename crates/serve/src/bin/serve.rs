@@ -1,0 +1,210 @@
+//! The `serve` binary: answer JSON-lines prediction requests over
+//! stdin/stdout or TCP from a registry-loaded model.
+//!
+//! ```text
+//! serve --registry DIR --model NAME [--workers N] [--cache N] [--tcp ADDR]
+//! serve --registry DIR --list
+//! ```
+//!
+//! In stdio mode each stdin line is a request and each stdout line the
+//! matching response; EOF shuts the service down. In TCP mode every
+//! connection gets the same per-line protocol.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use atlas_serve::{protocol, AtlasService, ModelRegistry, ServiceConfig};
+
+struct Args {
+    registry: String,
+    model: Option<String>,
+    list: bool,
+    workers: usize,
+    cache: usize,
+    tcp: Option<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        registry: String::new(),
+        model: None,
+        list: false,
+        workers: 4,
+        cache: 32,
+        tcp: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
+        match flag.as_str() {
+            "--registry" => args.registry = value("--registry")?,
+            "--model" => args.model = Some(value("--model")?),
+            "--list" => args.list = true,
+            "--workers" => {
+                args.workers = value("--workers")?
+                    .parse()
+                    .map_err(|e| format!("--workers: {e}"))?;
+            }
+            "--cache" => {
+                args.cache = value("--cache")?
+                    .parse()
+                    .map_err(|e| format!("--cache: {e}"))?;
+            }
+            "--tcp" => args.tcp = Some(value("--tcp")?),
+            "--help" | "-h" => {
+                println!(
+                    "usage: serve --registry DIR (--model NAME [--workers N] \
+                     [--cache N] [--tcp ADDR] | --list)"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    if args.registry.is_empty() {
+        return Err("--registry is required".into());
+    }
+    if !args.list && args.model.is_none() {
+        return Err("either --model NAME or --list is required".into());
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let registry = match ModelRegistry::open(&args.registry) {
+        Ok(registry) => registry,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if args.list {
+        match registry.list() {
+            Ok(names) => {
+                for name in names {
+                    println!("{name}");
+                }
+                return ExitCode::SUCCESS;
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let name = args.model.as_deref().expect("checked in parse_args");
+    let saved = match registry.load(name) {
+        Ok(saved) => saved,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "serving model `{name}` (config fingerprint {:#018x}) with {} workers",
+        saved.header.config_fingerprint, args.workers
+    );
+    let service = Arc::new(AtlasService::start(
+        saved,
+        ServiceConfig {
+            workers: args.workers,
+            embedding_cache: args.cache,
+            ..ServiceConfig::default()
+        },
+    ));
+
+    match &args.tcp {
+        Some(addr) => serve_tcp(&service, addr),
+        None => {
+            serve_stdio(&service);
+            ExitCode::SUCCESS
+        }
+    }
+}
+
+/// One request line → one response line.
+fn answer(service: &AtlasService, line: &str) -> String {
+    let result = match protocol::parse_request(line) {
+        Ok(request) => {
+            let id = request.id;
+            service.call(request).map_err(|e| (id, e))
+        }
+        Err(e) => Err((None, e)),
+    };
+    protocol::render_result(&result)
+}
+
+fn serve_stdio(service: &AtlasService) {
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    for line in stdin.lock().lines() {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let response = answer(service, &line);
+        let mut out = stdout.lock();
+        let _ = writeln!(out, "{response}");
+        let _ = out.flush();
+    }
+    let stats = service.stats();
+    eprintln!(
+        "served {} requests ({} errors); embedding cache {}/{} hits",
+        stats.requests,
+        stats.errors,
+        stats.embedding_cache.hits,
+        stats.embedding_cache.hits + stats.embedding_cache.misses
+    );
+}
+
+fn serve_tcp(service: &Arc<AtlasService>, addr: &str) -> ExitCode {
+    let listener = match TcpListener::bind(addr) {
+        Ok(listener) => listener,
+        Err(e) => {
+            eprintln!("error: bind {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!("listening on {addr}");
+    for stream in listener.incoming() {
+        let Ok(stream) = stream else { continue };
+        let service = Arc::clone(service);
+        std::thread::spawn(move || serve_connection(&service, stream));
+    }
+    ExitCode::SUCCESS
+}
+
+fn serve_connection(service: &AtlasService, stream: TcpStream) {
+    let peer = stream
+        .peer_addr()
+        .map(|a| a.to_string())
+        .unwrap_or_else(|_| "?".into());
+    let reader = BufReader::new(match stream.try_clone() {
+        Ok(clone) => clone,
+        Err(_) => return,
+    });
+    let mut writer = stream;
+    for line in reader.lines() {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let response = answer(service, &line);
+        if writeln!(writer, "{response}").is_err() {
+            break;
+        }
+    }
+    eprintln!("connection {peer} closed");
+}

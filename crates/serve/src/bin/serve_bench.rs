@@ -1,0 +1,246 @@
+//! Load generator for the prediction service: measures cold-start vs
+//! cache-hit latency and warm throughput, writing `BENCH_serve.json`.
+//!
+//! ```text
+//! serve_bench [--out PATH] [--scale F] [--train-cycles N] [--cycles N]
+//!             [--clients N] [--repeat N]
+//! ```
+//!
+//! The bench trains a small model, starts an in-process service, then
+//! runs two phases over every (design, workload) pair of the unseen test
+//! designs: a **cold** pass on an empty cache (every request pays design
+//! generation, simulation, and encoder forwards) and a **warm** pass of
+//! `--repeat` rounds fired from `--clients` concurrent client threads
+//! (every request is an embedding-cache hit, paying only the GBDT heads).
+
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Instant;
+
+use atlas_core::pipeline::{train_atlas, ExperimentConfig};
+use atlas_serve::{AtlasService, PredictRequest, ServiceConfig};
+use serde::Serialize;
+
+struct Args {
+    out: String,
+    scale: f64,
+    train_cycles: usize,
+    cycles: usize,
+    clients: usize,
+    repeat: usize,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        out: "BENCH_serve.json".into(),
+        scale: 0.2,
+        train_cycles: 48,
+        cycles: 32,
+        clients: 4,
+        repeat: 8,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
+        match flag.as_str() {
+            "--out" => args.out = value("--out")?,
+            "--scale" => args.scale = value("--scale")?.parse().map_err(|e| format!("{e}"))?,
+            "--train-cycles" => {
+                args.train_cycles = value("--train-cycles")?
+                    .parse()
+                    .map_err(|e| format!("{e}"))?;
+            }
+            "--cycles" => args.cycles = value("--cycles")?.parse().map_err(|e| format!("{e}"))?,
+            "--clients" => {
+                args.clients = value("--clients")?.parse().map_err(|e| format!("{e}"))?;
+            }
+            "--repeat" => args.repeat = value("--repeat")?.parse().map_err(|e| format!("{e}"))?,
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    if args.clients == 0 || args.repeat == 0 || args.cycles == 0 {
+        return Err("--clients, --repeat, and --cycles must be positive".into());
+    }
+    Ok(args)
+}
+
+/// Latency rollup of one phase, milliseconds.
+#[derive(Debug, Clone, Serialize)]
+struct Phase {
+    requests: usize,
+    mean_ms: f64,
+    p50_ms: f64,
+    p95_ms: f64,
+    max_ms: f64,
+    wall_s: f64,
+    throughput_rps: f64,
+}
+
+fn phase(mut latencies_ms: Vec<f64>, wall_s: f64) -> Phase {
+    latencies_ms.sort_by(|a, b| a.total_cmp(b));
+    let n = latencies_ms.len();
+    assert!(n > 0, "phase() needs at least one latency sample");
+    let pct = |p: f64| latencies_ms[((n as f64 * p) as usize).min(n - 1)];
+    Phase {
+        requests: n,
+        mean_ms: latencies_ms.iter().sum::<f64>() / n as f64,
+        p50_ms: pct(0.50),
+        p95_ms: pct(0.95),
+        max_ms: latencies_ms[n - 1],
+        wall_s,
+        throughput_rps: n as f64 / wall_s.max(1e-9),
+    }
+}
+
+#[derive(Debug, Serialize)]
+struct BenchReport {
+    scale: f64,
+    cycles: usize,
+    clients: usize,
+    train_s: f64,
+    cold: Phase,
+    warm: Phase,
+    cold_over_warm_speedup: f64,
+    cache_hit_latency_below_cold: bool,
+    embedding_cache_hits: u64,
+    embedding_cache_misses: u64,
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut cfg = ExperimentConfig::quick();
+    cfg.scale = args.scale;
+    cfg.cycles = args.train_cycles;
+    println!(
+        "training ATLAS at scale {} ({} cycles) for the serve bench...",
+        cfg.scale, cfg.cycles
+    );
+    let t0 = Instant::now();
+    let trained = train_atlas(&cfg);
+    let train_s = t0.elapsed().as_secs_f64();
+    println!("trained in {train_s:.1}s");
+
+    let service = Arc::new(AtlasService::start_with(
+        trained.model,
+        cfg,
+        ServiceConfig {
+            workers: args.clients.max(1),
+            ..ServiceConfig::default()
+        },
+    ));
+
+    // The paper's unseen test designs under both workload presets.
+    let keys: Vec<PredictRequest> = ["C2", "C4"]
+        .iter()
+        .flat_map(|d| {
+            ["W1", "W2"]
+                .iter()
+                .map(|w| PredictRequest::new(*d, *w, args.cycles))
+                .collect::<Vec<_>>()
+        })
+        .collect();
+
+    // Cold pass: empty caches, serial so each request's latency is the
+    // full design + simulation + embedding pipeline.
+    let t1 = Instant::now();
+    let mut cold_lat = Vec::new();
+    for req in &keys {
+        match service.call(req.clone()) {
+            Ok(resp) => {
+                assert!(!resp.cache_hit, "cold pass must miss the cache");
+                cold_lat.push(resp.latency_ms);
+            }
+            Err(e) => {
+                eprintln!("error: cold request failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let cold = phase(cold_lat, t1.elapsed().as_secs_f64());
+    println!(
+        "cold: {} requests, mean {:.1} ms, p95 {:.1} ms",
+        cold.requests, cold.mean_ms, cold.p95_ms
+    );
+
+    // Warm pass: every key repeated from concurrent clients; all hits.
+    let t2 = Instant::now();
+    let warm_lat: Vec<f64> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..args.clients)
+            .map(|c| {
+                let service = Arc::clone(&service);
+                let keys = &keys;
+                scope.spawn(move || {
+                    let mut lat = Vec::new();
+                    for round in 0..args.repeat {
+                        for k in 0..keys.len() {
+                            // Stagger start offsets so clients collide on
+                            // the same cache entries.
+                            let req = &keys[(k + c + round) % keys.len()];
+                            match service.call(req.clone()) {
+                                Ok(resp) => {
+                                    assert!(resp.cache_hit, "warm pass must hit the cache");
+                                    lat.push(resp.latency_ms);
+                                }
+                                Err(e) => panic!("warm request failed: {e}"),
+                            }
+                        }
+                    }
+                    lat
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("client thread"))
+            .collect()
+    });
+    let warm = phase(warm_lat, t2.elapsed().as_secs_f64());
+    println!(
+        "warm: {} requests, mean {:.2} ms, p95 {:.2} ms, {:.0} req/s",
+        warm.requests, warm.mean_ms, warm.p95_ms, warm.throughput_rps
+    );
+
+    let stats = service.stats();
+    let report = BenchReport {
+        scale: args.scale,
+        cycles: args.cycles,
+        clients: args.clients,
+        train_s,
+        cold_over_warm_speedup: cold.mean_ms / warm.mean_ms.max(1e-9),
+        cache_hit_latency_below_cold: warm.mean_ms < cold.mean_ms,
+        embedding_cache_hits: stats.embedding_cache.hits,
+        embedding_cache_misses: stats.embedding_cache.misses,
+        cold,
+        warm,
+    };
+    println!(
+        "cache-hit speedup over cold: {:.1}x (hit latency below cold: {})",
+        report.cold_over_warm_speedup, report.cache_hit_latency_below_cold
+    );
+
+    match serde_json::to_string_pretty(&report) {
+        Ok(json) => {
+            if let Err(e) = std::fs::write(&args.out, json) {
+                eprintln!("error: write {}: {e}", args.out);
+                return ExitCode::FAILURE;
+            }
+            println!("(wrote {})", args.out);
+        }
+        Err(e) => {
+            eprintln!("error: serialize report: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if !report.cache_hit_latency_below_cold {
+        eprintln!("error: cache-hit latency was not below cold latency");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,175 @@
+//! A small thread-safe LRU cache with hit/miss accounting.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Hit/miss/occupancy counters of one cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups that found an entry.
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Entries currently resident.
+    pub len: usize,
+    /// Maximum resident entries.
+    pub capacity: usize,
+}
+
+/// Least-recently-used cache over `Arc`-shared values.
+///
+/// Values are handed out as `Arc<V>` clones so an entry can be evicted
+/// while a worker still computes with it. Eviction scans for the oldest
+/// entry — O(len), which is the right trade at the double-digit
+/// capacities a prediction service uses (design presets × workloads).
+#[derive(Debug)]
+pub struct LruCache<K: Eq + Hash + Clone, V> {
+    inner: Mutex<Inner<K, V>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    capacity: usize,
+}
+
+#[derive(Debug)]
+struct Inner<K, V> {
+    entries: HashMap<K, (Arc<V>, u64)>,
+    tick: u64,
+}
+
+impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
+    /// Create a cache holding at most `capacity` entries (min 1).
+    pub fn new(capacity: usize) -> LruCache<K, V> {
+        LruCache {
+            inner: Mutex::new(Inner {
+                entries: HashMap::new(),
+                tick: 0,
+            }),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Look up `key`, refreshing its recency on a hit.
+    pub fn get(&self, key: &K) -> Option<Arc<V>> {
+        let mut inner = self.inner.lock().expect("cache lock");
+        inner.tick += 1;
+        let tick = inner.tick;
+        match inner.entries.get_mut(key) {
+            Some((value, last_used)) => {
+                *last_used = tick;
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(Arc::clone(value))
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Insert (or refresh) an entry, evicting the least recently used one
+    /// when full.
+    pub fn insert(&self, key: K, value: Arc<V>) {
+        let mut inner = self.inner.lock().expect("cache lock");
+        inner.tick += 1;
+        let tick = inner.tick;
+        if !inner.entries.contains_key(&key) && inner.entries.len() >= self.capacity {
+            if let Some(oldest) = inner
+                .entries
+                .iter()
+                .min_by_key(|(_, (_, last_used))| *last_used)
+                .map(|(k, _)| k.clone())
+            {
+                inner.entries.remove(&oldest);
+            }
+        }
+        inner.entries.insert(key, (value, tick));
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> CacheStats {
+        let inner = self.inner.lock().expect("cache lock");
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            len: inner.entries.len(),
+            capacity: self.capacity,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_miss_accounting() {
+        let cache: LruCache<u32, &'static str> = LruCache::new(4);
+        assert!(cache.get(&1).is_none());
+        cache.insert(1, Arc::new("one"));
+        assert_eq!(cache.get(&1).as_deref(), Some(&"one"));
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.len), (1, 1, 1));
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let cache: LruCache<u32, u32> = LruCache::new(2);
+        cache.insert(1, Arc::new(10));
+        cache.insert(2, Arc::new(20));
+        // Touch 1 so 2 becomes the eviction candidate.
+        assert!(cache.get(&1).is_some());
+        cache.insert(3, Arc::new(30));
+        assert!(cache.get(&2).is_none(), "LRU entry should be evicted");
+        assert!(cache.get(&1).is_some());
+        assert!(cache.get(&3).is_some());
+        assert_eq!(cache.stats().len, 2);
+    }
+
+    #[test]
+    fn reinserting_existing_key_does_not_evict() {
+        let cache: LruCache<u32, u32> = LruCache::new(2);
+        cache.insert(1, Arc::new(10));
+        cache.insert(2, Arc::new(20));
+        cache.insert(1, Arc::new(11));
+        assert_eq!(cache.get(&1).as_deref(), Some(&11));
+        assert!(cache.get(&2).is_some());
+    }
+
+    #[test]
+    fn evicted_values_stay_alive_through_arc() {
+        let cache: LruCache<u32, Vec<u8>> = LruCache::new(1);
+        cache.insert(1, Arc::new(vec![1, 2, 3]));
+        let held = cache.get(&1).expect("present");
+        cache.insert(2, Arc::new(vec![4]));
+        assert!(cache.get(&1).is_none());
+        assert_eq!(*held, vec![1, 2, 3], "held Arc survives eviction");
+    }
+
+    #[test]
+    fn concurrent_access_is_consistent() {
+        let cache: Arc<LruCache<u64, u64>> = Arc::new(LruCache::new(8));
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let cache = Arc::clone(&cache);
+                std::thread::spawn(move || {
+                    for i in 0..200u64 {
+                        let k = (t * 37 + i) % 16;
+                        if let Some(v) = cache.get(&k) {
+                            assert_eq!(*v, k * 2);
+                        } else {
+                            cache.insert(k, Arc::new(k * 2));
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("no panic");
+        }
+        assert!(cache.stats().len <= 8);
+    }
+}

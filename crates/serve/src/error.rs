@@ -1,0 +1,100 @@
+//! Typed errors surfaced through the serve API.
+
+use std::fmt;
+
+use atlas_core::LookupError;
+
+use crate::registry::RegistryError;
+
+/// Anything that can go wrong answering a prediction request.
+///
+/// Every variant maps onto a stable machine-readable `kind` string in the
+/// wire protocol, so clients can branch without parsing prose.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// The request named a design outside the preset vocabulary.
+    UnknownDesign(String),
+    /// The request named a workload outside the preset vocabulary.
+    UnknownWorkload(String),
+    /// The request was structurally invalid (bad JSON, zero cycles, ...).
+    InvalidRequest(String),
+    /// Workload simulation failed on the generated design.
+    Simulation(String),
+    /// A model registry operation failed.
+    Registry(String),
+    /// The service is shutting down or a worker died.
+    Shutdown,
+}
+
+impl ServeError {
+    /// Stable machine-readable error class for the wire protocol.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ServeError::UnknownDesign(_) => "unknown_design",
+            ServeError::UnknownWorkload(_) => "unknown_workload",
+            ServeError::InvalidRequest(_) => "invalid_request",
+            ServeError::Simulation(_) => "simulation",
+            ServeError::Registry(_) => "registry",
+            ServeError::Shutdown => "shutdown",
+        }
+    }
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::UnknownDesign(name) => write!(f, "unknown design `{name}`"),
+            ServeError::UnknownWorkload(name) => write!(f, "unknown workload `{name}`"),
+            ServeError::InvalidRequest(msg) => write!(f, "invalid request: {msg}"),
+            ServeError::Simulation(msg) => write!(f, "simulation failed: {msg}"),
+            ServeError::Registry(msg) => write!(f, "registry error: {msg}"),
+            ServeError::Shutdown => write!(f, "service is shut down"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<LookupError> for ServeError {
+    fn from(e: LookupError) -> ServeError {
+        match e {
+            LookupError::UnknownDesign(name) => ServeError::UnknownDesign(name),
+            LookupError::UnknownWorkload(name) => ServeError::UnknownWorkload(name),
+        }
+    }
+}
+
+impl From<RegistryError> for ServeError {
+    fn from(e: RegistryError) -> ServeError {
+        ServeError::Registry(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_are_stable() {
+        assert_eq!(
+            ServeError::UnknownDesign("X".into()).kind(),
+            "unknown_design"
+        );
+        assert_eq!(
+            ServeError::UnknownWorkload("X".into()).kind(),
+            "unknown_workload"
+        );
+        assert_eq!(
+            ServeError::InvalidRequest("x".into()).kind(),
+            "invalid_request"
+        );
+        assert_eq!(ServeError::Shutdown.kind(), "shutdown");
+    }
+
+    #[test]
+    fn lookup_errors_convert() {
+        let e: ServeError = LookupError::UnknownDesign("C9".into()).into();
+        assert_eq!(e, ServeError::UnknownDesign("C9".into()));
+        assert_eq!(e.to_string(), "unknown design `C9`");
+    }
+}

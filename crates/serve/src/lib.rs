@@ -1,0 +1,48 @@
+//! `atlas-serve` — the ATLAS model as a long-lived prediction service.
+//!
+//! The paper's value proposition is replacing an hours-long P&R +
+//! simulation flow with a fast inference call; this crate packages that
+//! call as an always-on service instead of a one-shot driver:
+//!
+//! * [`registry`] — versioned on-disk persistence for trained models
+//!   (format version + config fingerprint headers, so a service refuses
+//!   incompatible files instead of mis-loading them);
+//! * [`service`] — a std-thread worker pool over a shared model with a
+//!   two-level LRU [`cache`] (design artifacts, then per-(design,
+//!   workload, cycles) encoder embeddings), so repeat requests skip
+//!   netlist generation, feature construction, and all encoder forwards;
+//! * [`protocol`] — the JSON-lines request/response wire format spoken
+//!   over stdin/stdout or TCP by the `serve` binary;
+//! * [`error`] — typed errors ([`ServeError`]) replacing the panics of
+//!   the batch drivers.
+//!
+//! # Quick start
+//!
+//! ```no_run
+//! use atlas_core::pipeline::{train_atlas, ExperimentConfig};
+//! use atlas_serve::{AtlasService, ModelRegistry, PredictRequest, ServiceConfig};
+//!
+//! let cfg = ExperimentConfig::quick();
+//! let trained = train_atlas(&cfg);
+//!
+//! // Persist, reload, serve.
+//! let registry = ModelRegistry::open("target/registry").unwrap();
+//! registry.save("quick", &trained.model, &cfg).unwrap();
+//! let saved = registry.load("quick").unwrap();
+//! let service = AtlasService::start(saved, ServiceConfig::default());
+//!
+//! let response = service.call(PredictRequest::new("C2", "W1", 64)).unwrap();
+//! println!("mean total: {:.3} W (cache hit: {})", response.mean_total_w, response.cache_hit);
+//! ```
+
+pub mod cache;
+pub mod error;
+pub mod protocol;
+pub mod registry;
+pub mod service;
+
+pub use cache::{CacheStats, LruCache};
+pub use error::ServeError;
+pub use protocol::{ErrorResponse, GroupSummary, PredictRequest, PredictResponse};
+pub use registry::{ModelRegistry, RegistryError, SavedModel, FORMAT_VERSION};
+pub use service::{AtlasService, ServiceConfig, ServiceStats};

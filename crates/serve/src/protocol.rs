@@ -1,0 +1,249 @@
+//! The JSON-lines wire protocol of the prediction service.
+//!
+//! One request per line in, one response per line out, over stdin/stdout
+//! or a TCP stream. A response object either carries prediction fields or
+//! an `error`/`kind` pair — never both.
+//!
+//! ```text
+//! → {"id":1,"design":"C2","workload":"W1","cycles":64}
+//! ← {"id":1,"design":"C2","workload":"W1","cycles":64,"cache_hit":false,...}
+//! → {"id":2,"design":"C9","workload":"W1","cycles":64}
+//! ← {"id":2,"error":"unknown design `C9`","kind":"unknown_design"}
+//! ```
+
+use atlas_liberty::PowerGroup;
+use atlas_power::PowerTrace;
+use serde::{Deserialize, Serialize};
+
+use crate::error::ServeError;
+
+/// One prediction request: which design, under which workload, for how
+/// many cycles.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct PredictRequest {
+    /// Client-chosen correlation id, echoed in the response.
+    pub id: Option<u64>,
+    /// Design preset name (`C1`..`C6`, `TINY`).
+    pub design: String,
+    /// Workload preset name (`W1`/`W2`).
+    pub workload: String,
+    /// Cycles to simulate and predict.
+    pub cycles: usize,
+}
+
+impl PredictRequest {
+    /// Convenience constructor without a correlation id.
+    pub fn new(design: impl Into<String>, workload: impl Into<String>, cycles: usize) -> Self {
+        PredictRequest {
+            id: None,
+            design: design.into(),
+            workload: workload.into(),
+            cycles,
+        }
+    }
+}
+
+/// Per-group rollup of a predicted trace.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GroupSummary {
+    /// Power group name (`combinational`, `register`, `clock_tree`,
+    /// `memory`).
+    pub group: String,
+    /// Mean watts over the trace.
+    pub mean_w: f64,
+    /// Peak single-cycle watts.
+    pub peak_w: f64,
+}
+
+/// A successful prediction, summarized per power group plus the per-cycle
+/// total series (the quantity peak-power / `L·di/dt` analyses need).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PredictResponse {
+    /// Echo of the request id.
+    pub id: Option<u64>,
+    /// Echo of the design name.
+    pub design: String,
+    /// Echo of the workload name.
+    pub workload: String,
+    /// Echo of the cycle count.
+    pub cycles: usize,
+    /// Whether the (design, workload, cycles) embeddings were served from
+    /// cache (stage one skipped entirely).
+    pub cache_hit: bool,
+    /// Whether the design's netlist + sub-module data came from cache
+    /// (relevant when `cache_hit` is false: same design, new workload).
+    pub design_cache_hit: bool,
+    /// Server-side latency of this request in milliseconds.
+    pub latency_ms: f64,
+    /// Mean total watts over the trace.
+    pub mean_total_w: f64,
+    /// Peak single-cycle total watts.
+    pub peak_total_w: f64,
+    /// Per-group rollups, in `PowerGroup::ALL` order.
+    pub groups: Vec<GroupSummary>,
+    /// Per-cycle design-total watts (all groups).
+    pub per_cycle_total_w: Vec<f64>,
+}
+
+/// The error half of the wire protocol.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ErrorResponse {
+    /// Echo of the request id, when the request parsed far enough.
+    pub id: Option<u64>,
+    /// Human-readable description.
+    pub error: String,
+    /// Stable machine-readable class ([`ServeError::kind`]).
+    pub kind: String,
+}
+
+/// Wire name of a power group.
+pub fn group_name(group: PowerGroup) -> &'static str {
+    match group {
+        PowerGroup::Combinational => "combinational",
+        PowerGroup::Register => "register",
+        PowerGroup::ClockTree => "clock_tree",
+        PowerGroup::Memory => "memory",
+    }
+}
+
+/// Summarize a predicted trace into a response body.
+pub fn summarize(
+    req: &PredictRequest,
+    trace: &PowerTrace,
+    cache_hit: bool,
+    design_cache_hit: bool,
+    latency_ms: f64,
+) -> PredictResponse {
+    let totals = trace.total_series();
+    let mean_total_w = mean(&totals);
+    let peak_total_w = totals.iter().fold(0.0f64, |a, &b| a.max(b));
+    let groups = PowerGroup::ALL
+        .iter()
+        .map(|&g| {
+            let series = trace.group_series(g);
+            GroupSummary {
+                group: group_name(g).to_owned(),
+                mean_w: mean(&series),
+                peak_w: series.iter().fold(0.0f64, |a, &b| a.max(b)),
+            }
+        })
+        .collect();
+    PredictResponse {
+        id: req.id,
+        design: req.design.clone(),
+        workload: req.workload.clone(),
+        cycles: trace.cycles(),
+        cache_hit,
+        design_cache_hit,
+        latency_ms,
+        mean_total_w,
+        peak_total_w,
+        groups,
+        per_cycle_total_w: totals,
+    }
+}
+
+fn mean(series: &[f64]) -> f64 {
+    if series.is_empty() {
+        0.0
+    } else {
+        series.iter().sum::<f64>() / series.len() as f64
+    }
+}
+
+/// Parse one request line.
+///
+/// # Errors
+///
+/// [`ServeError::InvalidRequest`] on malformed JSON or a structural
+/// mismatch.
+pub fn parse_request(line: &str) -> Result<PredictRequest, ServeError> {
+    serde_json::from_str(line.trim())
+        .map_err(|e| ServeError::InvalidRequest(format!("bad request line: {e}")))
+}
+
+/// Render one response line (no trailing newline).
+pub fn render_result(result: &Result<PredictResponse, (Option<u64>, ServeError)>) -> String {
+    let rendered = match result {
+        Ok(response) => serde_json::to_string(response),
+        Err((id, error)) => serde_json::to_string(&ErrorResponse {
+            id: *id,
+            error: error.to_string(),
+            kind: error.kind().to_owned(),
+        }),
+    };
+    rendered.unwrap_or_else(|e| format!(r#"{{"error":"render failure: {e}","kind":"internal"}}"#))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_roundtrip() {
+        let req = PredictRequest {
+            id: Some(7),
+            design: "C2".into(),
+            workload: "W1".into(),
+            cycles: 64,
+        };
+        let line = serde_json::to_string(&req).expect("serializes");
+        assert_eq!(parse_request(&line).expect("parses"), req);
+    }
+
+    #[test]
+    fn request_without_id_parses() {
+        let req =
+            parse_request(r#"{"id":null,"design":"C4","workload":"W2","cycles":16}"#).expect("ok");
+        assert_eq!(req.id, None);
+        assert_eq!(req.design, "C4");
+        // The id field may be omitted entirely (it is optional).
+        let req = parse_request(r#"{"design":"C2","workload":"W1","cycles":8}"#).expect("ok");
+        assert_eq!(req.id, None);
+        assert_eq!(req.cycles, 8);
+    }
+
+    #[test]
+    fn malformed_requests_are_typed_errors() {
+        assert!(matches!(
+            parse_request("not json"),
+            Err(ServeError::InvalidRequest(_))
+        ));
+        assert!(matches!(
+            parse_request(r#"{"design":"C2"}"#),
+            Err(ServeError::InvalidRequest(_))
+        ));
+    }
+
+    #[test]
+    fn summaries_roll_up_the_trace() {
+        let mut trace = PowerTrace::new("d".into(), "w".into(), 2, 1);
+        trace.add(0, 0, PowerGroup::Combinational.index(), 1.0);
+        trace.add(1, 0, PowerGroup::ClockTree.index(), 3.0);
+        let req = PredictRequest::new("d", "w", 2);
+        let resp = summarize(&req, &trace, true, true, 0.5);
+        assert_eq!(resp.per_cycle_total_w, vec![1.0, 3.0]);
+        assert_eq!(resp.mean_total_w, 2.0);
+        assert_eq!(resp.peak_total_w, 3.0);
+        assert_eq!(resp.groups.len(), PowerGroup::ALL.len());
+        let ct = resp
+            .groups
+            .iter()
+            .find(|g| g.group == "clock_tree")
+            .expect("ct");
+        assert_eq!(ct.peak_w, 3.0);
+        // The response line parses back.
+        let line = render_result(&Ok(resp.clone()));
+        let back: PredictResponse = serde_json::from_str(&line).expect("parses");
+        assert_eq!(back, resp);
+    }
+
+    #[test]
+    fn error_lines_carry_kind() {
+        let line = render_result(&Err((Some(3), ServeError::UnknownDesign("C9".into()))));
+        let err: ErrorResponse = serde_json::from_str(&line).expect("parses");
+        assert_eq!(err.id, Some(3));
+        assert_eq!(err.kind, "unknown_design");
+        assert!(err.error.contains("C9"));
+    }
+}

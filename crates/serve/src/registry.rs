@@ -1,0 +1,312 @@
+//! On-disk model registry: versioned persistence for trained models.
+//!
+//! A registry is a directory of `<name>.atlas.json` files, each holding a
+//! [`ModelHeader`] (format version + configuration fingerprint), the
+//! [`ExperimentConfig`] the model was trained under, and the
+//! [`AtlasModel`] weights themselves (via its serde representation, the
+//! same bytes `AtlasModel::to_json` produces). The header lets a service
+//! refuse models written by an incompatible build instead of
+//! mis-deserializing them, and the config fingerprint detects files whose
+//! embedded config was edited after training.
+
+use std::fmt;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use atlas_core::{AtlasModel, ExperimentConfig};
+use serde::{Deserialize, Serialize};
+
+/// Version of the on-disk model format. Bump on any breaking change to
+/// the serialized layout of [`ModelFile`] or its nested types.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// File suffix of registry entries.
+const SUFFIX: &str = ".atlas.json";
+
+/// Metadata stored alongside a persisted model.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ModelHeader {
+    /// On-disk format version ([`FORMAT_VERSION`] at write time).
+    pub format_version: u32,
+    /// Registry name the model was saved under.
+    pub name: String,
+    /// FNV-1a fingerprint of the training configuration's canonical JSON.
+    pub config_fingerprint: u64,
+}
+
+/// The full on-disk layout of one registry entry.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct ModelFile {
+    header: ModelHeader,
+    config: ExperimentConfig,
+    model: AtlasModel,
+}
+
+/// A model loaded back from a registry.
+#[derive(Debug, Clone)]
+pub struct SavedModel {
+    /// The persisted header.
+    pub header: ModelHeader,
+    /// The training configuration (the serving layer needs its `scale`
+    /// and seeds to regenerate designs and workloads deterministically).
+    pub config: ExperimentConfig,
+    /// The deployable model.
+    pub model: AtlasModel,
+}
+
+/// Why a registry operation failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RegistryError {
+    /// Filesystem problem (path + OS error text).
+    Io(String),
+    /// The file exists but is not a valid model file.
+    Corrupt(String),
+    /// The file was written by an incompatible format version.
+    WrongVersion {
+        /// Version found in the file.
+        found: u32,
+        /// Version this build reads/writes.
+        expected: u32,
+    },
+    /// The embedded config does not hash to the header's fingerprint.
+    FingerprintMismatch {
+        /// Fingerprint claimed by the header.
+        claimed: u64,
+        /// Fingerprint of the config actually in the file.
+        actual: u64,
+    },
+    /// No entry with this name.
+    NotFound(String),
+    /// The model name contains path separators or other invalid chars.
+    InvalidName(String),
+}
+
+impl fmt::Display for RegistryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RegistryError::Io(msg) => write!(f, "registry I/O error: {msg}"),
+            RegistryError::Corrupt(msg) => write!(f, "corrupt model file: {msg}"),
+            RegistryError::WrongVersion { found, expected } => write!(
+                f,
+                "model format version {found} is not supported (this build reads {expected})"
+            ),
+            RegistryError::FingerprintMismatch { claimed, actual } => write!(
+                f,
+                "config fingerprint mismatch: header claims {claimed:#018x}, \
+                 embedded config hashes to {actual:#018x}"
+            ),
+            RegistryError::NotFound(name) => write!(f, "no model named `{name}` in registry"),
+            RegistryError::InvalidName(name) => write!(f, "invalid model name `{name}`"),
+        }
+    }
+}
+
+impl std::error::Error for RegistryError {}
+
+/// Stable FNV-1a fingerprint of an experiment configuration's canonical
+/// JSON serialization.
+pub fn config_fingerprint(config: &ExperimentConfig) -> u64 {
+    let bytes = serde_json::to_vec(config).unwrap_or_default();
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// A directory of persisted models.
+#[derive(Debug, Clone)]
+pub struct ModelRegistry {
+    dir: PathBuf,
+}
+
+impl ModelRegistry {
+    /// Open (creating if needed) a registry rooted at `dir`.
+    ///
+    /// # Errors
+    ///
+    /// [`RegistryError::Io`] when the directory cannot be created.
+    pub fn open(dir: impl Into<PathBuf>) -> Result<ModelRegistry, RegistryError> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)
+            .map_err(|e| RegistryError::Io(format!("create {}: {e}", dir.display())))?;
+        Ok(ModelRegistry { dir })
+    }
+
+    /// The registry's root directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The file path a model name maps to.
+    pub fn path_for(&self, name: &str) -> PathBuf {
+        self.dir.join(format!("{name}{SUFFIX}"))
+    }
+
+    /// Persist a model under `name`, overwriting any previous version.
+    ///
+    /// # Errors
+    ///
+    /// [`RegistryError::InvalidName`] for names with path separators;
+    /// [`RegistryError::Io`] on write failure.
+    pub fn save(
+        &self,
+        name: &str,
+        model: &AtlasModel,
+        config: &ExperimentConfig,
+    ) -> Result<PathBuf, RegistryError> {
+        validate_name(name)?;
+        let file = ModelFile {
+            header: ModelHeader {
+                format_version: FORMAT_VERSION,
+                name: name.to_owned(),
+                config_fingerprint: config_fingerprint(config),
+            },
+            config: config.clone(),
+            model: model.clone(),
+        };
+        let json = serde_json::to_string(&file)
+            .map_err(|e| RegistryError::Corrupt(format!("serialize `{name}`: {e}")))?;
+        let path = self.path_for(name);
+        // Write-then-rename so a concurrent load never sees a torn file.
+        let tmp = self.dir.join(format!(".{name}{SUFFIX}.tmp"));
+        fs::write(&tmp, json)
+            .map_err(|e| RegistryError::Io(format!("write {}: {e}", tmp.display())))?;
+        fs::rename(&tmp, &path)
+            .map_err(|e| RegistryError::Io(format!("rename {}: {e}", path.display())))?;
+        Ok(path)
+    }
+
+    /// Load the model saved under `name`, validating its header.
+    ///
+    /// # Errors
+    ///
+    /// [`RegistryError::NotFound`] when no such entry exists;
+    /// [`RegistryError::WrongVersion`] for incompatible files;
+    /// [`RegistryError::FingerprintMismatch`] when the embedded config
+    /// does not match the header; [`RegistryError::Corrupt`] on parse
+    /// failure.
+    pub fn load(&self, name: &str) -> Result<SavedModel, RegistryError> {
+        validate_name(name)?;
+        let path = self.path_for(name);
+        let json = match fs::read_to_string(&path) {
+            Ok(json) => json,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                return Err(RegistryError::NotFound(name.to_owned()))
+            }
+            Err(e) => return Err(RegistryError::Io(format!("read {}: {e}", path.display()))),
+        };
+        // Check the version before attempting to deserialize the weights:
+        // a future format may not even parse as today's `ModelFile`.
+        let version = peek_format_version(&json)
+            .ok_or_else(|| RegistryError::Corrupt(format!("{}: no header", path.display())))?;
+        if version != FORMAT_VERSION {
+            return Err(RegistryError::WrongVersion {
+                found: version,
+                expected: FORMAT_VERSION,
+            });
+        }
+        let file: ModelFile = serde_json::from_str(&json)
+            .map_err(|e| RegistryError::Corrupt(format!("{}: {e}", path.display())))?;
+        let actual = config_fingerprint(&file.config);
+        if actual != file.header.config_fingerprint {
+            return Err(RegistryError::FingerprintMismatch {
+                claimed: file.header.config_fingerprint,
+                actual,
+            });
+        }
+        Ok(SavedModel {
+            header: file.header,
+            config: file.config,
+            model: file.model,
+        })
+    }
+
+    /// Names of all models in the registry, sorted.
+    ///
+    /// # Errors
+    ///
+    /// [`RegistryError::Io`] when the directory cannot be read.
+    pub fn list(&self) -> Result<Vec<String>, RegistryError> {
+        let entries = fs::read_dir(&self.dir)
+            .map_err(|e| RegistryError::Io(format!("read {}: {e}", self.dir.display())))?;
+        let mut names = Vec::new();
+        for entry in entries {
+            let entry = entry
+                .map_err(|e| RegistryError::Io(format!("read {}: {e}", self.dir.display())))?;
+            let file_name = entry.file_name();
+            let file_name = file_name.to_string_lossy();
+            if let Some(name) = file_name.strip_suffix(SUFFIX) {
+                if !name.starts_with('.') {
+                    names.push(name.to_owned());
+                }
+            }
+        }
+        names.sort();
+        Ok(names)
+    }
+}
+
+fn validate_name(name: &str) -> Result<(), RegistryError> {
+    let ok = !name.is_empty()
+        && !name.starts_with('.')
+        && name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || matches!(c, '-' | '_' | '.'));
+    if ok {
+        Ok(())
+    } else {
+        Err(RegistryError::InvalidName(name.to_owned()))
+    }
+}
+
+/// Extract `header.format_version` without deserializing the weights.
+fn peek_format_version(json: &str) -> Option<u32> {
+    let value = serde_json::from_str_value(json).ok()?;
+    let header = value
+        .as_map()?
+        .iter()
+        .find(|(k, _)| k == "header")
+        .map(|(_, v)| v)?;
+    let version = header
+        .as_map()?
+        .iter()
+        .find(|(k, _)| k == "format_version")
+        .map(|(_, v)| v)?;
+    match version {
+        serde::Value::UInt(n) => u32::try_from(*n).ok(),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn name_validation() {
+        assert!(validate_name("atlas-v1.2_final").is_ok());
+        assert!(validate_name("").is_err());
+        assert!(validate_name("../escape").is_err());
+        assert!(validate_name("a/b").is_err());
+        assert!(validate_name(".hidden").is_err());
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_sensitive() {
+        let a = ExperimentConfig::quick();
+        let mut b = ExperimentConfig::quick();
+        assert_eq!(config_fingerprint(&a), config_fingerprint(&a));
+        b.cycles += 1;
+        assert_ne!(config_fingerprint(&a), config_fingerprint(&b));
+    }
+
+    #[test]
+    fn version_peek_reads_header_only() {
+        let json = r#"{"header":{"format_version":7,"name":"x","config_fingerprint":1}}"#;
+        assert_eq!(peek_format_version(json), Some(7));
+        assert_eq!(peek_format_version("{}"), None);
+        assert_eq!(peek_format_version("not json"), None);
+    }
+}

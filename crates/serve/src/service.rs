@@ -1,0 +1,428 @@
+//! The long-lived prediction service: a worker pool over a shared model
+//! and two-level LRU cache.
+//!
+//! Request execution has three stages with very different costs:
+//!
+//! 1. **Design materialization** — generate the gate-level netlist and
+//!    build its sub-module graph data. Depends only on the design name,
+//!    so it is cached per design.
+//! 2. **Trace embedding** — simulate the workload and run the encoder
+//!    over every (sub-module, cycle). Deterministic in (design, workload,
+//!    cycles), so the resulting [`TraceEmbeddings`] are cached under that
+//!    key. This stage dominates cold latency; within it, feature
+//!    construction and the encoder's output projection are batched over
+//!    all cycles of a sub-module.
+//! 3. **Head evaluation** — GBDT heads + memory model over the cached
+//!    embeddings. Cheap; this is all a fully-warm request pays.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread;
+use std::time::Instant;
+
+use atlas_core::features::{build_submodule_data, SubmoduleData};
+use atlas_core::{AtlasModel, ExperimentConfig, TraceEmbeddings};
+use atlas_liberty::Library;
+use atlas_netlist::Design;
+use atlas_sim::simulate;
+
+use crate::cache::{CacheStats, LruCache};
+use crate::error::ServeError;
+use crate::protocol::{summarize, PredictRequest, PredictResponse};
+use crate::registry::SavedModel;
+
+/// Tuning knobs of one service instance.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Worker threads answering requests concurrently.
+    pub workers: usize,
+    /// Capacity of the (design, workload, cycles) → embeddings cache.
+    pub embedding_cache: usize,
+    /// Capacity of the design → netlist + sub-module data cache.
+    pub design_cache: usize,
+    /// Upper bound on `cycles` per request (backpressure against
+    /// accidental million-cycle requests).
+    pub max_cycles: usize,
+    /// Threads used *inside* one request's embedding stage. Kept low by
+    /// default because concurrency comes from the worker pool.
+    pub embed_threads: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> ServiceConfig {
+        ServiceConfig {
+            workers: 4,
+            embedding_cache: 32,
+            design_cache: 16,
+            max_cycles: 4096,
+            embed_threads: 1,
+        }
+    }
+}
+
+/// Cache key of stage two.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct TraceKey {
+    design: String,
+    workload: String,
+    cycles: usize,
+}
+
+/// Stage-one cache value: the materialized design.
+struct DesignArtifacts {
+    gate: Design,
+    data: Vec<SubmoduleData>,
+}
+
+/// Aggregate service counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServiceStats {
+    /// Requests answered (including errors).
+    pub requests: u64,
+    /// Requests that returned an error.
+    pub errors: u64,
+    /// Embedding-cache counters.
+    pub embedding_cache: CacheStats,
+    /// Design-cache counters.
+    pub design_cache: CacheStats,
+}
+
+struct Shared {
+    model: AtlasModel,
+    experiment: ExperimentConfig,
+    lib: Library,
+    cfg: ServiceConfig,
+    embeddings: LruCache<TraceKey, TraceEmbeddings>,
+    designs: LruCache<String, DesignArtifacts>,
+    requests: AtomicU64,
+    errors: AtomicU64,
+}
+
+type Reply = Result<PredictResponse, (Option<u64>, ServeError)>;
+
+struct Job {
+    request: PredictRequest,
+    reply: mpsc::Sender<Reply>,
+}
+
+#[derive(Default)]
+struct QueueState {
+    jobs: std::collections::VecDeque<Job>,
+    shutdown: bool,
+}
+
+struct Queue {
+    state: Mutex<QueueState>,
+    ready: Condvar,
+}
+
+/// A running prediction service. Cloneable handles are obtained by
+/// wrapping it in an `Arc`; dropping the last handle shuts the workers
+/// down.
+pub struct AtlasService {
+    shared: Arc<Shared>,
+    queue: Arc<Queue>,
+    workers: Vec<thread::JoinHandle<()>>,
+}
+
+impl AtlasService {
+    /// Start a service from a registry-loaded model.
+    pub fn start(saved: SavedModel, cfg: ServiceConfig) -> AtlasService {
+        AtlasService::start_with(saved.model, saved.config, cfg)
+    }
+
+    /// Start a service from an in-memory model and its training config.
+    pub fn start_with(
+        model: AtlasModel,
+        experiment: ExperimentConfig,
+        cfg: ServiceConfig,
+    ) -> AtlasService {
+        let lib = experiment.library();
+        let shared = Arc::new(Shared {
+            model,
+            experiment,
+            lib,
+            embeddings: LruCache::new(cfg.embedding_cache),
+            designs: LruCache::new(cfg.design_cache),
+            requests: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            cfg,
+        });
+        let queue = Arc::new(Queue {
+            state: Mutex::new(QueueState::default()),
+            ready: Condvar::new(),
+        });
+        let workers = (0..shared.cfg.workers.max(1))
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                let queue = Arc::clone(&queue);
+                thread::spawn(move || worker_loop(&shared, &queue))
+            })
+            .collect();
+        AtlasService {
+            shared,
+            queue,
+            workers,
+        }
+    }
+
+    /// Enqueue a request; the returned channel yields the reply.
+    pub fn submit(&self, request: PredictRequest) -> mpsc::Receiver<Reply> {
+        let (tx, rx) = mpsc::channel();
+        let mut state = self.queue.state.lock().expect("queue lock");
+        if state.shutdown {
+            let _ = tx.send(Err((request.id, ServeError::Shutdown)));
+        } else {
+            state.jobs.push_back(Job { request, reply: tx });
+            self.queue.ready.notify_one();
+        }
+        rx
+    }
+
+    /// Answer one request, blocking until a worker finishes it.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ServeError`] the request produced.
+    pub fn call(&self, request: PredictRequest) -> Result<PredictResponse, ServeError> {
+        match self.submit(request).recv() {
+            Ok(Ok(response)) => Ok(response),
+            Ok(Err((_, error))) => Err(error),
+            Err(_) => Err(ServeError::Shutdown),
+        }
+    }
+
+    /// Aggregate counters.
+    pub fn stats(&self) -> ServiceStats {
+        ServiceStats {
+            requests: self.shared.requests.load(Ordering::Relaxed),
+            errors: self.shared.errors.load(Ordering::Relaxed),
+            embedding_cache: self.shared.embeddings.stats(),
+            design_cache: self.shared.designs.stats(),
+        }
+    }
+
+    /// The experiment configuration the model was trained under.
+    pub fn experiment(&self) -> &ExperimentConfig {
+        &self.shared.experiment
+    }
+}
+
+impl Drop for AtlasService {
+    fn drop(&mut self) {
+        {
+            let mut state = self.queue.state.lock().expect("queue lock");
+            state.shutdown = true;
+            // Pending jobs get a shutdown error rather than a hang.
+            while let Some(job) = state.jobs.pop_front() {
+                let _ = job.reply.send(Err((job.request.id, ServeError::Shutdown)));
+            }
+        }
+        self.queue.ready.notify_all();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared, queue: &Queue) {
+    loop {
+        let job = {
+            let mut state = queue.state.lock().expect("queue lock");
+            loop {
+                if let Some(job) = state.jobs.pop_front() {
+                    break job;
+                }
+                if state.shutdown {
+                    return;
+                }
+                state = queue.ready.wait(state).expect("queue lock");
+            }
+        };
+        let id = job.request.id;
+        let reply = handle(shared, &job.request).map_err(|e| (id, e));
+        shared.requests.fetch_add(1, Ordering::Relaxed);
+        if reply.is_err() {
+            shared.errors.fetch_add(1, Ordering::Relaxed);
+        }
+        // A disconnected receiver just means the client went away.
+        let _ = job.reply.send(reply);
+    }
+}
+
+fn handle(shared: &Shared, request: &PredictRequest) -> Result<PredictResponse, ServeError> {
+    let started = Instant::now();
+    if request.cycles == 0 {
+        return Err(ServeError::InvalidRequest("cycles must be positive".into()));
+    }
+    if request.cycles > shared.cfg.max_cycles {
+        return Err(ServeError::InvalidRequest(format!(
+            "cycles {} exceeds the service limit {}",
+            request.cycles, shared.cfg.max_cycles
+        )));
+    }
+    // Validate the names before touching any cache so error paths are
+    // uniform regardless of cache state.
+    let design_cfg = shared.experiment.try_design(&request.design)?;
+
+    let key = TraceKey {
+        design: request.design.clone(),
+        workload: request.workload.clone(),
+        cycles: request.cycles,
+    };
+    let (embeddings, cache_hit, design_cache_hit) = match shared.embeddings.get(&key) {
+        Some(embeddings) => {
+            // Fully warm: stage one and two both skipped. Validate the
+            // workload name anyway so a cached design never masks a bad
+            // request (it cannot be cached under an invalid name, but the
+            // check is cheap and keeps the invariant obvious).
+            shared
+                .experiment
+                .try_workload(&request.workload, design_cfg.seed)?;
+            (embeddings, true, true)
+        }
+        None => {
+            let mut workload = shared
+                .experiment
+                .try_workload(&request.workload, design_cfg.seed)?;
+            let (artifacts, design_cache_hit) = match shared.designs.get(&request.design) {
+                Some(artifacts) => (artifacts, true),
+                None => {
+                    let gate = design_cfg.generate();
+                    let data = build_submodule_data(&gate, &shared.lib);
+                    let artifacts = Arc::new(DesignArtifacts { gate, data });
+                    shared
+                        .designs
+                        .insert(request.design.clone(), Arc::clone(&artifacts));
+                    (artifacts, false)
+                }
+            };
+            let trace = simulate(&artifacts.gate, &mut workload, request.cycles)
+                .map_err(|e| ServeError::Simulation(e.to_string()))?;
+            let embeddings = Arc::new(shared.model.embed_trace(
+                &artifacts.gate,
+                &shared.lib,
+                &artifacts.data,
+                &trace,
+                shared.cfg.embed_threads,
+            ));
+            shared.embeddings.insert(key, Arc::clone(&embeddings));
+            (embeddings, false, design_cache_hit)
+        }
+    };
+
+    let trace = shared.model.predict_from_embeddings(&embeddings);
+    let latency_ms = started.elapsed().as_secs_f64() * 1e3;
+    Ok(summarize(
+        request,
+        &trace,
+        cache_hit,
+        design_cache_hit,
+        latency_ms,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use atlas_core::pipeline::train_atlas;
+
+    use super::*;
+
+    /// A configuration small enough to train inside a unit test.
+    fn micro_config() -> ExperimentConfig {
+        let mut cfg = ExperimentConfig::quick();
+        cfg.cycles = 12;
+        cfg.scale = 0.12;
+        cfg.pretrain.steps = 10;
+        cfg.pretrain.hidden_dim = 12;
+        cfg.finetune.cycles_per_design = 4;
+        cfg.finetune.gbdt.n_estimators = 12;
+        cfg
+    }
+
+    #[test]
+    fn serves_and_caches() {
+        let cfg = micro_config();
+        let trained = train_atlas(&cfg);
+        let service = AtlasService::start_with(
+            trained.model.clone(),
+            cfg.clone(),
+            ServiceConfig {
+                workers: 2,
+                ..ServiceConfig::default()
+            },
+        );
+
+        let request = PredictRequest::new("C2", "W1", 8);
+        let cold = service.call(request.clone()).expect("cold request");
+        assert!(!cold.cache_hit);
+        assert!(!cold.design_cache_hit);
+        assert_eq!(cold.cycles, 8);
+        assert_eq!(cold.per_cycle_total_w.len(), 8);
+        assert!(cold.mean_total_w > 0.0);
+
+        // Same key: embeddings cache hit, bit-identical numbers.
+        let warm = service.call(request.clone()).expect("warm request");
+        assert!(warm.cache_hit);
+        assert!(warm.design_cache_hit);
+        assert_eq!(warm.per_cycle_total_w, cold.per_cycle_total_w);
+        assert_eq!(warm.mean_total_w, cold.mean_total_w);
+
+        // Same design, different workload: design cache hit only.
+        let other = service
+            .call(PredictRequest::new("C2", "W2", 8))
+            .expect("second workload");
+        assert!(!other.cache_hit);
+        assert!(other.design_cache_hit);
+
+        // Parity with the direct model path.
+        let lib = cfg.library();
+        let dcfg = cfg.try_design("C2").expect("design");
+        let gate = dcfg.generate();
+        let mut w = cfg.try_workload("W1", dcfg.seed).expect("workload");
+        let trace = simulate(&gate, &mut w, 8).expect("simulates");
+        let direct = trained.model.predict(&gate, &lib, &trace);
+        assert_eq!(direct.total_series(), cold.per_cycle_total_w);
+
+        let stats = service.stats();
+        assert_eq!(stats.requests, 3);
+        assert_eq!(stats.errors, 0);
+        assert_eq!(stats.embedding_cache.hits, 1);
+        assert_eq!(stats.design_cache.hits, 1);
+    }
+
+    #[test]
+    fn error_paths_are_typed() {
+        let cfg = micro_config();
+        let trained = train_atlas(&cfg);
+        let service = AtlasService::start_with(
+            trained.model,
+            cfg,
+            ServiceConfig {
+                workers: 1,
+                max_cycles: 64,
+                ..ServiceConfig::default()
+            },
+        );
+        assert_eq!(
+            service.call(PredictRequest::new("C9", "W1", 8)),
+            Err(ServeError::UnknownDesign("C9".into()))
+        );
+        assert_eq!(
+            service.call(PredictRequest::new("C2", "W9", 8)),
+            Err(ServeError::UnknownWorkload("W9".into()))
+        );
+        assert!(matches!(
+            service.call(PredictRequest::new("C2", "W1", 0)),
+            Err(ServeError::InvalidRequest(_))
+        ));
+        assert!(matches!(
+            service.call(PredictRequest::new("C2", "W1", 65)),
+            Err(ServeError::InvalidRequest(_))
+        ));
+        let stats = service.stats();
+        assert_eq!(stats.requests, 4);
+        assert_eq!(stats.errors, 4);
+    }
+}

@@ -55,7 +55,10 @@ impl BitGrid {
     /// Panics if `row >= rows()` or `col >= cols()`.
     #[inline]
     pub fn get(&self, row: usize, col: usize) -> bool {
-        assert!(row < self.rows && col < self.cols, "bit ({row},{col}) out of range");
+        assert!(
+            row < self.rows && col < self.cols,
+            "bit ({row},{col}) out of range"
+        );
         let w = self.words[row * self.words_per_row + col / 64];
         (w >> (col % 64)) & 1 == 1
     }
@@ -67,7 +70,10 @@ impl BitGrid {
     /// Panics if `row >= rows()` or `col >= cols()`.
     #[inline]
     pub fn set(&mut self, row: usize, col: usize, value: bool) {
-        assert!(row < self.rows && col < self.cols, "bit ({row},{col}) out of range");
+        assert!(
+            row < self.rows && col < self.cols,
+            "bit ({row},{col}) out of range"
+        );
         let w = &mut self.words[row * self.words_per_row + col / 64];
         if value {
             *w |= 1 << (col % 64);

@@ -186,8 +186,7 @@ impl<'a> Simulator<'a> {
                         .reset()
                         .map(|r| self.values[r.index()])
                         .unwrap_or(false);
-                    self.reg_next[id.index()] =
-                        !rst && self.values[cell.inputs()[0].index()];
+                    self.reg_next[id.index()] = !rst && self.values[cell.inputs()[0].index()];
                 }
                 _ => {}
             }
@@ -200,7 +199,12 @@ impl<'a> Simulator<'a> {
     /// roll the state forward. Returns the number of toggled nets.
     fn record_toggles(&mut self, grid: &mut BitGrid, row: usize) -> usize {
         let mut count = 0;
-        for (i, (&cur, prev)) in self.values.iter().zip(self.prev_values.iter_mut()).enumerate() {
+        for (i, (&cur, prev)) in self
+            .values
+            .iter()
+            .zip(self.prev_values.iter_mut())
+            .enumerate()
+        {
             if cur != *prev {
                 grid.set(row, i, true);
                 count += 1;
@@ -277,7 +281,7 @@ mod tests {
         let mut stim = VectorStimulus::new(vec![vec![]], 0);
         let trace = simulate(&d, &mut stim, 16).expect("simulates");
         let q = d.cells()[1].output(); // the dff output net
-        // After the first cycle the register output flips every cycle.
+                                       // After the first cycle the register output flips every cycle.
         for t in 1..16 {
             assert!(trace.net_toggled(t, q), "q must toggle at cycle {t}");
         }
@@ -289,16 +293,14 @@ mod tests {
         let sm = b.add_submodule("t.u", "t");
         let a = b.add_input();
         let c = b.add_input();
-        let y = b.add_cell(CellClass::And2, Drive::X1, &[a, c], sm).expect("ok");
+        let y = b
+            .add_cell(CellClass::And2, Drive::X1, &[a, c], sm)
+            .expect("ok");
         b.mark_output(y);
         let d = b.finish().expect("valid");
         let mut sim = Simulator::new(&d).expect("levelizes");
         let mut stim = VectorStimulus::new(
-            vec![
-                vec![false, false],
-                vec![true, false],
-                vec![true, true],
-            ],
+            vec![vec![false, false], vec![true, false], vec![true, true]],
             0,
         );
         sim.step(&mut stim);
@@ -343,8 +345,8 @@ mod tests {
         // cycle 0: write data=1.
         let mut stim = VectorStimulus::new(
             vec![
-                vec![false, true, false, true], // write 1
-                vec![true, false, false, false], // read addr 0
+                vec![false, true, false, true],   // write 1
+                vec![true, false, false, false],  // read addr 0
                 vec![false, false, false, false], // idle
             ],
             0,
@@ -387,7 +389,9 @@ mod tests {
         for i in 0..16 {
             let a = nets[i % nets.len()];
             let c = nets[(i * 3 + 1) % nets.len()];
-            let y = b.add_cell(CellClass::Xor2, Drive::X1, &[a, c], sm).expect("ok");
+            let y = b
+                .add_cell(CellClass::Xor2, Drive::X1, &[a, c], sm)
+                .expect("ok");
             nets.push(y);
         }
         b.mark_output(*nets.last().expect("nonempty"));
@@ -396,7 +400,10 @@ mod tests {
         let cold = simulate(&d, &mut ConstantWorkload::new(0.02, 9), 256).expect("simulates");
         let hot_total: usize = hot.per_cycle_counts().iter().sum();
         let cold_total: usize = cold.per_cycle_counts().iter().sum();
-        assert!(hot_total > cold_total * 3, "hot={hot_total} cold={cold_total}");
+        assert!(
+            hot_total > cold_total * 3,
+            "hot={hot_total} cold={cold_total}"
+        );
     }
 
     #[test]

@@ -63,7 +63,10 @@ impl PhasedWorkload {
     pub fn new(name: impl Into<String>, phases: Vec<WorkloadPhase>, seed: u64) -> PhasedWorkload {
         assert!(!phases.is_empty(), "workload needs at least one phase");
         for p in &phases {
-            assert!(p.min_len > 0 && p.min_len <= p.max_len, "bad phase length bounds");
+            assert!(
+                p.min_len > 0 && p.min_len <= p.max_len,
+                "bad phase length bounds"
+            );
         }
         PhasedWorkload {
             name: name.into(),
@@ -80,12 +83,28 @@ impl PhasedWorkload {
         PhasedWorkload::new(
             "W1",
             vec![
-                WorkloadPhase { activity: 0.35, min_len: 15, max_len: 40 },
-                WorkloadPhase { activity: 0.15, min_len: 25, max_len: 60 },
-                WorkloadPhase { activity: 0.50, min_len: 5, max_len: 15 },
-                WorkloadPhase { activity: 0.05, min_len: 10, max_len: 30 },
+                WorkloadPhase {
+                    activity: 0.35,
+                    min_len: 15,
+                    max_len: 40,
+                },
+                WorkloadPhase {
+                    activity: 0.15,
+                    min_len: 25,
+                    max_len: 60,
+                },
+                WorkloadPhase {
+                    activity: 0.50,
+                    min_len: 5,
+                    max_len: 15,
+                },
+                WorkloadPhase {
+                    activity: 0.05,
+                    min_len: 10,
+                    max_len: 30,
+                },
             ],
-            seed.wrapping_mul(2).wrapping_add(0x57A7E_1),
+            seed.wrapping_mul(2).wrapping_add(0x57A7E1),
         )
     }
 
@@ -95,12 +114,28 @@ impl PhasedWorkload {
         PhasedWorkload::new(
             "W2",
             vec![
-                WorkloadPhase { activity: 0.20, min_len: 20, max_len: 50 },
-                WorkloadPhase { activity: 0.02, min_len: 30, max_len: 80 },
-                WorkloadPhase { activity: 0.40, min_len: 4, max_len: 12 },
-                WorkloadPhase { activity: 0.10, min_len: 20, max_len: 40 },
+                WorkloadPhase {
+                    activity: 0.20,
+                    min_len: 20,
+                    max_len: 50,
+                },
+                WorkloadPhase {
+                    activity: 0.02,
+                    min_len: 30,
+                    max_len: 80,
+                },
+                WorkloadPhase {
+                    activity: 0.40,
+                    min_len: 4,
+                    max_len: 12,
+                },
+                WorkloadPhase {
+                    activity: 0.10,
+                    min_len: 20,
+                    max_len: 40,
+                },
             ],
-            seed.wrapping_mul(3).wrapping_add(0x57A7E_2),
+            seed.wrapping_mul(3).wrapping_add(0x57A7E2),
         )
     }
 
@@ -184,13 +219,19 @@ impl VectorStimulus {
     /// Replay `vectors[cycle]` each cycle, with reset asserted for
     /// `reset_cycles` cycles.
     pub fn new(vectors: Vec<Vec<bool>>, reset_cycles: usize) -> VectorStimulus {
-        VectorStimulus { vectors, reset_cycles }
+        VectorStimulus {
+            vectors,
+            reset_cycles,
+        }
     }
 }
 
 impl Stimulus for VectorStimulus {
     fn apply(&mut self, cycle: usize, inputs: &mut [bool]) {
-        if let Some(v) = self.vectors.get(cycle.min(self.vectors.len().saturating_sub(1))) {
+        if let Some(v) = self
+            .vectors
+            .get(cycle.min(self.vectors.len().saturating_sub(1)))
+        {
             for (dst, src) in inputs.iter_mut().zip(v) {
                 *dst = *src;
             }
@@ -258,7 +299,10 @@ mod tests {
             prev_h.copy_from_slice(&vh);
             prev_c.copy_from_slice(&vc);
         }
-        assert!(flips_hot > flips_cold * 5, "hot={flips_hot} cold={flips_cold}");
+        assert!(
+            flips_hot > flips_cold * 5,
+            "hot={flips_hot} cold={flips_cold}"
+        );
     }
 
     #[test]

@@ -76,7 +76,9 @@ impl ToggleTrace {
 
     /// Number of nets that toggled in each cycle.
     pub fn per_cycle_counts(&self) -> Vec<usize> {
-        (0..self.cycles).map(|t| self.net_toggles.count_row(t)).collect()
+        (0..self.cycles)
+            .map(|t| self.net_toggles.count_row(t))
+            .collect()
     }
 
     /// Iterate the nets that toggled in `cycle`.

@@ -48,9 +48,8 @@ pub fn write_vcd<W: Write>(
     nets: Option<&[NetId]>,
     mut w: W,
 ) -> io::Result<()> {
-    let mut sim = Simulator::new(design).map_err(|e: SimError| {
-        io::Error::new(io::ErrorKind::InvalidInput, e.to_string())
-    })?;
+    let mut sim = Simulator::new(design)
+        .map_err(|e: SimError| io::Error::new(io::ErrorKind::InvalidInput, e.to_string()))?;
 
     let all: Vec<NetId>;
     let selected: &[NetId] = match nets {
@@ -66,7 +65,12 @@ pub fn write_vcd<W: Write>(
     writeln!(w, "$timescale 1ns $end")?;
     writeln!(w, "$scope module {} $end", design.name())?;
     for &net in selected {
-        writeln!(w, "$var wire 1 {} n{} $end", ident(net.index()), net.index())?;
+        writeln!(
+            w,
+            "$var wire 1 {} n{} $end",
+            ident(net.index()),
+            net.index()
+        )?;
     }
     writeln!(w, "$upscope $end")?;
     writeln!(w, "$enddefinitions $end")?;
@@ -134,7 +138,10 @@ mod tests {
         assert!(text.contains("#0"));
         assert!(text.contains("#2"));
         // y = !a: starts 1, drops to 0 at cycle 1, no change at cycle 2.
-        let changes = text.lines().filter(|l| l.starts_with('0') || l.starts_with('1')).count();
+        let changes = text
+            .lines()
+            .filter(|l| l.starts_with('0') || l.starts_with('1'))
+            .count();
         assert_eq!(changes, 2);
     }
 }

@@ -19,7 +19,10 @@ fn main() {
         let eval = trained.evaluate_test(design, "W1");
         let table = component_table(&eval.labels, &eval.atlas, &eval.gate);
         println!("\ncomponent power of unseen {design} under W1:");
-        println!("  {:<12} {:>12} {:>12} {:>9}", "component", "label (mW)", "ATLAS (mW)", "MAPE");
+        println!(
+            "  {:<12} {:>12} {:>12} {:>9}",
+            "component", "label (mW)", "ATLAS (mW)", "MAPE"
+        );
         for row in &table {
             println!(
                 "  {:<12} {:>12.3} {:>12.3} {:>8.2}%",
@@ -33,7 +36,11 @@ fn main() {
             .iter()
             .max_by(|a, b| a.label_w.partial_cmp(&b.label_w).expect("no NaN"))
             .expect("components exist");
-        println!("  → hottest component: {} ({:.3} mW)", biggest.component, biggest.label_w * 1e3);
+        println!(
+            "  → hottest component: {} ({:.3} mW)",
+            biggest.component,
+            biggest.label_w * 1e3
+        );
     }
     println!("\nEach component value is the sum of its sub-modules' predictions — the");
     println!("partition is exact, so the rollup adds nothing beyond the model's error.");

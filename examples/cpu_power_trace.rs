@@ -19,14 +19,22 @@ use atlas_sim::{simulate, PhasedWorkload};
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let lib = Library::synthetic_40nm();
     let gate = DesignConfig::c2().scaled(0.5).generate();
-    println!("design {}: {} cells, {} sub-modules", gate.name(), gate.cell_count(), gate.submodules().len());
+    println!(
+        "design {}: {} cells, {} sub-modules",
+        gate.name(),
+        gate.cell_count(),
+        gate.submodules().len()
+    );
 
     println!("running the layout flow (place, buffer, CTS, route, RC)...");
     let layout = run_layout(&gate, &lib, &LayoutConfig::default());
     println!(
         "  {} → {} cells (+{} buffers, +{} clock cells), {:.0} µm routed wire",
-        layout.report.gate_cells, layout.report.post_cells,
-        layout.report.buffers_added, layout.report.clock_cells, layout.report.routed_um
+        layout.report.gate_cells,
+        layout.report.post_cells,
+        layout.report.buffers_added,
+        layout.report.clock_cells,
+        layout.report.routed_um
     );
 
     let cycles = 300;
@@ -49,8 +57,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("\nper-cycle power (non-memory groups):");
     println!("  mean {:.3} mW", mean * 1e3);
-    println!("  peak {:.3} mW at cycle {peak_cycle} ({:+.1}% over mean)", peak * 1e3, 100.0 * (peak / mean - 1.0));
-    println!("  idle {:.3} mW at cycle {idle_cycle} ({:+.1}% under mean)", idle * 1e3, 100.0 * (idle / mean - 1.0));
+    println!(
+        "  peak {:.3} mW at cycle {peak_cycle} ({:+.1}% over mean)",
+        peak * 1e3,
+        100.0 * (peak / mean - 1.0)
+    );
+    println!(
+        "  idle {:.3} mW at cycle {idle_cycle} ({:+.1}% under mean)",
+        idle * 1e3,
+        100.0 * (idle / mean - 1.0)
+    );
     println!("\ngroup means:");
     for g in PowerGroup::ALL {
         println!("  {:<14} {:.3} mW", g.label(), power.mean_group(g) * 1e3);

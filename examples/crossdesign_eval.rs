@@ -25,15 +25,21 @@ fn main() {
     let (start, end) = trained.pretrain_stats.improvement(12);
     println!("  joint SSL loss: {start:.3} → {end:.3}");
 
-    println!("\n{:<8} {:<4} | {:>9} {:>9} | {:>9} {:>9}", "Design", "WL", "ATLAS tot", "ATLAS CT", "Base tot", "Base CT");
+    println!(
+        "\n{:<8} {:<4} | {:>9} {:>9} | {:>9} {:>9}",
+        "Design", "WL", "ATLAS tot", "ATLAS CT", "Base tot", "Base CT"
+    );
     for design in ["C2", "C4"] {
         for workload in ["W1", "W2"] {
             let row = trained.evaluate_test_design(design, workload);
             println!(
                 "{:<8} {:<4} | {:>8.2}% {:>8.2}% | {:>8.2}% {:>8.2}%",
-                design, workload,
-                row.atlas_mape_total, row.atlas_mape_ct,
-                row.baseline_mape_total, row.baseline_mape_ct
+                design,
+                workload,
+                row.atlas_mape_total,
+                row.atlas_mape_ct,
+                row.baseline_mape_total,
+                row.baseline_mape_ct
             );
         }
     }

@@ -16,7 +16,10 @@ fn main() {
     // paper-shaped setup.
     let cfg = ExperimentConfig::quick();
 
-    println!("training ATLAS on C1/C3/C5/C6 (scale {:.2}, {} cycles)...", cfg.scale, cfg.cycles);
+    println!(
+        "training ATLAS on C1/C3/C5/C6 (scale {:.2}, {} cycles)...",
+        cfg.scale, cfg.cycles
+    );
     let trained = train_atlas(&cfg);
     println!(
         "  prepared data in {:.1}s, pre-trained in {:.1}s, fine-tuned in {:.1}s",
@@ -28,10 +31,22 @@ fn main() {
     let eval = trained.evaluate_test("C2", "W1");
 
     println!("\nper-group MAPE vs golden post-layout power:");
-    println!("  combinational : ATLAS {:6.2}%   gate-level tool {:6.2}%", eval.row.atlas_mape_comb, eval.row.baseline_mape_comb);
-    println!("  clock tree    : ATLAS {:6.2}%   gate-level tool {:6.2}%", eval.row.atlas_mape_ct, eval.row.baseline_mape_ct);
-    println!("  register      : ATLAS {:6.2}%   gate-level tool {:6.2}%", eval.row.atlas_mape_reg, eval.row.baseline_mape_reg);
-    println!("  total         : ATLAS {:6.2}%   gate-level tool {:6.2}%", eval.row.atlas_mape_total, eval.row.baseline_mape_total);
+    println!(
+        "  combinational : ATLAS {:6.2}%   gate-level tool {:6.2}%",
+        eval.row.atlas_mape_comb, eval.row.baseline_mape_comb
+    );
+    println!(
+        "  clock tree    : ATLAS {:6.2}%   gate-level tool {:6.2}%",
+        eval.row.atlas_mape_ct, eval.row.baseline_mape_ct
+    );
+    println!(
+        "  register      : ATLAS {:6.2}%   gate-level tool {:6.2}%",
+        eval.row.atlas_mape_reg, eval.row.baseline_mape_reg
+    );
+    println!(
+        "  total         : ATLAS {:6.2}%   gate-level tool {:6.2}%",
+        eval.row.atlas_mape_total, eval.row.baseline_mape_total
+    );
 
     println!("\nfirst cycles of the total power trace (mW):");
     println!("  cycle   label   ATLAS");

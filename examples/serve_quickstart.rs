@@ -1,0 +1,84 @@
+//! Serving quick start: train a small ATLAS, persist it to a model
+//! registry, start the in-process service, and fire concurrent requests.
+//!
+//! ```text
+//! cargo run --release --example serve_quickstart
+//! ```
+//!
+//! The same service is what the `serve` binary exposes over
+//! stdin/stdout or TCP as JSON lines; see README.md §Serving.
+
+use std::sync::Arc;
+
+use atlas::core::pipeline::{train_atlas, ExperimentConfig};
+use atlas_serve::{AtlasService, ModelRegistry, PredictRequest, ServiceConfig};
+
+fn main() {
+    // 1. Train at quick scale (a few minutes of CPU at most).
+    let cfg = ExperimentConfig::quick();
+    println!(
+        "training ATLAS (scale {}, {} cycles) on C1/C3/C5/C6...",
+        cfg.scale, cfg.cycles
+    );
+    let trained = train_atlas(&cfg);
+    println!(
+        "trained in {:.1}s prepare + {:.1}s pretrain + {:.1}s finetune",
+        trained.timing.prepare_s, trained.timing.pretrain_s, trained.timing.finetune_s
+    );
+
+    // 2. Persist to a registry and load back — the file a production
+    //    `serve --registry ... --model quickstart` invocation would read.
+    let registry = ModelRegistry::open("target/registry").expect("registry opens");
+    let path = registry
+        .save("quickstart", &trained.model, &cfg)
+        .expect("model saves");
+    println!("saved model to {}", path.display());
+    let saved = registry.load("quickstart").expect("model loads");
+
+    // 3. Serve. Four workers, default cache sizes.
+    let service = Arc::new(AtlasService::start(
+        saved,
+        ServiceConfig {
+            workers: 4,
+            ..ServiceConfig::default()
+        },
+    ));
+
+    // 4. Fire concurrent requests: the unseen designs C2/C4 under both
+    //    workloads, twice each — the second round hits the cache.
+    let requests: Vec<PredictRequest> = ["C2", "C4"]
+        .iter()
+        .flat_map(|d| ["W1", "W2"].iter().map(|w| PredictRequest::new(*d, *w, 64)))
+        .collect();
+    for round in 0..2 {
+        let label = if round == 0 { "cold" } else { "warm" };
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = requests
+                .iter()
+                .map(|req| {
+                    let service = Arc::clone(&service);
+                    let req = req.clone();
+                    scope.spawn(move || service.call(req).expect("request succeeds"))
+                })
+                .collect();
+            for h in handles {
+                let resp = h.join().expect("client thread");
+                println!(
+                    "[{label}] {}/{}: mean {:.4} W, peak {:.4} W, {:.2} ms{}",
+                    resp.design,
+                    resp.workload,
+                    resp.mean_total_w,
+                    resp.peak_total_w,
+                    resp.latency_ms,
+                    if resp.cache_hit { " (cache hit)" } else { "" },
+                );
+            }
+        });
+    }
+
+    let stats = service.stats();
+    println!(
+        "\n{} requests served, embedding cache: {} hits / {} misses",
+        stats.requests, stats.embedding_cache.hits, stats.embedding_cache.misses
+    );
+}

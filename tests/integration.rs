@@ -46,8 +46,14 @@ fn substrate_stack_end_to_end() {
         &post_power.group_series(PowerGroup::Combinational),
         &gate_power.group_series(PowerGroup::Combinational),
     );
-    assert!(reg_err < 20.0, "register group should be stage-stable, got {reg_err:.1}%");
-    assert!(comb_err > 40.0, "combinational gap should be large, got {comb_err:.1}%");
+    assert!(
+        reg_err < 20.0,
+        "register group should be stage-stable, got {reg_err:.1}%"
+    );
+    assert!(
+        comb_err > 40.0,
+        "combinational gap should be large, got {comb_err:.1}%"
+    );
 }
 
 /// The three netlist stages (`Ng`, `N+g`, `Np`) are cycle-for-cycle

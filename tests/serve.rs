@@ -1,0 +1,214 @@
+//! End-to-end serving tests: train → persist → reload through the
+//! registry → serve concurrent requests → verify parity with direct
+//! model predictions.
+
+use std::sync::Arc;
+
+use atlas_core::features::build_submodule_data;
+use atlas_core::pipeline::{train_atlas, ExperimentConfig};
+use atlas_power::PowerTrace;
+use atlas_serve::{
+    AtlasService, ModelRegistry, PredictRequest, RegistryError, ServiceConfig, FORMAT_VERSION,
+};
+use atlas_sim::simulate;
+
+/// A configuration small enough to train inside the test suite.
+fn micro_config() -> ExperimentConfig {
+    let mut cfg = ExperimentConfig::quick();
+    cfg.cycles = 16;
+    cfg.scale = 0.12;
+    cfg.pretrain.steps = 14;
+    cfg.pretrain.hidden_dim = 12;
+    cfg.finetune.cycles_per_design = 6;
+    cfg.finetune.gbdt.n_estimators = 16;
+    cfg
+}
+
+/// A scratch registry directory unique to this test process.
+fn scratch_registry(tag: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("atlas-serve-test-{tag}-{}", std::process::id()))
+}
+
+/// Direct (no service) prediction for one request, the reference result.
+fn direct_prediction(
+    cfg: &ExperimentConfig,
+    model: &atlas_core::AtlasModel,
+    design: &str,
+    workload: &str,
+    cycles: usize,
+) -> PowerTrace {
+    let lib = cfg.library();
+    let dcfg = cfg.try_design(design).expect("known design");
+    let gate = dcfg.generate();
+    let mut w = cfg
+        .try_workload(workload, dcfg.seed)
+        .expect("known workload");
+    let trace = simulate(&gate, &mut w, cycles).expect("simulates");
+    let data = build_submodule_data(&gate, &lib);
+    model.predict_prepared(&gate, &lib, &data, &trace)
+}
+
+/// The PR's acceptance test: a quick model is trained, saved, loaded
+/// through the registry, and serves ≥ 8 concurrent requests across ≥ 2
+/// designs with results matching direct `AtlasModel` predictions.
+#[test]
+fn registry_roundtrip_and_concurrent_serving() {
+    let cfg = micro_config();
+    let trained = train_atlas(&cfg);
+
+    // Persist and reload through the registry.
+    let dir = scratch_registry("concurrent");
+    let registry = ModelRegistry::open(&dir).expect("registry opens");
+    registry
+        .save("itest", &trained.model, &cfg)
+        .expect("model saves");
+    assert_eq!(registry.list().expect("list"), vec!["itest".to_owned()]);
+    let saved = registry.load("itest").expect("model loads");
+    assert_eq!(saved.header.format_version, FORMAT_VERSION);
+    assert_eq!(
+        saved.model, trained.model,
+        "registry round-trip must preserve the model exactly"
+    );
+
+    // Serve 8 concurrent requests across 2 designs × 2 workloads.
+    let service = Arc::new(AtlasService::start(
+        saved,
+        ServiceConfig {
+            workers: 4,
+            ..ServiceConfig::default()
+        },
+    ));
+    let cases: Vec<(String, String, usize)> = ["C2", "C4"]
+        .iter()
+        .flat_map(|d| {
+            ["W1", "W2"]
+                .iter()
+                .map(|w| (d.to_string(), w.to_string(), 10usize))
+                .collect::<Vec<_>>()
+        })
+        .collect();
+    // 8 clients: every (design, workload) pair requested twice.
+    let responses: Vec<_> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..8)
+            .map(|i| {
+                let service = Arc::clone(&service);
+                let (design, workload, cycles) = cases[i % cases.len()].clone();
+                scope.spawn(move || {
+                    let req = PredictRequest {
+                        id: Some(i as u64),
+                        design,
+                        workload,
+                        cycles,
+                    };
+                    (req.clone(), service.call(req).expect("request succeeds"))
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client"))
+            .collect()
+    });
+    assert_eq!(responses.len(), 8);
+
+    // Every response matches the direct model path bit-for-bit.
+    for (req, resp) in &responses {
+        assert_eq!(resp.id, req.id);
+        assert_eq!(resp.cycles, 10);
+        let direct = direct_prediction(&cfg, &trained.model, &req.design, &req.workload, 10);
+        assert_eq!(
+            resp.per_cycle_total_w,
+            direct.total_series(),
+            "served prediction diverged from direct prediction for {}/{}",
+            req.design,
+            req.workload
+        );
+        assert!(resp.mean_total_w > 0.0);
+    }
+
+    let stats = service.stats();
+    assert_eq!(stats.requests, 8);
+    assert_eq!(stats.errors, 0);
+
+    // A sequential repeat of an already-served key must be a cache hit.
+    // (The concurrent duplicates above *usually* hit too, but without
+    // single-flight two simultaneous cold requests may both miss, so
+    // only the sequential case is asserted deterministically.)
+    let warm = service
+        .call(PredictRequest::new("C2", "W1", 10))
+        .expect("warm request");
+    assert!(warm.cache_hit, "sequential repeat must hit the cache");
+    assert!(warm.design_cache_hit);
+
+    drop(service);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Registry rejection paths: wrong format version, tampered config,
+/// missing model.
+#[test]
+fn registry_rejects_incompatible_files() {
+    let cfg = micro_config();
+    let trained = train_atlas(&cfg);
+    let dir = scratch_registry("reject");
+    let registry = ModelRegistry::open(&dir).expect("registry opens");
+    let path = registry.save("m", &trained.model, &cfg).expect("saves");
+
+    // Wrong version: bump the header's format_version in place.
+    let json = std::fs::read_to_string(&path).expect("readable");
+    let future_version = format!("\"format_version\":{}", FORMAT_VERSION + 1);
+    let tampered = json.replace(
+        &format!("\"format_version\":{FORMAT_VERSION}"),
+        &future_version,
+    );
+    assert_ne!(json, tampered, "version marker must exist in the file");
+    std::fs::write(&path, &tampered).expect("writable");
+    match registry.load("m") {
+        Err(RegistryError::WrongVersion { found, expected }) => {
+            assert_eq!(found, FORMAT_VERSION + 1);
+            assert_eq!(expected, FORMAT_VERSION);
+        }
+        Err(other) => panic!("expected WrongVersion, got {other:?}"),
+        Ok(_) => panic!("a future-version file must not load"),
+    }
+
+    // Tampered config: restore the version but change the config's
+    // cycle count without updating the fingerprint.
+    let tampered = json.replace(
+        &format!("\"cycles\":{}", cfg.cycles),
+        &format!("\"cycles\":{}", cfg.cycles + 1),
+    );
+    assert_ne!(json, tampered);
+    std::fs::write(&path, &tampered).expect("writable");
+    assert!(matches!(
+        registry.load("m"),
+        Err(RegistryError::FingerprintMismatch { .. })
+    ));
+
+    // Unknown name.
+    assert_eq!(
+        registry.load("nope").err(),
+        Some(RegistryError::NotFound("nope".to_owned()))
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A saved-then-loaded model predicts identically to the in-memory one.
+#[test]
+fn persisted_model_prediction_parity() {
+    let cfg = micro_config();
+    let trained = train_atlas(&cfg);
+    let dir = scratch_registry("parity");
+    let registry = ModelRegistry::open(&dir).expect("registry opens");
+    registry.save("p", &trained.model, &cfg).expect("saves");
+    let loaded = registry.load("p").expect("loads");
+
+    let in_memory = direct_prediction(&cfg, &trained.model, "C2", "W1", 12);
+    let from_disk = direct_prediction(&cfg, &loaded.model, "C2", "W1", 12);
+    assert_eq!(
+        in_memory, from_disk,
+        "persistence must not change predictions"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,220 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the configuration/builder surface the workspace's benches
+//! use — `Criterion::default()`, `measurement_time`, `warm_up_time`,
+//! `sample_size`, `bench_function`, `benchmark_group`, the
+//! `criterion_group!` / `criterion_main!` macros and [`black_box`] — with
+//! a simple median-of-samples wall-clock measurement instead of the real
+//! crate's statistical machinery. Results print to stdout.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// The benchmark driver.
+pub struct Criterion {
+    warm_up: Duration,
+    measurement: Duration,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            warm_up: Duration::from_millis(300),
+            measurement: Duration::from_secs(2),
+            sample_size: 20,
+        }
+    }
+}
+
+impl Criterion {
+    /// Set the measurement budget per benchmark.
+    #[must_use]
+    pub fn measurement_time(mut self, d: Duration) -> Criterion {
+        self.measurement = d;
+        self
+    }
+
+    /// Set the warm-up budget per benchmark.
+    #[must_use]
+    pub fn warm_up_time(mut self, d: Duration) -> Criterion {
+        self.warm_up = d;
+        self
+    }
+
+    /// Set how many timed samples are collected.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Run one named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(
+            name,
+            self.warm_up,
+            self.measurement,
+            self.sample_size,
+            &mut f,
+        );
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            parent: self,
+            name: name.to_owned(),
+            sample_size: None,
+        }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Override the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(1));
+        self
+    }
+
+    /// Run one benchmark in the group.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, name);
+        let samples = self.sample_size.unwrap_or(self.parent.sample_size);
+        run_bench(
+            &full,
+            self.parent.warm_up,
+            self.parent.measurement,
+            samples,
+            &mut f,
+        );
+        self
+    }
+
+    /// Finish the group (no-op; exists for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Passed to the benchmark closure; call [`iter`](Bencher::iter) with the
+/// code under test.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `iters` executions of `routine`.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(
+    name: &str,
+    warm_up: Duration,
+    measurement: Duration,
+    sample_size: usize,
+    f: &mut F,
+) {
+    // Warm-up and iteration-count calibration: grow until one batch takes
+    // a measurable slice of the warm-up budget.
+    let mut iters: u64 = 1;
+    let warm_deadline = Instant::now() + warm_up;
+    loop {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        if Instant::now() >= warm_deadline || b.elapsed >= warm_up / 10 {
+            break;
+        }
+        iters = iters.saturating_mul(2);
+    }
+
+    let mut samples: Vec<f64> = Vec::with_capacity(sample_size);
+    let deadline = Instant::now() + measurement;
+    for _ in 0..sample_size {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        samples.push(b.elapsed.as_secs_f64() / iters.max(1) as f64);
+        if Instant::now() >= deadline {
+            break;
+        }
+    }
+    samples.sort_by(|a, b| a.total_cmp(b));
+    let median = samples[samples.len() / 2];
+    println!(
+        "{name:<50} {:>12}  ({} samples × {iters} iters)",
+        fmt_time(median),
+        samples.len()
+    );
+}
+
+fn fmt_time(seconds: f64) -> String {
+    if seconds >= 1.0 {
+        format!("{seconds:.3} s")
+    } else if seconds >= 1e-3 {
+        format!("{:.3} ms", seconds * 1e3)
+    } else if seconds >= 1e-6 {
+        format!("{:.3} µs", seconds * 1e6)
+    } else {
+        format!("{:.1} ns", seconds * 1e9)
+    }
+}
+
+/// Declare a group of benchmark target functions.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            $(
+                {
+                    let mut criterion: $crate::Criterion = $config;
+                    $target(&mut criterion);
+                }
+            )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench`/`cargo test` pass harness flags (e.g.
+            // `--bench`, `--test`) which this minimal harness ignores.
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,102 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Only [`thread::scope`] is provided — the one API the workspace uses —
+//! implemented directly on top of `std::thread::scope` (stable since Rust
+//! 1.63, which post-dates crossbeam's scoped threads). The signatures
+//! mirror crossbeam's so the real crate can be swapped back in without
+//! source changes.
+
+pub mod thread {
+    //! Scoped threads with the `crossbeam::thread` calling convention.
+
+    use std::any::Any;
+
+    /// Handle to a scope, passed to the closure and to every spawned
+    /// thread's closure (crossbeam's convention; `std` instead returns the
+    /// scope from `std::thread::scope`).
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    // Manual impls: the wrapper is just a shared reference.
+    impl<'scope, 'env> Clone for Scope<'scope, 'env> {
+        fn clone(&self) -> Self {
+            *self
+        }
+    }
+
+    impl<'scope, 'env> Copy for Scope<'scope, 'env> {}
+
+    /// Handle to a thread spawned inside a [`Scope`].
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Wait for the thread to finish, returning its result or the
+        /// panic payload.
+        pub fn join(self) -> Result<T, Box<dyn Any + Send + 'static>> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a thread inside the scope. The closure receives the scope
+        /// itself so it can spawn further threads (crossbeam convention).
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle {
+                inner: inner.spawn(move || f(&Scope { inner })),
+            }
+        }
+    }
+
+    /// Run `f` with a scope in which borrowed-data threads can be
+    /// spawned; all spawned threads are joined before this returns.
+    ///
+    /// # Errors
+    ///
+    /// The real crossbeam returns `Err` when an unjoined child panicked.
+    /// `std::thread::scope` propagates such panics instead, so this
+    /// always returns `Ok` — callers' `.expect(..)` remains correct.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_share_borrows() {
+        let data = [1u64, 2, 3, 4];
+        let total: u64 = crate::thread::scope(|scope| {
+            let handles: Vec<_> = data
+                .chunks(2)
+                .map(|chunk| scope.spawn(move |_| chunk.iter().sum::<u64>()))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("no panic"))
+                .sum()
+        })
+        .expect("scope completes");
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn nested_spawn_through_scope_argument() {
+        let n: usize = crate::thread::scope(|scope| {
+            let h = scope.spawn(|inner| inner.spawn(|_| 21usize).join().expect("inner") * 2);
+            h.join().expect("outer")
+        })
+        .expect("scope completes");
+        assert_eq!(n, 42);
+    }
+}

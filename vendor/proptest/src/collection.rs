@@ -1,0 +1,28 @@
+//! Collection strategies (`proptest::collection::vec`).
+
+use std::ops::Range;
+
+use crate::{Strategy, TestRng};
+
+/// Strategy for `Vec`s with element strategy `S` and length drawn from a
+/// half-open range.
+pub struct VecStrategy<S> {
+    element: S,
+    len: Range<usize>,
+}
+
+/// `vec(strategy, 0..50)`: vectors of 0 to 49 elements.
+pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+    assert!(len.start < len.end, "empty length range");
+    VecStrategy { element, len }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let span = (self.len.end - self.len.start) as u64;
+        let n = self.len.start + (rng.next_u64() % span) as usize;
+        (0..n).map(|_| self.element.generate(rng)).collect()
+    }
+}

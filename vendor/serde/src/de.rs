@@ -1,0 +1,101 @@
+//! Deserialization error type and helpers used by generated code.
+
+use std::fmt;
+
+use crate::{Deserialize, Value};
+
+/// Why a [`Value`] could not be turned into the requested type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    /// An error with a preformatted message.
+    pub fn custom(msg: impl Into<String>) -> Error {
+        Error { msg: msg.into() }
+    }
+
+    /// "expected X while deserializing Y, found Z".
+    pub fn expected(what: &str, target: &str, found: &Value) -> Error {
+        Error {
+            msg: format!("expected {what} for `{target}`, found {}", found.kind()),
+        }
+    }
+
+    /// A required map field was absent.
+    pub fn missing_field(field: &str, target: &str) -> Error {
+        Error {
+            msg: format!("missing field `{field}` for `{target}`"),
+        }
+    }
+
+    /// An enum tag did not match any variant.
+    pub fn unknown_variant(tag: &str, target: &str) -> Error {
+        Error {
+            msg: format!("unknown variant `{tag}` for `{target}`"),
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Look up `name` in a struct map and deserialize it — the workhorse of
+/// derived `Deserialize` impls for named-field structs.
+///
+/// A missing field is retried against `Value::Null` before erroring, so
+/// `Option<T>` fields deserialize to `None` when absent — the real
+/// serde_derive's behavior.
+///
+/// # Errors
+///
+/// Fails when a non-nullable field is absent or its value does not
+/// deserialize.
+pub fn field<T: Deserialize>(
+    map: &[(String, Value)],
+    name: &str,
+    target: &str,
+) -> Result<T, Error> {
+    match map.iter().find(|(k, _)| k == name) {
+        Some((_, v)) => T::from_value(v),
+        None => T::from_value(&Value::Null).map_err(|_| Error::missing_field(name, target)),
+    }
+}
+
+/// Deserialize element `idx` of a sequence — used by derived impls for
+/// tuple structs and tuple enum variants.
+///
+/// # Errors
+///
+/// Fails when the sequence is too short or the element does not
+/// deserialize.
+pub fn element<T: Deserialize>(seq: &[Value], idx: usize, target: &str) -> Result<T, Error> {
+    match seq.get(idx) {
+        Some(v) => T::from_value(v),
+        None => Err(Error::custom(format!(
+            "sequence for `{target}` too short: no element {idx}"
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn missing_option_field_is_none() {
+        let map: Vec<(String, Value)> = vec![("x".to_owned(), Value::UInt(3))];
+        let opt: Option<u64> = field(&map, "absent", "T").expect("Option defaults to None");
+        assert_eq!(opt, None);
+        let present: Option<u64> = field(&map, "x", "T").expect("present Option");
+        assert_eq!(present, Some(3));
+        let required: Result<u64, Error> = field(&map, "absent", "T");
+        assert_eq!(required, Err(Error::missing_field("absent", "T")));
+    }
+}

@@ -1,0 +1,38 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment has no crates.io access, so this vendored crate
+//! supplies the serialization surface the workspace uses: the
+//! [`Serialize`] / [`Deserialize`] traits, `#[derive(Serialize,
+//! Deserialize)]` (from the companion `serde_derive` shim), and the
+//! `#[serde(skip)]` field attribute.
+//!
+//! Instead of the real serde's zero-copy visitor architecture, this shim
+//! uses a concrete [`Value`] tree as its data model: serializing builds a
+//! `Value`, deserializing reads one. `serde_json` (also vendored) renders
+//! and parses that tree. The API is intentionally a strict subset — code
+//! written against this shim compiles unchanged against real serde plus
+//! its derive.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+pub mod de;
+mod impls;
+mod value;
+
+pub use value::Value;
+
+/// A type that can be converted into the [`Value`] data model.
+pub trait Serialize {
+    /// Build the value tree for `self`.
+    fn to_value(&self) -> Value;
+}
+
+/// A type that can be reconstructed from the [`Value`] data model.
+pub trait Deserialize: Sized {
+    /// Rebuild `Self` from a value tree.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`de::Error`] describing the first structural mismatch.
+    fn from_value(value: &Value) -> Result<Self, de::Error>;
+}

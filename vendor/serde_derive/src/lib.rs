@@ -1,0 +1,507 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Hand-rolled `#[derive(Serialize)]` / `#[derive(Deserialize)]` working
+//! against the vendored `serde` shim's `Value` data model. Because the
+//! real `syn`/`quote` crates are unavailable offline, the item is parsed
+//! directly from the raw `proc_macro::TokenStream` and the impl is
+//! emitted as source text.
+//!
+//! Supported shapes — exactly what this workspace derives on:
+//!
+//! * structs with named fields (including `#[serde(skip)]` fields, which
+//!   are omitted on serialize and `Default`-filled on deserialize);
+//! * tuple structs (a 1-field newtype serializes transparently as its
+//!   inner value; wider tuples as a sequence);
+//! * enums with unit, tuple, and struct variants (externally tagged, as
+//!   in real serde: unit variants as a string, data variants as a
+//!   one-entry map).
+//!
+//! Generic types and non-`serde(skip)` attributes are intentionally
+//! rejected with a compile error rather than silently mis-handled.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// One parsed field of a struct or struct variant.
+struct Field {
+    name: String,
+    skip: bool,
+}
+
+/// The field layout of a struct or enum variant.
+enum Fields {
+    Named(Vec<Field>),
+    Tuple(usize),
+    Unit,
+}
+
+/// One parsed enum variant.
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+/// A parsed derive target.
+enum Item {
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let src = match &item {
+        Item::Struct { name, fields } => serialize_struct(name, fields),
+        Item::Enum { name, variants } => serialize_enum(name, variants),
+    };
+    src.parse().expect("generated Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let src = match &item {
+        Item::Struct { name, fields } => deserialize_struct(name, fields),
+        Item::Enum { name, variants } => deserialize_enum(name, variants),
+    };
+    src.parse().expect("generated Deserialize impl parses")
+}
+
+// ---------------------------------------------------------------- parsing
+
+/// Advance past attributes (`#[...]`), returning whether any of them was
+/// `#[serde(skip)]`.
+fn skip_attrs(toks: &[TokenTree], i: &mut usize) -> bool {
+    let mut skip = false;
+    while let Some(TokenTree::Punct(p)) = toks.get(*i) {
+        if p.as_char() != '#' {
+            break;
+        }
+        *i += 1;
+        match toks.get(*i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                skip |= attr_is_serde_skip(&g.stream());
+                *i += 1;
+            }
+            other => panic!("expected attribute body after `#`, found {other:?}"),
+        }
+    }
+    skip
+}
+
+/// Does this attribute body read `serde(skip)` (possibly among others)?
+fn attr_is_serde_skip(stream: &TokenStream) -> bool {
+    let toks: Vec<TokenTree> = stream.clone().into_iter().collect();
+    match (toks.first(), toks.get(1)) {
+        (Some(TokenTree::Ident(name)), Some(TokenTree::Group(args)))
+            if name.to_string() == "serde" =>
+        {
+            let inner: Vec<String> = args.stream().into_iter().map(|t| t.to_string()).collect();
+            if inner.iter().any(|t| t == "skip") {
+                return true;
+            }
+            panic!(
+                "this offline serde_derive shim only supports #[serde(skip)], found #[serde({})]",
+                inner.join("")
+            );
+        }
+        _ => false, // doc comments and other inert attributes
+    }
+}
+
+/// Advance past a visibility qualifier (`pub`, `pub(crate)`, ...).
+fn skip_vis(toks: &[TokenTree], i: &mut usize) {
+    if let Some(TokenTree::Ident(id)) = toks.get(*i) {
+        if id.to_string() == "pub" {
+            *i += 1;
+            if let Some(TokenTree::Group(g)) = toks.get(*i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    *i += 1;
+                }
+            }
+        }
+    }
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs(&toks, &mut i);
+    skip_vis(&toks, &mut i);
+
+    let kind = match toks.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected `struct` or `enum`, found {other:?}"),
+    };
+    i += 1;
+    let name = match toks.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected item name, found {other:?}"),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = toks.get(i) {
+        if p.as_char() == '<' {
+            panic!("the offline serde_derive shim does not support generic type `{name}`");
+        }
+    }
+
+    match kind.as_str() {
+        "struct" => {
+            let fields = match toks.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Fields::Named(parse_named_fields(&g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Tuple(count_tuple_fields(&g.stream()))
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+                other => panic!("unsupported struct body for `{name}`: {other:?}"),
+            };
+            Item::Struct { name, fields }
+        }
+        "enum" => {
+            let body = match toks.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                other => panic!("expected enum body for `{name}`, found {other:?}"),
+            };
+            Item::Enum {
+                name,
+                variants: parse_variants(&body),
+            }
+        }
+        other => panic!("cannot derive for `{other}` items"),
+    }
+}
+
+/// Parse `name: Type, ...` named fields, keeping names and skip flags.
+fn parse_named_fields(stream: &TokenStream) -> Vec<Field> {
+    let toks: Vec<TokenTree> = stream.clone().into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        let skip = skip_attrs(&toks, &mut i);
+        skip_vis(&toks, &mut i);
+        let name = match toks.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => panic!("expected field name, found {other:?}"),
+        };
+        i += 1;
+        match toks.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("expected `:` after field `{name}`, found {other:?}"),
+        }
+        consume_type(&toks, &mut i);
+        fields.push(Field { name, skip });
+    }
+    fields
+}
+
+/// Advance past a type, stopping at a top-level `,` (angle-bracket aware:
+/// commas inside `<...>` do not terminate the field).
+fn consume_type(toks: &[TokenTree], i: &mut usize) {
+    let mut angle_depth = 0usize;
+    while let Some(tok) = toks.get(*i) {
+        if let TokenTree::Punct(p) = tok {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth = angle_depth.saturating_sub(1),
+                ',' if angle_depth == 0 => {
+                    *i += 1; // consume the separator
+                    return;
+                }
+                _ => {}
+            }
+        }
+        *i += 1;
+    }
+}
+
+/// Count the fields of a tuple struct / tuple variant.
+fn count_tuple_fields(stream: &TokenStream) -> usize {
+    let toks: Vec<TokenTree> = stream.clone().into_iter().collect();
+    let mut count = 0;
+    let mut i = 0;
+    while i < toks.len() {
+        skip_attrs(&toks, &mut i);
+        skip_vis(&toks, &mut i);
+        if i >= toks.len() {
+            break; // trailing comma
+        }
+        consume_type(&toks, &mut i);
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(stream: &TokenStream) -> Vec<Variant> {
+    let toks: Vec<TokenTree> = stream.clone().into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        skip_attrs(&toks, &mut i);
+        if i >= toks.len() {
+            break;
+        }
+        let name = match toks.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => panic!("expected variant name, found {other:?}"),
+        };
+        i += 1;
+        let fields = match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                Fields::Tuple(count_tuple_fields(&g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Fields::Named(parse_named_fields(&g.stream()))
+            }
+            _ => Fields::Unit,
+        };
+        if let Some(TokenTree::Punct(p)) = toks.get(i) {
+            if p.as_char() == ',' {
+                i += 1;
+            } else if p.as_char() == '=' {
+                panic!("explicit discriminants are not supported by the shim");
+            }
+        }
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------- codegen
+
+fn serialize_struct(name: &str, fields: &Fields) -> String {
+    let body = match fields {
+        Fields::Named(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .filter(|f| !f.skip)
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{0}\"), \
+                         ::serde::Serialize::to_value(&self.{0}))",
+                        f.name
+                    )
+                })
+                .collect();
+            format!("::serde::Value::Map(::std::vec![{}])", entries.join(", "))
+        }
+        Fields::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_owned(),
+        Fields::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Seq(::std::vec![{}])", items.join(", "))
+        }
+        Fields::Unit => "::serde::Value::Null".to_owned(),
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn deserialize_struct(name: &str, fields: &Fields) -> String {
+    let body = match fields {
+        Fields::Named(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    if f.skip {
+                        format!("{}: ::std::default::Default::default()", f.name)
+                    } else {
+                        format!(
+                            "{0}: ::serde::de::field(__map, \"{0}\", \"{name}\")?",
+                            f.name
+                        )
+                    }
+                })
+                .collect();
+            format!(
+                "let __map = __value.as_map().ok_or_else(|| \
+                 ::serde::de::Error::expected(\"map\", \"{name}\", __value))?;\n\
+                 ::std::result::Result::Ok({name} {{ {} }})",
+                inits.join(", ")
+            )
+        }
+        Fields::Tuple(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__value)?))")
+        }
+        Fields::Tuple(n) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::de::element(__seq, {i}, \"{name}\")?"))
+                .collect();
+            format!(
+                "let __seq = __value.as_seq().ok_or_else(|| \
+                 ::serde::de::Error::expected(\"sequence\", \"{name}\", __value))?;\n\
+                 ::std::result::Result::Ok({name}({}))",
+                elems.join(", ")
+            )
+        }
+        Fields::Unit => format!("::std::result::Result::Ok({name})"),
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(__value: &::serde::Value) -> \
+         ::std::result::Result<{name}, ::serde::de::Error> {{\n{body}\n}}\n\
+         }}"
+    )
+}
+
+fn serialize_enum(name: &str, variants: &[Variant]) -> String {
+    let arms: Vec<String> = variants
+        .iter()
+        .map(|v| {
+            let vname = &v.name;
+            match &v.fields {
+                Fields::Unit => format!(
+                    "{name}::{vname} => \
+                     ::serde::Value::Str(::std::string::String::from(\"{vname}\"))"
+                ),
+                Fields::Tuple(1) => format!(
+                    "{name}::{vname}(__f0) => ::serde::Value::Map(::std::vec![(\
+                     ::std::string::String::from(\"{vname}\"), \
+                     ::serde::Serialize::to_value(__f0))])"
+                ),
+                Fields::Tuple(n) => {
+                    let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                    let items: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Serialize::to_value(__f{i})"))
+                        .collect();
+                    format!(
+                        "{name}::{vname}({}) => ::serde::Value::Map(::std::vec![(\
+                         ::std::string::String::from(\"{vname}\"), \
+                         ::serde::Value::Seq(::std::vec![{}]))])",
+                        binds.join(", "),
+                        items.join(", ")
+                    )
+                }
+                Fields::Named(fields) => {
+                    let binds: Vec<String> = fields
+                        .iter()
+                        .map(|f| format!("{0}: __{0}", f.name))
+                        .collect();
+                    let entries: Vec<String> = fields
+                        .iter()
+                        .filter(|f| !f.skip)
+                        .map(|f| {
+                            format!(
+                                "(::std::string::String::from(\"{0}\"), \
+                                 ::serde::Serialize::to_value(__{0}))",
+                                f.name
+                            )
+                        })
+                        .collect();
+                    format!(
+                        "{name}::{vname} {{ {} }} => ::serde::Value::Map(::std::vec![(\
+                         ::std::string::String::from(\"{vname}\"), \
+                         ::serde::Value::Map(::std::vec![{}]))])",
+                        binds.join(", "),
+                        entries.join(", ")
+                    )
+                }
+            }
+        })
+        .collect();
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n\
+         match self {{ {} }}\n\
+         }}\n\
+         }}",
+        arms.join(",\n")
+    )
+}
+
+fn deserialize_enum(name: &str, variants: &[Variant]) -> String {
+    let unit_arms: Vec<String> = variants
+        .iter()
+        .filter(|v| matches!(v.fields, Fields::Unit))
+        .map(|v| format!("\"{0}\" => ::std::result::Result::Ok({name}::{0})", v.name))
+        .collect();
+    let tagged_arms: Vec<String> = variants
+        .iter()
+        .filter_map(|v| {
+            let vname = &v.name;
+            match &v.fields {
+                Fields::Unit => None,
+                Fields::Tuple(1) => Some(format!(
+                    "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}(\
+                     ::serde::Deserialize::from_value(__payload)?))"
+                )),
+                Fields::Tuple(n) => {
+                    let elems: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::de::element(__seq, {i}, \"{name}\")?"))
+                        .collect();
+                    Some(format!(
+                        "\"{vname}\" => {{ let __seq = __payload.as_seq().ok_or_else(|| \
+                         ::serde::de::Error::expected(\"sequence\", \"{name}\", __payload))?; \
+                         ::std::result::Result::Ok({name}::{vname}({})) }}",
+                        elems.join(", ")
+                    ))
+                }
+                Fields::Named(fields) => {
+                    let inits: Vec<String> = fields
+                        .iter()
+                        .map(|f| {
+                            if f.skip {
+                                format!("{}: ::std::default::Default::default()", f.name)
+                            } else {
+                                format!(
+                                    "{0}: ::serde::de::field(__vmap, \"{0}\", \"{name}\")?",
+                                    f.name
+                                )
+                            }
+                        })
+                        .collect();
+                    Some(format!(
+                        "\"{vname}\" => {{ let __vmap = __payload.as_map().ok_or_else(|| \
+                         ::serde::de::Error::expected(\"map\", \"{name}\", __payload))?; \
+                         ::std::result::Result::Ok({name}::{vname} {{ {} }}) }}",
+                        inits.join(", ")
+                    ))
+                }
+            }
+        })
+        .collect();
+
+    let str_arm = format!(
+        "::serde::Value::Str(__s) => match __s.as_str() {{\n{}\n\
+         __other => ::std::result::Result::Err(\
+         ::serde::de::Error::unknown_variant(__other, \"{name}\")),\n}}",
+        if unit_arms.is_empty() {
+            String::new()
+        } else {
+            format!("{},", unit_arms.join(",\n"))
+        }
+    );
+    let map_arm = format!(
+        "::serde::Value::Map(__m) if __m.len() == 1 => {{\n\
+         let (__tag, __payload) = &__m[0];\n\
+         match __tag.as_str() {{\n{}\n\
+         __other => ::std::result::Result::Err(\
+         ::serde::de::Error::unknown_variant(__other, \"{name}\")),\n}}\n}}",
+        if tagged_arms.is_empty() {
+            String::new()
+        } else {
+            format!("{},", tagged_arms.join(",\n"))
+        }
+    );
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(__value: &::serde::Value) -> \
+         ::std::result::Result<{name}, ::serde::de::Error> {{\n\
+         match __value {{\n{str_arm},\n{map_arm},\n\
+         __other => ::std::result::Result::Err(\
+         ::serde::de::Error::expected(\"enum\", \"{name}\", __other)),\n\
+         }}\n}}\n}}"
+    )
+}

@@ -1,0 +1,176 @@
+//! Offline stand-in for `serde_json`: JSON text ⇄ the vendored `serde`
+//! shim's `Value` data model.
+//!
+//! Provides the call surface the workspace uses — [`to_string`],
+//! [`to_string_pretty`], [`to_vec`], [`from_str`], and [`Error`] — with
+//! the same semantics as the real crate for the types this workspace
+//! serializes: numbers round-trip exactly (floats are printed with Rust's
+//! shortest round-trippable representation), strings are escaped per RFC
+//! 8259, and non-finite floats serialize as `null`.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize, Value};
+
+mod parse;
+mod write;
+
+/// A serialization or parse error.
+#[derive(Debug)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    pub(crate) fn new(msg: impl Into<String>) -> Error {
+        Error { msg: msg.into() }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::de::Error> for Error {
+    fn from(e: serde::de::Error) -> Error {
+        Error::new(e.to_string())
+    }
+}
+
+/// Serialize to compact JSON text.
+///
+/// # Errors
+///
+/// Infallible for the value model this shim supports; the `Result` keeps
+/// the real crate's signature.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write::compact(&value.to_value(), &mut out);
+    Ok(out)
+}
+
+/// Serialize to human-readable JSON text (two-space indent).
+///
+/// # Errors
+///
+/// Infallible for the value model this shim supports.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write::pretty(&value.to_value(), 0, &mut out);
+    Ok(out)
+}
+
+/// Serialize to compact JSON bytes.
+///
+/// # Errors
+///
+/// Infallible for the value model this shim supports.
+pub fn to_vec<T: Serialize + ?Sized>(value: &T) -> Result<Vec<u8>, Error> {
+    to_string(value).map(String::into_bytes)
+}
+
+/// Parse JSON text into any deserializable type.
+///
+/// # Errors
+///
+/// Fails on malformed JSON, trailing content, or a structural mismatch
+/// with `T`.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
+    let value = parse::parse(s)?;
+    Ok(T::from_value(&value)?)
+}
+
+/// Parse JSON text into the generic [`Value`] tree.
+///
+/// # Errors
+///
+/// Fails on malformed JSON or trailing content.
+pub fn from_str_value(s: &str) -> Result<Value, Error> {
+    parse::parse(s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_roundtrip() {
+        assert_eq!(to_string(&1.5f64).unwrap(), "1.5");
+        assert_eq!(from_str::<f64>("1.5").unwrap(), 1.5);
+        assert_eq!(to_string(&1.0f64).unwrap(), "1.0");
+        assert_eq!(from_str::<f64>("1.0").unwrap(), 1.0);
+        assert_eq!(to_string(&u64::MAX).unwrap(), u64::MAX.to_string());
+        assert_eq!(from_str::<u64>(&u64::MAX.to_string()).unwrap(), u64::MAX);
+        assert_eq!(to_string(&-7i64).unwrap(), "-7");
+        assert_eq!(from_str::<i64>("-7").unwrap(), -7);
+        assert_eq!(to_string(&true).unwrap(), "true");
+        assert_eq!(from_str::<Option<f64>>("null").unwrap(), None);
+    }
+
+    #[test]
+    fn float_precision_survives() {
+        for &x in &[
+            0.1,
+            1.0 / 3.0,
+            f64::MIN_POSITIVE,
+            1.7976931348623157e308,
+            -2.2250738585072014e-308,
+            123_456_789.123_456_78,
+        ] {
+            let s = to_string(&x).unwrap();
+            let back: f64 = from_str(&s).unwrap();
+            assert_eq!(back, x, "{x} mangled through {s}");
+        }
+    }
+
+    #[test]
+    fn strings_escape() {
+        let s = "a\"b\\c\nd\te\u{1}f";
+        let json = to_string(&s).unwrap();
+        assert_eq!(from_str::<String>(&json).unwrap(), s);
+        let unicode = "héllo wörld ✓";
+        assert_eq!(
+            from_str::<String>(&to_string(&unicode).unwrap()).unwrap(),
+            unicode
+        );
+    }
+
+    #[test]
+    fn containers_roundtrip() {
+        let v = vec![1.5f64, -2.0, 3.25];
+        assert_eq!(from_str::<Vec<f64>>(&to_string(&v).unwrap()).unwrap(), v);
+        let nested: Vec<Vec<u32>> = vec![vec![1], vec![], vec![2, 3]];
+        assert_eq!(
+            from_str::<Vec<Vec<u32>>>(&to_string(&nested).unwrap()).unwrap(),
+            nested
+        );
+    }
+
+    #[test]
+    fn pretty_parses_back() {
+        let v = vec![(1u32, 2u32), (3, 4)];
+        let pretty = to_string_pretty(&v).unwrap();
+        assert!(pretty.contains('\n'));
+        assert_eq!(from_str::<Vec<(u32, u32)>>(&pretty).unwrap(), v);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(from_str::<f64>("").is_err());
+        assert!(from_str::<f64>("1.5 trailing").is_err());
+        assert!(from_str::<Vec<f64>>("[1,").is_err());
+        assert!(from_str::<String>("\"unterminated").is_err());
+        assert!(from_str::<f64>("nul").is_err());
+    }
+
+    #[test]
+    fn non_finite_serializes_as_null() {
+        assert_eq!(to_string(&f64::NAN).unwrap(), "null");
+        assert_eq!(to_string(&f64::INFINITY).unwrap(), "null");
+        assert!(from_str::<f64>("null").is_err());
+    }
+}

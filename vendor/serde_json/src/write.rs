@@ -1,0 +1,109 @@
+//! JSON text emission from the `Value` tree.
+
+use serde::Value;
+
+/// Write `value` as compact JSON.
+pub(crate) fn compact(value: &Value, out: &mut String) {
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Int(n) => out.push_str(&n.to_string()),
+        Value::UInt(n) => out.push_str(&n.to_string()),
+        Value::Float(x) => write_float(*x, out),
+        Value::Str(s) => write_string(s, out),
+        Value::Seq(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                compact(item, out);
+            }
+            out.push(']');
+        }
+        Value::Map(entries) => {
+            out.push('{');
+            for (i, (k, v)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_string(k, out);
+                out.push(':');
+                compact(v, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
+/// Write `value` as two-space-indented JSON.
+pub(crate) fn pretty(value: &Value, indent: usize, out: &mut String) {
+    match value {
+        Value::Seq(items) if !items.is_empty() => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                out.push_str(if i > 0 { ",\n" } else { "\n" });
+                push_indent(indent + 1, out);
+                pretty(item, indent + 1, out);
+            }
+            out.push('\n');
+            push_indent(indent, out);
+            out.push(']');
+        }
+        Value::Map(entries) if !entries.is_empty() => {
+            out.push('{');
+            for (i, (k, v)) in entries.iter().enumerate() {
+                out.push_str(if i > 0 { ",\n" } else { "\n" });
+                push_indent(indent + 1, out);
+                write_string(k, out);
+                out.push_str(": ");
+                pretty(v, indent + 1, out);
+            }
+            out.push('\n');
+            push_indent(indent, out);
+            out.push('}');
+        }
+        other => compact(other, out),
+    }
+}
+
+fn push_indent(levels: usize, out: &mut String) {
+    for _ in 0..levels {
+        out.push_str("  ");
+    }
+}
+
+/// Floats print with Rust's shortest round-trippable representation; a
+/// `.0` is appended to integral values so they re-parse as floats, and
+/// non-finite values become `null` (the real serde_json's behavior).
+fn write_float(x: f64, out: &mut String) {
+    if !x.is_finite() {
+        out.push_str("null");
+        return;
+    }
+    let s = x.to_string();
+    out.push_str(&s);
+    if !s.contains(['.', 'e', 'E']) {
+        out.push_str(".0");
+    }
+}
+
+fn write_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{8}' => out.push_str("\\b"),
+            '\u{c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
