@@ -2,28 +2,32 @@
 //! stdin/stdout or TCP from a registry-loaded model.
 //!
 //! ```text
-//! serve --registry DIR --model NAME [--workers N] [--cache N] [--tcp ADDR]
+//! serve --registry DIR --model NAME [--workers N] [--cache-mb N]
+//!       [--tcp ADDR] [--max-conns N]
 //! serve --registry DIR --list
 //! ```
 //!
 //! In stdio mode each stdin line is a request and each stdout line the
-//! matching response; EOF shuts the service down. In TCP mode every
-//! connection gets the same per-line protocol.
+//! matching response; EOF shuts the service down. In TCP mode a single
+//! epoll reactor thread multiplexes every connection (idle connections
+//! cost a file descriptor, not a thread), so the whole process runs on
+//! `--workers + 2` OS threads regardless of connection count.
 
-use std::io::{BufRead, BufReader, Write};
-use std::net::{TcpListener, TcpStream};
+use std::io::{BufRead, Write};
 use std::process::ExitCode;
 use std::sync::Arc;
 
-use atlas_serve::{protocol, AtlasService, ModelRegistry, ServiceConfig};
+use atlas_serve::reactor::{Reactor, ReactorConfig};
+use atlas_serve::{protocol, AtlasService, ModelRegistry, RequestLine, ServiceConfig};
 
 struct Args {
     registry: String,
     model: Option<String>,
     list: bool,
     workers: usize,
-    cache: usize,
+    cache_mb: usize,
     tcp: Option<String>,
+    max_conns: usize,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -32,8 +36,9 @@ fn parse_args() -> Result<Args, String> {
         model: None,
         list: false,
         workers: 4,
-        cache: 32,
+        cache_mb: 256,
         tcp: None,
+        max_conns: ReactorConfig::default().max_connections,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -47,16 +52,21 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("--workers: {e}"))?;
             }
-            "--cache" => {
-                args.cache = value("--cache")?
+            "--cache-mb" => {
+                args.cache_mb = value("--cache-mb")?
                     .parse()
-                    .map_err(|e| format!("--cache: {e}"))?;
+                    .map_err(|e| format!("--cache-mb: {e}"))?;
             }
             "--tcp" => args.tcp = Some(value("--tcp")?),
+            "--max-conns" => {
+                args.max_conns = value("--max-conns")?
+                    .parse()
+                    .map_err(|e| format!("--max-conns: {e}"))?;
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: serve --registry DIR (--model NAME [--workers N] \
-                     [--cache N] [--tcp ADDR] | --list)"
+                     [--cache-mb N] [--tcp ADDR] [--max-conns N] | --list)"
                 );
                 std::process::exit(0);
             }
@@ -120,13 +130,13 @@ fn main() -> ExitCode {
         saved,
         ServiceConfig {
             workers: args.workers,
-            embedding_cache: args.cache,
+            embedding_cache_bytes: args.cache_mb.saturating_mul(1 << 20),
             ..ServiceConfig::default()
         },
     ));
 
     match &args.tcp {
-        Some(addr) => serve_tcp(&service, addr),
+        Some(addr) => serve_tcp(service, addr, args.max_conns),
         None => {
             serve_stdio(&service);
             ExitCode::SUCCESS
@@ -134,16 +144,19 @@ fn main() -> ExitCode {
     }
 }
 
-/// One request line → one response line.
+/// One request line → one response line (the synchronous stdio path; the
+/// TCP path goes through the reactor instead).
 fn answer(service: &AtlasService, line: &str) -> String {
-    let result = match protocol::parse_request(line) {
-        Ok(request) => {
+    match protocol::parse_line(line) {
+        Ok(RequestLine::Predict(request)) => {
             let id = request.id;
-            service.call(request).map_err(|e| (id, e))
+            protocol::render_result(&service.call(request).map_err(|e| (id, e)))
         }
-        Err(e) => Err((None, e)),
-    };
-    protocol::render_result(&result)
+        Ok(RequestLine::Stats { id }) => {
+            protocol::render_stats(&protocol::stats_response(id, &service.stats()))
+        }
+        Err(e) => protocol::render_result(&Err((protocol::salvage_id(line), e))),
+    }
 }
 
 fn serve_stdio(service: &AtlasService) {
@@ -161,50 +174,42 @@ fn serve_stdio(service: &AtlasService) {
     }
     let stats = service.stats();
     eprintln!(
-        "served {} requests ({} errors); embedding cache {}/{} hits",
+        "served {} requests ({} errors); embedding cache {}/{} hits, {}/{} bytes",
         stats.requests,
         stats.errors,
         stats.embedding_cache.hits,
-        stats.embedding_cache.hits + stats.embedding_cache.misses
+        stats.embedding_cache.hits + stats.embedding_cache.misses,
+        stats.embedding_cache.weight,
+        stats.embedding_cache.budget,
     );
 }
 
-fn serve_tcp(service: &Arc<AtlasService>, addr: &str) -> ExitCode {
-    let listener = match TcpListener::bind(addr) {
-        Ok(listener) => listener,
+fn serve_tcp(service: Arc<AtlasService>, addr: &str, max_conns: usize) -> ExitCode {
+    let reactor = match Reactor::bind(
+        service,
+        addr,
+        ReactorConfig {
+            max_connections: max_conns,
+            ..ReactorConfig::default()
+        },
+    ) {
+        Ok(reactor) => reactor,
         Err(e) => {
             eprintln!("error: bind {addr}: {e}");
             return ExitCode::FAILURE;
         }
     };
-    eprintln!("listening on {addr}");
-    for stream in listener.incoming() {
-        let Ok(stream) = stream else { continue };
-        let service = Arc::clone(service);
-        std::thread::spawn(move || serve_connection(&service, stream));
+    match reactor.local_addr() {
+        Ok(bound) => eprintln!("listening on {bound} (epoll reactor, max {max_conns} connections)"),
+        Err(_) => eprintln!("listening on {addr}"),
     }
-    ExitCode::SUCCESS
-}
-
-fn serve_connection(service: &AtlasService, stream: TcpStream) {
-    let peer = stream
-        .peer_addr()
-        .map(|a| a.to_string())
-        .unwrap_or_else(|_| "?".into());
-    let reader = BufReader::new(match stream.try_clone() {
-        Ok(clone) => clone,
-        Err(_) => return,
-    });
-    let mut writer = stream;
-    for line in reader.lines() {
-        let Ok(line) = line else { break };
-        if line.trim().is_empty() {
-            continue;
-        }
-        let response = answer(service, &line);
-        if writeln!(writer, "{response}").is_err() {
-            break;
+    // The reactor runs on the main thread, so the process stays at
+    // workers + 1 OS threads regardless of connection count.
+    match reactor.run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: reactor: {e}");
+            ExitCode::FAILURE
         }
     }
-    eprintln!("connection {peer} closed");
 }

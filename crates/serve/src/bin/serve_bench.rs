@@ -1,24 +1,39 @@
 //! Load generator for the prediction service: measures cold-start vs
-//! cache-hit latency and warm throughput, writing `BENCH_serve.json`.
+//! cache-hit latency, warm throughput, reactor behavior under idle
+//! connections, and single-flight deduplication, writing
+//! `BENCH_serve.json`.
 //!
 //! ```text
 //! serve_bench [--out PATH] [--scale F] [--train-cycles N] [--cycles N]
-//!             [--clients N] [--repeat N]
+//!             [--clients N] [--repeat N] [--idle-conns N] [--dup-clients N]
 //! ```
 //!
 //! The bench trains a small model, starts an in-process service, then
-//! runs two phases over every (design, workload) pair of the unseen test
-//! designs: a **cold** pass on an empty cache (every request pays design
-//! generation, simulation, and encoder forwards) and a **warm** pass of
-//! `--repeat` rounds fired from `--clients` concurrent client threads
-//! (every request is an embedding-cache hit, paying only the GBDT heads).
+//! runs four scenarios:
+//!
+//! * **cold** — every (design, workload) pair of the unseen test designs
+//!   on an empty cache (each request pays design generation, simulation,
+//!   and encoder forwards);
+//! * **warm** — `--repeat` rounds fired from `--clients` concurrent
+//!   client threads (every request is an embedding-cache hit, paying
+//!   only the GBDT heads);
+//! * **idle** — an epoll reactor serving the same service over TCP with
+//!   `--idle-conns` parked connections; warm requests through one active
+//!   connection measure whether idle sockets tax the serving path, and
+//!   the process thread count is sampled to prove they cost no threads;
+//! * **dupkey** — `--dup-clients` concurrent cold requests for one
+//!   never-seen key; single-flight must collapse them into exactly one
+//!   embedding computation.
 
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
 use std::process::ExitCode;
-use std::sync::Arc;
+use std::sync::{Arc, Barrier};
 use std::time::Instant;
 
 use atlas_core::pipeline::{train_atlas, ExperimentConfig};
-use atlas_serve::{AtlasService, PredictRequest, ServiceConfig};
+use atlas_serve::reactor::{Reactor, ReactorConfig};
+use atlas_serve::{AtlasService, PredictRequest, PredictResponse, ServiceConfig};
 use serde::Serialize;
 
 struct Args {
@@ -28,6 +43,8 @@ struct Args {
     cycles: usize,
     clients: usize,
     repeat: usize,
+    idle_conns: usize,
+    dup_clients: usize,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -38,6 +55,8 @@ fn parse_args() -> Result<Args, String> {
         cycles: 32,
         clients: 4,
         repeat: 8,
+        idle_conns: 512,
+        dup_clients: 8,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -55,11 +74,19 @@ fn parse_args() -> Result<Args, String> {
                 args.clients = value("--clients")?.parse().map_err(|e| format!("{e}"))?;
             }
             "--repeat" => args.repeat = value("--repeat")?.parse().map_err(|e| format!("{e}"))?,
+            "--idle-conns" => {
+                args.idle_conns = value("--idle-conns")?.parse().map_err(|e| format!("{e}"))?;
+            }
+            "--dup-clients" => {
+                args.dup_clients = value("--dup-clients")?
+                    .parse()
+                    .map_err(|e| format!("{e}"))?;
+            }
             other => return Err(format!("unknown flag `{other}`")),
         }
     }
-    if args.clients == 0 || args.repeat == 0 || args.cycles == 0 {
-        return Err("--clients, --repeat, and --cycles must be positive".into());
+    if args.clients == 0 || args.repeat == 0 || args.cycles == 0 || args.dup_clients == 0 {
+        return Err("--clients, --repeat, --cycles, and --dup-clients must be positive".into());
     }
     Ok(args)
 }
@@ -92,6 +119,34 @@ fn phase(mut latencies_ms: Vec<f64>, wall_s: f64) -> Phase {
     }
 }
 
+/// The idle-connection scenario: reactor behavior with parked sockets.
+#[derive(Debug, Serialize)]
+struct IdleScenario {
+    /// Idle connections parked on the reactor for the whole phase.
+    connections: usize,
+    /// OS threads this process gained while those connections were open
+    /// (must be 0: connections cost buffers, not threads).
+    thread_delta: i64,
+    /// Round-trip latency of warm requests through one active
+    /// connection while every idle connection stayed parked.
+    active: Phase,
+}
+
+/// The duplicate-key scenario: single-flight under concurrent cold load.
+#[derive(Debug, Serialize)]
+struct DupKeyScenario {
+    /// Concurrent clients all requesting the same cold key.
+    clients: usize,
+    /// Embeddings actually computed (single-flight target: exactly 1).
+    embeddings_computed: u64,
+    /// Requests that waited on the in-flight computation.
+    coalesced: u64,
+    /// Requests that arrived after completion and hit the cache.
+    cache_hits: u64,
+    /// Per-request latency (leader pays the pipeline; followers the wait).
+    latency: Phase,
+}
+
 #[derive(Debug, Serialize)]
 struct BenchReport {
     scale: f64,
@@ -104,6 +159,147 @@ struct BenchReport {
     cache_hit_latency_below_cold: bool,
     embedding_cache_hits: u64,
     embedding_cache_misses: u64,
+    embedding_cache_bytes: usize,
+    embedding_cache_budget_bytes: usize,
+    idle: IdleScenario,
+    dupkey: DupKeyScenario,
+}
+
+/// Current thread count of this process, from /proc (Linux).
+fn os_threads() -> Option<i64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    status
+        .lines()
+        .find(|l| l.starts_with("Threads:"))?
+        .split_whitespace()
+        .nth(1)?
+        .parse()
+        .ok()
+}
+
+/// Send one request line over TCP and wait for its response line.
+fn roundtrip(
+    writer: &mut TcpStream,
+    reader: &mut BufReader<TcpStream>,
+    request: &PredictRequest,
+) -> Result<PredictResponse, String> {
+    let mut line = serde_json::to_string(request).map_err(|e| e.to_string())?;
+    line.push('\n');
+    writer
+        .write_all(line.as_bytes())
+        .map_err(|e| e.to_string())?;
+    let mut reply = String::new();
+    reader.read_line(&mut reply).map_err(|e| e.to_string())?;
+    serde_json::from_str(&reply).map_err(|e| format!("bad response `{}`: {e}", reply.trim()))
+}
+
+fn run_idle_scenario(
+    service: &Arc<AtlasService>,
+    keys: &[PredictRequest],
+    idle_conns: usize,
+    repeat: usize,
+) -> Result<IdleScenario, String> {
+    let reactor = Reactor::bind(
+        Arc::clone(service),
+        "127.0.0.1:0",
+        ReactorConfig {
+            max_connections: idle_conns + 16,
+            ..ReactorConfig::default()
+        },
+    )
+    .map_err(|e| format!("bind reactor: {e}"))?
+    .spawn()
+    .map_err(|e| format!("spawn reactor: {e}"))?;
+    let addr = reactor.addr();
+
+    // The reactor thread is up; every thread from here on would be a bug.
+    let threads_before = os_threads().unwrap_or(0);
+    let idle: Vec<TcpStream> = (0..idle_conns)
+        .map(|_| TcpStream::connect(addr))
+        .collect::<Result<_, _>>()
+        .map_err(|e| format!("idle connect: {e}"))?;
+    // Wait until the reactor has admitted them all.
+    let deadline = Instant::now() + std::time::Duration::from_secs(10);
+    while (reactor.stats().active as usize) < idle_conns {
+        if Instant::now() > deadline {
+            return Err(format!(
+                "reactor admitted only {} of {idle_conns} idle connections",
+                reactor.stats().active
+            ));
+        }
+        std::thread::sleep(std::time::Duration::from_millis(1));
+    }
+    let threads_after = os_threads().unwrap_or(0);
+
+    // Warm requests through one active connection while all the idle
+    // connections stay parked.
+    let mut writer = TcpStream::connect(addr).map_err(|e| format!("active connect: {e}"))?;
+    let _ = writer.set_nodelay(true);
+    let mut reader = BufReader::new(writer.try_clone().map_err(|e| e.to_string())?);
+    let t0 = Instant::now();
+    let mut lat = Vec::new();
+    for round in 0..repeat.max(1) {
+        for (k, key) in keys.iter().enumerate() {
+            let t = Instant::now();
+            let resp = roundtrip(&mut writer, &mut reader, key)?;
+            lat.push(t.elapsed().as_secs_f64() * 1e3);
+            if round == 0 && k == 0 && !resp.cache_hit {
+                return Err("idle scenario expects a pre-warmed cache".into());
+            }
+        }
+    }
+    let active = phase(lat, t0.elapsed().as_secs_f64());
+
+    drop(idle);
+    reactor.shutdown().map_err(|e| format!("shutdown: {e}"))?;
+    Ok(IdleScenario {
+        connections: idle_conns,
+        thread_delta: threads_after - threads_before,
+        active,
+    })
+}
+
+fn run_dupkey_scenario(
+    service: &Arc<AtlasService>,
+    cycles: usize,
+    clients: usize,
+) -> Result<DupKeyScenario, String> {
+    // C6 is a training design never touched by the cold/warm passes, so
+    // this key is guaranteed cold.
+    let request = PredictRequest::new("C6", "W1", cycles);
+    let before = service.stats();
+    let barrier = Barrier::new(clients);
+    let t0 = Instant::now();
+    let lat: Vec<f64> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|_| {
+                let service = Arc::clone(service);
+                let barrier = &barrier;
+                let request = request.clone();
+                scope.spawn(move || {
+                    barrier.wait();
+                    let t = Instant::now();
+                    service
+                        .call(request)
+                        .map(|_| t.elapsed().as_secs_f64() * 1e3)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("dupkey client"))
+            .collect::<Result<_, _>>()
+    })
+    .map_err(|e| format!("dupkey request failed: {e}"))?;
+    let wall = t0.elapsed().as_secs_f64();
+    let after = service.stats();
+    Ok(DupKeyScenario {
+        clients,
+        embeddings_computed: after.embeddings_computed - before.embeddings_computed,
+        coalesced: after.coalesced_requests - before.coalesced_requests,
+        cache_hits: after.embedding_cache.hits - before.embedding_cache.hits,
+        latency: phase(lat, wall),
+    })
 }
 
 fn main() -> ExitCode {
@@ -131,7 +327,7 @@ fn main() -> ExitCode {
         trained.model,
         cfg,
         ServiceConfig {
-            workers: args.clients.max(1),
+            workers: args.clients.max(args.dup_clients).max(1),
             ..ServiceConfig::default()
         },
     ));
@@ -207,6 +403,32 @@ fn main() -> ExitCode {
         warm.requests, warm.mean_ms, warm.p95_ms, warm.throughput_rps
     );
 
+    // Idle-connection pass: the reactor front door with parked sockets.
+    let idle = match run_idle_scenario(&service, &keys, args.idle_conns, args.repeat) {
+        Ok(idle) => idle,
+        Err(e) => {
+            eprintln!("error: idle scenario: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "idle: {} parked connections (+{} threads), active p50 {:.2} ms, {:.0} req/s",
+        idle.connections, idle.thread_delta, idle.active.p50_ms, idle.active.throughput_rps
+    );
+
+    // Duplicate-key pass: single-flight under concurrent cold demand.
+    let dupkey = match run_dupkey_scenario(&service, args.cycles, args.dup_clients) {
+        Ok(dupkey) => dupkey,
+        Err(e) => {
+            eprintln!("error: dupkey scenario: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "dupkey: {} clients -> {} embedding computed, {} coalesced, {} cache hits",
+        dupkey.clients, dupkey.embeddings_computed, dupkey.coalesced, dupkey.cache_hits
+    );
+
     let stats = service.stats();
     let report = BenchReport {
         scale: args.scale,
@@ -217,8 +439,12 @@ fn main() -> ExitCode {
         cache_hit_latency_below_cold: warm.mean_ms < cold.mean_ms,
         embedding_cache_hits: stats.embedding_cache.hits,
         embedding_cache_misses: stats.embedding_cache.misses,
+        embedding_cache_bytes: stats.embedding_cache.weight,
+        embedding_cache_budget_bytes: stats.embedding_cache.budget,
         cold,
         warm,
+        idle,
+        dupkey,
     };
     println!(
         "cache-hit speedup over cold: {:.1}x (hit latency below cold: {})",
@@ -240,6 +466,20 @@ fn main() -> ExitCode {
     }
     if !report.cache_hit_latency_below_cold {
         eprintln!("error: cache-hit latency was not below cold latency");
+        return ExitCode::FAILURE;
+    }
+    if report.idle.thread_delta != 0 {
+        eprintln!(
+            "error: {} idle connections grew the process by {} threads",
+            report.idle.connections, report.idle.thread_delta
+        );
+        return ExitCode::FAILURE;
+    }
+    if report.dupkey.embeddings_computed != 1 {
+        eprintln!(
+            "error: single-flight computed {} embeddings for one key",
+            report.dupkey.embeddings_computed
+        );
         return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS

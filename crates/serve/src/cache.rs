@@ -1,12 +1,25 @@
-//! A small thread-safe LRU cache with hit/miss accounting.
+//! A small thread-safe weighted LRU cache with hit/miss accounting.
+//!
+//! Admission and eviction are driven by a **weight budget** rather than an
+//! entry count: every entry carries a weight (bytes, for the embedding
+//! cache — see `TraceEmbeddings::approx_bytes`) and the cache evicts
+//! least-recently-used entries until the total weight fits the budget.
+//! Unit-weight entries ([`LruCache::insert`]) recover the classic
+//! count-bounded cache, which is what the design-artifact cache uses.
 
 use std::collections::HashMap;
 use std::hash::Hash;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
+use serde::{Deserialize, Serialize};
+
 /// Hit/miss/occupancy counters of one cache.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+///
+/// `weight` and `budget` are in whatever unit the cache is budgeted in:
+/// bytes for the embedding cache, entries for the unit-weight design
+/// cache (where `weight == len`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub struct CacheStats {
     /// Lookups that found an entry.
     pub hits: u64,
@@ -14,42 +27,66 @@ pub struct CacheStats {
     pub misses: u64,
     /// Entries currently resident.
     pub len: usize,
-    /// Maximum resident entries.
-    pub capacity: usize,
+    /// Total weight currently resident (occupancy).
+    pub weight: usize,
+    /// Admission budget: `weight` never exceeds this.
+    pub budget: usize,
 }
 
-/// Least-recently-used cache over `Arc`-shared values.
+/// Weighted least-recently-used cache over `Arc`-shared values.
 ///
 /// Values are handed out as `Arc<V>` clones so an entry can be evicted
 /// while a worker still computes with it. Eviction scans for the oldest
-/// entry — O(len), which is the right trade at the double-digit
-/// capacities a prediction service uses (design presets × workloads).
+/// entry — O(len), which is the right trade at the double-digit entry
+/// counts a prediction service holds (design presets × workloads).
 #[derive(Debug)]
 pub struct LruCache<K: Eq + Hash + Clone, V> {
     inner: Mutex<Inner<K, V>>,
     hits: AtomicU64,
     misses: AtomicU64,
-    capacity: usize,
+    budget: usize,
+}
+
+#[derive(Debug)]
+struct Entry<V> {
+    value: Arc<V>,
+    last_used: u64,
+    weight: usize,
 }
 
 #[derive(Debug)]
 struct Inner<K, V> {
-    entries: HashMap<K, (Arc<V>, u64)>,
+    entries: HashMap<K, Entry<V>>,
     tick: u64,
+    weight: usize,
 }
 
 impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
-    /// Create a cache holding at most `capacity` entries (min 1).
+    /// Create a unit-weight cache holding at most `capacity` entries
+    /// (min 1). Equivalent to `with_budget(capacity)` when every insert
+    /// uses [`LruCache::insert`].
     pub fn new(capacity: usize) -> LruCache<K, V> {
+        LruCache::with_budget(capacity)
+    }
+
+    /// Create a cache admitting entries until their total weight would
+    /// exceed `budget` (min 1).
+    pub fn with_budget(budget: usize) -> LruCache<K, V> {
         LruCache {
             inner: Mutex::new(Inner {
                 entries: HashMap::new(),
                 tick: 0,
+                weight: 0,
             }),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
-            capacity: capacity.max(1),
+            budget: budget.max(1),
         }
+    }
+
+    /// The admission budget.
+    pub fn budget(&self) -> usize {
+        self.budget
     }
 
     /// Look up `key`, refreshing its recency on a hit.
@@ -58,10 +95,10 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
         inner.tick += 1;
         let tick = inner.tick;
         match inner.entries.get_mut(key) {
-            Some((value, last_used)) => {
-                *last_used = tick;
+            Some(entry) => {
+                entry.last_used = tick;
                 self.hits.fetch_add(1, Ordering::Relaxed);
-                Some(Arc::clone(value))
+                Some(Arc::clone(&entry.value))
             }
             None => {
                 self.misses.fetch_add(1, Ordering::Relaxed);
@@ -70,23 +107,50 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
         }
     }
 
-    /// Insert (or refresh) an entry, evicting the least recently used one
-    /// when full.
+    /// Insert (or refresh) a unit-weight entry.
     pub fn insert(&self, key: K, value: Arc<V>) {
+        let _ = self.insert_weighted(key, value, 1);
+    }
+
+    /// Insert (or refresh) an entry of the given weight, evicting
+    /// least-recently-used entries until the budget holds.
+    ///
+    /// Returns `false` — leaving the cache untouched — when `weight`
+    /// alone exceeds the budget: a single oversized value is rejected
+    /// outright rather than evicting everything and still not fitting.
+    pub fn insert_weighted(&self, key: K, value: Arc<V>, weight: usize) -> bool {
+        if weight > self.budget {
+            return false;
+        }
         let mut inner = self.inner.lock().expect("cache lock");
         inner.tick += 1;
         let tick = inner.tick;
-        if !inner.entries.contains_key(&key) && inner.entries.len() >= self.capacity {
-            if let Some(oldest) = inner
+        if let Some(old) = inner.entries.remove(&key) {
+            inner.weight -= old.weight;
+        }
+        // Evict oldest-first until the new entry fits. Terminates because
+        // `weight <= budget`: at worst the cache empties, at which point
+        // `inner.weight == 0` and the condition is false.
+        while inner.weight + weight > self.budget {
+            let oldest = inner
                 .entries
                 .iter()
-                .min_by_key(|(_, (_, last_used))| *last_used)
+                .min_by_key(|(_, e)| e.last_used)
                 .map(|(k, _)| k.clone())
-            {
-                inner.entries.remove(&oldest);
-            }
+                .expect("over-budget cache cannot be empty");
+            let evicted = inner.entries.remove(&oldest).expect("key just found");
+            inner.weight -= evicted.weight;
         }
-        inner.entries.insert(key, (value, tick));
+        inner.weight += weight;
+        inner.entries.insert(
+            key,
+            Entry {
+                value,
+                last_used: tick,
+                weight,
+            },
+        );
+        true
     }
 
     /// Current counters.
@@ -96,7 +160,8 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             len: inner.entries.len(),
-            capacity: self.capacity,
+            weight: inner.weight,
+            budget: self.budget,
         }
     }
 }
@@ -113,6 +178,7 @@ mod tests {
         assert_eq!(cache.get(&1).as_deref(), Some(&"one"));
         let stats = cache.stats();
         assert_eq!((stats.hits, stats.misses, stats.len), (1, 1, 1));
+        assert_eq!((stats.weight, stats.budget), (1, 4));
     }
 
     #[test]
@@ -150,6 +216,47 @@ mod tests {
     }
 
     #[test]
+    fn weighted_eviction_frees_enough_for_large_entries() {
+        let cache: LruCache<u32, u32> = LruCache::with_budget(100);
+        assert!(cache.insert_weighted(1, Arc::new(10), 40));
+        assert!(cache.insert_weighted(2, Arc::new(20), 40));
+        // 90 > 100 - 80: must evict 1 (the LRU) to fit.
+        assert!(cache.insert_weighted(3, Arc::new(30), 90));
+        assert!(cache.get(&1).is_none());
+        assert!(cache.get(&2).is_none());
+        assert!(cache.get(&3).is_some());
+        let stats = cache.stats();
+        assert_eq!((stats.len, stats.weight), (1, 90));
+    }
+
+    #[test]
+    fn oversized_entries_are_rejected_not_looped() {
+        let cache: LruCache<u32, u32> = LruCache::with_budget(64);
+        assert!(
+            cache.insert_weighted(1, Arc::new(10), 64),
+            "exact fit admits"
+        );
+        assert!(
+            !cache.insert_weighted(2, Arc::new(20), 65),
+            "oversized rejected"
+        );
+        // The resident entry survived the rejected insert.
+        assert!(cache.get(&1).is_some());
+        assert!(cache.get(&2).is_none());
+        assert_eq!(cache.stats().weight, 64);
+    }
+
+    #[test]
+    fn refreshing_a_key_with_new_weight_adjusts_occupancy() {
+        let cache: LruCache<u32, u32> = LruCache::with_budget(10);
+        assert!(cache.insert_weighted(1, Arc::new(10), 8));
+        assert!(cache.insert_weighted(1, Arc::new(11), 3));
+        let stats = cache.stats();
+        assert_eq!((stats.len, stats.weight), (1, 3));
+        assert_eq!(cache.get(&1).as_deref(), Some(&11));
+    }
+
+    #[test]
     fn concurrent_access_is_consistent() {
         let cache: Arc<LruCache<u64, u64>> = Arc::new(LruCache::new(8));
         let handles: Vec<_> = (0..4)
@@ -170,6 +277,8 @@ mod tests {
         for h in handles {
             h.join().expect("no panic");
         }
-        assert!(cache.stats().len <= 8);
+        let stats = cache.stats();
+        assert!(stats.len <= 8);
+        assert_eq!(stats.weight, stats.len, "unit weights track entry count");
     }
 }

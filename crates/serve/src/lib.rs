@@ -9,10 +9,16 @@
 //!   incompatible files instead of mis-loading them);
 //! * [`service`] — a std-thread worker pool over a shared model with a
 //!   two-level LRU [`cache`] (design artifacts, then per-(design,
-//!   workload, cycles) encoder embeddings), so repeat requests skip
-//!   netlist generation, feature construction, and all encoder forwards;
+//!   workload, cycles) encoder embeddings under a **byte budget**), so
+//!   repeat requests skip netlist generation, feature construction, and
+//!   all encoder forwards; concurrent cold requests for one key are
+//!   **single-flighted** into one computation;
+//! * [`reactor`] — the non-blocking TCP front door: one epoll thread
+//!   multiplexes thousands of connections with per-connection
+//!   back-pressure, so idle clients cost buffers instead of threads;
 //! * [`protocol`] — the JSON-lines request/response wire format spoken
-//!   over stdin/stdout or TCP by the `serve` binary;
+//!   over stdin/stdout or TCP by the `serve` binary, including the
+//!   `stats` verb and inline phase-schedule workloads;
 //! * [`error`] — typed errors ([`ServeError`]) replacing the panics of
 //!   the batch drivers.
 //!
@@ -38,11 +44,15 @@
 pub mod cache;
 pub mod error;
 pub mod protocol;
+pub mod reactor;
 pub mod registry;
 pub mod service;
 
 pub use cache::{CacheStats, LruCache};
 pub use error::ServeError;
-pub use protocol::{ErrorResponse, GroupSummary, PredictRequest, PredictResponse};
+pub use protocol::{
+    ErrorResponse, GroupSummary, PredictRequest, PredictResponse, RequestLine, StatsResponse,
+};
+pub use reactor::{Reactor, ReactorConfig, ReactorHandle, ReactorStats};
 pub use registry::{ModelRegistry, RegistryError, SavedModel, FORMAT_VERSION};
-pub use service::{AtlasService, ServiceConfig, ServiceStats};
+pub use service::{AtlasService, Reply, ServiceConfig, ServiceStats};

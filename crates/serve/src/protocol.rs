@@ -9,26 +9,42 @@
 //! ← {"id":1,"design":"C2","workload":"W1","cycles":64,"cache_hit":false,...}
 //! → {"id":2,"design":"C9","workload":"W1","cycles":64}
 //! ← {"id":2,"error":"unknown design `C9`","kind":"unknown_design"}
+//! → {"id":3,"verb":"stats"}
+//! ← {"id":3,"verb":"stats","requests":2,...,"embedding_cache":{...}}
 //! ```
+//!
+//! A line with a `verb` field is dispatched by verb (`"predict"` or
+//! `"stats"`); a line without one is a predict request. Predict requests
+//! may carry an inline phase schedule in `phases` instead of relying on
+//! the `W1`/`W2` presets — see [`PredictRequest::phases`].
 
 use atlas_liberty::PowerGroup;
 use atlas_power::PowerTrace;
+use atlas_sim::WorkloadPhase;
 use serde::{Deserialize, Serialize};
 
+use crate::cache::CacheStats;
 use crate::error::ServeError;
+use crate::service::ServiceStats;
 
 /// One prediction request: which design, under which workload, for how
 /// many cycles.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct PredictRequest {
     /// Client-chosen correlation id, echoed in the response.
     pub id: Option<u64>,
     /// Design preset name (`C1`..`C6`, `TINY`).
     pub design: String,
-    /// Workload preset name (`W1`/`W2`).
+    /// Workload name: a preset (`W1`/`W2`) when `phases` is absent, else
+    /// a client-chosen label for the inline schedule.
     pub workload: String,
     /// Cycles to simulate and predict.
     pub cycles: usize,
+    /// Inline phase schedule (the `PhasedWorkload::new` surface). When
+    /// present, the service builds the workload from these phases instead
+    /// of looking `workload` up in the preset vocabulary, and caches the
+    /// result under a fingerprint of the schedule.
+    pub phases: Option<Vec<WorkloadPhase>>,
 }
 
 impl PredictRequest {
@@ -39,7 +55,76 @@ impl PredictRequest {
             design: design.into(),
             workload: workload.into(),
             cycles,
+            phases: None,
         }
+    }
+
+    /// Constructor for an inline-schedule request; `workload` becomes the
+    /// label the response echoes.
+    pub fn with_phases(
+        design: impl Into<String>,
+        workload: impl Into<String>,
+        cycles: usize,
+        phases: Vec<WorkloadPhase>,
+    ) -> Self {
+        PredictRequest {
+            id: None,
+            design: design.into(),
+            workload: workload.into(),
+            cycles,
+            phases: Some(phases),
+        }
+    }
+}
+
+/// One parsed protocol line, dispatched by verb.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RequestLine {
+    /// A prediction request (no `verb`, or `"verb":"predict"`).
+    Predict(PredictRequest),
+    /// A service-counter snapshot request (`"verb":"stats"`).
+    Stats {
+        /// Client-chosen correlation id, echoed in the response.
+        id: Option<u64>,
+    },
+}
+
+/// The reply to a `stats` verb: aggregate service counters, including
+/// each cache's occupancy and admission budget (bytes for the embedding
+/// cache, entries for the design cache).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StatsResponse {
+    /// Echo of the request id.
+    pub id: Option<u64>,
+    /// Always `"stats"`, so clients can discriminate response lines.
+    pub verb: String,
+    /// Requests answered (including errors).
+    pub requests: u64,
+    /// Requests that returned an error.
+    pub errors: u64,
+    /// Cold embeddings actually computed (each counts one full
+    /// simulate + encode pipeline).
+    pub embeddings_computed: u64,
+    /// Requests that coalesced onto another request's in-flight
+    /// computation instead of recomputing (single-flight).
+    pub coalesced_requests: u64,
+    /// Embedding-cache counters; `weight`/`budget` are **bytes**.
+    pub embedding_cache: CacheStats,
+    /// Design-cache counters; `weight`/`budget` are **entries**.
+    pub design_cache: CacheStats,
+}
+
+/// Build the `stats` verb reply from a service counter snapshot.
+pub fn stats_response(id: Option<u64>, stats: &ServiceStats) -> StatsResponse {
+    StatsResponse {
+        id,
+        verb: "stats".to_owned(),
+        requests: stats.requests,
+        errors: stats.errors,
+        embeddings_computed: stats.embeddings_computed,
+        coalesced_requests: stats.coalesced_requests,
+        embedding_cache: stats.embedding_cache,
+        design_cache: stats.design_cache,
     }
 }
 
@@ -162,6 +247,56 @@ pub fn parse_request(line: &str) -> Result<PredictRequest, ServeError> {
         .map_err(|e| ServeError::InvalidRequest(format!("bad request line: {e}")))
 }
 
+/// Parse one protocol line, dispatching on the optional `verb` field.
+///
+/// # Errors
+///
+/// [`ServeError::InvalidRequest`] on malformed JSON, an unknown verb, or
+/// a structural mismatch.
+pub fn parse_line(line: &str) -> Result<RequestLine, ServeError> {
+    let bad = |msg: String| ServeError::InvalidRequest(msg);
+    let value = serde_json::from_str_value(line.trim())
+        .map_err(|e| bad(format!("bad request line: {e}")))?;
+    let Some(map) = value.as_map() else {
+        return Err(bad(format!(
+            "request line must be a JSON object, found {}",
+            value.kind()
+        )));
+    };
+    let verb = match map.iter().find(|(k, _)| k == "verb") {
+        None => None,
+        Some((_, v)) => Some(
+            v.as_str()
+                .ok_or_else(|| bad(format!("`verb` must be a string, found {}", v.kind())))?,
+        ),
+    };
+    match verb {
+        None | Some("predict") => PredictRequest::from_value(&value)
+            .map(RequestLine::Predict)
+            .map_err(|e| bad(format!("bad request line: {e}"))),
+        Some("stats") => {
+            let id = serde::de::field::<Option<u64>>(map, "id", "stats")
+                .map_err(|e| bad(format!("bad stats line: {e}")))?;
+            Ok(RequestLine::Stats { id })
+        }
+        Some(other) => Err(bad(format!("unknown verb `{other}`"))),
+    }
+}
+
+/// Best-effort extraction of the `id` field from a request line that
+/// failed to parse, so even error responses correlate when possible.
+pub fn salvage_id(line: &str) -> Option<u64> {
+    let value = serde_json::from_str_value(line.trim()).ok()?;
+    let map = value.as_map()?;
+    serde::de::field::<Option<u64>>(map, "id", "request").ok()?
+}
+
+/// Render one `stats` response line (no trailing newline).
+pub fn render_stats(response: &StatsResponse) -> String {
+    serde_json::to_string(response)
+        .unwrap_or_else(|e| format!(r#"{{"error":"render failure: {e}","kind":"internal"}}"#))
+}
+
 /// Render one response line (no trailing newline).
 pub fn render_result(result: &Result<PredictResponse, (Option<u64>, ServeError)>) -> String {
     let rendered = match result {
@@ -186,9 +321,114 @@ mod tests {
             design: "C2".into(),
             workload: "W1".into(),
             cycles: 64,
+            phases: None,
         };
         let line = serde_json::to_string(&req).expect("serializes");
         assert_eq!(parse_request(&line).expect("parses"), req);
+    }
+
+    #[test]
+    fn inline_schedule_roundtrip() {
+        let req = PredictRequest::with_phases(
+            "C2",
+            "bursty",
+            32,
+            vec![
+                WorkloadPhase {
+                    activity: 0.45,
+                    min_len: 3,
+                    max_len: 9,
+                },
+                WorkloadPhase {
+                    activity: 0.05,
+                    min_len: 10,
+                    max_len: 20,
+                },
+            ],
+        );
+        let line = serde_json::to_string(&req).expect("serializes");
+        assert_eq!(parse_request(&line).expect("parses"), req);
+        // Through the verb dispatcher too.
+        assert_eq!(
+            parse_line(&line).expect("parses"),
+            RequestLine::Predict(req.clone())
+        );
+        // And from hand-written JSON, the shape clients will send.
+        let hand = r#"{"design":"C2","workload":"bursty","cycles":32,
+            "phases":[{"activity":0.45,"min_len":3,"max_len":9},
+                      {"activity":0.05,"min_len":10,"max_len":20}]}"#;
+        let parsed = parse_request(hand).expect("parses");
+        assert_eq!(parsed.phases, req.phases);
+    }
+
+    #[test]
+    fn verb_dispatch() {
+        // No verb: predict.
+        assert!(matches!(
+            parse_line(r#"{"design":"C2","workload":"W1","cycles":8}"#),
+            Ok(RequestLine::Predict(_))
+        ));
+        // Explicit predict verb.
+        assert!(matches!(
+            parse_line(r#"{"verb":"predict","design":"C2","workload":"W1","cycles":8}"#),
+            Ok(RequestLine::Predict(_))
+        ));
+        // Stats verb, with and without id.
+        assert_eq!(
+            parse_line(r#"{"verb":"stats","id":9}"#),
+            Ok(RequestLine::Stats { id: Some(9) })
+        );
+        assert_eq!(
+            parse_line(r#"{"verb":"stats"}"#),
+            Ok(RequestLine::Stats { id: None })
+        );
+        // Unknown verb and non-string verb are typed errors.
+        assert!(matches!(
+            parse_line(r#"{"verb":"flush"}"#),
+            Err(ServeError::InvalidRequest(msg)) if msg.contains("unknown verb")
+        ));
+        assert!(matches!(
+            parse_line(r#"{"verb":3}"#),
+            Err(ServeError::InvalidRequest(_))
+        ));
+        assert!(matches!(
+            parse_line("[1,2]"),
+            Err(ServeError::InvalidRequest(_))
+        ));
+        // Error responses can still correlate when the id parsed.
+        assert_eq!(salvage_id(r#"{"id":6,"verb":"flush"}"#), Some(6));
+        assert_eq!(salvage_id(r#"{"verb":"flush"}"#), None);
+        assert_eq!(salvage_id("not json"), None);
+    }
+
+    #[test]
+    fn stats_response_roundtrip() {
+        let stats = ServiceStats {
+            requests: 11,
+            errors: 2,
+            embeddings_computed: 3,
+            coalesced_requests: 4,
+            embedding_cache: CacheStats {
+                hits: 6,
+                misses: 5,
+                len: 2,
+                weight: 123_456,
+                budget: 1_000_000,
+            },
+            design_cache: CacheStats {
+                hits: 7,
+                misses: 1,
+                len: 1,
+                weight: 1,
+                budget: 16,
+            },
+        };
+        let resp = stats_response(Some(9), &stats);
+        assert_eq!(resp.verb, "stats");
+        assert_eq!(resp.embedding_cache.budget, 1_000_000);
+        let line = render_stats(&resp);
+        let back: StatsResponse = serde_json::from_str(&line).expect("parses");
+        assert_eq!(back, resp);
     }
 
     #[test]

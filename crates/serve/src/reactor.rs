@@ -1,0 +1,1074 @@
+//! Non-blocking TCP front door: one `epoll` reactor thread multiplexing
+//! every connection, with the worker pool doing the actual prediction.
+//!
+//! The thread-per-connection front door of PR 1 pinned an OS thread per
+//! client for its whole lifetime — thousands of mostly-idle monitoring
+//! connections meant thousands of stacks. This module replaces it with a
+//! classic single-threaded event loop:
+//!
+//! * every connection is **non-blocking** and registered with one epoll
+//!   instance; idle connections cost a file descriptor and a small buffer
+//!   pair, not a thread;
+//! * complete JSON lines are parsed on the reactor thread and submitted
+//!   to [`AtlasService::submit_with`]; the worker's reply is queued and
+//!   the reactor is woken through an `eventfd` to write it out;
+//! * **back-pressure**: a connection that stops reading its responses
+//!   (write buffer above [`ReactorConfig::write_high_water`]) or floods
+//!   requests (more than [`ReactorConfig::max_inflight`] outstanding)
+//!   has its read side paused until it drains — a slow client can never
+//!   balloon server memory;
+//! * a **connection limit** ([`ReactorConfig::max_connections`]): beyond
+//!   it, new connections get a one-line `overloaded` error and are
+//!   closed.
+//!
+//! The total OS-thread budget of a TCP `serve` process is therefore
+//! `worker_count + 2` (workers + reactor + main), independent of
+//! connection count.
+//!
+//! The `stats` protocol verb is answered inline on the reactor thread —
+//! it is a counter snapshot and never needs a worker.
+//!
+//! # Why raw syscalls?
+//!
+//! The build environment has no registry access (see `vendor/`), so
+//! instead of `mio`/`tokio` the private `sys` module declares the libc
+//! symbols the loop needs (`epoll_create1`, `epoll_ctl`, `epoll_wait`,
+//! `eventfd`, `close`) directly — std already links libc on Linux. This
+//! is the same vendoring policy as the serde/rand shims: the exact API
+//! subset the workspace uses, swappable for the real crates when a
+//! registry is available.
+
+use std::collections::HashMap;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::os::unix::io::AsRawFd;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread;
+
+use crate::protocol::{self, ErrorResponse, RequestLine};
+use crate::service::AtlasService;
+
+/// Minimal FFI shim over the epoll/eventfd syscalls (Linux only). Kept
+/// under the `vendor/` policy: exactly the surface the reactor uses.
+mod sys {
+    use std::io;
+
+    pub const EPOLL_CLOEXEC: i32 = 0o2000000;
+    pub const EPOLL_CTL_ADD: i32 = 1;
+    pub const EPOLL_CTL_DEL: i32 = 2;
+    pub const EPOLL_CTL_MOD: i32 = 3;
+    pub const EPOLLIN: u32 = 0x001;
+    pub const EPOLLOUT: u32 = 0x004;
+    pub const EPOLLERR: u32 = 0x008;
+    pub const EPOLLHUP: u32 = 0x010;
+    pub const EPOLLRDHUP: u32 = 0x2000;
+    pub const EFD_CLOEXEC: i32 = 0o2000000;
+    pub const EFD_NONBLOCK: i32 = 0o4000;
+    /// Linux errno: too many open files (process fd limit).
+    pub const EMFILE: i32 = 24;
+    /// Linux errno: too many open files (system fd limit).
+    pub const ENFILE: i32 = 23;
+
+    /// Mirror of `struct epoll_event`. x86-64 packs it so the 64-bit
+    /// payload sits at offset 4; other Linux targets use natural layout.
+    #[repr(C)]
+    #[cfg_attr(target_arch = "x86_64", repr(packed))]
+    #[derive(Clone, Copy)]
+    pub struct EpollEvent {
+        pub events: u32,
+        pub data: u64,
+    }
+
+    extern "C" {
+        fn epoll_create1(flags: i32) -> i32;
+        fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut EpollEvent) -> i32;
+        fn epoll_wait(epfd: i32, events: *mut EpollEvent, maxevents: i32, timeout: i32) -> i32;
+        fn eventfd(initval: u32, flags: i32) -> i32;
+        fn read(fd: i32, buf: *mut core::ffi::c_void, count: usize) -> isize;
+        fn write(fd: i32, buf: *const core::ffi::c_void, count: usize) -> isize;
+        fn close(fd: i32) -> i32;
+    }
+
+    fn cvt(ret: i32) -> io::Result<i32> {
+        if ret < 0 {
+            Err(io::Error::last_os_error())
+        } else {
+            Ok(ret)
+        }
+    }
+
+    /// An owned file descriptor closed on drop (epoll instance, eventfd).
+    #[derive(Debug)]
+    pub struct OwnedFd(pub i32);
+
+    impl Drop for OwnedFd {
+        fn drop(&mut self) {
+            unsafe {
+                let _ = close(self.0);
+            }
+        }
+    }
+
+    pub fn epoll_create() -> io::Result<OwnedFd> {
+        // SAFETY: no pointers involved; flags is a valid constant.
+        unsafe { cvt(epoll_create1(EPOLL_CLOEXEC)).map(OwnedFd) }
+    }
+
+    pub fn ctl(epfd: i32, op: i32, fd: i32, events: u32, token: u64) -> io::Result<()> {
+        let mut ev = EpollEvent {
+            events,
+            data: token,
+        };
+        // SAFETY: `ev` outlives the call; the kernel copies it.
+        unsafe { cvt(epoll_ctl(epfd, op, fd, &mut ev)).map(|_| ()) }
+    }
+
+    pub fn ctl_del(epfd: i32, fd: i32) -> io::Result<()> {
+        // A null event is allowed for EPOLL_CTL_DEL since Linux 2.6.9.
+        unsafe { cvt(epoll_ctl(epfd, EPOLL_CTL_DEL, fd, core::ptr::null_mut())).map(|_| ()) }
+    }
+
+    /// Wait for events, retrying on `EINTR`.
+    pub fn wait(epfd: i32, events: &mut [EpollEvent], timeout_ms: i32) -> io::Result<usize> {
+        loop {
+            // SAFETY: the buffer is valid for `events.len()` entries.
+            let n =
+                unsafe { epoll_wait(epfd, events.as_mut_ptr(), events.len() as i32, timeout_ms) };
+            if n >= 0 {
+                return Ok(n as usize);
+            }
+            let err = io::Error::last_os_error();
+            if err.kind() != io::ErrorKind::Interrupted {
+                return Err(err);
+            }
+        }
+    }
+
+    pub fn new_eventfd() -> io::Result<OwnedFd> {
+        // SAFETY: no pointers involved.
+        unsafe { cvt(eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK)).map(OwnedFd) }
+    }
+
+    /// Add 1 to the eventfd counter, waking an epoll waiter.
+    pub fn eventfd_signal(fd: i32) {
+        let one: u64 = 1;
+        // SAFETY: writes exactly 8 bytes from a live stack value. A full
+        // counter (EAGAIN) still leaves it nonzero, which is all we need.
+        unsafe {
+            let _ = write(fd, (&one as *const u64).cast(), 8);
+        }
+    }
+
+    /// Reset the eventfd counter to zero.
+    pub fn eventfd_drain(fd: i32) {
+        let mut buf: u64 = 0;
+        // SAFETY: reads exactly 8 bytes into a live stack value.
+        unsafe {
+            let _ = read(fd, (&mut buf as *mut u64).cast(), 8);
+        }
+    }
+}
+
+/// Tuning knobs of the event-loop front door.
+#[derive(Debug, Clone)]
+pub struct ReactorConfig {
+    /// Connections beyond this are answered with a one-line `overloaded`
+    /// error and closed.
+    pub max_connections: usize,
+    /// A request line longer than this closes the connection (the
+    /// framing is broken; there is no way to resynchronize).
+    pub max_line_bytes: usize,
+    /// Pause reading from a connection whose un-flushed response bytes
+    /// exceed this; resume below half of it.
+    pub write_high_water: usize,
+    /// Pause reading from a connection with this many predictions still
+    /// in the worker pool; resume as replies drain.
+    pub max_inflight: usize,
+}
+
+impl Default for ReactorConfig {
+    fn default() -> ReactorConfig {
+        ReactorConfig {
+            max_connections: 4096,
+            max_line_bytes: 1 << 20,
+            write_high_water: 256 << 10,
+            max_inflight: 64,
+        }
+    }
+}
+
+/// Monotonic counters of one reactor, readable from any thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ReactorStats {
+    /// Connections accepted.
+    pub accepted: u64,
+    /// Connections refused at the connection limit.
+    pub rejected: u64,
+    /// Connections closed (any reason).
+    pub closed: u64,
+    /// Connections currently open.
+    pub active: u64,
+    /// Prediction requests forwarded to the worker pool.
+    pub requests: u64,
+    /// Response lines fully written back.
+    pub responses: u64,
+    /// Times a connection's read side was paused for back-pressure.
+    pub pauses: u64,
+}
+
+#[derive(Default)]
+struct Counters {
+    accepted: AtomicU64,
+    rejected: AtomicU64,
+    closed: AtomicU64,
+    active: AtomicU64,
+    requests: AtomicU64,
+    responses: AtomicU64,
+    pauses: AtomicU64,
+}
+
+impl Counters {
+    fn snapshot(&self) -> ReactorStats {
+        ReactorStats {
+            accepted: self.accepted.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            closed: self.closed.load(Ordering::Relaxed),
+            active: self.active.load(Ordering::Relaxed),
+            requests: self.requests.load(Ordering::Relaxed),
+            responses: self.responses.load(Ordering::Relaxed),
+            pauses: self.pauses.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A finished reply on its way back to a connection.
+struct Completion {
+    token: u64,
+    line: String,
+}
+
+/// The worker→reactor handoff: workers push rendered reply lines and
+/// signal the eventfd; the reactor drains on wakeup.
+struct Completions {
+    queue: Mutex<Vec<Completion>>,
+    wake: sys::OwnedFd,
+    shutdown: AtomicBool,
+}
+
+impl Completions {
+    fn push(&self, token: u64, line: String) {
+        self.queue
+            .lock()
+            .expect("completion lock")
+            .push(Completion { token, line });
+        sys::eventfd_signal(self.wake.0);
+    }
+
+    fn drain(&self) -> Vec<Completion> {
+        sys::eventfd_drain(self.wake.0);
+        std::mem::take(&mut *self.queue.lock().expect("completion lock"))
+    }
+}
+
+const TOKEN_LISTENER: u64 = 0;
+const TOKEN_WAKE: u64 = 1;
+const FIRST_CONN_TOKEN: u64 = 2;
+
+/// Per-connection state: the socket plus read/write buffers.
+struct Conn {
+    stream: TcpStream,
+    /// Bytes read but not yet terminated by a newline.
+    rbuf: Vec<u8>,
+    /// Rendered response bytes not yet accepted by the socket.
+    wbuf: Vec<u8>,
+    /// Consumed prefix of `wbuf` (compacted periodically).
+    wpos: usize,
+    /// Predictions submitted to the worker pool, not yet replied.
+    inflight: usize,
+    /// Event mask currently registered with epoll.
+    interest: u32,
+    /// Peer sent FIN (or line limit hit): no more reads, flush and close.
+    read_closed: bool,
+}
+
+impl Conn {
+    fn pending_bytes(&self) -> usize {
+        self.wbuf.len() - self.wpos
+    }
+}
+
+/// An event-driven TCP server over one [`AtlasService`].
+pub struct Reactor {
+    service: Arc<AtlasService>,
+    listener: TcpListener,
+    cfg: ReactorConfig,
+    completions: Arc<Completions>,
+    counters: Arc<Counters>,
+}
+
+/// Control handle of a reactor running on its own thread.
+pub struct ReactorHandle {
+    addr: SocketAddr,
+    completions: Arc<Completions>,
+    counters: Arc<Counters>,
+    thread: Option<thread::JoinHandle<io::Result<()>>>,
+}
+
+impl ReactorHandle {
+    /// The bound listen address (resolved, so port 0 becomes concrete).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> ReactorStats {
+        self.counters.snapshot()
+    }
+
+    /// Stop the event loop, close every connection, and join the thread.
+    ///
+    /// # Errors
+    ///
+    /// The I/O error that terminated the loop, if it did not exit
+    /// cleanly.
+    pub fn shutdown(mut self) -> io::Result<()> {
+        self.begin_shutdown();
+        match self.thread.take() {
+            Some(t) => t
+                .join()
+                .unwrap_or_else(|_| Err(io::Error::other("reactor thread panicked"))),
+            None => Ok(()),
+        }
+    }
+
+    fn begin_shutdown(&self) {
+        self.completions.shutdown.store(true, Ordering::SeqCst);
+        sys::eventfd_signal(self.completions.wake.0);
+    }
+}
+
+impl Drop for ReactorHandle {
+    fn drop(&mut self) {
+        if let Some(t) = self.thread.take() {
+            self.begin_shutdown();
+            let _ = t.join();
+        }
+    }
+}
+
+impl Reactor {
+    /// Bind a listener and prepare the event loop (which starts on
+    /// [`Reactor::run`] or [`Reactor::spawn`]).
+    ///
+    /// # Errors
+    ///
+    /// Socket or eventfd creation failures.
+    pub fn bind(
+        service: Arc<AtlasService>,
+        addr: impl ToSocketAddrs,
+        cfg: ReactorConfig,
+    ) -> io::Result<Reactor> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let completions = Arc::new(Completions {
+            queue: Mutex::new(Vec::new()),
+            wake: sys::new_eventfd()?,
+            shutdown: AtomicBool::new(false),
+        });
+        Ok(Reactor {
+            service,
+            listener,
+            cfg,
+            completions,
+            counters: Arc::new(Counters::default()),
+        })
+    }
+
+    /// The bound listen address.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `TcpListener::local_addr` failures.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Counter snapshot (shareable before `run`/`spawn`).
+    pub fn stats(&self) -> ReactorStats {
+        self.counters.snapshot()
+    }
+
+    /// Run the event loop on the current thread until shut down or a
+    /// fatal I/O error. The `serve` binary calls this from `main`, so a
+    /// TCP server uses exactly `workers + 1` threads.
+    ///
+    /// # Errors
+    ///
+    /// Fatal epoll failures (per-connection errors just close that
+    /// connection).
+    pub fn run(self) -> io::Result<()> {
+        Loop::new(self)?.run()
+    }
+
+    /// Run the event loop on a dedicated thread, returning a handle for
+    /// address lookup, stats, and shutdown.
+    ///
+    /// # Errors
+    ///
+    /// Address resolution failures before the thread starts.
+    pub fn spawn(self) -> io::Result<ReactorHandle> {
+        let addr = self.local_addr()?;
+        let completions = Arc::clone(&self.completions);
+        let counters = Arc::clone(&self.counters);
+        let thread = thread::Builder::new()
+            .name("atlas-reactor".into())
+            .spawn(move || self.run())?;
+        Ok(ReactorHandle {
+            addr,
+            completions,
+            counters,
+            thread: Some(thread),
+        })
+    }
+}
+
+/// The running event loop (private; built by [`Reactor::run`]).
+struct Loop {
+    service: Arc<AtlasService>,
+    listener: TcpListener,
+    cfg: ReactorConfig,
+    completions: Arc<Completions>,
+    counters: Arc<Counters>,
+    ep: sys::OwnedFd,
+    conns: HashMap<u64, Conn>,
+    next_token: u64,
+    /// Set after a non-transient `accept` failure (EMFILE/ENFILE fd
+    /// exhaustion): the listener is disarmed and re-armed after a short
+    /// timed wait, instead of level-triggered epoll busy-spinning on the
+    /// still-pending backlog.
+    accept_backoff: bool,
+}
+
+impl Loop {
+    fn new(reactor: Reactor) -> io::Result<Loop> {
+        let ep = sys::epoll_create()?;
+        sys::ctl(
+            ep.0,
+            sys::EPOLL_CTL_ADD,
+            reactor.listener.as_raw_fd(),
+            sys::EPOLLIN,
+            TOKEN_LISTENER,
+        )?;
+        sys::ctl(
+            ep.0,
+            sys::EPOLL_CTL_ADD,
+            reactor.completions.wake.0,
+            sys::EPOLLIN,
+            TOKEN_WAKE,
+        )?;
+        Ok(Loop {
+            service: reactor.service,
+            listener: reactor.listener,
+            cfg: reactor.cfg,
+            completions: reactor.completions,
+            counters: reactor.counters,
+            ep,
+            conns: HashMap::new(),
+            next_token: FIRST_CONN_TOKEN,
+            accept_backoff: false,
+        })
+    }
+
+    fn run(mut self) -> io::Result<()> {
+        let mut events = [sys::EpollEvent { events: 0, data: 0 }; 256];
+        loop {
+            let timeout_ms = if self.accept_backoff { 50 } else { -1 };
+            let n = sys::wait(self.ep.0, &mut events, timeout_ms)?;
+            if self.accept_backoff {
+                // Re-arm the listener after the cool-down (fds may have
+                // been freed by closed connections in the meantime).
+                self.accept_backoff = false;
+                let _ = sys::ctl(
+                    self.ep.0,
+                    sys::EPOLL_CTL_MOD,
+                    self.listener.as_raw_fd(),
+                    sys::EPOLLIN,
+                    TOKEN_LISTENER,
+                );
+                self.accept_ready();
+            }
+            for ev in &events[..n] {
+                // Copy out of the possibly-packed struct before use.
+                let (token, bits) = (ev.data, ev.events);
+                match token {
+                    TOKEN_LISTENER => self.accept_ready(),
+                    TOKEN_WAKE => {
+                        for c in self.completions.drain() {
+                            self.deliver(c);
+                        }
+                        if self.completions.shutdown.load(Ordering::SeqCst) {
+                            // Close everything; undelivered replies are
+                            // dropped with their connections.
+                            let tokens: Vec<u64> = self.conns.keys().copied().collect();
+                            for t in tokens {
+                                self.close_conn(t);
+                            }
+                            return Ok(());
+                        }
+                    }
+                    token => self.conn_ready(token, bits),
+                }
+            }
+        }
+    }
+
+    fn accept_ready(&mut self) {
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    if self.conns.len() >= self.cfg.max_connections {
+                        self.counters.rejected.fetch_add(1, Ordering::Relaxed);
+                        refuse(stream);
+                        continue;
+                    }
+                    if self.admit(stream).is_err() {
+                        continue;
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e)
+                    if matches!(e.raw_os_error(),
+                        Some(code) if code == sys::EMFILE || code == sys::ENFILE) =>
+                {
+                    // Fd exhaustion: the pending backlog would re-fire
+                    // EPOLLIN immediately and spin the loop. Disarm the
+                    // listener and retry after a timed wait instead.
+                    self.accept_backoff = true;
+                    let _ = sys::ctl(
+                        self.ep.0,
+                        sys::EPOLL_CTL_MOD,
+                        self.listener.as_raw_fd(),
+                        0,
+                        TOKEN_LISTENER,
+                    );
+                    break;
+                }
+                // Transient per-connection accept errors (ECONNABORTED &
+                // friends): keep serving.
+                Err(_) => break,
+            }
+        }
+    }
+
+    fn admit(&mut self, stream: TcpStream) -> io::Result<()> {
+        stream.set_nonblocking(true)?;
+        let _ = stream.set_nodelay(true);
+        let token = self.next_token;
+        self.next_token += 1;
+        let interest = sys::EPOLLIN | sys::EPOLLRDHUP;
+        sys::ctl(
+            self.ep.0,
+            sys::EPOLL_CTL_ADD,
+            stream.as_raw_fd(),
+            interest,
+            token,
+        )?;
+        self.conns.insert(
+            token,
+            Conn {
+                stream,
+                rbuf: Vec::new(),
+                wbuf: Vec::new(),
+                wpos: 0,
+                inflight: 0,
+                interest,
+                read_closed: false,
+            },
+        );
+        self.counters.accepted.fetch_add(1, Ordering::Relaxed);
+        self.counters.active.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    fn conn_ready(&mut self, token: u64, bits: u32) {
+        if bits & (sys::EPOLLERR | sys::EPOLLHUP) != 0 {
+            self.close_conn(token);
+            return;
+        }
+        if bits & sys::EPOLLOUT != 0 && !self.flush(token) {
+            return;
+        }
+        if bits & (sys::EPOLLIN | sys::EPOLLRDHUP) != 0 {
+            self.read_ready(token);
+        }
+    }
+
+    /// Pull everything the socket has, splitting complete lines into
+    /// requests. Returns nothing; closes the connection on fatal errors.
+    fn read_ready(&mut self, token: u64) {
+        let mut chunk = [0u8; 8192];
+        loop {
+            let Some(conn) = self.conns.get_mut(&token) else {
+                return;
+            };
+            if conn.read_closed {
+                return;
+            }
+            match conn.stream.read(&mut chunk) {
+                Ok(0) => {
+                    // Peer sent FIN. Finish in-flight work, then close.
+                    conn.read_closed = true;
+                    if conn.inflight == 0 && conn.pending_bytes() == 0 {
+                        self.close_conn(token);
+                    } else {
+                        self.update_interest(token);
+                    }
+                    return;
+                }
+                Ok(n) => {
+                    conn.rbuf.extend_from_slice(&chunk[..n]);
+                    if !self.extract_lines(token) {
+                        return;
+                    }
+                    // Back-pressure may have paused this connection.
+                    let paused = self.conns.get(&token).is_some_and(|c| self.paused(c));
+                    if paused {
+                        self.update_interest(token);
+                        return;
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    self.update_interest(token);
+                    return;
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(_) => {
+                    self.close_conn(token);
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Split `rbuf` on newlines and dispatch each complete request.
+    /// Returns false when the connection was closed.
+    fn extract_lines(&mut self, token: u64) -> bool {
+        loop {
+            let Some(conn) = self.conns.get_mut(&token) else {
+                return false;
+            };
+            let Some(nl) = conn.rbuf.iter().position(|&b| b == b'\n') else {
+                if conn.rbuf.len() > self.cfg.max_line_bytes {
+                    // Framing is unrecoverable; answer and close.
+                    let line = protocol::render_result(&Err((
+                        None,
+                        crate::error::ServeError::InvalidRequest(format!(
+                            "request line exceeds {} bytes",
+                            self.cfg.max_line_bytes
+                        )),
+                    )));
+                    self.queue_line(token, line);
+                    if let Some(conn) = self.conns.get_mut(&token) {
+                        conn.read_closed = true;
+                        conn.rbuf.clear();
+                        if conn.inflight == 0 && conn.pending_bytes() == 0 {
+                            self.close_conn(token);
+                            return false;
+                        }
+                        self.update_interest(token);
+                    }
+                    return false;
+                }
+                return true;
+            };
+            let line_bytes: Vec<u8> = conn.rbuf.drain(..=nl).collect();
+            let line = String::from_utf8_lossy(&line_bytes[..nl]).into_owned();
+            if line.trim().is_empty() {
+                continue;
+            }
+            self.dispatch(token, &line);
+            if !self.conns.contains_key(&token) {
+                return false;
+            }
+        }
+    }
+
+    /// Route one request line: predictions to the worker pool, `stats`
+    /// answered inline, parse errors answered inline.
+    fn dispatch(&mut self, token: u64, line: &str) {
+        match protocol::parse_line(line) {
+            Ok(RequestLine::Predict(request)) => {
+                if let Some(conn) = self.conns.get_mut(&token) {
+                    conn.inflight += 1;
+                }
+                self.counters.requests.fetch_add(1, Ordering::Relaxed);
+                let completions = Arc::clone(&self.completions);
+                self.service.submit_with(request, move |reply| {
+                    completions.push(token, protocol::render_result(&reply));
+                });
+            }
+            Ok(RequestLine::Stats { id }) => {
+                let line =
+                    protocol::render_stats(&protocol::stats_response(id, &self.service.stats()));
+                self.queue_line(token, line);
+            }
+            Err(e) => {
+                let id = protocol::salvage_id(line);
+                let reply = protocol::render_result(&Err((id, e)));
+                self.queue_line(token, reply);
+            }
+        }
+    }
+
+    /// A reply arrived from the worker pool.
+    fn deliver(&mut self, completion: Completion) {
+        let Some(conn) = self.conns.get_mut(&completion.token) else {
+            return; // connection closed while the request was in flight
+        };
+        conn.inflight = conn.inflight.saturating_sub(1);
+        self.queue_line(completion.token, completion.line);
+        if let Some(conn) = self.conns.get(&completion.token) {
+            if conn.read_closed && conn.inflight == 0 && conn.pending_bytes() == 0 {
+                self.close_conn(completion.token);
+            }
+        }
+    }
+
+    /// Append one response line to the connection's write buffer and try
+    /// to flush immediately (the common, uncongested case).
+    fn queue_line(&mut self, token: u64, line: String) {
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return;
+        };
+        conn.wbuf.extend_from_slice(line.as_bytes());
+        conn.wbuf.push(b'\n');
+        self.flush(token);
+    }
+
+    /// Write as much buffered output as the socket accepts. Returns false
+    /// when the connection was closed.
+    fn flush(&mut self, token: u64) -> bool {
+        let mut close = false;
+        let mut written_lines = 0u64;
+        {
+            let Some(conn) = self.conns.get_mut(&token) else {
+                return false;
+            };
+            while conn.wpos < conn.wbuf.len() {
+                match conn.stream.write(&conn.wbuf[conn.wpos..]) {
+                    Ok(0) => {
+                        close = true;
+                        break;
+                    }
+                    Ok(n) => {
+                        written_lines += count_newlines(&conn.wbuf[conn.wpos..conn.wpos + n]);
+                        conn.wpos += n;
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                    Err(_) => {
+                        close = true;
+                        break;
+                    }
+                }
+            }
+            if conn.wpos == conn.wbuf.len() {
+                conn.wbuf.clear();
+                conn.wpos = 0;
+            } else if conn.wpos > (64 << 10) {
+                conn.wbuf.drain(..conn.wpos);
+                conn.wpos = 0;
+            }
+            if conn.read_closed && conn.inflight == 0 && conn.pending_bytes() == 0 {
+                close = true;
+            }
+        }
+        self.counters
+            .responses
+            .fetch_add(written_lines, Ordering::Relaxed);
+        if close {
+            self.close_conn(token);
+            return false;
+        }
+        self.update_interest(token);
+        true
+    }
+
+    /// Whether back-pressure should keep this connection's reads off.
+    fn paused(&self, conn: &Conn) -> bool {
+        conn.inflight >= self.cfg.max_inflight || conn.pending_bytes() >= self.cfg.write_high_water
+    }
+
+    /// Whether a previously-paused connection has drained enough to read
+    /// again (hysteresis at half the thresholds to avoid flapping).
+    fn resumable(&self, conn: &Conn) -> bool {
+        conn.inflight < self.cfg.max_inflight.div_ceil(2)
+            && conn.pending_bytes() < self.cfg.write_high_water / 2
+    }
+
+    /// Reconcile the epoll registration with the connection's state.
+    fn update_interest(&mut self, token: u64) {
+        let Some(conn) = self.conns.get(&token) else {
+            return;
+        };
+        let reading = conn.interest & sys::EPOLLIN != 0;
+        let want_read = !conn.read_closed
+            && if reading {
+                !self.paused(conn)
+            } else {
+                self.resumable(conn)
+            };
+        let mut want = sys::EPOLLRDHUP;
+        if want_read {
+            want |= sys::EPOLLIN;
+        }
+        if conn.pending_bytes() > 0 {
+            want |= sys::EPOLLOUT;
+        }
+        if want != conn.interest {
+            // Count only genuine back-pressure pauses, not the EPOLLIN
+            // drop that naturally follows a client's FIN.
+            if reading && !want_read && !conn.read_closed {
+                self.counters.pauses.fetch_add(1, Ordering::Relaxed);
+            }
+            let fd = conn.stream.as_raw_fd();
+            if sys::ctl(self.ep.0, sys::EPOLL_CTL_MOD, fd, want, token).is_ok() {
+                if let Some(conn) = self.conns.get_mut(&token) {
+                    conn.interest = want;
+                }
+            } else {
+                self.close_conn(token);
+            }
+        }
+    }
+
+    fn close_conn(&mut self, token: u64) {
+        if let Some(conn) = self.conns.remove(&token) {
+            let _ = sys::ctl_del(self.ep.0, conn.stream.as_raw_fd());
+            self.counters.closed.fetch_add(1, Ordering::Relaxed);
+            self.counters.active.fetch_sub(1, Ordering::Relaxed);
+            // Dropping the TcpStream closes the socket.
+        }
+    }
+}
+
+fn count_newlines(bytes: &[u8]) -> u64 {
+    bytes.iter().filter(|&&b| b == b'\n').count() as u64
+}
+
+/// Best-effort one-line refusal for connections over the limit. The
+/// socket is fresh, so the handful of bytes lands in the send buffer
+/// without blocking.
+fn refuse(mut stream: TcpStream) {
+    let line = serde_json::to_string(&ErrorResponse {
+        id: None,
+        error: "connection limit reached".to_owned(),
+        kind: "overloaded".to_owned(),
+    })
+    .unwrap_or_default();
+    let _ = stream.set_nonblocking(true);
+    let _ = stream.write_all(line.as_bytes());
+    let _ = stream.write_all(b"\n");
+}
+
+#[cfg(test)]
+mod tests {
+    use std::io::{BufRead, BufReader};
+
+    use atlas_core::pipeline::{train_atlas, ExperimentConfig};
+
+    use super::*;
+    use crate::protocol::{PredictResponse, StatsResponse};
+    use crate::ServiceConfig;
+
+    /// A configuration small enough to train inside a unit test.
+    fn micro_service(workers: usize) -> Arc<AtlasService> {
+        let mut cfg = ExperimentConfig::quick();
+        cfg.cycles = 12;
+        cfg.scale = 0.12;
+        cfg.pretrain.steps = 10;
+        cfg.pretrain.hidden_dim = 12;
+        cfg.finetune.cycles_per_design = 4;
+        cfg.finetune.gbdt.n_estimators = 12;
+        let trained = train_atlas(&cfg);
+        Arc::new(AtlasService::start_with(
+            trained.model,
+            cfg,
+            ServiceConfig {
+                workers,
+                ..ServiceConfig::default()
+            },
+        ))
+    }
+
+    fn spawn_reactor(service: Arc<AtlasService>, cfg: ReactorConfig) -> ReactorHandle {
+        Reactor::bind(service, "127.0.0.1:0", cfg)
+            .expect("binds")
+            .spawn()
+            .expect("spawns")
+    }
+
+    fn send_line(stream: &mut TcpStream, line: &str) {
+        let framed = format!("{line}\n");
+        stream.write_all(framed.as_bytes()).expect("writes");
+    }
+
+    fn read_line(reader: &mut BufReader<TcpStream>) -> String {
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("reads a line");
+        line
+    }
+
+    #[test]
+    fn serves_predictions_stats_and_errors_over_one_connection() {
+        let handle = spawn_reactor(micro_service(2), ReactorConfig::default());
+        let mut stream = TcpStream::connect(handle.addr()).expect("connects");
+        let mut reader = BufReader::new(stream.try_clone().expect("clones"));
+
+        send_line(
+            &mut stream,
+            r#"{"id":1,"design":"C2","workload":"W1","cycles":6}"#,
+        );
+        let resp: PredictResponse =
+            serde_json::from_str(&read_line(&mut reader)).expect("prediction parses");
+        assert_eq!(resp.id, Some(1));
+        assert_eq!(resp.cycles, 6);
+        assert!(resp.mean_total_w > 0.0);
+
+        // Same key again: served from cache.
+        send_line(
+            &mut stream,
+            r#"{"id":2,"design":"C2","workload":"W1","cycles":6}"#,
+        );
+        let warm: PredictResponse = serde_json::from_str(&read_line(&mut reader)).expect("parses");
+        assert!(warm.cache_hit);
+        assert_eq!(warm.per_cycle_total_w, resp.per_cycle_total_w);
+
+        // Stats verb is answered inline with byte-budget fields.
+        send_line(&mut stream, r#"{"id":3,"verb":"stats"}"#);
+        let stats: StatsResponse =
+            serde_json::from_str(&read_line(&mut reader)).expect("stats parses");
+        assert_eq!(stats.id, Some(3));
+        assert_eq!(stats.requests, 2);
+        assert!(stats.embedding_cache.weight > 0);
+        assert!(stats.embedding_cache.budget >= stats.embedding_cache.weight);
+
+        // Bad JSON and unknown designs are typed per-line errors, not
+        // connection teardowns.
+        send_line(&mut stream, "not json");
+        let err = read_line(&mut reader);
+        assert!(err.contains("invalid_request"), "got: {err}");
+        send_line(
+            &mut stream,
+            r#"{"id":4,"design":"C9","workload":"W1","cycles":6}"#,
+        );
+        let err = read_line(&mut reader);
+        assert!(err.contains("unknown_design"), "got: {err}");
+
+        drop(stream);
+        drop(reader);
+        let stats = handle.stats();
+        assert_eq!(stats.accepted, 1);
+        assert_eq!(stats.requests, 3);
+        handle.shutdown().expect("clean shutdown");
+    }
+
+    #[test]
+    fn idle_connections_stay_parked_and_responsive() {
+        // (The strict OS-thread-count assertion lives in the dedicated
+        // tests/reactor_scale.rs process, where no parallel unit tests
+        // can perturb /proc/self/status.)
+        let handle = spawn_reactor(micro_service(2), ReactorConfig::default());
+        let idle: Vec<TcpStream> = (0..96)
+            .map(|_| TcpStream::connect(handle.addr()).expect("connects"))
+            .collect();
+        // Wait for the reactor to register them all.
+        wait_until(|| handle.stats().active >= 96);
+
+        // A request on the last connection still gets answered.
+        let mut last = idle.into_iter().next_back().expect("nonempty");
+        let mut reader = BufReader::new(last.try_clone().expect("clones"));
+        send_line(
+            &mut last,
+            r#"{"id":9,"design":"C2","workload":"W2","cycles":5}"#,
+        );
+        let resp: PredictResponse = serde_json::from_str(&read_line(&mut reader)).expect("parses");
+        assert_eq!(resp.id, Some(9));
+        handle.shutdown().expect("clean shutdown");
+    }
+
+    #[test]
+    fn connection_limit_refuses_with_overloaded_error() {
+        let handle = spawn_reactor(
+            micro_service(1),
+            ReactorConfig {
+                max_connections: 2,
+                ..ReactorConfig::default()
+            },
+        );
+        let _a = TcpStream::connect(handle.addr()).expect("connects");
+        let _b = TcpStream::connect(handle.addr()).expect("connects");
+        wait_until(|| handle.stats().active == 2);
+
+        let over = TcpStream::connect(handle.addr()).expect("TCP accept still succeeds");
+        let mut reader = BufReader::new(over);
+        let line = read_line(&mut reader);
+        assert!(line.contains("overloaded"), "got: {line}");
+        // The refused socket is closed: next read returns EOF.
+        let mut rest = String::new();
+        reader.read_line(&mut rest).expect("EOF read");
+        assert!(rest.is_empty());
+        wait_until(|| handle.stats().rejected == 1);
+        handle.shutdown().expect("clean shutdown");
+    }
+
+    #[test]
+    fn backpressure_pauses_flooding_clients_and_recovers() {
+        // One worker: completion order matches submission order, so the
+        // in-order assertion below is deterministic.
+        let handle = spawn_reactor(
+            micro_service(1),
+            ReactorConfig {
+                max_inflight: 4,
+                ..ReactorConfig::default()
+            },
+        );
+        let mut stream = TcpStream::connect(handle.addr()).expect("connects");
+        let mut reader = BufReader::new(stream.try_clone().expect("clones"));
+
+        // Flood 64 requests without reading a single response.
+        let n = 64;
+        for i in 0..n {
+            send_line(
+                &mut stream,
+                &format!(r#"{{"id":{i},"design":"C2","workload":"W1","cycles":5}}"#),
+            );
+        }
+        // Every request is eventually answered, in order, and the
+        // reactor paused the connection at least once along the way.
+        for i in 0..n {
+            let resp: PredictResponse =
+                serde_json::from_str(&read_line(&mut reader)).expect("parses");
+            assert_eq!(resp.id, Some(i));
+        }
+        let stats = handle.stats();
+        assert_eq!(stats.requests, n);
+        assert!(
+            stats.pauses > 0,
+            "flooding past max_inflight must trip back-pressure"
+        );
+        handle.shutdown().expect("clean shutdown");
+    }
+
+    fn wait_until(mut cond: impl FnMut() -> bool) {
+        for _ in 0..2000 {
+            if cond() {
+                return;
+            }
+            thread::sleep(std::time::Duration::from_millis(1));
+        }
+        panic!("condition not reached within 2s");
+    }
+}

@@ -17,7 +17,8 @@ use atlas_core::{AtlasModel, ExperimentConfig};
 use serde::{Deserialize, Serialize};
 
 /// Version of the on-disk model format. Bump on any breaking change to
-/// the serialized layout of [`ModelFile`] or its nested types.
+/// the serialized layout of the private `ModelFile` type or its nested
+/// types.
 pub const FORMAT_VERSION: u32 = 1;
 
 /// File suffix of registry entries.

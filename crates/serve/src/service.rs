@@ -9,12 +9,15 @@
 //! 2. **Trace embedding** — simulate the workload and run the encoder
 //!    over every (sub-module, cycle). Deterministic in (design, workload,
 //!    cycles), so the resulting [`TraceEmbeddings`] are cached under that
-//!    key. This stage dominates cold latency; within it, feature
-//!    construction and the encoder's output projection are batched over
-//!    all cycles of a sub-module.
+//!    key — admitted against a **byte budget** sized from
+//!    [`TraceEmbeddings::approx_bytes`]. This stage dominates cold
+//!    latency; concurrent cold requests for the same key are
+//!    **single-flighted**: one request computes, the rest block on the
+//!    in-flight result instead of duplicating the work.
 //! 3. **Head evaluation** — GBDT heads + memory model over the cached
 //!    embeddings. Cheap; this is all a fully-warm request pays.
 
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex};
@@ -25,7 +28,7 @@ use atlas_core::features::{build_submodule_data, SubmoduleData};
 use atlas_core::{AtlasModel, ExperimentConfig, TraceEmbeddings};
 use atlas_liberty::Library;
 use atlas_netlist::Design;
-use atlas_sim::simulate;
+use atlas_sim::{simulate, PhasedWorkload, WorkloadPhase};
 
 use crate::cache::{CacheStats, LruCache};
 use crate::error::ServeError;
@@ -37,13 +40,17 @@ use crate::registry::SavedModel;
 pub struct ServiceConfig {
     /// Worker threads answering requests concurrently.
     pub workers: usize,
-    /// Capacity of the (design, workload, cycles) → embeddings cache.
-    pub embedding_cache: usize,
-    /// Capacity of the design → netlist + sub-module data cache.
+    /// Byte budget of the (design, workload, cycles) → embeddings cache,
+    /// accounted with [`TraceEmbeddings::approx_bytes`]. An embedding
+    /// larger than the whole budget is served but never cached.
+    pub embedding_cache_bytes: usize,
+    /// Capacity (entries) of the design → netlist + sub-module data cache.
     pub design_cache: usize,
     /// Upper bound on `cycles` per request (backpressure against
     /// accidental million-cycle requests).
     pub max_cycles: usize,
+    /// Upper bound on inline-schedule phases per request.
+    pub max_phases: usize,
     /// Threads used *inside* one request's embedding stage. Kept low by
     /// default because concurrency comes from the worker pool.
     pub embed_threads: usize,
@@ -53,20 +60,41 @@ impl Default for ServiceConfig {
     fn default() -> ServiceConfig {
         ServiceConfig {
             workers: 4,
-            embedding_cache: 32,
+            embedding_cache_bytes: 256 << 20,
             design_cache: 16,
             max_cycles: 4096,
+            max_phases: 64,
             embed_threads: 1,
         }
     }
 }
 
-/// Cache key of stage two.
+/// Cache key of stage two. `schedule_fp` is 0 for preset workloads and a
+/// fingerprint of the inline phase schedule otherwise, so two inline
+/// requests share an entry exactly when their schedules match.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 struct TraceKey {
     design: String,
     workload: String,
     cycles: usize,
+    schedule_fp: u64,
+}
+
+/// FNV-1a over the phase parameters; never 0 (0 marks "preset").
+fn schedule_fingerprint(phases: &[WorkloadPhase]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut mix = |v: u64| {
+        for byte in v.to_le_bytes() {
+            h ^= u64::from(byte);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    for p in phases {
+        mix(p.activity.to_bits());
+        mix(p.min_len as u64);
+        mix(p.max_len as u64);
+    }
+    h.max(1)
 }
 
 /// Stage-one cache value: the materialized design.
@@ -82,10 +110,24 @@ pub struct ServiceStats {
     pub requests: u64,
     /// Requests that returned an error.
     pub errors: u64,
-    /// Embedding-cache counters.
+    /// Cold embeddings actually computed (one full simulate + encode
+    /// pipeline each). With single-flight, N concurrent cold requests
+    /// for one key bump this by exactly 1.
+    pub embeddings_computed: u64,
+    /// Requests that waited on another request's in-flight computation
+    /// instead of recomputing it.
+    pub coalesced_requests: u64,
+    /// Embedding-cache counters (`weight`/`budget` in bytes).
     pub embedding_cache: CacheStats,
-    /// Design-cache counters.
+    /// Design-cache counters (`weight`/`budget` in entries).
     pub design_cache: CacheStats,
+}
+
+/// The in-flight slot of one cold (design, workload, cycles) computation.
+/// The leader fills `result` and notifies; followers wait on `done`.
+struct Flight {
+    result: Mutex<Option<Result<Arc<TraceEmbeddings>, ServeError>>>,
+    done: Condvar,
 }
 
 struct Shared {
@@ -95,15 +137,40 @@ struct Shared {
     cfg: ServiceConfig,
     embeddings: LruCache<TraceKey, TraceEmbeddings>,
     designs: LruCache<String, DesignArtifacts>,
+    inflight: Mutex<HashMap<TraceKey, Arc<Flight>>>,
     requests: AtomicU64,
     errors: AtomicU64,
+    embeds_computed: AtomicU64,
+    coalesced: AtomicU64,
 }
 
-type Reply = Result<PredictResponse, (Option<u64>, ServeError)>;
+/// The reply type of one request: the response, or the echoed request id
+/// plus the typed error.
+pub type Reply = Result<PredictResponse, (Option<u64>, ServeError)>;
+
+/// Where a finished reply goes: a blocking channel ([`AtlasService::submit`])
+/// or a callback invoked on the worker thread ([`AtlasService::submit_with`],
+/// the reactor's non-blocking path).
+enum ReplySink {
+    Channel(mpsc::Sender<Reply>),
+    Callback(Box<dyn FnOnce(Reply) + Send>),
+}
+
+impl ReplySink {
+    fn send(self, reply: Reply) {
+        match self {
+            // A disconnected receiver just means the client went away.
+            ReplySink::Channel(tx) => {
+                let _ = tx.send(reply);
+            }
+            ReplySink::Callback(f) => f(reply),
+        }
+    }
+}
 
 struct Job {
     request: PredictRequest,
-    reply: mpsc::Sender<Reply>,
+    reply: ReplySink,
 }
 
 #[derive(Default)]
@@ -143,10 +210,13 @@ impl AtlasService {
             model,
             experiment,
             lib,
-            embeddings: LruCache::new(cfg.embedding_cache),
+            embeddings: LruCache::with_budget(cfg.embedding_cache_bytes),
             designs: LruCache::new(cfg.design_cache),
+            inflight: Mutex::new(HashMap::new()),
             requests: AtomicU64::new(0),
             errors: AtomicU64::new(0),
+            embeds_computed: AtomicU64::new(0),
+            coalesced: AtomicU64::new(0),
             cfg,
         });
         let queue = Arc::new(Queue {
@@ -167,17 +237,35 @@ impl AtlasService {
         }
     }
 
+    fn enqueue(&self, request: PredictRequest, reply: ReplySink) {
+        let mut state = self.queue.state.lock().expect("queue lock");
+        if state.shutdown {
+            drop(state);
+            reply.send(Err((request.id, ServeError::Shutdown)));
+        } else {
+            state.jobs.push_back(Job { request, reply });
+            drop(state);
+            self.queue.ready.notify_one();
+        }
+    }
+
     /// Enqueue a request; the returned channel yields the reply.
     pub fn submit(&self, request: PredictRequest) -> mpsc::Receiver<Reply> {
         let (tx, rx) = mpsc::channel();
-        let mut state = self.queue.state.lock().expect("queue lock");
-        if state.shutdown {
-            let _ = tx.send(Err((request.id, ServeError::Shutdown)));
-        } else {
-            state.jobs.push_back(Job { request, reply: tx });
-            self.queue.ready.notify_one();
-        }
+        self.enqueue(request, ReplySink::Channel(tx));
         rx
+    }
+
+    /// Enqueue a request whose reply is delivered to `callback` on the
+    /// worker thread — the non-blocking submission path the event-loop
+    /// front door uses. The callback must be cheap and must not block
+    /// (it runs inside the worker pool).
+    pub fn submit_with(
+        &self,
+        request: PredictRequest,
+        callback: impl FnOnce(Reply) + Send + 'static,
+    ) {
+        self.enqueue(request, ReplySink::Callback(Box::new(callback)));
     }
 
     /// Answer one request, blocking until a worker finishes it.
@@ -198,6 +286,8 @@ impl AtlasService {
         ServiceStats {
             requests: self.shared.requests.load(Ordering::Relaxed),
             errors: self.shared.errors.load(Ordering::Relaxed),
+            embeddings_computed: self.shared.embeds_computed.load(Ordering::Relaxed),
+            coalesced_requests: self.shared.coalesced.load(Ordering::Relaxed),
             embedding_cache: self.shared.embeddings.stats(),
             design_cache: self.shared.designs.stats(),
         }
@@ -211,13 +301,14 @@ impl AtlasService {
 
 impl Drop for AtlasService {
     fn drop(&mut self) {
-        {
+        let drained = {
             let mut state = self.queue.state.lock().expect("queue lock");
             state.shutdown = true;
             // Pending jobs get a shutdown error rather than a hang.
-            while let Some(job) = state.jobs.pop_front() {
-                let _ = job.reply.send(Err((job.request.id, ServeError::Shutdown)));
-            }
+            std::mem::take(&mut state.jobs)
+        };
+        for job in drained {
+            job.reply.send(Err((job.request.id, ServeError::Shutdown)));
         }
         self.queue.ready.notify_all();
         for worker in self.workers.drain(..) {
@@ -246,8 +337,73 @@ fn worker_loop(shared: &Shared, queue: &Queue) {
         if reply.is_err() {
             shared.errors.fetch_add(1, Ordering::Relaxed);
         }
-        // A disconnected receiver just means the client went away.
-        let _ = job.reply.send(reply);
+        job.reply.send(reply);
+    }
+}
+
+/// Build the request's workload: an inline schedule when `phases` is
+/// present, a preset lookup otherwise.
+fn request_workload(
+    shared: &Shared,
+    request: &PredictRequest,
+    seed: u64,
+) -> Result<PhasedWorkload, ServeError> {
+    match &request.phases {
+        Some(phases) => {
+            if phases.len() > shared.cfg.max_phases {
+                return Err(ServeError::InvalidRequest(format!(
+                    "inline schedule has {} phases, limit is {}",
+                    phases.len(),
+                    shared.cfg.max_phases
+                )));
+            }
+            PhasedWorkload::try_new(request.workload.clone(), phases.clone(), seed)
+                .map_err(|e| ServeError::InvalidRequest(format!("bad inline schedule: {e}")))
+        }
+        None => Ok(shared.experiment.try_workload(&request.workload, seed)?),
+    }
+}
+
+/// Role of one cold request in the single-flight protocol.
+enum FlightRole {
+    Leader(Arc<Flight>),
+    Follower(Arc<Flight>),
+}
+
+/// Resolves the leader's flight slot on drop, so followers are never
+/// stranded — even if the leader's computation panics, they observe a
+/// typed error instead of hanging.
+struct FlightGuard<'a> {
+    shared: &'a Shared,
+    key: &'a TraceKey,
+    flight: &'a Arc<Flight>,
+    resolved: bool,
+}
+
+impl FlightGuard<'_> {
+    fn resolve(mut self, outcome: Result<Arc<TraceEmbeddings>, ServeError>) {
+        self.publish(outcome);
+        self.resolved = true;
+    }
+
+    fn publish(&self, outcome: Result<Arc<TraceEmbeddings>, ServeError>) {
+        self.shared
+            .inflight
+            .lock()
+            .expect("inflight lock")
+            .remove(self.key);
+        let mut slot = self.flight.result.lock().expect("flight lock");
+        *slot = Some(outcome);
+        drop(slot);
+        self.flight.done.notify_all();
+    }
+}
+
+impl Drop for FlightGuard<'_> {
+    fn drop(&mut self) {
+        if !self.resolved {
+            self.publish(Err(ServeError::Shutdown));
+        }
     }
 }
 
@@ -270,45 +426,78 @@ fn handle(shared: &Shared, request: &PredictRequest) -> Result<PredictResponse, 
         design: request.design.clone(),
         workload: request.workload.clone(),
         cycles: request.cycles,
+        schedule_fp: request.phases.as_deref().map_or(0, schedule_fingerprint),
     };
     let (embeddings, cache_hit, design_cache_hit) = match shared.embeddings.get(&key) {
         Some(embeddings) => {
             // Fully warm: stage one and two both skipped. Validate the
-            // workload name anyway so a cached design never masks a bad
-            // request (it cannot be cached under an invalid name, but the
+            // workload anyway so a cached entry never masks a bad request
+            // (it cannot be cached under an invalid workload, but the
             // check is cheap and keeps the invariant obvious).
-            shared
-                .experiment
-                .try_workload(&request.workload, design_cfg.seed)?;
+            request_workload(shared, request, design_cfg.seed)?;
             (embeddings, true, true)
         }
         None => {
-            let mut workload = shared
-                .experiment
-                .try_workload(&request.workload, design_cfg.seed)?;
-            let (artifacts, design_cache_hit) = match shared.designs.get(&request.design) {
-                Some(artifacts) => (artifacts, true),
-                None => {
-                    let gate = design_cfg.generate();
-                    let data = build_submodule_data(&gate, &shared.lib);
-                    let artifacts = Arc::new(DesignArtifacts { gate, data });
-                    shared
-                        .designs
-                        .insert(request.design.clone(), Arc::clone(&artifacts));
-                    (artifacts, false)
+            // Single-flight: the first cold request for a key computes;
+            // concurrent duplicates wait on its in-flight slot. NOTE: a
+            // follower occupies its worker thread while waiting, but can
+            // never deadlock the pool — a leader only exists once it is
+            // already running on a worker, so it always makes progress.
+            let role = {
+                let mut inflight = shared.inflight.lock().expect("inflight lock");
+                match inflight.get(&key) {
+                    Some(flight) => FlightRole::Follower(Arc::clone(flight)),
+                    None => {
+                        let flight = Arc::new(Flight {
+                            result: Mutex::new(None),
+                            done: Condvar::new(),
+                        });
+                        inflight.insert(key.clone(), Arc::clone(&flight));
+                        FlightRole::Leader(flight)
+                    }
                 }
             };
-            let trace = simulate(&artifacts.gate, &mut workload, request.cycles)
-                .map_err(|e| ServeError::Simulation(e.to_string()))?;
-            let embeddings = Arc::new(shared.model.embed_trace(
-                &artifacts.gate,
-                &shared.lib,
-                &artifacts.data,
-                &trace,
-                shared.cfg.embed_threads,
-            ));
-            shared.embeddings.insert(key, Arc::clone(&embeddings));
-            (embeddings, false, design_cache_hit)
+            match role {
+                FlightRole::Follower(flight) => {
+                    shared.coalesced.fetch_add(1, Ordering::Relaxed);
+                    let mut slot = flight.result.lock().expect("flight lock");
+                    while slot.is_none() {
+                        slot = flight.done.wait(slot).expect("flight lock");
+                    }
+                    let embeddings = slot.clone().expect("checked Some")?;
+                    // The embedding work was shared, not redone: report it
+                    // as a cache hit (the follower paid only head
+                    // evaluation plus the wait).
+                    (embeddings, true, true)
+                }
+                FlightRole::Leader(flight) => {
+                    let guard = FlightGuard {
+                        shared,
+                        key: &key,
+                        flight: &flight,
+                        resolved: false,
+                    };
+                    // Re-check the cache: between the miss and leadership
+                    // another leader may have finished and populated it.
+                    if let Some(embeddings) = shared.embeddings.get(&key) {
+                        guard.resolve(Ok(Arc::clone(&embeddings)));
+                        request_workload(shared, request, design_cfg.seed)?;
+                        (embeddings, true, true)
+                    } else {
+                        let outcome = compute_embeddings(shared, request, &design_cfg, &key);
+                        match outcome {
+                            Ok((embeddings, design_cache_hit)) => {
+                                guard.resolve(Ok(Arc::clone(&embeddings)));
+                                (embeddings, false, design_cache_hit)
+                            }
+                            Err(e) => {
+                                guard.resolve(Err(e.clone()));
+                                return Err(e);
+                            }
+                        }
+                    }
+                }
+            }
         }
     };
 
@@ -323,9 +512,52 @@ fn handle(shared: &Shared, request: &PredictRequest) -> Result<PredictResponse, 
     ))
 }
 
+/// The cold path: materialize the design (cached), simulate the workload,
+/// run the encoder, and admit the result against the byte budget.
+fn compute_embeddings(
+    shared: &Shared,
+    request: &PredictRequest,
+    design_cfg: &atlas_designs::DesignConfig,
+    key: &TraceKey,
+) -> Result<(Arc<TraceEmbeddings>, bool), ServeError> {
+    let mut workload = request_workload(shared, request, design_cfg.seed)?;
+    let (artifacts, design_cache_hit) = match shared.designs.get(&request.design) {
+        Some(artifacts) => (artifacts, true),
+        None => {
+            let gate = design_cfg.generate();
+            let data = build_submodule_data(&gate, &shared.lib);
+            let artifacts = Arc::new(DesignArtifacts { gate, data });
+            shared
+                .designs
+                .insert(request.design.clone(), Arc::clone(&artifacts));
+            (artifacts, false)
+        }
+    };
+    let trace = simulate(&artifacts.gate, &mut workload, request.cycles)
+        .map_err(|e| ServeError::Simulation(e.to_string()))?;
+    let embeddings = Arc::new(shared.model.embed_trace(
+        &artifacts.gate,
+        &shared.lib,
+        &artifacts.data,
+        &trace,
+        shared.cfg.embed_threads,
+    ));
+    shared.embeds_computed.fetch_add(1, Ordering::Relaxed);
+    // An embedding bigger than the whole budget is rejected by the cache
+    // (served once, never resident); everything else evicts LRU entries
+    // until it fits.
+    let _ = shared.embeddings.insert_weighted(
+        key.clone(),
+        Arc::clone(&embeddings),
+        embeddings.approx_bytes(),
+    );
+    Ok((embeddings, design_cache_hit))
+}
+
 #[cfg(test)]
 mod tests {
     use atlas_core::pipeline::train_atlas;
+    use atlas_sim::WorkloadPhase;
 
     use super::*;
 
@@ -390,6 +622,206 @@ mod tests {
         assert_eq!(stats.errors, 0);
         assert_eq!(stats.embedding_cache.hits, 1);
         assert_eq!(stats.design_cache.hits, 1);
+        assert_eq!(stats.embeddings_computed, 2);
+        assert_eq!(stats.coalesced_requests, 0);
+        // Byte accounting: two embeddings resident, occupancy within budget.
+        assert_eq!(stats.embedding_cache.len, 2);
+        assert!(stats.embedding_cache.weight > 0);
+        assert!(stats.embedding_cache.weight <= stats.embedding_cache.budget);
+    }
+
+    #[test]
+    fn single_flight_collapses_concurrent_cold_requests() {
+        let cfg = micro_config();
+        let trained = train_atlas(&cfg);
+        let clients = 4;
+        let service = AtlasService::start_with(
+            trained.model,
+            cfg,
+            ServiceConfig {
+                workers: clients,
+                ..ServiceConfig::default()
+            },
+        );
+        let barrier = std::sync::Barrier::new(clients);
+        let responses: Vec<PredictResponse> = thread::scope(|scope| {
+            let handles: Vec<_> = (0..clients)
+                .map(|_| {
+                    let service = &service;
+                    let barrier = &barrier;
+                    scope.spawn(move || {
+                        barrier.wait();
+                        service
+                            .call(PredictRequest::new("C2", "W1", 8))
+                            .expect("request succeeds")
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("client"))
+                .collect()
+        });
+
+        // All four answers are bit-identical.
+        for resp in &responses[1..] {
+            assert_eq!(resp.per_cycle_total_w, responses[0].per_cycle_total_w);
+        }
+        let stats = service.stats();
+        assert_eq!(stats.requests, clients as u64);
+        assert_eq!(stats.errors, 0);
+        assert_eq!(
+            stats.embeddings_computed, 1,
+            "N concurrent cold requests for one key must compute exactly one embedding"
+        );
+        // Everyone who did not compute either coalesced onto the flight
+        // or arrived after completion and hit the cache.
+        assert_eq!(
+            stats.coalesced_requests + stats.embedding_cache.hits,
+            clients as u64 - 1
+        );
+    }
+
+    #[test]
+    fn inline_schedules_predict_and_cache_by_fingerprint() {
+        let cfg = micro_config();
+        let trained = train_atlas(&cfg);
+        let service = AtlasService::start_with(
+            trained.model,
+            cfg,
+            ServiceConfig {
+                workers: 1,
+                ..ServiceConfig::default()
+            },
+        );
+        let phases = vec![
+            WorkloadPhase {
+                activity: 0.4,
+                min_len: 2,
+                max_len: 6,
+            },
+            WorkloadPhase {
+                activity: 0.05,
+                min_len: 4,
+                max_len: 10,
+            },
+        ];
+        let req = PredictRequest::with_phases("C2", "custom", 8, phases.clone());
+        let cold = service.call(req.clone()).expect("inline request");
+        assert!(!cold.cache_hit);
+        assert_eq!(cold.workload, "custom");
+        assert!(cold.mean_total_w > 0.0);
+
+        // Same schedule again: a cache hit with identical numbers.
+        let warm = service.call(req.clone()).expect("inline repeat");
+        assert!(warm.cache_hit);
+        assert_eq!(warm.per_cycle_total_w, cold.per_cycle_total_w);
+
+        // Same label, different schedule: distinct cache entry.
+        let mut other_phases = phases.clone();
+        other_phases[0].activity = 0.9;
+        let other = service
+            .call(PredictRequest::with_phases("C2", "custom", 8, other_phases))
+            .expect("different schedule");
+        assert!(!other.cache_hit);
+        assert_ne!(other.per_cycle_total_w, cold.per_cycle_total_w);
+
+        // An inline schedule must not shadow the preset of the same name:
+        // "W1"-labelled inline ≠ preset W1 cache entry.
+        let preset = service
+            .call(PredictRequest::new("C2", "W1", 8))
+            .expect("preset");
+        assert!(!preset.cache_hit);
+        let inline_w1 = service
+            .call(PredictRequest::with_phases("C2", "W1", 8, phases))
+            .expect("inline W1 label");
+        assert!(!inline_w1.cache_hit);
+
+        // Bad schedules are typed errors.
+        let empty = service.call(PredictRequest::with_phases("C2", "x", 8, vec![]));
+        assert!(matches!(empty, Err(ServeError::InvalidRequest(_))));
+        let bad = service.call(PredictRequest::with_phases(
+            "C2",
+            "x",
+            8,
+            vec![WorkloadPhase {
+                activity: 2.0,
+                min_len: 1,
+                max_len: 2,
+            }],
+        ));
+        assert!(matches!(bad, Err(ServeError::InvalidRequest(_))));
+        let too_many = service.call(PredictRequest::with_phases(
+            "C2",
+            "x",
+            8,
+            vec![
+                WorkloadPhase {
+                    activity: 0.1,
+                    min_len: 1,
+                    max_len: 2,
+                };
+                65
+            ],
+        ));
+        assert!(matches!(too_many, Err(ServeError::InvalidRequest(_))));
+    }
+
+    #[test]
+    fn tiny_embedding_budget_serves_but_does_not_cache() {
+        let cfg = micro_config();
+        let trained = train_atlas(&cfg);
+        let service = AtlasService::start_with(
+            trained.model,
+            cfg,
+            ServiceConfig {
+                workers: 1,
+                embedding_cache_bytes: 1, // every embedding is oversized
+                ..ServiceConfig::default()
+            },
+        );
+        let req = PredictRequest::new("C2", "W1", 6);
+        let first = service.call(req.clone()).expect("first");
+        assert!(!first.cache_hit);
+        let second = service.call(req).expect("second");
+        assert!(!second.cache_hit, "oversized embeddings are never cached");
+        let stats = service.stats();
+        assert_eq!(stats.embeddings_computed, 2);
+        assert_eq!(stats.embedding_cache.len, 0);
+        assert_eq!(stats.embedding_cache.weight, 0);
+        // Identical numbers either way.
+        assert_eq!(first.per_cycle_total_w, second.per_cycle_total_w);
+    }
+
+    #[test]
+    fn callback_submission_delivers_on_worker() {
+        let cfg = micro_config();
+        let trained = train_atlas(&cfg);
+        let service = AtlasService::start_with(
+            trained.model,
+            cfg,
+            ServiceConfig {
+                workers: 2,
+                ..ServiceConfig::default()
+            },
+        );
+        let (tx, rx) = mpsc::channel();
+        service.submit_with(PredictRequest::new("C2", "W1", 6), move |reply| {
+            tx.send(reply).expect("test channel");
+        });
+        let reply = rx.recv().expect("callback ran");
+        let resp = reply.expect("request succeeds");
+        assert_eq!(resp.cycles, 6);
+
+        let (tx, rx) = mpsc::channel();
+        service.submit_with(PredictRequest::new("C9", "W1", 6), move |reply| {
+            tx.send(reply).expect("test channel");
+        });
+        let reply = rx.recv().expect("callback ran");
+        assert_eq!(
+            reply.expect_err("unknown design").1,
+            ServeError::UnknownDesign("C9".into())
+        );
     }
 
     #[test]

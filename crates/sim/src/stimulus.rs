@@ -58,23 +58,48 @@ impl PhasedWorkload {
     ///
     /// # Panics
     ///
-    /// Panics if `phases` is empty or any phase has `min_len == 0` or
-    /// `min_len > max_len`.
+    /// Panics if `phases` is empty or any phase has `min_len == 0`,
+    /// `min_len > max_len`, or an activity outside `[0, 1]`.
     pub fn new(name: impl Into<String>, phases: Vec<WorkloadPhase>, seed: u64) -> PhasedWorkload {
-        assert!(!phases.is_empty(), "workload needs at least one phase");
-        for p in &phases {
-            assert!(
-                p.min_len > 0 && p.min_len <= p.max_len,
-                "bad phase length bounds"
-            );
+        PhasedWorkload::try_new(name, phases, seed).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`PhasedWorkload::new`], for schedules arriving from an
+    /// untrusted source (e.g. inline in a serve request): a bad schedule
+    /// is a descriptive `Err`, not a panic.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the first invalid phase.
+    pub fn try_new(
+        name: impl Into<String>,
+        phases: Vec<WorkloadPhase>,
+        seed: u64,
+    ) -> Result<PhasedWorkload, String> {
+        if phases.is_empty() {
+            return Err("workload needs at least one phase".to_owned());
         }
-        PhasedWorkload {
+        for (i, p) in phases.iter().enumerate() {
+            if p.min_len == 0 || p.min_len > p.max_len {
+                return Err(format!(
+                    "bad phase length bounds (phase {i}: min_len {} max_len {})",
+                    p.min_len, p.max_len
+                ));
+            }
+            if !p.activity.is_finite() || !(0.0..=1.0).contains(&p.activity) {
+                return Err(format!(
+                    "bad phase activity (phase {i}: {} is not in [0, 1])",
+                    p.activity
+                ));
+            }
+        }
+        Ok(PhasedWorkload {
             name: name.into(),
             phases,
             rng: DetRng::new(seed),
             phase_idx: 0,
             cycles_left: 0,
-        }
+        })
     }
 
     /// The paper's W1: a compute-heavy workload — bursts of high activity
@@ -331,5 +356,38 @@ mod tests {
     #[should_panic(expected = "at least one phase")]
     fn empty_phases_panics() {
         let _ = PhasedWorkload::new("bad", vec![], 0);
+    }
+
+    #[test]
+    fn try_new_rejects_bad_schedules() {
+        assert!(PhasedWorkload::try_new("x", vec![], 0).is_err());
+        let bad_len = WorkloadPhase {
+            activity: 0.2,
+            min_len: 5,
+            max_len: 3,
+        };
+        assert!(PhasedWorkload::try_new("x", vec![bad_len], 0)
+            .unwrap_err()
+            .contains("length bounds"));
+        let bad_act = WorkloadPhase {
+            activity: 1.5,
+            min_len: 1,
+            max_len: 2,
+        };
+        assert!(PhasedWorkload::try_new("x", vec![bad_act], 0)
+            .unwrap_err()
+            .contains("activity"));
+        let nan_act = WorkloadPhase {
+            activity: f64::NAN,
+            min_len: 1,
+            max_len: 2,
+        };
+        assert!(PhasedWorkload::try_new("x", vec![nan_act], 0).is_err());
+        let ok = WorkloadPhase {
+            activity: 0.3,
+            min_len: 2,
+            max_len: 8,
+        };
+        assert!(PhasedWorkload::try_new("x", vec![ok], 0).is_ok());
     }
 }

@@ -11,6 +11,7 @@
 use std::sync::Arc;
 
 use atlas::core::pipeline::{train_atlas, ExperimentConfig};
+use atlas::sim::WorkloadPhase;
 use atlas_serve::{AtlasService, ModelRegistry, PredictRequest, ServiceConfig};
 
 fn main() {
@@ -76,9 +77,42 @@ fn main() {
         });
     }
 
+    // 5. A user-defined workload: an inline phase schedule instead of the
+    //    W1/W2 presets (the same shape the wire protocol accepts in the
+    //    `phases` field).
+    let bursty = PredictRequest::with_phases(
+        "C2",
+        "bursty",
+        64,
+        vec![
+            WorkloadPhase {
+                activity: 0.55,
+                min_len: 4,
+                max_len: 10,
+            },
+            WorkloadPhase {
+                activity: 0.03,
+                min_len: 20,
+                max_len: 40,
+            },
+        ],
+    );
+    let resp = service.call(bursty).expect("inline workload serves");
+    println!(
+        "\n[inline] {}/{}: mean {:.4} W, peak {:.4} W",
+        resp.design, resp.workload, resp.mean_total_w, resp.peak_total_w
+    );
+
     let stats = service.stats();
     println!(
-        "\n{} requests served, embedding cache: {} hits / {} misses",
-        stats.requests, stats.embedding_cache.hits, stats.embedding_cache.misses
+        "\n{} requests served ({} embeddings computed, {} coalesced), \
+         embedding cache: {} hits / {} misses, {} of {} budget bytes",
+        stats.requests,
+        stats.embeddings_computed,
+        stats.coalesced_requests,
+        stats.embedding_cache.hits,
+        stats.embedding_cache.misses,
+        stats.embedding_cache.weight,
+        stats.embedding_cache.budget,
     );
 }

@@ -1,0 +1,106 @@
+//! CI perf-regression gate: compare the warm (cache-hit) p50 latency of
+//! a fresh `serve_bench` report against the committed baseline.
+//!
+//! Deliberately dependency-free (compiled with bare `rustc` in CI, no
+//! cargo/registry), so the JSON "parsing" is a targeted scan for the
+//! `p50_ms` number inside the `"warm"` object.
+//!
+//! ```text
+//! rustc -O scripts/check_bench.rs -o check_bench
+//! ./check_bench BENCH_serve.json BENCH_serve.ci.json 2.0
+//! ```
+//!
+//! Exits non-zero when `new_p50 > baseline_p50 * max_ratio` — i.e. the
+//! cache-hit path regressed by more than the allowed factor. Also fails
+//! on malformed reports, so a bench that silently stopped emitting the
+//! scenario cannot pass.
+
+use std::process::ExitCode;
+
+/// Extract `field` from inside the top-level `object` of a serde-style
+/// pretty-printed JSON report.
+fn extract(json: &str, object: &str, field: &str) -> Result<f64, String> {
+    let obj_key = format!("\"{object}\"");
+    let start = json
+        .find(&obj_key)
+        .ok_or_else(|| format!("no `{object}` object in report"))?;
+    let body = &json[start..];
+    let open = body
+        .find('{')
+        .ok_or_else(|| format!("`{object}` is not an object"))?;
+    // Scope the field search to this object (up to its closing brace).
+    let mut depth = 0usize;
+    let mut end = body.len();
+    for (i, c) in body[open..].char_indices() {
+        match c {
+            '{' => depth += 1,
+            '}' => {
+                depth -= 1;
+                if depth == 0 {
+                    end = open + i;
+                    break;
+                }
+            }
+            _ => {}
+        }
+    }
+    let scope = &body[open..end];
+    let field_key = format!("\"{field}\"");
+    let at = scope
+        .find(&field_key)
+        .ok_or_else(|| format!("no `{field}` in `{object}`"))?;
+    let after = &scope[at + field_key.len()..];
+    let colon = after
+        .find(':')
+        .ok_or_else(|| format!("malformed `{field}`"))?;
+    let rest = after[colon + 1..].trim_start();
+    let number: String = rest
+        .chars()
+        .take_while(|c| c.is_ascii_digit() || matches!(c, '.' | '-' | '+' | 'e' | 'E'))
+        .collect();
+    number
+        .parse()
+        .map_err(|e| format!("bad `{object}.{field}` number `{number}`: {e}"))
+}
+
+fn run() -> Result<(), String> {
+    let mut args = std::env::args().skip(1);
+    let (Some(baseline_path), Some(new_path)) = (args.next(), args.next()) else {
+        return Err("usage: check_bench BASELINE.json NEW.json [MAX_RATIO]".into());
+    };
+    let max_ratio: f64 = match args.next() {
+        Some(r) => r.parse().map_err(|e| format!("bad MAX_RATIO: {e}"))?,
+        None => 2.0,
+    };
+    let baseline = std::fs::read_to_string(&baseline_path)
+        .map_err(|e| format!("read {baseline_path}: {e}"))?;
+    let fresh =
+        std::fs::read_to_string(&new_path).map_err(|e| format!("read {new_path}: {e}"))?;
+
+    let base_p50 = extract(&baseline, "warm", "p50_ms")?;
+    let new_p50 = extract(&fresh, "warm", "p50_ms")?;
+    if !(base_p50 > 0.0) {
+        return Err(format!("baseline warm p50 is not positive: {base_p50}"));
+    }
+    let ratio = new_p50 / base_p50;
+    println!(
+        "warm (cache-hit) p50: baseline {base_p50:.3} ms, new {new_p50:.3} ms \
+         ({ratio:.2}x, limit {max_ratio:.2}x)"
+    );
+    if ratio > max_ratio {
+        return Err(format!(
+            "cache-hit p50 regressed {ratio:.2}x (> {max_ratio:.2}x allowed)"
+        ));
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("check_bench: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

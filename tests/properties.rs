@@ -118,3 +118,66 @@ proptest! {
         prop_assert_eq!(gs.group_count(PowerGroup::Memory), ps.group_count(PowerGroup::Memory));
     }
 }
+
+// ---- byte-budget LRU cache invariants (atlas-serve) --------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 128, // pure in-memory ops; cheap enough for a wide sweep
+        .. ProptestConfig::default()
+    })]
+
+    /// For any interleaving of weighted inserts and recency-refreshing
+    /// gets: occupancy never exceeds the budget, an admitted entry is
+    /// immediately resident (its own insert never evicts it), and a
+    /// single oversized entry is rejected outright, leaving the cache
+    /// untouched rather than looping eviction.
+    #[test]
+    fn byte_budget_cache_invariants(
+        budget in 1usize..64,
+        ops in proptest::collection::vec((0u8..12, 0usize..96, 0u8..2), 1..80),
+    ) {
+        use std::sync::Arc;
+        let cache: atlas_serve::LruCache<u8, usize> = atlas_serve::LruCache::with_budget(budget);
+        for &(key, weight, probe) in &ops {
+            if probe == 1 {
+                // Recency refreshes must never break the accounting.
+                let _ = cache.get(&key);
+            }
+            let before = cache.stats();
+            let admitted = cache.insert_weighted(key, Arc::new(weight), weight);
+            let after = cache.stats();
+
+            prop_assert!(after.weight <= budget, "occupancy {} > budget {budget}", after.weight);
+            prop_assert_eq!(after.budget, budget);
+            prop_assert_eq!(admitted, weight <= budget, "admission must be weight <= budget");
+            if admitted {
+                let got = cache.get(&key);
+                prop_assert!(got.is_some(), "an admitted entry must be resident");
+                prop_assert_eq!(*got.expect("checked"), weight, "value reflects last insert");
+            } else {
+                // A rejected oversized insert changes nothing.
+                prop_assert_eq!(after.len, before.len);
+                prop_assert_eq!(after.weight, before.weight);
+            }
+        }
+    }
+
+    /// Unit-weight inserts recover the classic count-bounded LRU: len and
+    /// weight track together and never exceed the capacity.
+    #[test]
+    fn unit_weight_cache_is_count_bounded(
+        capacity in 1usize..8,
+        keys in proptest::collection::vec(0u8..16, 1..60),
+    ) {
+        use std::sync::Arc;
+        let cache: atlas_serve::LruCache<u8, u8> = atlas_serve::LruCache::new(capacity);
+        for &k in &keys {
+            cache.insert(k, Arc::new(k));
+            let stats = cache.stats();
+            prop_assert!(stats.len <= capacity);
+            prop_assert_eq!(stats.weight, stats.len);
+            prop_assert!(cache.get(&k).is_some());
+        }
+    }
+}

@@ -1,0 +1,126 @@
+//! Reactor scale acceptance test, in its own integration-test binary so
+//! the OS-thread-count assertion is not perturbed by unrelated tests
+//! running in the same process.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+
+use atlas_core::pipeline::{train_atlas, ExperimentConfig};
+use atlas_serve::reactor::{Reactor, ReactorConfig};
+use atlas_serve::{AtlasService, PredictResponse, ServiceConfig, StatsResponse};
+
+/// A configuration small enough to train inside the test suite.
+fn micro_config() -> ExperimentConfig {
+    let mut cfg = ExperimentConfig::quick();
+    cfg.cycles = 16;
+    cfg.scale = 0.12;
+    cfg.pretrain.steps = 14;
+    cfg.pretrain.hidden_dim = 12;
+    cfg.finetune.cycles_per_design = 6;
+    cfg.finetune.gbdt.n_estimators = 16;
+    cfg
+}
+
+/// Current thread count of this process, from /proc (Linux).
+fn os_threads() -> u64 {
+    std::fs::read_to_string("/proc/self/status")
+        .expect("Linux /proc")
+        .lines()
+        .find(|l| l.starts_with("Threads:"))
+        .and_then(|l| l.split_whitespace().nth(1))
+        .and_then(|n| n.parse().ok())
+        .expect("Threads: line")
+}
+
+fn ask(stream: &mut TcpStream, reader: &mut BufReader<TcpStream>, line: &str) -> String {
+    let framed = format!("{line}\n");
+    stream.write_all(framed.as_bytes()).expect("writes");
+    let mut reply = String::new();
+    reader.read_line(&mut reply).expect("reads");
+    reply
+}
+
+/// The reactor acceptance test: ≥ 512 concurrent idle TCP connections on
+/// one event-loop thread — zero thread growth — while requests on active
+/// connections (including an inline-schedule one and the `stats` verb)
+/// keep being answered.
+#[test]
+fn reactor_holds_512_idle_connections_without_threads() {
+    let cfg = micro_config();
+    let trained = train_atlas(&cfg);
+    let workers = 2;
+    let service = Arc::new(AtlasService::start_with(
+        trained.model,
+        cfg,
+        ServiceConfig {
+            workers,
+            ..ServiceConfig::default()
+        },
+    ));
+    let handle = Reactor::bind(
+        Arc::clone(&service),
+        "127.0.0.1:0",
+        ReactorConfig::default(),
+    )
+    .expect("binds")
+    .spawn()
+    .expect("spawns");
+
+    // Service workers + reactor thread are already up; from here on the
+    // thread count must not move.
+    let before = os_threads();
+    let idle: Vec<TcpStream> = (0..512)
+        .map(|_| TcpStream::connect(handle.addr()).expect("connects"))
+        .collect();
+    for _ in 0..2000 {
+        if handle.stats().active >= 512 {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(1));
+    }
+    assert!(
+        handle.stats().active >= 512,
+        "reactor admitted only {} connections",
+        handle.stats().active
+    );
+    assert_eq!(
+        os_threads(),
+        before,
+        "512 idle connections must not change the OS thread count"
+    );
+
+    // Requests still flow: a preset prediction, an inline schedule, and
+    // the stats verb, all on a fresh 513th connection.
+    let mut active = TcpStream::connect(handle.addr()).expect("connects");
+    active.set_nodelay(true).expect("nodelay");
+    let mut reader = BufReader::new(active.try_clone().expect("clones"));
+    let resp: PredictResponse = serde_json::from_str(&ask(
+        &mut active,
+        &mut reader,
+        r#"{"id":1,"design":"C2","workload":"W1","cycles":8}"#,
+    ))
+    .expect("prediction parses");
+    assert_eq!(resp.id, Some(1));
+    assert!(resp.mean_total_w > 0.0);
+
+    // One request per line: the inline schedule must stay on one line.
+    let inline: PredictResponse = serde_json::from_str(&ask(
+        &mut active,
+        &mut reader,
+        r#"{"id":2,"design":"C2","workload":"burst","cycles":8,"phases":[{"activity":0.5,"min_len":2,"max_len":4},{"activity":0.02,"min_len":4,"max_len":8}]}"#,
+    ))
+    .expect("inline prediction parses");
+    assert_eq!(inline.workload, "burst");
+    assert_ne!(inline.per_cycle_total_w, resp.per_cycle_total_w);
+
+    let stats: StatsResponse =
+        serde_json::from_str(&ask(&mut active, &mut reader, r#"{"id":3,"verb":"stats"}"#))
+            .expect("stats parses");
+    assert_eq!(stats.requests, 2);
+    assert!(stats.embedding_cache.weight > 0);
+    assert!(stats.embedding_cache.weight <= stats.embedding_cache.budget);
+
+    drop(idle);
+    handle.shutdown().expect("clean shutdown");
+}

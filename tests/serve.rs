@@ -99,6 +99,7 @@ fn registry_roundtrip_and_concurrent_serving() {
                         design,
                         workload,
                         cycles,
+                        phases: None,
                     };
                     (req.clone(), service.call(req).expect("request succeeds"))
                 })
@@ -131,14 +132,21 @@ fn registry_roundtrip_and_concurrent_serving() {
     assert_eq!(stats.errors, 0);
 
     // A sequential repeat of an already-served key must be a cache hit.
-    // (The concurrent duplicates above *usually* hit too, but without
-    // single-flight two simultaneous cold requests may both miss, so
-    // only the sequential case is asserted deterministically.)
     let warm = service
         .call(PredictRequest::new("C2", "W1", 10))
         .expect("warm request");
     assert!(warm.cache_hit, "sequential repeat must hit the cache");
     assert!(warm.design_cache_hit);
+
+    // Single-flight accounting: 8 concurrent requests over 4 distinct
+    // keys computed exactly 4 embeddings — each concurrent duplicate
+    // either coalesced onto the in-flight computation or hit the cache.
+    let stats = service.stats();
+    assert_eq!(stats.embeddings_computed, 4);
+    assert_eq!(
+        stats.coalesced_requests + stats.embedding_cache.hits,
+        5, // 4 concurrent duplicates + the sequential warm repeat
+    );
 
     drop(service);
     let _ = std::fs::remove_dir_all(&dir);
