@@ -1,11 +1,21 @@
 //! The `serve` binary: answer JSON-lines prediction requests over
-//! stdin/stdout or TCP from a registry-loaded model.
+//! stdin/stdout or TCP, hosting one or more registry-loaded models
+//! behind one front door.
 //!
 //! ```text
-//! serve --registry DIR --model NAME [--workers N] [--cache-mb N]
+//! serve --registry DIR --model SPEC [--model SPEC ...]
+//!       [--default-model NAME] [--workers N] [--cache-mb N]
 //!       [--tcp ADDR] [--max-conns N]
 //! serve --registry DIR --list
 //! ```
+//!
+//! Each `--model SPEC` adds one model to the catalog: `NAME` serves the
+//! registry entry `NAME` under that name, `ALIAS=NAME` serves it under
+//! `ALIAS`, and `ALIAS=PATH` (any value with a path separator or an
+//! `.atlas.json` suffix) loads an explicit model file. The first spec is
+//! the default model unless `--default-model` picks another. Requests
+//! route by their optional `model` field; see `docs/PROTOCOL.md` for the
+//! full wire reference.
 //!
 //! In stdio mode each stdin line is a request and each stdout line the
 //! matching response; EOF shuts the service down. In TCP mode a single
@@ -18,11 +28,14 @@ use std::process::ExitCode;
 use std::sync::Arc;
 
 use atlas_serve::reactor::{Reactor, ReactorConfig};
-use atlas_serve::{protocol, AtlasService, ModelRegistry, RequestLine, ServiceConfig};
+use atlas_serve::{
+    protocol, AtlasService, ModelCatalog, ModelRegistry, RequestLine, ServiceConfig,
+};
 
 struct Args {
     registry: String,
-    model: Option<String>,
+    models: Vec<String>,
+    default_model: Option<String>,
     list: bool,
     workers: usize,
     cache_mb: usize,
@@ -33,7 +46,8 @@ struct Args {
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         registry: String::new(),
-        model: None,
+        models: Vec::new(),
+        default_model: None,
         list: false,
         workers: 4,
         cache_mb: 256,
@@ -45,7 +59,8 @@ fn parse_args() -> Result<Args, String> {
         let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
         match flag.as_str() {
             "--registry" => args.registry = value("--registry")?,
-            "--model" => args.model = Some(value("--model")?),
+            "--model" => args.models.push(value("--model")?),
+            "--default-model" => args.default_model = Some(value("--default-model")?),
             "--list" => args.list = true,
             "--workers" => {
                 args.workers = value("--workers")?
@@ -65,8 +80,10 @@ fn parse_args() -> Result<Args, String> {
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: serve --registry DIR (--model NAME [--workers N] \
-                     [--cache-mb N] [--tcp ADDR] [--max-conns N] | --list)"
+                    "usage: serve --registry DIR (--model SPEC [--model SPEC ...] \
+                     [--default-model NAME] [--workers N] [--cache-mb N] \
+                     [--tcp ADDR] [--max-conns N] | --list)\n\
+                     SPEC is NAME, ALIAS=NAME, or ALIAS=PATH (an .atlas.json file)"
                 );
                 std::process::exit(0);
             }
@@ -76,8 +93,8 @@ fn parse_args() -> Result<Args, String> {
     if args.registry.is_empty() {
         return Err("--registry is required".into());
     }
-    if !args.list && args.model.is_none() {
-        return Err("either --model NAME or --list is required".into());
+    if !args.list && args.models.is_empty() {
+        return Err("either --model SPEC or --list is required".into());
     }
     Ok(args)
 }
@@ -114,26 +131,47 @@ fn main() -> ExitCode {
         }
     }
 
-    let name = args.model.as_deref().expect("checked in parse_args");
-    let saved = match registry.load(name) {
-        Ok(saved) => saved,
-        Err(e) => {
-            eprintln!("error: {e}");
+    // Assemble the catalog: every --model spec is validated (format
+    // version + config fingerprint) before the service starts.
+    let mut catalog = ModelCatalog::new();
+    for spec in &args.models {
+        match catalog.load_spec(&registry, spec) {
+            Ok(name) => eprintln!("loaded model `{name}` (from `{spec}`)"),
+            Err(e) => {
+                eprintln!("error: --model {spec}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if let Some(name) = &args.default_model {
+        if let Err(e) = catalog.set_default(name) {
+            eprintln!("error: --default-model {name}: {e}");
             return ExitCode::FAILURE;
         }
-    };
-    eprintln!(
-        "serving model `{name}` (config fingerprint {:#018x}) with {} workers",
-        saved.header.config_fingerprint, args.workers
-    );
-    let service = Arc::new(AtlasService::start(
-        saved,
+    }
+
+    let service = match AtlasService::start_catalog(
+        catalog,
         ServiceConfig {
             workers: args.workers,
             embedding_cache_bytes: args.cache_mb.saturating_mul(1 << 20),
             ..ServiceConfig::default()
         },
-    ));
+    ) {
+        Ok(service) => Arc::new(service),
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let hosted: Vec<String> = service.models().into_iter().map(|m| m.name).collect();
+    eprintln!(
+        "serving {} model(s) [{}] (default `{}`) with {} workers",
+        hosted.len(),
+        hosted.join(", "),
+        service.default_model(),
+        args.workers
+    );
 
     match &args.tcp {
         Some(addr) => serve_tcp(service, addr, args.max_conns),
@@ -154,6 +192,27 @@ fn answer(service: &AtlasService, line: &str) -> String {
         }
         Ok(RequestLine::Stats { id }) => {
             protocol::render_stats(&protocol::stats_response(id, &service.stats()))
+        }
+        Ok(RequestLine::Models { id }) => protocol::render_line(&protocol::models_response(
+            id,
+            service.default_model(),
+            service.models(),
+        )),
+        Ok(RequestLine::Workloads { id }) => {
+            protocol::render_line(&protocol::workloads_response(id, service.workloads()))
+        }
+        Ok(RequestLine::RegisterWorkload(req)) => {
+            match service.register_workload(&req.name, req.phases) {
+                Ok((workload, replaced)) => {
+                    protocol::render_line(&protocol::RegisterWorkloadResponse {
+                        id: req.id,
+                        verb: "register_workload".to_owned(),
+                        workload,
+                        replaced,
+                    })
+                }
+                Err(e) => protocol::render_result(&Err((req.id, e))),
+            }
         }
         Err(e) => protocol::render_result(&Err((protocol::salvage_id(line), e))),
     }
@@ -182,6 +241,16 @@ fn serve_stdio(service: &AtlasService) {
         stats.embedding_cache.weight,
         stats.embedding_cache.budget,
     );
+    for m in &stats.models {
+        eprintln!(
+            "  model `{}`: {} requests, {} embeddings computed, cache {}/{} bytes",
+            m.model,
+            m.requests,
+            m.embeddings_computed,
+            m.embedding_cache.weight,
+            m.embedding_cache.budget,
+        );
+    }
 }
 
 fn serve_tcp(service: Arc<AtlasService>, addr: &str, max_conns: usize) -> ExitCode {

@@ -9,7 +9,7 @@
 //! ```
 //!
 //! The bench trains a small model, starts an in-process service, then
-//! runs four scenarios:
+//! runs six scenarios:
 //!
 //! * **cold** — every (design, workload) pair of the unseen test designs
 //!   on an empty cache (each request pays design generation, simulation,
@@ -23,7 +23,14 @@
 //!   the process thread count is sampled to prove they cost no threads;
 //! * **dupkey** — `--dup-clients` concurrent cold requests for one
 //!   never-seen key; single-flight must collapse them into exactly one
-//!   embedding computation.
+//!   embedding computation;
+//! * **regwl** — a schedule registered once via the workload library,
+//!   then referenced by name for `--repeat` requests; all but the first
+//!   must be cache hits;
+//! * **multimodel** — one model hosted under two serving names; a
+//!   name-addressed request must answer bit-identically to the
+//!   default-addressed one, and each model must account its cache
+//!   occupancy separately.
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
@@ -33,7 +40,8 @@ use std::time::Instant;
 
 use atlas_core::pipeline::{train_atlas, ExperimentConfig};
 use atlas_serve::reactor::{Reactor, ReactorConfig};
-use atlas_serve::{AtlasService, PredictRequest, PredictResponse, ServiceConfig};
+use atlas_serve::{AtlasService, ModelCatalog, PredictRequest, PredictResponse, ServiceConfig};
+use atlas_sim::WorkloadPhase;
 use serde::Serialize;
 
 struct Args {
@@ -147,6 +155,46 @@ struct DupKeyScenario {
     latency: Phase,
 }
 
+/// The registered-workload scenario: one `register_workload`, many
+/// `workload_name` uses.
+#[derive(Debug, Serialize)]
+struct RegisteredWorkloadScenario {
+    /// Requests referencing the registered name.
+    requests: usize,
+    /// Cold pipelines run for them (target: exactly 1).
+    embeddings_computed: u64,
+    /// Requests answered from the embedding cache.
+    cache_hits: u64,
+    /// Per-request latency (first request pays the pipeline).
+    latency: Phase,
+}
+
+/// One model's cache occupancy in the multi-model scenario.
+#[derive(Debug, Serialize)]
+struct ModelOccupancy {
+    model: String,
+    requests: u64,
+    embeddings_computed: u64,
+    embedding_cache_len: usize,
+    embedding_cache_bytes: usize,
+}
+
+/// The multi-model scenario: one trained model hosted under two names.
+#[derive(Debug, Serialize)]
+struct MultiModelScenario {
+    /// Hosted models.
+    models: usize,
+    /// Whether the name-addressed answer was bit-identical to the
+    /// default-addressed one (must be true).
+    name_addressed_parity: bool,
+    /// Whether addressing the default model by name hit the cache the
+    /// default-addressed request populated (must be true: one cache per
+    /// model, shared across both addressing modes).
+    named_route_shares_cache: bool,
+    /// Per-model cache accounting after the scenario.
+    per_model: Vec<ModelOccupancy>,
+}
+
 #[derive(Debug, Serialize)]
 struct BenchReport {
     scale: f64,
@@ -163,6 +211,8 @@ struct BenchReport {
     embedding_cache_budget_bytes: usize,
     idle: IdleScenario,
     dupkey: DupKeyScenario,
+    regwl: RegisteredWorkloadScenario,
+    multimodel: MultiModelScenario,
 }
 
 /// Current thread count of this process, from /proc (Linux).
@@ -302,6 +352,112 @@ fn run_dupkey_scenario(
     })
 }
 
+/// The registered-workload scenario: register a schedule once, then
+/// reference it by name; every use after the first must hit the cache.
+fn run_regwl_scenario(
+    service: &Arc<AtlasService>,
+    cycles: usize,
+    repeat: usize,
+) -> Result<RegisteredWorkloadScenario, String> {
+    let phases = vec![
+        WorkloadPhase {
+            activity: 0.55,
+            min_len: 3,
+            max_len: 9,
+        },
+        WorkloadPhase {
+            activity: 0.04,
+            min_len: 8,
+            max_len: 20,
+        },
+    ];
+    service
+        .register_workload("bench-bursty", phases)
+        .map_err(|e| format!("register_workload: {e}"))?;
+    let before = service.stats();
+    let requests = repeat.max(2);
+    let mut lat = Vec::new();
+    let t0 = Instant::now();
+    for i in 0..requests {
+        // C4 keeps this key disjoint from the dupkey scenario's C6.
+        let resp = service
+            .call(PredictRequest::with_workload_name(
+                "C4",
+                "bench-bursty",
+                cycles,
+            ))
+            .map_err(|e| format!("registered request: {e}"))?;
+        lat.push(resp.latency_ms);
+        if i > 0 && !resp.cache_hit {
+            return Err(format!(
+                "request {i} for a registered name missed the cache"
+            ));
+        }
+    }
+    let wall = t0.elapsed().as_secs_f64();
+    let after = service.stats();
+    Ok(RegisteredWorkloadScenario {
+        requests,
+        embeddings_computed: after.embeddings_computed - before.embeddings_computed,
+        cache_hits: after.embedding_cache.hits - before.embedding_cache.hits,
+        latency: phase(lat, wall),
+    })
+}
+
+/// The multi-model scenario: the same weights hosted under two serving
+/// names; routing must be bit-identical and cache accounting per-model.
+fn run_multimodel_scenario(
+    model: &atlas_core::AtlasModel,
+    cfg: &ExperimentConfig,
+    cycles: usize,
+) -> Result<MultiModelScenario, String> {
+    let mut catalog = ModelCatalog::new();
+    catalog
+        .insert_model("stable", model.clone(), cfg.clone())
+        .map_err(|e| format!("catalog: {e}"))?;
+    catalog
+        .insert_model("canary", model.clone(), cfg.clone())
+        .map_err(|e| format!("catalog: {e}"))?;
+    let service = AtlasService::start_catalog(
+        catalog,
+        ServiceConfig {
+            workers: 2,
+            ..ServiceConfig::default()
+        },
+    )
+    .map_err(|e| format!("start_catalog: {e}"))?;
+
+    let req = PredictRequest::new("C2", "W1", cycles);
+    let implicit = service
+        .call(req.clone())
+        .map_err(|e| format!("default-addressed: {e}"))?;
+    let explicit = service
+        .call(req.clone().on_model("stable"))
+        .map_err(|e| format!("name-addressed: {e}"))?;
+    let canary = service
+        .call(req.on_model("canary"))
+        .map_err(|e| format!("canary-addressed: {e}"))?;
+
+    let stats = service.stats();
+    Ok(MultiModelScenario {
+        models: stats.models.len(),
+        name_addressed_parity: explicit.per_cycle_total_w == implicit.per_cycle_total_w
+            && canary.per_cycle_total_w == implicit.per_cycle_total_w,
+        named_route_shares_cache: explicit.cache_hit && !canary.cache_hit,
+        per_model: stats
+            .models
+            .iter()
+            .map(|m| ModelOccupancy {
+                model: m.model.clone(),
+                requests: m.requests,
+                embeddings_computed: m.embeddings_computed,
+                embedding_cache_len: m.embedding_cache.len,
+                embedding_cache_bytes: m.embedding_cache.weight,
+            })
+            .collect(),
+    })
+}
+
 fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(args) => args,
@@ -324,8 +480,8 @@ fn main() -> ExitCode {
     println!("trained in {train_s:.1}s");
 
     let service = Arc::new(AtlasService::start_with(
-        trained.model,
-        cfg,
+        trained.model.clone(),
+        cfg.clone(),
         ServiceConfig {
             workers: args.clients.max(args.dup_clients).max(1),
             ..ServiceConfig::default()
@@ -429,6 +585,38 @@ fn main() -> ExitCode {
         dupkey.clients, dupkey.embeddings_computed, dupkey.coalesced, dupkey.cache_hits
     );
 
+    // Registered-workload pass: one registration, many by-name uses.
+    let regwl = match run_regwl_scenario(&service, args.cycles, args.repeat) {
+        Ok(regwl) => regwl,
+        Err(e) => {
+            eprintln!("error: regwl scenario: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "regwl: {} by-name requests -> {} computed, {} cache hits, p50 {:.2} ms",
+        regwl.requests, regwl.embeddings_computed, regwl.cache_hits, regwl.latency.p50_ms
+    );
+
+    // Multi-model pass: two serving names over one set of weights.
+    let multimodel = match run_multimodel_scenario(&trained.model, &cfg, args.cycles) {
+        Ok(multimodel) => multimodel,
+        Err(e) => {
+            eprintln!("error: multimodel scenario: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "multimodel: {} models, parity {}, per-model caches {:?}",
+        multimodel.models,
+        multimodel.name_addressed_parity,
+        multimodel
+            .per_model
+            .iter()
+            .map(|m| (m.model.as_str(), m.embedding_cache_len))
+            .collect::<Vec<_>>()
+    );
+
     let stats = service.stats();
     let report = BenchReport {
         scale: args.scale,
@@ -445,6 +633,8 @@ fn main() -> ExitCode {
         warm,
         idle,
         dupkey,
+        regwl,
+        multimodel,
     };
     println!(
         "cache-hit speedup over cold: {:.1}x (hit latency below cold: {})",
@@ -480,6 +670,17 @@ fn main() -> ExitCode {
             "error: single-flight computed {} embeddings for one key",
             report.dupkey.embeddings_computed
         );
+        return ExitCode::FAILURE;
+    }
+    if report.regwl.embeddings_computed != 1 {
+        eprintln!(
+            "error: a registered workload computed {} embeddings for one key",
+            report.regwl.embeddings_computed
+        );
+        return ExitCode::FAILURE;
+    }
+    if !report.multimodel.name_addressed_parity || !report.multimodel.named_route_shares_cache {
+        eprintln!("error: multi-model routing broke parity or cache sharing");
         return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS

@@ -6,6 +6,25 @@
 //! least-recently-used entries until the total weight fits the budget.
 //! Unit-weight entries ([`LruCache::insert`]) recover the classic
 //! count-bounded cache, which is what the design-artifact cache uses.
+//! Every hosted model of the serving layer owns one cache of each kind;
+//! they never share or evict each other's entries.
+//!
+//! ```
+//! use std::sync::Arc;
+//! use atlas_serve::cache::LruCache;
+//!
+//! // A 100-byte budget: admission is by weight, not entry count.
+//! let cache: LruCache<&str, Vec<u8>> = LruCache::with_budget(100);
+//! assert!(cache.insert_weighted("a", Arc::new(vec![0; 60]), 60));
+//! assert!(cache.insert_weighted("b", Arc::new(vec![0; 30]), 30));
+//! // 60 + 30 + 40 > 100: the LRU entry ("a") is evicted to fit "c".
+//! assert!(cache.insert_weighted("c", Arc::new(vec![0; 40]), 40));
+//! assert!(cache.get(&"a").is_none());
+//! // A value wider than the whole budget is rejected outright.
+//! assert!(!cache.insert_weighted("huge", Arc::new(vec![0; 101]), 101));
+//! let stats = cache.stats();
+//! assert_eq!((stats.len, stats.weight, stats.budget), (2, 70, 100));
+//! ```
 
 use std::collections::HashMap;
 use std::hash::Hash;

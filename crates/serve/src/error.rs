@@ -14,8 +14,11 @@ use crate::registry::RegistryError;
 pub enum ServeError {
     /// The request named a design outside the preset vocabulary.
     UnknownDesign(String),
-    /// The request named a workload outside the preset vocabulary.
+    /// The request named a workload that is neither a preset nor a
+    /// server-registered workload.
     UnknownWorkload(String),
+    /// The request addressed a model the service is not hosting.
+    UnknownModel(String),
     /// The request was structurally invalid (bad JSON, zero cycles, ...).
     InvalidRequest(String),
     /// Workload simulation failed on the generated design.
@@ -32,6 +35,7 @@ impl ServeError {
         match self {
             ServeError::UnknownDesign(_) => "unknown_design",
             ServeError::UnknownWorkload(_) => "unknown_workload",
+            ServeError::UnknownModel(_) => "unknown_model",
             ServeError::InvalidRequest(_) => "invalid_request",
             ServeError::Simulation(_) => "simulation",
             ServeError::Registry(_) => "registry",
@@ -45,6 +49,7 @@ impl fmt::Display for ServeError {
         match self {
             ServeError::UnknownDesign(name) => write!(f, "unknown design `{name}`"),
             ServeError::UnknownWorkload(name) => write!(f, "unknown workload `{name}`"),
+            ServeError::UnknownModel(name) => write!(f, "unknown model `{name}`"),
             ServeError::InvalidRequest(msg) => write!(f, "invalid request: {msg}"),
             ServeError::Simulation(msg) => write!(f, "simulation failed: {msg}"),
             ServeError::Registry(msg) => write!(f, "registry error: {msg}"),
@@ -87,6 +92,11 @@ mod tests {
         assert_eq!(
             ServeError::InvalidRequest("x".into()).kind(),
             "invalid_request"
+        );
+        assert_eq!(ServeError::UnknownModel("m".into()).kind(), "unknown_model");
+        assert_eq!(
+            ServeError::UnknownModel("m".into()).to_string(),
+            "unknown model `m`"
         );
         assert_eq!(ServeError::Shutdown.kind(), "shutdown");
     }

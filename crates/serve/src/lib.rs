@@ -2,25 +2,33 @@
 //!
 //! The paper's value proposition is replacing an hours-long P&R +
 //! simulation flow with a fast inference call; this crate packages that
-//! call as an always-on service instead of a one-shot driver:
+//! call as an always-on, multi-model service instead of a one-shot
+//! driver:
 //!
 //! * [`registry`] — versioned on-disk persistence for trained models
 //!   (format version + config fingerprint headers, so a service refuses
-//!   incompatible files instead of mis-loading them);
-//! * [`service`] — a std-thread worker pool over a shared model with a
-//!   two-level LRU [`cache`] (design artifacts, then per-(design,
-//!   workload, cycles) encoder embeddings under a **byte budget**), so
-//!   repeat requests skip netlist generation, feature construction, and
-//!   all encoder forwards; concurrent cold requests for one key are
-//!   **single-flighted** into one computation;
+//!   incompatible files instead of mis-loading them), and the
+//!   [`ModelCatalog`] assembling several loaded models for serving;
+//! * [`service`] — a std-thread worker pool routing requests across the
+//!   catalog's named models, each with its own two-level LRU [`cache`]
+//!   (design artifacts, then per-(design, workload, cycles) encoder
+//!   embeddings under a **byte budget**), so repeat requests skip
+//!   netlist generation, feature construction, and all encoder forwards;
+//!   concurrent cold requests for one key are **single-flighted** into
+//!   one computation; plus the server-side **workload library**
+//!   (register a phase schedule once, reference it by name forever);
 //! * [`reactor`] — the non-blocking TCP front door: one epoll thread
 //!   multiplexes thousands of connections with per-connection
 //!   back-pressure, so idle clients cost buffers instead of threads;
 //! * [`protocol`] — the JSON-lines request/response wire format spoken
-//!   over stdin/stdout or TCP by the `serve` binary, including the
-//!   `stats` verb and inline phase-schedule workloads;
+//!   over stdin/stdout or TCP by the `serve` binary: the `predict`,
+//!   `stats`, `models`, `register_workload`, and `workloads` verbs
+//!   (full reference in `docs/PROTOCOL.md`);
 //! * [`error`] — typed errors ([`ServeError`]) replacing the panics of
 //!   the batch drivers.
+//!
+//! The architecture document `docs/ARCHITECTURE.md` walks one request
+//! through every layer listed above.
 //!
 //! # Quick start
 //!
@@ -40,6 +48,26 @@
 //! let response = service.call(PredictRequest::new("C2", "W1", 64)).unwrap();
 //! println!("mean total: {:.3} W (cache hit: {})", response.mean_total_w, response.cache_hit);
 //! ```
+//!
+//! # Hosting several models
+//!
+//! ```no_run
+//! use atlas_serve::{AtlasService, ModelCatalog, ModelRegistry, PredictRequest, ServiceConfig};
+//!
+//! let registry = ModelRegistry::open("target/registry").unwrap();
+//! let mut catalog = ModelCatalog::new();
+//! catalog.load_spec(&registry, "stable=quick").unwrap();
+//! catalog.load_spec(&registry, "canary=quick-v2").unwrap();
+//! let service = AtlasService::start_catalog(catalog, ServiceConfig::default()).unwrap();
+//!
+//! // Requests route by name; without one they go to the default model.
+//! let canary = service
+//!     .call(PredictRequest::new("C2", "W1", 64).on_model("canary"))
+//!     .unwrap();
+//! assert_eq!(canary.model, "canary");
+//! ```
+
+#![warn(missing_docs)]
 
 pub mod cache;
 pub mod error;
@@ -51,8 +79,12 @@ pub mod service;
 pub use cache::{CacheStats, LruCache};
 pub use error::ServeError;
 pub use protocol::{
-    ErrorResponse, GroupSummary, PredictRequest, PredictResponse, RequestLine, StatsResponse,
+    ErrorResponse, GroupSummary, ModelsResponse, PredictRequest, PredictResponse,
+    RegisterWorkloadRequest, RegisterWorkloadResponse, RequestLine, StatsResponse,
+    WorkloadsResponse,
 };
 pub use reactor::{Reactor, ReactorConfig, ReactorHandle, ReactorStats};
-pub use registry::{ModelRegistry, RegistryError, SavedModel, FORMAT_VERSION};
-pub use service::{AtlasService, Reply, ServiceConfig, ServiceStats};
+pub use registry::{ModelCatalog, ModelRegistry, RegistryError, SavedModel, FORMAT_VERSION};
+pub use service::{
+    AtlasService, ModelInfo, ModelStats, RegisteredWorkload, Reply, ServiceConfig, ServiceStats,
+};

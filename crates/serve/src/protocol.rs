@@ -2,21 +2,26 @@
 //!
 //! One request per line in, one response per line out, over stdin/stdout
 //! or a TCP stream. A response object either carries prediction fields or
-//! an `error`/`kind` pair — never both.
+//! an `error`/`kind` pair — never both. The full reference — every verb,
+//! field, and error string, with copy-pasteable examples — lives in
+//! `docs/PROTOCOL.md`.
 //!
 //! ```text
 //! → {"id":1,"design":"C2","workload":"W1","cycles":64}
-//! ← {"id":1,"design":"C2","workload":"W1","cycles":64,"cache_hit":false,...}
+//! ← {"id":1,"model":"default","design":"C2","workload":"W1",...}
 //! → {"id":2,"design":"C9","workload":"W1","cycles":64}
 //! ← {"id":2,"error":"unknown design `C9`","kind":"unknown_design"}
 //! → {"id":3,"verb":"stats"}
-//! ← {"id":3,"verb":"stats","requests":2,...,"embedding_cache":{...}}
+//! ← {"id":3,"verb":"stats","requests":2,...,"models":[{...}]}
 //! ```
 //!
-//! A line with a `verb` field is dispatched by verb (`"predict"` or
-//! `"stats"`); a line without one is a predict request. Predict requests
-//! may carry an inline phase schedule in `phases` instead of relying on
-//! the `W1`/`W2` presets — see [`PredictRequest::phases`].
+//! A line with a `verb` field is dispatched by verb (`"predict"`,
+//! `"stats"`, `"models"`, `"register_workload"`, `"workloads"`); a line
+//! without one is a predict request. Predict requests may address a
+//! specific hosted model via [`PredictRequest::model`] and may carry
+//! their workload three ways: a preset name in `workload`, an inline
+//! phase schedule in `phases`, or the name of a server-registered
+//! schedule in `workload_name`.
 
 use atlas_liberty::PowerGroup;
 use atlas_power::PowerTrace;
@@ -25,19 +30,28 @@ use serde::{Deserialize, Serialize};
 
 use crate::cache::CacheStats;
 use crate::error::ServeError;
-use crate::service::ServiceStats;
+use crate::service::{ModelInfo, ModelStats, RegisteredWorkload, ServiceStats};
 
 /// One prediction request: which design, under which workload, for how
-/// many cycles.
+/// many cycles — and optionally on which hosted model.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct PredictRequest {
     /// Client-chosen correlation id, echoed in the response.
     pub id: Option<u64>,
+    /// Hosted-model serving name; absent means the service's default
+    /// model. Routing is by name only — results are bit-identical whether
+    /// a model is addressed explicitly or as the default.
+    pub model: Option<String>,
     /// Design preset name (`C1`..`C6`, `TINY`).
     pub design: String,
-    /// Workload name: a preset (`W1`/`W2`) when `phases` is absent, else
-    /// a client-chosen label for the inline schedule.
-    pub workload: String,
+    /// Workload name: a preset (`W1`/`W2`) when `phases` and
+    /// `workload_name` are absent, else a client-chosen label for the
+    /// inline schedule. May be omitted when `workload_name` is used.
+    pub workload: Option<String>,
+    /// Name of a schedule previously stored via the `register_workload`
+    /// verb. Mutually exclusive with `phases`; the registered name
+    /// becomes the response's `workload` echo and the cache-key label.
+    pub workload_name: Option<String>,
     /// Cycles to simulate and predict.
     pub cycles: usize,
     /// Inline phase schedule (the `PhasedWorkload::new` surface). When
@@ -52,8 +66,10 @@ impl PredictRequest {
     pub fn new(design: impl Into<String>, workload: impl Into<String>, cycles: usize) -> Self {
         PredictRequest {
             id: None,
+            model: None,
             design: design.into(),
-            workload: workload.into(),
+            workload: Some(workload.into()),
+            workload_name: None,
             cycles,
             phases: None,
         }
@@ -68,13 +84,49 @@ impl PredictRequest {
         phases: Vec<WorkloadPhase>,
     ) -> Self {
         PredictRequest {
-            id: None,
-            design: design.into(),
-            workload: workload.into(),
-            cycles,
             phases: Some(phases),
+            ..PredictRequest::new(design, workload, cycles)
         }
     }
+
+    /// Constructor for a request that references a server-registered
+    /// workload by name (see the `register_workload` verb).
+    pub fn with_workload_name(
+        design: impl Into<String>,
+        workload_name: impl Into<String>,
+        cycles: usize,
+    ) -> Self {
+        PredictRequest {
+            id: None,
+            model: None,
+            design: design.into(),
+            workload: None,
+            workload_name: Some(workload_name.into()),
+            cycles,
+            phases: None,
+        }
+    }
+
+    /// Address this request to a specific hosted model (builder-style).
+    #[must_use]
+    pub fn on_model(mut self, model: impl Into<String>) -> Self {
+        self.model = Some(model.into());
+        self
+    }
+}
+
+/// The `register_workload` verb body: store `phases` server-side under
+/// `name`, making it referenceable from any later request's
+/// `workload_name` — by any client, on any hosted model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RegisterWorkloadRequest {
+    /// Client-chosen correlation id, echoed in the response.
+    pub id: Option<u64>,
+    /// Library name to store the schedule under.
+    pub name: String,
+    /// The schedule itself, validated exactly like an inline `phases`
+    /// field (`PhasedWorkload::try_new`).
+    pub phases: Vec<WorkloadPhase>,
 }
 
 /// One parsed protocol line, dispatched by verb.
@@ -87,31 +139,50 @@ pub enum RequestLine {
         /// Client-chosen correlation id, echoed in the response.
         id: Option<u64>,
     },
+    /// A hosted-model listing request (`"verb":"models"`).
+    Models {
+        /// Client-chosen correlation id, echoed in the response.
+        id: Option<u64>,
+    },
+    /// A workload registration (`"verb":"register_workload"`).
+    RegisterWorkload(RegisterWorkloadRequest),
+    /// A workload-library listing request (`"verb":"workloads"`).
+    Workloads {
+        /// Client-chosen correlation id, echoed in the response.
+        id: Option<u64>,
+    },
 }
 
 /// The reply to a `stats` verb: aggregate service counters, including
 /// each cache's occupancy and admission budget (bytes for the embedding
-/// cache, entries for the design cache).
+/// cache, entries for the design cache), plus the same breakdown for
+/// every hosted model.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct StatsResponse {
     /// Echo of the request id.
     pub id: Option<u64>,
     /// Always `"stats"`, so clients can discriminate response lines.
     pub verb: String,
-    /// Requests answered (including errors).
+    /// Requests answered (including errors), across all models.
     pub requests: u64,
-    /// Requests that returned an error.
+    /// Requests that returned an error, across all models.
     pub errors: u64,
     /// Cold embeddings actually computed (each counts one full
-    /// simulate + encode pipeline).
+    /// simulate + encode pipeline), across all models.
     pub embeddings_computed: u64,
     /// Requests that coalesced onto another request's in-flight
-    /// computation instead of recomputing (single-flight).
+    /// computation instead of recomputing (single-flight), across all
+    /// models.
     pub coalesced_requests: u64,
-    /// Embedding-cache counters; `weight`/`budget` are **bytes**.
+    /// Aggregate embedding-cache counters; `weight`/`budget` are
+    /// **bytes**, summed over models (each model has its own cache).
     pub embedding_cache: CacheStats,
-    /// Design-cache counters; `weight`/`budget` are **entries**.
+    /// Aggregate design-cache counters; `weight`/`budget` are
+    /// **entries**, summed over models.
     pub design_cache: CacheStats,
+    /// Per-model breakdown: every hosted model's request counters and
+    /// cache occupancy, sorted by serving name.
+    pub models: Vec<ModelStats>,
 }
 
 /// Build the `stats` verb reply from a service counter snapshot.
@@ -125,6 +196,81 @@ pub fn stats_response(id: Option<u64>, stats: &ServiceStats) -> StatsResponse {
         coalesced_requests: stats.coalesced_requests,
         embedding_cache: stats.embedding_cache,
         design_cache: stats.design_cache,
+        models: stats.models.clone(),
+    }
+}
+
+/// The reply to a `models` verb: every hosted model and the default.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ModelsResponse {
+    /// Echo of the request id.
+    pub id: Option<u64>,
+    /// Always `"models"`.
+    pub verb: String,
+    /// Serving name requests without a `model` field route to.
+    pub default_model: String,
+    /// Every hosted model, sorted by serving name.
+    pub models: Vec<ModelInfo>,
+}
+
+/// Build the `models` verb reply.
+pub fn models_response(
+    id: Option<u64>,
+    default_model: impl Into<String>,
+    models: Vec<ModelInfo>,
+) -> ModelsResponse {
+    ModelsResponse {
+        id,
+        verb: "models".to_owned(),
+        default_model: default_model.into(),
+        models,
+    }
+}
+
+/// The reply to a successful `register_workload` verb.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RegisterWorkloadResponse {
+    /// Echo of the request id.
+    pub id: Option<u64>,
+    /// Always `"register_workload"`.
+    pub verb: String,
+    /// The stored schedule: name, phase count, fingerprint.
+    pub workload: RegisteredWorkload,
+    /// Whether an existing schedule under this name was replaced.
+    /// Replacement is safe: results are cached under the schedule
+    /// fingerprint, so entries for the old schedule can never answer
+    /// requests for the new one.
+    pub replaced: bool,
+}
+
+/// The reply to a `workloads` verb: the preset vocabulary plus every
+/// server-registered schedule.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WorkloadsResponse {
+    /// Echo of the request id.
+    pub id: Option<u64>,
+    /// Always `"workloads"`.
+    pub verb: String,
+    /// Built-in preset names (usable in the `workload` field).
+    pub presets: Vec<String>,
+    /// Registered schedules (usable in the `workload_name` field),
+    /// sorted by name.
+    pub workloads: Vec<RegisteredWorkload>,
+}
+
+/// Build the `workloads` verb reply.
+pub fn workloads_response(
+    id: Option<u64>,
+    workloads: Vec<RegisteredWorkload>,
+) -> WorkloadsResponse {
+    WorkloadsResponse {
+        id,
+        verb: "workloads".to_owned(),
+        presets: atlas_sim::PhasedWorkload::preset_names()
+            .iter()
+            .map(|&s| s.to_owned())
+            .collect(),
+        workloads,
     }
 }
 
@@ -146,9 +292,13 @@ pub struct GroupSummary {
 pub struct PredictResponse {
     /// Echo of the request id.
     pub id: Option<u64>,
+    /// Serving name of the model that answered — the request's `model`
+    /// field when present, else the service's default model.
+    pub model: String,
     /// Echo of the design name.
     pub design: String,
-    /// Echo of the workload name.
+    /// Workload label: the preset name, the inline schedule's `workload`
+    /// label, or the `workload_name` the request referenced.
     pub workload: String,
     /// Echo of the cycle count.
     pub cycles: usize,
@@ -191,9 +341,13 @@ pub fn group_name(group: PowerGroup) -> &'static str {
     }
 }
 
-/// Summarize a predicted trace into a response body.
+/// Summarize a predicted trace into a response body. `model` is the
+/// resolved serving name and `workload` the effective workload label
+/// (which differs from `req.workload` for `workload_name` requests).
 pub fn summarize(
     req: &PredictRequest,
+    model: &str,
+    workload: &str,
     trace: &PowerTrace,
     cache_hit: bool,
     design_cache_hit: bool,
@@ -215,8 +369,9 @@ pub fn summarize(
         .collect();
     PredictResponse {
         id: req.id,
+        model: model.to_owned(),
         design: req.design.clone(),
-        workload: req.workload.clone(),
+        workload: workload.to_owned(),
         cycles: trace.cycles(),
         cache_hit,
         design_cache_hit,
@@ -270,15 +425,26 @@ pub fn parse_line(line: &str) -> Result<RequestLine, ServeError> {
                 .ok_or_else(|| bad(format!("`verb` must be a string, found {}", v.kind())))?,
         ),
     };
+    let id_of = |verb: &str| {
+        serde::de::field::<Option<u64>>(map, "id", verb)
+            .map_err(|e| bad(format!("bad {verb} line: {e}")))
+    };
     match verb {
         None | Some("predict") => PredictRequest::from_value(&value)
             .map(RequestLine::Predict)
             .map_err(|e| bad(format!("bad request line: {e}"))),
-        Some("stats") => {
-            let id = serde::de::field::<Option<u64>>(map, "id", "stats")
-                .map_err(|e| bad(format!("bad stats line: {e}")))?;
-            Ok(RequestLine::Stats { id })
-        }
+        Some("stats") => Ok(RequestLine::Stats {
+            id: id_of("stats")?,
+        }),
+        Some("models") => Ok(RequestLine::Models {
+            id: id_of("models")?,
+        }),
+        Some("workloads") => Ok(RequestLine::Workloads {
+            id: id_of("workloads")?,
+        }),
+        Some("register_workload") => RegisterWorkloadRequest::from_value(&value)
+            .map(RequestLine::RegisterWorkload)
+            .map_err(|e| bad(format!("bad register_workload line: {e}"))),
         Some(other) => Err(bad(format!("unknown verb `{other}`"))),
     }
 }
@@ -291,10 +457,17 @@ pub fn salvage_id(line: &str) -> Option<u64> {
     serde::de::field::<Option<u64>>(map, "id", "request").ok()?
 }
 
-/// Render one `stats` response line (no trailing newline).
-pub fn render_stats(response: &StatsResponse) -> String {
+/// Render one verb-response line (no trailing newline) — the `stats`,
+/// `models`, `register_workload`, and `workloads` replies all go through
+/// here.
+pub fn render_line<T: Serialize>(response: &T) -> String {
     serde_json::to_string(response)
         .unwrap_or_else(|e| format!(r#"{{"error":"render failure: {e}","kind":"internal"}}"#))
+}
+
+/// Render one `stats` response line (no trailing newline).
+pub fn render_stats(response: &StatsResponse) -> String {
+    render_line(response)
 }
 
 /// Render one response line (no trailing newline).
@@ -318,13 +491,40 @@ mod tests {
     fn request_roundtrip() {
         let req = PredictRequest {
             id: Some(7),
+            model: Some("atlas-v2".into()),
             design: "C2".into(),
-            workload: "W1".into(),
+            workload: Some("W1".into()),
+            workload_name: None,
             cycles: 64,
             phases: None,
         };
         let line = serde_json::to_string(&req).expect("serializes");
         assert_eq!(parse_request(&line).expect("parses"), req);
+        // The builder spells the same thing.
+        let mut built = PredictRequest::new("C2", "W1", 64).on_model("atlas-v2");
+        built.id = Some(7);
+        assert_eq!(built, req);
+    }
+
+    #[test]
+    fn workload_name_requests_parse_without_a_workload_field() {
+        // The shape clients send: no `workload`, just `workload_name`.
+        let hand = r#"{"id":9,"design":"C4","workload_name":"bursty","cycles":32}"#;
+        let parsed = parse_request(hand).expect("parses");
+        assert_eq!(parsed.workload, None);
+        assert_eq!(parsed.workload_name.as_deref(), Some("bursty"));
+        assert_eq!(parsed.model, None);
+        assert_eq!(parsed, {
+            let mut req = PredictRequest::with_workload_name("C4", "bursty", 32);
+            req.id = Some(9);
+            req
+        });
+        // Model-addressed, hand-written.
+        let hand = r#"{"design":"C2","workload":"W1","cycles":8,"model":"beta"}"#;
+        assert_eq!(
+            parse_request(hand).expect("parses").model.as_deref(),
+            Some("beta")
+        );
     }
 
     #[test]
@@ -382,6 +582,35 @@ mod tests {
             parse_line(r#"{"verb":"stats"}"#),
             Ok(RequestLine::Stats { id: None })
         );
+        // Catalog and workload-library verbs.
+        assert_eq!(
+            parse_line(r#"{"verb":"models","id":4}"#),
+            Ok(RequestLine::Models { id: Some(4) })
+        );
+        assert_eq!(
+            parse_line(r#"{"verb":"workloads"}"#),
+            Ok(RequestLine::Workloads { id: None })
+        );
+        assert_eq!(
+            parse_line(
+                r#"{"verb":"register_workload","id":5,"name":"bursty",
+                    "phases":[{"activity":0.5,"min_len":2,"max_len":4}]}"#
+            ),
+            Ok(RequestLine::RegisterWorkload(RegisterWorkloadRequest {
+                id: Some(5),
+                name: "bursty".into(),
+                phases: vec![WorkloadPhase {
+                    activity: 0.5,
+                    min_len: 2,
+                    max_len: 4,
+                }],
+            }))
+        );
+        // A registration without a name or phases is a typed error.
+        assert!(matches!(
+            parse_line(r#"{"verb":"register_workload","id":5}"#),
+            Err(ServeError::InvalidRequest(_))
+        ));
         // Unknown verb and non-string verb are typed errors.
         assert!(matches!(
             parse_line(r#"{"verb":"flush"}"#),
@@ -403,32 +632,98 @@ mod tests {
 
     #[test]
     fn stats_response_roundtrip() {
+        let embedding_cache = CacheStats {
+            hits: 6,
+            misses: 5,
+            len: 2,
+            weight: 123_456,
+            budget: 1_000_000,
+        };
+        let design_cache = CacheStats {
+            hits: 7,
+            misses: 1,
+            len: 1,
+            weight: 1,
+            budget: 16,
+        };
         let stats = ServiceStats {
             requests: 11,
             errors: 2,
             embeddings_computed: 3,
             coalesced_requests: 4,
-            embedding_cache: CacheStats {
-                hits: 6,
-                misses: 5,
-                len: 2,
-                weight: 123_456,
-                budget: 1_000_000,
-            },
-            design_cache: CacheStats {
-                hits: 7,
-                misses: 1,
-                len: 1,
-                weight: 1,
-                budget: 16,
-            },
+            embedding_cache,
+            design_cache,
+            models: vec![ModelStats {
+                model: "alpha".into(),
+                requests: 11,
+                errors: 2,
+                embeddings_computed: 3,
+                coalesced_requests: 4,
+                embedding_cache,
+                design_cache,
+            }],
         };
         let resp = stats_response(Some(9), &stats);
         assert_eq!(resp.verb, "stats");
         assert_eq!(resp.embedding_cache.budget, 1_000_000);
+        assert_eq!(resp.models.len(), 1);
+        assert_eq!(resp.models[0].model, "alpha");
         let line = render_stats(&resp);
         let back: StatsResponse = serde_json::from_str(&line).expect("parses");
         assert_eq!(back, resp);
+    }
+
+    #[test]
+    fn catalog_and_workload_responses_roundtrip() {
+        let models = models_response(
+            Some(2),
+            "alpha",
+            vec![
+                ModelInfo {
+                    name: "alpha".into(),
+                    format_version: 1,
+                    config_fingerprint: 0xDEAD,
+                },
+                ModelInfo {
+                    name: "beta".into(),
+                    format_version: 1,
+                    config_fingerprint: 0xBEEF,
+                },
+            ],
+        );
+        assert_eq!(models.verb, "models");
+        assert_eq!(models.default_model, "alpha");
+        let line = render_line(&models);
+        let back: ModelsResponse = serde_json::from_str(&line).expect("parses");
+        assert_eq!(back, models);
+
+        let workloads = workloads_response(
+            None,
+            vec![RegisteredWorkload {
+                name: "bursty".into(),
+                phases: 2,
+                fingerprint: 99,
+            }],
+        );
+        assert_eq!(workloads.verb, "workloads");
+        assert_eq!(workloads.presets, vec!["W1".to_owned(), "W2".to_owned()]);
+        let line = render_line(&workloads);
+        let back: WorkloadsResponse = serde_json::from_str(&line).expect("parses");
+        assert_eq!(back, workloads);
+
+        let registered = RegisterWorkloadResponse {
+            id: Some(3),
+            verb: "register_workload".into(),
+            workload: RegisteredWorkload {
+                name: "bursty".into(),
+                phases: 2,
+                fingerprint: 99,
+            },
+            replaced: true,
+        };
+        let line = render_line(&registered);
+        let back: RegisterWorkloadResponse = serde_json::from_str(&line).expect("parses");
+        assert_eq!(back, registered);
     }
 
     #[test]
@@ -461,7 +756,9 @@ mod tests {
         trace.add(0, 0, PowerGroup::Combinational.index(), 1.0);
         trace.add(1, 0, PowerGroup::ClockTree.index(), 3.0);
         let req = PredictRequest::new("d", "w", 2);
-        let resp = summarize(&req, &trace, true, true, 0.5);
+        let resp = summarize(&req, "default", "w", &trace, true, true, 0.5);
+        assert_eq!(resp.model, "default");
+        assert_eq!(resp.workload, "w");
         assert_eq!(resp.per_cycle_total_w, vec![1.0, 3.0]);
         assert_eq!(resp.mean_total_w, 2.0);
         assert_eq!(resp.peak_total_w, 3.0);

@@ -695,8 +695,10 @@ impl Loop {
         }
     }
 
-    /// Route one request line: predictions to the worker pool, `stats`
-    /// answered inline, parse errors answered inline.
+    /// Route one request line: predictions to the worker pool; `stats`,
+    /// `models`, `register_workload`, and `workloads` answered inline
+    /// (they are counter snapshots or cheap library mutations and never
+    /// need a worker); parse errors answered inline.
     fn dispatch(&mut self, token: u64, line: &str) {
         match protocol::parse_line(line) {
             Ok(RequestLine::Predict(request)) => {
@@ -712,6 +714,35 @@ impl Loop {
             Ok(RequestLine::Stats { id }) => {
                 let line =
                     protocol::render_stats(&protocol::stats_response(id, &self.service.stats()));
+                self.queue_line(token, line);
+            }
+            Ok(RequestLine::Models { id }) => {
+                let line = protocol::render_line(&protocol::models_response(
+                    id,
+                    self.service.default_model(),
+                    self.service.models(),
+                ));
+                self.queue_line(token, line);
+            }
+            Ok(RequestLine::Workloads { id }) => {
+                let line = protocol::render_line(&protocol::workloads_response(
+                    id,
+                    self.service.workloads(),
+                ));
+                self.queue_line(token, line);
+            }
+            Ok(RequestLine::RegisterWorkload(req)) => {
+                let line = match self.service.register_workload(&req.name, req.phases) {
+                    Ok((workload, replaced)) => {
+                        protocol::render_line(&protocol::RegisterWorkloadResponse {
+                            id: req.id,
+                            verb: "register_workload".to_owned(),
+                            workload,
+                            replaced,
+                        })
+                    }
+                    Err(e) => protocol::render_result(&Err((req.id, e))),
+                };
                 self.queue_line(token, line);
             }
             Err(e) => {
@@ -880,7 +911,9 @@ mod tests {
     use atlas_core::pipeline::{train_atlas, ExperimentConfig};
 
     use super::*;
-    use crate::protocol::{PredictResponse, StatsResponse};
+    use crate::protocol::{
+        ModelsResponse, PredictResponse, RegisterWorkloadResponse, StatsResponse, WorkloadsResponse,
+    };
     use crate::ServiceConfig;
 
     /// A configuration small enough to train inside a unit test.
@@ -967,11 +1000,70 @@ mod tests {
         let err = read_line(&mut reader);
         assert!(err.contains("unknown_design"), "got: {err}");
 
+        // The catalog verbs are answered inline.
+        send_line(&mut stream, r#"{"id":5,"verb":"models"}"#);
+        let models: ModelsResponse =
+            serde_json::from_str(&read_line(&mut reader)).expect("models parses");
+        assert_eq!(models.id, Some(5));
+        assert_eq!(models.default_model, "default");
+        assert_eq!(models.models.len(), 1);
+
+        // Register a workload, list it, then use it by name — the second
+        // use is a cache hit.
+        send_line(
+            &mut stream,
+            r#"{"id":6,"verb":"register_workload","name":"spiky",
+                "phases":[{"activity":0.6,"min_len":1,"max_len":3}]}"#
+                .replace('\n', " ")
+                .trim(),
+        );
+        let reg: RegisterWorkloadResponse =
+            serde_json::from_str(&read_line(&mut reader)).expect("registration parses");
+        assert_eq!(reg.id, Some(6));
+        assert_eq!(reg.workload.name, "spiky");
+        assert!(!reg.replaced);
+        send_line(&mut stream, r#"{"id":7,"verb":"workloads"}"#);
+        let listed: WorkloadsResponse =
+            serde_json::from_str(&read_line(&mut reader)).expect("workloads parses");
+        assert_eq!(listed.workloads.len(), 1);
+        assert_eq!(listed.presets, vec!["W1".to_owned(), "W2".to_owned()]);
+        send_line(
+            &mut stream,
+            r#"{"id":8,"design":"C2","workload_name":"spiky","cycles":6}"#,
+        );
+        let cold: PredictResponse =
+            serde_json::from_str(&read_line(&mut reader)).expect("registered predict parses");
+        assert_eq!(cold.workload, "spiky");
+        assert!(!cold.cache_hit);
+        send_line(
+            &mut stream,
+            r#"{"id":9,"design":"C2","workload_name":"spiky","cycles":6}"#,
+        );
+        let warm: PredictResponse = serde_json::from_str(&read_line(&mut reader)).expect("parses");
+        assert!(
+            warm.cache_hit,
+            "registered workload reuse must hit the cache"
+        );
+
+        // An unknown registered name is a structured unknown_workload
+        // error that preserves the request id — not a generic parse error.
+        send_line(
+            &mut stream,
+            r#"{"id":10,"design":"C2","workload_name":"nope","cycles":6}"#,
+        );
+        let err = read_line(&mut reader);
+        assert!(err.contains("\"kind\":\"unknown_workload\""), "got: {err}");
+        assert!(
+            err.contains("\"id\":10"),
+            "id must be preserved, got: {err}"
+        );
+        assert!(err.contains("nope"), "got: {err}");
+
         drop(stream);
         drop(reader);
         let stats = handle.stats();
         assert_eq!(stats.accepted, 1);
-        assert_eq!(stats.requests, 3);
+        assert_eq!(stats.requests, 6);
         handle.shutdown().expect("clean shutdown");
     }
 

@@ -80,6 +80,8 @@ pub enum RegistryError {
     NotFound(String),
     /// The model name contains path separators or other invalid chars.
     InvalidName(String),
+    /// A catalog already holds a model under this serving name.
+    Duplicate(String),
 }
 
 impl fmt::Display for RegistryError {
@@ -98,6 +100,9 @@ impl fmt::Display for RegistryError {
             ),
             RegistryError::NotFound(name) => write!(f, "no model named `{name}` in registry"),
             RegistryError::InvalidName(name) => write!(f, "invalid model name `{name}`"),
+            RegistryError::Duplicate(name) => {
+                write!(f, "catalog already serves a model named `{name}`")
+            }
         }
     }
 }
@@ -198,30 +203,22 @@ impl ModelRegistry {
             }
             Err(e) => return Err(RegistryError::Io(format!("read {}: {e}", path.display()))),
         };
-        // Check the version before attempting to deserialize the weights:
-        // a future format may not even parse as today's `ModelFile`.
-        let version = peek_format_version(&json)
-            .ok_or_else(|| RegistryError::Corrupt(format!("{}: no header", path.display())))?;
-        if version != FORMAT_VERSION {
-            return Err(RegistryError::WrongVersion {
-                found: version,
-                expected: FORMAT_VERSION,
-            });
-        }
-        let file: ModelFile = serde_json::from_str(&json)
-            .map_err(|e| RegistryError::Corrupt(format!("{}: {e}", path.display())))?;
-        let actual = config_fingerprint(&file.config);
-        if actual != file.header.config_fingerprint {
-            return Err(RegistryError::FingerprintMismatch {
-                claimed: file.header.config_fingerprint,
-                actual,
-            });
-        }
-        Ok(SavedModel {
-            header: file.header,
-            config: file.config,
-            model: file.model,
-        })
+        parse_model_file(&path, &json)
+    }
+
+    /// Load a model file from an explicit path (not necessarily inside
+    /// this — or any — registry directory), validating its header exactly
+    /// like [`ModelRegistry::load`].
+    ///
+    /// # Errors
+    ///
+    /// The same validation errors as [`ModelRegistry::load`], plus
+    /// [`RegistryError::Io`] when the file cannot be read.
+    pub fn load_file(path: impl AsRef<Path>) -> Result<SavedModel, RegistryError> {
+        let path = path.as_ref();
+        let json = fs::read_to_string(path)
+            .map_err(|e| RegistryError::Io(format!("read {}: {e}", path.display())))?;
+        parse_model_file(path, &json)
     }
 
     /// Names of all models in the registry, sorted.
@@ -246,6 +243,199 @@ impl ModelRegistry {
         }
         names.sort();
         Ok(names)
+    }
+}
+
+/// Version-check, fingerprint-check, and deserialize one model file's
+/// contents (`path` only labels errors).
+fn parse_model_file(path: &Path, json: &str) -> Result<SavedModel, RegistryError> {
+    // Check the version before attempting to deserialize the weights:
+    // a future format may not even parse as today's `ModelFile`.
+    let version = peek_format_version(json)
+        .ok_or_else(|| RegistryError::Corrupt(format!("{}: no header", path.display())))?;
+    if version != FORMAT_VERSION {
+        return Err(RegistryError::WrongVersion {
+            found: version,
+            expected: FORMAT_VERSION,
+        });
+    }
+    let file: ModelFile = serde_json::from_str(json)
+        .map_err(|e| RegistryError::Corrupt(format!("{}: {e}", path.display())))?;
+    let actual = config_fingerprint(&file.config);
+    if actual != file.header.config_fingerprint {
+        return Err(RegistryError::FingerprintMismatch {
+            claimed: file.header.config_fingerprint,
+            actual,
+        });
+    }
+    Ok(SavedModel {
+        header: file.header,
+        config: file.config,
+        model: file.model,
+    })
+}
+
+/// An ordered set of models to serve behind one front door, each under a
+/// serving name. The first inserted model is the **default** (used by
+/// requests that carry no `model` field) unless
+/// [`ModelCatalog::set_default`] picks another.
+///
+/// A catalog is assembled before the service starts — from registry
+/// entries, explicit files ([`ModelCatalog::load_spec`]), or in-memory
+/// models — and handed to `AtlasService::start_catalog`. Every loading
+/// path runs the full registry validation (format version + config
+/// fingerprint), so an incompatible file is rejected at catalog build
+/// time, never at request time.
+#[derive(Debug, Clone, Default)]
+pub struct ModelCatalog {
+    entries: Vec<(String, SavedModel)>,
+    default: Option<String>,
+}
+
+impl ModelCatalog {
+    /// An empty catalog.
+    pub fn new() -> ModelCatalog {
+        ModelCatalog::default()
+    }
+
+    /// Whether `name` is usable as a serving name (the same rule the
+    /// registry applies to entry names).
+    pub fn valid_name(name: &str) -> bool {
+        validate_name(name).is_ok()
+    }
+
+    /// Add a loaded model under `name`.
+    ///
+    /// # Errors
+    ///
+    /// [`RegistryError::InvalidName`] for names the registry itself would
+    /// reject; [`RegistryError::Duplicate`] when the name is taken.
+    pub fn insert(
+        &mut self,
+        name: impl Into<String>,
+        saved: SavedModel,
+    ) -> Result<(), RegistryError> {
+        let name = name.into();
+        validate_name(&name)?;
+        if self.entries.iter().any(|(n, _)| *n == name) {
+            return Err(RegistryError::Duplicate(name));
+        }
+        self.entries.push((name, saved));
+        Ok(())
+    }
+
+    /// Add an in-memory model (no registry file) under `name`, wrapping
+    /// it in a synthesized header — the path tests and benches use.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ModelCatalog::insert`].
+    pub fn insert_model(
+        &mut self,
+        name: impl Into<String>,
+        model: AtlasModel,
+        config: ExperimentConfig,
+    ) -> Result<(), RegistryError> {
+        let name = name.into();
+        let header = ModelHeader {
+            format_version: FORMAT_VERSION,
+            name: name.clone(),
+            config_fingerprint: config_fingerprint(&config),
+        };
+        self.insert(
+            name,
+            SavedModel {
+                header,
+                config,
+                model,
+            },
+        )
+    }
+
+    /// Load one `--model` flag value into the catalog.
+    ///
+    /// The spec is `NAME`, `ALIAS=NAME`, or `ALIAS=PATH`: a bare `NAME`
+    /// loads that registry entry and serves it under the same name; the
+    /// `=` forms serve the loaded model under `ALIAS`. A value containing
+    /// a path separator (or ending in `.atlas.json`) is read as a file
+    /// path instead of a registry entry, so one process can serve models
+    /// from several directories.
+    ///
+    /// Returns the serving name the model landed under.
+    ///
+    /// # Errors
+    ///
+    /// Any [`RegistryError`] from loading or inserting — including
+    /// [`RegistryError::WrongVersion`] and
+    /// [`RegistryError::FingerprintMismatch`], which reject incompatible
+    /// files before the service ever starts.
+    pub fn load_spec(
+        &mut self,
+        registry: &ModelRegistry,
+        spec: &str,
+    ) -> Result<String, RegistryError> {
+        let (alias, source) = match spec.split_once('=') {
+            Some((alias, source)) => (Some(alias), source),
+            None => (None, spec),
+        };
+        let is_path = source.contains(std::path::MAIN_SEPARATOR) || source.ends_with(SUFFIX);
+        let (saved, fallback_name) = if is_path {
+            let stem = Path::new(source)
+                .file_name()
+                .map(|f| f.to_string_lossy().into_owned())
+                .unwrap_or_default();
+            let fallback = stem.strip_suffix(SUFFIX).unwrap_or(&stem).to_owned();
+            (ModelRegistry::load_file(source)?, fallback)
+        } else {
+            (registry.load(source)?, source.to_owned())
+        };
+        let name = alias.map_or(fallback_name, str::to_owned);
+        self.insert(name.clone(), saved)?;
+        Ok(name)
+    }
+
+    /// Pick the default model (the one `model`-less requests route to).
+    ///
+    /// # Errors
+    ///
+    /// [`RegistryError::NotFound`] when no entry has this serving name.
+    pub fn set_default(&mut self, name: &str) -> Result<(), RegistryError> {
+        if self.entries.iter().any(|(n, _)| n == name) {
+            self.default = Some(name.to_owned());
+            Ok(())
+        } else {
+            Err(RegistryError::NotFound(name.to_owned()))
+        }
+    }
+
+    /// The default serving name: [`ModelCatalog::set_default`]'s choice,
+    /// else the first inserted entry. `None` for an empty catalog.
+    pub fn default_model(&self) -> Option<&str> {
+        self.default
+            .as_deref()
+            .or_else(|| self.entries.first().map(|(n, _)| n.as_str()))
+    }
+
+    /// Serving names in insertion order.
+    pub fn names(&self) -> Vec<&str> {
+        self.entries.iter().map(|(n, _)| n.as_str()).collect()
+    }
+
+    /// Number of models in the catalog.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the catalog holds no models.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Consume the catalog into `(default_name, entries)` — the service
+    /// constructor's input. `None` when the catalog is empty.
+    pub fn into_entries(self) -> Option<(String, Vec<(String, SavedModel)>)> {
+        let default = self.default_model()?.to_owned();
+        Some((default, self.entries))
     }
 }
 

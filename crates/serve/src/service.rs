@@ -1,21 +1,42 @@
-//! The long-lived prediction service: a worker pool over a shared model
-//! and two-level LRU cache.
+//! The long-lived prediction service: a worker pool over a **catalog of
+//! hosted models** and a server-side workload library, with per-model
+//! two-level LRU caches.
 //!
 //! Request execution has three stages with very different costs:
 //!
 //! 1. **Design materialization** — generate the gate-level netlist and
 //!    build its sub-module graph data. Depends only on the design name,
-//!    so it is cached per design.
+//!    so it is cached per design (per model, since models may be trained
+//!    at different scales).
 //! 2. **Trace embedding** — simulate the workload and run the encoder
 //!    over every (sub-module, cycle). Deterministic in (design, workload,
 //!    cycles), so the resulting [`TraceEmbeddings`] are cached under that
 //!    key — admitted against a **byte budget** sized from
 //!    [`TraceEmbeddings::approx_bytes`]. This stage dominates cold
-//!    latency; concurrent cold requests for the same key are
-//!    **single-flighted**: one request computes, the rest block on the
-//!    in-flight result instead of duplicating the work.
+//!    latency; concurrent cold requests for the same key on the same
+//!    model are **single-flighted**: one request computes, the rest block
+//!    on the in-flight result instead of duplicating the work.
 //! 3. **Head evaluation** — GBDT heads + memory model over the cached
 //!    embeddings. Cheap; this is all a fully-warm request pays.
+//!
+//! # Multi-model routing
+//!
+//! One service hosts any number of named models (a [`ModelCatalog`]);
+//! requests route by their optional `model` field, defaulting to the
+//! catalog's default entry. Every model owns its embedding cache, design
+//! cache, and single-flight map — models never share or evict each
+//! other's entries, and [`AtlasService::stats`] reports occupancy per
+//! model. Routing is name-only: a request answered by model `m` is
+//! bit-identical whether `m` was addressed explicitly or as the default.
+//!
+//! # The workload library
+//!
+//! Clients may register a phase schedule once under a name
+//! ([`AtlasService::register_workload`], wire verb `register_workload`)
+//! and reference it from any later request via `workload_name`. The
+//! library is shared across models; cached results are keyed by the
+//! schedule's fingerprint, so re-registering a name with a different
+//! schedule can never serve stale results.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -28,29 +49,35 @@ use atlas_core::features::{build_submodule_data, SubmoduleData};
 use atlas_core::{AtlasModel, ExperimentConfig, TraceEmbeddings};
 use atlas_liberty::Library;
 use atlas_netlist::Design;
-use atlas_sim::{simulate, PhasedWorkload, WorkloadPhase};
+use atlas_sim::{schedule_fingerprint, simulate, PhasedWorkload, WorkloadPhase};
+use serde::{Deserialize, Serialize};
 
 use crate::cache::{CacheStats, LruCache};
 use crate::error::ServeError;
 use crate::protocol::{summarize, PredictRequest, PredictResponse};
-use crate::registry::SavedModel;
+use crate::registry::{ModelCatalog, SavedModel};
 
 /// Tuning knobs of one service instance.
 #[derive(Debug, Clone)]
 pub struct ServiceConfig {
-    /// Worker threads answering requests concurrently.
+    /// Worker threads answering requests concurrently (shared by every
+    /// hosted model).
     pub workers: usize,
-    /// Byte budget of the (design, workload, cycles) → embeddings cache,
-    /// accounted with [`TraceEmbeddings::approx_bytes`]. An embedding
-    /// larger than the whole budget is served but never cached.
+    /// Per-model byte budget of the (design, workload, cycles) →
+    /// embeddings cache, accounted with
+    /// [`TraceEmbeddings::approx_bytes`]. An embedding larger than the
+    /// whole budget is served but never cached.
     pub embedding_cache_bytes: usize,
-    /// Capacity (entries) of the design → netlist + sub-module data cache.
+    /// Per-model capacity (entries) of the design → netlist + sub-module
+    /// data cache.
     pub design_cache: usize,
     /// Upper bound on `cycles` per request (backpressure against
     /// accidental million-cycle requests).
     pub max_cycles: usize,
-    /// Upper bound on inline-schedule phases per request.
+    /// Upper bound on phases per schedule — inline or registered.
     pub max_phases: usize,
+    /// Upper bound on schedules in the server-side workload library.
+    pub max_registered_workloads: usize,
     /// Threads used *inside* one request's embedding stage. Kept low by
     /// default because concurrency comes from the worker pool.
     pub embed_threads: usize,
@@ -64,14 +91,17 @@ impl Default for ServiceConfig {
             design_cache: 16,
             max_cycles: 4096,
             max_phases: 64,
+            max_registered_workloads: 1024,
             embed_threads: 1,
         }
     }
 }
 
 /// Cache key of stage two. `schedule_fp` is 0 for preset workloads and a
-/// fingerprint of the inline phase schedule otherwise, so two inline
-/// requests share an entry exactly when their schedules match.
+/// fingerprint of the phase schedule (inline or registered) otherwise, so
+/// two schedule-driven requests share an entry exactly when their
+/// schedules match. Model identity is not part of the key: each model
+/// owns a separate cache.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 struct TraceKey {
     design: String,
@@ -80,33 +110,60 @@ struct TraceKey {
     schedule_fp: u64,
 }
 
-/// FNV-1a over the phase parameters; never 0 (0 marks "preset").
-fn schedule_fingerprint(phases: &[WorkloadPhase]) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    let mut mix = |v: u64| {
-        for byte in v.to_le_bytes() {
-            h ^= u64::from(byte);
-            h = h.wrapping_mul(0x0000_0100_0000_01b3);
-        }
-    };
-    for p in phases {
-        mix(p.activity.to_bits());
-        mix(p.min_len as u64);
-        mix(p.max_len as u64);
-    }
-    h.max(1)
-}
-
 /// Stage-one cache value: the materialized design.
 struct DesignArtifacts {
     gate: Design,
     data: Vec<SubmoduleData>,
 }
 
-/// Aggregate service counters.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+/// Identity of one hosted model, as reported by the `models` verb.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ModelInfo {
+    /// Serving name (the `model` field of requests routed to it).
+    pub name: String,
+    /// On-disk format version of the loaded model file.
+    pub format_version: u32,
+    /// FNV-1a fingerprint of the model's training configuration.
+    pub config_fingerprint: u64,
+}
+
+/// One registered schedule of the workload library, as reported by the
+/// `workloads` and `register_workload` verbs.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RegisteredWorkload {
+    /// Library name (the `workload_name` field of requests using it).
+    pub name: String,
+    /// Number of phases in the stored schedule.
+    pub phases: usize,
+    /// Schedule fingerprint — the cache-key component, so clients can
+    /// correlate registry state with cache behavior.
+    pub fingerprint: u64,
+}
+
+/// Per-model slice of [`ServiceStats`].
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct ModelStats {
+    /// Serving name of the model these counters belong to.
+    pub model: String,
+    /// Requests routed to this model (including errors).
+    pub requests: u64,
+    /// Requests routed to this model that returned an error.
+    pub errors: u64,
+    /// Cold embeddings this model computed.
+    pub embeddings_computed: u64,
+    /// Requests that waited on this model's in-flight computations.
+    pub coalesced_requests: u64,
+    /// This model's embedding-cache counters (`weight`/`budget` bytes).
+    pub embedding_cache: CacheStats,
+    /// This model's design-cache counters (`weight`/`budget` entries).
+    pub design_cache: CacheStats,
+}
+
+/// Aggregate service counters, with a per-model breakdown.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct ServiceStats {
-    /// Requests answered (including errors).
+    /// Requests answered (including errors, including requests that
+    /// failed before resolving a model).
     pub requests: u64,
     /// Requests that returned an error.
     pub errors: u64,
@@ -117,10 +174,25 @@ pub struct ServiceStats {
     /// Requests that waited on another request's in-flight computation
     /// instead of recomputing it.
     pub coalesced_requests: u64,
-    /// Embedding-cache counters (`weight`/`budget` in bytes).
+    /// Embedding-cache counters summed over models (`weight`/`budget` in
+    /// bytes).
     pub embedding_cache: CacheStats,
-    /// Design-cache counters (`weight`/`budget` in entries).
+    /// Design-cache counters summed over models (`weight`/`budget` in
+    /// entries).
     pub design_cache: CacheStats,
+    /// Per-model breakdown, sorted by serving name.
+    pub models: Vec<ModelStats>,
+}
+
+/// Sum two cache-counter snapshots (used for the cross-model aggregate).
+fn add_cache_stats(a: CacheStats, b: CacheStats) -> CacheStats {
+    CacheStats {
+        hits: a.hits + b.hits,
+        misses: a.misses + b.misses,
+        len: a.len + b.len,
+        weight: a.weight + b.weight,
+        budget: a.budget + b.budget,
+    }
 }
 
 /// The in-flight slot of one cold (design, workload, cycles) computation.
@@ -130,11 +202,15 @@ struct Flight {
     done: Condvar,
 }
 
-struct Shared {
+/// Everything one hosted model owns: weights, experiment config, caches,
+/// the single-flight map, and its counters.
+struct ModelState {
+    name: String,
+    format_version: u32,
+    config_fingerprint: u64,
     model: AtlasModel,
     experiment: ExperimentConfig,
     lib: Library,
-    cfg: ServiceConfig,
     embeddings: LruCache<TraceKey, TraceEmbeddings>,
     designs: LruCache<String, DesignArtifacts>,
     inflight: Mutex<HashMap<TraceKey, Arc<Flight>>>,
@@ -142,6 +218,54 @@ struct Shared {
     errors: AtomicU64,
     embeds_computed: AtomicU64,
     coalesced: AtomicU64,
+}
+
+impl ModelState {
+    fn new(name: String, saved: SavedModel, cfg: &ServiceConfig) -> ModelState {
+        let lib = saved.config.library();
+        ModelState {
+            name,
+            format_version: saved.header.format_version,
+            config_fingerprint: saved.header.config_fingerprint,
+            model: saved.model,
+            experiment: saved.config,
+            lib,
+            embeddings: LruCache::with_budget(cfg.embedding_cache_bytes),
+            designs: LruCache::new(cfg.design_cache),
+            inflight: Mutex::new(HashMap::new()),
+            requests: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            embeds_computed: AtomicU64::new(0),
+            coalesced: AtomicU64::new(0),
+        }
+    }
+
+    fn stats(&self) -> ModelStats {
+        ModelStats {
+            model: self.name.clone(),
+            requests: self.requests.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+            embeddings_computed: self.embeds_computed.load(Ordering::Relaxed),
+            coalesced_requests: self.coalesced.load(Ordering::Relaxed),
+            embedding_cache: self.embeddings.stats(),
+            design_cache: self.designs.stats(),
+        }
+    }
+}
+
+/// A schedule stored in the workload library.
+struct StoredWorkload {
+    phases: Vec<WorkloadPhase>,
+    fingerprint: u64,
+}
+
+struct Shared {
+    models: HashMap<String, Arc<ModelState>>,
+    default_model: String,
+    workloads: Mutex<HashMap<String, StoredWorkload>>,
+    cfg: ServiceConfig,
+    requests: AtomicU64,
+    errors: AtomicU64,
 }
 
 /// The reply type of one request: the response, or the echoed request id
@@ -194,29 +318,65 @@ pub struct AtlasService {
 }
 
 impl AtlasService {
-    /// Start a service from a registry-loaded model.
+    /// Start a single-model service from a registry-loaded model, served
+    /// under its registry name (which is also the default model). A file
+    /// whose header carries a name the catalog would reject (possible
+    /// via `ModelRegistry::load_file`, which accepts files from outside
+    /// any registry) is served under `default` instead.
     pub fn start(saved: SavedModel, cfg: ServiceConfig) -> AtlasService {
-        AtlasService::start_with(saved.model, saved.config, cfg)
+        let mut catalog = ModelCatalog::new();
+        let name = if ModelCatalog::valid_name(&saved.header.name) {
+            saved.header.name.clone()
+        } else {
+            "default".to_owned()
+        };
+        catalog
+            .insert(name, saved)
+            .expect("a validated or fallback name inserts into an empty catalog");
+        AtlasService::start_catalog(catalog, cfg).expect("one-model catalog is nonempty")
     }
 
-    /// Start a service from an in-memory model and its training config.
+    /// Start a single-model service from an in-memory model and its
+    /// training config, served under the name `default`.
     pub fn start_with(
         model: AtlasModel,
         experiment: ExperimentConfig,
         cfg: ServiceConfig,
     ) -> AtlasService {
-        let lib = experiment.library();
+        let mut catalog = ModelCatalog::new();
+        catalog
+            .insert_model("default", model, experiment)
+            .expect("`default` is a valid catalog name");
+        AtlasService::start_catalog(catalog, cfg).expect("one-model catalog is nonempty")
+    }
+
+    /// Start a service hosting every model of `catalog` behind one
+    /// worker pool. Each model gets its own embedding/design caches and
+    /// single-flight map, sized by `cfg`.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Registry`] when the catalog is empty.
+    pub fn start_catalog(
+        catalog: ModelCatalog,
+        cfg: ServiceConfig,
+    ) -> Result<AtlasService, ServeError> {
+        let (default_model, entries) = catalog
+            .into_entries()
+            .ok_or_else(|| ServeError::Registry("cannot serve an empty model catalog".into()))?;
+        let models: HashMap<String, Arc<ModelState>> = entries
+            .into_iter()
+            .map(|(name, saved)| {
+                let state = Arc::new(ModelState::new(name.clone(), saved, &cfg));
+                (name, state)
+            })
+            .collect();
         let shared = Arc::new(Shared {
-            model,
-            experiment,
-            lib,
-            embeddings: LruCache::with_budget(cfg.embedding_cache_bytes),
-            designs: LruCache::new(cfg.design_cache),
-            inflight: Mutex::new(HashMap::new()),
+            models,
+            default_model,
+            workloads: Mutex::new(HashMap::new()),
             requests: AtomicU64::new(0),
             errors: AtomicU64::new(0),
-            embeds_computed: AtomicU64::new(0),
-            coalesced: AtomicU64::new(0),
             cfg,
         });
         let queue = Arc::new(Queue {
@@ -230,11 +390,11 @@ impl AtlasService {
                 thread::spawn(move || worker_loop(&shared, &queue))
             })
             .collect();
-        AtlasService {
+        Ok(AtlasService {
             shared,
             queue,
             workers,
-        }
+        })
     }
 
     fn enqueue(&self, request: PredictRequest, reply: ReplySink) {
@@ -281,21 +441,136 @@ impl AtlasService {
         }
     }
 
-    /// Aggregate counters.
+    /// Aggregate counters plus the per-model breakdown.
     pub fn stats(&self) -> ServiceStats {
-        ServiceStats {
+        let mut models: Vec<ModelStats> = self.shared.models.values().map(|m| m.stats()).collect();
+        models.sort_by(|a, b| a.model.cmp(&b.model));
+        let mut stats = ServiceStats {
             requests: self.shared.requests.load(Ordering::Relaxed),
             errors: self.shared.errors.load(Ordering::Relaxed),
-            embeddings_computed: self.shared.embeds_computed.load(Ordering::Relaxed),
-            coalesced_requests: self.shared.coalesced.load(Ordering::Relaxed),
-            embedding_cache: self.shared.embeddings.stats(),
-            design_cache: self.shared.designs.stats(),
+            ..ServiceStats::default()
+        };
+        for m in &models {
+            stats.embeddings_computed += m.embeddings_computed;
+            stats.coalesced_requests += m.coalesced_requests;
+            stats.embedding_cache = add_cache_stats(stats.embedding_cache, m.embedding_cache);
+            stats.design_cache = add_cache_stats(stats.design_cache, m.design_cache);
         }
+        stats.models = models;
+        stats
     }
 
-    /// The experiment configuration the model was trained under.
+    /// Identity of every hosted model, sorted by serving name.
+    pub fn models(&self) -> Vec<ModelInfo> {
+        let mut infos: Vec<ModelInfo> = self
+            .shared
+            .models
+            .values()
+            .map(|m| ModelInfo {
+                name: m.name.clone(),
+                format_version: m.format_version,
+                config_fingerprint: m.config_fingerprint,
+            })
+            .collect();
+        infos.sort_by(|a, b| a.name.cmp(&b.name));
+        infos
+    }
+
+    /// Serving name of the default model (requests without a `model`
+    /// field route here).
+    pub fn default_model(&self) -> &str {
+        &self.shared.default_model
+    }
+
+    /// Store `phases` in the workload library under `name`, making it
+    /// referenceable from any later request's `workload_name` field.
+    /// Returns the stored summary and whether an existing schedule was
+    /// replaced (safe: cache entries are keyed by schedule fingerprint,
+    /// so a replaced schedule can never serve stale results).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::InvalidRequest`] for a bad name (empty, too long,
+    /// non `[A-Za-z0-9._-]`, or shadowing a preset), a bad schedule
+    /// (empty, over [`ServiceConfig::max_phases`], or failing
+    /// [`PhasedWorkload::try_new`] validation), or a full library.
+    pub fn register_workload(
+        &self,
+        name: &str,
+        phases: Vec<WorkloadPhase>,
+    ) -> Result<(RegisteredWorkload, bool), ServeError> {
+        let bad = |msg: String| ServeError::InvalidRequest(msg);
+        let name_ok = !name.is_empty()
+            && name.len() <= 64
+            && !name.starts_with('.')
+            && name
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || matches!(c, '-' | '_' | '.'));
+        if !name_ok {
+            return Err(bad(format!(
+                "bad workload name `{name}`: 1-64 chars of [A-Za-z0-9._-], not starting with `.`"
+            )));
+        }
+        if PhasedWorkload::preset(name, 0).is_some() {
+            return Err(bad(format!(
+                "workload name `{name}` shadows a built-in preset"
+            )));
+        }
+        if phases.len() > self.shared.cfg.max_phases {
+            return Err(bad(format!(
+                "schedule has {} phases, limit is {}",
+                phases.len(),
+                self.shared.cfg.max_phases
+            )));
+        }
+        // Validate the schedule exactly like an inline `phases` field.
+        PhasedWorkload::try_new(name, phases.clone(), 0)
+            .map_err(|e| bad(format!("bad schedule: {e}")))?;
+        let fingerprint = schedule_fingerprint(&phases);
+        let mut library = self.shared.workloads.lock().expect("workload lock");
+        if !library.contains_key(name) && library.len() >= self.shared.cfg.max_registered_workloads
+        {
+            return Err(bad(format!(
+                "workload library is full ({} schedules)",
+                library.len()
+            )));
+        }
+        let summary = RegisteredWorkload {
+            name: name.to_owned(),
+            phases: phases.len(),
+            fingerprint,
+        };
+        let replaced = library
+            .insert(
+                name.to_owned(),
+                StoredWorkload {
+                    phases,
+                    fingerprint,
+                },
+            )
+            .is_some();
+        Ok((summary, replaced))
+    }
+
+    /// Every registered schedule, sorted by name.
+    pub fn workloads(&self) -> Vec<RegisteredWorkload> {
+        let library = self.shared.workloads.lock().expect("workload lock");
+        let mut all: Vec<RegisteredWorkload> = library
+            .iter()
+            .map(|(name, w)| RegisteredWorkload {
+                name: name.clone(),
+                phases: w.phases.len(),
+                fingerprint: w.fingerprint,
+            })
+            .collect();
+        all.sort_by(|a, b| a.name.cmp(&b.name));
+        all
+    }
+
+    /// The experiment configuration the **default** model was trained
+    /// under.
     pub fn experiment(&self) -> &ExperimentConfig {
-        &self.shared.experiment
+        &self.shared.models[&self.shared.default_model].experiment
     }
 }
 
@@ -341,15 +616,44 @@ fn worker_loop(shared: &Shared, queue: &Queue) {
     }
 }
 
-/// Build the request's workload: an inline schedule when `phases` is
-/// present, a preset lookup otherwise.
-fn request_workload(
-    shared: &Shared,
-    request: &PredictRequest,
-    seed: u64,
-) -> Result<PhasedWorkload, ServeError> {
-    match &request.phases {
-        Some(phases) => {
+/// The request's workload, resolved to either a preset name or a concrete
+/// phase schedule (inline or from the library) before any cache is
+/// touched — so error paths are uniform regardless of cache state, and an
+/// unknown `workload_name` is a structured [`ServeError::UnknownWorkload`]
+/// (with the request id preserved by the reply plumbing), never a generic
+/// parse error.
+enum WorkloadSpec {
+    Preset(String),
+    Schedule {
+        label: String,
+        phases: Vec<WorkloadPhase>,
+        fingerprint: u64,
+    },
+}
+
+impl WorkloadSpec {
+    fn label(&self) -> &str {
+        match self {
+            WorkloadSpec::Preset(name) => name,
+            WorkloadSpec::Schedule { label, .. } => label,
+        }
+    }
+
+    fn fingerprint(&self) -> u64 {
+        match self {
+            WorkloadSpec::Preset(_) => 0,
+            WorkloadSpec::Schedule { fingerprint, .. } => *fingerprint,
+        }
+    }
+}
+
+fn resolve_workload(shared: &Shared, request: &PredictRequest) -> Result<WorkloadSpec, ServeError> {
+    let bad = |msg: &str| ServeError::InvalidRequest(msg.to_owned());
+    match (&request.phases, &request.workload_name) {
+        (Some(_), Some(_)) => Err(bad(
+            "a request cannot carry both `phases` and `workload_name`",
+        )),
+        (Some(phases), None) => {
             if phases.len() > shared.cfg.max_phases {
                 return Err(ServeError::InvalidRequest(format!(
                     "inline schedule has {} phases, limit is {}",
@@ -357,10 +661,49 @@ fn request_workload(
                     shared.cfg.max_phases
                 )));
             }
-            PhasedWorkload::try_new(request.workload.clone(), phases.clone(), seed)
+            let label = request
+                .workload
+                .clone()
+                .ok_or_else(|| bad("an inline schedule needs a `workload` label"))?;
+            let fingerprint = schedule_fingerprint(phases);
+            Ok(WorkloadSpec::Schedule {
+                label,
+                phases: phases.clone(),
+                fingerprint,
+            })
+        }
+        (None, Some(name)) => {
+            let library = shared.workloads.lock().expect("workload lock");
+            match library.get(name) {
+                Some(stored) => Ok(WorkloadSpec::Schedule {
+                    label: name.clone(),
+                    phases: stored.phases.clone(),
+                    fingerprint: stored.fingerprint,
+                }),
+                None => Err(ServeError::UnknownWorkload(name.clone())),
+            }
+        }
+        (None, None) => match &request.workload {
+            Some(name) => Ok(WorkloadSpec::Preset(name.clone())),
+            None => Err(bad(
+                "a request must name a `workload`, a `workload_name`, or carry `phases`",
+            )),
+        },
+    }
+}
+
+/// Build the simulation stimulus for a resolved workload.
+fn build_workload(
+    state: &ModelState,
+    spec: &WorkloadSpec,
+    seed: u64,
+) -> Result<PhasedWorkload, ServeError> {
+    match spec {
+        WorkloadSpec::Preset(name) => Ok(state.experiment.try_workload(name, seed)?),
+        WorkloadSpec::Schedule { label, phases, .. } => {
+            PhasedWorkload::try_new(label.clone(), phases.clone(), seed)
                 .map_err(|e| ServeError::InvalidRequest(format!("bad inline schedule: {e}")))
         }
-        None => Ok(shared.experiment.try_workload(&request.workload, seed)?),
     }
 }
 
@@ -374,7 +717,7 @@ enum FlightRole {
 /// stranded — even if the leader's computation panics, they observe a
 /// typed error instead of hanging.
 struct FlightGuard<'a> {
-    shared: &'a Shared,
+    state: &'a ModelState,
     key: &'a TraceKey,
     flight: &'a Arc<Flight>,
     resolved: bool,
@@ -387,7 +730,7 @@ impl FlightGuard<'_> {
     }
 
     fn publish(&self, outcome: Result<Arc<TraceEmbeddings>, ServeError>) {
-        self.shared
+        self.state
             .inflight
             .lock()
             .expect("inflight lock")
@@ -407,8 +750,9 @@ impl Drop for FlightGuard<'_> {
     }
 }
 
+/// Validate, route to a model, and answer one request, attributing the
+/// outcome to the model's counters.
 fn handle(shared: &Shared, request: &PredictRequest) -> Result<PredictResponse, ServeError> {
-    let started = Instant::now();
     if request.cycles == 0 {
         return Err(ServeError::InvalidRequest("cycles must be positive".into()));
     }
@@ -418,23 +762,44 @@ fn handle(shared: &Shared, request: &PredictRequest) -> Result<PredictResponse, 
             request.cycles, shared.cfg.max_cycles
         )));
     }
-    // Validate the names before touching any cache so error paths are
-    // uniform regardless of cache state.
-    let design_cfg = shared.experiment.try_design(&request.design)?;
+    let name = request.model.as_deref().unwrap_or(&shared.default_model);
+    let state = shared
+        .models
+        .get(name)
+        .ok_or_else(|| ServeError::UnknownModel(name.to_owned()))?;
+    let result = handle_on_model(shared, state, request);
+    state.requests.fetch_add(1, Ordering::Relaxed);
+    if result.is_err() {
+        state.errors.fetch_add(1, Ordering::Relaxed);
+    }
+    result
+}
+
+/// Answer one request on a resolved model.
+fn handle_on_model(
+    shared: &Shared,
+    state: &ModelState,
+    request: &PredictRequest,
+) -> Result<PredictResponse, ServeError> {
+    let started = Instant::now();
+    // Resolve names before touching any cache so error paths are uniform
+    // regardless of cache state.
+    let design_cfg = state.experiment.try_design(&request.design)?;
+    let spec = resolve_workload(shared, request)?;
 
     let key = TraceKey {
         design: request.design.clone(),
-        workload: request.workload.clone(),
+        workload: spec.label().to_owned(),
         cycles: request.cycles,
-        schedule_fp: request.phases.as_deref().map_or(0, schedule_fingerprint),
+        schedule_fp: spec.fingerprint(),
     };
-    let (embeddings, cache_hit, design_cache_hit) = match shared.embeddings.get(&key) {
+    let (embeddings, cache_hit, design_cache_hit) = match state.embeddings.get(&key) {
         Some(embeddings) => {
             // Fully warm: stage one and two both skipped. Validate the
             // workload anyway so a cached entry never masks a bad request
             // (it cannot be cached under an invalid workload, but the
             // check is cheap and keeps the invariant obvious).
-            request_workload(shared, request, design_cfg.seed)?;
+            build_workload(state, &spec, design_cfg.seed)?;
             (embeddings, true, true)
         }
         None => {
@@ -444,7 +809,7 @@ fn handle(shared: &Shared, request: &PredictRequest) -> Result<PredictResponse, 
             // never deadlock the pool — a leader only exists once it is
             // already running on a worker, so it always makes progress.
             let role = {
-                let mut inflight = shared.inflight.lock().expect("inflight lock");
+                let mut inflight = state.inflight.lock().expect("inflight lock");
                 match inflight.get(&key) {
                     Some(flight) => FlightRole::Follower(Arc::clone(flight)),
                     None => {
@@ -459,7 +824,7 @@ fn handle(shared: &Shared, request: &PredictRequest) -> Result<PredictResponse, 
             };
             match role {
                 FlightRole::Follower(flight) => {
-                    shared.coalesced.fetch_add(1, Ordering::Relaxed);
+                    state.coalesced.fetch_add(1, Ordering::Relaxed);
                     let mut slot = flight.result.lock().expect("flight lock");
                     while slot.is_none() {
                         slot = flight.done.wait(slot).expect("flight lock");
@@ -472,19 +837,20 @@ fn handle(shared: &Shared, request: &PredictRequest) -> Result<PredictResponse, 
                 }
                 FlightRole::Leader(flight) => {
                     let guard = FlightGuard {
-                        shared,
+                        state,
                         key: &key,
                         flight: &flight,
                         resolved: false,
                     };
                     // Re-check the cache: between the miss and leadership
                     // another leader may have finished and populated it.
-                    if let Some(embeddings) = shared.embeddings.get(&key) {
+                    if let Some(embeddings) = state.embeddings.get(&key) {
                         guard.resolve(Ok(Arc::clone(&embeddings)));
-                        request_workload(shared, request, design_cfg.seed)?;
+                        build_workload(state, &spec, design_cfg.seed)?;
                         (embeddings, true, true)
                     } else {
-                        let outcome = compute_embeddings(shared, request, &design_cfg, &key);
+                        let outcome =
+                            compute_embeddings(shared, state, request, &spec, &design_cfg, &key);
                         match outcome {
                             Ok((embeddings, design_cache_hit)) => {
                                 guard.resolve(Ok(Arc::clone(&embeddings)));
@@ -501,10 +867,12 @@ fn handle(shared: &Shared, request: &PredictRequest) -> Result<PredictResponse, 
         }
     };
 
-    let trace = shared.model.predict_from_embeddings(&embeddings);
+    let trace = state.model.predict_from_embeddings(&embeddings);
     let latency_ms = started.elapsed().as_secs_f64() * 1e3;
     Ok(summarize(
         request,
+        &state.name,
+        spec.label(),
         &trace,
         cache_hit,
         design_cache_hit,
@@ -516,18 +884,20 @@ fn handle(shared: &Shared, request: &PredictRequest) -> Result<PredictResponse, 
 /// run the encoder, and admit the result against the byte budget.
 fn compute_embeddings(
     shared: &Shared,
+    state: &ModelState,
     request: &PredictRequest,
+    spec: &WorkloadSpec,
     design_cfg: &atlas_designs::DesignConfig,
     key: &TraceKey,
 ) -> Result<(Arc<TraceEmbeddings>, bool), ServeError> {
-    let mut workload = request_workload(shared, request, design_cfg.seed)?;
-    let (artifacts, design_cache_hit) = match shared.designs.get(&request.design) {
+    let mut workload = build_workload(state, spec, design_cfg.seed)?;
+    let (artifacts, design_cache_hit) = match state.designs.get(&request.design) {
         Some(artifacts) => (artifacts, true),
         None => {
             let gate = design_cfg.generate();
-            let data = build_submodule_data(&gate, &shared.lib);
+            let data = build_submodule_data(&gate, &state.lib);
             let artifacts = Arc::new(DesignArtifacts { gate, data });
-            shared
+            state
                 .designs
                 .insert(request.design.clone(), Arc::clone(&artifacts));
             (artifacts, false)
@@ -535,18 +905,18 @@ fn compute_embeddings(
     };
     let trace = simulate(&artifacts.gate, &mut workload, request.cycles)
         .map_err(|e| ServeError::Simulation(e.to_string()))?;
-    let embeddings = Arc::new(shared.model.embed_trace(
+    let embeddings = Arc::new(state.model.embed_trace(
         &artifacts.gate,
-        &shared.lib,
+        &state.lib,
         &artifacts.data,
         &trace,
         shared.cfg.embed_threads,
     ));
-    shared.embeds_computed.fetch_add(1, Ordering::Relaxed);
+    state.embeds_computed.fetch_add(1, Ordering::Relaxed);
     // An embedding bigger than the whole budget is rejected by the cache
     // (served once, never resident); everything else evicts LRU entries
     // until it fits.
-    let _ = shared.embeddings.insert_weighted(
+    let _ = state.embeddings.insert_weighted(
         key.clone(),
         Arc::clone(&embeddings),
         embeddings.approx_bytes(),
@@ -591,6 +961,7 @@ mod tests {
         assert!(!cold.cache_hit);
         assert!(!cold.design_cache_hit);
         assert_eq!(cold.cycles, 8);
+        assert_eq!(cold.model, "default");
         assert_eq!(cold.per_cycle_total_w.len(), 8);
         assert!(cold.mean_total_w > 0.0);
 
@@ -628,6 +999,11 @@ mod tests {
         assert_eq!(stats.embedding_cache.len, 2);
         assert!(stats.embedding_cache.weight > 0);
         assert!(stats.embedding_cache.weight <= stats.embedding_cache.budget);
+        // Single model: the per-model slice equals the aggregate.
+        assert_eq!(stats.models.len(), 1);
+        assert_eq!(stats.models[0].model, "default");
+        assert_eq!(stats.models[0].requests, 3);
+        assert_eq!(stats.models[0].embedding_cache, stats.embedding_cache);
     }
 
     #[test]
@@ -765,6 +1141,277 @@ mod tests {
             ],
         ));
         assert!(matches!(too_many, Err(ServeError::InvalidRequest(_))));
+        // An inline schedule without a label is a typed error too.
+        let mut unlabelled = PredictRequest::with_phases(
+            "C2",
+            "x",
+            8,
+            vec![WorkloadPhase {
+                activity: 0.1,
+                min_len: 1,
+                max_len: 2,
+            }],
+        );
+        unlabelled.workload = None;
+        assert!(matches!(
+            service.call(unlabelled),
+            Err(ServeError::InvalidRequest(_))
+        ));
+    }
+
+    #[test]
+    fn registered_workloads_serve_by_name_with_cache_hits() {
+        let cfg = micro_config();
+        let trained = train_atlas(&cfg);
+        let service = AtlasService::start_with(
+            trained.model,
+            cfg,
+            ServiceConfig {
+                workers: 1,
+                ..ServiceConfig::default()
+            },
+        );
+        let phases = vec![
+            WorkloadPhase {
+                activity: 0.5,
+                min_len: 2,
+                max_len: 5,
+            },
+            WorkloadPhase {
+                activity: 0.02,
+                min_len: 3,
+                max_len: 9,
+            },
+        ];
+
+        // Register once...
+        let (info, replaced) = service
+            .register_workload("bursty", phases.clone())
+            .expect("registers");
+        assert!(!replaced);
+        assert_eq!(info.name, "bursty");
+        assert_eq!(info.phases, 2);
+        assert_eq!(info.fingerprint, schedule_fingerprint(&phases));
+        assert_eq!(service.workloads(), vec![info.clone()]);
+
+        // ...then reference it by name across requests: first cold, then
+        // a cache hit.
+        let req = PredictRequest::with_workload_name("C2", "bursty", 8);
+        let cold = service.call(req.clone()).expect("registered request");
+        assert!(!cold.cache_hit);
+        assert_eq!(cold.workload, "bursty");
+        let warm = service.call(req).expect("registered repeat");
+        assert!(warm.cache_hit, "second use of a registered name must hit");
+        assert_eq!(warm.per_cycle_total_w, cold.per_cycle_total_w);
+
+        // A registered schedule and the identical inline schedule share a
+        // cache entry only when labels match; here the labels differ
+        // ("bursty" vs "inline-label"), so the entry is distinct, but the
+        // same label + schedule does share.
+        let inline_same = service
+            .call(PredictRequest::with_phases(
+                "C2",
+                "bursty",
+                8,
+                phases.clone(),
+            ))
+            .expect("inline twin");
+        assert!(
+            inline_same.cache_hit,
+            "inline schedule identical to the registered one (same label) shares the entry"
+        );
+
+        // Replacing the schedule under the same name is allowed, flagged,
+        // and can never serve stale results (different fingerprint).
+        let mut phases2 = phases.clone();
+        phases2[0].activity = 0.9;
+        let (info2, replaced) = service
+            .register_workload("bursty", phases2)
+            .expect("re-registers");
+        assert!(replaced);
+        assert_ne!(info2.fingerprint, info.fingerprint);
+        let after = service
+            .call(PredictRequest::with_workload_name("C2", "bursty", 8))
+            .expect("post-replacement request");
+        assert!(
+            !after.cache_hit,
+            "replaced schedule must not reuse old entry"
+        );
+        assert_ne!(after.per_cycle_total_w, cold.per_cycle_total_w);
+
+        // Validation: bad names, preset shadowing, bad schedules, both
+        // phases and workload_name at once.
+        assert!(matches!(
+            service.register_workload("", vec![]),
+            Err(ServeError::InvalidRequest(_))
+        ));
+        assert!(matches!(
+            service.register_workload("W1", phases.clone()),
+            Err(ServeError::InvalidRequest(_))
+        ));
+        assert!(matches!(
+            service.register_workload("x/y", phases.clone()),
+            Err(ServeError::InvalidRequest(_))
+        ));
+        assert!(matches!(
+            service.register_workload("bad", vec![]),
+            Err(ServeError::InvalidRequest(_))
+        ));
+        let mut both = PredictRequest::with_workload_name("C2", "bursty", 8);
+        both.phases = Some(phases);
+        assert!(matches!(
+            service.call(both),
+            Err(ServeError::InvalidRequest(_))
+        ));
+    }
+
+    #[test]
+    fn unknown_workload_name_is_structured_and_preserves_the_id() {
+        let cfg = micro_config();
+        let trained = train_atlas(&cfg);
+        let service = AtlasService::start_with(
+            trained.model,
+            cfg,
+            ServiceConfig {
+                workers: 1,
+                ..ServiceConfig::default()
+            },
+        );
+        // Direct call: a typed UnknownWorkload, not a parse error.
+        let mut req = PredictRequest::with_workload_name("C2", "never-registered", 8);
+        req.id = Some(42);
+        assert_eq!(
+            service.call(req.clone()),
+            Err(ServeError::UnknownWorkload("never-registered".into()))
+        );
+        // Through the submit path the reply tuple carries the id, so the
+        // wire layer can echo it.
+        let reply = service.submit(req).recv().expect("reply");
+        assert_eq!(
+            reply,
+            Err((
+                Some(42),
+                ServeError::UnknownWorkload("never-registered".into())
+            ))
+        );
+        // Unknown preset names keep their id the same way.
+        let mut preset = PredictRequest::new("C2", "W9", 8);
+        preset.id = Some(43);
+        let reply = service.submit(preset).recv().expect("reply");
+        assert_eq!(
+            reply,
+            Err((Some(43), ServeError::UnknownWorkload("W9".into())))
+        );
+    }
+
+    #[test]
+    fn workload_library_is_bounded() {
+        let cfg = micro_config();
+        let trained = train_atlas(&cfg);
+        let service = AtlasService::start_with(
+            trained.model,
+            cfg,
+            ServiceConfig {
+                workers: 1,
+                max_registered_workloads: 2,
+                ..ServiceConfig::default()
+            },
+        );
+        let phase = vec![WorkloadPhase {
+            activity: 0.2,
+            min_len: 1,
+            max_len: 2,
+        }];
+        service.register_workload("a", phase.clone()).expect("a");
+        service.register_workload("b", phase.clone()).expect("b");
+        assert!(matches!(
+            service.register_workload("c", phase.clone()),
+            Err(ServeError::InvalidRequest(_))
+        ));
+        // Replacing an existing name still works at the cap.
+        let (_, replaced) = service.register_workload("a", phase).expect("replace");
+        assert!(replaced);
+        assert_eq!(service.workloads().len(), 2);
+    }
+
+    #[test]
+    fn multi_model_routing_is_isolated_and_parity_holds() {
+        let cfg = micro_config();
+        let trained = train_atlas(&cfg);
+        let mut catalog = ModelCatalog::new();
+        catalog
+            .insert_model("alpha", trained.model.clone(), cfg.clone())
+            .expect("alpha");
+        catalog
+            .insert_model("beta", trained.model.clone(), cfg.clone())
+            .expect("beta");
+        let service = AtlasService::start_catalog(
+            catalog,
+            ServiceConfig {
+                workers: 2,
+                ..ServiceConfig::default()
+            },
+        )
+        .expect("catalog serves");
+        assert_eq!(service.default_model(), "alpha");
+        let models = service.models();
+        assert_eq!(models.len(), 2);
+        assert_eq!(models[0].name, "alpha");
+        assert_eq!(models[1].name, "beta");
+        assert_eq!(models[0].config_fingerprint, models[1].config_fingerprint);
+
+        // Parity: the same request is bit-identical whether the model is
+        // addressed as the default or by name.
+        let implicit = service
+            .call(PredictRequest::new("C2", "W1", 8))
+            .expect("default-addressed");
+        assert_eq!(implicit.model, "alpha");
+        let explicit = service
+            .call(PredictRequest::new("C2", "W1", 8).on_model("alpha"))
+            .expect("name-addressed");
+        assert_eq!(explicit.model, "alpha");
+        assert_eq!(explicit.per_cycle_total_w, implicit.per_cycle_total_w);
+        assert!(explicit.cache_hit, "both routes share the model's cache");
+
+        // The second model computes its own embedding (no cross-model
+        // cache sharing) but produces identical numbers for identical
+        // weights.
+        let beta = service
+            .call(PredictRequest::new("C2", "W1", 8).on_model("beta"))
+            .expect("beta-addressed");
+        assert_eq!(beta.model, "beta");
+        assert!(!beta.cache_hit, "models do not share cache entries");
+        assert_eq!(beta.per_cycle_total_w, implicit.per_cycle_total_w);
+
+        // Per-model accounting: each model holds exactly its own entry.
+        let stats = service.stats();
+        assert_eq!(stats.models.len(), 2);
+        let alpha = &stats.models[0];
+        let beta_stats = &stats.models[1];
+        assert_eq!(alpha.model, "alpha");
+        assert_eq!(alpha.requests, 2);
+        assert_eq!(alpha.embeddings_computed, 1);
+        assert_eq!(alpha.embedding_cache.len, 1);
+        assert_eq!(beta_stats.model, "beta");
+        assert_eq!(beta_stats.requests, 1);
+        assert_eq!(beta_stats.embeddings_computed, 1);
+        assert_eq!(beta_stats.embedding_cache.len, 1);
+        // Aggregates are the sums.
+        assert_eq!(stats.embeddings_computed, 2);
+        assert_eq!(stats.embedding_cache.len, 2);
+        assert_eq!(
+            stats.embedding_cache.weight,
+            alpha.embedding_cache.weight + beta_stats.embedding_cache.weight
+        );
+
+        // Unknown model: typed error with the id preserved.
+        let mut req = PredictRequest::new("C2", "W1", 8).on_model("gamma");
+        req.id = Some(7);
+        let reply = service.submit(req).recv().expect("reply");
+        assert_eq!(
+            reply,
+            Err((Some(7), ServeError::UnknownModel("gamma".into())))
+        );
     }
 
     #[test]

@@ -52,6 +52,8 @@ mod vcd;
 
 pub use bitgrid::BitGrid;
 pub use simulator::{simulate, SimError, Simulator};
-pub use stimulus::{ConstantWorkload, PhasedWorkload, Stimulus, VectorStimulus, WorkloadPhase};
+pub use stimulus::{
+    schedule_fingerprint, ConstantWorkload, PhasedWorkload, Stimulus, VectorStimulus, WorkloadPhase,
+};
 pub use trace::ToggleTrace;
 pub use vcd::write_vcd;

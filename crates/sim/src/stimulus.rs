@@ -36,6 +36,29 @@ pub struct WorkloadPhase {
     pub max_len: usize,
 }
 
+/// FNV-1a fingerprint of a phase schedule, used as a cache-key component
+/// wherever schedules are looked up (the serve layer's embedding cache,
+/// its server-side workload library). Two schedules share a fingerprint
+/// exactly when their phase parameters are bit-identical.
+///
+/// Never returns 0, so callers can reserve 0 to mean "preset workload,
+/// no explicit schedule".
+pub fn schedule_fingerprint(phases: &[WorkloadPhase]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut mix = |v: u64| {
+        for byte in v.to_le_bytes() {
+            h ^= u64::from(byte);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    for p in phases {
+        mix(p.activity.to_bits());
+        mix(p.min_len as u64);
+        mix(p.max_len as u64);
+    }
+    h.max(1)
+}
+
 /// Phase-structured random stimulus: activity moves through bursts,
 /// steady compute, and near-idle stretches, producing realistic per-cycle
 /// power fluctuation (the reason time-based power analysis matters —
@@ -171,6 +194,16 @@ impl PhasedWorkload {
             "W2" => Some(PhasedWorkload::w2(seed)),
             _ => None,
         }
+    }
+
+    /// Names accepted by [`PhasedWorkload::preset`], in a stable order.
+    pub fn preset_names() -> &'static [&'static str] {
+        &["W1", "W2"]
+    }
+
+    /// The phase schedule this workload cycles through.
+    pub fn phases(&self) -> &[WorkloadPhase] {
+        &self.phases
     }
 }
 
@@ -350,6 +383,28 @@ mod tests {
         assert!(PhasedWorkload::preset("W2", 0).is_some());
         assert!(PhasedWorkload::preset("W9", 0).is_none());
         assert_eq!(PhasedWorkload::w1(0).name(), "W1");
+        for name in PhasedWorkload::preset_names() {
+            assert!(PhasedWorkload::preset(name, 0).is_some());
+        }
+    }
+
+    #[test]
+    fn schedule_fingerprints_distinguish_schedules() {
+        let a = vec![WorkloadPhase {
+            activity: 0.4,
+            min_len: 2,
+            max_len: 6,
+        }];
+        let mut b = a.clone();
+        b[0].activity = 0.5;
+        assert_eq!(schedule_fingerprint(&a), schedule_fingerprint(&a));
+        assert_ne!(schedule_fingerprint(&a), schedule_fingerprint(&b));
+        // 0 is reserved for "preset": even the empty schedule avoids it.
+        assert_ne!(schedule_fingerprint(&[]), 0);
+        assert_ne!(schedule_fingerprint(&a), 0);
+        // The schedule is observable back through the workload.
+        let w = PhasedWorkload::new("x", a.clone(), 7);
+        assert_eq!(w.phases(), a.as_slice());
     }
 
     #[test]

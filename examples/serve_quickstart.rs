@@ -1,18 +1,20 @@
 //! Serving quick start: train a small ATLAS, persist it to a model
-//! registry, start the in-process service, and fire concurrent requests.
+//! registry, serve it under **two names** behind one service, register a
+//! server-side workload, and fire concurrent requests.
 //!
 //! ```text
 //! cargo run --release --example serve_quickstart
 //! ```
 //!
 //! The same service is what the `serve` binary exposes over
-//! stdin/stdout or TCP as JSON lines; see README.md §Serving.
+//! stdin/stdout or TCP as JSON lines; see docs/PROTOCOL.md for the wire
+//! reference and docs/ARCHITECTURE.md for the request lifecycle.
 
 use std::sync::Arc;
 
 use atlas::core::pipeline::{train_atlas, ExperimentConfig};
 use atlas::sim::WorkloadPhase;
-use atlas_serve::{AtlasService, ModelRegistry, PredictRequest, ServiceConfig};
+use atlas_serve::{AtlasService, ModelCatalog, ModelRegistry, PredictRequest, ServiceConfig};
 
 fn main() {
     // 1. Train at quick scale (a few minutes of CPU at most).
@@ -27,23 +29,44 @@ fn main() {
         trained.timing.prepare_s, trained.timing.pretrain_s, trained.timing.finetune_s
     );
 
-    // 2. Persist to a registry and load back — the file a production
+    // 2. Persist to a registry — the file a production
     //    `serve --registry ... --model quickstart` invocation would read.
     let registry = ModelRegistry::open("target/registry").expect("registry opens");
     let path = registry
         .save("quickstart", &trained.model, &cfg)
         .expect("model saves");
     println!("saved model to {}", path.display());
-    let saved = registry.load("quickstart").expect("model loads");
 
-    // 3. Serve. Four workers, default cache sizes.
-    let service = Arc::new(AtlasService::start(
-        saved,
-        ServiceConfig {
-            workers: 4,
-            ..ServiceConfig::default()
-        },
-    ));
+    // 3. Serve it under two names behind one front door (the shape a
+    //    stable/canary rollout takes: `--model stable=quickstart
+    //    --model canary=quickstart`). Requests without a `model` field
+    //    route to the default (first) entry.
+    let mut catalog = ModelCatalog::new();
+    catalog
+        .load_spec(&registry, "stable=quickstart")
+        .expect("stable loads");
+    catalog
+        .load_spec(&registry, "canary=quickstart")
+        .expect("canary loads");
+    let service = Arc::new(
+        AtlasService::start_catalog(
+            catalog,
+            ServiceConfig {
+                workers: 4,
+                ..ServiceConfig::default()
+            },
+        )
+        .expect("catalog serves"),
+    );
+    println!(
+        "hosting models: {:?} (default `{}`)",
+        service
+            .models()
+            .iter()
+            .map(|m| m.name.clone())
+            .collect::<Vec<_>>(),
+        service.default_model()
+    );
 
     // 4. Fire concurrent requests: the unseen designs C2/C4 under both
     //    workloads, twice each — the second round hits the cache.
@@ -77,30 +100,56 @@ fn main() {
         });
     }
 
-    // 5. A user-defined workload: an inline phase schedule instead of the
-    //    W1/W2 presets (the same shape the wire protocol accepts in the
-    //    `phases` field).
-    let bursty = PredictRequest::with_phases(
-        "C2",
-        "bursty",
-        64,
-        vec![
-            WorkloadPhase {
-                activity: 0.55,
-                min_len: 4,
-                max_len: 10,
-            },
-            WorkloadPhase {
-                activity: 0.03,
-                min_len: 20,
-                max_len: 40,
-            },
-        ],
-    );
+    // 5. A user-defined workload, two ways. Inline: the schedule rides in
+    //    the request's `phases` field. Registered: store it once under a
+    //    name (`register_workload` on the wire), then reference it from
+    //    any request — the second use below is a cache hit.
+    let schedule = vec![
+        WorkloadPhase {
+            activity: 0.55,
+            min_len: 4,
+            max_len: 10,
+        },
+        WorkloadPhase {
+            activity: 0.03,
+            min_len: 20,
+            max_len: 40,
+        },
+    ];
+    let bursty = PredictRequest::with_phases("C2", "bursty", 64, schedule.clone());
     let resp = service.call(bursty).expect("inline workload serves");
     println!(
         "\n[inline] {}/{}: mean {:.4} W, peak {:.4} W",
         resp.design, resp.workload, resp.mean_total_w, resp.peak_total_w
+    );
+
+    let (registered, _replaced) = service
+        .register_workload("bursty-lib", schedule)
+        .expect("workload registers");
+    println!(
+        "registered workload `{}` ({} phases, fingerprint {:#x})",
+        registered.name, registered.phases, registered.fingerprint
+    );
+    for round in ["cold", "warm"] {
+        let resp = service
+            .call(PredictRequest::with_workload_name("C4", "bursty-lib", 64))
+            .expect("registered workload serves");
+        println!(
+            "[registered {round}] {}/{}: mean {:.4} W{}",
+            resp.design,
+            resp.workload,
+            resp.mean_total_w,
+            if resp.cache_hit { " (cache hit)" } else { "" },
+        );
+    }
+
+    // 6. A model-addressed request: same key, explicitly on the canary.
+    let resp = service
+        .call(PredictRequest::new("C2", "W1", 64).on_model("canary"))
+        .expect("canary serves");
+    println!(
+        "\n[canary] {}/{} on `{}`: mean {:.4} W",
+        resp.design, resp.workload, resp.model, resp.mean_total_w
     );
 
     let stats = service.stats();
@@ -115,4 +164,10 @@ fn main() {
         stats.embedding_cache.weight,
         stats.embedding_cache.budget,
     );
+    for m in &stats.models {
+        println!(
+            "  model `{}`: {} requests, cache {} entries / {} bytes",
+            m.model, m.requests, m.embedding_cache.len, m.embedding_cache.weight
+        );
+    }
 }

@@ -8,9 +8,11 @@ use atlas_core::features::build_submodule_data;
 use atlas_core::pipeline::{train_atlas, ExperimentConfig};
 use atlas_power::PowerTrace;
 use atlas_serve::{
-    AtlasService, ModelRegistry, PredictRequest, RegistryError, ServiceConfig, FORMAT_VERSION,
+    AtlasService, ModelCatalog, ModelRegistry, PredictRequest, RegistryError, ServiceConfig,
+    FORMAT_VERSION,
 };
 use atlas_sim::simulate;
+use atlas_sim::WorkloadPhase;
 
 /// A configuration small enough to train inside the test suite.
 fn micro_config() -> ExperimentConfig {
@@ -94,13 +96,8 @@ fn registry_roundtrip_and_concurrent_serving() {
                 let service = Arc::clone(&service);
                 let (design, workload, cycles) = cases[i % cases.len()].clone();
                 scope.spawn(move || {
-                    let req = PredictRequest {
-                        id: Some(i as u64),
-                        design,
-                        workload,
-                        cycles,
-                        phases: None,
-                    };
+                    let mut req = PredictRequest::new(design, workload, cycles);
+                    req.id = Some(i as u64);
                     (req.clone(), service.call(req).expect("request succeeds"))
                 })
             })
@@ -116,13 +113,13 @@ fn registry_roundtrip_and_concurrent_serving() {
     for (req, resp) in &responses {
         assert_eq!(resp.id, req.id);
         assert_eq!(resp.cycles, 10);
-        let direct = direct_prediction(&cfg, &trained.model, &req.design, &req.workload, 10);
+        let workload = req.workload.as_deref().expect("preset requests have one");
+        let direct = direct_prediction(&cfg, &trained.model, &req.design, workload, 10);
         assert_eq!(
             resp.per_cycle_total_w,
             direct.total_series(),
-            "served prediction diverged from direct prediction for {}/{}",
+            "served prediction diverged from direct prediction for {}/{workload}",
             req.design,
-            req.workload
         );
         assert!(resp.mean_total_w > 0.0);
     }
@@ -198,6 +195,175 @@ fn registry_rejects_incompatible_files() {
         registry.load("nope").err(),
         Some(RegistryError::NotFound("nope".to_owned()))
     );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The multi-model acceptance test: one `serve` process hosts two named
+/// models loaded through the registry, routes `model`-addressed requests
+/// with bit-identical parity to default addressing, shares a registered
+/// workload across models by name with cache hits, and reports per-model
+/// cache occupancy in `stats`.
+#[test]
+fn catalog_hosts_multiple_models_with_routing_parity() {
+    let cfg = micro_config();
+    let trained = train_atlas(&cfg);
+    let dir = scratch_registry("catalog");
+    let registry = ModelRegistry::open(&dir).expect("registry opens");
+    registry.save("v1", &trained.model, &cfg).expect("v1 saves");
+    let v2_path = registry.save("v2", &trained.model, &cfg).expect("v2 saves");
+
+    // Build the catalog the way the serve binary does: one spec per
+    // --model flag, mixing registry names and explicit file paths.
+    let mut catalog = ModelCatalog::new();
+    assert_eq!(
+        catalog.load_spec(&registry, "stable=v1").expect("spec 1"),
+        "stable"
+    );
+    let spec = format!("canary={}", v2_path.display());
+    assert_eq!(
+        catalog.load_spec(&registry, &spec).expect("spec 2"),
+        "canary"
+    );
+    assert_eq!(catalog.names(), vec!["stable", "canary"]);
+    assert_eq!(catalog.default_model(), Some("stable"));
+
+    let service = AtlasService::start_catalog(
+        catalog,
+        ServiceConfig {
+            workers: 2,
+            ..ServiceConfig::default()
+        },
+    )
+    .expect("catalog serves");
+
+    // Parity: default-addressed, name-addressed, and direct predictions
+    // are bit-identical.
+    let implicit = service
+        .call(PredictRequest::new("C2", "W1", 10))
+        .expect("default-addressed");
+    assert_eq!(implicit.model, "stable");
+    let explicit = service
+        .call(PredictRequest::new("C2", "W1", 10).on_model("stable"))
+        .expect("name-addressed");
+    assert_eq!(explicit.model, "stable");
+    assert_eq!(explicit.per_cycle_total_w, implicit.per_cycle_total_w);
+    let canary = service
+        .call(PredictRequest::new("C2", "W1", 10).on_model("canary"))
+        .expect("canary-addressed");
+    assert_eq!(canary.per_cycle_total_w, implicit.per_cycle_total_w);
+    let direct = direct_prediction(&cfg, &trained.model, "C2", "W1", 10);
+    assert_eq!(implicit.per_cycle_total_w, direct.total_series());
+
+    // One registration serves both models by name (each fills its own
+    // cache: cold once per model, warm after).
+    let (info, replaced) = service
+        .register_workload(
+            "shared-wl",
+            vec![
+                WorkloadPhase {
+                    activity: 0.5,
+                    min_len: 2,
+                    max_len: 5,
+                },
+                WorkloadPhase {
+                    activity: 0.05,
+                    min_len: 4,
+                    max_len: 9,
+                },
+            ],
+        )
+        .expect("registers");
+    assert!(!replaced);
+    assert_eq!(service.workloads(), vec![info]);
+    for model in ["stable", "canary"] {
+        let req = PredictRequest::with_workload_name("C2", "shared-wl", 10).on_model(model);
+        let cold = service.call(req.clone()).expect("registered cold");
+        assert!(!cold.cache_hit, "first use on `{model}` is cold");
+        assert_eq!(cold.workload, "shared-wl");
+        let warm = service.call(req).expect("registered warm");
+        assert!(warm.cache_hit, "second use on `{model}` must hit");
+        assert_eq!(warm.per_cycle_total_w, cold.per_cycle_total_w);
+    }
+
+    // Per-model cache occupancy is reported and disjoint.
+    let stats = service.stats();
+    assert_eq!(stats.models.len(), 2);
+    let canary_stats = &stats.models[0];
+    let stable_stats = &stats.models[1];
+    assert_eq!(canary_stats.model, "canary");
+    assert_eq!(stable_stats.model, "stable");
+    // stable: W1 + shared-wl entries; canary: W1 + shared-wl entries.
+    assert_eq!(stable_stats.embedding_cache.len, 2);
+    assert_eq!(canary_stats.embedding_cache.len, 2);
+    // stable answered: implicit W1, explicit W1, cold+warm shared-wl.
+    assert_eq!(stable_stats.requests, 4);
+    // canary answered: W1, cold+warm shared-wl.
+    assert_eq!(canary_stats.requests, 3);
+    assert_eq!(
+        stats.embedding_cache.len,
+        stable_stats.embedding_cache.len + canary_stats.embedding_cache.len
+    );
+    assert!(stable_stats.embedding_cache.weight > 0);
+    assert!(canary_stats.embedding_cache.weight > 0);
+
+    // The models verb data reflects the catalog.
+    let models = service.models();
+    assert_eq!(models.len(), 2);
+    assert_eq!(models[0].name, "canary");
+    assert_eq!(models[1].name, "stable");
+    assert_eq!(models[0].format_version, FORMAT_VERSION);
+    assert_eq!(service.default_model(), "stable");
+
+    drop(service);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Registry validation flows through the catalog path: a wrong-version
+/// file and a duplicate serving name are both rejected at catalog build
+/// time, before any service starts.
+#[test]
+fn catalog_rejects_wrong_version_and_duplicates() {
+    let cfg = micro_config();
+    let trained = train_atlas(&cfg);
+    let dir = scratch_registry("catalog-reject");
+    let registry = ModelRegistry::open(&dir).expect("registry opens");
+    let path = registry.save("m", &trained.model, &cfg).expect("saves");
+
+    // Tamper the format version in place (same technique as the direct
+    // registry rejection test).
+    let json = std::fs::read_to_string(&path).expect("readable");
+    let tampered = json.replace(
+        &format!("\"format_version\":{FORMAT_VERSION}"),
+        &format!("\"format_version\":{}", FORMAT_VERSION + 1),
+    );
+    assert_ne!(json, tampered, "version marker must exist in the file");
+    std::fs::write(&path, &tampered).expect("writable");
+
+    let mut catalog = ModelCatalog::new();
+    match catalog.load_spec(&registry, "m") {
+        Err(RegistryError::WrongVersion { found, expected }) => {
+            assert_eq!(found, FORMAT_VERSION + 1);
+            assert_eq!(expected, FORMAT_VERSION);
+        }
+        other => panic!("expected WrongVersion through the catalog, got {other:?}"),
+    }
+    // The path-addressed form rejects identically.
+    assert!(matches!(
+        catalog.load_spec(&registry, &format!("alias={}", path.display())),
+        Err(RegistryError::WrongVersion { .. })
+    ));
+    assert!(catalog.is_empty(), "rejected models must not be cataloged");
+
+    // Restore the file; duplicates are then caught by name.
+    std::fs::write(&path, &json).expect("writable");
+    catalog.load_spec(&registry, "m").expect("loads clean file");
+    assert_eq!(
+        catalog.load_spec(&registry, "m").err(),
+        Some(RegistryError::Duplicate("m".to_owned()))
+    );
+    // An empty catalog cannot start a service.
+    assert!(AtlasService::start_catalog(ModelCatalog::new(), ServiceConfig::default()).is_err());
 
     let _ = std::fs::remove_dir_all(&dir);
 }
