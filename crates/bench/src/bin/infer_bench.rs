@@ -1,0 +1,493 @@
+//! Embed-path benchmark: per-cycle vs cross-cycle layer-batched encoder
+//! forwards over real designs, writing `BENCH_infer.json`.
+//!
+//! ```text
+//! infer_bench [--out PATH] [--cycles N] [--threads N] [--reps N]
+//!             [--scales F,F,..] [--gate-scale F]
+//! ```
+//!
+//! For each design scale the bench builds C1 at that scale, simulates a
+//! W1 toggle trace, and embeds the whole trace twice:
+//!
+//! * **per_cycle** — the seed hot path, reproduced verbatim in
+//!   [`seed_path`]: the scalar zero-skipping matmul kernel, one forward
+//!   (with per-operation allocations) per (sub-module, cycle),
+//!   sub-modules chunked across threads *by count*, plus per-cycle side
+//!   features;
+//! * **batched** — [`AtlasModel::embed_trace`] as shipped: the blocked
+//!   register-tiled kernels, work-balanced (sub-module × cycle-chunk)
+//!   items, and the cycle-blocked forward (one fused matmul per layer
+//!   per chunk).
+//!
+//! Both arms produce bit-identical embeddings (checked, reported as
+//! `parity` — the seed forward and the batched forward are the same
+//! dot-product sequence per output element); the bench measures
+//! throughput in embedded trace cycles per second. The `gate` object
+//! repeats the `--gate-scale` row with flat field names for the CI
+//! regression gate (`scripts/check_bench.rs --infer`).
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use atlas_core::features::{build_submodule_data, side_features, SubmoduleData};
+use atlas_core::finetune::{MemoryModel, PowerHeads};
+use atlas_core::AtlasModel;
+use atlas_designs::DesignConfig;
+use atlas_gbdt::{Gbdt, GbdtConfig};
+use atlas_liberty::Library;
+use atlas_netlist::Design;
+use atlas_nn::{EncoderConfig, EncoderState, GraphEncoder, Matrix, SparseAdj};
+use atlas_sim::{simulate, PhasedWorkload, ToggleTrace};
+use serde::Serialize;
+
+/// The seed implementation of the embed hot path, frozen here as the
+/// benchmark baseline: scalar ikj matmul with the `a == 0.0` skip, a
+/// fresh allocation per operation, and one full forward per cycle.
+mod seed_path {
+    use super::Matrix;
+    use super::SparseAdj;
+
+    /// The seed's dense kernel (scalar, zero-skipping).
+    fn matmul(a: &Matrix, b: &Matrix) -> Matrix {
+        assert_eq!(a.cols(), b.rows(), "matmul shape mismatch");
+        let (ar, ac, bc) = (a.rows(), a.cols(), b.cols());
+        let mut out = Matrix::zeros(ar, bc);
+        let ad = a.as_slice();
+        let bd = b.as_slice();
+        for i in 0..ar {
+            let orow = &mut out.as_mut_slice()[i * bc..(i + 1) * bc];
+            for k in 0..ac {
+                let av = ad[i * ac + k];
+                if av == 0.0 {
+                    continue;
+                }
+                let brow = &bd[k * bc..(k + 1) * bc];
+                for (o, &bv) in orow.iter_mut().zip(brow) {
+                    *o += av * bv;
+                }
+            }
+        }
+        out
+    }
+
+    /// The seed's `selfᵀ × other` kernel.
+    fn matmul_tn(a: &Matrix, b: &Matrix) -> Matrix {
+        assert_eq!(a.rows(), b.rows(), "matmul_tn shape mismatch");
+        let mut out = Matrix::zeros(a.cols(), b.cols());
+        let bc = b.cols();
+        for k in 0..a.rows() {
+            let arow = a.row(k);
+            let brow = b.row(k);
+            for (i, &av) in arow.iter().enumerate() {
+                if av == 0.0 {
+                    continue;
+                }
+                let orow = &mut out.as_mut_slice()[i * bc..(i + 1) * bc];
+                for (o, &bv) in orow.iter_mut().zip(brow) {
+                    *o += av * bv;
+                }
+            }
+        }
+        out
+    }
+
+    /// A frozen copy of the seed's `InferenceEncoder::encode_graph`.
+    pub struct SeedEncoder {
+        weights: Vec<Matrix>,
+        layers: usize,
+        hidden: usize,
+        alpha: f64,
+        sum_pool_scale: f64,
+    }
+
+    impl SeedEncoder {
+        pub fn new(state: &super::EncoderState) -> SeedEncoder {
+            SeedEncoder {
+                weights: state.tensors.clone(),
+                layers: state.config.layers,
+                hidden: state.config.hidden_dim,
+                alpha: state.config.alpha,
+                sum_pool_scale: atlas_nn::SUM_POOL_SCALE,
+            }
+        }
+
+        fn linear(&self, idx: usize, x: &Matrix) -> Matrix {
+            let w = &self.weights[idx * 2];
+            let b = &self.weights[idx * 2 + 1];
+            let mut out = matmul(x, w);
+            for r in 0..out.rows() {
+                for c in 0..out.cols() {
+                    let v = out.get(r, c) + b.get(0, c);
+                    out.set(r, c, v);
+                }
+            }
+            out
+        }
+
+        pub fn encode_graph(&self, adj: &SparseAdj, features: &Matrix) -> Vec<f64> {
+            let n = features.rows();
+            let relu = |m: Matrix| m.map(|v| v.max(0.0));
+            let mut h = relu(self.linear(0, features));
+            for l in 0..self.layers {
+                let base = 1 + l * 4;
+                let pq = self.linear(base, &h).map(|v| v.max(0.0) + 0.01);
+                let pk = self.linear(base + 1, &h).map(|v| v.max(0.0) + 0.01);
+                let v = self.linear(base + 2, &h);
+                let kv = matmul_tn(&pk, &v); // d×d
+                let num = matmul(&pq, &kv); // n×d
+                let ksum = matmul_tn(&pk, &Matrix::full(n, 1, 1.0)); // d×1
+                let denom = matmul(&pq, &ksum); // n×1
+                let mut attn = num;
+                for r in 0..n {
+                    let dv = denom.get(r, 0);
+                    for c in 0..attn.cols() {
+                        attn.set(r, c, attn.get(r, c) / dv);
+                    }
+                }
+                let prop = relu(self.linear(base + 3, &adj.matmul(&h)));
+                let mut mixed = Matrix::zeros(n, self.hidden);
+                for i in 0..mixed.as_slice().len() {
+                    mixed.as_mut_slice()[i] = (self.alpha * attn.as_slice()[i]
+                        + (1.0 - self.alpha) * prop.as_slice()[i])
+                        .max(0.0);
+                }
+                h = mixed;
+            }
+            let nf = h.rows() as f64;
+            let pooled = h.mean_rows();
+            let w = &self.weights[(1 + self.layers * 4) * 2];
+            let b = &self.weights[(1 + self.layers * 4) * 2 + 1];
+            let out = matmul(&pooled, w);
+            let scale = nf * self.sum_pool_scale;
+            (0..out.cols())
+                .map(|c| (out.get(0, c) + b.get(0, c)) * scale)
+                .collect()
+        }
+    }
+}
+
+struct Args {
+    out: String,
+    cycles: usize,
+    threads: usize,
+    reps: usize,
+    scales: Vec<f64>,
+    gate_scale: f64,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        out: "BENCH_infer.json".into(),
+        // The production ExperimentConfig default trace length.
+        cycles: 300,
+        threads: 0,
+        reps: 3,
+        scales: vec![0.05, 0.1, 0.2],
+        gate_scale: 0.05,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
+        match flag.as_str() {
+            "--out" => args.out = value("--out")?,
+            "--cycles" => args.cycles = value("--cycles")?.parse().map_err(|e| format!("{e}"))?,
+            "--threads" => {
+                args.threads = value("--threads")?.parse().map_err(|e| format!("{e}"))?;
+            }
+            "--reps" => args.reps = value("--reps")?.parse().map_err(|e| format!("{e}"))?,
+            "--scales" => {
+                args.scales = value("--scales")?
+                    .split(',')
+                    .map(|s| s.trim().parse().map_err(|e| format!("bad scale: {e}")))
+                    .collect::<Result<_, _>>()?;
+            }
+            "--gate-scale" => {
+                args.gate_scale = value("--gate-scale")?.parse().map_err(|e| format!("{e}"))?;
+            }
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    if args.cycles == 0 || args.reps == 0 || args.scales.is_empty() {
+        return Err("--cycles, --reps, and --scales must be non-empty/positive".into());
+    }
+    if !args.scales.contains(&args.gate_scale) {
+        args.scales.push(args.gate_scale);
+    }
+    Ok(args)
+}
+
+/// An `AtlasModel` whose heads are never evaluated: `embed_trace` only
+/// touches the encoder, so tiny placeholder GBDTs keep the bench free of
+/// a multi-second training phase while still exercising the real
+/// serving-path entry point. The encoder is sized like the serving
+/// benchmark's model (`ExperimentConfig::quick()`: hidden 24, 1 layer) —
+/// this bench exists to explain `BENCH_serve.json`'s cold path.
+fn stub_model() -> AtlasModel {
+    let cfg = EncoderConfig {
+        hidden_dim: 24,
+        layers: 1,
+        ..EncoderConfig::default()
+    };
+    let hidden = cfg.hidden_dim;
+    let encoder = GraphEncoder::new(cfg).state();
+    let x = [0.0, 1.0, 2.0, 3.0];
+    let y = [0.0, 1.0, 2.0, 3.0];
+    let tiny = || {
+        Gbdt::fit(
+            &x,
+            1,
+            &y,
+            &GbdtConfig {
+                n_estimators: 1,
+                ..GbdtConfig::default()
+            },
+        )
+    };
+    let heads = PowerHeads {
+        f_ct: tiny(),
+        f_comb: tiny(),
+        f_reg: tiny(),
+        memory: MemoryModel {
+            w_read: 0.0,
+            w_write: 0.0,
+            w_bit: 0.0,
+            bias: 0.0,
+        },
+        embed_dim: hidden,
+        side_features: false,
+    };
+    AtlasModel::new(encoder, heads)
+}
+
+/// The seed hot path: count-chunked threads, one scalar-kernel forward
+/// per (sub-module, cycle), plus per-cycle side features. Returns the
+/// embeddings in `data` order for the parity check.
+fn embed_per_cycle(
+    encoder: &seed_path::SeedEncoder,
+    gate: &Design,
+    lib: &Library,
+    data: &[SubmoduleData],
+    trace: &ToggleTrace,
+    threads: usize,
+) -> Vec<Vec<Vec<f64>>> {
+    let cycles = trace.cycles();
+    let threads = threads.clamp(1, data.len().max(1));
+    let chunk = data.len().div_ceil(threads).max(1);
+    let pieces: Vec<(usize, &[SubmoduleData])> = data
+        .chunks(chunk)
+        .enumerate()
+        .map(|(i, piece)| (i * chunk, piece))
+        .collect();
+    let mut out: Vec<(usize, Vec<Vec<Vec<f64>>>)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = pieces
+            .into_iter()
+            .map(|(first, piece)| {
+                scope.spawn(move || {
+                    let mut local = Vec::with_capacity(piece.len());
+                    for smd in piece {
+                        let per_sm: Vec<Vec<f64>> = (0..cycles)
+                            .map(|t| {
+                                let feats = smd.features_for_cycle(gate, trace, t);
+                                encoder.encode_graph(smd.adj(), &feats)
+                            })
+                            .collect();
+                        // Side features are part of stage one in both arms.
+                        for t in 0..cycles {
+                            std::hint::black_box(side_features(smd, gate, lib, trace, t));
+                        }
+                        local.push(per_sm);
+                    }
+                    (first, local)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("per-cycle worker"))
+            .collect()
+    });
+    out.sort_by_key(|(first, _)| *first);
+    out.into_iter().flat_map(|(_, local)| local).collect()
+}
+
+/// One arm's latency/throughput rollup.
+#[derive(Debug, Serialize)]
+struct Arm {
+    /// Best-of-`reps` wall time for the whole trace, seconds.
+    wall_s: f64,
+    /// Embedded trace cycles per second at that wall time.
+    cycles_per_s: f64,
+}
+
+/// One design scale's measurement.
+#[derive(Debug, Serialize)]
+struct ScaleRow {
+    scale: f64,
+    submodules: usize,
+    cells: usize,
+    per_cycle: Arm,
+    batched: Arm,
+    /// `batched.cycles_per_s / per_cycle.cycles_per_s`.
+    speedup: f64,
+    /// Whether both arms produced bit-identical embeddings (must be true).
+    parity: bool,
+}
+
+/// The CI gate row: the `--gate-scale` measurement with flat field names
+/// for the dependency-free scanner in `scripts/check_bench.rs`.
+#[derive(Debug, Serialize)]
+struct GateRow {
+    scale: f64,
+    per_cycle_cycles_per_s: f64,
+    batched_cycles_per_s: f64,
+    speedup: f64,
+    parity: bool,
+}
+
+#[derive(Debug, Serialize)]
+struct Report {
+    cycles: usize,
+    threads: usize,
+    reps: usize,
+    scales: Vec<ScaleRow>,
+    gate: GateRow,
+}
+
+fn bench_scale(
+    model: &AtlasModel,
+    lib: &Library,
+    scale: f64,
+    cycles: usize,
+    threads: usize,
+    reps: usize,
+) -> Result<ScaleRow, String> {
+    let gate = DesignConfig::c1().scaled(scale).generate();
+    let trace = simulate(&gate, &mut PhasedWorkload::w1(1), cycles)
+        .map_err(|e| format!("simulate: {e}"))?;
+    let data = build_submodule_data(&gate, lib);
+    let encoder = seed_path::SeedEncoder::new(model.encoder());
+
+    // The arms alternate within each rep so machine noise (a shared host,
+    // frequency scaling) hits both equally; best-of-reps per arm.
+    let mut per_cycle_wall = f64::MAX;
+    let mut per_cycle_out = Vec::new();
+    let mut batched_wall = f64::MAX;
+    let mut batched_out = None;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        per_cycle_out = embed_per_cycle(&encoder, &gate, lib, &data, &trace, threads);
+        per_cycle_wall = per_cycle_wall.min(t0.elapsed().as_secs_f64());
+
+        let t1 = Instant::now();
+        batched_out = Some(model.embed_trace(&gate, lib, &data, &trace, threads));
+        batched_wall = batched_wall.min(t1.elapsed().as_secs_f64());
+    }
+    let batched_out = batched_out.expect("reps >= 1");
+
+    let parity = batched_out
+        .per_submodule()
+        .iter()
+        .zip(&per_cycle_out)
+        .all(|(sm, baseline)| &sm.embeddings == baseline)
+        && batched_out.per_submodule().len() == per_cycle_out.len();
+
+    let cps = |wall: f64| cycles as f64 / wall.max(1e-9);
+    Ok(ScaleRow {
+        scale,
+        submodules: data.len(),
+        cells: gate.cell_count(),
+        per_cycle: Arm {
+            wall_s: per_cycle_wall,
+            cycles_per_s: cps(per_cycle_wall),
+        },
+        batched: Arm {
+            wall_s: batched_wall,
+            cycles_per_s: cps(batched_wall),
+        },
+        speedup: per_cycle_wall / batched_wall.max(1e-9),
+        parity,
+    })
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let threads = if args.threads == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+            .min(8)
+    } else {
+        args.threads
+    };
+
+    let lib = Library::synthetic_40nm();
+    let model = stub_model();
+
+    let mut rows = Vec::new();
+    for &scale in &args.scales {
+        match bench_scale(&model, &lib, scale, args.cycles, threads, args.reps) {
+            Ok(row) => {
+                println!(
+                    "scale {:.2}: {} submodules / {} cells — per-cycle {:.1} cyc/s, \
+                     batched {:.1} cyc/s ({:.2}x, parity {})",
+                    row.scale,
+                    row.submodules,
+                    row.cells,
+                    row.per_cycle.cycles_per_s,
+                    row.batched.cycles_per_s,
+                    row.speedup,
+                    row.parity
+                );
+                rows.push(row);
+            }
+            Err(e) => {
+                eprintln!("error: scale {scale}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let gate_row = rows
+        .iter()
+        .find(|r| r.scale == args.gate_scale)
+        .expect("gate scale was appended to --scales");
+    let report = Report {
+        cycles: args.cycles,
+        threads,
+        reps: args.reps,
+        gate: GateRow {
+            scale: gate_row.scale,
+            per_cycle_cycles_per_s: gate_row.per_cycle.cycles_per_s,
+            batched_cycles_per_s: gate_row.batched.cycles_per_s,
+            speedup: gate_row.speedup,
+            parity: gate_row.parity,
+        },
+        scales: rows,
+    };
+
+    let any_parity_broken = report.scales.iter().any(|r| !r.parity);
+    match serde_json::to_string_pretty(&report) {
+        Ok(json) => {
+            if let Err(e) = std::fs::write(&args.out, json) {
+                eprintln!("error: write {}: {e}", args.out);
+                return ExitCode::FAILURE;
+            }
+            println!("(wrote {})", args.out);
+        }
+        Err(e) => {
+            eprintln!("error: serialize report: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if any_parity_broken {
+        eprintln!("error: batched embeddings diverged from the per-cycle path");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

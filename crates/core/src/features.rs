@@ -67,6 +67,8 @@ impl SubmoduleData {
     /// Node features for one cycle: the static features with the toggle
     /// channel filled from the trace.
     pub fn features_for_cycle(&self, design: &Design, trace: &ToggleTrace, cycle: usize) -> Matrix {
+        // Clone carries the static features; only the toggles are set on
+        // top (`write_features_into` would redundantly re-copy them).
         let mut f = self.static_feats.clone();
         for (i, &cell) in self.cells.iter().enumerate() {
             if trace.cell_toggled(design, cycle, cell) {
@@ -74,6 +76,47 @@ impl SubmoduleData {
             }
         }
         f
+    }
+
+    /// [`features_for_cycle`](Self::features_for_cycle) without the
+    /// allocation: writes the cycle's `node_count() × FEATURE_DIM`
+    /// row-major feature block into `dst` — the hand-off the encoder's
+    /// batched fill path uses to stack cycles without per-cycle matrices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dst` is not exactly `node_count() * FEATURE_DIM` long.
+    pub fn write_features_into(
+        &self,
+        design: &Design,
+        trace: &ToggleTrace,
+        cycle: usize,
+        dst: &mut [f64],
+    ) {
+        dst.copy_from_slice(self.static_feats.as_slice());
+        for (i, &cell) in self.cells.iter().enumerate() {
+            if trace.cell_toggled(design, cycle, cell) {
+                dst[i * FEATURE_DIM + TOGGLE_CHANNEL] = 1.0;
+            }
+        }
+    }
+
+    /// The static features with the toggle channel filled from a packed
+    /// bitset (bit `i` set = node `i` toggled) — the hand-off used by the
+    /// toggle-pattern dedup path, which already owns each unique cycle's
+    /// bitset and so avoids a second trace scan per unique cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dst` is not `node_count() * FEATURE_DIM` long or
+    /// `toggles` has fewer than `node_count()` bits.
+    pub fn write_features_from_bits(&self, toggles: &[u64], dst: &mut [f64]) {
+        dst.copy_from_slice(self.static_feats.as_slice());
+        for i in 0..self.cells.len() {
+            if toggles[i / 64] & (1 << (i % 64)) != 0 {
+                dst[i * FEATURE_DIM + TOGGLE_CHANNEL] = 1.0;
+            }
+        }
     }
 
     /// Masked features for pre-training tasks ① and ②: a fraction of the
@@ -225,8 +268,129 @@ pub struct SideFeatures {
     pub mem_bits: f64,
 }
 
+/// Per-cell class/energy data of one sub-module, resolved against the
+/// library **once** so per-cycle side features are a single pass over the
+/// cells with no hash lookups. [`side_features`] resolves the same data
+/// per call; building a `SideTable` per sub-module amortizes that over a
+/// whole trace (the serving path embeds hundreds of cycles per
+/// sub-module).
+#[derive(Debug, Clone)]
+pub struct SideTable {
+    /// `(cell, group, switch_energy_mean, input_cap)` per node;
+    /// group: 0 = combinational, 1 = register, 2 = SRAM.
+    cells: Vec<(CellId, u8, f64, f64)>,
+    /// `(trace_sram_index, read_energy, write_energy)` per SRAM node;
+    /// `usize::MAX` marks an SRAM absent from the trace's SRAM list.
+    srams: Vec<(usize, f64, f64)>,
+    /// Total SRAM leakage (constant per cycle).
+    mem_bits: f64,
+    /// Combinational / register node counts (constant per cycle).
+    n_comb: f64,
+    n_reg: f64,
+}
+
+impl SideTable {
+    /// Resolve one sub-module's cells against the design, library, and
+    /// trace.
+    pub fn new(
+        data: &SubmoduleData,
+        design: &Design,
+        lib: &Library,
+        trace: &ToggleTrace,
+    ) -> SideTable {
+        let sram_index: std::collections::HashMap<CellId, usize> = trace
+            .sram_cells()
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| (c, i))
+            .collect();
+        let mut table = SideTable {
+            cells: Vec::with_capacity(data.cells.len()),
+            srams: Vec::new(),
+            mem_bits: 0.0,
+            n_comb: 0.0,
+            n_reg: 0.0,
+        };
+        for &cell_id in &data.cells {
+            let cell = design.cell(cell_id);
+            let class = cell.class();
+            match class {
+                CellClass::Sram => {
+                    let macro_ = cell.sram().and_then(|c| lib.sram_at_least(c.words, c.bits));
+                    if let Some(m) = macro_ {
+                        table.mem_bits += m.leakage();
+                    }
+                    let idx = sram_index.get(&cell_id).copied().unwrap_or(usize::MAX);
+                    table.srams.push((
+                        idx,
+                        macro_.map(|m| m.read_energy()).unwrap_or(1.0),
+                        macro_.map(|m| m.write_energy()).unwrap_or(1.0),
+                    ));
+                }
+                CellClass::Dff | CellClass::Dffr => {
+                    table.n_reg += 1.0;
+                    let (i, c) = lib
+                        .cell(class, cell.drive())
+                        .map(|lc| (lc.switch_energy().mean(), lc.total_input_cap()))
+                        .unwrap_or((0.0, 0.0));
+                    table.cells.push((cell_id, 1, i, c));
+                }
+                _ => {
+                    table.n_comb += 1.0;
+                    let (i, c) = lib
+                        .cell(class, cell.drive())
+                        .map(|lc| (lc.switch_energy().mean(), lc.total_input_cap()))
+                        .unwrap_or((0.0, 0.0));
+                    table.cells.push((cell_id, 0, i, c));
+                }
+            }
+        }
+        table
+    }
+
+    /// [`SideFeatures`] for one cycle — identical to [`side_features`]
+    /// (the arithmetic accumulates the same values in the same cell
+    /// order), paying only toggle tests.
+    pub fn side_features(
+        &self,
+        design: &Design,
+        trace: &ToggleTrace,
+        cycle: usize,
+    ) -> SideFeatures {
+        let mut s = SideFeatures {
+            n_comb: self.n_comb,
+            n_reg: self.n_reg,
+            mem_bits: self.mem_bits,
+            ..SideFeatures::default()
+        };
+        for &(cell_id, group, i, c) in &self.cells {
+            if trace.cell_toggled(design, cycle, cell_id) {
+                if group == 1 {
+                    s.i_reg += i;
+                    s.c_reg += c;
+                } else {
+                    s.i_comb += i;
+                    s.c_comb += c;
+                }
+            }
+        }
+        for &(idx, read, write) in &self.srams {
+            if idx != usize::MAX {
+                if trace.sram_read(cycle, idx) {
+                    s.mem_reads += read;
+                }
+                if trace.sram_write(cycle, idx) {
+                    s.mem_writes += write;
+                }
+            }
+        }
+        s
+    }
+}
+
 /// Compute [`SideFeatures`] for one sub-module and cycle from gate-level
-/// information only.
+/// information only. For whole-trace work prefer building a [`SideTable`]
+/// once and querying it per cycle.
 pub fn side_features(
     data: &SubmoduleData,
     design: &Design,

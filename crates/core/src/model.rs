@@ -1,5 +1,7 @@
 //! The deployable ATLAS model.
 
+use std::collections::HashMap;
+
 use atlas_liberty::{Library, PowerGroup};
 use atlas_netlist::{Design, Stage};
 use atlas_nn::{EncoderState, InferenceEncoder};
@@ -7,7 +9,7 @@ use atlas_power::PowerTrace;
 use atlas_sim::ToggleTrace;
 use serde::{Deserialize, Serialize};
 
-use crate::features::{build_submodule_data, side_features, SideFeatures, SubmoduleData};
+use crate::features::{build_submodule_data, SideFeatures, SideTable, SubmoduleData};
 use crate::finetune::PowerHeads;
 
 /// Stage-one inference output for one sub-module across a whole trace:
@@ -149,12 +151,15 @@ impl AtlasModel {
     /// construction, encoder forwards, and side features for every
     /// sub-module of the trace.
     ///
-    /// Work is split across `threads` std threads (`0` = auto: available
-    /// parallelism capped at 8); within each sub-module the cycles are
-    /// embedded through the encoder's batched path
-    /// ([`InferenceEncoder::encode_graph_batch`]), which amortizes the
-    /// output projection over the whole trace. Results are bit-identical
-    /// to the per-cycle path.
+    /// The trace is cut into (sub-module × cycle-chunk) work items — the
+    /// chunk size follows [`InferenceEncoder::cycle_chunk`]'s memory
+    /// budget — and items are packed onto `threads` std threads (`0` =
+    /// auto: available parallelism capped at 8) by **estimated work**
+    /// (`nodes × cycles`, longest-first), so one huge sub-module splits
+    /// across threads instead of straggling the scope. Each item runs the
+    /// encoder's cycle-blocked batched forward (one matmul per layer per
+    /// chunk). Results are bit-identical to the per-cycle path for every
+    /// thread count and chunking.
     pub fn embed_trace(
         &self,
         gate: &Design,
@@ -172,33 +177,130 @@ impl AtlasModel {
                 .min(8)
         } else {
             threads
-        }
-        .min(data.len().max(1));
-        let chunk = data.len().div_ceil(threads.max(1));
+        };
 
-        let per_submodule: Vec<SubmoduleEmbeddings> = crossbeam::thread::scope(|scope| {
+        // One work item = one sub-module × one cycle range spanning many
+        // memory-budgeted chunks. Long items amortize the encoder's
+        // scratch buffers, the side-feature table, and the toggle-pattern
+        // dedup window over as many cycles as possible; the only reason to
+        // split a sub-module at all is thread balance, so items are capped
+        // at `cycles / threads` — one giant sub-module can still occupy
+        // every thread.
+        struct Item {
+            sm: usize,
+            start: usize,
+            len: usize,
+            chunk: usize,
+        }
+        let total_work: usize = data.iter().map(|s| s.node_count() * cycles).sum();
+        let work_target = total_work.div_ceil(threads.max(1)).max(1);
+        let mut items: Vec<Item> = Vec::new();
+        for (sm, smd) in data.iter().enumerate() {
+            let chunk = encoder.cycle_chunk(smd.node_count());
+            // Split a sub-module into only as many pieces as balance
+            // needs: one smaller than a thread's fair share stays whole
+            // (full dedup window, one side table), a dominating one cuts
+            // into enough pieces to occupy every thread.
+            let splits = (smd.node_count() * cycles).div_ceil(work_target).max(1);
+            let item_len = cycles.div_ceil(splits).max(1);
+            let mut start = 0;
+            while start < cycles {
+                let len = item_len.min(cycles - start);
+                items.push(Item {
+                    sm,
+                    start,
+                    len,
+                    chunk,
+                });
+                start += len;
+            }
+        }
+
+        // Longest-processing-time greedy assignment: items sorted by
+        // estimated work (nodes × cycles in the item), each placed on the
+        // least-loaded thread. Deterministic (stable sort, first-minimum
+        // tie-break), so scheduling never depends on timing.
+        let threads = threads.clamp(1, items.len().max(1));
+        let work = |it: &Item| data[it.sm].node_count() * it.len;
+        let mut order: Vec<usize> = (0..items.len()).collect();
+        order.sort_by_key(|&i| std::cmp::Reverse(work(&items[i])));
+        let mut bins: Vec<Vec<usize>> = vec![Vec::new(); threads];
+        let mut load = vec![0usize; threads];
+        for i in order {
+            let t = (0..threads).min_by_key(|&t| load[t]).unwrap_or(0);
+            load[t] += work(&items[i]);
+            bins[t].push(i);
+        }
+
+        type ItemOut = (usize, usize, Vec<Vec<f64>>, Vec<SideFeatures>);
+        let results: Vec<ItemOut> = crossbeam::thread::scope(|scope| {
             let mut handles = Vec::new();
-            for piece in data.chunks(chunk.max(1)) {
+            for bin in &bins {
+                if bin.is_empty() {
+                    continue;
+                }
                 let encoder = &encoder;
+                let items = &items;
                 handles.push(scope.spawn(move |_| {
-                    let mut local = Vec::with_capacity(piece.len());
-                    for smd in piece {
-                        // One batched encode over all cycles of the
-                        // sub-module; features are built per cycle inside
-                        // the batch so only one feature matrix is live at
-                        // a time (a whole trace of them would be GBs on a
+                    let mut local: Vec<ItemOut> = Vec::with_capacity(bin.len());
+                    for &i in bin {
+                        let it = &items[i];
+                        let smd = &data[it.sm];
+                        // A sub-module's features differ across cycles only
+                        // in the toggle channel, and workloads repeat
+                        // toggle patterns (idle phases repeat them almost
+                        // every cycle) — so key each cycle by its packed
+                        // toggle bits and run the encoder once per
+                        // *unique* pattern. Copying an embedding to its
+                        // duplicate cycles is exact: the encoder is a pure
+                        // function of (graph, features).
+                        let n = smd.node_count();
+                        let words = n.div_ceil(64);
+                        let mut pattern_of = Vec::with_capacity(it.len);
+                        let mut uniq: HashMap<Vec<u64>, usize> = HashMap::new();
+                        let mut uniq_bits: Vec<Vec<u64>> = Vec::new();
+                        for t in it.start..it.start + it.len {
+                            let mut bits = vec![0u64; words];
+                            for (node, &cell) in smd.cells().iter().enumerate() {
+                                if trace.cell_toggled(gate, t, cell) {
+                                    bits[node / 64] |= 1 << (node % 64);
+                                }
+                            }
+                            let slot = match uniq.get(&bits) {
+                                Some(&slot) => slot,
+                                None => {
+                                    let slot = uniq_bits.len();
+                                    uniq_bits.push(bits.clone());
+                                    uniq.insert(bits, slot);
+                                    slot
+                                }
+                            };
+                            pattern_of.push(slot);
+                        }
+                        // One cycle-blocked encode over the unique
+                        // patterns; each pattern's features are expanded
+                        // from its bitset straight into the chunk's
+                        // stacked operand (no second trace scan), so live
+                        // feature memory stays within the encoder's chunk
+                        // budget (a whole trace of them would be GBs on a
                         // large sub-module).
-                        let embeddings = encoder.encode_graph_batch_with(smd.adj(), cycles, |t| {
-                            smd.features_for_cycle(gate, trace, t)
-                        });
-                        let sides = (0..cycles)
-                            .map(|t| side_features(smd, gate, lib, trace, t))
+                        let uniq_emb = encoder.encode_graph_batch_fill(
+                            smd.adj(),
+                            uniq_bits.len(),
+                            it.chunk,
+                            |u, dst| {
+                                smd.write_features_from_bits(&uniq_bits[u], dst);
+                            },
+                        );
+                        let embeddings = pattern_of
+                            .iter()
+                            .map(|&slot| uniq_emb[slot].clone())
                             .collect();
-                        local.push(SubmoduleEmbeddings {
-                            submodule: smd.submodule().index(),
-                            embeddings,
-                            sides,
-                        });
+                        let table = SideTable::new(smd, gate, lib, trace);
+                        let sides = (it.start..it.start + it.len)
+                            .map(|t| table.side_features(gate, trace, t))
+                            .collect();
+                        local.push((it.sm, it.start, embeddings, sides));
                     }
                     local
                 }));
@@ -209,6 +311,25 @@ impl AtlasModel {
                 .collect()
         })
         .expect("scoped threads join");
+
+        // Reassemble items into per-sub-module tables, in `data` order.
+        let mut per_submodule: Vec<SubmoduleEmbeddings> = data
+            .iter()
+            .map(|smd| SubmoduleEmbeddings {
+                submodule: smd.submodule().index(),
+                embeddings: vec![Vec::new(); cycles],
+                sides: vec![SideFeatures::default(); cycles],
+            })
+            .collect();
+        for (sm, start, embeddings, sides) in results {
+            let table = &mut per_submodule[sm];
+            for (off, e) in embeddings.into_iter().enumerate() {
+                table.embeddings[start + off] = e;
+            }
+            for (off, s) in sides.into_iter().enumerate() {
+                table.sides[start + off] = s;
+            }
+        }
 
         TraceEmbeddings {
             design: gate.name().to_owned(),

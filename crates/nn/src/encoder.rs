@@ -50,8 +50,10 @@ impl Default for EncoderConfig {
     }
 }
 
-/// Sum-pooling normalizer keeping graph embeddings O(1)-ish.
-pub(crate) const SUM_POOL_SCALE: f64 = 0.05;
+/// Sum-pooling normalizer keeping graph embeddings O(1)-ish. Public so
+/// external reimplementations of the readout (e.g. the embed benchmark's
+/// frozen baseline) stay pinned to the model's constant.
+pub const SUM_POOL_SCALE: f64 = 0.05;
 
 struct Layer {
     q: Linear,

@@ -6,10 +6,88 @@
 //! identical function with raw matrix math. It is `Send + Sync`, so
 //! per-cycle sub-module embeddings can be computed on worker threads
 //! (ATLAS's inference-speed claim, Table IV, depends on this path).
+//!
+//! # Cross-cycle batching
+//!
+//! At serving time the same sub-module graph is encoded once per trace
+//! cycle, under feature matrices that differ only in the toggle channel.
+//! Instead of running `cycles` separate small forwards, the batch path
+//! ([`encode_graph_batch_with`](InferenceEncoder::encode_graph_batch_with))
+//! stacks a chunk of `B` per-cycle feature matrices into one `(B·n) ×
+//! input_dim` operand and runs the embed layer and every layer's q/k/v/gcn
+//! linears as **one matmul per layer per chunk**. The cycle structure
+//! survives as block semantics: the attention reductions (`kv = φ(K)ᵀ·V`,
+//! `ksum = φ(K)ᵀ·1`) and the `Â·H` propagation are segmented per `n`-row
+//! cycle block, because neither attention nor propagation may leak across
+//! cycles. Every segmented kernel accumulates in the same per-element
+//! order as its per-cycle counterpart, so batched results are
+//! **bit-identical** to the per-cycle path for any chunk size.
 
 use crate::encoder::EncoderState;
 use crate::matrix::Matrix;
 use crate::sparse::SparseAdj;
+
+/// Soft cap on the live bytes of any one cycle-stacked matrix inside the
+/// batched forward. A handful of `(B·n) × hidden` temporaries are alive
+/// at once during a layer and the pass structure sweeps them repeatedly,
+/// so this is sized to keep the whole working set near the last-level
+/// cache rather than to fit RAM.
+const CHUNK_BUDGET_BYTES: usize = 512 << 10;
+
+/// Upper bound on cycles per chunk. Empirically the batched forward is
+/// fastest with shallow chunks: they amortize scratch reuse and the
+/// output projection while keeping every temporary cache-resident —
+/// locality beats batch depth once per-chunk fixed costs are amortized.
+const MAX_CYCLE_CHUNK: usize = 4;
+
+/// Reusable large temporaries of the cycle-blocked hidden pass, all
+/// `(blocks·n) × hidden`. Allocated lazily to the working shape and then
+/// recycled across layers and chunks — the batched path's advantage is
+/// amortizing exactly these buffers (and their cold first-touch cost)
+/// over a whole chunk of cycles.
+#[derive(Debug, Default)]
+struct Scratch {
+    h: Matrix,
+    pq: Matrix,
+    pk: Matrix,
+    v: Matrix,
+    attn: Matrix,
+    spmm: Matrix,
+    /// Attention normalizers, `rows × 1`.
+    denom: Matrix,
+    /// Per-block `φ(K)ᵀ·V`, `hidden × hidden`.
+    kv: Matrix,
+    /// Per-block `φ(K)ᵀ·1`, `hidden × 1`.
+    ksum: Matrix,
+}
+
+impl Scratch {
+    /// Make every buffer exactly `rows × cols`, reallocating only on
+    /// shape change (at most twice per batch: main chunk + tail chunk).
+    fn ensure(&mut self, rows: usize, cols: usize) {
+        for m in [
+            &mut self.h,
+            &mut self.pq,
+            &mut self.pk,
+            &mut self.v,
+            &mut self.attn,
+            &mut self.spmm,
+        ] {
+            if m.shape() != (rows, cols) {
+                *m = Matrix::zeros(rows, cols);
+            }
+        }
+        if self.denom.shape() != (rows, 1) {
+            self.denom = Matrix::zeros(rows, 1);
+        }
+        if self.kv.shape() != (cols, cols) {
+            self.kv = Matrix::zeros(cols, cols);
+        }
+        if self.ksum.shape() != (cols, 1) {
+            self.ksum = Matrix::zeros(cols, 1);
+        }
+    }
+}
 
 /// A frozen, thread-safe evaluator of a trained encoder.
 ///
@@ -58,6 +136,36 @@ impl InferenceEncoder {
         self.hidden_dim
     }
 
+    /// Cycles per chunk of the batched forward for a graph of `nodes`
+    /// nodes: as many as fit the 512 KiB live-memory cap per stacked
+    /// matrix, at least 1 (so arbitrarily large graphs still stream cycle
+    /// by cycle) and at most 4. Chunk size never affects results — only
+    /// memory and throughput.
+    pub fn cycle_chunk(&self, nodes: usize) -> usize {
+        let row_bytes = nodes.max(1) * self.input_dim.max(self.hidden_dim).max(1) * 8;
+        (CHUNK_BUDGET_BYTES / row_bytes).clamp(1, MAX_CYCLE_CHUNK)
+    }
+
+    /// One affine layer: `x·W + b` for weight pair `idx`.
+    fn affine(&self, idx: usize, x: &Matrix) -> Matrix {
+        let mut out = x.matmul(&self.weights[idx * 2]);
+        out.add_row_bias(&self.weights[idx * 2 + 1]);
+        out
+    }
+
+    /// [`affine`](Self::affine) with a fused activation, into a reused
+    /// scratch buffer: one kernel pass computes `act(x·W + b)`.
+    fn affine_act_into(&self, idx: usize, x: &Matrix, act: impl Fn(f64) -> f64, out: &mut Matrix) {
+        x.matmul_bias_act_rows_into(
+            &self.weights[idx * 2],
+            &self.weights[idx * 2 + 1],
+            act,
+            0,
+            x.rows(),
+            out,
+        );
+    }
+
     /// Evaluate: returns `(node_embeddings, graph_embedding)`.
     ///
     /// # Panics
@@ -65,66 +173,81 @@ impl InferenceEncoder {
     /// Panics on feature-shape mismatch.
     pub fn encode(&self, adj: &SparseAdj, features: &Matrix) -> (Matrix, Vec<f64>) {
         let h = self.hidden(adj, features);
-        let w = &self.weights[(1 + self.layers * 4) * 2];
-        let b = &self.weights[(1 + self.layers * 4) * 2 + 1];
-        let mut nodes = h.matmul(w);
-        for r in 0..nodes.rows() {
-            for c in 0..nodes.cols() {
-                let v = nodes.get(r, c) + b.get(0, c);
-                nodes.set(r, c, v);
-            }
-        }
+        let nodes = self.affine(1 + self.layers * 4, &h);
         let s = nodes.rows() as f64 * crate::encoder::SUM_POOL_SCALE;
-        let graph = nodes.mean_rows().map(|v| v * s).row(0).to_vec();
+        let graph = nodes.mean_rows().row(0).iter().map(|v| v * s).collect();
         (nodes, graph)
     }
 
-    /// The shared pre-projection hidden state.
+    /// The shared pre-projection hidden state of one cycle.
     fn hidden(&self, adj: &SparseAdj, features: &Matrix) -> Matrix {
-        assert_eq!(features.cols(), self.input_dim, "feature width mismatch");
-        assert_eq!(features.rows(), adj.node_count(), "node count mismatch");
-        let linear = |idx: usize, x: &Matrix| -> Matrix {
-            let w = &self.weights[idx * 2];
-            let b = &self.weights[idx * 2 + 1];
-            let mut out = x.matmul(w);
-            for r in 0..out.rows() {
-                for c in 0..out.cols() {
-                    let v = out.get(r, c) + b.get(0, c);
-                    out.set(r, c, v);
-                }
-            }
-            out
-        };
-        let relu = |m: Matrix| m.map(|v| v.max(0.0));
+        let mut scratch = Scratch::default();
+        self.hidden_blocks(adj, features, 1, &mut scratch);
+        scratch.h
+    }
 
-        let mut h = relu(linear(0, features));
-        let n = features.rows();
+    /// The hidden pass over `blocks` cycle-stacked feature matrices:
+    /// `stacked` is `(blocks·n) × input_dim`, one `n`-row block per cycle.
+    /// The result is left in `scratch.h`.
+    ///
+    /// Linear layers run on the whole stack (one matmul per layer); the
+    /// attention reductions and the adjacency propagation are segmented
+    /// per block. With `blocks == 1` this *is* the per-cycle forward —
+    /// there is only one code path, and every segmented kernel documents
+    /// (and tests pin) bit-identity with its whole-matrix counterpart.
+    /// All large temporaries live in `scratch`, so a caller looping over
+    /// chunks allocates them once, not once per chunk per layer.
+    fn hidden_blocks(&self, adj: &SparseAdj, stacked: &Matrix, blocks: usize, scr: &mut Scratch) {
+        let n = adj.node_count();
+        assert_eq!(stacked.cols(), self.input_dim, "feature width mismatch");
+        assert_eq!(stacked.rows(), n * blocks, "node count mismatch");
+
+        let rows = n * blocks;
+        scr.ensure(rows, self.hidden_dim);
+        // Feature matrices are mostly exact zeros (one-hot type channels +
+        // a toggle bit), so the embed layer takes the zero-skipping kernel;
+        // every later layer runs on dense activations and takes the
+        // register tile. Both kernels are bit-identical on the same input.
+        stacked.matmul_bias_act_sparse_rows_into(
+            &self.weights[0],
+            &self.weights[1],
+            |v| v.max(0.0),
+            0,
+            rows,
+            &mut scr.h,
+        );
         for l in 0..self.layers {
             let base = 1 + l * 4;
-            let pq = linear(base, &h).map(|v| v.max(0.0) + 0.01);
-            let pk = linear(base + 1, &h).map(|v| v.max(0.0) + 0.01);
-            let v = linear(base + 2, &h);
-            let kv = pk.matmul_tn(&v); // d×d
-            let num = pq.matmul(&kv); // n×d
-            let ksum = pk.matmul_tn(&Matrix::full(n, 1, 1.0)); // d×1
-            let denom = pq.matmul(&ksum); // n×1
-            let mut attn = num;
-            for r in 0..n {
-                let dv = denom.get(r, 0);
-                for c in 0..attn.cols() {
-                    attn.set(r, c, attn.get(r, c) / dv);
-                }
+            self.affine_act_into(base, &scr.h, |v| v.max(0.0) + 0.01, &mut scr.pq);
+            self.affine_act_into(base + 1, &scr.h, |v| v.max(0.0) + 0.01, &mut scr.pk);
+            self.affine_act_into(base + 2, &scr.h, |v| v, &mut scr.v);
+            // Segmented linear attention: kv, ksum, and the normalizer are
+            // per-cycle reductions over each n-row block.
+            for b in 0..blocks {
+                let r0 = b * n;
+                scr.pk.matmul_tn_block_into(&scr.v, r0, n, &mut scr.kv); // d×d
+                scr.pk.col_sums_block_into(r0, n, scr.ksum.as_mut_slice()); // d×1
+                scr.pq.matmul_rows_into(&scr.ksum, r0, n, &mut scr.denom); // n×1
+                                                                           // Numerator with the normalizer divided in at write-back.
+                scr.pq
+                    .matmul_div_rows_into(&scr.kv, &scr.denom, r0, n, &mut scr.attn);
             }
-            let prop = relu(linear(base + 3, &h.spmm_by(adj)));
-            let mut mixed = Matrix::zeros(n, self.hidden_dim);
-            for i in 0..mixed.as_slice().len() {
-                mixed.as_mut_slice()[i] = (self.alpha * attn.as_slice()[i]
-                    + (1.0 - self.alpha) * prop.as_slice()[i])
-                    .max(0.0);
-            }
-            h = mixed;
+            // Propagation branch: Â applied to each cycle block, then the
+            // gcn linear with relu and the α-mix fused into its write-back
+            // over the attention buffer, which becomes the next layer's
+            // input.
+            adj.matmul_stacked_into(&scr.h, blocks, &mut scr.spmm);
+            scr.spmm.matmul_bias_act_mix_rows_into(
+                &self.weights[(base + 3) * 2],
+                &self.weights[(base + 3) * 2 + 1],
+                |v| v.max(0.0),
+                self.alpha,
+                0,
+                rows,
+                &mut scr.attn,
+            );
+            std::mem::swap(&mut scr.h, &mut scr.attn);
         }
-        h
     }
 
     /// Evaluate only the graph embedding — the inference hot path.
@@ -143,24 +266,25 @@ impl InferenceEncoder {
         let pooled = h.mean_rows();
         let w = &self.weights[(1 + self.layers * 4) * 2];
         let b = &self.weights[(1 + self.layers * 4) * 2 + 1];
-        let mut out = pooled.matmul(w);
+        let out = pooled.matmul(w);
         let scale = n * crate::encoder::SUM_POOL_SCALE;
-        for c in 0..out.cols() {
-            let v = (out.get(0, c) + b.get(0, c)) * scale;
-            out.set(0, c, v);
-        }
-        out.row(0).to_vec()
+        out.row(0)
+            .iter()
+            .zip(b.row(0))
+            .map(|(&v, &bv)| (v + bv) * scale)
+            .collect()
     }
 
     /// Batched [`encode_graph`](Self::encode_graph): embed the same graph
     /// under many feature matrices (one per cycle) in one call.
     ///
-    /// The per-cycle pooled hidden states are stacked into a single
-    /// `B×hidden` matrix so the output projection runs as **one** matmul
-    /// for the whole batch instead of `B` single-row products — the
-    /// serving path's inner loop. Results are bit-identical to calling
+    /// Cycles are processed in memory-capped chunks through the
+    /// cycle-blocked forward: one matmul
+    /// per layer per chunk instead of per cycle, segmented attention and
+    /// propagation per cycle block, and one output projection for the
+    /// whole batch. Results are bit-identical to calling
     /// [`encode_graph`](Self::encode_graph) per feature matrix, because
-    /// each output row is the same dot-product sequence.
+    /// every output element is the same dot-product sequence.
     ///
     /// # Panics
     ///
@@ -171,10 +295,10 @@ impl InferenceEncoder {
 
     /// [`encode_graph_batch`](Self::encode_graph_batch) with streamed
     /// feature construction: `make_features(i)` is called once per batch
-    /// entry and the matrix is dropped as soon as it is pooled, so only
-    /// one `n×input_dim` feature matrix is live at a time regardless of
-    /// batch size (a whole-trace batch over a large sub-module would
-    /// otherwise hold gigabytes of features at once).
+    /// entry and the matrix is dropped as soon as it is copied into the
+    /// current cycle chunk, so at most one chunk of features (bounded by
+    /// [`cycle_chunk`](Self::cycle_chunk), never a whole trace on a large
+    /// sub-module) is live at a time regardless of batch size.
     ///
     /// # Panics
     ///
@@ -183,42 +307,109 @@ impl InferenceEncoder {
         &self,
         adj: &SparseAdj,
         count: usize,
+        make_features: F,
+    ) -> Vec<Vec<f64>>
+    where
+        F: FnMut(usize) -> Matrix,
+    {
+        let chunk = self.cycle_chunk(adj.node_count());
+        self.encode_graph_batch_chunked(adj, count, chunk, make_features)
+    }
+
+    /// [`encode_graph_batch_with`](Self::encode_graph_batch_with) with an
+    /// explicit cycle-chunk size (clamped to `1..=count`). Exposed so
+    /// callers scheduling their own chunks (and the chunk-boundary parity
+    /// tests) can pick `chunk`; results are bit-identical for every
+    /// choice.
+    ///
+    /// # Panics
+    ///
+    /// Panics on feature-shape mismatch in any batch entry.
+    pub fn encode_graph_batch_chunked<F>(
+        &self,
+        adj: &SparseAdj,
+        count: usize,
+        chunk: usize,
         mut make_features: F,
     ) -> Vec<Vec<f64>>
     where
         F: FnMut(usize) -> Matrix,
     {
+        let n = adj.node_count();
+        let shape = (n, self.input_dim);
+        self.encode_graph_batch_fill(adj, count, chunk, |i, dst| {
+            let feats = make_features(i);
+            assert_eq!(
+                feats.shape(),
+                shape,
+                "feature shape mismatch in batch entry {i}"
+            );
+            dst.copy_from_slice(feats.as_slice());
+        })
+    }
+
+    /// The zero-copy core of the batched encode: `fill_features(i, dst)`
+    /// writes cycle `i`'s `n × input_dim` feature block directly into the
+    /// row-major `dst` slice of the current chunk's stacked operand, so
+    /// callers that synthesize features (static features + a toggle bit)
+    /// can skip building a per-cycle [`Matrix`] entirely.
+    ///
+    /// # Panics
+    ///
+    /// Panics on feature-shape mismatch in any batch entry.
+    pub fn encode_graph_batch_fill<F>(
+        &self,
+        adj: &SparseAdj,
+        count: usize,
+        chunk: usize,
+        mut fill_features: F,
+    ) -> Vec<Vec<f64>>
+    where
+        F: FnMut(usize, &mut [f64]),
+    {
         if count == 0 {
             return Vec::new();
         }
-        let n = adj.node_count() as f64;
+        let n = adj.node_count();
+        let chunk = chunk.clamp(1, count);
+        let block_len = n * self.input_dim;
         let mut pooled = Matrix::zeros(count, self.hidden_dim);
-        for row in 0..count {
-            let feats = make_features(row);
-            let h = self.hidden(adj, &feats);
-            let mean = h.mean_rows();
-            for c in 0..self.hidden_dim {
-                pooled.set(row, c, mean.get(0, c));
+        let mut scratch = Scratch::default();
+        let mut stacked = Matrix::zeros(0, 0);
+        let mut start = 0;
+        while start < count {
+            let b = chunk.min(count - start);
+            if stacked.shape() != (b * n, self.input_dim) {
+                stacked = Matrix::zeros(b * n, self.input_dim);
             }
+            for i in 0..b {
+                fill_features(
+                    start + i,
+                    &mut stacked.as_mut_slice()[i * block_len..(i + 1) * block_len],
+                );
+            }
+            self.hidden_blocks(adj, &stacked, b, &mut scratch);
+            for i in 0..b {
+                scratch
+                    .h
+                    .mean_rows_block_into(i * n, n, pooled.row_mut(start + i));
+            }
+            start += b;
         }
+        // One output projection for the whole batch.
         let w = &self.weights[(1 + self.layers * 4) * 2];
-        let b = &self.weights[(1 + self.layers * 4) * 2 + 1];
-        let mut out = pooled.matmul(w);
-        let scale = n * crate::encoder::SUM_POOL_SCALE;
-        for r in 0..out.rows() {
-            for c in 0..out.cols() {
-                let v = (out.get(r, c) + b.get(0, c)) * scale;
-                out.set(r, c, v);
-            }
-        }
-        (0..out.rows()).map(|r| out.row(r).to_vec()).collect()
-    }
-}
-
-impl Matrix {
-    /// `Â × self` convenience used by the inference path.
-    fn spmm_by(&self, adj: &SparseAdj) -> Matrix {
-        adj.matmul(self)
+        let bias = &self.weights[(1 + self.layers * 4) * 2 + 1];
+        let out = pooled.matmul(w);
+        let scale = n as f64 * crate::encoder::SUM_POOL_SCALE;
+        (0..count)
+            .map(|r| {
+                out.row(r)
+                    .iter()
+                    .zip(bias.row(0))
+                    .map(|(&v, &bv)| (v + bv) * scale)
+                    .collect()
+            })
+            .collect()
     }
 }
 
@@ -317,6 +508,144 @@ mod graph_fast_path_tests {
             for (a, b) in full.iter().zip(&fast) {
                 assert!((a - b).abs() < 1e-9, "fast path diverged: {a} vs {b}");
             }
+        }
+    }
+
+    #[test]
+    fn serving_width_batch_is_bit_identical() {
+        // The serving configuration (hidden 24) routes the linears through
+        // the kernel's 24-wide full-row specialization on graphs with
+        // ≥ 16 nodes per cycle block; pin batched-vs-per-cycle parity at
+        // exactly that width and size.
+        let cfg = EncoderConfig {
+            input_dim: 24,
+            hidden_dim: 24,
+            layers: 1,
+            alpha: 0.5,
+            seed: 33,
+        };
+        let frozen = InferenceEncoder::from_state(&GraphEncoder::new(cfg).state());
+        let n = 21;
+        let edges: Vec<(u32, u32)> = (0..n as u32).map(|i| (i, (i + 1) % n as u32)).collect();
+        let adj = SparseAdj::normalized_from_edges(n, &edges);
+        let feats: Vec<Matrix> = (0..9).map(|i| Matrix::xavier(n, 24, 900 + i)).collect();
+        for chunk in [1usize, 4, 16] {
+            let batched = frozen.encode_graph_batch_chunked(&adj, 9, chunk, |i| feats[i].clone());
+            for (t, f) in feats.iter().enumerate() {
+                assert_eq!(
+                    batched[t],
+                    frozen.encode_graph(&adj, f),
+                    "cycle {t} chunk {chunk} diverged"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cycle_chunk_bounds() {
+        let cfg = EncoderConfig::default();
+        let frozen = InferenceEncoder::from_state(&GraphEncoder::new(cfg).state());
+        // Huge graphs still stream cycle by cycle.
+        assert_eq!(frozen.cycle_chunk(usize::MAX / 1024), 1);
+        // Tiny graphs are capped, not unbounded.
+        assert_eq!(frozen.cycle_chunk(1), 4);
+        // Mid-size graphs land in between, monotonically non-increasing.
+        let mut last = usize::MAX;
+        for n in [10, 100, 1000, 10_000, 100_000] {
+            let c = frozen.cycle_chunk(n);
+            assert!((1..=4).contains(&c));
+            assert!(c <= last, "chunk grew with node count");
+            last = c;
+        }
+    }
+}
+
+#[cfg(test)]
+mod batched_parity_proptests {
+    use proptest::prelude::*;
+
+    use super::*;
+    use crate::encoder::{EncoderConfig, GraphEncoder};
+
+    /// A deterministic ring-with-chords graph so proptests exercise both
+    /// sparse and denser adjacency rows.
+    fn test_adj(n: usize, seed: u64) -> SparseAdj {
+        let mut edges: Vec<(u32, u32)> = (0..n as u32).map(|i| (i, (i + 1) % n as u32)).collect();
+        if n > 3 {
+            let stride = 2 + (seed as usize % (n - 2));
+            edges.extend((0..n as u32).map(|i| (i, (i as usize + stride) as u32 % n as u32)));
+        }
+        SparseAdj::normalized_from_edges(n, &edges)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig {
+            cases: 24,
+            .. ProptestConfig::default()
+        })]
+
+        /// The tentpole invariant: the layer-batched forward is
+        /// bit-identical to the per-cycle path for every combination of
+        /// layer depth, mixing weight, node count, cycle count, and chunk
+        /// size — including chunks that do not divide the cycle count and
+        /// chunks larger than the whole batch.
+        #[test]
+        fn layer_batched_hidden_is_bit_identical(
+            layers in 1usize..4,
+            n in 1usize..12,
+            cycles in 1usize..14,
+            chunk in 1usize..17,
+            alpha_pct in 0u64..101,
+            seed in 0u64..1000,
+        ) {
+            let cfg = EncoderConfig {
+                input_dim: 5,
+                hidden_dim: 9,
+                layers,
+                alpha: alpha_pct as f64 / 100.0,
+                seed,
+            };
+            let frozen = InferenceEncoder::from_state(&GraphEncoder::new(cfg).state());
+            let adj = test_adj(n, seed);
+            let feats: Vec<Matrix> =
+                (0..cycles).map(|i| Matrix::xavier(n, 5, seed * 131 + i as u64)).collect();
+
+            let batched = frozen.encode_graph_batch_chunked(
+                &adj, cycles, chunk, |i| feats[i].clone(),
+            );
+            prop_assert_eq!(batched.len(), cycles);
+            for (t, f) in feats.iter().enumerate() {
+                let per_cycle = frozen.encode_graph(&adj, f);
+                prop_assert_eq!(&batched[t], &per_cycle, "cycle {} diverged", t);
+            }
+        }
+
+        /// Chunk size is an implementation detail: any two chunkings of
+        /// the same batch agree bitwise (covers `B` not dividing `cycles`
+        /// and `cycles < B` against each other, not just the per-cycle
+        /// reference).
+        #[test]
+        fn chunkings_agree_with_each_other(
+            cycles in 1usize..12,
+            chunk_a in 1usize..15,
+            chunk_b in 1usize..15,
+            seed in 0u64..500,
+        ) {
+            let cfg = EncoderConfig {
+                input_dim: 4,
+                hidden_dim: 8,
+                layers: 2,
+                alpha: 0.5,
+                seed,
+            };
+            let frozen = InferenceEncoder::from_state(&GraphEncoder::new(cfg).state());
+            let n = 5;
+            let adj = test_adj(n, seed);
+            let feats: Vec<Matrix> =
+                (0..cycles).map(|i| Matrix::xavier(n, 4, seed * 977 + i as u64)).collect();
+            let a = frozen.encode_graph_batch_chunked(&adj, cycles, chunk_a, |i| feats[i].clone());
+            let b = frozen.encode_graph_batch_chunked(&adj, cycles, chunk_b, |i| feats[i].clone());
+            prop_assert_eq!(a, b);
         }
     }
 }

@@ -45,7 +45,7 @@ mod sparse;
 mod tensor;
 
 pub use adam::Adam;
-pub use encoder::{EncoderConfig, EncoderState, GraphEncoder};
+pub use encoder::{EncoderConfig, EncoderState, GraphEncoder, SUM_POOL_SCALE};
 pub use infer::InferenceEncoder;
 pub use linear::{Linear, MlpHead};
 pub use loss::info_nce;

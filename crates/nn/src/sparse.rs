@@ -97,30 +97,62 @@ impl SparseAdj {
         self.vals.len()
     }
 
-    /// Sparse-dense product `Â × x`.
+    /// Sparse-dense product `Â × x` — the sparse-aware entry point (the
+    /// dense [`Matrix::matmul`] kernel does not skip zeros; adjacency
+    /// products always belong here).
     ///
     /// # Panics
     ///
     /// Panics if `x.rows() != node_count()`.
     pub fn matmul(&self, x: &Matrix) -> Matrix {
-        assert_eq!(x.rows(), self.n, "spmm shape mismatch");
+        self.matmul_stacked(x, 1)
+    }
+
+    /// Block-wise `Â × x` for cycle-stacked inputs: `x` is `blocks`
+    /// vertically stacked `n×d` matrices (one per cycle) and the shared
+    /// adjacency is applied to each `n`-row block independently —
+    /// propagation, like attention, must not leak across cycles. Each
+    /// block of the result is bit-identical to [`matmul`](Self::matmul)
+    /// of that block alone.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.rows() != node_count() * blocks`.
+    pub fn matmul_stacked(&self, x: &Matrix, blocks: usize) -> Matrix {
+        let mut out = Matrix::zeros(x.rows(), x.cols());
+        self.matmul_stacked_into(x, blocks, &mut out);
+        out
+    }
+
+    /// [`matmul_stacked`](Self::matmul_stacked) into a caller-provided
+    /// buffer (fully overwritten), so hot paths can reuse scratch memory.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.rows() != node_count() * blocks` or `out` is not
+    /// shaped like `x`.
+    pub fn matmul_stacked_into(&self, x: &Matrix, blocks: usize, out: &mut Matrix) {
+        assert_eq!(x.rows(), self.n * blocks, "spmm shape mismatch");
+        assert_eq!(out.shape(), x.shape(), "spmm output shape mismatch");
         let d = x.cols();
-        let mut out = Matrix::zeros(self.n, d);
-        for r in 0..self.n {
-            let start = self.row_ptr[r] as usize;
-            let end = self.row_ptr[r + 1] as usize;
-            let orow_start = r * d;
-            for e in start..end {
-                let c = self.col_idx[e] as usize;
-                let w = self.vals[e];
-                let xrow = x.row(c);
-                let orow = &mut out.as_mut_slice()[orow_start..orow_start + d];
-                for (o, &xv) in orow.iter_mut().zip(xrow) {
-                    *o += w * xv;
+        out.fill(0.0);
+        for b in 0..blocks {
+            let base = b * self.n;
+            for r in 0..self.n {
+                let start = self.row_ptr[r] as usize;
+                let end = self.row_ptr[r + 1] as usize;
+                let orow_start = (base + r) * d;
+                for e in start..end {
+                    let c = self.col_idx[e] as usize;
+                    let w = self.vals[e];
+                    let xrow = x.row(base + c);
+                    let orow = &mut out.as_mut_slice()[orow_start..orow_start + d];
+                    for (o, &xv) in orow.iter_mut().zip(xrow) {
+                        *o += w * xv;
+                    }
                 }
             }
         }
-        out
     }
 }
 
@@ -184,6 +216,34 @@ mod tests {
         let y = adj.matmul(&x);
         assert!((y.get(0, 0) - 3.0).abs() < 1e-12);
         assert!((y.get(1, 0) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stacked_product_matches_per_block() {
+        let adj = SparseAdj::normalized_from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let blocks: Vec<Matrix> = (0..3).map(|i| Matrix::xavier(4, 5, 20 + i)).collect();
+        let mut stacked = Matrix::zeros(12, 5);
+        for (b, x) in blocks.iter().enumerate() {
+            stacked.as_mut_slice()[b * 20..(b + 1) * 20].copy_from_slice(x.as_slice());
+        }
+        let got = adj.matmul_stacked(&stacked, 3);
+        for (b, x) in blocks.iter().enumerate() {
+            let want = adj.matmul(x);
+            for r in 0..4 {
+                assert_eq!(
+                    got.row(b * 4 + r),
+                    want.row(r),
+                    "block {b} row {r} diverged"
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "spmm shape mismatch")]
+    fn stacked_product_rejects_partial_blocks() {
+        let adj = SparseAdj::normalized_from_edges(3, &[(0, 1)]);
+        let _ = adj.matmul_stacked(&Matrix::zeros(7, 2), 2);
     }
 
     #[test]

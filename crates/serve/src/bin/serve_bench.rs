@@ -6,6 +6,7 @@
 //! ```text
 //! serve_bench [--out PATH] [--scale F] [--train-cycles N] [--cycles N]
 //!             [--clients N] [--repeat N] [--idle-conns N] [--dup-clients N]
+//!             [--embed-threads N]
 //! ```
 //!
 //! The bench trains a small model, starts an in-process service, then
@@ -53,6 +54,7 @@ struct Args {
     repeat: usize,
     idle_conns: usize,
     dup_clients: usize,
+    embed_threads: usize,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -65,6 +67,7 @@ fn parse_args() -> Result<Args, String> {
         repeat: 8,
         idle_conns: 512,
         dup_clients: 8,
+        embed_threads: 1,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -87,6 +90,11 @@ fn parse_args() -> Result<Args, String> {
             }
             "--dup-clients" => {
                 args.dup_clients = value("--dup-clients")?
+                    .parse()
+                    .map_err(|e| format!("{e}"))?;
+            }
+            "--embed-threads" => {
+                args.embed_threads = value("--embed-threads")?
                     .parse()
                     .map_err(|e| format!("{e}"))?;
             }
@@ -200,6 +208,8 @@ struct BenchReport {
     scale: f64,
     cycles: usize,
     clients: usize,
+    /// Threads each worker uses inside `embed_trace` for a cold request.
+    embed_threads: usize,
     train_s: f64,
     cold: Phase,
     warm: Phase,
@@ -484,6 +494,7 @@ fn main() -> ExitCode {
         cfg.clone(),
         ServiceConfig {
             workers: args.clients.max(args.dup_clients).max(1),
+            embed_threads: args.embed_threads,
             ..ServiceConfig::default()
         },
     ));
@@ -622,6 +633,7 @@ fn main() -> ExitCode {
         scale: args.scale,
         cycles: args.cycles,
         clients: args.clients,
+        embed_threads: args.embed_threads,
         train_s,
         cold_over_warm_speedup: cold.mean_ms / warm.mean_ms.max(1e-9),
         cache_hit_latency_below_cold: warm.mean_ms < cold.mean_ms,

@@ -1,21 +1,30 @@
-//! CI perf-regression gate: compare the warm (cache-hit) p50 latency of
-//! a fresh `serve_bench` report against the committed baseline.
+//! CI perf-regression gates over the committed bench baselines.
 //!
 //! Deliberately dependency-free (compiled with bare `rustc` in CI, no
-//! cargo/registry), so the JSON "parsing" is a targeted scan for the
-//! `p50_ms` number inside the `"warm"` object.
+//! cargo/registry), so the JSON "parsing" is a targeted scan for numbers
+//! inside named objects.
 //!
 //! ```text
 //! rustc -O scripts/check_bench.rs -o check_bench
+//! # serve gate: warm (cache-hit) p50 must not regress past MAX_RATIO
 //! ./check_bench BENCH_serve.json BENCH_serve.ci.json 2.0
+//! # embed gate: batched embed throughput must not regress past
+//! # MAX_RATIO, and the fresh batched-vs-per-cycle speedup must stay
+//! # above a floor
+//! ./check_bench --infer BENCH_infer.json BENCH_infer.ci.json 2.0
 //! ```
 //!
-//! Exits non-zero when `new_p50 > baseline_p50 * max_ratio` — i.e. the
-//! cache-hit path regressed by more than the allowed factor. Also fails
-//! on malformed reports, so a bench that silently stopped emitting the
+//! Exits non-zero on a regression beyond the allowed factor, and on
+//! malformed reports, so a bench that silently stopped emitting a
 //! scenario cannot pass.
 
 use std::process::ExitCode;
+
+/// Minimum batched-over-per-cycle speedup a fresh `infer_bench` report
+/// must show at its gate scale. The committed baseline demonstrates
+/// >2x on the reference machine; CI runners vary, so the floor only
+/// guards against the batched path losing its advantage outright.
+const INFER_SPEEDUP_FLOOR: f64 = 1.2;
 
 /// Extract `field` from inside the top-level `object` of a serde-style
 /// pretty-printed JSON report.
@@ -65,9 +74,17 @@ fn extract(json: &str, object: &str, field: &str) -> Result<f64, String> {
 
 fn run() -> Result<(), String> {
     let mut args = std::env::args().skip(1);
-    let (Some(baseline_path), Some(new_path)) = (args.next(), args.next()) else {
-        return Err("usage: check_bench BASELINE.json NEW.json [MAX_RATIO]".into());
-    };
+    let mut first = args
+        .next()
+        .ok_or("usage: check_bench [--infer] BASELINE.json NEW.json [MAX_RATIO]")?;
+    let infer_mode = first == "--infer";
+    if infer_mode {
+        first = args.next().ok_or("--infer requires BASELINE.json")?;
+    }
+    let baseline_path = first;
+    let new_path = args
+        .next()
+        .ok_or("usage: check_bench [--infer] BASELINE.json NEW.json [MAX_RATIO]")?;
     let max_ratio: f64 = match args.next() {
         Some(r) => r.parse().map_err(|e| format!("bad MAX_RATIO: {e}"))?,
         None => 2.0,
@@ -76,6 +93,36 @@ fn run() -> Result<(), String> {
         .map_err(|e| format!("read {baseline_path}: {e}"))?;
     let fresh =
         std::fs::read_to_string(&new_path).map_err(|e| format!("read {new_path}: {e}"))?;
+
+    if infer_mode {
+        // Embed gate: fresh batched throughput may not fall more than
+        // max_ratio below the committed baseline, and the fresh in-run
+        // speedup over the per-cycle path must stay above the floor.
+        let base_cps = extract(&baseline, "gate", "batched_cycles_per_s")?;
+        let new_cps = extract(&fresh, "gate", "batched_cycles_per_s")?;
+        let speedup = extract(&fresh, "gate", "speedup")?;
+        if !(base_cps > 0.0) {
+            return Err(format!("baseline embed throughput not positive: {base_cps}"));
+        }
+        let ratio = base_cps / new_cps.max(1e-9);
+        println!(
+            "embed throughput: baseline {base_cps:.1} cyc/s, new {new_cps:.1} cyc/s \
+             ({ratio:.2}x slower, limit {max_ratio:.2}x); fresh speedup {speedup:.2}x \
+             (floor {INFER_SPEEDUP_FLOOR:.2}x)"
+        );
+        if ratio > max_ratio {
+            return Err(format!(
+                "batched embed throughput regressed {ratio:.2}x (> {max_ratio:.2}x allowed)"
+            ));
+        }
+        if speedup < INFER_SPEEDUP_FLOOR {
+            return Err(format!(
+                "batched-over-per-cycle speedup fell to {speedup:.2}x \
+                 (< {INFER_SPEEDUP_FLOOR:.2}x floor)"
+            ));
+        }
+        return Ok(());
+    }
 
     let base_p50 = extract(&baseline, "warm", "p50_ms")?;
     let new_p50 = extract(&fresh, "warm", "p50_ms")?;
