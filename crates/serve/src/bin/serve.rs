@@ -5,6 +5,7 @@
 //! ```text
 //! serve --registry DIR --model SPEC [--model SPEC ...]
 //!       [--default-model NAME] [--workers N] [--cache-mb N]
+//!       [--model-quota NAME=K ...] [--workload-file PATH]
 //!       [--tcp ADDR] [--max-conns N]
 //! serve --registry DIR --list
 //! ```
@@ -16,6 +17,14 @@
 //! the default model unless `--default-model` picks another. Requests
 //! route by their optional `model` field; see `docs/PROTOCOL.md` for the
 //! full wire reference.
+//!
+//! The catalog is only the *starting* set: the `load_model` and
+//! `unload_model` verbs add and remove hosted models at runtime.
+//! `--model-quota NAME=K` caps how many workers model `NAME`'s cold
+//! (uncached) requests may occupy at once — models without a flag share
+//! the pool fairly (`workers / hosted models`). `--workload-file PATH`
+//! makes the `register_workload` library durable: registrations append
+//! to the JSON-lines journal and are replayed at the next startup.
 //!
 //! In stdio mode each stdin line is a request and each stdout line the
 //! matching response; EOF shuts the service down. In TCP mode a single
@@ -41,6 +50,8 @@ struct Args {
     cache_mb: usize,
     tcp: Option<String>,
     max_conns: usize,
+    model_quotas: Vec<(String, usize)>,
+    workload_file: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -53,6 +64,8 @@ fn parse_args() -> Result<Args, String> {
         cache_mb: 256,
         tcp: None,
         max_conns: ReactorConfig::default().max_connections,
+        model_quotas: Vec::new(),
+        workload_file: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -72,6 +85,17 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("--cache-mb: {e}"))?;
             }
+            "--model-quota" => {
+                let spec = value("--model-quota")?;
+                let (name, k) = spec
+                    .split_once('=')
+                    .ok_or_else(|| format!("--model-quota `{spec}`: expected NAME=K"))?;
+                let k: usize = k
+                    .parse()
+                    .map_err(|e| format!("--model-quota {name}: {e}"))?;
+                args.model_quotas.push((name.to_owned(), k));
+            }
+            "--workload-file" => args.workload_file = Some(value("--workload-file")?),
             "--tcp" => args.tcp = Some(value("--tcp")?),
             "--max-conns" => {
                 args.max_conns = value("--max-conns")?
@@ -82,8 +106,13 @@ fn parse_args() -> Result<Args, String> {
                 println!(
                     "usage: serve --registry DIR (--model SPEC [--model SPEC ...] \
                      [--default-model NAME] [--workers N] [--cache-mb N] \
+                     [--model-quota NAME=K ...] [--workload-file PATH] \
                      [--tcp ADDR] [--max-conns N] | --list)\n\
-                     SPEC is NAME, ALIAS=NAME, or ALIAS=PATH (an .atlas.json file)"
+                     SPEC is NAME, ALIAS=NAME, or ALIAS=PATH (an .atlas.json file)\n\
+                     --model-quota caps workers tied up in NAME's cold requests \
+                     (default: workers / hosted models)\n\
+                     --workload-file journals register_workload calls and replays \
+                     them at startup"
                 );
                 std::process::exit(0);
             }
@@ -155,6 +184,8 @@ fn main() -> ExitCode {
         ServiceConfig {
             workers: args.workers,
             embedding_cache_bytes: args.cache_mb.saturating_mul(1 << 20),
+            model_quotas: args.model_quotas.iter().cloned().collect(),
+            workload_file: args.workload_file.as_ref().map(Into::into),
             ..ServiceConfig::default()
         },
     ) {
@@ -198,6 +229,23 @@ fn answer(service: &AtlasService, line: &str) -> String {
             service.default_model(),
             service.models(),
         )),
+        Ok(RequestLine::LoadModel(req)) => match service.load_model_file(&req.name, &req.path) {
+            Ok(model) => protocol::render_line(&protocol::LoadModelResponse {
+                id: req.id,
+                verb: "load_model".to_owned(),
+                model,
+                default_model: service.default_model().to_owned(),
+            }),
+            Err(e) => protocol::render_result(&Err((req.id, e))),
+        },
+        Ok(RequestLine::UnloadModel(req)) => match service.unload_model(&req.name) {
+            Ok(()) => protocol::render_line(&protocol::UnloadModelResponse {
+                id: req.id,
+                verb: "unload_model".to_owned(),
+                name: req.name,
+            }),
+            Err(e) => protocol::render_result(&Err((req.id, e))),
+        },
         Ok(RequestLine::Workloads { id }) => {
             protocol::render_line(&protocol::workloads_response(id, service.workloads()))
         }

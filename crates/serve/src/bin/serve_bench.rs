@@ -6,11 +6,11 @@
 //! ```text
 //! serve_bench [--out PATH] [--scale F] [--train-cycles N] [--cycles N]
 //!             [--clients N] [--repeat N] [--idle-conns N] [--dup-clients N]
-//!             [--embed-threads N]
+//!             [--embed-threads N] [--storm-clients N]
 //! ```
 //!
 //! The bench trains a small model, starts an in-process service, then
-//! runs six scenarios:
+//! runs eight scenarios:
 //!
 //! * **cold** — every (design, workload) pair of the unseen test designs
 //!   on an empty cache (each request pays design generation, simulation,
@@ -31,17 +31,30 @@
 //! * **multimodel** — one model hosted under two serving names; a
 //!   name-addressed request must answer bit-identically to the
 //!   default-addressed one, and each model must account its cache
-//!   occupancy separately.
+//!   occupancy separately;
+//! * **reload** — a model file hot-loaded and unloaded in a loop while
+//!   warm traffic runs on the default model; the churn must answer zero
+//!   errors on the stable model, the loaded copy must answer
+//!   bit-identically, and the unloaded name must yield a structured
+//!   `unknown_model` error;
+//! * **quota-storm** — `--storm-clients` clients hammer distinct cold
+//!   keys on a quota-1 model while another model's warm p50 is measured;
+//!   the victim's p50 must stay within 3x of its idle p50 (gated here
+//!   and in `scripts/check_bench.rs`).
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Barrier};
 use std::time::Instant;
 
 use atlas_core::pipeline::{train_atlas, ExperimentConfig};
 use atlas_serve::reactor::{Reactor, ReactorConfig};
-use atlas_serve::{AtlasService, ModelCatalog, PredictRequest, PredictResponse, ServiceConfig};
+use atlas_serve::{
+    AtlasService, ModelCatalog, ModelRegistry, PredictRequest, PredictResponse, ServeError,
+    ServiceConfig,
+};
 use atlas_sim::WorkloadPhase;
 use serde::Serialize;
 
@@ -55,6 +68,7 @@ struct Args {
     idle_conns: usize,
     dup_clients: usize,
     embed_threads: usize,
+    storm_clients: usize,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -68,6 +82,7 @@ fn parse_args() -> Result<Args, String> {
         idle_conns: 512,
         dup_clients: 8,
         embed_threads: 1,
+        storm_clients: 6,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -95,6 +110,11 @@ fn parse_args() -> Result<Args, String> {
             }
             "--embed-threads" => {
                 args.embed_threads = value("--embed-threads")?
+                    .parse()
+                    .map_err(|e| format!("{e}"))?;
+            }
+            "--storm-clients" => {
+                args.storm_clients = value("--storm-clients")?
                     .parse()
                     .map_err(|e| format!("{e}"))?;
             }
@@ -203,6 +223,53 @@ struct MultiModelScenario {
     per_model: Vec<ModelOccupancy>,
 }
 
+/// The hot-reload scenario: load/unload churn under live traffic.
+#[derive(Debug, Serialize)]
+struct ReloadScenario {
+    /// Load → unload cycles completed while traffic ran.
+    reload_cycles: u64,
+    /// Warm requests answered on the default model during the churn.
+    requests_during_churn: usize,
+    /// Errors among them (gate: must be 0 — reloads never disturb other
+    /// models' traffic).
+    errors_during_churn: usize,
+    /// Whether a hot-loaded copy of the same weights answered
+    /// bit-identically to the default model (gate: must be true).
+    loaded_model_parity: bool,
+    /// Whether predicting on the unloaded name produced a structured
+    /// `unknown_model` error (gate: must be true).
+    unknown_after_unload: bool,
+    /// Latency of the default-model warm traffic during the churn.
+    during_churn: Phase,
+}
+
+/// The quota-storm scenario: one model's cold storm must not starve
+/// another model's warm traffic.
+#[derive(Debug, Serialize)]
+struct QuotaStormScenario {
+    /// Workers of the dedicated two-model service.
+    workers: usize,
+    /// Explicit cold-compute quota of the storm model.
+    storm_quota: usize,
+    /// Concurrent storm clients issuing distinct cold keys.
+    storm_clients: usize,
+    /// Victim warm p50 with no storm running (client-observed,
+    /// includes queue wait).
+    victim_idle_p50_ms: f64,
+    /// Victim warm p50 while the storm saturates its quota.
+    victim_storm_p50_ms: f64,
+    /// `victim_storm_p50_ms / victim_idle_p50_ms` — gated ≤ 3x by
+    /// `scripts/check_bench.rs`.
+    p50_ratio: f64,
+    /// Storm requests parked behind the saturated quota (must be > 0:
+    /// proof the storm actually saturated).
+    storm_queued: u64,
+    /// Storm requests rejected at the parking bound.
+    storm_rejected: u64,
+    /// Cold pipelines the storm model ran.
+    storm_embeddings_computed: u64,
+}
+
 #[derive(Debug, Serialize)]
 struct BenchReport {
     scale: f64,
@@ -223,6 +290,8 @@ struct BenchReport {
     dupkey: DupKeyScenario,
     regwl: RegisteredWorkloadScenario,
     multimodel: MultiModelScenario,
+    reload: ReloadScenario,
+    quota_storm: QuotaStormScenario,
 }
 
 /// Current thread count of this process, from /proc (Linux).
@@ -468,6 +537,206 @@ fn run_multimodel_scenario(
     })
 }
 
+/// The hot-reload scenario: a model file is loaded and unloaded in a
+/// tight loop while warm traffic runs on the default model; reload churn
+/// must never disturb it, and the control-plane semantics (parity,
+/// structured unknown_model after unload) must hold.
+fn run_reload_scenario(
+    service: &Arc<AtlasService>,
+    model: &atlas_core::AtlasModel,
+    cfg: &ExperimentConfig,
+    cycles: usize,
+    repeat: usize,
+) -> Result<ReloadScenario, String> {
+    let dir = std::env::temp_dir().join(format!("atlas-serve-bench-{}", std::process::id()));
+    let registry = ModelRegistry::open(&dir).map_err(|e| format!("bench registry: {e}"))?;
+    let path = registry
+        .save("bench-hot", model, cfg)
+        .map_err(|e| format!("save bench model: {e}"))?;
+
+    // Semantics first: load, check parity against the (warm) default
+    // model, unload, check the structured error.
+    service
+        .load_model_file("bench-hot", &path)
+        .map_err(|e| format!("hot load: {e}"))?;
+    let base = service
+        .call(PredictRequest::new("C2", "W1", cycles))
+        .map_err(|e| format!("default-model request: {e}"))?;
+    let hot = service
+        .call(PredictRequest::new("C2", "W1", cycles).on_model("bench-hot"))
+        .map_err(|e| format!("loaded-model request: {e}"))?;
+    let loaded_model_parity = hot.per_cycle_total_w == base.per_cycle_total_w;
+    service
+        .unload_model("bench-hot")
+        .map_err(|e| format!("unload: {e}"))?;
+    let unknown_after_unload = matches!(
+        service.call(PredictRequest::new("C2", "W1", cycles).on_model("bench-hot")),
+        Err(ServeError::UnknownModel(_))
+    );
+
+    // Churn while measuring the default model's warm traffic.
+    let stop = AtomicBool::new(false);
+    let requests = (repeat * 8).max(64);
+    let (reload_cycles, errors, lat, wall_s) = std::thread::scope(|scope| {
+        let churner = {
+            let service = Arc::clone(service);
+            let stop = &stop;
+            let path = path.clone();
+            scope.spawn(move || {
+                let mut cycles = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    if service.load_model_file("bench-hot", &path).is_ok()
+                        && service.unload_model("bench-hot").is_ok()
+                    {
+                        cycles += 1;
+                    }
+                }
+                cycles
+            })
+        };
+        let mut lat = Vec::with_capacity(requests);
+        let mut errors = 0usize;
+        let t0 = Instant::now();
+        for _ in 0..requests {
+            let t = Instant::now();
+            match service.call(PredictRequest::new("C2", "W1", cycles)) {
+                Ok(_) => lat.push(t.elapsed().as_secs_f64() * 1e3),
+                Err(_) => errors += 1,
+            }
+        }
+        let wall_s = t0.elapsed().as_secs_f64();
+        stop.store(true, Ordering::Relaxed);
+        let reload_cycles = churner.join().expect("churn thread");
+        (reload_cycles, errors, lat, wall_s)
+    });
+
+    let _ = std::fs::remove_dir_all(&dir);
+    Ok(ReloadScenario {
+        reload_cycles,
+        requests_during_churn: requests,
+        errors_during_churn: errors,
+        loaded_model_parity,
+        unknown_after_unload,
+        during_churn: phase(lat, wall_s),
+    })
+}
+
+/// The quota-storm scenario: a dedicated two-model service where storm
+/// clients hammer distinct cold keys on one model (quota 1) while the
+/// victim model's warm p50 is measured; the quota must keep it near its
+/// idle latency.
+fn run_quota_storm_scenario(
+    model: &atlas_core::AtlasModel,
+    cfg: &ExperimentConfig,
+    cycles: usize,
+    storm_clients: usize,
+) -> Result<QuotaStormScenario, String> {
+    let workers = 4;
+    let storm_quota = 1;
+    let mut catalog = ModelCatalog::new();
+    catalog
+        .insert_model("victim", model.clone(), cfg.clone())
+        .map_err(|e| format!("catalog: {e}"))?;
+    catalog
+        .insert_model("storm", model.clone(), cfg.clone())
+        .map_err(|e| format!("catalog: {e}"))?;
+    let service = Arc::new(
+        AtlasService::start_catalog(
+            catalog,
+            ServiceConfig {
+                workers,
+                model_quotas: [("storm".to_owned(), storm_quota)].into_iter().collect(),
+                ..ServiceConfig::default()
+            },
+        )
+        .map_err(|e| format!("start_catalog: {e}"))?,
+    );
+
+    // Client-observed latency (includes queue wait — exactly what a
+    // starved victim would pay; the server-side latency_ms field does
+    // not see the queue).
+    let victim_req = PredictRequest::new("C2", "W1", cycles).on_model("victim");
+    let p50 = |service: &AtlasService, n: usize| -> Result<f64, String> {
+        let mut lat = Vec::with_capacity(n);
+        for _ in 0..n {
+            let t = Instant::now();
+            service
+                .call(victim_req.clone())
+                .map_err(|e| format!("victim request: {e}"))?;
+            lat.push(t.elapsed().as_secs_f64() * 1e3);
+        }
+        lat.sort_by(|a, b| a.total_cmp(b));
+        Ok(lat[lat.len() / 2])
+    };
+    service
+        .call(victim_req.clone())
+        .map_err(|e| format!("victim warm-up: {e}"))?;
+    let victim_idle_p50_ms = p50(&service, 100)?;
+
+    let stop = AtomicBool::new(false);
+    let victim_storm_p50_ms = std::thread::scope(|scope| -> Result<f64, String> {
+        for client in 0..storm_clients as u64 {
+            let service = Arc::clone(&service);
+            let stop = &stop;
+            let clients = storm_clients as u64;
+            scope.spawn(move || {
+                let mut i = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    // Distinct cycles per (client, iteration): every
+                    // request is a fresh cold key, nothing coalesces.
+                    let storm_cycles = 16 + ((client + clients * i) % 256) as usize;
+                    let reply = service
+                        .call(PredictRequest::new("C4", "W2", storm_cycles).on_model("storm"));
+                    assert!(
+                        matches!(reply, Ok(_) | Err(ServeError::QuotaExceeded(_))),
+                        "storm replies must be completions or quota rejections: {reply:?}"
+                    );
+                    i += 1;
+                }
+            });
+        }
+        // Wait until the storm has actually saturated its quota.
+        let deadline = Instant::now() + std::time::Duration::from_secs(30);
+        loop {
+            let stats = service.stats();
+            let storm = stats
+                .models
+                .iter()
+                .find(|m| m.model == "storm")
+                .expect("storm model stats");
+            if storm.queued > 0 {
+                break;
+            }
+            if Instant::now() > deadline {
+                stop.store(true, Ordering::Relaxed);
+                return Err("storm never saturated its quota".into());
+            }
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        let p50 = p50(&service, 200);
+        stop.store(true, Ordering::Relaxed);
+        p50
+    })?;
+
+    let stats = service.stats();
+    let storm = stats
+        .models
+        .iter()
+        .find(|m| m.model == "storm")
+        .expect("storm model stats");
+    Ok(QuotaStormScenario {
+        workers,
+        storm_quota,
+        storm_clients,
+        victim_idle_p50_ms,
+        victim_storm_p50_ms,
+        p50_ratio: victim_storm_p50_ms / victim_idle_p50_ms.max(1e-9),
+        storm_queued: storm.queued,
+        storm_rejected: storm.rejected_quota,
+        storm_embeddings_computed: storm.embeddings_computed,
+    })
+}
+
 fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(args) => args,
@@ -628,6 +897,47 @@ fn main() -> ExitCode {
             .collect::<Vec<_>>()
     );
 
+    // Hot-reload pass: control-plane churn under live traffic.
+    let reload = match run_reload_scenario(&service, &trained.model, &cfg, args.cycles, args.repeat)
+    {
+        Ok(reload) => reload,
+        Err(e) => {
+            eprintln!("error: reload scenario: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "reload: {} load/unload cycles under {} warm requests ({} errors), p50 {:.2} ms",
+        reload.reload_cycles,
+        reload.requests_during_churn,
+        reload.errors_during_churn,
+        reload.during_churn.p50_ms
+    );
+
+    // Quota-storm pass: per-model quotas under a cold storm.
+    let quota_storm = match run_quota_storm_scenario(
+        &trained.model,
+        &cfg,
+        args.cycles,
+        args.storm_clients.max(1),
+    ) {
+        Ok(quota_storm) => quota_storm,
+        Err(e) => {
+            eprintln!("error: quota-storm scenario: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "quota-storm: victim p50 {:.2} ms under storm vs {:.2} ms idle ({:.2}x), \
+         storm queued {} / rejected {} / computed {}",
+        quota_storm.victim_storm_p50_ms,
+        quota_storm.victim_idle_p50_ms,
+        quota_storm.p50_ratio,
+        quota_storm.storm_queued,
+        quota_storm.storm_rejected,
+        quota_storm.storm_embeddings_computed
+    );
+
     let stats = service.stats();
     let report = BenchReport {
         scale: args.scale,
@@ -647,6 +957,8 @@ fn main() -> ExitCode {
         dupkey,
         regwl,
         multimodel,
+        reload,
+        quota_storm,
     };
     println!(
         "cache-hit speedup over cold: {:.1}x (hit latency below cold: {})",
@@ -693,6 +1005,32 @@ fn main() -> ExitCode {
     }
     if !report.multimodel.name_addressed_parity || !report.multimodel.named_route_shares_cache {
         eprintln!("error: multi-model routing broke parity or cache sharing");
+        return ExitCode::FAILURE;
+    }
+    if report.reload.errors_during_churn != 0
+        || !report.reload.loaded_model_parity
+        || !report.reload.unknown_after_unload
+        || report.reload.reload_cycles == 0
+    {
+        eprintln!(
+            "error: reload scenario failed ({} errors during churn, parity {}, \
+             unknown-after-unload {}, {} cycles)",
+            report.reload.errors_during_churn,
+            report.reload.loaded_model_parity,
+            report.reload.unknown_after_unload,
+            report.reload.reload_cycles
+        );
+        return ExitCode::FAILURE;
+    }
+    if report.quota_storm.storm_queued == 0 {
+        eprintln!("error: quota-storm scenario never saturated the storm quota");
+        return ExitCode::FAILURE;
+    }
+    if report.quota_storm.p50_ratio > 3.0 {
+        eprintln!(
+            "error: victim p50 under storm regressed {:.2}x over idle (> 3x allowed)",
+            report.quota_storm.p50_ratio
+        );
         return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS

@@ -134,6 +134,11 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
     /// Insert (or refresh) an entry of the given weight, evicting
     /// least-recently-used entries until the budget holds.
     ///
+    /// Replacing a resident key counts as a *use*: the entry moves to
+    /// most-recently-used (and its old weight is released before
+    /// eviction runs, so the replaced entry itself is never an eviction
+    /// candidate for its own insert).
+    ///
     /// Returns `false` — leaving the cache untouched — when `weight`
     /// alone exceeds the budget: a single oversized value is rejected
     /// outright rather than evicting everything and still not fitting.
@@ -263,6 +268,52 @@ mod tests {
         assert!(cache.get(&1).is_some());
         assert!(cache.get(&2).is_none());
         assert_eq!(cache.stats().weight, 64);
+    }
+
+    /// Regression pin for the recency semantics of `insert_weighted`
+    /// replacement: overwriting a resident key must move it to
+    /// most-recently-used, so later over-budget inserts evict the *other*
+    /// entries first — and the replacement itself may only evict entries
+    /// older than the one it refreshes.
+    #[test]
+    fn replacement_refreshes_recency_for_eviction_order() {
+        let cache: LruCache<u32, u32> = LruCache::with_budget(12);
+        assert!(cache.insert_weighted(1, Arc::new(10), 4)); // oldest
+        assert!(cache.insert_weighted(2, Arc::new(20), 4));
+        assert!(cache.insert_weighted(3, Arc::new(30), 4));
+        // Replace key 1 (same weight): key 2 becomes the LRU entry.
+        assert!(cache.insert_weighted(1, Arc::new(11), 4));
+        assert!(cache.insert_weighted(4, Arc::new(40), 4));
+        assert!(
+            cache.get(&2).is_none(),
+            "after replacing key 1, key 2 is the eviction victim"
+        );
+        assert_eq!(cache.get(&1).as_deref(), Some(&11), "replaced key survives");
+        assert!(cache.get(&3).is_some());
+        assert!(cache.get(&4).is_some());
+
+        // Replacement that *grows* an entry evicts strictly oldest-first
+        // among the others and never the replaced key itself.
+        let cache: LruCache<u32, u32> = LruCache::with_budget(12);
+        assert!(cache.insert_weighted(1, Arc::new(10), 4));
+        assert!(cache.insert_weighted(2, Arc::new(20), 4));
+        assert!(cache.insert_weighted(3, Arc::new(30), 4));
+        assert!(cache.insert_weighted(1, Arc::new(12), 8)); // 4 → 8: must free 4
+        assert!(cache.get(&2).is_none(), "oldest other entry is evicted");
+        assert!(cache.get(&3).is_some(), "newer entry survives the growth");
+        assert_eq!(cache.get(&1).as_deref(), Some(&12));
+        let stats = cache.stats();
+        assert_eq!((stats.len, stats.weight), (2, 12));
+
+        // The unit-weight `insert` front end pins the same semantics.
+        let cache: LruCache<u32, u32> = LruCache::new(2);
+        cache.insert(1, Arc::new(10));
+        cache.insert(2, Arc::new(20));
+        cache.insert(1, Arc::new(11)); // refresh: 2 is now LRU
+        cache.insert(3, Arc::new(30));
+        assert!(cache.get(&2).is_none());
+        assert_eq!(cache.get(&1).as_deref(), Some(&11));
+        assert!(cache.get(&3).is_some());
     }
 
     #[test]

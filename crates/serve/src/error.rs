@@ -21,6 +21,10 @@ pub enum ServeError {
     UnknownModel(String),
     /// The request was structurally invalid (bad JSON, zero cycles, ...).
     InvalidRequest(String),
+    /// The request needed a cold computation on a model whose
+    /// cold-compute quota *and* admission queue are both full — the
+    /// structured back-pressure signal of per-model worker quotas.
+    QuotaExceeded(String),
     /// Workload simulation failed on the generated design.
     Simulation(String),
     /// A model registry operation failed.
@@ -37,6 +41,7 @@ impl ServeError {
             ServeError::UnknownWorkload(_) => "unknown_workload",
             ServeError::UnknownModel(_) => "unknown_model",
             ServeError::InvalidRequest(_) => "invalid_request",
+            ServeError::QuotaExceeded(_) => "quota_exceeded",
             ServeError::Simulation(_) => "simulation",
             ServeError::Registry(_) => "registry",
             ServeError::Shutdown => "shutdown",
@@ -51,6 +56,10 @@ impl fmt::Display for ServeError {
             ServeError::UnknownWorkload(name) => write!(f, "unknown workload `{name}`"),
             ServeError::UnknownModel(name) => write!(f, "unknown model `{name}`"),
             ServeError::InvalidRequest(msg) => write!(f, "invalid request: {msg}"),
+            ServeError::QuotaExceeded(model) => write!(
+                f,
+                "model `{model}` is at its cold-compute quota and its admission queue is full"
+            ),
             ServeError::Simulation(msg) => write!(f, "simulation failed: {msg}"),
             ServeError::Registry(msg) => write!(f, "registry error: {msg}"),
             ServeError::Shutdown => write!(f, "service is shut down"),
@@ -94,6 +103,10 @@ mod tests {
             "invalid_request"
         );
         assert_eq!(ServeError::UnknownModel("m".into()).kind(), "unknown_model");
+        assert_eq!(
+            ServeError::QuotaExceeded("m".into()).kind(),
+            "quota_exceeded"
+        );
         assert_eq!(
             ServeError::UnknownModel("m".into()).to_string(),
             "unknown model `m`"

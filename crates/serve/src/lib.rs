@@ -15,15 +15,21 @@
 //!   embeddings under a **byte budget**), so repeat requests skip
 //!   netlist generation, feature construction, and all encoder forwards;
 //!   concurrent cold requests for one key are **single-flighted** into
-//!   one computation; plus the server-side **workload library**
-//!   (register a phase schedule once, reference it by name forever);
+//!   one computation and admitted through per-model **cold-compute
+//!   quotas** ([`quota`]) so one model's cold storm cannot starve the
+//!   rest; plus the server-side **workload library** (register a phase
+//!   schedule once, reference it by name forever — optionally journaled
+//!   to disk and replayed at startup), and the live control plane
+//!   (`load_model`/`unload_model` mutate the hosted catalog without a
+//!   restart);
 //! * [`reactor`] — the non-blocking TCP front door: one epoll thread
 //!   multiplexes thousands of connections with per-connection
 //!   back-pressure, so idle clients cost buffers instead of threads;
 //! * [`protocol`] — the JSON-lines request/response wire format spoken
 //!   over stdin/stdout or TCP by the `serve` binary: the `predict`,
-//!   `stats`, `models`, `register_workload`, and `workloads` verbs
-//!   (full reference in `docs/PROTOCOL.md`);
+//!   `stats`, `models`, `load_model`, `unload_model`,
+//!   `register_workload`, and `workloads` verbs (full reference in
+//!   `docs/PROTOCOL.md`);
 //! * [`error`] — typed errors ([`ServeError`]) replacing the panics of
 //!   the batch drivers.
 //!
@@ -72,6 +78,7 @@
 pub mod cache;
 pub mod error;
 pub mod protocol;
+pub mod quota;
 pub mod reactor;
 pub mod registry;
 pub mod service;
@@ -79,12 +86,14 @@ pub mod service;
 pub use cache::{CacheStats, LruCache};
 pub use error::ServeError;
 pub use protocol::{
-    ErrorResponse, GroupSummary, ModelsResponse, PredictRequest, PredictResponse,
-    RegisterWorkloadRequest, RegisterWorkloadResponse, RequestLine, StatsResponse,
-    WorkloadsResponse,
+    ErrorResponse, GroupSummary, LoadModelRequest, LoadModelResponse, ModelsResponse,
+    PredictRequest, PredictResponse, RegisterWorkloadRequest, RegisterWorkloadResponse,
+    RequestLine, StatsResponse, UnloadModelRequest, UnloadModelResponse, WorkloadsResponse,
 };
+pub use quota::{Admission, QuotaGate};
 pub use reactor::{Reactor, ReactorConfig, ReactorHandle, ReactorStats};
 pub use registry::{ModelCatalog, ModelRegistry, RegistryError, SavedModel, FORMAT_VERSION};
 pub use service::{
-    AtlasService, ModelInfo, ModelStats, RegisteredWorkload, Reply, ServiceConfig, ServiceStats,
+    parse_workload_journal, render_journal_entry, AtlasService, ModelInfo, ModelStats,
+    RegisteredWorkload, Reply, ServiceConfig, ServiceStats, WorkloadJournalEntry,
 };

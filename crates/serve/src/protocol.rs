@@ -16,8 +16,9 @@
 //! ```
 //!
 //! A line with a `verb` field is dispatched by verb (`"predict"`,
-//! `"stats"`, `"models"`, `"register_workload"`, `"workloads"`); a line
-//! without one is a predict request. Predict requests may address a
+//! `"stats"`, `"models"`, `"load_model"`, `"unload_model"`,
+//! `"register_workload"`, `"workloads"`); a line without one is a
+//! predict request. Predict requests may address a
 //! specific hosted model via [`PredictRequest::model`] and may carry
 //! their workload three ways: a preset name in `workload`, an inline
 //! phase schedule in `phases`, or the name of a server-registered
@@ -129,6 +130,32 @@ pub struct RegisterWorkloadRequest {
     pub phases: Vec<WorkloadPhase>,
 }
 
+/// The `load_model` verb body: add a model file to the live catalog
+/// under a serving name, without restarting the service. The file is
+/// validated exactly like a startup `--model` spec (format version +
+/// config fingerprint via `ModelRegistry::load_file`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LoadModelRequest {
+    /// Client-chosen correlation id, echoed in the response.
+    pub id: Option<u64>,
+    /// Serving name to host the model under (the `model` field of later
+    /// predict requests).
+    pub name: String,
+    /// Path of the `.atlas.json` model file, resolved on the server.
+    pub path: String,
+}
+
+/// The `unload_model` verb body: remove a hosted model from the live
+/// catalog. In-flight requests on it drain cleanly; the default model
+/// cannot be unloaded.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UnloadModelRequest {
+    /// Client-chosen correlation id, echoed in the response.
+    pub id: Option<u64>,
+    /// Serving name of the model to unload.
+    pub name: String,
+}
+
 /// One parsed protocol line, dispatched by verb.
 #[derive(Debug, Clone, PartialEq)]
 pub enum RequestLine {
@@ -144,6 +171,10 @@ pub enum RequestLine {
         /// Client-chosen correlation id, echoed in the response.
         id: Option<u64>,
     },
+    /// A hot model load (`"verb":"load_model"`).
+    LoadModel(LoadModelRequest),
+    /// A hot model unload (`"verb":"unload_model"`).
+    UnloadModel(UnloadModelRequest),
     /// A workload registration (`"verb":"register_workload"`).
     RegisterWorkload(RegisterWorkloadRequest),
     /// A workload-library listing request (`"verb":"workloads"`).
@@ -225,6 +256,32 @@ pub fn models_response(
         default_model: default_model.into(),
         models,
     }
+}
+
+/// The reply to a successful `load_model` verb: the freshly hosted
+/// model, already routable and visible to `models`/`stats`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LoadModelResponse {
+    /// Echo of the request id.
+    pub id: Option<u64>,
+    /// Always `"load_model"`.
+    pub verb: String,
+    /// The loaded model's identity (serving name, format version,
+    /// config fingerprint).
+    pub model: ModelInfo,
+    /// The (unchanged) default serving name, for client convenience.
+    pub default_model: String,
+}
+
+/// The reply to a successful `unload_model` verb.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct UnloadModelResponse {
+    /// Echo of the request id.
+    pub id: Option<u64>,
+    /// Always `"unload_model"`.
+    pub verb: String,
+    /// Serving name that was unloaded (no longer routable).
+    pub name: String,
 }
 
 /// The reply to a successful `register_workload` verb.
@@ -439,6 +496,12 @@ pub fn parse_line(line: &str) -> Result<RequestLine, ServeError> {
         Some("models") => Ok(RequestLine::Models {
             id: id_of("models")?,
         }),
+        Some("load_model") => LoadModelRequest::from_value(&value)
+            .map(RequestLine::LoadModel)
+            .map_err(|e| bad(format!("bad load_model line: {e}"))),
+        Some("unload_model") => UnloadModelRequest::from_value(&value)
+            .map(RequestLine::UnloadModel)
+            .map_err(|e| bad(format!("bad unload_model line: {e}"))),
         Some("workloads") => Ok(RequestLine::Workloads {
             id: id_of("workloads")?,
         }),
@@ -659,6 +722,9 @@ mod tests {
                 errors: 2,
                 embeddings_computed: 3,
                 coalesced_requests: 4,
+                quota: 4,
+                queued: 9,
+                rejected_quota: 1,
                 embedding_cache,
                 design_cache,
             }],
@@ -668,9 +734,64 @@ mod tests {
         assert_eq!(resp.embedding_cache.budget, 1_000_000);
         assert_eq!(resp.models.len(), 1);
         assert_eq!(resp.models[0].model, "alpha");
+        assert_eq!(resp.models[0].quota, 4);
+        assert_eq!(resp.models[0].queued, 9);
+        assert_eq!(resp.models[0].rejected_quota, 1);
         let line = render_stats(&resp);
         let back: StatsResponse = serde_json::from_str(&line).expect("parses");
         assert_eq!(back, resp);
+    }
+
+    #[test]
+    fn control_plane_verbs_parse_and_roundtrip() {
+        // The hot-reload verbs parse with their ids.
+        assert_eq!(
+            parse_line(r#"{"verb":"load_model","id":7,"name":"canary","path":"/m/v2.atlas.json"}"#),
+            Ok(RequestLine::LoadModel(LoadModelRequest {
+                id: Some(7),
+                name: "canary".into(),
+                path: "/m/v2.atlas.json".into(),
+            }))
+        );
+        assert_eq!(
+            parse_line(r#"{"verb":"unload_model","name":"canary"}"#),
+            Ok(RequestLine::UnloadModel(UnloadModelRequest {
+                id: None,
+                name: "canary".into(),
+            }))
+        );
+        // Missing required fields are typed errors.
+        assert!(matches!(
+            parse_line(r#"{"verb":"load_model","id":7,"name":"canary"}"#),
+            Err(ServeError::InvalidRequest(_))
+        ));
+        assert!(matches!(
+            parse_line(r#"{"verb":"unload_model","id":8}"#),
+            Err(ServeError::InvalidRequest(_))
+        ));
+
+        // The responses render and parse back.
+        let loaded = LoadModelResponse {
+            id: Some(7),
+            verb: "load_model".into(),
+            model: ModelInfo {
+                name: "canary".into(),
+                format_version: 1,
+                config_fingerprint: 0xFEED,
+            },
+            default_model: "stable".into(),
+        };
+        let line = render_line(&loaded);
+        let back: LoadModelResponse = serde_json::from_str(&line).expect("parses");
+        assert_eq!(back, loaded);
+        let unloaded = UnloadModelResponse {
+            id: None,
+            verb: "unload_model".into(),
+            name: "canary".into(),
+        };
+        let line = render_line(&unloaded);
+        let back: UnloadModelResponse = serde_json::from_str(&line).expect("parses");
+        assert_eq!(back, unloaded);
     }
 
     #[test]

@@ -1,0 +1,200 @@
+//! Per-model admission control for cold work: a counting gate with a
+//! bounded parking queue.
+//!
+//! The worker pool is shared by every hosted model, so without a limit a
+//! *cold storm* on one model — many concurrent requests that all need the
+//! expensive simulate + encode pipeline — occupies every worker and
+//! starves the other models' cheap warm requests. A [`QuotaGate`] bounds
+//! how many workers one model may tie up in cold work at once:
+//!
+//! * [`QuotaGate::admit`] grants a slot while fewer than `quota` are
+//!   running; otherwise it **parks** the work item (up to a bound) so the
+//!   worker thread is immediately free for other models' requests;
+//! * [`QuotaGate::release`] frees a slot and hands back one parked item
+//!   for the caller to re-dispatch through the shared pool;
+//! * beyond the parking bound, items are **rejected** outright — the
+//!   structured `quota_exceeded` back-pressure signal of the wire
+//!   protocol.
+//!
+//! The gate stores the parked payloads itself, so the park/grant decision
+//! and the release/hand-back pairing are atomic under one mutex. That
+//! gives the liveness invariant the serving layer relies on: an item is
+//! only ever parked while `running == quota ≥ 1`, so there is always a
+//! later `release` to pop it — no lost wakeups.
+//!
+//! The quota is passed *per call* rather than stored, because the fair
+//! default share (`workers / hosted models`) changes as models are
+//! hot-loaded and unloaded.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Outcome of one [`QuotaGate::admit`] call.
+#[derive(Debug)]
+pub enum Admission<T> {
+    /// A slot was granted and the item handed back: run the work now and
+    /// call [`QuotaGate::release`] when it finishes (use a drop guard so
+    /// panics release too).
+    Granted(T),
+    /// The gate is saturated; the item was parked inside the gate. A
+    /// later [`QuotaGate::release`] hands it back for re-dispatch.
+    Parked,
+    /// Both the gate and its parking queue are full; the item is handed
+    /// back so the caller can answer with a structured rejection.
+    Rejected(T),
+}
+
+/// A counting admission gate with a bounded parking queue (see the
+/// module docs for the serving-layer role).
+#[derive(Debug)]
+pub struct QuotaGate<T> {
+    max_parked: usize,
+    inner: Mutex<Inner<T>>,
+    queued: AtomicU64,
+    rejected: AtomicU64,
+}
+
+#[derive(Debug)]
+struct Inner<T> {
+    running: usize,
+    parked: VecDeque<T>,
+}
+
+impl<T> QuotaGate<T> {
+    /// A gate parking at most `max_parked` items while saturated.
+    pub fn new(max_parked: usize) -> QuotaGate<T> {
+        QuotaGate {
+            max_parked,
+            inner: Mutex::new(Inner {
+                running: 0,
+                parked: VecDeque::new(),
+            }),
+            queued: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+        }
+    }
+
+    /// Try to occupy a slot under `quota` (clamped to ≥ 1): grant when
+    /// below it, park the item when saturated, reject when the parking
+    /// queue is full too.
+    pub fn admit(&self, quota: usize, item: T) -> Admission<T> {
+        let quota = quota.max(1);
+        let mut inner = self.inner.lock().expect("quota gate lock");
+        if inner.running < quota {
+            inner.running += 1;
+            return Admission::Granted(item);
+        }
+        if inner.parked.len() < self.max_parked {
+            inner.parked.push_back(item);
+            self.queued.fetch_add(1, Ordering::Relaxed);
+            Admission::Parked
+        } else {
+            self.rejected.fetch_add(1, Ordering::Relaxed);
+            Admission::Rejected(item)
+        }
+    }
+
+    /// Free one granted slot and pop the oldest parked item, which the
+    /// caller must re-dispatch (it re-enters [`QuotaGate::admit`] rather
+    /// than inheriting the slot, so a raised quota takes effect and the
+    /// work re-checks caches it may no longer need).
+    pub fn release(&self) -> Option<T> {
+        let mut inner = self.inner.lock().expect("quota gate lock");
+        inner.running = inner.running.saturating_sub(1);
+        inner.parked.pop_front()
+    }
+
+    /// Take every parked item (used on model unload and service
+    /// shutdown, where no release may ever come for them).
+    pub fn drain_parked(&self) -> Vec<T> {
+        let mut inner = self.inner.lock().expect("quota gate lock");
+        inner.parked.drain(..).collect()
+    }
+
+    /// Slots currently granted (and not yet released).
+    pub fn running(&self) -> usize {
+        self.inner.lock().expect("quota gate lock").running
+    }
+
+    /// Items currently parked.
+    pub fn parked_len(&self) -> usize {
+        self.inner.lock().expect("quota gate lock").parked.len()
+    }
+
+    /// Monotone count of items ever parked.
+    pub fn queued_total(&self) -> u64 {
+        self.queued.load(Ordering::Relaxed)
+    }
+
+    /// Monotone count of items ever rejected.
+    pub fn rejected_total(&self) -> u64 {
+        self.rejected.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grants_until_quota_then_parks_then_rejects() {
+        let gate: QuotaGate<u32> = QuotaGate::new(2);
+        assert!(matches!(gate.admit(2, 1), Admission::Granted(1)));
+        assert!(matches!(gate.admit(2, 2), Admission::Granted(2)));
+        assert!(matches!(gate.admit(2, 3), Admission::Parked));
+        assert!(matches!(gate.admit(2, 4), Admission::Parked));
+        assert!(matches!(gate.admit(2, 5), Admission::Rejected(5)));
+        assert_eq!(gate.running(), 2);
+        assert_eq!(gate.parked_len(), 2);
+        assert_eq!(gate.queued_total(), 2);
+        assert_eq!(gate.rejected_total(), 1);
+    }
+
+    #[test]
+    fn release_pops_parked_in_fifo_order() {
+        let gate: QuotaGate<u32> = QuotaGate::new(8);
+        assert!(matches!(gate.admit(1, 1), Admission::Granted(1)));
+        assert!(matches!(gate.admit(1, 2), Admission::Parked));
+        assert!(matches!(gate.admit(1, 3), Admission::Parked));
+        assert_eq!(gate.release(), Some(2));
+        assert_eq!(gate.running(), 0);
+        // The popped item re-admits rather than inheriting the slot.
+        assert!(matches!(gate.admit(1, 2), Admission::Granted(2)));
+        assert_eq!(gate.release(), Some(3));
+        assert_eq!(gate.release(), None);
+        assert_eq!(gate.running(), 0);
+    }
+
+    #[test]
+    fn zero_quota_is_clamped_to_one() {
+        let gate: QuotaGate<u32> = QuotaGate::new(1);
+        assert!(matches!(gate.admit(0, 1), Admission::Granted(1)));
+        assert!(matches!(gate.admit(0, 2), Admission::Parked));
+    }
+
+    #[test]
+    fn drain_takes_every_parked_item() {
+        let gate: QuotaGate<u32> = QuotaGate::new(8);
+        assert!(matches!(gate.admit(1, 1), Admission::Granted(1)));
+        for i in 2..6 {
+            assert!(matches!(gate.admit(1, i), Admission::Parked));
+        }
+        assert_eq!(gate.drain_parked(), vec![2, 3, 4, 5]);
+        assert_eq!(gate.parked_len(), 0);
+        // Running slots are untouched by a drain.
+        assert_eq!(gate.running(), 1);
+        assert_eq!(gate.release(), None);
+    }
+
+    #[test]
+    fn raising_the_quota_takes_effect_on_the_next_admit() {
+        let gate: QuotaGate<u32> = QuotaGate::new(8);
+        assert!(matches!(gate.admit(1, 1), Admission::Granted(1)));
+        assert!(matches!(gate.admit(1, 2), Admission::Parked));
+        // Fair share grew (a model was unloaded): new work is granted
+        // even though an item is still parked awaiting a release.
+        assert!(matches!(gate.admit(2, 3), Admission::Granted(3)));
+        assert_eq!(gate.running(), 2);
+    }
+}

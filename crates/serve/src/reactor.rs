@@ -696,9 +696,11 @@ impl Loop {
     }
 
     /// Route one request line: predictions to the worker pool; `stats`,
-    /// `models`, `register_workload`, and `workloads` answered inline
-    /// (they are counter snapshots or cheap library mutations and never
-    /// need a worker); parse errors answered inline.
+    /// `models`, `load_model`, `unload_model`, `register_workload`, and
+    /// `workloads` answered inline (they are counter snapshots or rare
+    /// control-plane mutations and never need a worker — `load_model`
+    /// does read a model file on the reactor thread, an accepted cost
+    /// for an operator-frequency verb); parse errors answered inline.
     fn dispatch(&mut self, token: u64, line: &str) {
         match protocol::parse_line(line) {
             Ok(RequestLine::Predict(request)) => {
@@ -722,6 +724,29 @@ impl Loop {
                     self.service.default_model(),
                     self.service.models(),
                 ));
+                self.queue_line(token, line);
+            }
+            Ok(RequestLine::LoadModel(req)) => {
+                let line = match self.service.load_model_file(&req.name, &req.path) {
+                    Ok(model) => protocol::render_line(&protocol::LoadModelResponse {
+                        id: req.id,
+                        verb: "load_model".to_owned(),
+                        model,
+                        default_model: self.service.default_model().to_owned(),
+                    }),
+                    Err(e) => protocol::render_result(&Err((req.id, e))),
+                };
+                self.queue_line(token, line);
+            }
+            Ok(RequestLine::UnloadModel(req)) => {
+                let line = match self.service.unload_model(&req.name) {
+                    Ok(()) => protocol::render_line(&protocol::UnloadModelResponse {
+                        id: req.id,
+                        verb: "unload_model".to_owned(),
+                        name: req.name,
+                    }),
+                    Err(e) => protocol::render_result(&Err((req.id, e))),
+                };
                 self.queue_line(token, line);
             }
             Ok(RequestLine::Workloads { id }) => {
@@ -917,7 +942,7 @@ mod tests {
     use crate::ServiceConfig;
 
     /// A configuration small enough to train inside a unit test.
-    fn micro_service(workers: usize) -> Arc<AtlasService> {
+    fn micro_trained() -> (atlas_core::AtlasModel, ExperimentConfig) {
         let mut cfg = ExperimentConfig::quick();
         cfg.cycles = 12;
         cfg.scale = 0.12;
@@ -926,8 +951,13 @@ mod tests {
         cfg.finetune.cycles_per_design = 4;
         cfg.finetune.gbdt.n_estimators = 12;
         let trained = train_atlas(&cfg);
+        (trained.model, cfg)
+    }
+
+    fn micro_service(workers: usize) -> Arc<AtlasService> {
+        let (model, cfg) = micro_trained();
         Arc::new(AtlasService::start_with(
-            trained.model,
+            model,
             cfg,
             ServiceConfig {
                 workers,
@@ -1065,6 +1095,120 @@ mod tests {
         assert_eq!(stats.accepted, 1);
         assert_eq!(stats.requests, 6);
         handle.shutdown().expect("clean shutdown");
+    }
+
+    /// The control-plane verbs over the wire: hot load (including a
+    /// wrong-format-version rejection that preserves the request id,
+    /// mirroring the `unknown_workload` tests), routed prediction on the
+    /// loaded model, and structured unload errors for unknown and
+    /// default models.
+    #[test]
+    fn load_and_unload_model_verbs_over_the_wire() {
+        let (model, cfg) = micro_trained();
+        let service = Arc::new(AtlasService::start_with(
+            model.clone(),
+            cfg.clone(),
+            ServiceConfig {
+                workers: 2,
+                ..ServiceConfig::default()
+            },
+        ));
+        // A valid model file and a wrong-format-version tampering of it.
+        let dir = std::env::temp_dir().join(format!("atlas-wire-reload-{}", std::process::id()));
+        let registry = crate::registry::ModelRegistry::open(&dir).expect("registry opens");
+        let good = registry.save("hot", &model, &cfg).expect("saves");
+        let json = std::fs::read_to_string(&good).expect("readable");
+        let bad = dir.join("future.atlas.json");
+        let marker = format!("\"format_version\":{}", crate::registry::FORMAT_VERSION);
+        let tampered = json.replace(
+            &marker,
+            &format!("\"format_version\":{}", crate::registry::FORMAT_VERSION + 1),
+        );
+        assert_ne!(json, tampered, "version marker must exist in the file");
+        std::fs::write(&bad, tampered).expect("writable");
+
+        let handle = spawn_reactor(service, ReactorConfig::default());
+        let mut stream = TcpStream::connect(handle.addr()).expect("connects");
+        let mut reader = BufReader::new(stream.try_clone().expect("clones"));
+
+        // Wrong version: a structured `registry` error with the id echoed
+        // — never a connection teardown.
+        send_line(
+            &mut stream,
+            &format!(
+                r#"{{"id":21,"verb":"load_model","name":"hot","path":"{}"}}"#,
+                bad.display()
+            ),
+        );
+        let err = read_line(&mut reader);
+        assert!(err.contains("\"kind\":\"registry\""), "got: {err}");
+        assert!(
+            err.contains("\"id\":21"),
+            "id must be preserved, got: {err}"
+        );
+        assert!(err.contains("format version"), "got: {err}");
+
+        // A valid load is acknowledged and immediately routable.
+        send_line(
+            &mut stream,
+            &format!(
+                r#"{{"id":22,"verb":"load_model","name":"hot","path":"{}"}}"#,
+                good.display()
+            ),
+        );
+        let loaded: crate::protocol::LoadModelResponse =
+            serde_json::from_str(&read_line(&mut reader)).expect("load_model parses");
+        assert_eq!(loaded.id, Some(22));
+        assert_eq!(loaded.model.name, "hot");
+        assert_eq!(loaded.default_model, "default");
+        send_line(&mut stream, r#"{"id":23,"verb":"models"}"#);
+        let models: ModelsResponse =
+            serde_json::from_str(&read_line(&mut reader)).expect("models parses");
+        assert_eq!(models.models.len(), 2);
+        send_line(
+            &mut stream,
+            r#"{"id":24,"design":"C2","workload":"W1","cycles":6,"model":"hot"}"#,
+        );
+        let resp: PredictResponse =
+            serde_json::from_str(&read_line(&mut reader)).expect("routed predict parses");
+        assert_eq!(resp.model, "hot");
+        assert!(resp.mean_total_w > 0.0);
+
+        // Unload errors are structured and id-preserving.
+        send_line(
+            &mut stream,
+            r#"{"id":25,"verb":"unload_model","name":"nope"}"#,
+        );
+        let err = read_line(&mut reader);
+        assert!(err.contains("\"kind\":\"unknown_model\""), "got: {err}");
+        assert!(err.contains("\"id\":25"), "got: {err}");
+        send_line(
+            &mut stream,
+            r#"{"id":26,"verb":"unload_model","name":"default"}"#,
+        );
+        let err = read_line(&mut reader);
+        assert!(err.contains("\"kind\":\"invalid_request\""), "got: {err}");
+        assert!(err.contains("\"id\":26"), "got: {err}");
+
+        // A real unload is acknowledged; the name stops routing.
+        send_line(
+            &mut stream,
+            r#"{"id":27,"verb":"unload_model","name":"hot"}"#,
+        );
+        let unloaded: crate::protocol::UnloadModelResponse =
+            serde_json::from_str(&read_line(&mut reader)).expect("unload_model parses");
+        assert_eq!(unloaded.id, Some(27));
+        assert_eq!(unloaded.name, "hot");
+        send_line(
+            &mut stream,
+            r#"{"id":28,"design":"C2","workload":"W1","cycles":6,"model":"hot"}"#,
+        );
+        let err = read_line(&mut reader);
+        assert!(err.contains("\"kind\":\"unknown_model\""), "got: {err}");
+        assert!(err.contains("\"id\":28"), "got: {err}");
+
+        handle.shutdown().expect("clean shutdown");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -36,12 +36,33 @@
 //! and reference it from any later request via `workload_name`. The
 //! library is shared across models; cached results are keyed by the
 //! schedule's fingerprint, so re-registering a name with a different
-//! schedule can never serve stale results.
+//! schedule can never serve stale results. With
+//! [`ServiceConfig::workload_file`] set, every registration is appended
+//! to a JSON-lines **journal** that is replayed (fingerprint-validated)
+//! at the next startup, so the library survives restarts.
+//!
+//! # The control plane
+//!
+//! The catalog is *live*: [`AtlasService::load_model`] and
+//! [`AtlasService::unload_model`] (wire verbs `load_model` /
+//! `unload_model`) add and remove hosted models without a restart.
+//! Loading runs the full registry validation (format version + config
+//! fingerprint); unloading is drain-safe — requests already routed to the
+//! model complete on its still-alive state, later requests get a
+//! structured `unknown_model` error, and the default model can never be
+//! unloaded. Cold work is admitted through a per-model [`QuotaGate`]:
+//! at most a quota's worth of workers may be tied up in one model's
+//! simulate + encode pipelines, excess cold requests park (freeing the
+//! worker) and re-dispatch as slots drain, and beyond the parking bound
+//! they are rejected with a structured `quota_exceeded` error. One
+//! model's cold storm therefore cannot starve another model's traffic.
 
 use std::collections::HashMap;
+use std::io::Write as _;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc;
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
 use std::thread;
 use std::time::Instant;
 
@@ -55,7 +76,8 @@ use serde::{Deserialize, Serialize};
 use crate::cache::{CacheStats, LruCache};
 use crate::error::ServeError;
 use crate::protocol::{summarize, PredictRequest, PredictResponse};
-use crate::registry::{ModelCatalog, SavedModel};
+use crate::quota::{Admission, QuotaGate};
+use crate::registry::{ModelCatalog, ModelRegistry, RegistryError, SavedModel};
 
 /// Tuning knobs of one service instance.
 #[derive(Debug, Clone)]
@@ -81,6 +103,21 @@ pub struct ServiceConfig {
     /// Threads used *inside* one request's embedding stage. Kept low by
     /// default because concurrency comes from the worker pool.
     pub embed_threads: usize,
+    /// Explicit per-model cold-compute quotas (serving name → max workers
+    /// concurrently tied up in that model's cold pipelines; clamped to
+    /// ≥ 1). Models without an entry get the fair default share
+    /// `workers / hosted models` (≥ 1), recomputed live as models are
+    /// loaded and unloaded.
+    pub model_quotas: HashMap<String, usize>,
+    /// Upper bound on cold requests parked per model while its quota is
+    /// saturated; beyond it requests are rejected with a structured
+    /// `quota_exceeded` error instead of queueing without bound.
+    pub max_queued_per_model: usize,
+    /// JSON-lines journal of the workload library. Registrations append
+    /// to it and are replayed (fingerprint-validated) at startup, so the
+    /// library survives restarts. `None` keeps the library in-memory
+    /// only.
+    pub workload_file: Option<PathBuf>,
 }
 
 impl Default for ServiceConfig {
@@ -93,6 +130,9 @@ impl Default for ServiceConfig {
             max_phases: 64,
             max_registered_workloads: 1024,
             embed_threads: 1,
+            model_quotas: HashMap::new(),
+            max_queued_per_model: 1024,
+            workload_file: None,
         }
     }
 }
@@ -153,6 +193,16 @@ pub struct ModelStats {
     pub embeddings_computed: u64,
     /// Requests that waited on this model's in-flight computations.
     pub coalesced_requests: u64,
+    /// Effective cold-compute quota at snapshot time: the explicit
+    /// [`ServiceConfig::model_quotas`] entry, else the fair share
+    /// `workers / hosted models` (≥ 1).
+    pub quota: usize,
+    /// Cold requests parked behind this model's saturated quota
+    /// (monotone total, not current occupancy).
+    pub queued: u64,
+    /// Cold requests rejected because quota *and* parking queue were
+    /// full (monotone total).
+    pub rejected_quota: u64,
     /// This model's embedding-cache counters (`weight`/`budget` bytes).
     pub embedding_cache: CacheStats,
     /// This model's design-cache counters (`weight`/`budget` entries).
@@ -203,7 +253,7 @@ struct Flight {
 }
 
 /// Everything one hosted model owns: weights, experiment config, caches,
-/// the single-flight map, and its counters.
+/// the single-flight map, the cold-work admission gate, and its counters.
 struct ModelState {
     name: String,
     format_version: u32,
@@ -214,6 +264,12 @@ struct ModelState {
     embeddings: LruCache<TraceKey, TraceEmbeddings>,
     designs: LruCache<String, DesignArtifacts>,
     inflight: Mutex<HashMap<TraceKey, Arc<Flight>>>,
+    /// Explicit quota from [`ServiceConfig::model_quotas`]; `None` means
+    /// the fair share, recomputed live from the hosted-model count.
+    quota: Option<usize>,
+    /// Admission gate for cold work (parked payloads are whole jobs, so
+    /// a saturated model frees its worker thread immediately).
+    gate: QuotaGate<Job>,
     requests: AtomicU64,
     errors: AtomicU64,
     embeds_computed: AtomicU64,
@@ -223,6 +279,7 @@ struct ModelState {
 impl ModelState {
     fn new(name: String, saved: SavedModel, cfg: &ServiceConfig) -> ModelState {
         let lib = saved.config.library();
+        let quota = cfg.model_quotas.get(&name).copied();
         ModelState {
             name,
             format_version: saved.header.format_version,
@@ -233,6 +290,8 @@ impl ModelState {
             embeddings: LruCache::with_budget(cfg.embedding_cache_bytes),
             designs: LruCache::new(cfg.design_cache),
             inflight: Mutex::new(HashMap::new()),
+            quota,
+            gate: QuotaGate::new(cfg.max_queued_per_model),
             requests: AtomicU64::new(0),
             errors: AtomicU64::new(0),
             embeds_computed: AtomicU64::new(0),
@@ -240,13 +299,23 @@ impl ModelState {
         }
     }
 
-    fn stats(&self) -> ModelStats {
+    /// Effective cold-compute quota given the current hosted-model count.
+    fn effective_quota(&self, cfg: &ServiceConfig, hosted_models: usize) -> usize {
+        self.quota
+            .unwrap_or_else(|| cfg.workers.max(1) / hosted_models.max(1))
+            .max(1)
+    }
+
+    fn stats(&self, effective_quota: usize) -> ModelStats {
         ModelStats {
             model: self.name.clone(),
             requests: self.requests.load(Ordering::Relaxed),
             errors: self.errors.load(Ordering::Relaxed),
             embeddings_computed: self.embeds_computed.load(Ordering::Relaxed),
             coalesced_requests: self.coalesced.load(Ordering::Relaxed),
+            quota: effective_quota,
+            queued: self.gate.queued_total(),
+            rejected_quota: self.gate.rejected_total(),
             embedding_cache: self.embeddings.stats(),
             design_cache: self.designs.stats(),
         }
@@ -259,10 +328,70 @@ struct StoredWorkload {
     fingerprint: u64,
 }
 
+/// One line of the workload journal ([`ServiceConfig::workload_file`]):
+/// a registered schedule with its fingerprint, so replay can detect a
+/// journal whose schedule bytes were edited after the fact.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadJournalEntry {
+    /// Library name the schedule was registered under.
+    pub name: String,
+    /// The schedule itself.
+    pub phases: Vec<WorkloadPhase>,
+    /// `schedule_fingerprint(&phases)` at registration time; replay
+    /// recomputes and refuses a mismatch.
+    pub fingerprint: u64,
+}
+
+/// Render one journal line (no trailing newline).
+pub fn render_journal_entry(entry: &WorkloadJournalEntry) -> String {
+    serde_json::to_string(entry).unwrap_or_else(|e| format!(r#"{{"error":"render failure: {e}"}}"#))
+}
+
+/// Parse a whole workload journal: one JSON entry per non-empty line,
+/// each fingerprint-validated against its schedule. Later entries for a
+/// name supersede earlier ones at replay (the journal is append-only).
+///
+/// # Errors
+///
+/// [`ServeError::Registry`] on a malformed line or a fingerprint that
+/// does not match the recomputed one.
+pub fn parse_workload_journal(text: &str) -> Result<Vec<WorkloadJournalEntry>, ServeError> {
+    let mut entries = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let entry: WorkloadJournalEntry = serde_json::from_str(line).map_err(|e| {
+            ServeError::Registry(format!("workload journal line {}: {e}", lineno + 1))
+        })?;
+        let actual = schedule_fingerprint(&entry.phases);
+        if actual != entry.fingerprint {
+            return Err(ServeError::Registry(format!(
+                "workload journal line {}: `{}` claims fingerprint {:#018x} but its schedule \
+                 hashes to {actual:#018x}",
+                lineno + 1,
+                entry.name,
+                entry.fingerprint
+            )));
+        }
+        entries.push(entry);
+    }
+    Ok(entries)
+}
+
 struct Shared {
-    models: HashMap<String, Arc<ModelState>>,
+    /// The live model catalog: `load_model`/`unload_model` mutate it at
+    /// runtime, so every route takes a (brief) read lock and clones the
+    /// `Arc` — in-flight requests keep an unloaded model's state alive
+    /// until they finish.
+    models: RwLock<HashMap<String, Arc<ModelState>>>,
     default_model: String,
+    /// The default model's state, pinned separately: it can never be
+    /// unloaded, so borrowing its config out of the service is safe.
+    default_state: Arc<ModelState>,
     workloads: Mutex<HashMap<String, StoredWorkload>>,
+    /// Open append handle of the workload journal, when configured.
+    journal: Mutex<Option<std::fs::File>>,
     cfg: ServiceConfig,
     requests: AtomicU64,
     errors: AtomicU64,
@@ -323,6 +452,14 @@ impl AtlasService {
     /// whose header carries a name the catalog would reject (possible
     /// via `ModelRegistry::load_file`, which accepts files from outside
     /// any registry) is served under `default` instead.
+    ///
+    /// # Panics
+    ///
+    /// When [`AtlasService::start_catalog`] fails — with a one-model
+    /// catalog that means a [`ServiceConfig::workload_file`] journal
+    /// that cannot be replayed or opened (the panic message carries the
+    /// underlying error). Use `start_catalog` directly to handle that
+    /// as a `Result`.
     pub fn start(saved: SavedModel, cfg: ServiceConfig) -> AtlasService {
         let mut catalog = ModelCatalog::new();
         let name = if ModelCatalog::valid_name(&saved.header.name) {
@@ -333,11 +470,16 @@ impl AtlasService {
         catalog
             .insert(name, saved)
             .expect("a validated or fallback name inserts into an empty catalog");
-        AtlasService::start_catalog(catalog, cfg).expect("one-model catalog is nonempty")
+        AtlasService::start_catalog(catalog, cfg)
+            .unwrap_or_else(|e| panic!("failed to start single-model service: {e}"))
     }
 
     /// Start a single-model service from an in-memory model and its
     /// training config, served under the name `default`.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`AtlasService::start`].
     pub fn start_with(
         model: AtlasModel,
         experiment: ExperimentConfig,
@@ -347,7 +489,8 @@ impl AtlasService {
         catalog
             .insert_model("default", model, experiment)
             .expect("`default` is a valid catalog name");
-        AtlasService::start_catalog(catalog, cfg).expect("one-model catalog is nonempty")
+        AtlasService::start_catalog(catalog, cfg)
+            .unwrap_or_else(|e| panic!("failed to start single-model service: {e}"))
     }
 
     /// Start a service hosting every model of `catalog` behind one
@@ -356,7 +499,9 @@ impl AtlasService {
     ///
     /// # Errors
     ///
-    /// [`ServeError::Registry`] when the catalog is empty.
+    /// [`ServeError::Registry`] when the catalog is empty, or when the
+    /// configured [`ServiceConfig::workload_file`] cannot be replayed
+    /// (corrupt/tampered entries) or opened for appending.
     pub fn start_catalog(
         catalog: ModelCatalog,
         cfg: ServiceConfig,
@@ -371,10 +516,34 @@ impl AtlasService {
                 (name, state)
             })
             .collect();
+        let default_state = Arc::clone(
+            models
+                .get(&default_model)
+                .expect("the catalog default names one of its entries"),
+        );
+        let (workloads, journal) = match &cfg.workload_file {
+            Some(path) => {
+                let library = replay_workload_library(path, &cfg)?;
+                let file = std::fs::OpenOptions::new()
+                    .create(true)
+                    .append(true)
+                    .open(path)
+                    .map_err(|e| {
+                        ServeError::Registry(format!(
+                            "open workload journal {}: {e}",
+                            path.display()
+                        ))
+                    })?;
+                (library, Some(file))
+            }
+            None => (HashMap::new(), None),
+        };
         let shared = Arc::new(Shared {
-            models,
+            models: RwLock::new(models),
             default_model,
-            workloads: Mutex::new(HashMap::new()),
+            default_state,
+            workloads: Mutex::new(workloads),
+            journal: Mutex::new(journal),
             requests: AtomicU64::new(0),
             errors: AtomicU64::new(0),
             cfg,
@@ -398,15 +567,7 @@ impl AtlasService {
     }
 
     fn enqueue(&self, request: PredictRequest, reply: ReplySink) {
-        let mut state = self.queue.state.lock().expect("queue lock");
-        if state.shutdown {
-            drop(state);
-            reply.send(Err((request.id, ServeError::Shutdown)));
-        } else {
-            state.jobs.push_back(Job { request, reply });
-            drop(state);
-            self.queue.ready.notify_one();
-        }
+        requeue(&self.queue, Job { request, reply });
     }
 
     /// Enqueue a request; the returned channel yields the reply.
@@ -443,7 +604,13 @@ impl AtlasService {
 
     /// Aggregate counters plus the per-model breakdown.
     pub fn stats(&self) -> ServiceStats {
-        let mut models: Vec<ModelStats> = self.shared.models.values().map(|m| m.stats()).collect();
+        let mut models: Vec<ModelStats> = {
+            let map = self.shared.models.read().expect("models lock");
+            let hosted = map.len();
+            map.values()
+                .map(|m| m.stats(m.effective_quota(&self.shared.cfg, hosted)))
+                .collect()
+        };
         models.sort_by(|a, b| a.model.cmp(&b.model));
         let mut stats = ServiceStats {
             requests: self.shared.requests.load(Ordering::Relaxed),
@@ -465,6 +632,8 @@ impl AtlasService {
         let mut infos: Vec<ModelInfo> = self
             .shared
             .models
+            .read()
+            .expect("models lock")
             .values()
             .map(|m| ModelInfo {
                 name: m.name.clone(),
@@ -474,6 +643,87 @@ impl AtlasService {
             .collect();
         infos.sort_by(|a, b| a.name.cmp(&b.name));
         infos
+    }
+
+    /// Add `saved` to the live catalog under `name`, without a restart.
+    /// The model is routable (and visible to `models`/`stats`) the moment
+    /// this returns.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::InvalidRequest`] for a name the catalog would
+    /// reject; [`ServeError::Registry`] when the name is already hosted.
+    pub fn load_model(&self, name: &str, saved: SavedModel) -> Result<ModelInfo, ServeError> {
+        if !ModelCatalog::valid_name(name) {
+            return Err(ServeError::InvalidRequest(format!(
+                "invalid model name `{name}`"
+            )));
+        }
+        // Build the state (library materialization etc.) outside the
+        // write lock: routing stays unblocked until the map insert.
+        let state = Arc::new(ModelState::new(name.to_owned(), saved, &self.shared.cfg));
+        let info = ModelInfo {
+            name: state.name.clone(),
+            format_version: state.format_version,
+            config_fingerprint: state.config_fingerprint,
+        };
+        let mut models = self.shared.models.write().expect("models lock");
+        if models.contains_key(name) {
+            return Err(RegistryError::Duplicate(name.to_owned()).into());
+        }
+        models.insert(name.to_owned(), state);
+        Ok(info)
+    }
+
+    /// [`AtlasService::load_model`] from a model file on disk, validated
+    /// exactly like a catalog entry (format version + config
+    /// fingerprint) via [`ModelRegistry::load_file`] — the wire verb
+    /// `load_model`.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Registry`] for unreadable, corrupt,
+    /// wrong-format-version, or fingerprint-mismatched files, plus every
+    /// [`AtlasService::load_model`] error.
+    pub fn load_model_file(
+        &self,
+        name: &str,
+        path: impl AsRef<std::path::Path>,
+    ) -> Result<ModelInfo, ServeError> {
+        let saved = ModelRegistry::load_file(path)?;
+        self.load_model(name, saved)
+    }
+
+    /// Remove a hosted model from the live catalog — the wire verb
+    /// `unload_model`. Drain-safe: requests already routed keep the
+    /// model's state alive (via its `Arc`) and complete normally; cold
+    /// requests parked behind its quota re-enter the shared queue and
+    /// re-route (typically to a structured `unknown_model` error; to the
+    /// replacement model if one was loaded under the same name first);
+    /// requests arriving after removal get `unknown_model`.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::InvalidRequest`] for the default model (it can
+    /// never be unloaded); [`ServeError::UnknownModel`] when no hosted
+    /// model has this name.
+    pub fn unload_model(&self, name: &str) -> Result<(), ServeError> {
+        if name == self.shared.default_model {
+            return Err(ServeError::InvalidRequest(format!(
+                "the default model `{name}` cannot be unloaded"
+            )));
+        }
+        let removed = self
+            .shared
+            .models
+            .write()
+            .expect("models lock")
+            .remove(name)
+            .ok_or_else(|| ServeError::UnknownModel(name.to_owned()))?;
+        for job in removed.gate.drain_parked() {
+            requeue(&self.queue, job);
+        }
+        Ok(())
     }
 
     /// Serving name of the default model (requests without a `model`
@@ -486,54 +736,46 @@ impl AtlasService {
     /// referenceable from any later request's `workload_name` field.
     /// Returns the stored summary and whether an existing schedule was
     /// replaced (safe: cache entries are keyed by schedule fingerprint,
-    /// so a replaced schedule can never serve stale results).
+    /// so a replaced schedule can never serve stale results). With a
+    /// [`ServiceConfig::workload_file`], the registration is journaled
+    /// before it becomes visible, so a restart replays it.
     ///
     /// # Errors
     ///
     /// [`ServeError::InvalidRequest`] for a bad name (empty, too long,
     /// non `[A-Za-z0-9._-]`, or shadowing a preset), a bad schedule
     /// (empty, over [`ServiceConfig::max_phases`], or failing
-    /// [`PhasedWorkload::try_new`] validation), or a full library.
+    /// [`PhasedWorkload::try_new`] validation), or a full library;
+    /// [`ServeError::Registry`] when the journal append fails (the
+    /// registration is not applied).
     pub fn register_workload(
         &self,
         name: &str,
         phases: Vec<WorkloadPhase>,
     ) -> Result<(RegisteredWorkload, bool), ServeError> {
-        let bad = |msg: String| ServeError::InvalidRequest(msg);
-        let name_ok = !name.is_empty()
-            && name.len() <= 64
-            && !name.starts_with('.')
-            && name
-                .chars()
-                .all(|c| c.is_ascii_alphanumeric() || matches!(c, '-' | '_' | '.'));
-        if !name_ok {
-            return Err(bad(format!(
-                "bad workload name `{name}`: 1-64 chars of [A-Za-z0-9._-], not starting with `.`"
-            )));
-        }
-        if PhasedWorkload::preset(name, 0).is_some() {
-            return Err(bad(format!(
-                "workload name `{name}` shadows a built-in preset"
-            )));
-        }
-        if phases.len() > self.shared.cfg.max_phases {
-            return Err(bad(format!(
-                "schedule has {} phases, limit is {}",
-                phases.len(),
-                self.shared.cfg.max_phases
-            )));
-        }
-        // Validate the schedule exactly like an inline `phases` field.
-        PhasedWorkload::try_new(name, phases.clone(), 0)
-            .map_err(|e| bad(format!("bad schedule: {e}")))?;
+        validate_workload(name, &phases, &self.shared.cfg)?;
         let fingerprint = schedule_fingerprint(&phases);
         let mut library = self.shared.workloads.lock().expect("workload lock");
         if !library.contains_key(name) && library.len() >= self.shared.cfg.max_registered_workloads
         {
-            return Err(bad(format!(
+            return Err(ServeError::InvalidRequest(format!(
                 "workload library is full ({} schedules)",
                 library.len()
             )));
+        }
+        // Journal-then-apply while holding the library lock, so the
+        // journal's line order matches the order registrations became
+        // visible — replay (last entry wins) then reproduces this exact
+        // library. A failed append registers nothing.
+        if let Some(file) = self.shared.journal.lock().expect("journal lock").as_mut() {
+            let line = render_journal_entry(&WorkloadJournalEntry {
+                name: name.to_owned(),
+                phases: phases.clone(),
+                fingerprint,
+            });
+            writeln!(file, "{line}")
+                .and_then(|()| file.flush())
+                .map_err(|e| ServeError::Registry(format!("append workload journal: {e}")))?;
         }
         let summary = RegisteredWorkload {
             name: name.to_owned(),
@@ -570,7 +812,7 @@ impl AtlasService {
     /// The experiment configuration the **default** model was trained
     /// under.
     pub fn experiment(&self) -> &ExperimentConfig {
-        &self.shared.models[&self.shared.default_model].experiment
+        &self.shared.default_state.experiment
     }
 }
 
@@ -589,7 +831,116 @@ impl Drop for AtlasService {
         for worker in self.workers.drain(..) {
             let _ = worker.join();
         }
+        // With the workers joined nothing can park anymore; jobs still
+        // parked behind a saturated quota (their would-be releasers were
+        // themselves answered with Shutdown) get the same typed error
+        // instead of a silent drop.
+        let models: Vec<Arc<ModelState>> = self
+            .shared
+            .models
+            .read()
+            .expect("models lock")
+            .values()
+            .cloned()
+            .collect();
+        for state in models {
+            for job in state.gate.drain_parked() {
+                job.reply.send(Err((job.request.id, ServeError::Shutdown)));
+            }
+        }
     }
+}
+
+/// Push a job onto the shared worker queue, or answer it with
+/// [`ServeError::Shutdown`] if the service is stopping. Used by fresh
+/// submissions and by quota releases re-dispatching parked jobs.
+fn requeue(queue: &Queue, job: Job) {
+    let mut state = queue.state.lock().expect("queue lock");
+    if state.shutdown {
+        drop(state);
+        job.reply.send(Err((job.request.id, ServeError::Shutdown)));
+    } else {
+        state.jobs.push_back(job);
+        drop(state);
+        queue.ready.notify_one();
+    }
+}
+
+/// Shared name/schedule validation of `register_workload` and journal
+/// replay.
+fn validate_workload(
+    name: &str,
+    phases: &[WorkloadPhase],
+    cfg: &ServiceConfig,
+) -> Result<(), ServeError> {
+    let bad = |msg: String| ServeError::InvalidRequest(msg);
+    let name_ok = !name.is_empty()
+        && name.len() <= 64
+        && !name.starts_with('.')
+        && name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || matches!(c, '-' | '_' | '.'));
+    if !name_ok {
+        return Err(bad(format!(
+            "bad workload name `{name}`: 1-64 chars of [A-Za-z0-9._-], not starting with `.`"
+        )));
+    }
+    if PhasedWorkload::preset(name, 0).is_some() {
+        return Err(bad(format!(
+            "workload name `{name}` shadows a built-in preset"
+        )));
+    }
+    if phases.len() > cfg.max_phases {
+        return Err(bad(format!(
+            "schedule has {} phases, limit is {}",
+            phases.len(),
+            cfg.max_phases
+        )));
+    }
+    // Validate the schedule exactly like an inline `phases` field.
+    PhasedWorkload::try_new(name, phases.to_vec(), 0)
+        .map_err(|e| bad(format!("bad schedule: {e}")))?;
+    Ok(())
+}
+
+/// Rebuild the workload library from its journal (missing file = empty
+/// library). Entries are validated like live registrations and the last
+/// entry for a name wins, mirroring append order.
+fn replay_workload_library(
+    path: &std::path::Path,
+    cfg: &ServiceConfig,
+) -> Result<HashMap<String, StoredWorkload>, ServeError> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(HashMap::new()),
+        Err(e) => {
+            return Err(ServeError::Registry(format!(
+                "read workload journal {}: {e}",
+                path.display()
+            )))
+        }
+    };
+    let mut library = HashMap::new();
+    for entry in parse_workload_journal(&text)? {
+        validate_workload(&entry.name, &entry.phases, cfg).map_err(|e| {
+            ServeError::Registry(format!("workload journal entry `{}`: {e}", entry.name))
+        })?;
+        library.insert(
+            entry.name,
+            StoredWorkload {
+                phases: entry.phases,
+                fingerprint: entry.fingerprint,
+            },
+        );
+        if library.len() > cfg.max_registered_workloads {
+            return Err(ServeError::Registry(format!(
+                "workload journal {} holds more than {} schedules",
+                path.display(),
+                cfg.max_registered_workloads
+            )));
+        }
+    }
+    Ok(library)
 }
 
 fn worker_loop(shared: &Shared, queue: &Queue) {
@@ -606,14 +957,173 @@ fn worker_loop(shared: &Shared, queue: &Queue) {
                 state = queue.ready.wait(state).expect("queue lock");
             }
         };
-        let id = job.request.id;
-        let reply = handle(shared, &job.request).map_err(|e| (id, e));
-        shared.requests.fetch_add(1, Ordering::Relaxed);
-        if reply.is_err() {
-            shared.errors.fetch_add(1, Ordering::Relaxed);
-        }
-        job.reply.send(reply);
+        process_job(shared, queue, job);
     }
+}
+
+/// Answer one job, attributing the outcome to the service counters and —
+/// when routing got that far — the model's. Every job is finished
+/// exactly once; parked jobs are finished by the worker that picks them
+/// back up after a quota release.
+fn finish(
+    shared: &Shared,
+    state: Option<&ModelState>,
+    job: Job,
+    result: Result<PredictResponse, ServeError>,
+) {
+    shared.requests.fetch_add(1, Ordering::Relaxed);
+    if result.is_err() {
+        shared.errors.fetch_add(1, Ordering::Relaxed);
+    }
+    if let Some(state) = state {
+        state.requests.fetch_add(1, Ordering::Relaxed);
+        if result.is_err() {
+            state.errors.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+    let id = job.request.id;
+    job.reply.send(result.map_err(|e| (id, e)));
+}
+
+/// Releases one cold-compute slot on drop (panic-safe), re-dispatching
+/// the next job parked behind the quota — if any — through the shared
+/// worker queue.
+struct SlotGuard<'a> {
+    gate: &'a QuotaGate<Job>,
+    queue: &'a Queue,
+}
+
+impl Drop for SlotGuard<'_> {
+    fn drop(&mut self) {
+        if let Some(job) = self.gate.release() {
+            requeue(self.queue, job);
+        }
+    }
+}
+
+/// Validate, route, and answer (or park) one job.
+fn process_job(shared: &Shared, queue: &Queue, job: Job) {
+    // Service-level validation needs no model.
+    let cycles = job.request.cycles;
+    if cycles == 0 {
+        let err = ServeError::InvalidRequest("cycles must be positive".into());
+        return finish(shared, None, job, Err(err));
+    }
+    if cycles > shared.cfg.max_cycles {
+        let err = ServeError::InvalidRequest(format!(
+            "cycles {cycles} exceeds the service limit {}",
+            shared.cfg.max_cycles
+        ));
+        return finish(shared, None, job, Err(err));
+    }
+    // Route to a live model. Cloning the `Arc` out of the read-locked
+    // map keeps the model alive for this whole request even if it is
+    // unloaded mid-flight — that is what makes unloads drain-safe. The
+    // hosted-model count is captured from the same snapshot so the
+    // fair-share quota below is consistent with the catalog this
+    // request was routed under.
+    let name = job
+        .request
+        .model
+        .as_deref()
+        .unwrap_or(&shared.default_model);
+    let (routed, hosted) = {
+        let map = shared.models.read().expect("models lock");
+        (map.get(name).cloned(), map.len())
+    };
+    let Some(state) = routed else {
+        let err = ServeError::UnknownModel(name.to_owned());
+        return finish(shared, None, job, Err(err));
+    };
+    let started = Instant::now();
+    // Resolve names before touching any cache so error paths are uniform
+    // regardless of cache state (and need no quota slot).
+    let resolved = state
+        .experiment
+        .try_design(&job.request.design)
+        .map_err(ServeError::from)
+        .and_then(|design_cfg| Ok((design_cfg, resolve_workload(shared, &job.request)?)));
+    let (design_cfg, spec) = match resolved {
+        Ok(r) => r,
+        Err(e) => return finish(shared, Some(&state), job, Err(e)),
+    };
+    let key = TraceKey {
+        design: job.request.design.clone(),
+        workload: spec.label().to_owned(),
+        cycles,
+        schedule_fp: spec.fingerprint(),
+    };
+    // The warm path pays only head evaluation and needs no admission.
+    if let Some(embeddings) = state.embeddings.get(&key) {
+        // Fully warm: stage one and two both skipped. Validate the
+        // workload anyway so a cached entry never masks a bad request
+        // (it cannot be cached under an invalid workload, but the
+        // check is cheap and keeps the invariant obvious).
+        let result = build_workload(&state, &spec, design_cfg.seed).map(|_| {
+            respond(
+                &job.request,
+                &state,
+                &spec,
+                &embeddings,
+                true,
+                true,
+                started,
+            )
+        });
+        return finish(shared, Some(&state), job, result);
+    }
+    // Cold work goes through the model's admission gate, so one model's
+    // cold storm can tie up at most its quota's worth of workers.
+    let quota = state.effective_quota(&shared.cfg, hosted);
+    match state.gate.admit(quota, job) {
+        Admission::Granted(job) => {
+            let _slot = SlotGuard {
+                gate: &state.gate,
+                queue,
+            };
+            let result = cold_predict(
+                shared,
+                &state,
+                &job.request,
+                &spec,
+                &design_cfg,
+                &key,
+                started,
+            );
+            finish(shared, Some(&state), job, result);
+        }
+        // The job now lives in the gate; this worker is free for other
+        // models' requests. A quota release re-dispatches it.
+        Admission::Parked => {}
+        Admission::Rejected(job) => {
+            let err = ServeError::QuotaExceeded(state.name.clone());
+            finish(shared, Some(&state), job, Err(err));
+        }
+    }
+}
+
+/// Head evaluation over resolved embeddings: the tail every request path
+/// shares.
+fn respond(
+    request: &PredictRequest,
+    state: &ModelState,
+    spec: &WorkloadSpec,
+    embeddings: &TraceEmbeddings,
+    cache_hit: bool,
+    design_cache_hit: bool,
+    started: Instant,
+) -> PredictResponse {
+    let trace = state.model.predict_from_embeddings(embeddings);
+    let latency_ms = started.elapsed().as_secs_f64() * 1e3;
+    summarize(
+        request,
+        &state.name,
+        spec.label(),
+        &trace,
+        cache_hit,
+        design_cache_hit,
+        latency_ms,
+    )
 }
 
 /// The request's workload, resolved to either a preset name or a concrete
@@ -750,134 +1260,101 @@ impl Drop for FlightGuard<'_> {
     }
 }
 
-/// Validate, route to a model, and answer one request, attributing the
-/// outcome to the model's counters.
-fn handle(shared: &Shared, request: &PredictRequest) -> Result<PredictResponse, ServeError> {
-    if request.cycles == 0 {
-        return Err(ServeError::InvalidRequest("cycles must be positive".into()));
-    }
-    if request.cycles > shared.cfg.max_cycles {
-        return Err(ServeError::InvalidRequest(format!(
-            "cycles {} exceeds the service limit {}",
-            request.cycles, shared.cfg.max_cycles
-        )));
-    }
-    let name = request.model.as_deref().unwrap_or(&shared.default_model);
-    let state = shared
-        .models
-        .get(name)
-        .ok_or_else(|| ServeError::UnknownModel(name.to_owned()))?;
-    let result = handle_on_model(shared, state, request);
-    state.requests.fetch_add(1, Ordering::Relaxed);
-    if result.is_err() {
-        state.errors.fetch_add(1, Ordering::Relaxed);
-    }
-    result
-}
-
-/// Answer one request on a resolved model.
-fn handle_on_model(
+/// The cold path, run under a granted quota slot: single-flight the
+/// (design, workload, cycles) computation per key, then evaluate the
+/// heads. The first cold request for a key computes; concurrent
+/// duplicates wait on its in-flight slot. NOTE: a follower occupies its
+/// worker thread (and its quota slot) while waiting, but can never
+/// deadlock the pool — a leader only exists once it is already running
+/// on a worker, so it always makes progress.
+fn cold_predict(
     shared: &Shared,
     state: &ModelState,
     request: &PredictRequest,
+    spec: &WorkloadSpec,
+    design_cfg: &atlas_designs::DesignConfig,
+    key: &TraceKey,
+    started: Instant,
 ) -> Result<PredictResponse, ServeError> {
-    let started = Instant::now();
-    // Resolve names before touching any cache so error paths are uniform
-    // regardless of cache state.
-    let design_cfg = state.experiment.try_design(&request.design)?;
-    let spec = resolve_workload(shared, request)?;
-
-    let key = TraceKey {
-        design: request.design.clone(),
-        workload: spec.label().to_owned(),
-        cycles: request.cycles,
-        schedule_fp: spec.fingerprint(),
-    };
-    let (embeddings, cache_hit, design_cache_hit) = match state.embeddings.get(&key) {
-        Some(embeddings) => {
-            // Fully warm: stage one and two both skipped. Validate the
-            // workload anyway so a cached entry never masks a bad request
-            // (it cannot be cached under an invalid workload, but the
-            // check is cheap and keeps the invariant obvious).
-            build_workload(state, &spec, design_cfg.seed)?;
-            (embeddings, true, true)
+    let role = {
+        let mut inflight = state.inflight.lock().expect("inflight lock");
+        match inflight.get(key) {
+            Some(flight) => FlightRole::Follower(Arc::clone(flight)),
+            None => {
+                let flight = Arc::new(Flight {
+                    result: Mutex::new(None),
+                    done: Condvar::new(),
+                });
+                inflight.insert(key.clone(), Arc::clone(&flight));
+                FlightRole::Leader(flight)
+            }
         }
-        None => {
-            // Single-flight: the first cold request for a key computes;
-            // concurrent duplicates wait on its in-flight slot. NOTE: a
-            // follower occupies its worker thread while waiting, but can
-            // never deadlock the pool — a leader only exists once it is
-            // already running on a worker, so it always makes progress.
-            let role = {
-                let mut inflight = state.inflight.lock().expect("inflight lock");
-                match inflight.get(&key) {
-                    Some(flight) => FlightRole::Follower(Arc::clone(flight)),
-                    None => {
-                        let flight = Arc::new(Flight {
-                            result: Mutex::new(None),
-                            done: Condvar::new(),
-                        });
-                        inflight.insert(key.clone(), Arc::clone(&flight));
-                        FlightRole::Leader(flight)
-                    }
-                }
+    };
+    match role {
+        FlightRole::Follower(flight) => {
+            state.coalesced.fetch_add(1, Ordering::Relaxed);
+            let mut slot = flight.result.lock().expect("flight lock");
+            while slot.is_none() {
+                slot = flight.done.wait(slot).expect("flight lock");
+            }
+            let embeddings = slot.clone().expect("checked Some")?;
+            // The embedding work was shared, not redone: report it as a
+            // cache hit (the follower paid only head evaluation plus the
+            // wait).
+            Ok(respond(
+                request,
+                state,
+                spec,
+                &embeddings,
+                true,
+                true,
+                started,
+            ))
+        }
+        FlightRole::Leader(flight) => {
+            let guard = FlightGuard {
+                state,
+                key,
+                flight: &flight,
+                resolved: false,
             };
-            match role {
-                FlightRole::Follower(flight) => {
-                    state.coalesced.fetch_add(1, Ordering::Relaxed);
-                    let mut slot = flight.result.lock().expect("flight lock");
-                    while slot.is_none() {
-                        slot = flight.done.wait(slot).expect("flight lock");
-                    }
-                    let embeddings = slot.clone().expect("checked Some")?;
-                    // The embedding work was shared, not redone: report it
-                    // as a cache hit (the follower paid only head
-                    // evaluation plus the wait).
-                    (embeddings, true, true)
-                }
-                FlightRole::Leader(flight) => {
-                    let guard = FlightGuard {
-                        state,
-                        key: &key,
-                        flight: &flight,
-                        resolved: false,
-                    };
-                    // Re-check the cache: between the miss and leadership
-                    // another leader may have finished and populated it.
-                    if let Some(embeddings) = state.embeddings.get(&key) {
+            // Re-check the cache: between the miss and leadership
+            // another leader may have finished and populated it.
+            if let Some(embeddings) = state.embeddings.get(key) {
+                guard.resolve(Ok(Arc::clone(&embeddings)));
+                build_workload(state, spec, design_cfg.seed)?;
+                Ok(respond(
+                    request,
+                    state,
+                    spec,
+                    &embeddings,
+                    true,
+                    true,
+                    started,
+                ))
+            } else {
+                let outcome = compute_embeddings(shared, state, request, spec, design_cfg, key);
+                match outcome {
+                    Ok((embeddings, design_cache_hit)) => {
                         guard.resolve(Ok(Arc::clone(&embeddings)));
-                        build_workload(state, &spec, design_cfg.seed)?;
-                        (embeddings, true, true)
-                    } else {
-                        let outcome =
-                            compute_embeddings(shared, state, request, &spec, &design_cfg, &key);
-                        match outcome {
-                            Ok((embeddings, design_cache_hit)) => {
-                                guard.resolve(Ok(Arc::clone(&embeddings)));
-                                (embeddings, false, design_cache_hit)
-                            }
-                            Err(e) => {
-                                guard.resolve(Err(e.clone()));
-                                return Err(e);
-                            }
-                        }
+                        Ok(respond(
+                            request,
+                            state,
+                            spec,
+                            &embeddings,
+                            false,
+                            design_cache_hit,
+                            started,
+                        ))
+                    }
+                    Err(e) => {
+                        guard.resolve(Err(e.clone()));
+                        Err(e)
                     }
                 }
             }
         }
-    };
-
-    let trace = state.model.predict_from_embeddings(&embeddings);
-    let latency_ms = started.elapsed().as_secs_f64() * 1e3;
-    Ok(summarize(
-        request,
-        &state.name,
-        spec.label(),
-        &trace,
-        cache_hit,
-        design_cache_hit,
-        latency_ms,
-    ))
+    }
 }
 
 /// The cold path: materialize the design (cached), simulate the workload,
@@ -1469,6 +1946,224 @@ mod tests {
             reply.expect_err("unknown design").1,
             ServeError::UnknownDesign("C9".into())
         );
+    }
+
+    #[test]
+    fn hot_load_and_unload_mutate_the_live_catalog() {
+        let cfg = micro_config();
+        let trained = train_atlas(&cfg);
+        let service = AtlasService::start_with(
+            trained.model.clone(),
+            cfg.clone(),
+            ServiceConfig {
+                workers: 2,
+                ..ServiceConfig::default()
+            },
+        );
+        // Persist a model file for the hot load.
+        let dir = std::env::temp_dir().join(format!("atlas-hotload-{}", std::process::id()));
+        let registry = crate::registry::ModelRegistry::open(&dir).expect("registry opens");
+        let path = registry
+            .save("canary", &trained.model, &cfg)
+            .expect("saves");
+
+        // Warm the default model, then load the second one.
+        let base = service
+            .call(PredictRequest::new("C2", "W1", 8))
+            .expect("default-model request");
+        let info = service
+            .load_model_file("canary", &path)
+            .expect("hot load succeeds");
+        assert_eq!(info.name, "canary");
+        let models = service.models();
+        assert_eq!(models.len(), 2, "the catalog reflects the load immediately");
+        assert_eq!(models[0].name, "canary");
+
+        // The loaded model answers (bit-identical weights → bit-identical
+        // numbers) and accounts separately.
+        let canary = service
+            .call(PredictRequest::new("C2", "W1", 8).on_model("canary"))
+            .expect("canary request");
+        assert_eq!(canary.model, "canary");
+        assert!(!canary.cache_hit, "a fresh model starts with empty caches");
+        assert_eq!(canary.per_cycle_total_w, base.per_cycle_total_w);
+        let stats = service.stats();
+        assert_eq!(stats.models.len(), 2);
+        assert_eq!(stats.models[0].model, "canary");
+        assert_eq!(stats.models[0].requests, 1);
+
+        // Duplicate and invalid names are typed errors.
+        assert!(matches!(
+            service.load_model_file("canary", &path),
+            Err(ServeError::Registry(_))
+        ));
+        assert!(matches!(
+            service.load_model_file("bad/name", &path),
+            Err(ServeError::InvalidRequest(_))
+        ));
+
+        // Unload: gone from the catalog, requests get unknown_model, the
+        // default model is not unloadable, unknown names are typed.
+        service.unload_model("canary").expect("unload succeeds");
+        assert_eq!(service.models().len(), 1);
+        assert_eq!(
+            service.call(PredictRequest::new("C2", "W1", 8).on_model("canary")),
+            Err(ServeError::UnknownModel("canary".into()))
+        );
+        assert!(matches!(
+            service.unload_model("default"),
+            Err(ServeError::InvalidRequest(_))
+        ));
+        assert_eq!(
+            service.unload_model("canary"),
+            Err(ServeError::UnknownModel("canary".into()))
+        );
+
+        // A fresh load under the reclaimed name works (reload cycle).
+        service
+            .load_model_file("canary", &path)
+            .expect("reload under the same name");
+        let again = service
+            .call(PredictRequest::new("C2", "W1", 8).on_model("canary"))
+            .expect("post-reload request");
+        assert_eq!(again.per_cycle_total_w, base.per_cycle_total_w);
+
+        drop(service);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn quota_saturation_parks_then_rejects() {
+        let cfg = micro_config();
+        let trained = train_atlas(&cfg);
+        let service = AtlasService::start_with(
+            trained.model,
+            cfg,
+            ServiceConfig {
+                workers: 4,
+                model_quotas: [("default".to_owned(), 1)].into_iter().collect(),
+                max_queued_per_model: 1,
+                ..ServiceConfig::default()
+            },
+        );
+        // Three concurrent cold requests with distinct keys: the quota
+        // admits one, parks one (answered after the slot drains), and
+        // rejects the third with a structured error.
+        let receivers: Vec<_> = (0..3)
+            .map(|i| service.submit(PredictRequest::new("C2", "W1", 32 + i)))
+            .collect();
+        let replies: Vec<Reply> = receivers
+            .into_iter()
+            .map(|rx| rx.recv().expect("reply arrives"))
+            .collect();
+        let ok = replies.iter().filter(|r| r.is_ok()).count();
+        let rejected = replies
+            .iter()
+            .filter(|r| matches!(r, Err((_, ServeError::QuotaExceeded(m))) if m == "default"))
+            .count();
+        assert_eq!(
+            (ok, rejected),
+            (2, 1),
+            "expected grant + park + reject, got {replies:?}"
+        );
+        let stats = service.stats();
+        assert_eq!(stats.models[0].quota, 1);
+        assert_eq!(stats.models[0].queued, 1);
+        assert_eq!(stats.models[0].rejected_quota, 1);
+        assert_eq!(stats.embeddings_computed, 2);
+        // Warm requests bypass the gate entirely: re-ask a computed key.
+        let warm_key = replies
+            .iter()
+            .find_map(|r| r.as_ref().ok())
+            .expect("one succeeded")
+            .cycles;
+        let warm = service
+            .call(PredictRequest::new("C2", "W1", warm_key))
+            .expect("warm request");
+        assert!(warm.cache_hit);
+        assert_eq!(service.stats().models[0].queued, 1, "warm never queues");
+    }
+
+    #[test]
+    fn workload_journal_replays_across_restarts() {
+        let cfg = micro_config();
+        let trained = train_atlas(&cfg);
+        let path = std::env::temp_dir().join(format!("atlas-journal-{}.jsonl", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let spiky = vec![WorkloadPhase {
+            activity: 0.6,
+            min_len: 1,
+            max_len: 3,
+        }];
+        let calm = vec![WorkloadPhase {
+            activity: 0.05,
+            min_len: 4,
+            max_len: 9,
+        }];
+        let service_cfg = |workload_file| ServiceConfig {
+            workers: 1,
+            workload_file: Some(workload_file),
+            ..ServiceConfig::default()
+        };
+        let before = {
+            let service = AtlasService::start_with(
+                trained.model.clone(),
+                cfg.clone(),
+                service_cfg(path.clone()),
+            );
+            service
+                .register_workload("spiky", spiky.clone())
+                .expect("registers");
+            service
+                .register_workload("calm", calm.clone())
+                .expect("registers");
+            // Replacement journals too; replay takes the last entry.
+            let (_, replaced) = service
+                .register_workload("spiky", calm.clone())
+                .expect("replaces");
+            assert!(replaced);
+            service.workloads()
+        };
+        // A fresh service over the same journal reproduces the library
+        // (same names, same fingerprints) and serves by name.
+        let service = AtlasService::start_with(
+            trained.model.clone(),
+            cfg.clone(),
+            service_cfg(path.clone()),
+        );
+        assert_eq!(service.workloads(), before);
+        let resp = service
+            .call(PredictRequest::with_workload_name("C2", "spiky", 8))
+            .expect("replayed workload serves");
+        assert_eq!(resp.workload, "spiky");
+        // Registrations after a replay keep appending.
+        service.register_workload("late", spiky).expect("registers");
+        drop(service);
+        let service = AtlasService::start_with(
+            trained.model.clone(),
+            cfg.clone(),
+            service_cfg(path.clone()),
+        );
+        assert_eq!(service.workloads().len(), 3);
+        drop(service);
+
+        // A tampered journal (fingerprint no longer matches the schedule)
+        // refuses to replay rather than silently serving a wrong library.
+        let text = std::fs::read_to_string(&path).expect("journal readable");
+        std::fs::write(
+            &path,
+            text.replace("\"activity\":0.05", "\"activity\":0.25"),
+        )
+        .expect("writable");
+        let mut catalog = ModelCatalog::new();
+        catalog
+            .insert_model("default", trained.model, cfg)
+            .expect("catalog");
+        assert!(matches!(
+            AtlasService::start_catalog(catalog, service_cfg(path.clone())),
+            Err(ServeError::Registry(_))
+        ));
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

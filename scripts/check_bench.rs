@@ -6,7 +6,9 @@
 //!
 //! ```text
 //! rustc -O scripts/check_bench.rs -o check_bench
-//! # serve gate: warm (cache-hit) p50 must not regress past MAX_RATIO
+//! # serve gate: warm (cache-hit) p50 must not regress past MAX_RATIO,
+//! # and the fresh quota-storm scenario must keep the victim model's
+//! # p50 within 3x of its idle p50
 //! ./check_bench BENCH_serve.json BENCH_serve.ci.json 2.0
 //! # embed gate: batched embed throughput must not regress past
 //! # MAX_RATIO, and the fresh batched-vs-per-cycle speedup must stay
@@ -25,6 +27,13 @@ use std::process::ExitCode;
 /// >2x on the reference machine; CI runners vary, so the floor only
 /// guards against the batched path losing its advantage outright.
 const INFER_SPEEDUP_FLOOR: f64 = 1.2;
+
+/// Maximum victim-model p50 inflation the quota-storm scenario may show:
+/// while one model's cold storm saturates its quota, another model's
+/// warm p50 must stay within this factor of its no-storm p50. Both
+/// numbers come from the *fresh* report (same machine, same run), so the
+/// ratio is runner-class independent.
+const QUOTA_STORM_MAX_RATIO: f64 = 3.0;
 
 /// Extract `field` from inside the top-level `object` of a serde-style
 /// pretty-printed JSON report.
@@ -137,6 +146,28 @@ fn run() -> Result<(), String> {
     if ratio > max_ratio {
         return Err(format!(
             "cache-hit p50 regressed {ratio:.2}x (> {max_ratio:.2}x allowed)"
+        ));
+    }
+
+    // Quota-storm gate: the victim model's p50 while another model's
+    // cold storm saturates its quota must stay within the allowed factor
+    // of its idle p50 — both measured inside the fresh run. A report
+    // missing the scenario fails, so the bench cannot silently stop
+    // emitting it.
+    let idle_p50 = extract(&fresh, "quota_storm", "victim_idle_p50_ms")?;
+    let storm_p50 = extract(&fresh, "quota_storm", "victim_storm_p50_ms")?;
+    if !(idle_p50 > 0.0) {
+        return Err(format!("quota-storm idle p50 is not positive: {idle_p50}"));
+    }
+    let storm_ratio = storm_p50 / idle_p50;
+    println!(
+        "quota-storm victim p50: idle {idle_p50:.3} ms, under storm {storm_p50:.3} ms \
+         ({storm_ratio:.2}x, limit {QUOTA_STORM_MAX_RATIO:.2}x)"
+    );
+    if storm_ratio > QUOTA_STORM_MAX_RATIO {
+        return Err(format!(
+            "victim p50 under a quota storm inflated {storm_ratio:.2}x \
+             (> {QUOTA_STORM_MAX_RATIO:.2}x allowed)"
         ));
     }
     Ok(())

@@ -181,3 +181,143 @@ proptest! {
         }
     }
 }
+
+// ---- per-model quota-gate invariants (atlas-serve) ---------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 192, // pure in-memory ops; cheap enough for a wide sweep
+        .. ProptestConfig::default()
+    })]
+
+    /// For any interleaving of admissions and completions: granted slots
+    /// never exceed the quota, the parking queue never exceeds its bound,
+    /// the `queued`/`rejected` counters are monotone and exact, and every
+    /// submitted item is eventually either granted (and completed) or
+    /// rejected — no item is ever lost in the gate.
+    #[test]
+    fn quota_gate_accounting_invariants(
+        quota in 1usize..4,
+        max_parked in 0usize..6,
+        items in 1usize..32,
+        interleave in proptest::collection::vec(0u8..2, 0..96),
+    ) {
+        use atlas_serve::{Admission, QuotaGate};
+
+        let gate: QuotaGate<usize> = QuotaGate::new(max_parked);
+        // The reference scheduler the service implements: fresh and
+        // re-dispatched items go through `admit`; a completion calls
+        // `release` and re-dispatches whatever it pops.
+        let mut to_submit: Vec<usize> = (0..items).collect();
+        let mut redispatch: Vec<usize> = Vec::new();
+        let mut running: Vec<usize> = Vec::new();
+        let mut completed: Vec<usize> = Vec::new();
+        let mut rejected: Vec<usize> = Vec::new();
+        let mut parks_seen = 0u64;
+        let mut ops = interleave.into_iter();
+        loop {
+            let submit = ops.next().unwrap_or(0) == 0;
+            if submit && !(redispatch.is_empty() && to_submit.is_empty()) {
+                let item = if let Some(item) = redispatch.pop() {
+                    item
+                } else {
+                    to_submit.pop().expect("checked nonempty")
+                };
+                match gate.admit(quota, item) {
+                    Admission::Granted(i) => running.push(i),
+                    Admission::Parked => parks_seen += 1,
+                    Admission::Rejected(i) => rejected.push(i),
+                }
+            } else if let Some(i) = running.pop() {
+                completed.push(i);
+                if let Some(parked) = gate.release() {
+                    redispatch.push(parked);
+                }
+            } else if redispatch.is_empty() && to_submit.is_empty() {
+                break;
+            }
+            // Step invariants.
+            prop_assert!(gate.running() <= quota, "running {} > quota {quota}", gate.running());
+            prop_assert_eq!(gate.running(), running.len(), "gate and scheduler agree on running");
+            prop_assert!(gate.parked_len() <= max_parked);
+            prop_assert_eq!(gate.queued_total(), parks_seen, "queued counter is exact");
+            prop_assert_eq!(gate.rejected_total() as usize, rejected.len());
+        }
+        // Quiescence: nothing runs, nothing is parked, and every item is
+        // accounted for exactly once (completed or rejected).
+        prop_assert_eq!(gate.running(), 0);
+        prop_assert_eq!(gate.parked_len(), 0, "no item may be lost in the gate");
+        completed.sort_unstable();
+        completed.dedup();
+        prop_assert_eq!(completed.len() + rejected.len(), items);
+    }
+}
+
+// ---- workload-journal round-trip (atlas-serve) -------------------------
+
+/// A random phase schedule valid under `PhasedWorkload::try_new`.
+fn arb_schedule() -> impl Strategy<Value = Vec<atlas_sim::WorkloadPhase>> {
+    proptest::collection::vec(
+        (0.0f64..1.0, 1usize..10, 0usize..10).prop_map(|(activity, min_len, extra)| {
+            atlas_sim::WorkloadPhase {
+                activity,
+                min_len,
+                max_len: min_len + extra,
+            }
+        }),
+        1..6,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 96,
+        .. ProptestConfig::default()
+    })]
+
+    /// Rendering any workload library to journal lines and parsing them
+    /// back reproduces the exact entries — names, schedules, and
+    /// fingerprints — while any single corrupted fingerprint is refused.
+    #[test]
+    fn workload_journal_roundtrip_reproduces_fingerprints(
+        schedules in proptest::collection::vec((0u32..10_000, arb_schedule()), 1..8),
+        corrupt_at in 0usize..8,
+    ) {
+        use atlas_serve::{parse_workload_journal, render_journal_entry, WorkloadJournalEntry};
+
+        let entries: Vec<WorkloadJournalEntry> = schedules
+            .into_iter()
+            .map(|(tag, phases)| WorkloadJournalEntry {
+                name: format!("wl-{tag}"),
+                fingerprint: atlas_sim::schedule_fingerprint(&phases),
+                phases,
+            })
+            .collect();
+        let text: String = entries
+            .iter()
+            .map(|e| format!("{}\n", render_journal_entry(e)))
+            .collect();
+        let parsed = parse_workload_journal(&text).expect("a rendered journal parses");
+        prop_assert_eq!(&parsed, &entries, "replay must reproduce identical entries");
+        // Fingerprints survive the text round-trip bit-exactly.
+        for (parsed, original) in parsed.iter().zip(&entries) {
+            prop_assert_eq!(
+                parsed.fingerprint,
+                atlas_sim::schedule_fingerprint(&original.phases)
+            );
+        }
+        // Blank lines are tolerated (append crashes mid-line are not
+        // silently accepted, but trailing newlines are).
+        let padded = format!("\n{text}\n");
+        prop_assert_eq!(parse_workload_journal(&padded).expect("padding parses"), entries.clone());
+        // Corrupting one fingerprint fails the whole replay loudly.
+        let mut tampered = entries;
+        let at = corrupt_at % tampered.len();
+        tampered[at].fingerprint ^= 1;
+        let text: String = tampered
+            .iter()
+            .map(|e| format!("{}\n", render_journal_entry(e)))
+            .collect();
+        prop_assert!(parse_workload_journal(&text).is_err());
+    }
+}
