@@ -48,5 +48,11 @@ pub mod pipeline;
 pub mod pretrain;
 
 pub use evaluate::EvalRow;
-pub use model::{AtlasModel, SubmoduleEmbeddings, TraceEmbeddings};
+pub use model::{
+    AtlasModel, EmbeddingTable, PreparedEncoder, SubmoduleEmbeddings, TraceEmbeddings,
+};
 pub use pipeline::{train_atlas, ExperimentConfig, LookupError, TrainedAtlas};
+
+// The precision knob travels with the model API: serving layers pick a
+// [`Precision`] without depending on `atlas_nn` directly.
+pub use atlas_nn::{Precision, F32_EMBED_TOLERANCE};

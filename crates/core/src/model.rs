@@ -4,7 +4,7 @@ use std::collections::HashMap;
 
 use atlas_liberty::{Library, PowerGroup};
 use atlas_netlist::{Design, Stage};
-use atlas_nn::{EncoderState, InferenceEncoder};
+use atlas_nn::{EncoderState, InferenceEncoder, InferenceEncoderF32, Precision};
 use atlas_power::PowerTrace;
 use atlas_sim::ToggleTrace;
 use serde::{Deserialize, Serialize};
@@ -12,14 +12,102 @@ use serde::{Deserialize, Serialize};
 use crate::features::{build_submodule_data, SideFeatures, SideTable, SubmoduleData};
 use crate::finetune::PowerHeads;
 
+/// A frozen inference encoder at a chosen [`Precision`], built **once**
+/// per model load by [`AtlasModel::prepare`] (the f32 variant narrows
+/// every weight matrix at construction, not per forward) and reused for
+/// every trace embedded against that model.
+#[derive(Debug, Clone)]
+pub enum PreparedEncoder {
+    /// Full-precision evaluator — bit-parity guarantees.
+    F64(InferenceEncoder),
+    /// Reduced-precision evaluator — accuracy-delta guarantees
+    /// ([`atlas_nn::F32_EMBED_TOLERANCE`]), embeddings at half the bytes.
+    F32(InferenceEncoderF32),
+}
+
+impl PreparedEncoder {
+    /// The precision this encoder evaluates (and emits embeddings) at.
+    pub fn precision(&self) -> Precision {
+        match self {
+            PreparedEncoder::F64(_) => Precision::F64,
+            PreparedEncoder::F32(_) => Precision::F32,
+        }
+    }
+
+    /// Cycles per chunk of the batched forward for a graph of `nodes`
+    /// nodes (the f32 path fits up to twice as many in the same budget).
+    pub fn cycle_chunk(&self, nodes: usize) -> usize {
+        match self {
+            PreparedEncoder::F64(e) => e.cycle_chunk(nodes),
+            PreparedEncoder::F32(e) => e.cycle_chunk(nodes),
+        }
+    }
+}
+
+/// Per-cycle graph embeddings of one sub-module, stored at the precision
+/// they were computed at — f32 rows cost half the cache bytes of f64
+/// rows, which doubles what fits a byte-budgeted embedding cache.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EmbeddingTable {
+    /// Full-precision rows (8 bytes per element).
+    F64(Vec<Vec<f64>>),
+    /// Reduced-precision rows (4 bytes per element).
+    F32(Vec<Vec<f32>>),
+}
+
+impl EmbeddingTable {
+    /// Number of cycles stored.
+    pub fn len(&self) -> usize {
+        match self {
+            EmbeddingTable::F64(rows) => rows.len(),
+            EmbeddingTable::F32(rows) => rows.len(),
+        }
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Storage precision of the rows.
+    pub fn precision(&self) -> Precision {
+        match self {
+            EmbeddingTable::F64(_) => Precision::F64,
+            EmbeddingTable::F32(_) => Precision::F32,
+        }
+    }
+
+    /// Cycle `t`'s embedding as f64, borrowing stored f64 rows directly
+    /// and widening f32 rows through the caller's reusable scratch buffer
+    /// (no per-row allocation on the head-stage hot path).
+    pub fn row_f64<'a>(&'a self, t: usize, scratch: &'a mut Vec<f64>) -> &'a [f64] {
+        match self {
+            EmbeddingTable::F64(rows) => &rows[t],
+            EmbeddingTable::F32(rows) => {
+                scratch.clear();
+                scratch.extend(rows[t].iter().map(|&v| v as f64));
+                scratch
+            }
+        }
+    }
+
+    /// Approximate heap bytes of the stored rows (cache accounting).
+    pub fn approx_bytes(&self) -> usize {
+        match self {
+            EmbeddingTable::F64(rows) => rows.iter().map(|r| r.len() * 8).sum(),
+            EmbeddingTable::F32(rows) => rows.iter().map(|r| r.len() * 4).sum(),
+        }
+    }
+}
+
 /// Stage-one inference output for one sub-module across a whole trace:
 /// per-cycle encoder embeddings and side features.
 #[derive(Debug, Clone)]
 pub struct SubmoduleEmbeddings {
     /// Index of the sub-module in its design.
     pub submodule: usize,
-    /// `embeddings[cycle]` — the graph embedding for that cycle.
-    pub embeddings: Vec<Vec<f64>>,
+    /// Per-cycle graph embeddings, at the precision they were computed at.
+    pub embeddings: EmbeddingTable,
     /// `sides[cycle]` — the toggle-weighted side features for that cycle.
     pub sides: Vec<SideFeatures>,
 }
@@ -39,6 +127,7 @@ pub struct TraceEmbeddings {
     workload: String,
     cycles: usize,
     n_submodules: usize,
+    precision: Precision,
     per_submodule: Vec<SubmoduleEmbeddings>,
 }
 
@@ -48,18 +137,24 @@ impl TraceEmbeddings {
         self.cycles
     }
 
+    /// Precision the embeddings were computed and are stored at.
+    pub fn precision(&self) -> Precision {
+        self.precision
+    }
+
     /// Per-sub-module embedding tables.
     pub fn per_submodule(&self) -> &[SubmoduleEmbeddings] {
         &self.per_submodule
     }
 
-    /// Approximate heap size in bytes (for cache accounting).
+    /// Approximate heap size in bytes (for cache accounting). f32 tables
+    /// report half the bytes of f64 tables, so a byte-budgeted cache holds
+    /// twice the traces at reduced precision.
     pub fn approx_bytes(&self) -> usize {
         self.per_submodule
             .iter()
             .map(|s| {
-                s.embeddings.iter().map(|e| e.len() * 8).sum::<usize>()
-                    + s.sides.len() * std::mem::size_of::<SideFeatures>()
+                s.embeddings.approx_bytes() + s.sides.len() * std::mem::size_of::<SideFeatures>()
             })
             .sum()
     }
@@ -147,19 +242,21 @@ impl AtlasModel {
         self.predict_from_embeddings(&embeddings)
     }
 
-    /// Inference stage one (expensive, cacheable): per-cycle feature
-    /// construction, encoder forwards, and side features for every
-    /// sub-module of the trace.
-    ///
-    /// The trace is cut into (sub-module × cycle-chunk) work items — the
-    /// chunk size follows [`InferenceEncoder::cycle_chunk`]'s memory
-    /// budget — and items are packed onto `threads` std threads (`0` =
-    /// auto: available parallelism capped at 8) by **estimated work**
-    /// (`nodes × cycles`, longest-first), so one huge sub-module splits
-    /// across threads instead of straggling the scope. Each item runs the
-    /// encoder's cycle-blocked batched forward (one matmul per layer per
-    /// chunk). Results are bit-identical to the per-cycle path for every
-    /// thread count and chunking.
+    /// Build a frozen inference encoder at the requested precision — the
+    /// once-per-load conversion point of the precision choice. Keep the
+    /// result and pass it to [`embed_trace_with`](Self::embed_trace_with)
+    /// so repeated traces skip re-cloning (f64) or re-narrowing (f32) the
+    /// weights.
+    pub fn prepare(&self, precision: Precision) -> PreparedEncoder {
+        match precision {
+            Precision::F64 => PreparedEncoder::F64(InferenceEncoder::from_state(&self.encoder)),
+            Precision::F32 => PreparedEncoder::F32(InferenceEncoderF32::from_state(&self.encoder)),
+        }
+    }
+
+    /// Inference stage one (expensive, cacheable) at full precision —
+    /// [`embed_trace_with`](Self::embed_trace_with) against a fresh f64
+    /// encoder.
     pub fn embed_trace(
         &self,
         gate: &Design,
@@ -168,8 +265,55 @@ impl AtlasModel {
         trace: &ToggleTrace,
         threads: usize,
     ) -> TraceEmbeddings {
+        self.embed_trace_with(
+            &self.prepare(Precision::F64),
+            gate,
+            lib,
+            data,
+            trace,
+            threads,
+        )
+    }
+
+    /// Inference stage one (expensive, cacheable): per-cycle feature
+    /// construction, encoder forwards, and side features for every
+    /// sub-module of the trace, evaluated by a prepared encoder at its
+    /// precision.
+    ///
+    /// Work runs in two parallel phases over `threads` std threads (`0` =
+    /// auto: available parallelism capped at 8), both packed by estimated
+    /// work (longest-first) so one huge sub-module splits across threads
+    /// instead of straggling the scope:
+    ///
+    /// 1. **Scan** — (sub-module × cycle-range) items pack each cycle's
+    ///    toggles into a bitset and compute its side features. The bitsets
+    ///    are then merged per sub-module into one **whole-trace** unique
+    ///    toggle-pattern set: workloads repeat patterns (idle phases
+    ///    repeat them almost every cycle), and deduplicating across the
+    ///    whole trace — not per item, so a pattern shared by two items'
+    ///    ranges is still encoded once — fixes the old per-item window
+    ///    whose hit rate degraded exactly when thread balance split a
+    ///    sub-module finely.
+    /// 2. **Encode** — (sub-module × unique-pattern-range) items run the
+    ///    encoder's cycle-blocked batched forward (one matmul per layer
+    ///    per chunk) over unique patterns only, expanding features from
+    ///    each pattern's bitset straight into the chunk's stacked operand.
+    ///
+    /// Every cycle's embedding is then the copy of its pattern's — exact,
+    /// because the encoder is a pure function of (graph, features). f64
+    /// results are bit-identical to the per-cycle path for every thread
+    /// count and chunking; f32 results carry the precision's accuracy
+    /// contract ([`atlas_nn::F32_EMBED_TOLERANCE`]) instead.
+    pub fn embed_trace_with(
+        &self,
+        encoder: &PreparedEncoder,
+        gate: &Design,
+        lib: &Library,
+        data: &[SubmoduleData],
+        trace: &ToggleTrace,
+        threads: usize,
+    ) -> TraceEmbeddings {
         let cycles = trace.cycles();
-        let encoder = InferenceEncoder::from_state(&self.encoder);
         let threads = if threads == 0 {
             std::thread::available_parallelism()
                 .map(|n| n.get())
@@ -179,128 +323,92 @@ impl AtlasModel {
             threads
         };
 
-        // One work item = one sub-module × one cycle range spanning many
-        // memory-budgeted chunks. Long items amortize the encoder's
-        // scratch buffers, the side-feature table, and the toggle-pattern
-        // dedup window over as many cycles as possible; the only reason to
-        // split a sub-module at all is thread balance, so items are capped
-        // at `cycles / threads` — one giant sub-module can still occupy
-        // every thread.
-        struct Item {
-            sm: usize,
-            start: usize,
-            len: usize,
-            chunk: usize,
-        }
-        let total_work: usize = data.iter().map(|s| s.node_count() * cycles).sum();
-        let work_target = total_work.div_ceil(threads.max(1)).max(1);
-        let mut items: Vec<Item> = Vec::new();
-        for (sm, smd) in data.iter().enumerate() {
-            let chunk = encoder.cycle_chunk(smd.node_count());
-            // Split a sub-module into only as many pieces as balance
-            // needs: one smaller than a thread's fair share stays whole
-            // (full dedup window, one side table), a dominating one cuts
-            // into enough pieces to occupy every thread.
-            let splits = (smd.node_count() * cycles).div_ceil(work_target).max(1);
-            let item_len = cycles.div_ceil(splits).max(1);
-            let mut start = 0;
-            while start < cycles {
-                let len = item_len.min(cycles - start);
-                items.push(Item {
-                    sm,
-                    start,
-                    len,
-                    chunk,
-                });
-                start += len;
+        // Deterministic LPT packing shared by both phases: items sorted by
+        // estimated work, each placed on the least-loaded thread (stable
+        // sort, first-minimum tie-break), so scheduling never depends on
+        // timing.
+        fn lpt_bins(weights: &[usize], threads: usize) -> Vec<Vec<usize>> {
+            let threads = threads.clamp(1, weights.len().max(1));
+            let mut order: Vec<usize> = (0..weights.len()).collect();
+            order.sort_by_key(|&i| std::cmp::Reverse(weights[i]));
+            let mut bins: Vec<Vec<usize>> = vec![Vec::new(); threads];
+            let mut load = vec![0usize; threads];
+            for i in order {
+                let t = (0..threads).min_by_key(|&t| load[t]).unwrap_or(0);
+                load[t] += weights[i];
+                bins[t].push(i);
             }
+            bins
         }
 
-        // Longest-processing-time greedy assignment: items sorted by
-        // estimated work (nodes × cycles in the item), each placed on the
-        // least-loaded thread. Deterministic (stable sort, first-minimum
-        // tie-break), so scheduling never depends on timing.
-        let threads = threads.clamp(1, items.len().max(1));
-        let work = |it: &Item| data[it.sm].node_count() * it.len;
-        let mut order: Vec<usize> = (0..items.len()).collect();
-        order.sort_by_key(|&i| std::cmp::Reverse(work(&items[i])));
-        let mut bins: Vec<Vec<usize>> = vec![Vec::new(); threads];
-        let mut load = vec![0usize; threads];
-        for i in order {
-            let t = (0..threads).min_by_key(|&t| load[t]).unwrap_or(0);
-            load[t] += work(&items[i]);
-            bins[t].push(i);
+        // Split `total` units of a sub-module into only as many
+        // contiguous ranges as thread balance needs: work smaller than a
+        // thread's fair share stays whole, a dominating sub-module cuts
+        // into enough pieces to occupy every thread.
+        fn ranged_items(
+            data: &[SubmoduleData],
+            totals: &[usize],
+            threads: usize,
+        ) -> Vec<(usize, usize, usize)> {
+            let total_work: usize = data
+                .iter()
+                .zip(totals)
+                .map(|(s, &t)| s.node_count() * t)
+                .sum();
+            let work_target = total_work.div_ceil(threads.max(1)).max(1);
+            let mut items = Vec::new();
+            for (sm, (smd, &total)) in data.iter().zip(totals).enumerate() {
+                if total == 0 {
+                    continue;
+                }
+                let splits = (smd.node_count() * total).div_ceil(work_target).max(1);
+                let item_len = total.div_ceil(splits).max(1);
+                let mut start = 0;
+                while start < total {
+                    let len = item_len.min(total - start);
+                    items.push((sm, start, len));
+                    start += len;
+                }
+            }
+            items
         }
 
-        type ItemOut = (usize, usize, Vec<Vec<f64>>, Vec<SideFeatures>);
-        let results: Vec<ItemOut> = crossbeam::thread::scope(|scope| {
+        // ---- Phase 1: toggle-bitset scan + side features, per cycle ----
+        let scan_items = ranged_items(data, &vec![cycles; data.len()], threads);
+        let scan_weights: Vec<usize> = scan_items
+            .iter()
+            .map(|&(sm, _, len)| data[sm].node_count() * len)
+            .collect();
+        type ScanOut = (usize, usize, Vec<Vec<u64>>, Vec<SideFeatures>);
+        let scans: Vec<ScanOut> = crossbeam::thread::scope(|scope| {
             let mut handles = Vec::new();
-            for bin in &bins {
+            for bin in lpt_bins(&scan_weights, threads) {
                 if bin.is_empty() {
                     continue;
                 }
-                let encoder = &encoder;
-                let items = &items;
+                let scan_items = &scan_items;
                 handles.push(scope.spawn(move |_| {
-                    let mut local: Vec<ItemOut> = Vec::with_capacity(bin.len());
-                    for &i in bin {
-                        let it = &items[i];
-                        let smd = &data[it.sm];
-                        // A sub-module's features differ across cycles only
-                        // in the toggle channel, and workloads repeat
-                        // toggle patterns (idle phases repeat them almost
-                        // every cycle) — so key each cycle by its packed
-                        // toggle bits and run the encoder once per
-                        // *unique* pattern. Copying an embedding to its
-                        // duplicate cycles is exact: the encoder is a pure
-                        // function of (graph, features).
+                    let mut local: Vec<ScanOut> = Vec::with_capacity(bin.len());
+                    for i in bin {
+                        let (sm, start, len) = scan_items[i];
+                        let smd = &data[sm];
                         let n = smd.node_count();
                         let words = n.div_ceil(64);
-                        let mut pattern_of = Vec::with_capacity(it.len);
-                        let mut uniq: HashMap<Vec<u64>, usize> = HashMap::new();
-                        let mut uniq_bits: Vec<Vec<u64>> = Vec::new();
-                        for t in it.start..it.start + it.len {
+                        let mut bits_per_cycle = Vec::with_capacity(len);
+                        for t in start..start + len {
                             let mut bits = vec![0u64; words];
                             for (node, &cell) in smd.cells().iter().enumerate() {
                                 if trace.cell_toggled(gate, t, cell) {
                                     bits[node / 64] |= 1 << (node % 64);
                                 }
                             }
-                            let slot = match uniq.get(&bits) {
-                                Some(&slot) => slot,
-                                None => {
-                                    let slot = uniq_bits.len();
-                                    uniq_bits.push(bits.clone());
-                                    uniq.insert(bits, slot);
-                                    slot
-                                }
-                            };
-                            pattern_of.push(slot);
+                            bits_per_cycle.push(bits);
                         }
-                        // One cycle-blocked encode over the unique
-                        // patterns; each pattern's features are expanded
-                        // from its bitset straight into the chunk's
-                        // stacked operand (no second trace scan), so live
-                        // feature memory stays within the encoder's chunk
-                        // budget (a whole trace of them would be GBs on a
-                        // large sub-module).
-                        let uniq_emb = encoder.encode_graph_batch_fill(
-                            smd.adj(),
-                            uniq_bits.len(),
-                            it.chunk,
-                            |u, dst| {
-                                smd.write_features_from_bits(&uniq_bits[u], dst);
-                            },
-                        );
-                        let embeddings = pattern_of
-                            .iter()
-                            .map(|&slot| uniq_emb[slot].clone())
-                            .collect();
                         let table = SideTable::new(smd, gate, lib, trace);
-                        let sides = (it.start..it.start + it.len)
+                        let sides = (start..start + len)
                             .map(|t| table.side_features(gate, trace, t))
                             .collect();
-                        local.push((it.sm, it.start, embeddings, sides));
+                        local.push((sm, start, bits_per_cycle, sides));
                     }
                     local
                 }));
@@ -312,30 +420,149 @@ impl AtlasModel {
         })
         .expect("scoped threads join");
 
-        // Reassemble items into per-sub-module tables, in `data` order.
-        let mut per_submodule: Vec<SubmoduleEmbeddings> = data
+        // ---- Merge: whole-trace unique patterns per sub-module ----
+        // A sub-module's features differ across cycles only in the toggle
+        // channel, so each cycle is keyed by its packed toggle bits and
+        // the encoder runs once per unique pattern over the whole trace.
+        let mut sides_of: Vec<Vec<SideFeatures>> = data
             .iter()
-            .map(|smd| SubmoduleEmbeddings {
-                submodule: smd.submodule().index(),
-                embeddings: vec![Vec::new(); cycles],
-                sides: vec![SideFeatures::default(); cycles],
-            })
+            .map(|_| vec![SideFeatures::default(); cycles])
             .collect();
-        for (sm, start, embeddings, sides) in results {
-            let table = &mut per_submodule[sm];
-            for (off, e) in embeddings.into_iter().enumerate() {
-                table.embeddings[start + off] = e;
+        let mut bits_of: Vec<Vec<Vec<u64>>> =
+            data.iter().map(|_| vec![Vec::new(); cycles]).collect();
+        for (sm, start, bits_per_cycle, sides) in scans {
+            for (off, b) in bits_per_cycle.into_iter().enumerate() {
+                bits_of[sm][start + off] = b;
             }
             for (off, s) in sides.into_iter().enumerate() {
-                table.sides[start + off] = s;
+                sides_of[sm][start + off] = s;
             }
         }
+        let mut pattern_of: Vec<Vec<usize>> = Vec::with_capacity(data.len());
+        let mut uniq_bits: Vec<Vec<Vec<u64>>> = Vec::with_capacity(data.len());
+        for bits_per_cycle in bits_of {
+            let mut uniq: HashMap<Vec<u64>, usize> = HashMap::new();
+            let mut uniqs: Vec<Vec<u64>> = Vec::new();
+            let mut slots = Vec::with_capacity(cycles);
+            for bits in bits_per_cycle {
+                let slot = match uniq.get(&bits) {
+                    Some(&slot) => slot,
+                    None => {
+                        let slot = uniqs.len();
+                        uniqs.push(bits.clone());
+                        uniq.insert(bits, slot);
+                        slot
+                    }
+                };
+                slots.push(slot);
+            }
+            pattern_of.push(slots);
+            uniq_bits.push(uniqs);
+        }
+
+        // ---- Phase 2: encode unique patterns only ----
+        let uniq_counts: Vec<usize> = uniq_bits.iter().map(|u| u.len()).collect();
+        let enc_items = ranged_items(data, &uniq_counts, threads);
+        let enc_weights: Vec<usize> = enc_items
+            .iter()
+            .map(|&(sm, _, len)| data[sm].node_count() * len)
+            .collect();
+        enum EmbRows {
+            F64(Vec<Vec<f64>>),
+            F32(Vec<Vec<f32>>),
+        }
+        type EncOut = (usize, usize, EmbRows);
+        let encoded: Vec<EncOut> = crossbeam::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for bin in lpt_bins(&enc_weights, threads) {
+                if bin.is_empty() {
+                    continue;
+                }
+                let enc_items = &enc_items;
+                let uniq_bits = &uniq_bits;
+                handles.push(scope.spawn(move |_| {
+                    let mut local: Vec<EncOut> = Vec::with_capacity(bin.len());
+                    for i in bin {
+                        let (sm, start, len) = enc_items[i];
+                        let smd = &data[sm];
+                        let bits = &uniq_bits[sm];
+                        // Each pattern's features are expanded from its
+                        // bitset straight into the chunk's stacked operand
+                        // (no second trace scan), so live feature memory
+                        // stays within the encoder's chunk budget.
+                        let chunk = encoder.cycle_chunk(smd.node_count());
+                        let rows =
+                            match encoder {
+                                PreparedEncoder::F64(enc) => EmbRows::F64(
+                                    enc.encode_graph_batch_fill(smd.adj(), len, chunk, |u, dst| {
+                                        smd.write_features_from_bits(&bits[start + u], dst)
+                                    }),
+                                ),
+                                PreparedEncoder::F32(enc) => EmbRows::F32(
+                                    enc.encode_graph_batch_fill(smd.adj(), len, chunk, |u, dst| {
+                                        smd.write_features_from_bits_f32(&bits[start + u], dst)
+                                    }),
+                                ),
+                            };
+                        local.push((sm, start, rows));
+                    }
+                    local
+                }));
+            }
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("worker panicked"))
+                .collect()
+        })
+        .expect("scoped threads join");
+
+        // ---- Reassemble: every cycle copies its pattern's embedding ----
+        let mut uniq_emb: Vec<EmbRows> = data
+            .iter()
+            .zip(&uniq_counts)
+            .map(|(_, &u)| match encoder {
+                PreparedEncoder::F64(_) => EmbRows::F64(vec![Vec::new(); u]),
+                PreparedEncoder::F32(_) => EmbRows::F32(vec![Vec::new(); u]),
+            })
+            .collect();
+        for (sm, start, rows) in encoded {
+            match (&mut uniq_emb[sm], rows) {
+                (EmbRows::F64(table), EmbRows::F64(rows)) => {
+                    for (off, r) in rows.into_iter().enumerate() {
+                        table[start + off] = r;
+                    }
+                }
+                (EmbRows::F32(table), EmbRows::F32(rows)) => {
+                    for (off, r) in rows.into_iter().enumerate() {
+                        table[start + off] = r;
+                    }
+                }
+                _ => unreachable!("phase-2 items share the encoder's precision"),
+            }
+        }
+        let per_submodule: Vec<SubmoduleEmbeddings> = data
+            .iter()
+            .enumerate()
+            .map(|(sm, smd)| SubmoduleEmbeddings {
+                submodule: smd.submodule().index(),
+                embeddings: match &uniq_emb[sm] {
+                    EmbRows::F64(uniq) => EmbeddingTable::F64(
+                        pattern_of[sm].iter().map(|&s| uniq[s].clone()).collect(),
+                    ),
+                    EmbRows::F32(uniq) => EmbeddingTable::F32(
+                        pattern_of[sm].iter().map(|&s| uniq[s].clone()).collect(),
+                    ),
+                },
+                sides: std::mem::take(&mut sides_of[sm]),
+            })
+            .collect();
 
         TraceEmbeddings {
             design: gate.name().to_owned(),
             workload: trace.workload().to_owned(),
             cycles,
             n_submodules: gate.submodules().len(),
+            precision: encoder.precision(),
             per_submodule,
         }
     }
@@ -350,8 +577,10 @@ impl AtlasModel {
             embeddings.cycles,
             embeddings.n_submodules,
         );
+        let mut scratch = Vec::new();
         for sm in &embeddings.per_submodule {
-            for (t, (emb, side)) in sm.embeddings.iter().zip(&sm.sides).enumerate() {
+            for (t, side) in sm.sides.iter().enumerate() {
+                let emb = sm.embeddings.row_f64(t, &mut scratch);
                 let [comb, reg, ct] = self.heads.predict_groups(emb, side);
                 let mem = self.heads.memory.predict(side);
                 out.add(t, sm.submodule, PowerGroup::Combinational.index(), comb);

@@ -32,13 +32,13 @@ use crate::sparse::SparseAdj;
 /// at once during a layer and the pass structure sweeps them repeatedly,
 /// so this is sized to keep the whole working set near the last-level
 /// cache rather than to fit RAM.
-const CHUNK_BUDGET_BYTES: usize = 512 << 10;
+pub(crate) const CHUNK_BUDGET_BYTES: usize = 512 << 10;
 
 /// Upper bound on cycles per chunk. Empirically the batched forward is
 /// fastest with shallow chunks: they amortize scratch reuse and the
 /// output projection while keeping every temporary cache-resident —
 /// locality beats batch depth once per-chunk fixed costs are amortized.
-const MAX_CYCLE_CHUNK: usize = 4;
+pub(crate) const MAX_CYCLE_CHUNK: usize = 4;
 
 /// Reusable large temporaries of the cycle-blocked hidden pass, all
 /// `(blocks·n) × hidden`. Allocated lazily to the working shape and then
@@ -182,7 +182,7 @@ impl InferenceEncoder {
     /// The shared pre-projection hidden state of one cycle.
     fn hidden(&self, adj: &SparseAdj, features: &Matrix) -> Matrix {
         let mut scratch = Scratch::default();
-        self.hidden_blocks(adj, features, 1, &mut scratch);
+        self.hidden_blocks(adj, features, 1, &mut scratch, None);
         scratch.h
     }
 
@@ -197,7 +197,23 @@ impl InferenceEncoder {
     /// (and tests pin) bit-identity with its whole-matrix counterpart.
     /// All large temporaries live in `scratch`, so a caller looping over
     /// chunks allocates them once, not once per chunk per layer.
-    fn hidden_blocks(&self, adj: &SparseAdj, stacked: &Matrix, blocks: usize, scr: &mut Scratch) {
+    ///
+    /// When `pool` is given (a flat `blocks × hidden_dim` buffer), the
+    /// per-block column means of the final hidden state are produced as a
+    /// by-product: the last layer's fused mix epilogue accumulates each
+    /// written row into its block's pool row as it stores it, so the
+    /// batched encode skips a full re-read of `h` per chunk. The fused
+    /// accumulation runs row-ascending per block with the divide last —
+    /// the exact [`Matrix::mean_rows_block_into`] operation sequence — so
+    /// pooled results are bit-identical to the unfused sweep.
+    fn hidden_blocks(
+        &self,
+        adj: &SparseAdj,
+        stacked: &Matrix,
+        blocks: usize,
+        scr: &mut Scratch,
+        mut pool: Option<&mut [f64]>,
+    ) {
         let n = adj.node_count();
         assert_eq!(stacked.cols(), self.input_dim, "feature width mismatch");
         assert_eq!(stacked.rows(), n * blocks, "node count mismatch");
@@ -237,16 +253,41 @@ impl InferenceEncoder {
             // over the attention buffer, which becomes the next layer's
             // input.
             adj.matmul_stacked_into(&scr.h, blocks, &mut scr.spmm);
-            scr.spmm.matmul_bias_act_mix_rows_into(
-                &self.weights[(base + 3) * 2],
-                &self.weights[(base + 3) * 2 + 1],
-                |v| v.max(0.0),
-                self.alpha,
-                0,
-                rows,
-                &mut scr.attn,
-            );
+            if let (true, Some(pool)) = (l + 1 == self.layers, pool.as_deref_mut()) {
+                // Last layer with pooling requested: fold the per-block
+                // mean into this epilogue's write-back.
+                scr.spmm.matmul_bias_act_mix_pool_rows_into(
+                    &self.weights[(base + 3) * 2],
+                    &self.weights[(base + 3) * 2 + 1],
+                    |v| v.max(0.0),
+                    self.alpha,
+                    &mut scr.attn,
+                    n,
+                    pool,
+                );
+            } else {
+                scr.spmm.matmul_bias_act_mix_rows_into(
+                    &self.weights[(base + 3) * 2],
+                    &self.weights[(base + 3) * 2 + 1],
+                    |v| v.max(0.0),
+                    self.alpha,
+                    0,
+                    rows,
+                    &mut scr.attn,
+                );
+            }
             std::mem::swap(&mut scr.h, &mut scr.attn);
+        }
+        if self.layers == 0 {
+            // No layer epilogue to fuse into: pool the embed output the
+            // unfused way.
+            if let Some(pool) = pool {
+                let hd = self.hidden_dim;
+                for b in 0..blocks {
+                    scr.h
+                        .mean_rows_block_into(b * n, n, &mut pool[b * hd..(b + 1) * hd]);
+                }
+            }
         }
     }
 
@@ -388,12 +429,16 @@ impl InferenceEncoder {
                     &mut stacked.as_mut_slice()[i * block_len..(i + 1) * block_len],
                 );
             }
-            self.hidden_blocks(adj, &stacked, b, &mut scratch);
-            for i in 0..b {
-                scratch
-                    .h
-                    .mean_rows_block_into(i * n, n, pooled.row_mut(start + i));
-            }
+            // Per-cycle pooling is fused into the last layer's mix
+            // epilogue inside `hidden_blocks` — no separate sweep.
+            let hd = self.hidden_dim;
+            self.hidden_blocks(
+                adj,
+                &stacked,
+                b,
+                &mut scratch,
+                Some(&mut pooled.as_mut_slice()[start * hd..(start + b) * hd]),
+            );
             start += b;
         }
         // One output projection for the whole batch.

@@ -1,0 +1,520 @@
+//! The reduced-precision (f32) inference encoder.
+//!
+//! [`InferenceEncoderF32`] is the f32 sibling of
+//! [`InferenceEncoder`](crate::InferenceEncoder): the same cycle-blocked
+//! SGFormer forward, evaluated in `f32` over weights narrowed once from
+//! the trained `f64` state. Halving the element size halves the memory
+//! traffic of every kernel pass, doubles the cycles that fit a chunk
+//! budget, and halves what a cached trace embedding costs the serving
+//! LRU — doubling the effective `--cache-mb`.
+//!
+//! # Accuracy contract
+//!
+//! Unlike the f64 path, which guarantees bit parity between batched and
+//! per-cycle evaluation, the f32 path promises *closeness to f64*:
+//! every embedding element stays within [`F32_EMBED_TOLERANCE`] of the
+//! f64 result under the relative metric `|a − b| / (1 + |b|)`. The
+//! proptests here and the accuracy gate in `infer_bench` (enforced by
+//! `scripts/check_bench.rs`) both pin that single shared constant.
+
+use std::str::FromStr;
+
+use crate::encoder::EncoderState;
+use crate::infer::{CHUNK_BUDGET_BYTES, MAX_CYCLE_CHUNK};
+use crate::matrix32::Matrix32;
+use crate::sparse::SparseAdj;
+
+/// Maximum per-element deviation of an f32 trace embedding from its f64
+/// counterpart, under the relative metric `|a − b| / (1 + |b|)`. Shared
+/// by the accuracy proptests in this module and the `infer_bench` gate,
+/// so the tested tolerance and the CI-enforced tolerance cannot drift
+/// apart.
+pub const F32_EMBED_TOLERANCE: f64 = 1e-3;
+
+/// Numeric precision of an inference encoder and the embeddings it
+/// produces.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum Precision {
+    /// Full precision: bit-parity guarantees, 8 bytes per element.
+    #[default]
+    F64,
+    /// Reduced precision: accuracy-delta guarantees
+    /// ([`F32_EMBED_TOLERANCE`]), 4 bytes per element, half the cache
+    /// cost per embedding.
+    F32,
+}
+
+impl Precision {
+    /// Stable lowercase name (`"f64"` / `"f32"`), for stats and flags.
+    pub fn label(self) -> &'static str {
+        match self {
+            Precision::F64 => "f64",
+            Precision::F32 => "f32",
+        }
+    }
+
+    /// Bytes per embedding element at this precision.
+    pub fn bytes_per_element(self) -> usize {
+        match self {
+            Precision::F64 => 8,
+            Precision::F32 => 4,
+        }
+    }
+}
+
+impl std::fmt::Display for Precision {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+impl FromStr for Precision {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Precision, String> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "f64" | "double" => Ok(Precision::F64),
+            "f32" | "single" => Ok(Precision::F32),
+            other => Err(format!("unknown precision `{other}` (expected f64 or f32)")),
+        }
+    }
+}
+
+/// Reusable cycle-blocked temporaries, all `(blocks·n) × hidden` — the
+/// f32 mirror of the f64 path's scratch set.
+#[derive(Debug, Default)]
+struct Scratch32 {
+    h: Matrix32,
+    pq: Matrix32,
+    pk: Matrix32,
+    v: Matrix32,
+    attn: Matrix32,
+    spmm: Matrix32,
+    denom: Matrix32,
+    kv: Matrix32,
+    ksum: Matrix32,
+}
+
+impl Scratch32 {
+    fn ensure(&mut self, rows: usize, cols: usize) {
+        for m in [
+            &mut self.h,
+            &mut self.pq,
+            &mut self.pk,
+            &mut self.v,
+            &mut self.attn,
+            &mut self.spmm,
+        ] {
+            if m.shape() != (rows, cols) {
+                *m = Matrix32::zeros(rows, cols);
+            }
+        }
+        if self.denom.shape() != (rows, 1) {
+            self.denom = Matrix32::zeros(rows, 1);
+        }
+        if self.kv.shape() != (cols, cols) {
+            self.kv = Matrix32::zeros(cols, cols);
+        }
+        if self.ksum.shape() != (cols, 1) {
+            self.ksum = Matrix32::zeros(cols, 1);
+        }
+    }
+}
+
+/// A frozen f32 evaluator of a trained encoder (weights narrowed once at
+/// construction). `Send + Sync` like its f64 sibling, so the same
+/// threaded embedding pipeline drives either precision.
+#[derive(Debug, Clone)]
+pub struct InferenceEncoderF32 {
+    input_dim: usize,
+    hidden_dim: usize,
+    alpha: f32,
+    /// `[W, b]` pairs: embed, then (q, k, v, gcn) per layer, then out.
+    weights: Vec<Matrix32>,
+    layers: usize,
+}
+
+impl InferenceEncoderF32 {
+    /// Narrow a trained encoder's state to f32 — the once-per-load
+    /// conversion point of the reduced-precision path.
+    pub fn from_state(state: &EncoderState) -> InferenceEncoderF32 {
+        InferenceEncoderF32 {
+            input_dim: state.config.input_dim,
+            hidden_dim: state.config.hidden_dim,
+            alpha: state.config.alpha as f32,
+            weights: state.tensors.iter().map(Matrix32::from_f64).collect(),
+            layers: state.config.layers,
+        }
+    }
+
+    /// Embedding width.
+    pub fn embedding_dim(&self) -> usize {
+        self.hidden_dim
+    }
+
+    /// Feature width each cycle block must provide.
+    pub fn input_dim(&self) -> usize {
+        self.input_dim
+    }
+
+    /// Cycles per chunk of the batched forward — the same live-byte
+    /// budget as the f64 path, which f32 rows fill half as fast, so
+    /// chunks run up to twice as deep on large graphs.
+    pub fn cycle_chunk(&self, nodes: usize) -> usize {
+        let row_bytes = nodes.max(1) * self.input_dim.max(self.hidden_dim).max(1) * 4;
+        (CHUNK_BUDGET_BYTES / row_bytes).clamp(1, MAX_CYCLE_CHUNK)
+    }
+
+    /// Batched graph embedding with streamed feature fill —
+    /// the f32 sibling of
+    /// [`InferenceEncoder::encode_graph_batch_fill`](crate::InferenceEncoder::encode_graph_batch_fill).
+    /// `fill_features(i, dst)` writes cycle `i`'s `n × input_dim` f32
+    /// feature block into the stacked operand.
+    ///
+    /// # Panics
+    ///
+    /// Panics on feature-shape mismatch.
+    pub fn encode_graph_batch_fill<F>(
+        &self,
+        adj: &SparseAdj,
+        count: usize,
+        chunk: usize,
+        mut fill_features: F,
+    ) -> Vec<Vec<f32>>
+    where
+        F: FnMut(usize, &mut [f32]),
+    {
+        if count == 0 {
+            return Vec::new();
+        }
+        let n = adj.node_count();
+        let chunk = chunk.clamp(1, count);
+        let block_len = n * self.input_dim;
+        let hd = self.hidden_dim;
+        let mut pooled = Matrix32::zeros(count, hd);
+        let mut scratch = Scratch32::default();
+        let mut stacked = Matrix32::zeros(0, 0);
+        let mut start = 0;
+        while start < count {
+            let b = chunk.min(count - start);
+            if stacked.shape() != (b * n, self.input_dim) {
+                stacked = Matrix32::zeros(b * n, self.input_dim);
+            }
+            for i in 0..b {
+                fill_features(
+                    start + i,
+                    &mut stacked.as_mut_slice()[i * block_len..(i + 1) * block_len],
+                );
+            }
+            self.hidden_blocks(
+                adj,
+                &stacked,
+                b,
+                &mut scratch,
+                &mut pooled.as_mut_slice()[start * hd..(start + b) * hd],
+            );
+            start += b;
+        }
+        // One output projection for the whole batch.
+        let w = &self.weights[(1 + self.layers * 4) * 2];
+        let bias = &self.weights[(1 + self.layers * 4) * 2 + 1];
+        let out = pooled.matmul(w);
+        let scale = (n as f64 * crate::encoder::SUM_POOL_SCALE) as f32;
+        (0..count)
+            .map(|r| {
+                out.row(r)
+                    .iter()
+                    .zip(bias.row(0))
+                    .map(|(&v, &bv)| (v + bv) * scale)
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// Single-cycle graph embedding (convenience over the batch path, so
+    /// both run the one cycle-blocked forward).
+    ///
+    /// # Panics
+    ///
+    /// Panics on feature-shape mismatch.
+    pub fn encode_graph(&self, adj: &SparseAdj, features: &Matrix32) -> Vec<f32> {
+        assert_eq!(
+            features.shape(),
+            (adj.node_count(), self.input_dim),
+            "feature shape mismatch"
+        );
+        self.encode_graph_batch_fill(adj, 1, 1, |_, dst| dst.copy_from_slice(features.as_slice()))
+            .pop()
+            .expect("one embedding")
+    }
+
+    /// The cycle-blocked hidden pass — mirrors the f64
+    /// `hidden_blocks`, with per-block pooling always fused (the f32
+    /// path serves only the batched graph-embedding hot path).
+    fn hidden_blocks(
+        &self,
+        adj: &SparseAdj,
+        stacked: &Matrix32,
+        blocks: usize,
+        scr: &mut Scratch32,
+        pool: &mut [f32],
+    ) {
+        let n = adj.node_count();
+        assert_eq!(stacked.cols(), self.input_dim, "feature width mismatch");
+        assert_eq!(stacked.rows(), n * blocks, "node count mismatch");
+
+        let rows = n * blocks;
+        scr.ensure(rows, self.hidden_dim);
+        stacked.matmul_bias_act_sparse_rows_into(
+            &self.weights[0],
+            &self.weights[1],
+            |v| v.max(0.0),
+            0,
+            rows,
+            &mut scr.h,
+        );
+        for l in 0..self.layers {
+            let base = 1 + l * 4;
+            let w = |i: usize| &self.weights[i * 2];
+            let b = |i: usize| &self.weights[i * 2 + 1];
+            scr.h
+                .matmul_bias_act_rows_into(w(base), b(base), |v| v.max(0.0) + 0.01, 0, rows, {
+                    &mut scr.pq
+                });
+            scr.h.matmul_bias_act_rows_into(
+                w(base + 1),
+                b(base + 1),
+                |v| v.max(0.0) + 0.01,
+                0,
+                rows,
+                &mut scr.pk,
+            );
+            scr.h
+                .matmul_bias_act_rows_into(w(base + 2), b(base + 2), |v| v, 0, rows, &mut scr.v);
+            for blk in 0..blocks {
+                let r0 = blk * n;
+                scr.pk.matmul_tn_block_into(&scr.v, r0, n, &mut scr.kv);
+                scr.pk.col_sums_block_into(r0, n, scr.ksum.as_mut_slice());
+                scr.pq.matmul_rows_into(&scr.ksum, r0, n, &mut scr.denom);
+                scr.pq
+                    .matmul_div_rows_into(&scr.kv, &scr.denom, r0, n, &mut scr.attn);
+            }
+            adj.matmul_stacked_f32_into(&scr.h, blocks, &mut scr.spmm);
+            if l + 1 == self.layers {
+                scr.spmm.matmul_bias_act_mix_pool_rows_into(
+                    w(base + 3),
+                    b(base + 3),
+                    |v| v.max(0.0),
+                    self.alpha,
+                    &mut scr.attn,
+                    n,
+                    pool,
+                );
+            } else {
+                scr.spmm.matmul_bias_act_mix_rows_into(
+                    w(base + 3),
+                    b(base + 3),
+                    |v| v.max(0.0),
+                    self.alpha,
+                    0,
+                    rows,
+                    &mut scr.attn,
+                );
+            }
+            std::mem::swap(&mut scr.h, &mut scr.attn);
+        }
+        if self.layers == 0 {
+            let hd = self.hidden_dim;
+            for blk in 0..blocks {
+                scr.h
+                    .mean_rows_block_into(blk * n, n, &mut pool[blk * hd..(blk + 1) * hd]);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encoder::{EncoderConfig, GraphEncoder};
+    use crate::infer::InferenceEncoder;
+    use crate::matrix::Matrix;
+
+    #[test]
+    fn precision_parses_and_prints() {
+        assert_eq!("f64".parse::<Precision>(), Ok(Precision::F64));
+        assert_eq!("F32".parse::<Precision>(), Ok(Precision::F32));
+        assert_eq!(" single ".parse::<Precision>(), Ok(Precision::F32));
+        assert!("f16".parse::<Precision>().is_err());
+        assert_eq!(Precision::F32.to_string(), "f32");
+        assert_eq!(Precision::default(), Precision::F64);
+        assert_eq!(Precision::F64.bytes_per_element(), 8);
+        assert_eq!(Precision::F32.bytes_per_element(), 4);
+    }
+
+    #[test]
+    fn is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<InferenceEncoderF32>();
+    }
+
+    #[test]
+    fn f32_chunks_run_deeper_than_f64() {
+        let cfg = EncoderConfig::default();
+        let state = GraphEncoder::new(cfg).state();
+        let f64_enc = InferenceEncoder::from_state(&state);
+        let f32_enc = InferenceEncoderF32::from_state(&state);
+        assert_eq!(f32_enc.embedding_dim(), f64_enc.embedding_dim());
+        // Half the row bytes: chunks at least as deep everywhere, strictly
+        // deeper somewhere between the clamp ends.
+        let mut strictly_deeper = false;
+        for n in [1usize, 10, 100, 500, 1000, 5000, 50_000] {
+            let c64 = f64_enc.cycle_chunk(n);
+            let c32 = f32_enc.cycle_chunk(n);
+            assert!(c32 >= c64, "f32 chunk shrank at n={n}");
+            strictly_deeper |= c32 > c64;
+        }
+        assert!(strictly_deeper, "halved bytes never deepened a chunk");
+    }
+
+    fn max_rel_delta(a: &[f32], b: &[f64]) -> f64 {
+        a.iter()
+            .zip(b)
+            .map(|(&x, &y)| (x as f64 - y).abs() / (1.0 + y.abs()))
+            .fold(0.0, f64::max)
+    }
+
+    #[test]
+    fn f32_embeddings_track_f64_within_tolerance() {
+        let cfg = EncoderConfig {
+            input_dim: 24,
+            hidden_dim: 24,
+            layers: 2,
+            alpha: 0.5,
+            seed: 7,
+        };
+        let state = GraphEncoder::new(cfg).state();
+        let f64_enc = InferenceEncoder::from_state(&state);
+        let f32_enc = InferenceEncoderF32::from_state(&state);
+        let n = 21;
+        let edges: Vec<(u32, u32)> = (0..n as u32).map(|i| (i, (i + 1) % n as u32)).collect();
+        let adj = SparseAdj::normalized_from_edges(n, &edges);
+        for seed in 0..4 {
+            let feats = Matrix::xavier(n, 24, 400 + seed);
+            let want = f64_enc.encode_graph(&adj, &feats);
+            let got = f32_enc.encode_graph(&adj, &Matrix32::from_f64(&feats));
+            let delta = max_rel_delta(&got, &want);
+            assert!(
+                delta <= F32_EMBED_TOLERANCE,
+                "f32 drifted: rel delta {delta} > {F32_EMBED_TOLERANCE}"
+            );
+        }
+    }
+
+    #[test]
+    fn f32_batch_chunking_stays_within_tolerance_of_f64() {
+        let cfg = EncoderConfig {
+            input_dim: 6,
+            hidden_dim: 10,
+            layers: 1,
+            alpha: 0.4,
+            seed: 11,
+        };
+        let state = GraphEncoder::new(cfg).state();
+        let f64_enc = InferenceEncoder::from_state(&state);
+        let f32_enc = InferenceEncoderF32::from_state(&state);
+        let n = 5;
+        let adj = SparseAdj::normalized_from_edges(n, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        let feats: Vec<Matrix> = (0..7).map(|i| Matrix::xavier(n, 6, 600 + i)).collect();
+        let want: Vec<Vec<f64>> = feats
+            .iter()
+            .map(|f| f64_enc.encode_graph(&adj, f))
+            .collect();
+        for chunk in [1usize, 3, 7] {
+            let got = f32_enc.encode_graph_batch_fill(&adj, 7, chunk, |i, dst| {
+                for (d, &s) in dst.iter_mut().zip(feats[i].as_slice()) {
+                    *d = s as f32;
+                }
+            });
+            for (t, (g, w)) in got.iter().zip(&want).enumerate() {
+                let delta = max_rel_delta(g, w);
+                assert!(
+                    delta <= F32_EMBED_TOLERANCE,
+                    "cycle {t} chunk {chunk}: rel delta {delta} > {F32_EMBED_TOLERANCE}"
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod accuracy_proptests {
+    use proptest::prelude::*;
+
+    use super::*;
+    use crate::encoder::{EncoderConfig, GraphEncoder};
+    use crate::infer::InferenceEncoder;
+    use crate::matrix::Matrix;
+
+    proptest! {
+        #![proptest_config(ProptestConfig {
+            cases: 24,
+            .. ProptestConfig::default()
+        })]
+
+        /// The accuracy-delta contract of the f32 path: for random encoder
+        /// configurations, graphs, and cycle counts, every element of every
+        /// f32 embedding stays within [`F32_EMBED_TOLERANCE`] of its f64
+        /// counterpart under the relative metric `|a − b| / (1 + |b|)` —
+        /// the same metric and constant `infer_bench` gates in CI.
+        #[test]
+        fn f32_accuracy_delta_is_bounded(
+            layers in 0usize..4,
+            n in 1usize..12,
+            cycles in 1usize..10,
+            chunk in 1usize..6,
+            alpha_pct in 0u64..101,
+            seed in 0u64..1000,
+        ) {
+            let cfg = EncoderConfig {
+                input_dim: 5,
+                hidden_dim: 9,
+                layers,
+                alpha: alpha_pct as f64 / 100.0,
+                seed,
+            };
+            let state = GraphEncoder::new(cfg).state();
+            let f64_enc = InferenceEncoder::from_state(&state);
+            let f32_enc = InferenceEncoderF32::from_state(&state);
+            let mut edges: Vec<(u32, u32)> =
+                (0..n as u32).map(|i| (i, (i + 1) % n as u32)).collect();
+            if n > 3 {
+                let stride = 2 + (seed as usize % (n - 2));
+                edges.extend(
+                    (0..n as u32).map(|i| (i, (i as usize + stride) as u32 % n as u32)),
+                );
+            }
+            let adj = SparseAdj::normalized_from_edges(n, &edges);
+            let feats: Vec<Matrix> =
+                (0..cycles).map(|i| Matrix::xavier(n, 5, seed * 131 + i as u64)).collect();
+
+            let got = f32_enc.encode_graph_batch_fill(&adj, cycles, chunk, |i, dst| {
+                for (d, &s) in dst.iter_mut().zip(feats[i].as_slice()) {
+                    *d = s as f32;
+                }
+            });
+            prop_assert_eq!(got.len(), cycles);
+            for (t, f) in feats.iter().enumerate() {
+                let want = f64_enc.encode_graph(&adj, f);
+                for (c, (&a, &b)) in got[t].iter().zip(&want).enumerate() {
+                    let delta = (a as f64 - b).abs() / (1.0 + b.abs());
+                    prop_assert!(
+                        delta <= F32_EMBED_TOLERANCE,
+                        "cycle {} col {}: rel delta {} > {}",
+                        t, c, delta, F32_EMBED_TOLERANCE
+                    );
+                }
+            }
+        }
+    }
+}

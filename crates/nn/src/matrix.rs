@@ -3,6 +3,8 @@
 use atlas_netlist_shim::DetRng;
 use serde::{Deserialize, Serialize};
 
+use crate::simd::{self, KernelLevel};
+
 // The deterministic RNG lives in atlas-netlist; keep this crate free of
 // circuit dependencies by vendoring the tiny generator locally.
 mod atlas_netlist_shim {
@@ -211,6 +213,19 @@ impl Matrix {
         out
     }
 
+    /// [`matmul`](Self::matmul) pinned to an explicit kernel level,
+    /// bypassing dispatch — the SIMD-vs-scalar parity tests compare both
+    /// levels inside one process with this.
+    #[cfg(test)]
+    pub(crate) fn matmul_level(&self, other: &Matrix, level: KernelLevel) -> Matrix {
+        assert_eq!(self.cols, other.rows, "matmul shape mismatch");
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        self.matmul_tiled_rows(other, 0, self.rows, &mut out, level, |orow, acc, _, _| {
+            orow.copy_from_slice(acc);
+        });
+        out
+    }
+
     /// Blocked matmul kernel: writes `self[row_start .. row_start+row_count]
     /// × other` into the same row range of `out`, overwriting it (rows
     /// outside the range are untouched). Accepting the output buffer lets
@@ -243,9 +258,17 @@ impl Matrix {
         // Overwrite, not accumulate: each tile's `acc` already holds the
         // full k-sum (and a sum that starts at +0.0 can never be -0.0, so
         // this is bit-identical to adding into a zeroed buffer).
-        self.matmul_tiled_rows(other, row_start, row_count, out, |orow, acc, _, _| {
-            orow.copy_from_slice(acc);
-        });
+        let level = simd::active_kernel();
+        self.matmul_tiled_rows(
+            other,
+            row_start,
+            row_count,
+            out,
+            level,
+            |orow, acc, _, _| {
+                orow.copy_from_slice(acc);
+            },
+        );
     }
 
     /// Fused affine + activation: writes `act(self[range]·other + bias)`
@@ -270,12 +293,20 @@ impl Matrix {
         out: &mut Matrix,
     ) {
         assert_eq!(bias.shape(), (1, other.cols), "bias shape mismatch");
-        self.matmul_tiled_rows(other, row_start, row_count, out, |orow, acc, _, j| {
-            let brow = &bias.data[j..j + acc.len()];
-            for ((o, &v), &b) in orow.iter_mut().zip(acc).zip(brow) {
-                *o = act(v + b);
-            }
-        });
+        let level = simd::active_kernel();
+        self.matmul_tiled_rows(
+            other,
+            row_start,
+            row_count,
+            out,
+            level,
+            |orow, acc, _, j| {
+                let brow = &bias.data[j..j + acc.len()];
+                for ((o, &v), &b) in orow.iter_mut().zip(acc).zip(brow) {
+                    *o = act(v + b);
+                }
+            },
+        );
     }
 
     /// [`matmul_tiled_rows`](Self::matmul_tiled_rows) specialized to
@@ -288,7 +319,8 @@ impl Matrix {
         row_start: usize,
         row_count: usize,
         out: &mut Matrix,
-        write: impl Fn(&mut [f64], &[f64], usize, usize),
+        level: KernelLevel,
+        mut write: impl FnMut(&mut [f64], &[f64], usize, usize),
     ) {
         const NR: usize = FULL_ROW_COLS;
         let kd = self.cols;
@@ -300,21 +332,7 @@ impl Matrix {
             let a1 = &self.data[(i + 1) * kd..(i + 2) * kd];
             let a2 = &self.data[(i + 2) * kd..(i + 3) * kd];
             let a3 = &self.data[(i + 3) * kd..(i + 4) * kd];
-            for ((((&a0k, &a1k), &a2k), &a3k), brow) in a0
-                .iter()
-                .zip(a1)
-                .zip(a2)
-                .zip(a3)
-                .zip(other.data.chunks_exact(NR))
-            {
-                let b: &[f64; NR] = brow.try_into().expect("row width");
-                for c in 0..NR {
-                    acc[0][c] += a0k * b[c];
-                    acc[1][c] += a1k * b[c];
-                    acc[2][c] += a2k * b[c];
-                    acc[3][c] += a3k * b[c];
-                }
-            }
+            simd::tile4x24_f64(level, [a0, a1, a2, a3], &other.data, &mut acc);
             for (r, accr) in acc.iter().enumerate() {
                 write(
                     &mut out.data[(i + r) * NR..(i + r + 1) * NR],
@@ -360,12 +378,79 @@ impl Matrix {
         out: &mut Matrix,
     ) {
         assert_eq!(bias.shape(), (1, other.cols), "bias shape mismatch");
-        self.matmul_tiled_rows(other, row_start, row_count, out, |orow, acc, _, j| {
+        let level = simd::active_kernel();
+        self.matmul_tiled_rows(
+            other,
+            row_start,
+            row_count,
+            out,
+            level,
+            |orow, acc, _, j| {
+                let brow = &bias.data[j..j + acc.len()];
+                for ((o, &v), &b) in orow.iter_mut().zip(acc).zip(brow) {
+                    *o = (mix * *o + (1.0 - mix) * act(v + b)).max(0.0);
+                }
+            },
+        );
+    }
+
+    /// [`matmul_bias_act_mix_rows_into`](Self::matmul_bias_act_mix_rows_into)
+    /// with per-block mean pooling fused into the same write-back: as each
+    /// finished tile row of `out` is stored, it is also accumulated into
+    /// `pool[row / block_rows]`, and once the whole range is written every
+    /// pool row is divided by `block_rows`. For the batched encoder this
+    /// folds the last layer's pooling sweep (a full re-read of `out`) into
+    /// the layer's own epilogue.
+    ///
+    /// `pool` is a flat `(rows / block_rows) × other.cols()` row-major
+    /// buffer, fully overwritten. The tiled drivers store tile rows in
+    /// ascending row order within each block and the division happens
+    /// after the sums — the exact operation sequence of
+    /// [`mean_rows_block_into`](Self::mean_rows_block_into) per block — so
+    /// the pooled rows are bit-identical to running that kernel on the
+    /// finished `out`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch, a bias not shaped `1 × other.cols()`, a
+    /// row range that is not the whole `0 .. rows` of `out`, a
+    /// `block_rows` that does not divide `rows`, or a `pool` of the wrong
+    /// length.
+    #[allow(clippy::too_many_arguments)]
+    pub fn matmul_bias_act_mix_pool_rows_into(
+        &self,
+        other: &Matrix,
+        bias: &Matrix,
+        act: impl Fn(f64) -> f64,
+        mix: f64,
+        out: &mut Matrix,
+        block_rows: usize,
+        pool: &mut [f64],
+    ) {
+        assert_eq!(bias.shape(), (1, other.cols), "bias shape mismatch");
+        let rows = out.rows;
+        let nd = other.cols;
+        assert!(
+            block_rows > 0 && rows.is_multiple_of(block_rows),
+            "pool block size must divide the row count"
+        );
+        assert_eq!(pool.len(), (rows / block_rows) * nd, "pool buffer shape");
+        pool.fill(0.0);
+        let level = simd::active_kernel();
+        self.matmul_tiled_rows(other, 0, rows, out, level, |orow, acc, row, j| {
             let brow = &bias.data[j..j + acc.len()];
             for ((o, &v), &b) in orow.iter_mut().zip(acc).zip(brow) {
                 *o = (mix * *o + (1.0 - mix) * act(v + b)).max(0.0);
             }
+            let prow = &mut pool[(row / block_rows) * nd + j..][..acc.len()];
+            for (p, &o) in prow.iter_mut().zip(orow.iter()) {
+                *p += o;
+            }
         });
+        let n = block_rows as f64;
+        for v in pool {
+            *v /= n;
+        }
     }
 
     /// Fused attention-normalize epilogue: for the row range,
@@ -392,12 +477,20 @@ impl Matrix {
             row_start + row_count <= denom.rows,
             "denominator row range out of bounds"
         );
-        self.matmul_tiled_rows(other, row_start, row_count, out, |orow, acc, row, _| {
-            let dv = denom.data[row * denom.cols];
-            for (o, &v) in orow.iter_mut().zip(acc) {
-                *o = v / dv;
-            }
-        });
+        let level = simd::active_kernel();
+        self.matmul_tiled_rows(
+            other,
+            row_start,
+            row_count,
+            out,
+            level,
+            |orow, acc, row, _| {
+                let dv = denom.data[row * denom.cols];
+                for (o, &v) in orow.iter_mut().zip(acc) {
+                    *o = v / dv;
+                }
+            },
+        );
     }
 
     /// Zero-skipping sibling of
@@ -431,6 +524,7 @@ impl Matrix {
         );
         let kd = self.cols;
         let nd = other.cols;
+        let level = simd::active_kernel();
         for i in row_start..row_start + row_count {
             let orow = &mut out.data[i * nd..(i + 1) * nd];
             orow.fill(0.0);
@@ -440,9 +534,7 @@ impl Matrix {
                     continue;
                 }
                 let brow = &other.data[k * nd..(k + 1) * nd];
-                for (o, &b) in orow.iter_mut().zip(brow) {
-                    *o += a * b;
-                }
+                simd::axpy_f64(level, a, brow, orow);
             }
             for (o, &b) in orow.iter_mut().zip(&bias.data) {
                 *o = act(*o + b);
@@ -453,13 +545,17 @@ impl Matrix {
     /// The register-tiled kernel core shared by the `matmul*` entry
     /// points. `write(out_tile_row, acc_row, row, j)` stores one finished
     /// tile row of output row `row`, starting at output column `j`.
+    /// `level` selects the micro-kernel family (scalar or SIMD) — every
+    /// level is bit-identical; public entry points pass
+    /// [`simd::active_kernel`].
     fn matmul_tiled_rows(
         &self,
         other: &Matrix,
         row_start: usize,
         row_count: usize,
         out: &mut Matrix,
-        write: impl Fn(&mut [f64], &[f64], usize, usize),
+        level: KernelLevel,
+        mut write: impl FnMut(&mut [f64], &[f64], usize, usize),
     ) {
         assert_eq!(self.cols, other.rows, "matmul shape mismatch");
         assert_eq!(out.cols, other.cols, "matmul output width mismatch");
@@ -483,9 +579,7 @@ impl Matrix {
                         continue;
                     }
                     let brow = &other.data[k * nd..(k + 1) * nd];
-                    for (o, &b) in acc.iter_mut().zip(brow) {
-                        *o += a * b;
-                    }
+                    simd::axpy_f64(level, a, brow, acc);
                 }
                 write(&mut out.data[i * nd..(i + 1) * nd], acc, i, 0);
             }
@@ -495,7 +589,7 @@ impl Matrix {
             // 24-wide outputs (the serving encoder's hidden width and the
             // feature width) take a full-row tile: one k-loop covers all
             // three 8-lane groups, cutting the per-k broadcast loads 3x.
-            self.matmul_tiled_rows_w24(other, row_start, row_count, out, write);
+            self.matmul_tiled_rows_w24(other, row_start, row_count, out, level, write);
             return;
         }
         let row_end = row_start + row_count;
@@ -507,31 +601,13 @@ impl Matrix {
                 let nr = TILE_COLS.min(nd - j);
                 let mut acc = [[0.0f64; TILE_COLS]; TILE_ROWS];
                 if mr == TILE_ROWS && nr == TILE_COLS {
-                    // Full tile: fixed-size loops over iterator zips. The
-                    // zips and the `&[f64; TILE_COLS]` view eliminate all
-                    // per-k bounds checks, so the compiler keeps the 4×8
-                    // accumulator in vector registers and emits one
-                    // multiply-add stream per row.
+                    // Full tile: the dispatched 4×8 micro-kernel (scalar
+                    // zips or AVX2 mul+add — bit-identical either way).
                     let a0 = &self.data[i * kd..(i + 1) * kd];
                     let a1 = &self.data[(i + 1) * kd..(i + 2) * kd];
                     let a2 = &self.data[(i + 2) * kd..(i + 3) * kd];
                     let a3 = &self.data[(i + 3) * kd..(i + 4) * kd];
-                    for ((((&a0k, &a1k), &a2k), &a3k), brow) in a0
-                        .iter()
-                        .zip(a1)
-                        .zip(a2)
-                        .zip(a3)
-                        .zip(other.data.chunks_exact(nd))
-                    {
-                        let b: &[f64; TILE_COLS] =
-                            brow[j..j + TILE_COLS].try_into().expect("tile width");
-                        for c in 0..TILE_COLS {
-                            acc[0][c] += a0k * b[c];
-                            acc[1][c] += a1k * b[c];
-                            acc[2][c] += a2k * b[c];
-                            acc[3][c] += a3k * b[c];
-                        }
-                    }
+                    simd::tile4x8_f64(level, [a0, a1, a2, a3], &other.data, nd, j, &mut acc);
                 } else {
                     // Edge tile: same k-ascending accumulation, ragged shape.
                     for k in 0..kd {
@@ -613,6 +689,19 @@ impl Matrix {
         row_count: usize,
         out: &mut Matrix,
     ) {
+        self.matmul_tn_block_into_level(other, row_start, row_count, out, simd::active_kernel());
+    }
+
+    /// [`matmul_tn_block_into`](Self::matmul_tn_block_into) pinned to an
+    /// explicit kernel level (the parity tests compare levels directly).
+    fn matmul_tn_block_into_level(
+        &self,
+        other: &Matrix,
+        row_start: usize,
+        row_count: usize,
+        out: &mut Matrix,
+        level: KernelLevel,
+    ) {
         assert!(
             row_start + row_count <= self.rows && row_start + row_count <= other.rows,
             "matmul_tn row range out of bounds"
@@ -635,9 +724,7 @@ impl Matrix {
                         continue;
                     }
                     let orow = &mut out.data[i * bc..(i + 1) * bc];
-                    for (o, &b) in orow.iter_mut().zip(brow) {
-                        *o += a * b;
-                    }
+                    simd::axpy_f64(level, a, brow, orow);
                 }
             }
             return;
@@ -650,18 +737,7 @@ impl Matrix {
                 let nr = TILE_COLS.min(bc - j);
                 let mut acc = [[0.0f64; TILE_COLS]; TILE_ROWS];
                 if mr == TILE_ROWS && nr == TILE_COLS {
-                    for (arow, brow) in arange.chunks_exact(ac).zip(brange.chunks_exact(bc)) {
-                        let a: &[f64; TILE_ROWS] =
-                            arow[i..i + TILE_ROWS].try_into().expect("tile height");
-                        let b: &[f64; TILE_COLS] =
-                            brow[j..j + TILE_COLS].try_into().expect("tile width");
-                        for c in 0..TILE_COLS {
-                            acc[0][c] += a[0] * b[c];
-                            acc[1][c] += a[1] * b[c];
-                            acc[2][c] += a[2] * b[c];
-                            acc[3][c] += a[3] * b[c];
-                        }
-                    }
+                    simd::tn_tile4x8_f64(level, arange, brange, ac, bc, i, j, &mut acc);
                 } else {
                     for (arow, brow) in arange.chunks_exact(ac).zip(brange.chunks_exact(bc)) {
                         let a = &arow[i..i + mr];
@@ -1067,6 +1143,38 @@ mod tests {
     }
 
     #[test]
+    fn fused_pool_epilogue_matches_separate_pooling() {
+        // The pool-fused mix kernel must equal the plain mix kernel
+        // followed by mean_rows_block_into, bitwise, for block sizes that
+        // route through the small-block, generic-tile, and w24 paths.
+        for &(blocks, n, hidden) in &[(3usize, 5usize, 9usize), (2, 21, 24), (4, 4, 48)] {
+            let rows = blocks * n;
+            let x = Matrix::xavier(rows, hidden, 91);
+            let w = Matrix::xavier(hidden, hidden, 92);
+            let b = Matrix::xavier(1, hidden, 93);
+            let prior = Matrix::xavier(rows, hidden, 94);
+            let act = |v: f64| v.max(0.0);
+
+            let mut expect_out = prior.clone();
+            x.matmul_bias_act_mix_rows_into(&w, &b, act, 0.4, 0, rows, &mut expect_out);
+            let mut expect_pool = vec![0.0; blocks * hidden];
+            for blk in 0..blocks {
+                expect_out.mean_rows_block_into(
+                    blk * n,
+                    n,
+                    &mut expect_pool[blk * hidden..(blk + 1) * hidden],
+                );
+            }
+
+            let mut out = prior.clone();
+            let mut pool = vec![f64::NAN; blocks * hidden];
+            x.matmul_bias_act_mix_pool_rows_into(&w, &b, act, 0.4, &mut out, n, &mut pool);
+            assert_eq!(out, expect_out, "{blocks}x{n}x{hidden} out diverged");
+            assert_eq!(pool, expect_pool, "{blocks}x{n}x{hidden} pool diverged");
+        }
+    }
+
+    #[test]
     fn add_row_bias_broadcasts() {
         let mut m = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
         m.add_row_bias(&Matrix::from_rows(&[&[10.0, 20.0]]));
@@ -1090,6 +1198,41 @@ mod tests {
             let a = Matrix::xavier(m, k, seed);
             let b = Matrix::xavier(k, n, seed + 1000);
             prop_assert_eq!(a.matmul(&b), matmul_reference(&a, &b));
+        }
+
+        /// The satellite parity guarantee: the hand-written SIMD kernels
+        /// are bit-identical to the scalar fallback across tile-edge
+        /// shapes — row counts straddling the %4 tile height and the <16
+        /// small-block cutoff, widths straddling the %8 tile width, the
+        /// 24-wide full-row specialization, and ragged edges of both.
+        /// (Vacuously scalar-vs-scalar on hosts without AVX2; the CI
+        /// forced-scalar lane covers that side explicitly.)
+        #[test]
+        fn simd_matmul_is_bit_identical_to_scalar(
+            m in 1usize..40, k in 1usize..30, n in 1usize..60, seed in 0u64..200
+        ) {
+            let a = Matrix::xavier(m, k, seed);
+            let b = Matrix::xavier(k, n, seed + 5000);
+            prop_assert_eq!(
+                a.matmul_level(&b, simd::detected_kernel()),
+                a.matmul_level(&b, KernelLevel::Scalar)
+            );
+        }
+
+        /// Same guarantee for the shared-row transpose kernel feeding the
+        /// attention reductions, across both its scalar (<16 shared rows)
+        /// and tiled paths.
+        #[test]
+        fn simd_matmul_tn_is_bit_identical_to_scalar(
+            rows in 1usize..40, ac in 1usize..14, bc in 1usize..30, seed in 0u64..200
+        ) {
+            let a = Matrix::xavier(rows, ac, seed);
+            let b = Matrix::xavier(rows, bc, seed + 7000);
+            let mut scalar = Matrix::zeros(ac, bc);
+            let mut vector = Matrix::zeros(ac, bc);
+            a.matmul_tn_block_into_level(&b, 0, rows, &mut scalar, KernelLevel::Scalar);
+            a.matmul_tn_block_into_level(&b, 0, rows, &mut vector, simd::detected_kernel());
+            prop_assert_eq!(scalar, vector);
         }
 
         #[test]

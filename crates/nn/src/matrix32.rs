@@ -1,0 +1,622 @@
+//! Dense row-major `f32` matrices for the reduced-precision inference
+//! path.
+//!
+//! [`Matrix32`] mirrors the kernel family of [`Matrix`](crate::Matrix)
+//! (blocked register tiles, fused epilogues, segmented reductions) at
+//! half the bytes per element, which halves memory traffic in the
+//! encoder forward and halves what a cached embedding costs the serving
+//! LRU. It exists only for inference: training, checkpoints, and the
+//! registry format stay f64, and weights are narrowed once at model
+//! load ([`Matrix32::from_f64`]).
+//!
+//! There is no bit-parity contract here — f32 results are validated
+//! against the f64 path by an accuracy-delta gate
+//! ([`F32_EMBED_TOLERANCE`](crate::F32_EMBED_TOLERANCE)), which is what
+//! lets the SIMD variants use FMA.
+
+use crate::matrix::Matrix;
+use crate::simd;
+
+/// Output rows per register tile (same geometry as the f64 kernel).
+const TILE_ROWS: usize = 4;
+/// Output columns per register tile: 8 f32 lanes fill one AVX2 register,
+/// so the 24-wide serving hidden width is exactly three full tiles and
+/// needs no separate full-row specialization.
+const TILE_COLS: usize = 8;
+/// Row ranges shorter than this take a scalar row-at-a-time path with a
+/// zero skip, like the f64 kernel's small-block path.
+const SMALL_BLOCK_ROWS: usize = 16;
+/// Widest output the small-block path supports with a stack accumulator.
+const SMALL_BLOCK_COLS_MAX: usize = 64;
+
+/// A dense row-major matrix of `f32` — the inference-only sibling of
+/// [`Matrix`](crate::Matrix).
+///
+/// # Examples
+///
+/// ```
+/// use atlas_nn::{Matrix, Matrix32};
+///
+/// let m64 = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+/// let m32 = Matrix32::from_f64(&m64);
+/// assert_eq!(m32.get(1, 0), 3.0);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Matrix32 {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Matrix32 {
+    /// All-zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Matrix32 {
+        Matrix32 {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Narrow an f64 matrix to f32, element by element (round to
+    /// nearest). This is the one conversion point of the f32 inference
+    /// path — weights pass through it once at model load.
+    pub fn from_f64(m: &Matrix) -> Matrix32 {
+        Matrix32 {
+            rows: m.rows(),
+            cols: m.cols(),
+            data: m.as_slice().iter().map(|&v| v as f32).collect(),
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)`.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Read one element.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        self.data[r * self.cols + c]
+    }
+
+    /// Flat row-major data.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable flat row-major data.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// One row as a slice.
+    pub fn row(&self, r: usize) -> &[f32] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// One row as a mutable slice.
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Set every element to `value` (scratch-buffer reset).
+    pub fn fill(&mut self, value: f32) {
+        self.data.fill(value);
+    }
+
+    /// Matrix product `self × other` (blocked kernel).
+    ///
+    /// # Panics
+    ///
+    /// Panics on inner-dimension mismatch.
+    pub fn matmul(&self, other: &Matrix32) -> Matrix32 {
+        assert_eq!(self.cols, other.rows, "matmul shape mismatch");
+        let mut out = Matrix32::zeros(self.rows, other.cols);
+        self.matmul_rows_into(other, 0, self.rows, &mut out);
+        out
+    }
+
+    /// Blocked matmul over a row range — the f32 sibling of
+    /// [`Matrix::matmul_rows_into`](crate::Matrix::matmul_rows_into).
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch or an out-of-bounds row range.
+    pub fn matmul_rows_into(
+        &self,
+        other: &Matrix32,
+        row_start: usize,
+        row_count: usize,
+        out: &mut Matrix32,
+    ) {
+        self.matmul_tiled_rows(other, row_start, row_count, out, |orow, acc, _, _| {
+            orow.copy_from_slice(acc);
+        });
+    }
+
+    /// Fused affine + activation over a row range — the f32 sibling of
+    /// [`Matrix::matmul_bias_act_rows_into`](crate::Matrix::matmul_bias_act_rows_into).
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch, a bias not shaped `1 × other.cols()`, or
+    /// an out-of-bounds row range.
+    pub fn matmul_bias_act_rows_into(
+        &self,
+        other: &Matrix32,
+        bias: &Matrix32,
+        act: impl Fn(f32) -> f32,
+        row_start: usize,
+        row_count: usize,
+        out: &mut Matrix32,
+    ) {
+        assert_eq!(bias.shape(), (1, other.cols), "bias shape mismatch");
+        self.matmul_tiled_rows(other, row_start, row_count, out, |orow, acc, _, j| {
+            let brow = &bias.data[j..j + acc.len()];
+            for ((o, &v), &b) in orow.iter_mut().zip(acc).zip(brow) {
+                *o = act(v + b);
+            }
+        });
+    }
+
+    /// Fused layer-mix epilogue — the f32 sibling of
+    /// [`Matrix::matmul_bias_act_mix_rows_into`](crate::Matrix::matmul_bias_act_mix_rows_into).
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch, a bias not shaped `1 × other.cols()`, or
+    /// an out-of-bounds row range.
+    #[allow(clippy::too_many_arguments)]
+    pub fn matmul_bias_act_mix_rows_into(
+        &self,
+        other: &Matrix32,
+        bias: &Matrix32,
+        act: impl Fn(f32) -> f32,
+        mix: f32,
+        row_start: usize,
+        row_count: usize,
+        out: &mut Matrix32,
+    ) {
+        assert_eq!(bias.shape(), (1, other.cols), "bias shape mismatch");
+        self.matmul_tiled_rows(other, row_start, row_count, out, |orow, acc, _, j| {
+            let brow = &bias.data[j..j + acc.len()];
+            for ((o, &v), &b) in orow.iter_mut().zip(acc).zip(brow) {
+                *o = (mix * *o + (1.0 - mix) * act(v + b)).max(0.0);
+            }
+        });
+    }
+
+    /// Mix epilogue with per-block mean pooling fused into the same
+    /// write-back — the f32 sibling of
+    /// [`Matrix::matmul_bias_act_mix_pool_rows_into`](crate::Matrix::matmul_bias_act_mix_pool_rows_into).
+    /// The pool sums accumulate in f32; the divide at the end matches the
+    /// f64 kernel's operation order.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch, a `block_rows` that does not divide the
+    /// output rows, or a `pool` of the wrong length.
+    #[allow(clippy::too_many_arguments)]
+    pub fn matmul_bias_act_mix_pool_rows_into(
+        &self,
+        other: &Matrix32,
+        bias: &Matrix32,
+        act: impl Fn(f32) -> f32,
+        mix: f32,
+        out: &mut Matrix32,
+        block_rows: usize,
+        pool: &mut [f32],
+    ) {
+        assert_eq!(bias.shape(), (1, other.cols), "bias shape mismatch");
+        let rows = out.rows;
+        let nd = other.cols;
+        assert!(
+            block_rows > 0 && rows.is_multiple_of(block_rows),
+            "pool block size must divide the row count"
+        );
+        assert_eq!(pool.len(), (rows / block_rows) * nd, "pool buffer shape");
+        pool.fill(0.0);
+        self.matmul_tiled_rows(other, 0, rows, out, |orow, acc, row, j| {
+            let brow = &bias.data[j..j + acc.len()];
+            for ((o, &v), &b) in orow.iter_mut().zip(acc).zip(brow) {
+                *o = (mix * *o + (1.0 - mix) * act(v + b)).max(0.0);
+            }
+            let prow = &mut pool[(row / block_rows) * nd + j..][..acc.len()];
+            for (p, &o) in prow.iter_mut().zip(orow.iter()) {
+                *p += o;
+            }
+        });
+        let n = block_rows as f32;
+        for v in pool {
+            *v /= n;
+        }
+    }
+
+    /// Fused attention-normalize epilogue — the f32 sibling of
+    /// [`Matrix::matmul_div_rows_into`](crate::Matrix::matmul_div_rows_into).
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch, a `denom` narrower than one column, or
+    /// an out-of-bounds row range.
+    pub fn matmul_div_rows_into(
+        &self,
+        other: &Matrix32,
+        denom: &Matrix32,
+        row_start: usize,
+        row_count: usize,
+        out: &mut Matrix32,
+    ) {
+        assert!(denom.cols >= 1, "denominator needs a column");
+        assert!(
+            row_start + row_count <= denom.rows,
+            "denominator row range out of bounds"
+        );
+        self.matmul_tiled_rows(other, row_start, row_count, out, |orow, acc, row, _| {
+            let dv = denom.data[row * denom.cols];
+            for (o, &v) in orow.iter_mut().zip(acc) {
+                *o = v / dv;
+            }
+        });
+    }
+
+    /// Zero-skipping affine + activation for sparse left operands — the
+    /// f32 sibling of
+    /// [`Matrix::matmul_bias_act_sparse_rows_into`](crate::Matrix::matmul_bias_act_sparse_rows_into)
+    /// (the embed layer's feature matrices stay ~85% exact zeros in
+    /// either precision).
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch, a bias not shaped `1 × other.cols()`, or
+    /// an out-of-bounds row range.
+    pub fn matmul_bias_act_sparse_rows_into(
+        &self,
+        other: &Matrix32,
+        bias: &Matrix32,
+        act: impl Fn(f32) -> f32,
+        row_start: usize,
+        row_count: usize,
+        out: &mut Matrix32,
+    ) {
+        assert_eq!(self.cols, other.rows, "matmul shape mismatch");
+        assert_eq!(out.cols, other.cols, "matmul output width mismatch");
+        assert_eq!(bias.shape(), (1, other.cols), "bias shape mismatch");
+        assert!(
+            row_start + row_count <= self.rows && row_start + row_count <= out.rows,
+            "matmul row range out of bounds"
+        );
+        let kd = self.cols;
+        let nd = other.cols;
+        let simd_on = simd::f32_simd_active();
+        for i in row_start..row_start + row_count {
+            let orow = &mut out.data[i * nd..(i + 1) * nd];
+            orow.fill(0.0);
+            let arow = &self.data[i * kd..(i + 1) * kd];
+            for (k, &a) in arow.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let brow = &other.data[k * nd..(k + 1) * nd];
+                simd::axpy_f32(simd_on, a, brow, orow);
+            }
+            for (o, &b) in orow.iter_mut().zip(&bias.data) {
+                *o = act(*o + b);
+            }
+        }
+    }
+
+    /// Segmented `selfᵀ × other` over a shared row range — the f32
+    /// sibling of
+    /// [`Matrix::matmul_tn_block_into`](crate::Matrix::matmul_tn_block_into).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an out-of-bounds row range or an output shape mismatch.
+    pub fn matmul_tn_block_into(
+        &self,
+        other: &Matrix32,
+        row_start: usize,
+        row_count: usize,
+        out: &mut Matrix32,
+    ) {
+        assert!(
+            row_start + row_count <= self.rows && row_start + row_count <= other.rows,
+            "matmul_tn row range out of bounds"
+        );
+        assert_eq!(
+            out.shape(),
+            (self.cols, other.cols),
+            "matmul_tn output shape mismatch"
+        );
+        let (ac, bc) = (self.cols, other.cols);
+        let arange = &self.data[row_start * ac..(row_start + row_count) * ac];
+        let brange = &other.data[row_start * bc..(row_start + row_count) * bc];
+        let simd_on = simd::f32_simd_active();
+        if row_count < SMALL_BLOCK_ROWS {
+            out.data.fill(0.0);
+            for (arow, brow) in arange.chunks_exact(ac).zip(brange.chunks_exact(bc)) {
+                for (i, &a) in arow.iter().enumerate() {
+                    if a == 0.0 {
+                        continue;
+                    }
+                    let orow = &mut out.data[i * bc..(i + 1) * bc];
+                    simd::axpy_f32(simd_on, a, brow, orow);
+                }
+            }
+            return;
+        }
+        let mut i = 0;
+        while i < ac {
+            let mr = TILE_ROWS.min(ac - i);
+            let mut j = 0;
+            while j < bc {
+                let nr = TILE_COLS.min(bc - j);
+                let mut acc = [[0.0f32; TILE_COLS]; TILE_ROWS];
+                if mr == TILE_ROWS && nr == TILE_COLS {
+                    simd::tn_tile4x8_f32(simd_on, arange, brange, ac, bc, i, j, &mut acc);
+                } else {
+                    for (arow, brow) in arange.chunks_exact(ac).zip(brange.chunks_exact(bc)) {
+                        let a = &arow[i..i + mr];
+                        let b = &brow[j..j + nr];
+                        for (accr, &av) in acc.iter_mut().zip(a) {
+                            for (o, &bv) in accr[..nr].iter_mut().zip(b) {
+                                *o += av * bv;
+                            }
+                        }
+                    }
+                }
+                for (r, accr) in acc.iter().enumerate().take(mr) {
+                    out.data[(i + r) * bc + j..(i + r) * bc + j + nr].copy_from_slice(&accr[..nr]);
+                }
+                j += nr;
+            }
+            i += mr;
+        }
+    }
+
+    /// Column sums over a row range into a caller slice — the f32 sibling
+    /// of [`Matrix::col_sums_block_into`](crate::Matrix::col_sums_block_into).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dst.len() != cols` or the row range exceeds `self`.
+    pub fn col_sums_block_into(&self, row_start: usize, row_count: usize, dst: &mut [f32]) {
+        assert_eq!(dst.len(), self.cols, "col_sums destination width");
+        assert!(
+            row_start + row_count <= self.rows,
+            "col_sums row range out of bounds"
+        );
+        dst.fill(0.0);
+        for r in row_start..row_start + row_count {
+            let row = &self.data[r * self.cols..(r + 1) * self.cols];
+            for (o, &v) in dst.iter_mut().zip(row) {
+                if v != 0.0 {
+                    *o += v;
+                }
+            }
+        }
+    }
+
+    /// Column-wise mean over a row range into a caller slice — the f32
+    /// sibling of
+    /// [`Matrix::mean_rows_block_into`](crate::Matrix::mean_rows_block_into).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dst.len() != cols` or the row range exceeds `self`.
+    pub fn mean_rows_block_into(&self, row_start: usize, row_count: usize, dst: &mut [f32]) {
+        assert_eq!(dst.len(), self.cols, "mean_rows destination width");
+        assert!(
+            row_start + row_count <= self.rows,
+            "mean_rows row range out of bounds"
+        );
+        dst.fill(0.0);
+        for r in row_start..row_start + row_count {
+            let row = &self.data[r * self.cols..(r + 1) * self.cols];
+            for (o, &v) in dst.iter_mut().zip(row) {
+                *o += v;
+            }
+        }
+        let n = row_count.max(1) as f32;
+        for v in dst {
+            *v /= n;
+        }
+    }
+
+    /// The register-tiled kernel core shared by the `matmul*` entry
+    /// points — same blocking as the f64 core, with the f32 micro-kernels
+    /// dispatched on [`simd::f32_simd_active`].
+    fn matmul_tiled_rows(
+        &self,
+        other: &Matrix32,
+        row_start: usize,
+        row_count: usize,
+        out: &mut Matrix32,
+        mut write: impl FnMut(&mut [f32], &[f32], usize, usize),
+    ) {
+        assert_eq!(self.cols, other.rows, "matmul shape mismatch");
+        assert_eq!(out.cols, other.cols, "matmul output width mismatch");
+        assert!(
+            row_start + row_count <= self.rows && row_start + row_count <= out.rows,
+            "matmul row range out of bounds"
+        );
+        let kd = self.cols;
+        let nd = other.cols;
+        let simd_on = simd::f32_simd_active();
+        if row_count < SMALL_BLOCK_ROWS && nd <= SMALL_BLOCK_COLS_MAX {
+            let mut acc = [0.0f32; SMALL_BLOCK_COLS_MAX];
+            for i in row_start..row_start + row_count {
+                let acc = &mut acc[..nd];
+                acc.fill(0.0);
+                let arow = &self.data[i * kd..(i + 1) * kd];
+                for (k, &a) in arow.iter().enumerate() {
+                    if a == 0.0 {
+                        continue;
+                    }
+                    let brow = &other.data[k * nd..(k + 1) * nd];
+                    simd::axpy_f32(simd_on, a, brow, acc);
+                }
+                write(&mut out.data[i * nd..(i + 1) * nd], acc, i, 0);
+            }
+            return;
+        }
+        let row_end = row_start + row_count;
+        let mut i = row_start;
+        while i < row_end {
+            let mr = TILE_ROWS.min(row_end - i);
+            let mut j = 0;
+            while j < nd {
+                let nr = TILE_COLS.min(nd - j);
+                let mut acc = [[0.0f32; TILE_COLS]; TILE_ROWS];
+                if mr == TILE_ROWS && nr == TILE_COLS {
+                    let a0 = &self.data[i * kd..(i + 1) * kd];
+                    let a1 = &self.data[(i + 1) * kd..(i + 2) * kd];
+                    let a2 = &self.data[(i + 2) * kd..(i + 3) * kd];
+                    let a3 = &self.data[(i + 3) * kd..(i + 4) * kd];
+                    simd::tile4x8_f32(simd_on, [a0, a1, a2, a3], &other.data, nd, j, &mut acc);
+                } else {
+                    for k in 0..kd {
+                        let b = &other.data[k * nd + j..k * nd + j + nr];
+                        for (r, accr) in acc.iter_mut().enumerate().take(mr) {
+                            let a = self.data[(i + r) * kd + k];
+                            for (o, &bv) in accr[..nr].iter_mut().zip(b) {
+                                *o += a * bv;
+                            }
+                        }
+                    }
+                }
+                for (r, accr) in acc.iter().enumerate().take(mr) {
+                    let orow = &mut out.data[(i + r) * nd + j..(i + r) * nd + j + nr];
+                    write(orow, &accr[..nr], i + r, j);
+                }
+                j += nr;
+            }
+            i += mr;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Naive f32 reference with k-ascending accumulation.
+    fn matmul_reference(a: &Matrix32, b: &Matrix32) -> Matrix32 {
+        assert_eq!(a.cols(), b.rows());
+        let mut out = Matrix32::zeros(a.rows(), b.cols());
+        for i in 0..a.rows() {
+            for j in 0..b.cols() {
+                let mut acc = 0.0f32;
+                for k in 0..a.cols() {
+                    acc += a.get(i, k) * b.get(k, j);
+                }
+                out.data[i * b.cols() + j] = acc;
+            }
+        }
+        out
+    }
+
+    fn xavier32(rows: usize, cols: usize, seed: u64) -> Matrix32 {
+        Matrix32::from_f64(&Matrix::xavier(rows, cols, seed))
+    }
+
+    #[test]
+    fn narrowing_preserves_shape_and_values() {
+        let m = Matrix::from_rows(&[&[1.5, -2.0], &[0.25, 4.0]]);
+        let m32 = Matrix32::from_f64(&m);
+        assert_eq!(m32.shape(), (2, 2));
+        assert_eq!(m32.get(0, 1), -2.0);
+        assert_eq!(m32.row(1), &[0.25, 4.0]);
+    }
+
+    #[test]
+    fn blocked_matmul_is_close_to_reference() {
+        // FMA may single-round, so the contract is closeness, not bit
+        // equality — shapes straddle every kernel path.
+        for &(m, k, n) in &[
+            (1usize, 1usize, 1usize),
+            (3, 5, 7),
+            (5, 24, 9),
+            (9, 7, 17),
+            (17, 48, 24),
+            (20, 24, 24),
+            (33, 48, 48),
+        ] {
+            let a = xavier32(m, k, (m * 31 + n) as u64);
+            let b = xavier32(k, n, (k * 17 + n) as u64);
+            let got = a.matmul(&b);
+            let want = matmul_reference(&a, &b);
+            for r in 0..m {
+                for c in 0..n {
+                    let (g, w) = (got.get(r, c), want.get(r, c));
+                    assert!(
+                        (g - w).abs() <= 1e-4 * (1.0 + w.abs()),
+                        "{m}x{k}x{n} at ({r},{c}): {g} vs {w}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tn_block_matches_dense_product() {
+        let a = xavier32(20, 12, 41);
+        let b = xavier32(20, 9, 42);
+        let mut got = Matrix32::zeros(12, 9);
+        a.matmul_tn_block_into(&b, 0, 20, &mut got);
+        // Reference through the (already verified) dense kernel.
+        let mut at = Matrix32::zeros(12, 20);
+        for r in 0..20 {
+            for c in 0..12 {
+                at.data[c * 20 + r] = a.get(r, c);
+            }
+        }
+        let want = at.matmul(&b);
+        for r in 0..12 {
+            for c in 0..9 {
+                let (g, w) = (got.get(r, c), want.get(r, c));
+                assert!((g - w).abs() <= 1e-4 * (1.0 + w.abs()), "({r},{c})");
+            }
+        }
+    }
+
+    #[test]
+    fn pool_fused_epilogue_matches_separate_pooling() {
+        let (blocks, n, hidden) = (3usize, 21usize, 24usize);
+        let rows = blocks * n;
+        let x = xavier32(rows, hidden, 51);
+        let w = xavier32(hidden, hidden, 52);
+        let b = xavier32(1, hidden, 53);
+        let prior = xavier32(rows, hidden, 54);
+        let act = |v: f32| v.max(0.0);
+
+        let mut expect_out = prior.clone();
+        x.matmul_bias_act_mix_rows_into(&w, &b, act, 0.4, 0, rows, &mut expect_out);
+        let mut expect_pool = vec![0.0f32; blocks * hidden];
+        for blk in 0..blocks {
+            expect_out.mean_rows_block_into(
+                blk * n,
+                n,
+                &mut expect_pool[blk * hidden..(blk + 1) * hidden],
+            );
+        }
+
+        let mut out = prior.clone();
+        let mut pool = vec![f32::NAN; blocks * hidden];
+        x.matmul_bias_act_mix_pool_rows_into(&w, &b, act, 0.4, &mut out, n, &mut pool);
+        assert_eq!(out, expect_out);
+        assert_eq!(pool, expect_pool);
+    }
+}

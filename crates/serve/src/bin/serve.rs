@@ -5,6 +5,7 @@
 //! ```text
 //! serve --registry DIR --model SPEC [--model SPEC ...]
 //!       [--default-model NAME] [--workers N] [--cache-mb N]
+//!       [--precision f64|f32]
 //!       [--model-quota NAME=K ...] [--workload-file PATH]
 //!       [--tcp ADDR] [--max-conns N]
 //! serve --registry DIR --list
@@ -25,6 +26,10 @@
 //! the pool fairly (`workers / hosted models`). `--workload-file PATH`
 //! makes the `register_workload` library durable: registrations append
 //! to the JSON-lines journal and are replayed at the next startup.
+//! `--precision f32` runs every hosted model's encoder at reduced
+//! precision: embeddings cost half the bytes, so the same `--cache-mb`
+//! budget holds twice the traces, at the f32 accuracy delta instead of
+//! bit parity.
 //!
 //! In stdio mode each stdin line is a request and each stdout line the
 //! matching response; EOF shuts the service down. In TCP mode a single
@@ -36,6 +41,7 @@ use std::io::{BufRead, Write};
 use std::process::ExitCode;
 use std::sync::Arc;
 
+use atlas_core::Precision;
 use atlas_serve::reactor::{Reactor, ReactorConfig};
 use atlas_serve::{
     protocol, AtlasService, ModelCatalog, ModelRegistry, RequestLine, ServiceConfig,
@@ -48,6 +54,7 @@ struct Args {
     list: bool,
     workers: usize,
     cache_mb: usize,
+    precision: Precision,
     tcp: Option<String>,
     max_conns: usize,
     model_quotas: Vec<(String, usize)>,
@@ -62,6 +69,7 @@ fn parse_args() -> Result<Args, String> {
         list: false,
         workers: 4,
         cache_mb: 256,
+        precision: Precision::F64,
         tcp: None,
         max_conns: ReactorConfig::default().max_connections,
         model_quotas: Vec::new(),
@@ -95,6 +103,11 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|e| format!("--model-quota {name}: {e}"))?;
                 args.model_quotas.push((name.to_owned(), k));
             }
+            "--precision" => {
+                args.precision = value("--precision")?
+                    .parse()
+                    .map_err(|e| format!("--precision: {e}"))?;
+            }
             "--workload-file" => args.workload_file = Some(value("--workload-file")?),
             "--tcp" => args.tcp = Some(value("--tcp")?),
             "--max-conns" => {
@@ -106,9 +119,12 @@ fn parse_args() -> Result<Args, String> {
                 println!(
                     "usage: serve --registry DIR (--model SPEC [--model SPEC ...] \
                      [--default-model NAME] [--workers N] [--cache-mb N] \
+                     [--precision f64|f32] \
                      [--model-quota NAME=K ...] [--workload-file PATH] \
                      [--tcp ADDR] [--max-conns N] | --list)\n\
                      SPEC is NAME, ALIAS=NAME, or ALIAS=PATH (an .atlas.json file)\n\
+                     --precision f32 halves embedding bytes (the --cache-mb budget \
+                     holds twice the traces) at the f32 accuracy delta\n\
                      --model-quota caps workers tied up in NAME's cold requests \
                      (default: workers / hosted models)\n\
                      --workload-file journals register_workload calls and replays \
@@ -184,6 +200,7 @@ fn main() -> ExitCode {
         ServiceConfig {
             workers: args.workers,
             embedding_cache_bytes: args.cache_mb.saturating_mul(1 << 20),
+            precision: args.precision,
             model_quotas: args.model_quotas.iter().cloned().collect(),
             workload_file: args.workload_file.as_ref().map(Into::into),
             ..ServiceConfig::default()
@@ -197,11 +214,12 @@ fn main() -> ExitCode {
     };
     let hosted: Vec<String> = service.models().into_iter().map(|m| m.name).collect();
     eprintln!(
-        "serving {} model(s) [{}] (default `{}`) with {} workers",
+        "serving {} model(s) [{}] (default `{}`) with {} workers at {} precision",
         hosted.len(),
         hosted.join(", "),
         service.default_model(),
-        args.workers
+        args.workers,
+        args.precision,
     );
 
     match &args.tcp {

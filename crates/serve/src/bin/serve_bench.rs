@@ -272,6 +272,11 @@ struct QuotaStormScenario {
 
 #[derive(Debug, Serialize)]
 struct BenchReport {
+    /// ISA features detected on the machine that produced this report
+    /// (e.g. `avx2+fma`), for reading baselines across machine classes.
+    isa: String,
+    /// Matmul kernel variant the f64 path dispatched to (`avx2`/`scalar`).
+    kernel: String,
     scale: f64,
     cycles: usize,
     clients: usize,
@@ -757,6 +762,11 @@ fn main() -> ExitCode {
     let trained = train_atlas(&cfg);
     let train_s = t0.elapsed().as_secs_f64();
     println!("trained in {train_s:.1}s");
+    println!(
+        "isa {} — f64 kernel {}",
+        atlas_nn::simd::isa_label(),
+        atlas_nn::simd::kernel_label(atlas_nn::simd::active_kernel())
+    );
 
     let service = Arc::new(AtlasService::start_with(
         trained.model.clone(),
@@ -940,6 +950,8 @@ fn main() -> ExitCode {
 
     let stats = service.stats();
     let report = BenchReport {
+        isa: atlas_nn::simd::isa_label().to_owned(),
+        kernel: atlas_nn::simd::kernel_label(atlas_nn::simd::active_kernel()).to_owned(),
         scale: args.scale,
         cycles: args.cycles,
         clients: args.clients,

@@ -718,6 +718,7 @@ mod tests {
             design_cache,
             models: vec![ModelStats {
                 model: "alpha".into(),
+                precision: "f64".into(),
                 requests: 11,
                 errors: 2,
                 embeddings_computed: 3,

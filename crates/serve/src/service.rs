@@ -67,7 +67,7 @@ use std::thread;
 use std::time::Instant;
 
 use atlas_core::features::{build_submodule_data, SubmoduleData};
-use atlas_core::{AtlasModel, ExperimentConfig, TraceEmbeddings};
+use atlas_core::{AtlasModel, ExperimentConfig, Precision, PreparedEncoder, TraceEmbeddings};
 use atlas_liberty::Library;
 use atlas_netlist::Design;
 use atlas_sim::{schedule_fingerprint, simulate, PhasedWorkload, WorkloadPhase};
@@ -118,6 +118,13 @@ pub struct ServiceConfig {
     /// library survives restarts. `None` keeps the library in-memory
     /// only.
     pub workload_file: Option<PathBuf>,
+    /// Numeric precision of the inference encoders (applies to every
+    /// hosted model; weights are converted once at model load).
+    /// [`Precision::F32`] halves each cached embedding's bytes — doubling
+    /// what fits `embedding_cache_bytes` — at the cost of the f32
+    /// accuracy delta ([`atlas_core::F32_EMBED_TOLERANCE`]) instead of
+    /// bit parity.
+    pub precision: Precision,
 }
 
 impl Default for ServiceConfig {
@@ -133,6 +140,7 @@ impl Default for ServiceConfig {
             model_quotas: HashMap::new(),
             max_queued_per_model: 1024,
             workload_file: None,
+            precision: Precision::F64,
         }
     }
 }
@@ -185,6 +193,9 @@ pub struct RegisteredWorkload {
 pub struct ModelStats {
     /// Serving name of the model these counters belong to.
     pub model: String,
+    /// Inference precision of this model's prepared encoder (`"f64"` or
+    /// `"f32"`; f32 embeddings cost half the cache bytes).
+    pub precision: String,
     /// Requests routed to this model (including errors).
     pub requests: u64,
     /// Requests routed to this model that returned an error.
@@ -259,6 +270,10 @@ struct ModelState {
     format_version: u32,
     config_fingerprint: u64,
     model: AtlasModel,
+    /// The inference encoder at the service's configured precision,
+    /// converted **once** here at load (the f32 path narrows every weight
+    /// matrix) and reused by every embedding this model computes.
+    prepared: PreparedEncoder,
     experiment: ExperimentConfig,
     lib: Library,
     embeddings: LruCache<TraceKey, TraceEmbeddings>,
@@ -280,11 +295,13 @@ impl ModelState {
     fn new(name: String, saved: SavedModel, cfg: &ServiceConfig) -> ModelState {
         let lib = saved.config.library();
         let quota = cfg.model_quotas.get(&name).copied();
+        let prepared = saved.model.prepare(cfg.precision);
         ModelState {
             name,
             format_version: saved.header.format_version,
             config_fingerprint: saved.header.config_fingerprint,
             model: saved.model,
+            prepared,
             experiment: saved.config,
             lib,
             embeddings: LruCache::with_budget(cfg.embedding_cache_bytes),
@@ -309,6 +326,7 @@ impl ModelState {
     fn stats(&self, effective_quota: usize) -> ModelStats {
         ModelStats {
             model: self.name.clone(),
+            precision: self.prepared.precision().label().to_owned(),
             requests: self.requests.load(Ordering::Relaxed),
             errors: self.errors.load(Ordering::Relaxed),
             embeddings_computed: self.embeds_computed.load(Ordering::Relaxed),
@@ -1382,7 +1400,8 @@ fn compute_embeddings(
     };
     let trace = simulate(&artifacts.gate, &mut workload, request.cycles)
         .map_err(|e| ServeError::Simulation(e.to_string()))?;
-    let embeddings = Arc::new(state.model.embed_trace(
+    let embeddings = Arc::new(state.model.embed_trace_with(
+        &state.prepared,
         &artifacts.gate,
         &state.lib,
         &artifacts.data,
@@ -1481,6 +1500,46 @@ mod tests {
         assert_eq!(stats.models[0].model, "default");
         assert_eq!(stats.models[0].requests, 3);
         assert_eq!(stats.models[0].embedding_cache, stats.embedding_cache);
+    }
+
+    #[test]
+    fn f32_precision_serves_and_shrinks_cache_weight() {
+        let cfg = micro_config();
+        let trained = train_atlas(&cfg);
+        let start = |precision| {
+            AtlasService::start_with(
+                trained.model.clone(),
+                cfg.clone(),
+                ServiceConfig {
+                    workers: 1,
+                    precision,
+                    ..ServiceConfig::default()
+                },
+            )
+        };
+        let f64_service = start(Precision::F64);
+        let f32_service = start(Precision::F32);
+
+        let request = PredictRequest::new("C2", "W1", 8);
+        let wide = f64_service.call(request.clone()).expect("f64 request");
+        let narrow = f32_service.call(request).expect("f32 request");
+
+        // The f32 path produces sane power numbers of the same shape; it
+        // trades bit parity for bytes, so no exact-equality assertion here
+        // (the accuracy delta itself is gated in `infer_bench`).
+        assert_eq!(narrow.cycles, wide.cycles);
+        assert_eq!(narrow.per_cycle_total_w.len(), wide.per_cycle_total_w.len());
+        assert!(narrow.mean_total_w > 0.0);
+        assert!(narrow.per_cycle_total_w.iter().all(|w| w.is_finite()));
+
+        // Cached embeddings cost fewer bytes at f32: the same trace weighs
+        // less, so a byte-budgeted cache holds more traces.
+        let wide_stats = f64_service.stats();
+        let narrow_stats = f32_service.stats();
+        assert!(narrow_stats.embedding_cache.weight > 0);
+        assert!(narrow_stats.embedding_cache.weight < wide_stats.embedding_cache.weight);
+        assert_eq!(wide_stats.models[0].precision, "f64");
+        assert_eq!(narrow_stats.models[0].precision, "f32");
     }
 
     #[test]

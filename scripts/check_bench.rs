@@ -11,14 +11,30 @@
 //! # p50 within 3x of its idle p50
 //! ./check_bench BENCH_serve.json BENCH_serve.ci.json 2.0
 //! # embed gate: batched embed throughput must not regress past
-//! # MAX_RATIO, and the fresh batched-vs-per-cycle speedup must stay
-//! # above a floor
+//! # MAX_RATIO; the fresh batched-vs-per-cycle speedup must stay above
+//! # a floor; when the fresh run dispatched a SIMD kernel, its in-run
+//! # SIMD-over-scalar speedup must clear SIMD_SPEEDUP_FLOOR; and the
+//! # f32 path's accuracy delta must stay within its tolerance
 //! ./check_bench --infer BENCH_infer.json BENCH_infer.ci.json 2.0
 //! ```
 //!
 //! Exits non-zero on a regression beyond the allowed factor, and on
 //! malformed reports, so a bench that silently stopped emitting a
 //! scenario cannot pass.
+//!
+//! # Baseline-refresh rule
+//!
+//! The committed `BENCH_*.json` baselines are **machine-class
+//! artifacts**: refresh them (re-run the bench on a release build and
+//! commit the new file) whenever a change intentionally moves
+//! performance, and note the machine's `isa`/`kernel` fields when
+//! comparing across runners — a baseline recorded on an AVX2 machine is
+//! not a fair throughput bar for a scalar-only runner, which is why the
+//! cross-run gates are loose ratios while the strict floors
+//! (`speedup`, `simd_speedup`, `f32_max_rel_delta`) compare numbers
+//! measured *inside one fresh run*. Never "fix" a gate failure by
+//! refreshing the baseline without understanding the regression; the
+//! refresh is for deliberate perf changes, not drift.
 
 use std::process::ExitCode;
 
@@ -27,6 +43,14 @@ use std::process::ExitCode;
 /// >2x on the reference machine; CI runners vary, so the floor only
 /// guards against the batched path losing its advantage outright.
 const INFER_SPEEDUP_FLOOR: f64 = 1.2;
+
+/// Minimum SIMD-over-forced-scalar embed speedup a fresh `infer_bench`
+/// report must show at its gate scale — but only when the fresh run
+/// actually dispatched a SIMD kernel (`gate.simd_active` ≥ 1). Both
+/// arms run inside the same process on the same machine, so the ratio
+/// is runner-class independent; a scalar-only runner skips the gate
+/// (its dispatch *is* the scalar kernel — nothing to compare).
+const SIMD_SPEEDUP_FLOOR: f64 = 1.5;
 
 /// Maximum victim-model p50 inflation the quota-storm scenario may show:
 /// while one model's cold storm saturates its quota, another model's
@@ -128,6 +152,49 @@ fn run() -> Result<(), String> {
             return Err(format!(
                 "batched-over-per-cycle speedup fell to {speedup:.2}x \
                  (< {INFER_SPEEDUP_FLOOR:.2}x floor)"
+            ));
+        }
+
+        // SIMD gate: when the fresh run dispatched a SIMD kernel, its
+        // in-run SIMD-over-scalar speedup (both arms measured in the
+        // same process) must clear the floor. Scalar-only runners have
+        // nothing to compare and skip it.
+        let simd_active = extract(&fresh, "gate", "simd_active")?;
+        let simd_speedup = extract(&fresh, "gate", "simd_speedup")?;
+        if simd_active >= 1.0 {
+            println!(
+                "simd embed speedup over forced scalar: {simd_speedup:.2}x \
+                 (floor {SIMD_SPEEDUP_FLOOR:.2}x)"
+            );
+            if simd_speedup < SIMD_SPEEDUP_FLOOR {
+                return Err(format!(
+                    "simd-over-scalar embed speedup fell to {simd_speedup:.2}x \
+                     (< {SIMD_SPEEDUP_FLOOR:.2}x floor)"
+                ));
+            }
+        } else {
+            println!(
+                "simd kernel not dispatched on this runner (scalar only) — \
+                 skipping the {SIMD_SPEEDUP_FLOOR:.2}x simd gate"
+            );
+        }
+
+        // f32 accuracy gate: the reduced-precision path's worst relative
+        // delta against the f64 reference must stay within the tolerance
+        // the report itself declares (shared with the nn proptests).
+        let f32_delta = extract(&fresh, "gate", "f32_max_rel_delta")?;
+        let f32_tolerance = extract(&fresh, "gate", "f32_tolerance")?;
+        println!(
+            "f32 embed accuracy: max rel delta {f32_delta:.2e} \
+             (tolerance {f32_tolerance:.2e})"
+        );
+        if !(f32_tolerance > 0.0) {
+            return Err(format!("f32 tolerance not positive: {f32_tolerance}"));
+        }
+        if f32_delta > f32_tolerance {
+            return Err(format!(
+                "f32 embed accuracy delta {f32_delta:.2e} exceeded its \
+                 tolerance {f32_tolerance:.2e}"
             ));
         }
         return Ok(());
