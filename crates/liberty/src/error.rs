@@ -2,27 +2,96 @@
 
 use std::fmt;
 
+/// Machine-readable classification of a [`ParseLibError`].
+///
+/// Branch on the kind, not on the message text: messages are wording,
+/// kinds are API.
+#[non_exhaustive]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ParseLibErrorKind {
+    /// A token appeared where the grammar expected something else.
+    UnexpectedToken,
+    /// The input ended in the middle of a construct.
+    UnexpectedEnd,
+    /// A number was malformed, non-finite, or out of range for its field.
+    BadNumber,
+    /// An identifier named no known keyword, class, or field.
+    Unknown,
+    /// A required field was absent.
+    MissingField,
+    /// A name or field appeared more than once.
+    Duplicate,
+    /// An explicit ingestion cap (see [`crate::limits`]) was exceeded.
+    LimitExceeded,
+    /// A semantic constraint (LUT shape, axis ordering) failed.
+    Invalid,
+}
+
+impl ParseLibErrorKind {
+    /// Stable lowercase label for logs and wire errors.
+    pub fn label(self) -> &'static str {
+        match self {
+            ParseLibErrorKind::UnexpectedToken => "unexpected_token",
+            ParseLibErrorKind::UnexpectedEnd => "unexpected_end",
+            ParseLibErrorKind::BadNumber => "bad_number",
+            ParseLibErrorKind::Unknown => "unknown",
+            ParseLibErrorKind::MissingField => "missing_field",
+            ParseLibErrorKind::Duplicate => "duplicate",
+            ParseLibErrorKind::LimitExceeded => "limit_exceeded",
+            ParseLibErrorKind::Invalid => "invalid",
+        }
+    }
+}
+
 /// Error produced while parsing a liblite library file.
 ///
-/// Carries the 1-based line number where parsing failed and a description of
-/// what was expected.
+/// Carries a [`ParseLibErrorKind`], the 1-based line and column of the
+/// offending token, its absolute byte offset into the input, and a
+/// message that names both what was expected and what was found.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ParseLibError {
+    kind: ParseLibErrorKind,
     line: usize,
+    column: usize,
+    offset: usize,
     message: String,
 }
 
 impl ParseLibError {
-    pub(crate) fn new(line: usize, message: impl Into<String>) -> ParseLibError {
+    pub(crate) fn new(
+        kind: ParseLibErrorKind,
+        line: usize,
+        column: usize,
+        offset: usize,
+        message: impl Into<String>,
+    ) -> ParseLibError {
         ParseLibError {
+            kind,
             line,
+            column,
+            offset,
             message: message.into(),
         }
+    }
+
+    /// Machine-readable classification of the failure.
+    pub fn kind(&self) -> ParseLibErrorKind {
+        self.kind
     }
 
     /// 1-based line number of the offending token.
     pub fn line(&self) -> usize {
         self.line
+    }
+
+    /// 1-based character column of the offending token within its line.
+    pub fn column(&self) -> usize {
+        self.column
+    }
+
+    /// Absolute byte offset of the offending token in the input.
+    pub fn offset(&self) -> usize {
+        self.offset
     }
 
     /// Human-readable description of the failure.
@@ -35,8 +104,8 @@ impl fmt::Display for ParseLibError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "liblite parse error at line {}: {}",
-            self.line, self.message
+            "liblite parse error at line {}, column {} (byte {}): {}",
+            self.line, self.column, self.offset, self.message
         )
     }
 }

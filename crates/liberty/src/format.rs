@@ -21,14 +21,43 @@
 //!   }
 //! }
 //! ```
+//!
+//! The parser is **total over arbitrary input**: any byte sequence either
+//! parses or returns a typed [`ParseLibError`] — it never panics, never
+//! loops, and never allocates beyond the caps in [`limits`]. The lexer is
+//! streaming (one token of lookahead), so peak memory tracks the parsed
+//! structure, which the caps bound, not the raw input.
 
+use std::collections::HashSet;
 use std::fmt::Write as _;
+use std::iter::Peekable;
+use std::str::CharIndices;
 
 use crate::cell::{LibCell, SramMacro};
-use crate::error::ParseLibError;
+use crate::error::{ParseLibError, ParseLibErrorKind};
 use crate::library::Library;
 use crate::lut::EnergyLut;
 use crate::types::{CellClass, Drive};
+
+/// Hard ingestion caps for the liblite parser.
+///
+/// Inputs exceeding any cap fail with
+/// [`ParseLibErrorKind::LimitExceeded`] before the excess is allocated;
+/// together they bound the memory and time any hostile input can cost.
+pub mod limits {
+    /// Largest accepted input, in bytes.
+    pub const MAX_INPUT_BYTES: usize = 16 << 20;
+    /// Longest accepted identifier or number literal, in bytes.
+    pub const MAX_IDENT_BYTES: usize = 256;
+    /// Most `cell` + `sram` entries per library.
+    pub const MAX_MACROS: usize = 4096;
+    /// Longest `slew`/`load` axis in an `energy_lut`.
+    pub const MAX_AXIS_LEN: usize = 64;
+    /// Most entries in an `energy_lut` `values` list.
+    pub const MAX_LUT_VALUES: usize = MAX_AXIS_LEN * MAX_AXIS_LEN;
+    /// Deepest accepted `{` nesting (the grammar itself needs 2).
+    pub const MAX_BRACE_DEPTH: usize = 8;
+}
 
 impl Library {
     /// Serialize this library to liblite text.
@@ -51,9 +80,13 @@ impl Library {
     ///
     /// # Errors
     ///
-    /// Returns a [`ParseLibError`] (with line number) on any syntactic or
-    /// semantic problem: unknown keywords, malformed numbers, LUT shape
-    /// mismatches, missing required fields.
+    /// Returns a [`ParseLibError`] — carrying a
+    /// [`ParseLibErrorKind`], the 1-based line and
+    /// column, and the byte offset of the offending token — on any
+    /// syntactic or semantic problem: unknown keywords, malformed or
+    /// non-finite numbers, duplicate names or fields, LUT shape
+    /// mismatches, missing required fields, or an input exceeding the
+    /// caps in [`limits`]. The parser never panics on any input.
     ///
     /// # Examples
     ///
@@ -69,6 +102,20 @@ impl Library {
     /// # }
     /// ```
     pub fn from_liblite(text: &str) -> Result<Library, ParseLibError> {
+        if text.len() > limits::MAX_INPUT_BYTES {
+            return Err(ParseLibError::new(
+                ParseLibErrorKind::LimitExceeded,
+                1,
+                1,
+                0,
+                format!(
+                    "input of {} bytes exceeds the {}-byte cap",
+                    text.len(),
+                    limits::MAX_INPUT_BYTES
+                ),
+            ));
+        }
+        check_brace_depth(text)?;
         Parser::new(text).parse_library()
     }
 }
@@ -178,307 +225,736 @@ enum Token {
     Semi,
 }
 
-struct Parser {
-    tokens: Vec<(Token, usize)>,
-    pos: usize,
+/// Where a token starts: 1-based line and character column, absolute
+/// byte offset.
+#[derive(Debug, Clone, Copy)]
+struct Span {
+    line: usize,
+    column: usize,
+    offset: usize,
 }
 
-impl Parser {
-    fn new(text: &str) -> Parser {
-        let mut tokens = Vec::new();
-        for (lineno, line) in text.lines().enumerate() {
-            let line_num = lineno + 1;
-            let line = line.split('#').next().unwrap_or("");
-            let mut chars = line.char_indices().peekable();
-            while let Some(&(start, ch)) = chars.peek() {
-                match ch {
-                    c if c.is_whitespace() => {
-                        chars.next();
-                    }
-                    '{' => {
-                        chars.next();
-                        tokens.push((Token::LBrace, line_num));
-                    }
-                    '}' => {
-                        chars.next();
-                        tokens.push((Token::RBrace, line_num));
-                    }
-                    '[' => {
-                        chars.next();
-                        tokens.push((Token::LBracket, line_num));
-                    }
-                    ']' => {
-                        chars.next();
-                        tokens.push((Token::RBracket, line_num));
-                    }
-                    ';' => {
-                        chars.next();
-                        tokens.push((Token::Semi, line_num));
-                    }
-                    _ => {
-                        let mut end = start;
-                        while let Some(&(i, c)) = chars.peek() {
-                            if c.is_whitespace() || "{}[];".contains(c) {
-                                break;
-                            }
-                            end = i + c.len_utf8();
-                            chars.next();
+#[derive(Debug, Clone)]
+struct Tok {
+    token: Token,
+    span: Span,
+}
+
+/// One O(n) prescan enforcing [`limits::MAX_BRACE_DEPTH`] over the whole
+/// input before parsing starts — the recursive-descent grammar itself is
+/// depth-2, so without this a `{{{{…` bomb would be reported as a mere
+/// unexpected token instead of the cap it violates.
+fn check_brace_depth(text: &str) -> Result<(), ParseLibError> {
+    let mut depth = 0usize;
+    let mut line = 1usize;
+    let mut column = 1usize;
+    let mut in_comment = false;
+    for (offset, ch) in text.char_indices() {
+        match ch {
+            '\n' => {
+                line += 1;
+                column = 1;
+                in_comment = false;
+                continue;
+            }
+            _ if in_comment => {}
+            '#' => in_comment = true,
+            '{' => {
+                depth += 1;
+                if depth > limits::MAX_BRACE_DEPTH {
+                    return Err(err_at(
+                        ParseLibErrorKind::LimitExceeded,
+                        Span {
+                            line,
+                            column,
+                            offset,
+                        },
+                        format!(
+                            "brace nesting exceeds the depth cap of {}",
+                            limits::MAX_BRACE_DEPTH
+                        ),
+                    ));
+                }
+            }
+            '}' => depth = depth.saturating_sub(1),
+            _ => {}
+        }
+        column += 1;
+    }
+    Ok(())
+}
+
+/// What a token (or its absence) looks like in an error message.
+fn describe(token: Option<&Token>) -> String {
+    match token {
+        None => "end of input".to_owned(),
+        Some(Token::Ident(s)) => format!("identifier `{s}`"),
+        Some(Token::Number(n)) => format!("number `{}`", fmt_num(*n)),
+        Some(Token::LBrace) => "`{`".to_owned(),
+        Some(Token::RBrace) => "`}`".to_owned(),
+        Some(Token::LBracket) => "`[`".to_owned(),
+        Some(Token::RBracket) => "`]`".to_owned(),
+        Some(Token::Semi) => "`;`".to_owned(),
+    }
+}
+
+/// Streaming tokenizer: one pass over the chars, no token buffer, so a
+/// hostile input cannot make it allocate more than one identifier.
+struct Lexer<'a> {
+    text: &'a str,
+    chars: Peekable<CharIndices<'a>>,
+    line: usize,
+    column: usize,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(text: &'a str) -> Lexer<'a> {
+        Lexer {
+            text,
+            chars: text.char_indices().peekable(),
+            line: 1,
+            column: 1,
+        }
+    }
+
+    /// Span at the current cursor (end of input once exhausted).
+    fn here(&mut self) -> Span {
+        let offset = self
+            .chars
+            .peek()
+            .map(|&(i, _)| i)
+            .unwrap_or(self.text.len());
+        Span {
+            line: self.line,
+            column: self.column,
+            offset,
+        }
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let next = self.chars.next().map(|(_, c)| c);
+        match next {
+            Some('\n') => {
+                self.line += 1;
+                self.column = 1;
+            }
+            Some(_) => self.column += 1,
+            None => {}
+        }
+        next
+    }
+
+    /// Consume a run of word characters starting at the cursor and
+    /// return the slice. Signs and dots are included so `1e-5` lexes as
+    /// one token and `3ff` fails as one bad number, not `3` + `ff`.
+    fn word(&mut self, start: usize) -> &'a str {
+        let mut end = start;
+        while let Some(&(i, c)) = self.chars.peek() {
+            if c.is_ascii_alphanumeric() || matches!(c, '_' | '.' | '-' | '+') {
+                end = i + c.len_utf8();
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        &self.text[start..end]
+    }
+
+    fn next_tok(&mut self) -> Result<Option<Tok>, ParseLibError> {
+        loop {
+            let span = self.here();
+            let Some(&(offset, ch)) = self.chars.peek() else {
+                return Ok(None);
+            };
+            match ch {
+                c if c.is_whitespace() => {
+                    self.bump();
+                }
+                '#' => {
+                    // Comment to end of line.
+                    while let Some(&(_, c)) = self.chars.peek() {
+                        if c == '\n' {
+                            break;
                         }
-                        let word = &line[start..end];
-                        if let Ok(n) = word.parse::<f64>() {
-                            tokens.push((Token::Number(n), line_num));
-                        } else {
-                            tokens.push((Token::Ident(word.to_owned()), line_num));
-                        }
+                        self.bump();
                     }
+                }
+                '{' => {
+                    self.bump();
+                    return Ok(Some(Tok {
+                        token: Token::LBrace,
+                        span,
+                    }));
+                }
+                '}' => {
+                    self.bump();
+                    return Ok(Some(Tok {
+                        token: Token::RBrace,
+                        span,
+                    }));
+                }
+                '[' => {
+                    self.bump();
+                    return Ok(Some(Tok {
+                        token: Token::LBracket,
+                        span,
+                    }));
+                }
+                ']' => {
+                    self.bump();
+                    return Ok(Some(Tok {
+                        token: Token::RBracket,
+                        span,
+                    }));
+                }
+                ';' => {
+                    self.bump();
+                    return Ok(Some(Tok {
+                        token: Token::Semi,
+                        span,
+                    }));
+                }
+                c if c.is_ascii_alphabetic() || c == '_' => {
+                    let word = self.word(offset);
+                    if word.len() > limits::MAX_IDENT_BYTES {
+                        return Err(err_at(
+                            ParseLibErrorKind::LimitExceeded,
+                            span,
+                            format!(
+                                "identifier of {} bytes exceeds the {}-byte cap",
+                                word.len(),
+                                limits::MAX_IDENT_BYTES
+                            ),
+                        ));
+                    }
+                    return Ok(Some(Tok {
+                        token: Token::Ident(word.to_owned()),
+                        span,
+                    }));
+                }
+                c if c.is_ascii_digit() || matches!(c, '+' | '-' | '.') => {
+                    let word = self.word(offset);
+                    if word.len() > limits::MAX_IDENT_BYTES {
+                        return Err(err_at(
+                            ParseLibErrorKind::LimitExceeded,
+                            span,
+                            format!(
+                                "number literal of {} bytes exceeds the {}-byte cap",
+                                word.len(),
+                                limits::MAX_IDENT_BYTES
+                            ),
+                        ));
+                    }
+                    return match word.parse::<f64>() {
+                        Ok(n) if n.is_finite() => Ok(Some(Tok {
+                            token: Token::Number(n),
+                            span,
+                        })),
+                        Ok(_) => Err(err_at(
+                            ParseLibErrorKind::BadNumber,
+                            span,
+                            format!("non-finite number `{word}`"),
+                        )),
+                        Err(_) => Err(err_at(
+                            ParseLibErrorKind::BadNumber,
+                            span,
+                            format!(
+                                "malformed number `{word}` \
+                                 (identifiers may not start with a digit or sign)"
+                            ),
+                        )),
+                    };
+                }
+                other => {
+                    return Err(err_at(
+                        ParseLibErrorKind::UnexpectedToken,
+                        span,
+                        format!("unexpected character `{}`", other.escape_default()),
+                    ));
                 }
             }
         }
-        Parser { tokens, pos: 0 }
     }
+}
 
-    fn line(&self) -> usize {
-        self.tokens
-            .get(self.pos.min(self.tokens.len().saturating_sub(1)))
-            .map(|(_, l)| *l)
-            .unwrap_or(0)
-    }
+fn err_at(kind: ParseLibErrorKind, span: Span, msg: impl Into<String>) -> ParseLibError {
+    ParseLibError::new(kind, span.line, span.column, span.offset, msg)
+}
 
-    fn err(&self, msg: impl Into<String>) -> ParseLibError {
-        ParseLibError::new(self.line(), msg)
-    }
+struct Parser<'a> {
+    lexer: Lexer<'a>,
+    peeked: Option<Tok>,
+}
 
-    fn next(&mut self) -> Option<&Token> {
-        let t = self.tokens.get(self.pos).map(|(t, _)| t);
-        self.pos += 1;
-        t
-    }
-
-    fn peek(&self) -> Option<&Token> {
-        self.tokens.get(self.pos).map(|(t, _)| t)
-    }
-
-    fn expect_ident(&mut self) -> Result<String, ParseLibError> {
-        let line = self.line();
-        match self.next() {
-            Some(Token::Ident(s)) => Ok(s.clone()),
-            other => Err(ParseLibError::new(
-                line,
-                format!("expected identifier, got {other:?}"),
-            )),
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Parser<'a> {
+        Parser {
+            lexer: Lexer::new(text),
+            peeked: None,
         }
     }
 
-    fn expect_keyword(&mut self, kw: &str) -> Result<(), ParseLibError> {
-        let line = self.line();
-        match self.next() {
-            Some(Token::Ident(s)) if s == kw => Ok(()),
-            other => Err(ParseLibError::new(
-                line,
-                format!("expected `{kw}`, got {other:?}"),
-            )),
+    fn peek(&mut self) -> Result<Option<&Tok>, ParseLibError> {
+        if self.peeked.is_none() {
+            self.peeked = self.lexer.next_tok()?;
+        }
+        Ok(self.peeked.as_ref())
+    }
+
+    fn next(&mut self) -> Result<Option<Tok>, ParseLibError> {
+        if let Some(tok) = self.peeked.take() {
+            return Ok(Some(tok));
+        }
+        self.lexer.next_tok()
+    }
+
+    /// Span of the *next* token (end of input once exhausted) — where an
+    /// "expected X, found Y" error points.
+    fn here(&mut self) -> Span {
+        match &self.peeked {
+            Some(tok) => tok.span,
+            None => self.lexer.here(),
         }
     }
 
-    fn expect_number(&mut self) -> Result<f64, ParseLibError> {
-        let line = self.line();
-        match self.next() {
-            Some(Token::Number(n)) => Ok(*n),
-            other => Err(ParseLibError::new(
-                line,
-                format!("expected number, got {other:?}"),
-            )),
+    fn unexpected(&mut self, expected: &str) -> ParseLibError {
+        let span = self.here();
+        // Peek is best-effort here: a lexer error while peeking is itself
+        // the failure to report.
+        let (kind, found) = match self.peek() {
+            Ok(tok) => (
+                if tok.is_some() {
+                    ParseLibErrorKind::UnexpectedToken
+                } else {
+                    ParseLibErrorKind::UnexpectedEnd
+                },
+                describe(tok.map(|t| &t.token)),
+            ),
+            Err(e) => return e,
+        };
+        err_at(kind, span, format!("expected {expected}, found {found}"))
+    }
+
+    fn expect_ident(&mut self) -> Result<(String, Span), ParseLibError> {
+        match self.peek()? {
+            Some(Tok {
+                token: Token::Ident(_),
+                ..
+            }) => match self.next()? {
+                Some(Tok {
+                    token: Token::Ident(s),
+                    span,
+                }) => Ok((s, span)),
+                _ => Err(self.unexpected("identifier")),
+            },
+            _ => Err(self.unexpected("identifier")),
         }
     }
 
-    fn expect_token(&mut self, tok: Token) -> Result<(), ParseLibError> {
-        let line = self.line();
-        match self.next() {
-            Some(t) if *t == tok => Ok(()),
-            other => Err(ParseLibError::new(
-                line,
-                format!("expected {tok:?}, got {other:?}"),
-            )),
+    fn expect_keyword(&mut self, kw: &str) -> Result<Span, ParseLibError> {
+        match self.peek()? {
+            Some(Tok {
+                token: Token::Ident(s),
+                ..
+            }) if s == kw => {
+                let tok = self.next()?;
+                Ok(tok.map(|t| t.span).unwrap_or_else(|| self.here()))
+            }
+            _ => Err(self.unexpected(&format!("`{kw}`"))),
         }
     }
 
-    fn number_list(&mut self) -> Result<Vec<f64>, ParseLibError> {
-        self.expect_token(Token::LBracket)?;
+    fn expect_number(&mut self) -> Result<(f64, Span), ParseLibError> {
+        match self.peek()? {
+            Some(Tok {
+                token: Token::Number(_),
+                ..
+            }) => match self.next()? {
+                Some(Tok {
+                    token: Token::Number(n),
+                    span,
+                }) => Ok((n, span)),
+                _ => Err(self.unexpected("number")),
+            },
+            _ => Err(self.unexpected("number")),
+        }
+    }
+
+    fn expect_token(&mut self, want: &Token, name: &str) -> Result<Span, ParseLibError> {
+        match self.peek()? {
+            Some(tok) if tok.token == *want => {
+                let tok = self.next()?;
+                Ok(tok.map(|t| t.span).unwrap_or_else(|| self.here()))
+            }
+            _ => Err(self.unexpected(name)),
+        }
+    }
+
+    /// `[ n n n ... ]` with a length cap; `what` names the list in
+    /// errors.
+    fn number_list(&mut self, what: &str, cap: usize) -> Result<Vec<f64>, ParseLibError> {
+        self.expect_token(&Token::LBracket, "`[`")?;
         let mut out = Vec::new();
         loop {
-            match self.peek() {
+            match self.peek()?.map(|t| &t.token) {
                 Some(Token::Number(_)) => {
-                    out.push(self.expect_number()?);
+                    let (n, span) = self.expect_number()?;
+                    if out.len() >= cap {
+                        return Err(err_at(
+                            ParseLibErrorKind::LimitExceeded,
+                            span,
+                            format!("{what} list exceeds the cap of {cap} entries"),
+                        ));
+                    }
+                    out.push(n);
                 }
                 Some(Token::RBracket) => {
-                    self.next();
+                    self.next()?;
                     return Ok(out);
                 }
-                _ => return Err(self.err("expected number or `]` in list")),
+                _ => return Err(self.unexpected(&format!("number or `]` in {what} list"))),
             }
         }
     }
 
     fn parse_library(&mut self) -> Result<Library, ParseLibError> {
         self.expect_keyword("library")?;
-        let name = self.expect_ident()?;
-        self.expect_token(Token::LBrace)?;
-        let mut voltage = None;
-        let mut clock_period = None;
+        let (name, _) = self.expect_ident()?;
+        self.expect_token(&Token::LBrace, "`{`")?;
+        let mut voltage: Option<f64> = None;
+        let mut clock_period: Option<f64> = None;
         let mut cells = Vec::new();
         let mut srams = Vec::new();
-        loop {
-            match self.peek() {
-                Some(Token::RBrace) => {
-                    self.next();
-                    break;
+        let mut macro_names: HashSet<String> = HashSet::new();
+        let close = loop {
+            match self.peek()?.map(|t| (&t.token, t.span)) {
+                Some((Token::RBrace, span)) => {
+                    self.next()?;
+                    break span;
                 }
-                Some(Token::Ident(kw)) => match kw.as_str() {
-                    "voltage" => {
-                        self.next();
-                        voltage = Some(self.expect_number()?);
-                        self.expect_token(Token::Semi)?;
+                Some((Token::Ident(kw), span)) => {
+                    let kw = kw.clone();
+                    match kw.as_str() {
+                        "voltage" => {
+                            self.next()?;
+                            if voltage.is_some() {
+                                return Err(err_at(
+                                    ParseLibErrorKind::Duplicate,
+                                    span,
+                                    "duplicate `voltage`",
+                                ));
+                            }
+                            voltage = Some(self.expect_number()?.0);
+                            self.expect_token(&Token::Semi, "`;`")?;
+                        }
+                        "clock_period" => {
+                            self.next()?;
+                            if clock_period.is_some() {
+                                return Err(err_at(
+                                    ParseLibErrorKind::Duplicate,
+                                    span,
+                                    "duplicate `clock_period`",
+                                ));
+                            }
+                            clock_period = Some(self.expect_number()?.0);
+                            self.expect_token(&Token::Semi, "`;`")?;
+                        }
+                        "cell" => {
+                            self.next()?;
+                            if cells.len() + srams.len() >= limits::MAX_MACROS {
+                                return Err(err_at(
+                                    ParseLibErrorKind::LimitExceeded,
+                                    span,
+                                    format!(
+                                        "library exceeds the cap of {} cells + srams",
+                                        limits::MAX_MACROS
+                                    ),
+                                ));
+                            }
+                            cells.push(self.parse_cell(&mut macro_names)?);
+                        }
+                        "sram" => {
+                            self.next()?;
+                            if cells.len() + srams.len() >= limits::MAX_MACROS {
+                                return Err(err_at(
+                                    ParseLibErrorKind::LimitExceeded,
+                                    span,
+                                    format!(
+                                        "library exceeds the cap of {} cells + srams",
+                                        limits::MAX_MACROS
+                                    ),
+                                ));
+                            }
+                            srams.push(self.parse_sram(&mut macro_names)?);
+                        }
+                        other => {
+                            return Err(err_at(
+                                ParseLibErrorKind::Unknown,
+                                span,
+                                format!("unknown library item `{other}`"),
+                            ));
+                        }
                     }
-                    "clock_period" => {
-                        self.next();
-                        clock_period = Some(self.expect_number()?);
-                        self.expect_token(Token::Semi)?;
-                    }
-                    "cell" => {
-                        self.next();
-                        cells.push(self.parse_cell()?);
-                    }
-                    "sram" => {
-                        self.next();
-                        srams.push(self.parse_sram()?);
-                    }
-                    other => {
-                        return Err(self.err(format!("unknown library item `{other}`")));
-                    }
-                },
-                other => return Err(self.err(format!("unexpected token {other:?}"))),
+                }
+                _ => return Err(self.unexpected("a library item or `}`")),
             }
+        };
+        if self.peek()?.is_some() {
+            return Err(self.unexpected("end of input after the closing `}`"));
         }
-        let voltage = voltage.ok_or_else(|| self.err("library is missing `voltage`"))?;
-        let clock_period =
-            clock_period.ok_or_else(|| self.err("library is missing `clock_period`"))?;
+        let voltage = voltage.ok_or_else(|| {
+            err_at(
+                ParseLibErrorKind::MissingField,
+                close,
+                "library is missing `voltage`",
+            )
+        })?;
+        let clock_period = clock_period.ok_or_else(|| {
+            err_at(
+                ParseLibErrorKind::MissingField,
+                close,
+                "library is missing `clock_period`",
+            )
+        })?;
         Ok(Library::new(name, voltage, clock_period, cells, srams))
     }
 
-    fn parse_cell(&mut self) -> Result<LibCell, ParseLibError> {
-        let name = self.expect_ident()?;
-        self.expect_token(Token::LBrace)?;
+    fn parse_cell(&mut self, taken: &mut HashSet<String>) -> Result<LibCell, ParseLibError> {
+        let (name, name_span) = self.expect_ident()?;
+        if !taken.insert(name.clone()) {
+            return Err(err_at(
+                ParseLibErrorKind::Duplicate,
+                name_span,
+                format!("duplicate cell or sram name `{name}`"),
+            ));
+        }
+        self.expect_token(&Token::LBrace, "`{`")?;
         let mut class = None;
         let mut drive = None;
         let mut fields: std::collections::HashMap<String, f64> = Default::default();
         let mut lut = None;
         loop {
-            match self.peek() {
-                Some(Token::RBrace) => {
-                    self.next();
+            match self.peek()?.map(|t| (&t.token, t.span)) {
+                Some((Token::RBrace, _)) => {
+                    self.next()?;
                     break;
                 }
-                Some(Token::Ident(kw)) => {
+                Some((Token::Ident(kw), span)) => {
                     let kw = kw.clone();
-                    self.next();
+                    self.next()?;
                     match kw.as_str() {
                         "class" => {
-                            let word = self.expect_ident()?;
-                            class = Some(
-                                word.parse::<CellClass>()
-                                    .map_err(|e| self.err(format!("bad cell class: {e}")))?,
-                            );
-                            self.expect_token(Token::Semi)?;
+                            if class.is_some() {
+                                return Err(err_at(
+                                    ParseLibErrorKind::Duplicate,
+                                    span,
+                                    format!("duplicate `class` in cell `{name}`"),
+                                ));
+                            }
+                            let (word, word_span) = self.expect_ident()?;
+                            class = Some(word.parse::<CellClass>().map_err(|e| {
+                                err_at(
+                                    ParseLibErrorKind::Unknown,
+                                    word_span,
+                                    format!("bad cell class: {e}"),
+                                )
+                            })?);
+                            self.expect_token(&Token::Semi, "`;`")?;
                         }
                         "drive" => {
-                            let n = self.expect_number()?;
-                            drive = Some(
-                                Drive::from_suffix(n as u32)
-                                    .ok_or_else(|| self.err(format!("bad drive suffix {n}")))?,
-                            );
-                            self.expect_token(Token::Semi)?;
+                            if drive.is_some() {
+                                return Err(err_at(
+                                    ParseLibErrorKind::Duplicate,
+                                    span,
+                                    format!("duplicate `drive` in cell `{name}`"),
+                                ));
+                            }
+                            let (n, n_span) = self.expect_number()?;
+                            // `as u32` would silently truncate 1.5 → X1
+                            // and wrap huge values; require an exact
+                            // suffix instead.
+                            let suffix = (n.fract() == 0.0 && (0.0..=8.0).contains(&n))
+                                .then_some(n as u32)
+                                .and_then(Drive::from_suffix);
+                            drive = Some(suffix.ok_or_else(|| {
+                                err_at(
+                                    ParseLibErrorKind::BadNumber,
+                                    n_span,
+                                    format!(
+                                        "bad drive suffix `{}` (expected 1, 2, 4, or 8)",
+                                        fmt_num(n)
+                                    ),
+                                )
+                            })?);
+                            self.expect_token(&Token::Semi, "`;`")?;
                         }
                         "energy_lut" => {
+                            if lut.is_some() {
+                                return Err(err_at(
+                                    ParseLibErrorKind::Duplicate,
+                                    span,
+                                    format!("duplicate `energy_lut` in cell `{name}`"),
+                                ));
+                            }
                             self.expect_keyword("slew")?;
-                            let slews = self.number_list()?;
+                            let slews = self.number_list("slew", limits::MAX_AXIS_LEN)?;
                             self.expect_keyword("load")?;
-                            let loads = self.number_list()?;
+                            let loads = self.number_list("load", limits::MAX_AXIS_LEN)?;
                             self.expect_keyword("values")?;
-                            let values = self.number_list()?;
-                            self.expect_token(Token::Semi)?;
+                            let values = self.number_list("values", limits::MAX_LUT_VALUES)?;
+                            self.expect_token(&Token::Semi, "`;`")?;
                             lut = Some(
-                                EnergyLut::new(slews, loads, values).map_err(|e| self.err(e))?,
+                                EnergyLut::new(slews, loads, values)
+                                    .map_err(|e| err_at(ParseLibErrorKind::Invalid, span, e))?,
                             );
                         }
                         "area" | "input_cap" | "clock_cap" | "leakage" | "drive_res"
                         | "max_load" | "clock_energy" => {
-                            let v = self.expect_number()?;
-                            self.expect_token(Token::Semi)?;
-                            fields.insert(kw, v);
+                            let (v, _) = self.expect_number()?;
+                            self.expect_token(&Token::Semi, "`;`")?;
+                            if fields.insert(kw.clone(), v).is_some() {
+                                return Err(err_at(
+                                    ParseLibErrorKind::Duplicate,
+                                    span,
+                                    format!("duplicate `{kw}` in cell `{name}`"),
+                                ));
+                            }
                         }
                         other => {
-                            return Err(self.err(format!("unknown cell field `{other}`")));
+                            return Err(err_at(
+                                ParseLibErrorKind::Unknown,
+                                span,
+                                format!("unknown cell field `{other}`"),
+                            ));
                         }
                     }
                 }
-                other => return Err(self.err(format!("unexpected token {other:?}"))),
+                _ => return Err(self.unexpected("a cell field or `}`")),
             }
         }
         let get = |f: &std::collections::HashMap<String, f64>, key: &str| {
-            f.get(key)
-                .copied()
-                .ok_or_else(|| ParseLibError::new(0, format!("cell `{name}` missing `{key}`")))
+            f.get(key).copied().ok_or_else(|| {
+                err_at(
+                    ParseLibErrorKind::MissingField,
+                    name_span,
+                    format!("cell `{name}` missing `{key}`"),
+                )
+            })
         };
         Ok(LibCell::new(
             name.clone(),
-            class.ok_or_else(|| self.err(format!("cell `{name}` missing `class`")))?,
-            drive.ok_or_else(|| self.err(format!("cell `{name}` missing `drive`")))?,
+            class.ok_or_else(|| {
+                err_at(
+                    ParseLibErrorKind::MissingField,
+                    name_span,
+                    format!("cell `{name}` missing `class`"),
+                )
+            })?,
+            drive.ok_or_else(|| {
+                err_at(
+                    ParseLibErrorKind::MissingField,
+                    name_span,
+                    format!("cell `{name}` missing `drive`"),
+                )
+            })?,
             get(&fields, "area")?,
             get(&fields, "input_cap")?,
             get(&fields, "clock_cap")?,
             get(&fields, "leakage")?,
             get(&fields, "drive_res")?,
             get(&fields, "max_load")?,
-            lut.ok_or_else(|| self.err(format!("cell `{name}` missing `energy_lut`")))?,
+            lut.ok_or_else(|| {
+                err_at(
+                    ParseLibErrorKind::MissingField,
+                    name_span,
+                    format!("cell `{name}` missing `energy_lut`"),
+                )
+            })?,
             get(&fields, "clock_energy")?,
         ))
     }
 
-    fn parse_sram(&mut self) -> Result<SramMacro, ParseLibError> {
-        let name = self.expect_ident()?;
-        self.expect_token(Token::LBrace)?;
-        let mut fields: std::collections::HashMap<String, f64> = Default::default();
+    fn parse_sram(&mut self, taken: &mut HashSet<String>) -> Result<SramMacro, ParseLibError> {
+        let (name, name_span) = self.expect_ident()?;
+        if !taken.insert(name.clone()) {
+            return Err(err_at(
+                ParseLibErrorKind::Duplicate,
+                name_span,
+                format!("duplicate cell or sram name `{name}`"),
+            ));
+        }
+        self.expect_token(&Token::LBrace, "`{`")?;
+        let mut fields: std::collections::HashMap<String, (f64, Span)> = Default::default();
         loop {
-            match self.peek() {
-                Some(Token::RBrace) => {
-                    self.next();
+            match self.peek()?.map(|t| (&t.token, t.span)) {
+                Some((Token::RBrace, _)) => {
+                    self.next()?;
                     break;
                 }
-                Some(Token::Ident(kw)) => {
+                Some((Token::Ident(kw), span)) => {
                     let kw = kw.clone();
-                    self.next();
-                    let v = self.expect_number()?;
-                    self.expect_token(Token::Semi)?;
-                    fields.insert(kw, v);
+                    self.next()?;
+                    match kw.as_str() {
+                        "words" | "bits" | "read_energy" | "write_energy" | "leakage"
+                        | "pin_cap" | "area" => {
+                            let (v, v_span) = self.expect_number()?;
+                            self.expect_token(&Token::Semi, "`;`")?;
+                            if fields.insert(kw.clone(), (v, v_span)).is_some() {
+                                return Err(err_at(
+                                    ParseLibErrorKind::Duplicate,
+                                    span,
+                                    format!("duplicate `{kw}` in sram `{name}`"),
+                                ));
+                            }
+                        }
+                        other => {
+                            return Err(err_at(
+                                ParseLibErrorKind::Unknown,
+                                span,
+                                format!("unknown sram field `{other}`"),
+                            ));
+                        }
+                    }
                 }
-                other => return Err(self.err(format!("unexpected token {other:?}"))),
+                _ => return Err(self.unexpected("an sram field or `}`")),
             }
         }
         let get = |key: &str| {
-            fields
-                .get(key)
-                .copied()
-                .ok_or_else(|| ParseLibError::new(0, format!("sram `{name}` missing `{key}`")))
+            fields.get(key).copied().ok_or_else(|| {
+                err_at(
+                    ParseLibErrorKind::MissingField,
+                    name_span,
+                    format!("sram `{name}` missing `{key}`"),
+                )
+            })
+        };
+        // `as u32` would wrap 2^33 to 0 and truncate fractions; require
+        // an exact in-range integer.
+        let geometry = |key: &str| -> Result<u32, ParseLibError> {
+            let (v, span) = get(key)?;
+            if v.fract() == 0.0 && (0.0..=u32::MAX as f64).contains(&v) {
+                Ok(v as u32)
+            } else {
+                Err(err_at(
+                    ParseLibErrorKind::BadNumber,
+                    span,
+                    format!(
+                        "sram `{name}` field `{key}` must be an integer in [0, {}], got `{}`",
+                        u32::MAX,
+                        fmt_num(v)
+                    ),
+                ))
+            }
         };
         Ok(SramMacro::new(
             name.clone(),
-            get("words")? as u32,
-            get("bits")? as u32,
-            get("read_energy")?,
-            get("write_energy")?,
-            get("leakage")?,
-            get("pin_cap")?,
-            get("area")?,
+            geometry("words")?,
+            geometry("bits")?,
+            get("read_energy")?.0,
+            get("write_energy")?.0,
+            get("leakage")?.0,
+            get("pin_cap")?.0,
+            get("area")?.0,
         ))
     }
 }
@@ -534,9 +1010,26 @@ library mini { # a library
     }
 
     #[test]
+    fn error_carries_column_offset_and_found_token() {
+        let text = "library broken {\n  voltage banana;\n}";
+        let err = Library::from_liblite(text).expect_err("must fail");
+        assert_eq!(err.kind(), ParseLibErrorKind::UnexpectedToken);
+        // `banana` starts at column 11 of line 2; the library header and
+        // newline are 17 bytes, plus two spaces and `voltage `.
+        assert_eq!(err.column(), 11);
+        assert_eq!(err.offset(), 27);
+        assert!(
+            err.message().contains("identifier `banana`"),
+            "message must name the found token: {}",
+            err.message()
+        );
+    }
+
+    #[test]
     fn missing_voltage_is_an_error() {
         let text = "library broken {\n  clock_period 1;\n}";
         let err = Library::from_liblite(text).expect_err("must fail");
+        assert_eq!(err.kind(), ParseLibErrorKind::MissingField);
         assert!(err.to_string().contains("voltage"));
     }
 
@@ -552,7 +1045,8 @@ library broken {
     energy_lut slew [0.01 0.1] load [0.001 0.01] values [1 2 3];
   }
 }";
-        assert!(Library::from_liblite(text).is_err());
+        let err = Library::from_liblite(text).expect_err("must fail");
+        assert_eq!(err.kind(), ParseLibErrorKind::Invalid);
     }
 
     #[test]
@@ -564,6 +1058,116 @@ library broken {
   cell INV_X1 { wattage 9; }
 }";
         let err = Library::from_liblite(text).expect_err("must fail");
+        assert_eq!(err.kind(), ParseLibErrorKind::Unknown);
         assert!(err.message().contains("unknown cell field"));
+    }
+
+    #[test]
+    fn truncated_input_is_unexpected_end() {
+        let text = "library cut {\n  voltage 1.1;\n  cell INV_X1 {";
+        let err = Library::from_liblite(text).expect_err("must fail");
+        assert_eq!(err.kind(), ParseLibErrorKind::UnexpectedEnd);
+        assert!(err.message().contains("end of input"));
+    }
+
+    #[test]
+    fn non_finite_numbers_are_rejected() {
+        for bad in ["-inf", "1e999", "-1e999"] {
+            let text = format!("library l {{ voltage {bad}; clock_period 1; }}");
+            let err = Library::from_liblite(&text).expect_err("must fail");
+            assert_eq!(err.kind(), ParseLibErrorKind::BadNumber, "{bad}");
+        }
+        // `inf`/`nan` lex as identifiers, which is still a typed error
+        // where a number is required.
+        for bad in ["inf", "nan"] {
+            let text = format!("library l {{ voltage {bad}; clock_period 1; }}");
+            let err = Library::from_liblite(&text).expect_err("must fail");
+            assert_eq!(err.kind(), ParseLibErrorKind::UnexpectedToken, "{bad}");
+        }
+    }
+
+    #[test]
+    fn duplicate_names_and_fields_are_rejected() {
+        let dup_field = "library l { voltage 1; voltage 2; clock_period 1; }";
+        let err = Library::from_liblite(dup_field).expect_err("must fail");
+        assert_eq!(err.kind(), ParseLibErrorKind::Duplicate);
+
+        let dup_sram = "\
+library l { voltage 1; clock_period 1;
+  sram S { words 8; bits 8; read_energy 1; write_energy 1; leakage 1; pin_cap 1; area 1; }
+  sram S { words 8; bits 8; read_energy 1; write_energy 1; leakage 1; pin_cap 1; area 1; }
+}";
+        let err = Library::from_liblite(dup_sram).expect_err("must fail");
+        assert_eq!(err.kind(), ParseLibErrorKind::Duplicate);
+    }
+
+    #[test]
+    fn fractional_or_huge_geometry_is_rejected() {
+        for bad in ["1.5", "8589934592", "-1"] {
+            let text = format!(
+                "library l {{ voltage 1; clock_period 1;\n  sram S {{ words {bad}; bits 8; \
+                 read_energy 1; write_energy 1; leakage 1; pin_cap 1; area 1; }}\n}}"
+            );
+            let err = Library::from_liblite(&text).expect_err("must fail");
+            assert_eq!(err.kind(), ParseLibErrorKind::BadNumber, "words {bad}");
+        }
+    }
+
+    #[test]
+    fn fractional_drive_is_rejected() {
+        let text = "\
+library l { voltage 1; clock_period 1;
+  cell C { class inv; drive 1.5; area 1; input_cap 1; clock_cap 0;
+    leakage 1; drive_res 1; max_load 1; clock_energy 0;
+    energy_lut slew [0.01 0.1] load [0.001 0.01] values [1 2 3 4];
+  }
+}";
+        let err = Library::from_liblite(text).expect_err("must fail");
+        assert_eq!(err.kind(), ParseLibErrorKind::BadNumber);
+    }
+
+    #[test]
+    fn caps_are_enforced() {
+        // Oversized input.
+        let big = " ".repeat(limits::MAX_INPUT_BYTES + 1);
+        let err = Library::from_liblite(&big).expect_err("must fail");
+        assert_eq!(err.kind(), ParseLibErrorKind::LimitExceeded);
+
+        // Over-long identifier.
+        let long = "x".repeat(limits::MAX_IDENT_BYTES + 1);
+        let err = Library::from_liblite(&format!("library {long} {{")).expect_err("must fail");
+        assert_eq!(err.kind(), ParseLibErrorKind::LimitExceeded);
+
+        // Deep brace nesting.
+        let deep = format!("library l {}", "{".repeat(limits::MAX_BRACE_DEPTH + 1));
+        let err = Library::from_liblite(&deep).expect_err("must fail");
+        assert_eq!(err.kind(), ParseLibErrorKind::LimitExceeded);
+
+        // Oversized LUT axis.
+        let axis: String = (0..=limits::MAX_AXIS_LEN)
+            .map(|i| format!("{i} "))
+            .collect();
+        let text = format!(
+            "library l {{ voltage 1; clock_period 1;\n  cell C {{ class inv; drive 1; \
+             energy_lut slew [{axis}] load [1 2] values [1];"
+        );
+        let err = Library::from_liblite(&text).expect_err("must fail");
+        assert_eq!(err.kind(), ParseLibErrorKind::LimitExceeded);
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected() {
+        let lib = Library::synthetic_40nm();
+        let text = format!("{} extra", lib.to_liblite());
+        let err = Library::from_liblite(&text).expect_err("must fail");
+        assert_eq!(err.kind(), ParseLibErrorKind::UnexpectedToken);
+    }
+
+    #[test]
+    fn stray_punctuation_is_a_typed_error() {
+        for text in ["library l { voltage !1; }", "library \\esc { }", "libr’ry"] {
+            let err = Library::from_liblite(text).expect_err("must fail");
+            assert_eq!(err.kind(), ParseLibErrorKind::UnexpectedToken, "{text}");
+        }
     }
 }

@@ -42,7 +42,8 @@ mod lut;
 mod types;
 
 pub use cell::{LibCell, SramMacro};
-pub use error::ParseLibError;
+pub use error::{ParseLibError, ParseLibErrorKind};
+pub use format::limits;
 pub use library::Library;
 pub use lut::EnergyLut;
 pub use types::{CellClass, Drive, PowerGroup};

@@ -34,6 +34,8 @@ pub enum BuildError {
     UnknownSubmodule(SubmoduleId),
     /// A sequential cell was added but no clock net exists.
     NoClock,
+    /// Attempted to bind the clock or reset to a second, different net.
+    ConflictingBind(NetId),
 }
 
 impl fmt::Display for BuildError {
@@ -54,6 +56,9 @@ impl fmt::Display for BuildError {
             BuildError::Empty => write!(f, "design has no cells"),
             BuildError::UnknownSubmodule(s) => write!(f, "unknown sub-module {s}"),
             BuildError::NoClock => write!(f, "sequential cell added without a clock net"),
+            BuildError::ConflictingBind(n) => {
+                write!(f, "clock or reset is already bound to a net other than {n}")
+            }
         }
     }
 }
@@ -169,6 +174,53 @@ impl NetlistBuilder {
             let r = self.new_net();
             self.reset = Some(r);
             r
+        }
+    }
+
+    /// Register an existing net as a primary input (idempotent).
+    ///
+    /// [`add_input`](Self::add_input) creates the net and marks it in one
+    /// step; this variant exists for readers that allocate every net up
+    /// front (the structural Verilog reader) and classify them afterward.
+    pub fn mark_input(&mut self, net: NetId) {
+        if !self.primary_inputs.contains(&net) {
+            self.primary_inputs.push(net);
+        }
+    }
+
+    /// Bind the design clock to an existing net instead of letting
+    /// [`clock_net`](Self::clock_net) create a fresh one.
+    ///
+    /// # Errors
+    ///
+    /// [`BuildError::ConflictingBind`] if a different clock net is
+    /// already bound; rebinding the same net is a no-op.
+    pub fn bind_clock(&mut self, net: NetId) -> Result<(), BuildError> {
+        match self.clock {
+            None => {
+                self.clock = Some(net);
+                Ok(())
+            }
+            Some(c) if c == net => Ok(()),
+            Some(_) => Err(BuildError::ConflictingBind(net)),
+        }
+    }
+
+    /// Bind the design reset to an existing net; see
+    /// [`bind_clock`](Self::bind_clock).
+    ///
+    /// # Errors
+    ///
+    /// [`BuildError::ConflictingBind`] if a different reset net is
+    /// already bound.
+    pub fn bind_reset(&mut self, net: NetId) -> Result<(), BuildError> {
+        match self.reset {
+            None => {
+                self.reset = Some(net);
+                Ok(())
+            }
+            Some(r) if r == net => Ok(()),
+            Some(_) => Err(BuildError::ConflictingBind(net)),
         }
     }
 

@@ -49,6 +49,7 @@ mod graph;
 mod ids;
 pub mod logic;
 mod net;
+mod reader;
 mod stats;
 pub mod topo;
 mod verilog;
@@ -59,4 +60,6 @@ pub use design::{Design, Stage, Submodule};
 pub use graph::SubmoduleGraph;
 pub use ids::{CellId, NetId, Sink, SinkPin, SubmoduleId};
 pub use net::Net;
+pub use reader::limits as verilog_limits;
+pub use reader::{NetlistParseError, NetlistParseErrorKind};
 pub use stats::DesignStats;

@@ -1,0 +1,1012 @@
+//! Structural Verilog reader for the subset `Design::to_verilog` emits.
+//!
+//! [`Design::from_verilog`] is the ingestion path for untrusted uploads
+//! (the serve layer's `load_design` verb), so it is **total over
+//! arbitrary input**: any text either reconstructs a validated
+//! [`Design`] or returns a typed [`NetlistParseError`] — never a panic,
+//! a hang, or an allocation beyond the caps in [`limits`]. The accepted
+//! grammar is exactly the writer's output:
+//!
+//! ```text
+//! module NAME (n2, n0, n1, ...);
+//!   // clock n2
+//!   input n2;
+//!   input n0;
+//!   output n5;
+//!   wire n3;
+//!   // submodule sm0 top.u0 top
+//!   NAND2_X1 u0 (.A(n0), .B(n1), .Y(n3)); // sm0 top.u0
+//! endmodule
+//! ```
+//!
+//! Reconstruction is exact: nets keep their indices, cells and
+//! sub-modules their declaration order, and the `// clock nN` /
+//! `// reset nN` role markers preserve a bound clock or reset even when
+//! no instance references it — so `from_verilog(to_verilog(d))` equals
+//! `d` for any gate-level design the builder produces. One documented
+//! corner does not round-trip: names containing whitespace (written
+//! verbatim, read back split).
+
+use std::collections::HashSet;
+use std::fmt;
+
+use atlas_liberty::{CellClass, Drive};
+
+use crate::builder::{BuildError, NetlistBuilder};
+use crate::cell::SramConfig;
+use crate::design::Design;
+use crate::ids::NetId;
+
+/// Hard ingestion caps for the structural Verilog reader.
+///
+/// Inputs exceeding any cap fail with
+/// [`NetlistParseErrorKind::LimitExceeded`] before the excess is
+/// allocated.
+pub mod limits {
+    /// Largest accepted input, in bytes.
+    pub const MAX_INPUT_BYTES: usize = 64 << 20;
+    /// Largest accepted net index (and net count).
+    pub const MAX_NETS: usize = 1 << 22;
+    /// Most cell instances per module.
+    pub const MAX_CELLS: usize = 1 << 21;
+    /// Most sub-module declarations per module.
+    pub const MAX_SUBMODULES: usize = 1 << 16;
+    /// Longest accepted identifier, in bytes.
+    pub const MAX_IDENT_BYTES: usize = 256;
+}
+
+/// Machine-readable classification of a [`NetlistParseError`].
+#[non_exhaustive]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NetlistParseErrorKind {
+    /// A line did not match the grammar.
+    Syntax,
+    /// The input ended before `endmodule`.
+    UnexpectedEnd,
+    /// An unknown cell, pin, or sub-module reference.
+    Unknown,
+    /// Pins, declarations, and usage disagree (wrong pin set, undeclared
+    /// net, driving an input, inconsistent clock).
+    BadConnection,
+    /// A net or instance was declared twice (or out of order).
+    Duplicate,
+    /// An explicit ingestion cap (see [`limits`]) was exceeded.
+    LimitExceeded,
+    /// The reconstructed netlist failed builder validation (undriven
+    /// net, combinational cycle, empty design).
+    Structure,
+}
+
+/// Error produced while reading structural Verilog.
+///
+/// Carries a [`NetlistParseErrorKind`] and the 1-based line number of
+/// the offending text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NetlistParseError {
+    kind: NetlistParseErrorKind,
+    line: usize,
+    message: String,
+}
+
+impl NetlistParseError {
+    fn new(kind: NetlistParseErrorKind, line: usize, message: impl Into<String>) -> Self {
+        NetlistParseError {
+            kind,
+            line,
+            message: message.into(),
+        }
+    }
+
+    /// Machine-readable classification of the failure.
+    pub fn kind(&self) -> NetlistParseErrorKind {
+        self.kind
+    }
+
+    /// 1-based line number of the offending text. Whole-input failures
+    /// (a missing `endmodule`, a netlist that fails builder validation)
+    /// anchor to the last line consumed.
+    pub fn line(&self) -> usize {
+        self.line
+    }
+
+    /// Human-readable description of the failure.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl fmt::Display for NetlistParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "verilog parse error at line {}: {}",
+            self.line, self.message
+        )
+    }
+}
+
+impl std::error::Error for NetlistParseError {}
+
+fn err(kind: NetlistParseErrorKind, line: usize, msg: impl Into<String>) -> NetlistParseError {
+    NetlistParseError::new(kind, line, msg)
+}
+
+/// `nN` → N, with the index cap applied.
+fn net_index(token: &str, line: usize) -> Result<usize, NetlistParseError> {
+    let digits = token.strip_prefix('n').ok_or_else(|| {
+        err(
+            NetlistParseErrorKind::Syntax,
+            line,
+            format!("expected a net name `nN`, found `{token}`"),
+        )
+    })?;
+    let idx: usize = digits
+        .parse()
+        .ok()
+        .filter(|_| !digits.is_empty() && digits.bytes().all(|b| b.is_ascii_digit()))
+        .ok_or_else(|| {
+            err(
+                NetlistParseErrorKind::Syntax,
+                line,
+                format!("bad net index in `{token}`"),
+            )
+        })?;
+    if idx >= limits::MAX_NETS {
+        return Err(err(
+            NetlistParseErrorKind::LimitExceeded,
+            line,
+            format!(
+                "net index {idx} exceeds the cap of {} nets",
+                limits::MAX_NETS
+            ),
+        ));
+    }
+    Ok(idx)
+}
+
+fn check_ident_len(token: &str, line: usize) -> Result<(), NetlistParseError> {
+    if token.len() > limits::MAX_IDENT_BYTES {
+        return Err(err(
+            NetlistParseErrorKind::LimitExceeded,
+            line,
+            format!(
+                "identifier of {} bytes exceeds the {}-byte cap",
+                token.len(),
+                limits::MAX_IDENT_BYTES
+            ),
+        ));
+    }
+    Ok(())
+}
+
+/// `CLASS_XN` or `SRAM_WxB` → (class, drive, sram geometry).
+fn parse_cell_name(
+    name: &str,
+    line: usize,
+) -> Result<(CellClass, Drive, Option<SramConfig>), NetlistParseError> {
+    check_ident_len(name, line)?;
+    if let Some(geom) = name.strip_prefix("SRAM_") {
+        let (w, b) = geom.split_once('x').ok_or_else(|| {
+            err(
+                NetlistParseErrorKind::Unknown,
+                line,
+                format!("bad SRAM geometry in `{name}` (expected SRAM_WxB)"),
+            )
+        })?;
+        let words: u32 = w.parse().map_err(|_| {
+            err(
+                NetlistParseErrorKind::Unknown,
+                line,
+                format!("bad SRAM word count in `{name}`"),
+            )
+        })?;
+        let bits: u32 = b.parse().map_err(|_| {
+            err(
+                NetlistParseErrorKind::Unknown,
+                line,
+                format!("bad SRAM bit width in `{name}`"),
+            )
+        })?;
+        return Ok((CellClass::Sram, Drive::X1, Some(SramConfig { words, bits })));
+    }
+    let (class_str, drive_str) = name.rsplit_once('_').ok_or_else(|| {
+        err(
+            NetlistParseErrorKind::Unknown,
+            line,
+            format!("unknown cell `{name}` (expected CLASS_XN)"),
+        )
+    })?;
+    let class = class_str
+        .to_ascii_lowercase()
+        .parse::<CellClass>()
+        .map_err(|_| {
+            err(
+                NetlistParseErrorKind::Unknown,
+                line,
+                format!("unknown cell class in `{name}`"),
+            )
+        })?;
+    let drive = drive_str
+        .strip_prefix('X')
+        .and_then(|s| s.parse::<u32>().ok())
+        .and_then(Drive::from_suffix)
+        .ok_or_else(|| {
+            err(
+                NetlistParseErrorKind::Unknown,
+                line,
+                format!("unknown drive strength in `{name}`"),
+            )
+        })?;
+    if class.is_sequential() && drive != Drive::X1 {
+        return Err(err(
+            NetlistParseErrorKind::Unknown,
+            line,
+            format!("sequential cell `{name}` must be drive X1"),
+        ));
+    }
+    Ok((class, drive, None))
+}
+
+/// One parsed instance line, before cross-instance checks.
+struct ParsedCell {
+    line: usize,
+    class: CellClass,
+    drive: Drive,
+    sram: Option<SramConfig>,
+    inputs: Vec<usize>,
+    output: usize,
+    clock: Option<usize>,
+    reset: Option<usize>,
+    submodule: usize,
+}
+
+impl Design {
+    /// Parse the structural Verilog subset [`Design::to_verilog`]
+    /// emits back into a validated gate-level [`Design`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a typed [`NetlistParseError`] on any syntactic problem,
+    /// unknown cell or pin, declaration/usage mismatch, exceeded cap
+    /// (see [`limits`]), or structural failure (undriven net,
+    /// combinational cycle) — never panics, for any input.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use atlas_liberty::{CellClass, Drive};
+    /// use atlas_netlist::{Design, NetlistBuilder};
+    ///
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// let mut b = NetlistBuilder::new("rt");
+    /// let sm = b.add_submodule("top.u0", "top");
+    /// let a = b.add_input();
+    /// let y = b.add_cell(CellClass::Inv, Drive::X1, &[a], sm)?;
+    /// let q = b.add_dff(y, sm)?;
+    /// b.mark_output(q);
+    /// let d = b.finish()?;
+    /// assert_eq!(Design::from_verilog(&d.to_verilog())?, d);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn from_verilog(text: &str) -> Result<Design, NetlistParseError> {
+        if text.len() > limits::MAX_INPUT_BYTES {
+            return Err(err(
+                NetlistParseErrorKind::LimitExceeded,
+                1,
+                format!(
+                    "input of {} bytes exceeds the {}-byte cap",
+                    text.len(),
+                    limits::MAX_INPUT_BYTES
+                ),
+            ));
+        }
+
+        let mut lines = text.lines().enumerate().map(|(i, l)| (i + 1, l.trim()));
+
+        // --- module header ---------------------------------------------
+        let (header_line, header) = lines
+            .by_ref()
+            .find(|(_, l)| !l.is_empty())
+            .ok_or_else(|| err(NetlistParseErrorKind::UnexpectedEnd, 1, "empty input"))?;
+        let rest = header.strip_prefix("module ").ok_or_else(|| {
+            err(
+                NetlistParseErrorKind::Syntax,
+                header_line,
+                format!("expected `module NAME (ports);`, found `{header}`"),
+            )
+        })?;
+        let (name, ports_part) = rest.split_once('(').ok_or_else(|| {
+            err(
+                NetlistParseErrorKind::Syntax,
+                header_line,
+                "module header has no port list",
+            )
+        })?;
+        let name = name.trim();
+        check_ident_len(name, header_line)?;
+        if name.is_empty() {
+            return Err(err(
+                NetlistParseErrorKind::Syntax,
+                header_line,
+                "module has no name",
+            ));
+        }
+        let ports_part = ports_part.strip_suffix(");").ok_or_else(|| {
+            err(
+                NetlistParseErrorKind::Syntax,
+                header_line,
+                "module header must end with `);`",
+            )
+        })?;
+        let header_ports: Vec<usize> = ports_part
+            .split(',')
+            .map(str::trim)
+            .filter(|p| !p.is_empty())
+            .map(|p| net_index(p, header_line))
+            .collect::<Result<_, _>>()?;
+
+        // --- declarations and instances --------------------------------
+        let mut input_decls: Vec<usize> = Vec::new();
+        let mut output_decls: Vec<usize> = Vec::new();
+        let mut declared: HashSet<usize> = HashSet::new();
+        let mut input_set: HashSet<usize> = HashSet::new();
+        let mut wire_count = 0usize;
+        let mut submodules: Vec<(String, String)> = Vec::new();
+        let mut cells: Vec<ParsedCell> = Vec::new();
+        // Explicit `// clock nN` / `// reset nN` role markers emitted by
+        // `to_verilog`; they let a bound-but-unreferenced clock or reset
+        // survive a round trip, and instance usage must agree with them.
+        let mut marked_clock: Option<usize> = None;
+        let mut marked_reset: Option<usize> = None;
+        let mut saw_end = false;
+        // Whole-design errors (missing `endmodule`, sparse numbering,
+        // builder validation) anchor to the last line consumed, so every
+        // reported line stays 1-based.
+        let mut end_line = header_line;
+
+        for (lineno, line) in lines.by_ref() {
+            end_line = lineno;
+            if line.is_empty() {
+                continue;
+            }
+            if line == "endmodule" {
+                saw_end = true;
+                break;
+            }
+            if let Some(rest) = line.strip_prefix("// submodule ") {
+                let tokens: Vec<&str> = rest.split_whitespace().collect();
+                if tokens.len() < 3 {
+                    return Err(err(
+                        NetlistParseErrorKind::Syntax,
+                        lineno,
+                        "sub-module declaration needs `smN NAME COMPONENT`",
+                    ));
+                }
+                let idx: usize = tokens[0]
+                    .strip_prefix("sm")
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| {
+                        err(
+                            NetlistParseErrorKind::Syntax,
+                            lineno,
+                            format!("bad sub-module index `{}`", tokens[0]),
+                        )
+                    })?;
+                if idx != submodules.len() {
+                    return Err(err(
+                        NetlistParseErrorKind::Duplicate,
+                        lineno,
+                        format!(
+                            "sub-module sm{idx} declared out of order (expected sm{})",
+                            submodules.len()
+                        ),
+                    ));
+                }
+                if submodules.len() >= limits::MAX_SUBMODULES {
+                    return Err(err(
+                        NetlistParseErrorKind::LimitExceeded,
+                        lineno,
+                        format!("more than {} sub-modules", limits::MAX_SUBMODULES),
+                    ));
+                }
+                let component = tokens[tokens.len() - 1];
+                let sm_name = tokens[1..tokens.len() - 1].join(" ");
+                check_ident_len(&sm_name, lineno)?;
+                check_ident_len(component, lineno)?;
+                submodules.push((sm_name, component.to_owned()));
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix("// clock ") {
+                if marked_clock.is_some() {
+                    return Err(err(
+                        NetlistParseErrorKind::Duplicate,
+                        lineno,
+                        "duplicate `// clock` marker",
+                    ));
+                }
+                marked_clock = Some(net_index(rest.trim(), lineno)?);
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix("// reset ") {
+                if marked_reset.is_some() {
+                    return Err(err(
+                        NetlistParseErrorKind::Duplicate,
+                        lineno,
+                        "duplicate `// reset` marker",
+                    ));
+                }
+                marked_reset = Some(net_index(rest.trim(), lineno)?);
+                continue;
+            }
+            if line.starts_with("//") {
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix("input ") {
+                let idx = decl_net(rest, lineno)?;
+                if !declared.insert(idx) {
+                    return Err(dup_decl(idx, lineno));
+                }
+                input_set.insert(idx);
+                input_decls.push(idx);
+                check_net_cap(declared.len(), lineno)?;
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix("output ") {
+                let idx = decl_net(rest, lineno)?;
+                // A net may be both an input and an output (a primary
+                // input marked as a primary output); anything else
+                // redeclared is an error.
+                if declared.contains(&idx) && !input_set.contains(&idx)
+                    || output_decls.contains(&idx)
+                {
+                    return Err(dup_decl(idx, lineno));
+                }
+                declared.insert(idx);
+                output_decls.push(idx);
+                check_net_cap(declared.len(), lineno)?;
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix("wire ") {
+                let idx = decl_net(rest, lineno)?;
+                if !declared.insert(idx) {
+                    return Err(dup_decl(idx, lineno));
+                }
+                wire_count += 1;
+                check_net_cap(declared.len(), lineno)?;
+                continue;
+            }
+            // Anything else must be an instance line.
+            if cells.len() >= limits::MAX_CELLS {
+                return Err(err(
+                    NetlistParseErrorKind::LimitExceeded,
+                    lineno,
+                    format!("more than {} cell instances", limits::MAX_CELLS),
+                ));
+            }
+            cells.push(parse_instance(line, lineno, cells.len())?);
+        }
+        let _ = wire_count;
+
+        if !saw_end {
+            return Err(err(
+                NetlistParseErrorKind::UnexpectedEnd,
+                end_line,
+                "missing `endmodule`",
+            ));
+        }
+        for (lineno, line) in lines {
+            if !line.is_empty() {
+                return Err(err(
+                    NetlistParseErrorKind::Syntax,
+                    lineno,
+                    format!("unexpected text after `endmodule`: `{line}`"),
+                ));
+            }
+        }
+
+        // --- net numbering must be dense -------------------------------
+        let net_count = declared.len();
+        if let Some(&max) = declared.iter().max() {
+            if max + 1 != net_count {
+                return Err(err(
+                    NetlistParseErrorKind::BadConnection,
+                    end_line,
+                    format!(
+                        "net indices are not dense: {} nets declared but the \
+                         highest index is n{max}",
+                        net_count
+                    ),
+                ));
+            }
+        }
+
+        // --- clock/reset from markers and usage ------------------------
+        // The markers (when present) fix the roles; every `.CK`/`.RN`
+        // reference must then agree. Without markers the roles are
+        // derived from consistent usage alone.
+        let mut clock: Option<usize> = marked_clock;
+        let mut reset: Option<usize> = marked_reset;
+        for cell in &cells {
+            for (slot, found, what) in [
+                (&mut clock, cell.clock, "clock"),
+                (&mut reset, cell.reset, "reset"),
+            ] {
+                if let Some(n) = found {
+                    match *slot {
+                        None => *slot = Some(n),
+                        Some(prev) if prev == n => {}
+                        Some(prev) => {
+                            return Err(err(
+                                NetlistParseErrorKind::BadConnection,
+                                cell.line,
+                                format!(
+                                    "instance uses {what} n{n} but the design \
+                                     {what} is n{prev}"
+                                ),
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+        for (n, what) in [(clock, "clock"), (reset, "reset")] {
+            if let Some(n) = n {
+                if !input_set.contains(&n) {
+                    return Err(err(
+                        NetlistParseErrorKind::BadConnection,
+                        end_line,
+                        format!("{what} net n{n} is not declared as an input"),
+                    ));
+                }
+            }
+        }
+
+        // --- rebuild through the validated builder ---------------------
+        let mut b = NetlistBuilder::new(name);
+        let sm_count = submodules.len();
+        for (sm_name, component) in submodules {
+            b.add_submodule(sm_name, component);
+        }
+        let nets: Vec<NetId> = (0..net_count).map(|_| b.new_net()).collect();
+        if let Some(c) = clock {
+            b.bind_clock(nets[c]).map_err(|e| build_err(e, end_line))?;
+        }
+        if let Some(r) = reset {
+            b.bind_reset(nets[r]).map_err(|e| build_err(e, end_line))?;
+        }
+        for &idx in &input_decls {
+            if Some(idx) != clock && Some(idx) != reset {
+                b.mark_input(nets[idx]);
+            }
+        }
+        for cell in cells {
+            let check_net = |idx: usize| -> Result<NetId, NetlistParseError> {
+                if idx >= net_count {
+                    return Err(err(
+                        NetlistParseErrorKind::BadConnection,
+                        cell.line,
+                        format!("net n{idx} is used but never declared"),
+                    ));
+                }
+                Ok(nets[idx])
+            };
+            if cell.submodule >= sm_count {
+                return Err(err(
+                    NetlistParseErrorKind::Unknown,
+                    cell.line,
+                    format!(
+                        "instance references undeclared sub-module sm{}",
+                        cell.submodule
+                    ),
+                ));
+            }
+            if input_set.contains(&cell.output)
+                || Some(cell.output) == clock
+                || Some(cell.output) == reset
+            {
+                return Err(err(
+                    NetlistParseErrorKind::BadConnection,
+                    cell.line,
+                    format!("instance drives input net n{}", cell.output),
+                ));
+            }
+            let out = check_net(cell.output)?;
+            let inputs: Vec<NetId> = cell
+                .inputs
+                .iter()
+                .map(|&i| check_net(i))
+                .collect::<Result<_, _>>()?;
+            let sm = crate::ids::SubmoduleId::from_index(cell.submodule);
+            let built = match cell.class {
+                CellClass::Dff => b.add_dff_onto(out, inputs[0], sm),
+                CellClass::Dffr => b.add_dffr_onto(out, inputs[0], sm),
+                CellClass::Sram => {
+                    let cfg = cell.sram.unwrap_or(SramConfig { words: 0, bits: 0 });
+                    b.add_sram_onto(
+                        out, cfg.words, cfg.bits, inputs[0], inputs[1], inputs[2], inputs[3], sm,
+                    )
+                }
+                class => b.add_cell_onto(out, class, cell.drive, &inputs, sm),
+            };
+            built.map_err(|e| build_err(e, cell.line))?;
+        }
+        for idx in output_decls {
+            b.mark_output(nets[idx]);
+        }
+        let design = b.finish().map_err(|e| build_err(e, end_line))?;
+
+        // --- header port list must match the reconstruction ------------
+        let mut expected: Vec<usize> = Vec::new();
+        expected.extend(design.clock().map(|n| n.index()));
+        expected.extend(design.reset().map(|n| n.index()));
+        expected.extend(design.primary_inputs().iter().map(|n| n.index()));
+        expected.extend(design.primary_outputs().iter().map(|n| n.index()));
+        if header_ports != expected {
+            return Err(err(
+                NetlistParseErrorKind::BadConnection,
+                header_line,
+                "module port list does not match the declarations",
+            ));
+        }
+        Ok(design)
+    }
+}
+
+fn decl_net(rest: &str, line: usize) -> Result<usize, NetlistParseError> {
+    let token = rest.strip_suffix(';').map(str::trim).ok_or_else(|| {
+        err(
+            NetlistParseErrorKind::Syntax,
+            line,
+            "net declaration must end with `;`",
+        )
+    })?;
+    if token.split_whitespace().count() != 1 {
+        return Err(err(
+            NetlistParseErrorKind::Syntax,
+            line,
+            format!("expected a single net name, found `{token}`"),
+        ));
+    }
+    net_index(token, line)
+}
+
+fn dup_decl(idx: usize, line: usize) -> NetlistParseError {
+    err(
+        NetlistParseErrorKind::Duplicate,
+        line,
+        format!("net n{idx} is declared twice"),
+    )
+}
+
+fn check_net_cap(count: usize, line: usize) -> Result<(), NetlistParseError> {
+    if count > limits::MAX_NETS {
+        return Err(err(
+            NetlistParseErrorKind::LimitExceeded,
+            line,
+            format!("more than {} nets", limits::MAX_NETS),
+        ));
+    }
+    Ok(())
+}
+
+fn build_err(e: BuildError, line: usize) -> NetlistParseError {
+    let kind = match e {
+        BuildError::BadPinCount { .. } | BuildError::ConflictingBind(_) => {
+            NetlistParseErrorKind::BadConnection
+        }
+        BuildError::MultiplyDrivenNet(_) => NetlistParseErrorKind::BadConnection,
+        BuildError::UnknownSubmodule(_) => NetlistParseErrorKind::Unknown,
+        BuildError::UndrivenNet(_)
+        | BuildError::CombinationalCycle(_)
+        | BuildError::Empty
+        | BuildError::NoClock => NetlistParseErrorKind::Structure,
+    };
+    err(kind, line, e.to_string())
+}
+
+/// Parse one `CELL uN (.PIN(net), ...); // smM name` line.
+fn parse_instance(
+    line: &str,
+    lineno: usize,
+    expected_index: usize,
+) -> Result<ParsedCell, NetlistParseError> {
+    let syntax = |msg: String| err(NetlistParseErrorKind::Syntax, lineno, msg);
+
+    // Split off the trailing comment (the sub-module reference).
+    let (body, comment) = line.split_once("; //").ok_or_else(|| {
+        syntax(format!(
+            "expected an instance `CELL uN (pins); // smM NAME`, found `{line}`"
+        ))
+    })?;
+    let sm_token = comment
+        .split_whitespace()
+        .next()
+        .ok_or_else(|| syntax("instance comment is missing its sub-module reference".to_owned()))?;
+    let submodule: usize = sm_token
+        .strip_prefix("sm")
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| syntax(format!("bad sub-module reference `{sm_token}`")))?;
+
+    let (head, pins_part) = body
+        .split_once('(')
+        .ok_or_else(|| syntax(format!("instance has no pin list: `{body}`")))?;
+    let pins_part = pins_part
+        .strip_suffix(')')
+        .ok_or_else(|| syntax("instance pin list must end with `)`".to_owned()))?;
+    let mut head_tokens = head.split_whitespace();
+    let cell_name = head_tokens
+        .next()
+        .ok_or_else(|| syntax("instance has no cell name".to_owned()))?;
+    let inst_name = head_tokens
+        .next()
+        .ok_or_else(|| syntax("instance has no instance name".to_owned()))?;
+    if head_tokens.next().is_some() {
+        return Err(syntax(format!(
+            "unexpected tokens before the pin list: `{head}`"
+        )));
+    }
+    let inst_index: usize = inst_name
+        .strip_prefix('u')
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| syntax(format!("bad instance name `{inst_name}` (expected uN)")))?;
+    if inst_index != expected_index {
+        return Err(err(
+            NetlistParseErrorKind::Duplicate,
+            lineno,
+            format!("instance u{inst_index} out of order (expected u{expected_index})"),
+        ));
+    }
+
+    let (class, drive, sram) = parse_cell_name(cell_name, lineno)?;
+    let n_inputs = class.input_pins();
+    let mut inputs: Vec<Option<usize>> = vec![None; n_inputs];
+    let mut clock: Option<usize> = None;
+    let mut reset: Option<usize> = None;
+    let mut output: Option<usize> = None;
+
+    for pin in pins_part.split(',') {
+        let pin = pin.trim();
+        let (pin_name, net_part) = pin
+            .strip_suffix(')')
+            .and_then(|p| p.split_once('('))
+            .and_then(|(n, v)| n.strip_prefix('.').map(|n| (n, v)))
+            .ok_or_else(|| syntax(format!("bad pin `{pin}` (expected .PIN(net))")))?;
+        let net = net_index(net_part.trim(), lineno)?;
+        let input_slot = if class == CellClass::Sram {
+            ["REN", "WEN", "ADDR", "DATA"]
+                .iter()
+                .position(|&n| n == pin_name)
+        } else {
+            match pin_name.as_bytes() {
+                [c @ b'A'..=b'D'] => Some((c - b'A') as usize),
+                _ => None,
+            }
+        };
+        let conn = |slot: &mut Option<usize>| -> Result<(), NetlistParseError> {
+            if slot.replace(net).is_some() {
+                return Err(err(
+                    NetlistParseErrorKind::BadConnection,
+                    lineno,
+                    format!("pin `.{pin_name}` connected twice"),
+                ));
+            }
+            Ok(())
+        };
+        match (input_slot, pin_name) {
+            (Some(slot), _) if slot < n_inputs => conn(&mut inputs[slot])?,
+            (None, "CK") if class.is_sequential() => conn(&mut clock)?,
+            (None, "RN") if class == CellClass::Dffr => conn(&mut reset)?,
+            (None, "Y") => conn(&mut output)?,
+            _ => {
+                return Err(err(
+                    NetlistParseErrorKind::Unknown,
+                    lineno,
+                    format!("pin `.{pin_name}` is not valid on a {} cell", class),
+                ));
+            }
+        }
+    }
+
+    let inputs: Vec<usize> = inputs
+        .into_iter()
+        .enumerate()
+        .map(|(i, slot)| {
+            slot.ok_or_else(|| {
+                err(
+                    NetlistParseErrorKind::BadConnection,
+                    lineno,
+                    format!("instance u{inst_index} is missing input pin {i}"),
+                )
+            })
+        })
+        .collect::<Result<_, _>>()?;
+    let output = output.ok_or_else(|| {
+        err(
+            NetlistParseErrorKind::BadConnection,
+            lineno,
+            format!("instance u{inst_index} has no output pin `.Y`"),
+        )
+    })?;
+    if class.is_sequential() && clock.is_none() {
+        return Err(err(
+            NetlistParseErrorKind::BadConnection,
+            lineno,
+            format!("sequential instance u{inst_index} has no `.CK` pin"),
+        ));
+    }
+    if class == CellClass::Dffr && reset.is_none() {
+        return Err(err(
+            NetlistParseErrorKind::BadConnection,
+            lineno,
+            format!("DFFR instance u{inst_index} has no `.RN` pin"),
+        ));
+    }
+
+    Ok(ParsedCell {
+        line: lineno,
+        class,
+        drive,
+        sram,
+        inputs,
+        output,
+        clock,
+        reset,
+        submodule,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::NetlistBuilder;
+
+    fn demo_design() -> Design {
+        let mut b = NetlistBuilder::new("demo");
+        let sm0 = b.add_submodule("top.u0", "top");
+        let sm1 = b.add_submodule("top.u1", "top");
+        let a = b.add_input();
+        let c = b.add_input();
+        let x = b
+            .add_cell(CellClass::Nand2, Drive::X2, &[a, c], sm0)
+            .expect("ok");
+        let q = b.add_dffr(x, sm0).expect("ok");
+        let ren = b.add_input();
+        let wen = b.add_input();
+        let addr = b.add_input();
+        let m = b.add_sram(256, 32, ren, wen, addr, q, sm1).expect("ok");
+        let y = b
+            .add_cell(CellClass::Xor2, Drive::X1, &[q, m], sm1)
+            .expect("ok");
+        b.mark_output(y);
+        b.finish().expect("valid")
+    }
+
+    #[test]
+    fn roundtrip_is_exact() {
+        let d = demo_design();
+        let v = d.to_verilog();
+        let back = Design::from_verilog(&v).expect("parses");
+        assert_eq!(back, d);
+        // And the round-trip is a fixed point of the writer too.
+        assert_eq!(back.to_verilog(), v);
+    }
+
+    #[test]
+    fn pi_marked_as_po_roundtrips() {
+        let mut b = NetlistBuilder::new("pipo");
+        let sm = b.add_submodule("t.u", "t");
+        let a = b.add_input();
+        let y = b.add_cell(CellClass::Buf, Drive::X1, &[a], sm).expect("ok");
+        b.mark_output(a);
+        b.mark_output(y);
+        let d = b.finish().expect("valid");
+        let back = Design::from_verilog(&d.to_verilog()).expect("parses");
+        assert_eq!(back, d);
+    }
+
+    #[test]
+    fn truncation_and_garbage_are_typed_errors() {
+        let v = demo_design().to_verilog();
+        // Every strict prefix must fail (the full text parses).
+        let cut = &v[..v.len() / 2];
+        assert!(Design::from_verilog(cut).is_err());
+        assert_eq!(
+            Design::from_verilog("").expect_err("empty").kind(),
+            NetlistParseErrorKind::UnexpectedEnd
+        );
+        assert_eq!(
+            Design::from_verilog("not verilog at all")
+                .expect_err("junk")
+                .kind(),
+            NetlistParseErrorKind::Syntax
+        );
+        let trailing = format!("{v}\nmodule again ();");
+        assert_eq!(
+            Design::from_verilog(&trailing)
+                .expect_err("trailing")
+                .kind(),
+            NetlistParseErrorKind::Syntax
+        );
+    }
+
+    #[test]
+    fn huge_claimed_net_index_is_capped_not_allocated() {
+        // A header claiming a ~4-billion-net module must fail on the cap,
+        // not by allocating.
+        let v = "module bomb (n4000000000);\n  input n4000000000;\nendmodule\n";
+        let e = Design::from_verilog(v).expect_err("capped");
+        assert_eq!(e.kind(), NetlistParseErrorKind::LimitExceeded);
+    }
+
+    #[test]
+    fn sparse_net_indices_are_rejected() {
+        let v = "module gap (n0, n9);\n  input n0;\n  input n9;\n\
+                   // submodule sm0 t.u t\n  INV_X1 u0 (.A(n0), .Y(n9)); // sm0 t.u\nendmodule\n";
+        let e = Design::from_verilog(v).expect_err("sparse");
+        assert_eq!(e.kind(), NetlistParseErrorKind::BadConnection);
+    }
+
+    #[test]
+    fn driving_an_input_is_rejected() {
+        let v = "module bad (n0, n1);\n  input n0;\n  input n1;\n\
+                   // submodule sm0 t.u t\n  INV_X1 u0 (.A(n0), .Y(n1)); // sm0 t.u\nendmodule\n";
+        let e = Design::from_verilog(v).expect_err("drives input");
+        assert_eq!(e.kind(), NetlistParseErrorKind::BadConnection);
+    }
+
+    #[test]
+    fn inconsistent_clock_is_rejected() {
+        let v = "module clk2 (n0, n1, n2, n3, n4, n5);\n\
+                   input n0;\n  input n1;\n  input n2;\n  input n3;\n\
+                   output n4;\n  output n5;\n\
+                   // submodule sm0 t.u t\n\
+                   DFF_X1 u0 (.A(n2), .CK(n0), .Y(n4)); // sm0 t.u\n\
+                   DFF_X1 u1 (.A(n3), .CK(n1), .Y(n5)); // sm0 t.u\n\
+                 endmodule\n";
+        let e = Design::from_verilog(v).expect_err("two clocks");
+        assert_eq!(e.kind(), NetlistParseErrorKind::BadConnection);
+    }
+
+    #[test]
+    fn unknown_cells_and_pins_are_rejected() {
+        let base = "module u (n0, n1);\n  input n0;\n  output n1;\n  // submodule sm0 t.u t\n";
+        for inst in [
+            "  FROB_X1 u0 (.A(n0), .Y(n1)); // sm0 t.u\n",
+            "  INV_X9 u0 (.A(n0), .Y(n1)); // sm0 t.u\n",
+            "  INV_X1 u0 (.Q(n0), .Y(n1)); // sm0 t.u\n",
+            "  DFF_X2 u0 (.A(n0), .CK(n0), .Y(n1)); // sm0 t.u\n",
+            "  SRAM_12 u0 (.REN(n0), .Y(n1)); // sm0 t.u\n",
+        ] {
+            let v = format!("{base}{inst}endmodule\n");
+            let e = Design::from_verilog(&v).expect_err(inst);
+            assert_eq!(e.kind(), NetlistParseErrorKind::Unknown, "{inst}");
+        }
+    }
+
+    #[test]
+    fn combinational_cycle_is_a_structure_error() {
+        let v = "module loopy (n0, n3);\n  input n0;\n  output n3;\n  wire n1;\n  wire n2;\n\
+                   // submodule sm0 t.u t\n\
+                   AND2_X1 u0 (.A(n0), .B(n2), .Y(n1)); // sm0 t.u\n\
+                   INV_X1 u1 (.A(n1), .Y(n2)); // sm0 t.u\n\
+                   BUF_X1 u2 (.A(n1), .Y(n3)); // sm0 t.u\n\
+                 endmodule\n";
+        let e = Design::from_verilog(v).expect_err("cycle");
+        assert_eq!(e.kind(), NetlistParseErrorKind::Structure);
+    }
+
+    #[test]
+    fn port_list_mismatch_is_rejected() {
+        let d = demo_design();
+        let v = d.to_verilog();
+        // Swap the first two ports in the header only.
+        let (head, rest) = v.split_once('\n').expect("has header");
+        let swapped = head
+            .replacen("n0", "nX", 1)
+            .replacen("n1", "n0", 1)
+            .replacen("nX", "n1", 1);
+        let e = Design::from_verilog(&format!("{swapped}\n{rest}")).expect_err("mismatch");
+        assert_eq!(e.kind(), NetlistParseErrorKind::BadConnection);
+    }
+}

@@ -1,8 +1,16 @@
 //! Structural Verilog-style netlist writer (debug/interchange aid).
 //!
 //! Emits one flat module with library-cell instances. The output is
-//! readable by humans and by structural netlist viewers; it is not meant
-//! to round-trip through a full Verilog parser.
+//! readable by humans and by structural netlist viewers, and the exact
+//! emitted subset is read back by [`Design::from_verilog`] (see
+//! `reader.rs`), which is how the serve layer ingests uploaded designs.
+//! Sub-module declarations ride in `// submodule smN name component`
+//! comment lines, each instance comment carries its sub-module index,
+//! and `// clock nN` / `// reset nN` markers record the bound clock and
+//! reset nets, so the two-level hierarchy (including duplicate names and
+//! declaration order) and the net roles reconstruct exactly. Names
+//! containing whitespace do not round-trip — they are written verbatim
+//! and the reader splits on whitespace.
 
 use std::fmt::Write as _;
 
@@ -47,6 +55,15 @@ impl Design {
         ports.extend(self.primary_outputs().iter().map(|&n| net_name(n)));
 
         let _ = writeln!(out, "module {} ({});", self.name, ports.join(", "));
+        // Explicit role markers: the reader needs these to reconstruct a
+        // bound clock/reset that no instance happens to reference (it
+        // still cross-checks them against `.CK`/`.RN` usage).
+        if let Some(clk) = self.clock() {
+            let _ = writeln!(out, "  // clock {}", net_name(clk));
+        }
+        if let Some(rst) = self.reset() {
+            let _ = writeln!(out, "  // reset {}", net_name(rst));
+        }
         if let Some(clk) = self.clock() {
             let _ = writeln!(out, "  input {};", net_name(clk));
         }
@@ -72,11 +89,18 @@ impl Design {
                 let _ = writeln!(out, "  wire {};", net_name(id));
             }
         }
+        for (i, sm) in self.submodules().iter().enumerate() {
+            let _ = writeln!(out, "  // submodule sm{i} {} {}", sm.name(), sm.component());
+        }
 
         const PIN_NAMES: [&str; 4] = ["A", "B", "C", "D"];
         for (i, cell) in self.cells().iter().enumerate() {
             let cell_name = if cell.class() == CellClass::Sram {
-                let cfg = cell.sram().expect("sram cells carry a config");
+                // Every builder path stores a config with an SRAM cell;
+                // degrade to 0x0 rather than panic if one is absent.
+                let cfg = cell
+                    .sram()
+                    .unwrap_or(crate::cell::SramConfig { words: 0, bits: 0 });
                 format!("SRAM_{}x{}", cfg.words, cfg.bits)
             } else {
                 format!("{}_{}", cell.class().keyword().to_uppercase(), cell.drive())
@@ -99,8 +123,13 @@ impl Design {
                 pins.push(format!(".RN({})", net_name(rst)));
             }
             pins.push(format!(".Y({})", net_name(cell.output())));
+            let sm_idx = cell.submodule().index();
             let sm = self.submodule(cell.submodule()).name();
-            let _ = writeln!(out, "  {cell_name} u{i} ({}); // {sm}", pins.join(", "));
+            let _ = writeln!(
+                out,
+                "  {cell_name} u{i} ({}); // sm{sm_idx} {sm}",
+                pins.join(", ")
+            );
         }
         out.push_str("endmodule\n");
         out

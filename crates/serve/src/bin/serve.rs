@@ -280,6 +280,14 @@ fn answer(service: &AtlasService, line: &str) -> String {
                 Err(e) => protocol::render_result(&Err((req.id, e))),
             }
         }
+        Ok(RequestLine::LoadDesign(req)) => match service.load_design(&req.name, &req.verilog) {
+            Ok(design) => protocol::render_line(&protocol::LoadDesignResponse {
+                id: req.id,
+                verb: "load_design".to_owned(),
+                design,
+            }),
+            Err(e) => protocol::render_result(&Err((req.id, e))),
+        },
         Err(e) => protocol::render_result(&Err((protocol::salvage_id(line), e))),
     }
 }

@@ -29,6 +29,9 @@ pub enum ServeError {
     Simulation(String),
     /// A model registry operation failed.
     Registry(String),
+    /// An uploaded design body failed to parse. The message carries the
+    /// parser's typed diagnostic (kind, line, and offending token).
+    ParseError(String),
     /// The service is shutting down or a worker died.
     Shutdown,
 }
@@ -44,6 +47,7 @@ impl ServeError {
             ServeError::QuotaExceeded(_) => "quota_exceeded",
             ServeError::Simulation(_) => "simulation",
             ServeError::Registry(_) => "registry",
+            ServeError::ParseError(_) => "parse_error",
             ServeError::Shutdown => "shutdown",
         }
     }
@@ -62,6 +66,7 @@ impl fmt::Display for ServeError {
             ),
             ServeError::Simulation(msg) => write!(f, "simulation failed: {msg}"),
             ServeError::Registry(msg) => write!(f, "registry error: {msg}"),
+            ServeError::ParseError(msg) => write!(f, "design failed to parse: {msg}"),
             ServeError::Shutdown => write!(f, "service is shut down"),
         }
     }
@@ -111,6 +116,7 @@ mod tests {
             ServeError::UnknownModel("m".into()).to_string(),
             "unknown model `m`"
         );
+        assert_eq!(ServeError::ParseError("x".into()).kind(), "parse_error");
         assert_eq!(ServeError::Shutdown.kind(), "shutdown");
     }
 

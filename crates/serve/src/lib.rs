@@ -28,8 +28,8 @@
 //! * [`protocol`] — the JSON-lines request/response wire format spoken
 //!   over stdin/stdout or TCP by the `serve` binary: the `predict`,
 //!   `stats`, `models`, `load_model`, `unload_model`,
-//!   `register_workload`, and `workloads` verbs (full reference in
-//!   `docs/PROTOCOL.md`);
+//!   `register_workload`, `workloads`, and `load_design` verbs (full
+//!   reference in `docs/PROTOCOL.md`);
 //! * [`error`] — typed errors ([`ServeError`]) replacing the panics of
 //!   the batch drivers.
 //!
@@ -86,14 +86,15 @@ pub mod service;
 pub use cache::{CacheStats, LruCache};
 pub use error::ServeError;
 pub use protocol::{
-    ErrorResponse, GroupSummary, LoadModelRequest, LoadModelResponse, ModelsResponse,
-    PredictRequest, PredictResponse, RegisterWorkloadRequest, RegisterWorkloadResponse,
-    RequestLine, StatsResponse, UnloadModelRequest, UnloadModelResponse, WorkloadsResponse,
+    ErrorResponse, GroupSummary, LoadDesignRequest, LoadDesignResponse, LoadModelRequest,
+    LoadModelResponse, ModelsResponse, PredictRequest, PredictResponse, RegisterWorkloadRequest,
+    RegisterWorkloadResponse, RequestLine, StatsResponse, UnloadModelRequest, UnloadModelResponse,
+    WorkloadsResponse,
 };
 pub use quota::{Admission, QuotaGate};
 pub use reactor::{Reactor, ReactorConfig, ReactorHandle, ReactorStats};
 pub use registry::{ModelCatalog, ModelRegistry, RegistryError, SavedModel, FORMAT_VERSION};
 pub use service::{
-    parse_workload_journal, render_journal_entry, AtlasService, ModelInfo, ModelStats,
+    parse_workload_journal, render_journal_entry, AtlasService, DesignInfo, ModelInfo, ModelStats,
     RegisteredWorkload, Reply, ServiceConfig, ServiceStats, WorkloadJournalEntry,
 };

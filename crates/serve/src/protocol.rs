@@ -17,8 +17,8 @@
 //!
 //! A line with a `verb` field is dispatched by verb (`"predict"`,
 //! `"stats"`, `"models"`, `"load_model"`, `"unload_model"`,
-//! `"register_workload"`, `"workloads"`); a line without one is a
-//! predict request. Predict requests may address a
+//! `"register_workload"`, `"workloads"`, `"load_design"`); a line
+//! without one is a predict request. Predict requests may address a
 //! specific hosted model via [`PredictRequest::model`] and may carry
 //! their workload three ways: a preset name in `workload`, an inline
 //! phase schedule in `phases`, or the name of a server-registered
@@ -31,7 +31,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::cache::CacheStats;
 use crate::error::ServeError;
-use crate::service::{ModelInfo, ModelStats, RegisteredWorkload, ServiceStats};
+use crate::service::{DesignInfo, ModelInfo, ModelStats, RegisteredWorkload, ServiceStats};
 
 /// One prediction request: which design, under which workload, for how
 /// many cycles — and optionally on which hosted model.
@@ -130,6 +130,24 @@ pub struct RegisterWorkloadRequest {
     pub phases: Vec<WorkloadPhase>,
 }
 
+/// The `load_design` verb body: upload a structural-Verilog netlist and
+/// store it server-side under `name`, making it referenceable from any
+/// later predict request's `design` field — by any client, on any
+/// hosted model. The body is parsed by the hardened
+/// `Design::from_verilog` reader under explicit size caps; a body that
+/// fails to parse yields a structured `parse_error` reply.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LoadDesignRequest {
+    /// Client-chosen correlation id, echoed in the response.
+    pub id: Option<u64>,
+    /// Library name to store the design under. Must not shadow a preset
+    /// design name.
+    pub name: String,
+    /// The netlist body: the structural-Verilog subset
+    /// `Design::to_verilog` emits.
+    pub verilog: String,
+}
+
 /// The `load_model` verb body: add a model file to the live catalog
 /// under a serving name, without restarting the service. The file is
 /// validated exactly like a startup `--model` spec (format version +
@@ -177,6 +195,8 @@ pub enum RequestLine {
     UnloadModel(UnloadModelRequest),
     /// A workload registration (`"verb":"register_workload"`).
     RegisterWorkload(RegisterWorkloadRequest),
+    /// A netlist upload (`"verb":"load_design"`).
+    LoadDesign(LoadDesignRequest),
     /// A workload-library listing request (`"verb":"workloads"`).
     Workloads {
         /// Client-chosen correlation id, echoed in the response.
@@ -298,6 +318,17 @@ pub struct RegisterWorkloadResponse {
     /// fingerprint, so entries for the old schedule can never answer
     /// requests for the new one.
     pub replaced: bool,
+}
+
+/// The reply to a successful `load_design` verb.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LoadDesignResponse {
+    /// Echo of the request id.
+    pub id: Option<u64>,
+    /// Always `"load_design"`.
+    pub verb: String,
+    /// The stored design: name, size, and content fingerprint.
+    pub design: DesignInfo,
 }
 
 /// The reply to a `workloads` verb: the preset vocabulary plus every
@@ -508,6 +539,9 @@ pub fn parse_line(line: &str) -> Result<RequestLine, ServeError> {
         Some("register_workload") => RegisterWorkloadRequest::from_value(&value)
             .map(RequestLine::RegisterWorkload)
             .map_err(|e| bad(format!("bad register_workload line: {e}"))),
+        Some("load_design") => LoadDesignRequest::from_value(&value)
+            .map(RequestLine::LoadDesign)
+            .map_err(|e| bad(format!("bad load_design line: {e}"))),
         Some(other) => Err(bad(format!("unknown verb `{other}`"))),
     }
 }
@@ -691,6 +725,25 @@ mod tests {
         assert_eq!(salvage_id(r#"{"id":6,"verb":"flush"}"#), Some(6));
         assert_eq!(salvage_id(r#"{"verb":"flush"}"#), None);
         assert_eq!(salvage_id("not json"), None);
+    }
+
+    #[test]
+    fn load_design_lines_parse() {
+        assert_eq!(
+            parse_line(
+                r#"{"verb":"load_design","id":9,"name":"up","verilog":"module x (n0);\n  input n0;\nendmodule\n"}"#
+            ),
+            Ok(RequestLine::LoadDesign(LoadDesignRequest {
+                id: Some(9),
+                name: "up".into(),
+                verilog: "module x (n0);\n  input n0;\nendmodule\n".into(),
+            }))
+        );
+        // An upload without a name or body is a typed error.
+        assert!(matches!(
+            parse_line(r#"{"verb":"load_design","id":9}"#),
+            Err(ServeError::InvalidRequest(_))
+        ));
     }
 
     #[test]

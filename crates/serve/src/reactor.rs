@@ -696,11 +696,12 @@ impl Loop {
     }
 
     /// Route one request line: predictions to the worker pool; `stats`,
-    /// `models`, `load_model`, `unload_model`, `register_workload`, and
-    /// `workloads` answered inline (they are counter snapshots or rare
-    /// control-plane mutations and never need a worker — `load_model`
-    /// does read a model file on the reactor thread, an accepted cost
-    /// for an operator-frequency verb); parse errors answered inline.
+    /// `models`, `load_model`, `unload_model`, `register_workload`,
+    /// `workloads`, and `load_design` answered inline (they are counter
+    /// snapshots or rare control-plane mutations and never need a worker
+    /// — `load_model` does read a model file and `load_design` does
+    /// parse a size-capped netlist on the reactor thread, an accepted
+    /// cost for operator-frequency verbs); parse errors answered inline.
     fn dispatch(&mut self, token: u64, line: &str) {
         match protocol::parse_line(line) {
             Ok(RequestLine::Predict(request)) => {
@@ -766,6 +767,17 @@ impl Loop {
                             replaced,
                         })
                     }
+                    Err(e) => protocol::render_result(&Err((req.id, e))),
+                };
+                self.queue_line(token, line);
+            }
+            Ok(RequestLine::LoadDesign(req)) => {
+                let line = match self.service.load_design(&req.name, &req.verilog) {
+                    Ok(design) => protocol::render_line(&protocol::LoadDesignResponse {
+                        id: req.id,
+                        verb: "load_design".to_owned(),
+                        design,
+                    }),
                     Err(e) => protocol::render_result(&Err((req.id, e))),
                 };
                 self.queue_line(token, line);
@@ -1209,6 +1221,117 @@ mod tests {
 
         handle.shutdown().expect("clean shutdown");
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// The `load_design` verb over the wire: malformed bodies are
+    /// structured `parse_error` replies (id preserved), oversize bodies
+    /// are refused before parsing, duplicates are rejected, and a design
+    /// uploaded over TCP predicts bit-identically to the same design
+    /// loaded in-process.
+    #[test]
+    fn load_design_verb_over_the_wire() {
+        use atlas_liberty::{CellClass, Drive};
+        use atlas_netlist::NetlistBuilder;
+
+        let (model, cfg) = micro_trained();
+        let service = Arc::new(AtlasService::start_with(
+            model,
+            cfg,
+            ServiceConfig {
+                workers: 2,
+                max_design_bytes: 4096,
+                ..ServiceConfig::default()
+            },
+        ));
+        let mut b = NetlistBuilder::new("wired");
+        let sm = b.add_submodule("top.u0", "top");
+        let a = b.add_input();
+        let c = b.add_input();
+        let x = b
+            .add_cell(CellClass::Nor2, Drive::X1, &[a, c], sm)
+            .expect("ok");
+        let q = b.add_dff(x, sm).expect("ok");
+        b.mark_output(q);
+        let design = b.finish().expect("valid");
+        let verilog = design.to_verilog();
+        let body = serde_json::to_string(&verilog).expect("escapes");
+
+        let handle = spawn_reactor(Arc::clone(&service), ReactorConfig::default());
+        let mut stream = TcpStream::connect(handle.addr()).expect("connects");
+        let mut reader = BufReader::new(stream.try_clone().expect("clones"));
+
+        // A body that fails to parse is a structured parse_error with the
+        // request id echoed — never a connection teardown.
+        send_line(
+            &mut stream,
+            r#"{"id":40,"verb":"load_design","name":"junk","verilog":"not a netlist"}"#,
+        );
+        let err = read_line(&mut reader);
+        assert!(err.contains("\"kind\":\"parse_error\""), "got: {err}");
+        assert!(err.contains("\"id\":40"), "got: {err}");
+
+        // An oversize body is refused before parsing (the cap here is
+        // below the reactor's line limit, so the refusal is the
+        // service's, with the id preserved).
+        let oversize =
+            serde_json::to_string(&format!("{verilog}{}", "/".repeat(4096))).expect("escapes");
+        send_line(
+            &mut stream,
+            &format!(r#"{{"id":41,"verb":"load_design","name":"big","verilog":{oversize}}}"#),
+        );
+        let err = read_line(&mut reader);
+        assert!(err.contains("\"kind\":\"invalid_request\""), "got: {err}");
+        assert!(err.contains("\"id\":41"), "got: {err}");
+        assert!(err.contains("bytes"), "got: {err}");
+
+        // A valid upload is acknowledged with the stored identity.
+        send_line(
+            &mut stream,
+            &format!(r#"{{"id":42,"verb":"load_design","name":"wired","verilog":{body}}}"#),
+        );
+        let loaded: crate::protocol::LoadDesignResponse =
+            serde_json::from_str(&read_line(&mut reader)).expect("load_design parses");
+        assert_eq!(loaded.id, Some(42));
+        assert_eq!(loaded.design.name, "wired");
+        assert_eq!(loaded.design.cells, design.cell_count());
+        assert_eq!(loaded.design.nets, design.net_count());
+
+        // Duplicate names are rejected, never replaced.
+        send_line(
+            &mut stream,
+            &format!(r#"{{"id":43,"verb":"load_design","name":"wired","verilog":{body}}}"#),
+        );
+        let err = read_line(&mut reader);
+        assert!(err.contains("\"kind\":\"invalid_request\""), "got: {err}");
+        assert!(err.contains("\"id\":43"), "got: {err}");
+        assert!(err.contains("already loaded"), "got: {err}");
+
+        // The uploaded design predicts over the wire...
+        send_line(
+            &mut stream,
+            r#"{"id":44,"design":"wired","workload":"W1","cycles":6}"#,
+        );
+        let uploaded: PredictResponse =
+            serde_json::from_str(&read_line(&mut reader)).expect("uploaded predict parses");
+        assert_eq!(uploaded.id, Some(44));
+        assert_eq!(uploaded.design, "wired");
+        assert!(uploaded.mean_total_w > 0.0);
+
+        // ... bit-identically to the same design loaded in-process.
+        let local = service
+            .load_design_parsed("local", design)
+            .expect("in-process load");
+        assert_eq!(local.fingerprint, loaded.design.fingerprint);
+        send_line(
+            &mut stream,
+            r#"{"id":45,"design":"local","workload":"W1","cycles":6}"#,
+        );
+        let inproc: PredictResponse =
+            serde_json::from_str(&read_line(&mut reader)).expect("in-process predict parses");
+        assert_eq!(inproc.per_cycle_total_w, uploaded.per_cycle_total_w);
+        assert_eq!(inproc.mean_total_w, uploaded.mean_total_w);
+
+        handle.shutdown().expect("clean shutdown");
     }
 
     #[test]

@@ -100,6 +100,12 @@ pub struct ServiceConfig {
     pub max_phases: usize,
     /// Upper bound on schedules in the server-side workload library.
     pub max_registered_workloads: usize,
+    /// Upper bound on the byte size of one `load_design` upload body
+    /// (the structural-Verilog text). Oversize uploads are refused with
+    /// a structured `invalid_request` before parsing.
+    pub max_design_bytes: usize,
+    /// Upper bound on designs in the server-side design library.
+    pub max_designs: usize,
     /// Threads used *inside* one request's embedding stage. Kept low by
     /// default because concurrency comes from the worker pool.
     pub embed_threads: usize,
@@ -136,6 +142,8 @@ impl Default for ServiceConfig {
             max_cycles: 4096,
             max_phases: 64,
             max_registered_workloads: 1024,
+            max_design_bytes: 2 << 20,
+            max_designs: 64,
             embed_threads: 1,
             model_quotas: HashMap::new(),
             max_queued_per_model: 1024,
@@ -185,6 +193,23 @@ pub struct RegisteredWorkload {
     pub phases: usize,
     /// Schedule fingerprint — the cache-key component, so clients can
     /// correlate registry state with cache behavior.
+    pub fingerprint: u64,
+}
+
+/// One uploaded design of the design library, as reported by the
+/// `load_design` verb.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DesignInfo {
+    /// Library name (the `design` field of requests using it).
+    pub name: String,
+    /// Cell instances in the stored netlist.
+    pub cells: usize,
+    /// Nets in the stored netlist.
+    pub nets: usize,
+    /// FNV-1a fingerprint of the netlist's canonical structural-Verilog
+    /// rendering — identical whether the design arrived over the wire or
+    /// was loaded in-process, and used as the workload seed so the two
+    /// routes predict bit-identically.
     pub fingerprint: u64,
 }
 
@@ -346,6 +371,24 @@ struct StoredWorkload {
     fingerprint: u64,
 }
 
+/// A netlist stored in the design library (the `load_design` verb).
+struct UploadedDesign {
+    design: Design,
+    fingerprint: u64,
+}
+
+/// Stable FNV-1a fingerprint of a design's canonical structural-Verilog
+/// rendering. Computed from `to_verilog` (not the uploaded bytes), so an
+/// upload and an in-process load of the same netlist always agree.
+fn design_fingerprint(design: &Design) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in design.to_verilog().bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
 /// One line of the workload journal ([`ServiceConfig::workload_file`]):
 /// a registered schedule with its fingerprint, so replay can detect a
 /// journal whose schedule bytes were edited after the fact.
@@ -408,6 +451,11 @@ struct Shared {
     /// unloaded, so borrowing its config out of the service is safe.
     default_state: Arc<ModelState>,
     workloads: Mutex<HashMap<String, StoredWorkload>>,
+    /// The design library: netlists uploaded via `load_design`,
+    /// referenceable from any request's `design` field (presets win on a
+    /// name collision, but uploads shadowing a preset are rejected at
+    /// load time, so a collision cannot occur).
+    designs: Mutex<HashMap<String, Arc<UploadedDesign>>>,
     /// Open append handle of the workload journal, when configured.
     journal: Mutex<Option<std::fs::File>>,
     cfg: ServiceConfig,
@@ -561,6 +609,7 @@ impl AtlasService {
             default_model,
             default_state,
             workloads: Mutex::new(workloads),
+            designs: Mutex::new(HashMap::new()),
             journal: Mutex::new(journal),
             requests: AtomicU64::new(0),
             errors: AtomicU64::new(0),
@@ -827,6 +876,109 @@ impl AtlasService {
         all
     }
 
+    /// Parse a structural-Verilog body with the hardened
+    /// [`Design::from_verilog`] reader and store it in the design
+    /// library under `name`, making it referenceable from any later
+    /// predict request's `design` field — the wire verb `load_design`.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::InvalidRequest`] for a bad name (empty, too long,
+    /// non `[A-Za-z0-9._-]`, starting with `.`, or shadowing a preset
+    /// design), a body over [`ServiceConfig::max_design_bytes`], a full
+    /// library, or a name already loaded (uploads are never replaced:
+    /// per-model design caches are keyed by name, so replacement could
+    /// serve stale artifacts); [`ServeError::ParseError`] when the body
+    /// fails to parse (the message carries the reader's typed
+    /// diagnostic).
+    pub fn load_design(&self, name: &str, verilog: &str) -> Result<DesignInfo, ServeError> {
+        if verilog.len() > self.shared.cfg.max_design_bytes {
+            return Err(ServeError::InvalidRequest(format!(
+                "design body of {} bytes exceeds the service limit {}",
+                verilog.len(),
+                self.shared.cfg.max_design_bytes
+            )));
+        }
+        let design =
+            Design::from_verilog(verilog).map_err(|e| ServeError::ParseError(e.to_string()))?;
+        self.load_design_parsed(name, design)
+    }
+
+    /// Store an already-built [`Design`] in the design library under
+    /// `name` — the in-process twin of [`AtlasService::load_design`].
+    /// The stored fingerprint (and therefore the workload seed) is
+    /// computed from the design's canonical `to_verilog` rendering, so
+    /// predictions are bit-identical whichever route loaded it.
+    ///
+    /// # Errors
+    ///
+    /// The same name/library errors as [`AtlasService::load_design`].
+    pub fn load_design_parsed(&self, name: &str, design: Design) -> Result<DesignInfo, ServeError> {
+        let bad = |msg: String| ServeError::InvalidRequest(msg);
+        let name_ok = !name.is_empty()
+            && name.len() <= 64
+            && !name.starts_with('.')
+            && name
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || matches!(c, '-' | '_' | '.'));
+        if !name_ok {
+            return Err(bad(format!(
+                "bad design name `{name}`: 1-64 chars of [A-Za-z0-9._-], not starting with `.`"
+            )));
+        }
+        if self
+            .shared
+            .default_state
+            .experiment
+            .try_design(name)
+            .is_ok()
+        {
+            return Err(bad(format!(
+                "design name `{name}` shadows a built-in preset"
+            )));
+        }
+        let info = DesignInfo {
+            name: name.to_owned(),
+            cells: design.cell_count(),
+            nets: design.net_count(),
+            fingerprint: design_fingerprint(&design),
+        };
+        let mut library = self.shared.designs.lock().expect("design lock");
+        if library.contains_key(name) {
+            return Err(bad(format!("design `{name}` is already loaded")));
+        }
+        if library.len() >= self.shared.cfg.max_designs {
+            return Err(bad(format!(
+                "design library is full ({} designs)",
+                library.len()
+            )));
+        }
+        library.insert(
+            name.to_owned(),
+            Arc::new(UploadedDesign {
+                design,
+                fingerprint: info.fingerprint,
+            }),
+        );
+        Ok(info)
+    }
+
+    /// Every uploaded design, sorted by name.
+    pub fn designs(&self) -> Vec<DesignInfo> {
+        let library = self.shared.designs.lock().expect("design lock");
+        let mut all: Vec<DesignInfo> = library
+            .iter()
+            .map(|(name, d)| DesignInfo {
+                name: name.clone(),
+                cells: d.design.cell_count(),
+                nets: d.design.net_count(),
+                fingerprint: d.fingerprint,
+            })
+            .collect();
+        all.sort_by(|a, b| a.name.cmp(&b.name));
+        all
+    }
+
     /// The experiment configuration the **default** model was trained
     /// under.
     pub fn experiment(&self) -> &ExperimentConfig {
@@ -1056,12 +1208,9 @@ fn process_job(shared: &Shared, queue: &Queue, job: Job) {
     let started = Instant::now();
     // Resolve names before touching any cache so error paths are uniform
     // regardless of cache state (and need no quota slot).
-    let resolved = state
-        .experiment
-        .try_design(&job.request.design)
-        .map_err(ServeError::from)
-        .and_then(|design_cfg| Ok((design_cfg, resolve_workload(shared, &job.request)?)));
-    let (design_cfg, spec) = match resolved {
+    let resolved = resolve_design(shared, &state, &job.request.design)
+        .and_then(|source| Ok((source, resolve_workload(shared, &job.request)?)));
+    let (source, spec) = match resolved {
         Ok(r) => r,
         Err(e) => return finish(shared, Some(&state), job, Err(e)),
     };
@@ -1077,7 +1226,7 @@ fn process_job(shared: &Shared, queue: &Queue, job: Job) {
         // workload anyway so a cached entry never masks a bad request
         // (it cannot be cached under an invalid workload, but the
         // check is cheap and keeps the invariant obvious).
-        let result = build_workload(&state, &spec, design_cfg.seed).map(|_| {
+        let result = build_workload(&state, &spec, source.seed()).map(|_| {
             respond(
                 &job.request,
                 &state,
@@ -1099,15 +1248,7 @@ fn process_job(shared: &Shared, queue: &Queue, job: Job) {
                 gate: &state.gate,
                 queue,
             };
-            let result = cold_predict(
-                shared,
-                &state,
-                &job.request,
-                &spec,
-                &design_cfg,
-                &key,
-                started,
-            );
+            let result = cold_predict(shared, &state, &job.request, &spec, &source, &key, started);
             finish(shared, Some(&state), job, result);
         }
         // The job now lives in the gate; this worker is free for other
@@ -1173,6 +1314,46 @@ impl WorkloadSpec {
             WorkloadSpec::Schedule { fingerprint, .. } => *fingerprint,
         }
     }
+}
+
+/// The request's design, resolved to either a preset generator config or
+/// an uploaded netlist from the design library. Presets are checked
+/// first (uploads can never shadow them — `load_design` rejects preset
+/// names), then the library; an unknown name is a structured
+/// [`ServeError::UnknownDesign`].
+enum DesignSource {
+    Preset(atlas_designs::DesignConfig),
+    Uploaded(Arc<UploadedDesign>),
+}
+
+impl DesignSource {
+    /// The workload seed this design pins: the preset's configured seed,
+    /// or the upload's content fingerprint — a pure function of the
+    /// netlist, so both load routes (wire upload, in-process) agree.
+    fn seed(&self) -> u64 {
+        match self {
+            DesignSource::Preset(cfg) => cfg.seed,
+            DesignSource::Uploaded(d) => d.fingerprint,
+        }
+    }
+}
+
+fn resolve_design(
+    shared: &Shared,
+    state: &ModelState,
+    name: &str,
+) -> Result<DesignSource, ServeError> {
+    if let Ok(cfg) = state.experiment.try_design(name) {
+        return Ok(DesignSource::Preset(cfg));
+    }
+    shared
+        .designs
+        .lock()
+        .expect("design lock")
+        .get(name)
+        .cloned()
+        .map(DesignSource::Uploaded)
+        .ok_or_else(|| ServeError::UnknownDesign(name.to_owned()))
 }
 
 fn resolve_workload(shared: &Shared, request: &PredictRequest) -> Result<WorkloadSpec, ServeError> {
@@ -1290,7 +1471,7 @@ fn cold_predict(
     state: &ModelState,
     request: &PredictRequest,
     spec: &WorkloadSpec,
-    design_cfg: &atlas_designs::DesignConfig,
+    source: &DesignSource,
     key: &TraceKey,
     started: Instant,
 ) -> Result<PredictResponse, ServeError> {
@@ -1340,7 +1521,7 @@ fn cold_predict(
             // another leader may have finished and populated it.
             if let Some(embeddings) = state.embeddings.get(key) {
                 guard.resolve(Ok(Arc::clone(&embeddings)));
-                build_workload(state, spec, design_cfg.seed)?;
+                build_workload(state, spec, source.seed())?;
                 Ok(respond(
                     request,
                     state,
@@ -1351,7 +1532,7 @@ fn cold_predict(
                     started,
                 ))
             } else {
-                let outcome = compute_embeddings(shared, state, request, spec, design_cfg, key);
+                let outcome = compute_embeddings(shared, state, request, spec, source, key);
                 match outcome {
                     Ok((embeddings, design_cache_hit)) => {
                         guard.resolve(Ok(Arc::clone(&embeddings)));
@@ -1382,14 +1563,17 @@ fn compute_embeddings(
     state: &ModelState,
     request: &PredictRequest,
     spec: &WorkloadSpec,
-    design_cfg: &atlas_designs::DesignConfig,
+    source: &DesignSource,
     key: &TraceKey,
 ) -> Result<(Arc<TraceEmbeddings>, bool), ServeError> {
-    let mut workload = build_workload(state, spec, design_cfg.seed)?;
+    let mut workload = build_workload(state, spec, source.seed())?;
     let (artifacts, design_cache_hit) = match state.designs.get(&request.design) {
         Some(artifacts) => (artifacts, true),
         None => {
-            let gate = design_cfg.generate();
+            let gate = match source {
+                DesignSource::Preset(cfg) => cfg.generate(),
+                DesignSource::Uploaded(d) => d.design.clone(),
+            };
             let data = build_submodule_data(&gate, &state.lib);
             let artifacts = Arc::new(DesignArtifacts { gate, data });
             state
@@ -2257,5 +2441,122 @@ mod tests {
         let stats = service.stats();
         assert_eq!(stats.requests, 4);
         assert_eq!(stats.errors, 4);
+    }
+
+    /// A small uploadable design built from library cells only.
+    fn uploadable_design() -> Design {
+        use atlas_liberty::{CellClass, Drive};
+        use atlas_netlist::NetlistBuilder;
+        let mut b = NetlistBuilder::new("uploaded");
+        let sm = b.add_submodule("top.u0", "top");
+        let a = b.add_input();
+        let c = b.add_input();
+        let x = b
+            .add_cell(CellClass::Nand2, Drive::X1, &[a, c], sm)
+            .expect("ok");
+        let y = b
+            .add_cell(CellClass::Xor2, Drive::X1, &[x, c], sm)
+            .expect("ok");
+        let q = b.add_dff(y, sm).expect("ok");
+        b.mark_output(q);
+        b.finish().expect("valid")
+    }
+
+    #[test]
+    fn uploaded_designs_serve_with_route_parity() {
+        let cfg = micro_config();
+        let trained = train_atlas(&cfg);
+        let service = AtlasService::start_with(
+            trained.model,
+            cfg,
+            ServiceConfig {
+                workers: 1,
+                max_design_bytes: 4096,
+                max_designs: 2,
+                ..ServiceConfig::default()
+            },
+        );
+        let design = uploadable_design();
+        let verilog = design.to_verilog();
+
+        // Upload path (the wire verb's backing API) and the in-process
+        // path must agree on the fingerprint exactly.
+        let up = service.load_design("up", &verilog).expect("upload loads");
+        let local = service
+            .load_design_parsed("local", design.clone())
+            .expect("in-process loads");
+        assert_eq!(up.fingerprint, local.fingerprint);
+        assert_eq!(up.cells, design.cell_count());
+        assert_eq!(up.nets, design.net_count());
+        assert_eq!(service.designs().len(), 2);
+
+        // ... and both routes must predict bit-identically.
+        let a = service
+            .call(PredictRequest::new("up", "W1", 6))
+            .expect("uploaded design predicts");
+        let b = service
+            .call(PredictRequest::new("local", "W1", 6))
+            .expect("in-process design predicts");
+        assert!(a.mean_total_w > 0.0);
+        assert_eq!(a.per_cycle_total_w, b.per_cycle_total_w);
+        assert_eq!(a.mean_total_w, b.mean_total_w);
+
+        // Warm repeat of an uploaded design hits the embedding cache.
+        let warm = service
+            .call(PredictRequest::new("up", "W1", 6))
+            .expect("warm");
+        assert!(warm.cache_hit);
+        assert_eq!(warm.per_cycle_total_w, a.per_cycle_total_w);
+    }
+
+    #[test]
+    fn bad_uploads_are_typed_errors() {
+        let cfg = micro_config();
+        let trained = train_atlas(&cfg);
+        let service = AtlasService::start_with(
+            trained.model,
+            cfg,
+            ServiceConfig {
+                workers: 1,
+                max_design_bytes: 512,
+                max_designs: 1,
+                ..ServiceConfig::default()
+            },
+        );
+        // A malformed body is a parse_error carrying the reader's
+        // diagnostic; a preset-shadowing or malformed name, an oversize
+        // body, a duplicate, and a full library are invalid_request.
+        let err = service
+            .load_design("junk", "not a netlist")
+            .expect_err("malformed");
+        assert_eq!(err.kind(), "parse_error");
+        let verilog = uploadable_design().to_verilog();
+        assert!(verilog.len() <= 512, "test design must fit the cap");
+        for (name, body) in [
+            ("C2", verilog.as_str()),
+            (".dot", verilog.as_str()),
+            ("", verilog.as_str()),
+            ("spaced name", verilog.as_str()),
+        ] {
+            let err = service.load_design(name, body).expect_err(name);
+            assert_eq!(err.kind(), "invalid_request", "{name}");
+        }
+        let oversize = format!("{verilog}{}", "/".repeat(513));
+        let err = service.load_design("big", &oversize).expect_err("oversize");
+        assert_eq!(err.kind(), "invalid_request");
+        assert!(err.to_string().contains("bytes"), "got: {err}");
+
+        service.load_design("ok", &verilog).expect("fits");
+        let err = service.load_design("ok", &verilog).expect_err("duplicate");
+        assert_eq!(err.kind(), "invalid_request");
+        assert!(err.to_string().contains("already loaded"), "got: {err}");
+        let err = service.load_design("two", &verilog).expect_err("full");
+        assert!(err.to_string().contains("full"), "got: {err}");
+
+        // Predicting an unknown name is still a structured unknown_design.
+        assert_eq!(
+            service.call(PredictRequest::new("nope", "W1", 4)),
+            Err(ServeError::UnknownDesign("nope".into()))
+        );
     }
 }

@@ -1,0 +1,10 @@
+module s (n0, n1, n2, n3, n4, n5);
+  input n0;
+  input n1;
+  input n2;
+  input n3;
+  input n4;
+  output n5;
+  // submodule sm0 t.u t
+  SRAM_12 u0 (.REN(n1), .WEN(n2), .ADDR(n3), .DATA(n4), .CK(n0), .Y(n5)); // sm0 t.u
+endmodule

@@ -1,0 +1,10 @@
+module loopy (n0, n3);
+  input n0;
+  output n3;
+  wire n1;
+  wire n2;
+  // submodule sm0 t.u t
+  AND2_X1 u0 (.A(n0), .B(n2), .Y(n1)); // sm0 t.u
+  INV_X1 u1 (.A(n1), .Y(n2)); // sm0 t.u
+  BUF_X1 u2 (.A(n1), .Y(n3)); // sm0 t.u
+endmodule

@@ -1,0 +1,7 @@
+module q (n0, n1, n2);
+  input n0;
+  input n1;
+  output n2;
+  // submodule sm0 t.u t
+  DFF_X1 u0 (.A(n1), .Y(n2)); // sm0 t.u
+endmodule

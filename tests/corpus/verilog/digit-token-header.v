@@ -1,0 +1,2 @@
+module m9 9name (n0);
+endmodule

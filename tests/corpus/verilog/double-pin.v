@@ -1,0 +1,6 @@
+module m (n0, n1);
+  input n0;
+  output n1;
+  // submodule sm0 t.u t
+  INV_X1 u0 (.A(n0), .A(n0), .Y(n1)); // sm0 t.u
+endmodule

@@ -1,0 +1,3 @@
+module \esc (n0);
+  input \esc ;
+endmodule

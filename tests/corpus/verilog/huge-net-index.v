@@ -1,0 +1,3 @@
+module bomb (n4000000000);
+  input n4000000000;
+endmodule

@@ -1,0 +1,3 @@
+module trunc (n0, n1);
+  input n0;
+  output n1;

@@ -1,0 +1,5 @@
+module o (n0, n1);
+  input n0;
+  output n1;
+  INV_X1 u0 (.A(n0), .Y(n1)); // sm0 t.u
+endmodule

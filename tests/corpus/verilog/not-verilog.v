@@ -1,0 +1,1 @@
+not verilog at all

@@ -1,0 +1,7 @@
+module u (n0, n1, n2);
+  input n0;
+  input n1;
+  output n2;
+  // submodule sm0 t.u t
+  DFF_X2 u0 (.A(n1), .CK(n0), .Y(n2)); // sm0 t.u
+endmodule

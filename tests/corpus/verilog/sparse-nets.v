@@ -1,0 +1,6 @@
+module gap (n0, n9);
+  input n0;
+  input n9;
+  // submodule sm0 t.u t
+  INV_X1 u0 (.A(n0), .Y(n9)); // sm0 t.u
+endmodule

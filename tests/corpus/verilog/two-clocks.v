@@ -1,0 +1,11 @@
+module clk2 (n0, n1, n2, n3, n4, n5);
+  input n0;
+  input n1;
+  input n2;
+  input n3;
+  output n4;
+  output n5;
+  // submodule sm0 t.u t
+  DFF_X1 u0 (.A(n2), .CK(n0), .Y(n4)); // sm0 t.u
+  DFF_X1 u1 (.A(n3), .CK(n1), .Y(n5)); // sm0 t.u
+endmodule

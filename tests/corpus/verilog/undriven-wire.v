@@ -1,0 +1,7 @@
+module w (n0, n2);
+  input n0;
+  output n2;
+  wire n1;
+  // submodule sm0 t.u t
+  INV_X1 u0 (.A(n0), .Y(n2)); // sm0 t.u
+endmodule

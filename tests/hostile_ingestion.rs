@@ -1,0 +1,336 @@
+//! Adversarial ingestion tests: the committed hostile-input corpus plus
+//! deterministic byte-mutation fuzzing for both text parsers.
+//!
+//! Both parsers are promised **total over arbitrary input** — any byte
+//! sequence either parses or returns a typed error, without panicking,
+//! hanging, or allocating beyond the caps in `atlas_liberty::limits` and
+//! `atlas_netlist::verilog_limits`. This file is that promise's proof:
+//!
+//! * every file under `tests/corpus/liblite/` must make
+//!   `Library::from_liblite` return `Err`, and every file under
+//!   `tests/corpus/verilog/` must make `Design::from_verilog` return
+//!   `Err` — each case runs under a watchdog so a hang or a panic fails
+//!   the suite loudly instead of wedging it;
+//! * ≥ 1024 mutation cases per parser: valid serialized output with a
+//!   handful of deterministic byte flips and truncations applied must
+//!   never panic, and on the off chance a mutant still parses, its
+//!   re-serialization must round-trip;
+//! * round-trip properties: `from_liblite(to_liblite(lib)) == lib` for
+//!   randomized libraries and `from_verilog(to_verilog(d)) == d` for
+//!   randomized generated designs, plus rejection of non-finite numbers.
+//!
+//! The corpus is the regression memory: any input that ever panicked,
+//! hung, or mis-parsed gets minimized and committed here (see the
+//! "untrusted ingestion" section of `docs/ARCHITECTURE.md`).
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+use std::sync::mpsc;
+use std::time::Duration;
+
+use atlas_designs::DesignConfig;
+use atlas_liberty::{LibCell, Library, ParseLibErrorKind, SramMacro};
+use atlas_netlist::Design;
+use proptest::prelude::*;
+
+/// Per-case wall-clock bound. A single parse of a corpus-sized input
+/// takes microseconds; ten seconds of headroom keeps slow CI runners
+/// from flaking while still catching any real hang.
+const CASE_BUDGET: Duration = Duration::from_secs(10);
+
+/// Every corpus file across both formats, at minimum (the ISSUE floor).
+const MIN_CORPUS_FILES: usize = 40;
+
+fn corpus_dir(format: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/corpus")
+        .join(format)
+}
+
+/// Run `f` on a watchdog thread: a panic or an overrun of [`CASE_BUDGET`]
+/// fails the test with `label` instead of aborting or wedging the suite.
+fn bounded<T: Send + 'static>(label: &str, f: impl FnOnce() -> T + Send + 'static) -> T {
+    let (tx, rx) = mpsc::channel();
+    let handle = std::thread::Builder::new()
+        .name(format!("hostile-{label}"))
+        .spawn(move || {
+            let _ = tx.send(catch_unwind(AssertUnwindSafe(f)));
+        })
+        .expect("spawn watchdog thread");
+    match rx.recv_timeout(CASE_BUDGET) {
+        Ok(Ok(value)) => {
+            let _ = handle.join();
+            value
+        }
+        Ok(Err(payload)) => {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_owned())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".to_owned());
+            panic!("case `{label}` panicked: {msg}");
+        }
+        // The worker thread is leaked (it is stuck), but the test fails
+        // loudly with the offending case's name.
+        Err(_) => panic!("case `{label}` exceeded the {CASE_BUDGET:?} budget (hang?)"),
+    }
+}
+
+/// Load a corpus directory: `(file name, contents as lossy UTF-8)`,
+/// sorted by name so failures reproduce in a stable order.
+fn corpus_files(format: &str, extension: &str) -> Vec<(String, String)> {
+    let dir = corpus_dir(format);
+    let mut files: Vec<(String, String)> = std::fs::read_dir(&dir)
+        .unwrap_or_else(|e| panic!("read corpus dir {}: {e}", dir.display()))
+        .map(|entry| entry.expect("corpus dir entry").path())
+        .filter(|p| p.extension().is_some_and(|x| x == extension))
+        .map(|p| {
+            let name = p
+                .file_name()
+                .expect("file name")
+                .to_string_lossy()
+                .into_owned();
+            // Lossy: some corpus files are deliberately not valid UTF-8
+            // (NUL bytes, truncated multi-byte sequences).
+            let text =
+                String::from_utf8_lossy(&std::fs::read(&p).expect("read corpus file")).into_owned();
+            (name, text)
+        })
+        .collect();
+    files.sort();
+    assert!(!files.is_empty(), "corpus dir {} is empty", dir.display());
+    files
+}
+
+#[test]
+fn liblite_corpus_is_rejected_with_typed_errors() {
+    for (name, text) in corpus_files("liblite", "lib") {
+        let label = name.clone();
+        let result = bounded(&name, move || Library::from_liblite(&text));
+        let err = result.err().unwrap_or_else(|| {
+            panic!("corpus file `{label}` parsed as a valid library; hostile inputs must Err")
+        });
+        // The error is typed and positioned, not a bare string.
+        assert!(err.line() >= 1, "`{label}`: error line must be 1-based");
+        assert!(err.column() >= 1, "`{label}`: error column must be 1-based");
+        assert!(!err.kind().label().is_empty());
+    }
+}
+
+#[test]
+fn verilog_corpus_is_rejected_with_typed_errors() {
+    for (name, text) in corpus_files("verilog", "v") {
+        let label = name.clone();
+        let result = bounded(&name, move || Design::from_verilog(&text));
+        let err = result.err().unwrap_or_else(|| {
+            panic!("corpus file `{label}` parsed as a valid design; hostile inputs must Err")
+        });
+        assert!(err.line() >= 1, "`{label}`: error line must be 1-based");
+        assert!(
+            !err.message().is_empty(),
+            "`{label}`: error must carry a message"
+        );
+    }
+}
+
+#[test]
+fn corpus_meets_the_size_floor() {
+    let total = corpus_files("liblite", "lib").len() + corpus_files("verilog", "v").len();
+    assert!(
+        total >= MIN_CORPUS_FILES,
+        "hostile corpus shrank to {total} files (floor: {MIN_CORPUS_FILES}); \
+         corpus files are regression memory — add, never remove"
+    );
+}
+
+/// Apply deterministic mutations to a valid serialized seed: a handful
+/// of byte overwrites, then an optional truncation. `truncate_at` past
+/// the end means "keep the whole input".
+fn mutate(seed: &str, flips: &[(usize, u8)], truncate_at: usize) -> String {
+    let mut bytes = seed.as_bytes().to_vec();
+    for &(pos, value) in flips {
+        let i = pos % bytes.len();
+        bytes[i] = value;
+    }
+    if truncate_at < bytes.len() {
+        bytes.truncate(truncate_at);
+    }
+    String::from_utf8_lossy(&bytes).into_owned()
+}
+
+/// A small random library: a prefix of the synthetic cells and SRAMs
+/// with every characterized number rescaled, so round-trips exercise
+/// arbitrary (finite, positive) floating-point formatting.
+fn arb_library() -> impl Strategy<Value = Library> {
+    (1u64..1_000_000, 1usize..12, 0usize..3, 0.03f64..30.0).prop_map(
+        |(seed, keep, srams, scale)| {
+            let base = Library::synthetic_40nm();
+            let cells: Vec<LibCell> = base
+                .cells()
+                .iter()
+                .take(keep)
+                .map(|c| {
+                    LibCell::new(
+                        c.name(),
+                        c.class(),
+                        c.drive(),
+                        c.area() * scale,
+                        c.input_cap() * scale,
+                        c.clock_cap() * scale,
+                        c.leakage() * scale,
+                        c.drive_res() * scale,
+                        c.max_load() * scale,
+                        c.switch_energy().scaled(scale),
+                        c.clock_energy() * scale,
+                    )
+                })
+                .collect();
+            let srams: Vec<SramMacro> = base
+                .srams()
+                .iter()
+                .take(srams)
+                .map(|s| {
+                    SramMacro::new(
+                        s.name(),
+                        s.words(),
+                        s.bits(),
+                        s.read_energy() * scale,
+                        s.write_energy() * scale,
+                        s.leakage() * scale,
+                        s.pin_cap() * scale,
+                        s.area() * scale,
+                    )
+                })
+                .collect();
+            Library::new(
+                format!("fuzz{seed}"),
+                0.6 + (seed % 100) as f64 / 125.0,
+                0.5 + (seed % 7) as f64 * 0.25,
+                cells,
+                srams,
+            )
+        },
+    )
+}
+
+/// A small random design configuration (same family as
+/// `tests/properties.rs`, kept small: each case serializes and reparses
+/// the whole netlist).
+fn arb_design_cfg() -> impl Strategy<Value = DesignConfig> {
+    (0u64..1000, 6usize..10, 1usize..3).prop_map(|(seed, width, fe)| DesignConfig {
+        name: format!("F{seed}"),
+        seed,
+        scale: 1.0,
+        width,
+        pi_count: 16,
+        frontend_units: fe,
+        core_units: 1,
+        lsu_units: 1,
+        dcache_units: 1,
+        ptw_units: 1,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        // The fuzz floor from the CI contract: at least 1024 mutation
+        // cases per parser per run (see the `fuzz-smoke` job).
+        cases: 1024,
+        .. ProptestConfig::default()
+    })]
+
+    /// Byte-flipped/truncated liblite text never panics or hangs; if a
+    /// mutant happens to still parse, its re-serialization round-trips.
+    #[test]
+    fn mutated_liblite_never_panics(
+        flips in collection::vec((0usize..1 << 20, 0u32..256), 1..9),
+        truncate_at in 0usize..1 << 20,
+    ) {
+        let seed = Library::synthetic_40nm().to_liblite();
+        let flips: Vec<(usize, u8)> = flips.into_iter().map(|(p, b)| (p, b as u8)).collect();
+        let mutant = mutate(&seed, &flips, truncate_at % (seed.len() + 1));
+        let label = format!("liblite-mutant-{flips:?}");
+        let parsed = bounded(&label, move || Library::from_liblite(&mutant));
+        if let Ok(lib) = parsed {
+            let again = Library::from_liblite(&lib.to_liblite());
+            prop_assert_eq!(again.as_ref(), Ok(&lib));
+        }
+    }
+
+    /// Byte-flipped/truncated Verilog text never panics or hangs; any
+    /// mutant that still parses re-serializes to the same design.
+    #[test]
+    fn mutated_verilog_never_panics(
+        flips in collection::vec((0usize..1 << 20, 0u32..256), 1..9),
+        truncate_at in 0usize..1 << 20,
+    ) {
+        let seed = DesignConfig::tiny().generate().to_verilog();
+        let flips: Vec<(usize, u8)> = flips.into_iter().map(|(p, b)| (p, b as u8)).collect();
+        let mutant = mutate(&seed, &flips, truncate_at % (seed.len() + 1));
+        let label = format!("verilog-mutant-{flips:?}");
+        let parsed = bounded(&label, move || Design::from_verilog(&mutant));
+        if let Ok(d) = parsed {
+            let again = Design::from_verilog(&d.to_verilog());
+            prop_assert_eq!(again.as_ref(), Ok(&d));
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 64, // each case writes and reparses a full library
+        .. ProptestConfig::default()
+    })]
+
+    /// The liblite writer/parser pair is the identity on libraries.
+    #[test]
+    fn liblite_round_trips_exactly(lib in arb_library()) {
+        let text = lib.to_liblite();
+        let back = Library::from_liblite(&text);
+        prop_assert_eq!(back.as_ref(), Ok(&lib));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 24, // each case generates + serializes + reparses a netlist
+        .. ProptestConfig::default()
+    })]
+
+    /// The Verilog writer/reader pair is the identity on any design the
+    /// generator can produce.
+    #[test]
+    fn verilog_round_trips_exactly(cfg in arb_design_cfg()) {
+        let d = cfg.generate();
+        let text = d.to_verilog();
+        let back = Design::from_verilog(&text);
+        prop_assert_eq!(back.as_ref(), Ok(&d));
+    }
+}
+
+/// Non-finite numbers must not survive a write/parse cycle: the writer
+/// emits `NaN`/`inf` tokens and the parser rejects them as typed errors
+/// instead of resurrecting them as numbers.
+#[test]
+fn non_finite_numbers_are_rejected_on_reparse() {
+    for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+        let base = Library::synthetic_40nm();
+        let lib = Library::new(
+            base.name(),
+            bad,
+            base.clock_period_ns(),
+            base.cells().to_vec(),
+            base.srams().to_vec(),
+        );
+        let err = Library::from_liblite(&lib.to_liblite())
+            .expect_err("a non-finite voltage must not round-trip");
+        assert!(
+            matches!(
+                err.kind(),
+                ParseLibErrorKind::BadNumber | ParseLibErrorKind::UnexpectedToken
+            ),
+            "non-finite voltage {bad}: unexpected error kind {:?}",
+            err.kind()
+        );
+    }
+}
