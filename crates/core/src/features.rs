@@ -268,7 +268,7 @@ pub fn build_submodule_data(design: &Design, lib: &Library) -> Vec<SubmoduleData
 /// (paper §V): for each of the combinational and register groups, the
 /// node count `n`, toggle-weighted internal energy `I`, and
 /// toggle-weighted capacitance `C`.
-#[derive(Debug, Clone, Copy, Default, PartialEq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct SideFeatures {
     /// Combinational cell count.
     pub n_comb: f64,

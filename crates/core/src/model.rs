@@ -47,7 +47,7 @@ impl PreparedEncoder {
 /// Per-cycle graph embeddings of one sub-module, stored at the precision
 /// they were computed at — f32 rows cost half the cache bytes of f64
 /// rows, which doubles what fits a byte-budgeted embedding cache.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum EmbeddingTable {
     /// Full-precision rows (8 bytes per element).
     F64(Vec<Vec<f64>>),
@@ -102,7 +102,7 @@ impl EmbeddingTable {
 
 /// Stage-one inference output for one sub-module across a whole trace:
 /// per-cycle encoder embeddings and side features.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct SubmoduleEmbeddings {
     /// Index of the sub-module in its design.
     pub submodule: usize,
@@ -121,7 +121,7 @@ pub struct SubmoduleEmbeddings {
 /// serving layer can keep `TraceEmbeddings` keyed by (design, workload,
 /// cycles) and answer repeat requests with only the cheap head stage
 /// ([`AtlasModel::predict_from_embeddings`]).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct TraceEmbeddings {
     design: String,
     workload: String,

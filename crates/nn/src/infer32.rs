@@ -33,7 +33,9 @@ pub const F32_EMBED_TOLERANCE: f64 = 1e-3;
 
 /// Numeric precision of an inference encoder and the embeddings it
 /// produces.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+#[derive(
+    Debug, Clone, Copy, Default, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize,
+)]
 pub enum Precision {
     /// Full precision: bit-parity guarantees, 8 bytes per element.
     #[default]

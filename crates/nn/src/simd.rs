@@ -503,9 +503,20 @@ unsafe fn axpy_f64_avx2(a: f64, src: &[f64], dst: &mut [f64]) {
         _mm256_storeu_pd(dp.add(c), _mm256_add_pd(d, _mm256_mul_pd(av, s)));
         c += 4;
     }
-    while c < n {
-        *dp.add(c) += a * *sp.add(c);
-        c += 1;
+    if c < n {
+        // Masked tail instead of a scalar remainder loop: lanes below
+        // `n - c` are live; dead lanes load as zero, compute garbage,
+        // and are never stored (masked lanes cannot fault, so reading
+        // past the slice is fine). Each live lane still performs the
+        // exact mul-then-add sequence of the scalar loop, so the f64
+        // bit-parity rule holds through the tail.
+        let live = _mm256_cmpgt_epi64(
+            _mm256_set1_epi64x((n - c) as i64),
+            _mm256_setr_epi64x(0, 1, 2, 3),
+        );
+        let d = _mm256_maskload_pd(dp.add(c), live);
+        let s = _mm256_maskload_pd(sp.add(c), live);
+        _mm256_maskstore_pd(dp.add(c), live, _mm256_add_pd(d, _mm256_mul_pd(av, s)));
     }
 }
 
@@ -688,9 +699,16 @@ unsafe fn axpy_f32_fma(a: f32, src: &[f32], dst: &mut [f32]) {
         _mm256_storeu_ps(dp.add(c), _mm256_fmadd_ps(av, s, d));
         c += 8;
     }
-    while c < n {
-        *dp.add(c) += a * *sp.add(c);
-        c += 1;
+    if c < n {
+        // Masked tail: live lanes below `n - c` run the same FMA as the
+        // vector body; dead lanes load zero and are never stored.
+        let live = _mm256_cmpgt_epi32(
+            _mm256_set1_epi32((n - c) as i32),
+            _mm256_setr_epi32(0, 1, 2, 3, 4, 5, 6, 7),
+        );
+        let d = _mm256_maskload_ps(dp.add(c), live);
+        let s = _mm256_maskload_ps(sp.add(c), live);
+        _mm256_maskstore_ps(dp.add(c), live, _mm256_fmadd_ps(av, s, d));
     }
 }
 
@@ -823,13 +841,20 @@ mod tests {
             }
         }
 
-        let src: Vec<f32> = seq(37, 1.1).iter().map(|&v| v as f32).collect();
-        let mut s32: Vec<f32> = seq(37, 0.2).iter().map(|&v| v as f32).collect();
-        let mut v32 = s32.clone();
-        axpy_f32(false, 0.61, &src, &mut s32);
-        axpy_f32(true, 0.61, &src, &mut v32);
-        for (&s, &v) in s32.iter().zip(&v32) {
-            assert!((s - v).abs() <= 1e-5 * (1.0 + s.abs()), "{s} vs {v}");
+        // Every masked-tail length (n mod 8 from 0 to 7) plus the empty
+        // and sub-width cases.
+        for n in [0usize, 1, 5, 8, 9, 16, 23, 37, 42, 63] {
+            let src: Vec<f32> = seq(n, 1.1).iter().map(|&v| v as f32).collect();
+            let mut s32: Vec<f32> = seq(n, 0.2).iter().map(|&v| v as f32).collect();
+            let mut v32 = s32.clone();
+            axpy_f32(false, 0.61, &src, &mut s32);
+            axpy_f32(true, 0.61, &src, &mut v32);
+            for (&s, &v) in s32.iter().zip(&v32) {
+                assert!(
+                    (s - v).abs() <= 1e-5 * (1.0 + s.abs()),
+                    "len {n}: {s} vs {v}"
+                );
+            }
         }
     }
 }

@@ -7,7 +7,8 @@
 //!       [--default-model NAME] [--workers N] [--cache-mb N]
 //!       [--precision f64|f32]
 //!       [--model-quota NAME=K ...] [--workload-file PATH]
-//!       [--tcp ADDR] [--max-conns N]
+//!       [--tcp ADDR] [--max-conns N] [--reactor-threads N]
+//!       [--shard-id N] [--cache-snapshot PATH]
 //! serve --registry DIR --list
 //! ```
 //!
@@ -32,17 +33,24 @@
 //! bit parity.
 //!
 //! In stdio mode each stdin line is a request and each stdout line the
-//! matching response; EOF shuts the service down. In TCP mode a single
-//! epoll reactor thread multiplexes every connection (idle connections
-//! cost a file descriptor, not a thread), so the whole process runs on
-//! `--workers + 2` OS threads regardless of connection count.
+//! matching response; EOF shuts the service down. In TCP mode
+//! `--reactor-threads N` epoll reactor threads (default 1) multiplex
+//! every connection — each with its own `SO_REUSEPORT` listener where
+//! the kernel allows it — so the whole process runs on
+//! `--workers + N + 1` OS threads regardless of connection count.
+//!
+//! `--shard-id N` stamps this process's identity in a shard fleet into
+//! its stats and snapshots (requests route through the `atlas-shard`
+//! proxy; see `docs/ARCHITECTURE.md`). `--cache-snapshot PATH` warm-starts
+//! the embedding cache: the file is restored (entry-by-entry validated,
+//! never fatal) before serving and rewritten when the process drains.
 
 use std::io::{BufRead, Write};
 use std::process::ExitCode;
 use std::sync::Arc;
 
 use atlas_core::Precision;
-use atlas_serve::reactor::{Reactor, ReactorConfig};
+use atlas_serve::reactor::{ReactorConfig, ReactorPool};
 use atlas_serve::{
     protocol, AtlasService, ModelCatalog, ModelRegistry, RequestLine, ServiceConfig,
 };
@@ -57,6 +65,9 @@ struct Args {
     precision: Precision,
     tcp: Option<String>,
     max_conns: usize,
+    reactor_threads: usize,
+    shard_id: Option<u32>,
+    cache_snapshot: Option<String>,
     model_quotas: Vec<(String, usize)>,
     workload_file: Option<String>,
 }
@@ -72,6 +83,9 @@ fn parse_args() -> Result<Args, String> {
         precision: Precision::F64,
         tcp: None,
         max_conns: ReactorConfig::default().max_connections,
+        reactor_threads: 1,
+        shard_id: None,
+        cache_snapshot: None,
         model_quotas: Vec::new(),
         workload_file: None,
     };
@@ -115,20 +129,43 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("--max-conns: {e}"))?;
             }
+            "--reactor-threads" => {
+                args.reactor_threads = value("--reactor-threads")?
+                    .parse()
+                    .map_err(|e| format!("--reactor-threads: {e}"))?;
+                if args.reactor_threads == 0 {
+                    return Err("--reactor-threads must be positive".into());
+                }
+            }
+            "--shard-id" => {
+                args.shard_id = Some(
+                    value("--shard-id")?
+                        .parse()
+                        .map_err(|e| format!("--shard-id: {e}"))?,
+                );
+            }
+            "--cache-snapshot" => args.cache_snapshot = Some(value("--cache-snapshot")?),
             "--help" | "-h" => {
                 println!(
                     "usage: serve --registry DIR (--model SPEC [--model SPEC ...] \
                      [--default-model NAME] [--workers N] [--cache-mb N] \
                      [--precision f64|f32] \
                      [--model-quota NAME=K ...] [--workload-file PATH] \
-                     [--tcp ADDR] [--max-conns N] | --list)\n\
+                     [--tcp ADDR] [--max-conns N] [--reactor-threads N] \
+                     [--shard-id N] [--cache-snapshot PATH] | --list)\n\
                      SPEC is NAME, ALIAS=NAME, or ALIAS=PATH (an .atlas.json file)\n\
                      --precision f32 halves embedding bytes (the --cache-mb budget \
                      holds twice the traces) at the f32 accuracy delta\n\
                      --model-quota caps workers tied up in NAME's cold requests \
                      (default: workers / hosted models)\n\
                      --workload-file journals register_workload calls and replays \
-                     them at startup"
+                     them at startup\n\
+                     --reactor-threads runs N epoll reactors with SO_REUSEPORT \
+                     listeners (TCP mode)\n\
+                     --shard-id stamps this process's shard identity into stats \
+                     and snapshots\n\
+                     --cache-snapshot restores the embedding cache at startup and \
+                     rewrites it on drain"
                 );
                 std::process::exit(0);
             }
@@ -203,6 +240,7 @@ fn main() -> ExitCode {
             precision: args.precision,
             model_quotas: args.model_quotas.iter().cloned().collect(),
             workload_file: args.workload_file.as_ref().map(Into::into),
+            shard_id: args.shard_id,
             ..ServiceConfig::default()
         },
     ) {
@@ -222,13 +260,38 @@ fn main() -> ExitCode {
         args.precision,
     );
 
-    match &args.tcp {
-        Some(addr) => serve_tcp(service, addr, args.max_conns),
+    // Warm start: re-admit a previous run's cache snapshot before the
+    // first request arrives. Never fatal — a bad file is a cold start.
+    if let Some(path) = &args.cache_snapshot {
+        let report = service.restore_cache(path);
+        eprintln!(
+            "cache snapshot {path}: restored {} entries, skipped {}",
+            report.restored, report.skipped,
+        );
+    }
+
+    let code = match &args.tcp {
+        Some(addr) => serve_tcp(
+            Arc::clone(&service),
+            addr,
+            args.max_conns,
+            args.reactor_threads,
+        ),
         None => {
             serve_stdio(&service);
             ExitCode::SUCCESS
         }
+    };
+
+    // Drain: persist the warm cache so the next run of this shard can
+    // answer its first repeat request without recomputing anything.
+    if let Some(path) = &args.cache_snapshot {
+        match service.snapshot_cache(path) {
+            Ok(n) => eprintln!("cache snapshot {path}: wrote {n} entries"),
+            Err(e) => eprintln!("error: {e}"),
+        }
     }
+    code
 }
 
 /// One request line → one response line (the synchronous stdio path; the
@@ -288,6 +351,12 @@ fn answer(service: &AtlasService, line: &str) -> String {
             }),
             Err(e) => protocol::render_result(&Err((req.id, e))),
         },
+        Ok(RequestLine::ShardMap { id }) => protocol::render_line(&protocol::ShardMapResponse {
+            id,
+            verb: "shard_map".to_owned(),
+            shard_id: service.shard_id(),
+            shards: Vec::new(),
+        }),
         Err(e) => protocol::render_result(&Err((protocol::salvage_id(line), e))),
     }
 }
@@ -327,28 +396,42 @@ fn serve_stdio(service: &AtlasService) {
     }
 }
 
-fn serve_tcp(service: Arc<AtlasService>, addr: &str, max_conns: usize) -> ExitCode {
-    let reactor = match Reactor::bind(
+fn serve_tcp(service: Arc<AtlasService>, addr: &str, max_conns: usize, threads: usize) -> ExitCode {
+    let pool = match ReactorPool::bind(
         service,
         addr,
         ReactorConfig {
             max_connections: max_conns,
             ..ReactorConfig::default()
         },
+        threads,
     ) {
-        Ok(reactor) => reactor,
+        Ok(pool) => pool,
         Err(e) => {
             eprintln!("error: bind {addr}: {e}");
             return ExitCode::FAILURE;
         }
     };
-    match reactor.local_addr() {
-        Ok(bound) => eprintln!("listening on {bound} (epoll reactor, max {max_conns} connections)"),
-        Err(_) => eprintln!("listening on {addr}"),
-    }
-    // The reactor runs on the main thread, so the process stays at
-    // workers + 1 OS threads regardless of connection count.
-    match reactor.run() {
+    eprintln!(
+        "listening on {} ({} epoll reactor(s), {}, max {max_conns} connections each)",
+        pool.local_addr(),
+        threads,
+        if pool.reuseport() {
+            "SO_REUSEPORT"
+        } else {
+            "shared accept queue"
+        },
+    );
+    let handle = match pool.spawn() {
+        Ok(handle) => handle,
+        Err(e) => {
+            eprintln!("error: spawn reactors: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // Main parks here; the process runs at workers + reactors + 1 OS
+    // threads regardless of connection count.
+    match handle.join() {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("error: reactor: {e}");

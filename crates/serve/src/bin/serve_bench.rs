@@ -10,7 +10,7 @@
 //! ```
 //!
 //! The bench trains a small model, starts an in-process service, then
-//! runs eight scenarios:
+//! runs nine scenarios:
 //!
 //! * **cold** — every (design, workload) pair of the unseen test designs
 //!   on an empty cache (each request pays design generation, simulation,
@@ -40,20 +40,34 @@
 //! * **quota-storm** — `--storm-clients` clients hammer distinct cold
 //!   keys on a quota-1 model while another model's warm p50 is measured;
 //!   the victim's p50 must stay within 3x of its idle p50 (gated here
-//!   and in `scripts/check_bench.rs`).
+//!   and in `scripts/check_bench.rs`);
+//! * **shard-scaleout** — a working set sized to thrash one shard's
+//!   embedding-cache budget is served through the consistent-hash shard
+//!   proxy against one, then two, `--shard-server` child processes
+//!   (re-executions of this binary). Routing by trace key makes the
+//!   per-shard caches additive, so the two-shard fleet turns the
+//!   single shard's recompute churn into cache hits and must clear
+//!   ≥1.6x its throughput. One shard is then drained (writing a cache
+//!   snapshot on exit) and restarted from the snapshot; its first warm
+//!   round must be all cache hits with **zero** embeddings recomputed
+//!   and bit-identical answers, and its restored warm p50 must stay
+//!   within 2x of the steady warm p50 (gated here and in
+//!   `scripts/check_bench.rs --shard`).
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
-use std::process::ExitCode;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, ExitCode, Stdio};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Barrier};
 use std::time::Instant;
 
 use atlas_core::pipeline::{train_atlas, ExperimentConfig};
-use atlas_serve::reactor::{Reactor, ReactorConfig};
+use atlas_serve::reactor::{PoolHandle, Reactor, ReactorConfig, ReactorPool};
+use atlas_serve::shard::{trace_route_key, ShardProxy, ShardRing};
 use atlas_serve::{
     AtlasService, ModelCatalog, ModelRegistry, PredictRequest, PredictResponse, ServeError,
-    ServiceConfig,
+    ServiceConfig, ShardInfo, StatsResponse,
 };
 use atlas_sim::WorkloadPhase;
 use serde::Serialize;
@@ -297,6 +311,7 @@ struct BenchReport {
     multimodel: MultiModelScenario,
     reload: ReloadScenario,
     quota_storm: QuotaStormScenario,
+    shard_scaleout: ShardScaleoutScenario,
 }
 
 /// Current thread count of this process, from /proc (Linux).
@@ -333,8 +348,9 @@ fn run_idle_scenario(
     idle_conns: usize,
     repeat: usize,
 ) -> Result<IdleScenario, String> {
+    let frontend: Arc<AtlasService> = Arc::clone(service);
     let reactor = Reactor::bind(
-        Arc::clone(service),
+        frontend,
         "127.0.0.1:0",
         ReactorConfig {
             max_connections: idle_conns + 16,
@@ -742,7 +758,542 @@ fn run_quota_storm_scenario(
     })
 }
 
+/// The shard-scaleout scenario: serving a cache-thrashing working set
+/// through the consistent-hash proxy, one shard vs two, then a
+/// drain-snapshot-restart round trip on one shard.
+#[derive(Debug, Serialize)]
+struct ShardScaleoutScenario {
+    /// Shard processes in the scaled-out fleet.
+    shards: usize,
+    /// Distinct trace keys in the working set.
+    keys: usize,
+    /// Embedding-cache byte budget of each shard process: one key more
+    /// than the larger per-shard subset, so each shard fits its share
+    /// of the ring but one shard cannot fit the whole working set.
+    cache_budget_bytes_per_shard: usize,
+    /// Exact bytes of all working-set embeddings together.
+    working_set_bytes: usize,
+    /// The whole working set through the proxy over one shard (its LRU
+    /// thrashes: most requests recompute).
+    single_shard: Phase,
+    /// The same traffic through the proxy over two shards (each holds
+    /// its ring share: requests hit).
+    dual_shard: Phase,
+    /// `dual_shard.throughput_rps / single_shard.throughput_rps` —
+    /// gated ≥ 1.6x by `scripts/check_bench.rs --shard`.
+    scaleout: f64,
+    /// Entries the drained shard wrote to its cache snapshot (must equal
+    /// its share of the working set).
+    snapshot_entries: usize,
+    /// Whether every first-round request to the restarted shard hit the
+    /// restored cache (gate: must be true).
+    restored_first_round_all_hits: bool,
+    /// Cold pipelines the restarted shard ran for that first warm round
+    /// (gate: must be 0 — the snapshot made it warm).
+    restored_embeddings_computed: u64,
+    /// Shard id the restarted process reports in its own `stats` verb.
+    restored_shard_id: Option<u32>,
+    /// Whether the restarted shard's answers were bit-identical to the
+    /// pre-restart answers (gate: must be true).
+    restored_parity: bool,
+    /// Warm p50 of the drained shard's keys before the restart.
+    steady_warm_p50_ms: f64,
+    /// Warm p50 of the same keys after restarting from the snapshot.
+    restored_warm_p50_ms: f64,
+    /// `restored_warm_p50_ms / steady_warm_p50_ms` — gated ≤ 2x by
+    /// `scripts/check_bench.rs --shard`.
+    restored_p50_ratio: f64,
+}
+
+/// Child mode: `serve_bench --shard-server --registry DIR --model NAME
+/// --shard-id N --workers N --embed-cache-bytes N [--cache-snapshot P]`.
+///
+/// Loads the model from the parent's temp registry, serves it behind a
+/// two-reactor pool on an ephemeral port (printing `ADDR <addr>` on
+/// stdout), restores the cache snapshot if one exists, and on stdin EOF
+/// drains, writes the snapshot back, and exits — the parent's handle on
+/// our stdin is the lifecycle control.
+fn run_shard_server() -> ExitCode {
+    let mut registry_dir = String::new();
+    let mut model = String::new();
+    let mut shard_id = 0u32;
+    let mut workers = 2usize;
+    let mut embed_cache_bytes = 256 << 20;
+    let mut cache_snapshot: Option<PathBuf> = None;
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
+        let parsed = match flag.as_str() {
+            "--shard-server" => Ok(()),
+            "--registry" => value("--registry").map(|v| registry_dir = v),
+            "--model" => value("--model").map(|v| model = v),
+            "--shard-id" => value("--shard-id")
+                .and_then(|v| v.parse().map_err(|e| format!("--shard-id: {e}")))
+                .map(|v| shard_id = v),
+            "--workers" => value("--workers")
+                .and_then(|v| v.parse().map_err(|e| format!("--workers: {e}")))
+                .map(|v| workers = v),
+            "--embed-cache-bytes" => value("--embed-cache-bytes")
+                .and_then(|v| v.parse().map_err(|e| format!("--embed-cache-bytes: {e}")))
+                .map(|v| embed_cache_bytes = v),
+            "--cache-snapshot" => {
+                value("--cache-snapshot").map(|v| cache_snapshot = Some(PathBuf::from(v)))
+            }
+            other => Err(format!("unknown --shard-server flag `{other}`")),
+        };
+        if let Err(msg) = parsed {
+            eprintln!("error: {msg}");
+            return ExitCode::FAILURE;
+        }
+    }
+    let registry = match ModelRegistry::open(&registry_dir) {
+        Ok(registry) => registry,
+        Err(e) => {
+            eprintln!("error: open registry {registry_dir}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let saved = match registry.load(&model) {
+        Ok(saved) => saved,
+        Err(e) => {
+            eprintln!("error: load model {model}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let service = Arc::new(AtlasService::start(
+        saved,
+        ServiceConfig {
+            workers,
+            embedding_cache_bytes: embed_cache_bytes,
+            shard_id: Some(shard_id),
+            ..ServiceConfig::default()
+        },
+    ));
+    if let Some(path) = &cache_snapshot {
+        let report = service.restore_cache(path);
+        eprintln!(
+            "shard {shard_id}: snapshot {}: restored {} entries, skipped {}",
+            path.display(),
+            report.restored,
+            report.skipped
+        );
+    }
+    let frontend: Arc<AtlasService> = Arc::clone(&service);
+    let pool = match ReactorPool::bind(frontend, "127.0.0.1:0", ReactorConfig::default(), 2) {
+        Ok(pool) => pool,
+        Err(e) => {
+            eprintln!("error: bind shard listener: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("ADDR {}", pool.local_addr());
+    if std::io::stdout().flush().is_err() {
+        return ExitCode::FAILURE;
+    }
+    let handle = match pool.spawn() {
+        Ok(handle) => handle,
+        Err(e) => {
+            eprintln!("error: spawn shard reactors: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // Park until the parent closes our stdin, then drain and snapshot.
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match std::io::stdin().lock().read_line(&mut line) {
+            Ok(0) | Err(_) => break,
+            Ok(_) => {}
+        }
+    }
+    if let Err(e) = handle.shutdown() {
+        eprintln!("error: shard shutdown: {e}");
+        return ExitCode::FAILURE;
+    }
+    if let Some(path) = &cache_snapshot {
+        match service.snapshot_cache(path) {
+            Ok(entries) => eprintln!(
+                "shard {shard_id}: wrote {entries} cache entries to {}",
+                path.display()
+            ),
+            Err(e) => {
+                eprintln!("error: shard snapshot: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+/// One `--shard-server` child process and its listen address.
+struct ShardChild {
+    child: Child,
+    info: ShardInfo,
+}
+
+impl ShardChild {
+    /// Close the child's stdin (its drain signal) and wait for it to
+    /// snapshot and exit.
+    fn shutdown(mut self) -> Result<(), String> {
+        drop(self.child.stdin.take());
+        let status = self
+            .child
+            .wait()
+            .map_err(|e| format!("wait shard {}: {e}", self.info.id))?;
+        if !status.success() {
+            return Err(format!("shard {} exited with {status}", self.info.id));
+        }
+        Ok(())
+    }
+}
+
+impl Drop for ShardChild {
+    fn drop(&mut self) {
+        // Already-reaped children make both of these no-ops.
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+/// Re-execute this binary as a `--shard-server` child and wait for its
+/// `ADDR` line.
+fn spawn_shard(
+    registry_dir: &Path,
+    model: &str,
+    shard_id: u32,
+    embed_cache_bytes: usize,
+    snapshot: &Path,
+) -> Result<ShardChild, String> {
+    let exe = std::env::current_exe().map_err(|e| format!("current_exe: {e}"))?;
+    let mut child = Command::new(exe)
+        .arg("--shard-server")
+        .arg("--registry")
+        .arg(registry_dir)
+        .args(["--model", model])
+        .args(["--shard-id", &shard_id.to_string()])
+        .args(["--workers", "4"])
+        .args(["--embed-cache-bytes", &embed_cache_bytes.to_string()])
+        .arg("--cache-snapshot")
+        .arg(snapshot)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .spawn()
+        .map_err(|e| format!("spawn shard {shard_id}: {e}"))?;
+    let stdout = child.stdout.take().expect("piped stdout");
+    let mut reader = BufReader::new(stdout);
+    let mut line = String::new();
+    reader
+        .read_line(&mut line)
+        .map_err(|e| format!("read shard {shard_id} address: {e}"))?;
+    let addr = line
+        .trim()
+        .strip_prefix("ADDR ")
+        .ok_or_else(|| format!("shard {shard_id} announced `{}`", line.trim()))?
+        .to_owned();
+    Ok(ShardChild {
+        child,
+        info: ShardInfo {
+            id: shard_id,
+            addr,
+            vnodes: 0,
+        },
+    })
+}
+
+/// Serve a [`ShardProxy`] over the fleet on an ephemeral port, behind a
+/// two-thread reactor pool (the same front door `atlas-shard` runs).
+fn spawn_proxy(shards: Vec<ShardInfo>) -> Result<PoolHandle, String> {
+    let proxy = Arc::new(ShardProxy::new(shards).map_err(|e| format!("proxy: {e}"))?);
+    let pool = ReactorPool::bind(proxy, "127.0.0.1:0", ReactorConfig::default(), 2)
+        .map_err(|e| format!("bind proxy: {e}"))?;
+    pool.spawn().map_err(|e| format!("spawn proxy: {e}"))
+}
+
+/// One `stats` round trip against a serve process's own port.
+fn tcp_stats(addr: &str) -> Result<StatsResponse, String> {
+    let mut writer = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    writer
+        .write_all(b"{\"verb\":\"stats\"}\n")
+        .map_err(|e| e.to_string())?;
+    let mut reader = BufReader::new(writer.try_clone().map_err(|e| e.to_string())?);
+    let mut line = String::new();
+    reader.read_line(&mut line).map_err(|e| e.to_string())?;
+    serde_json::from_str(&line).map_err(|e| format!("bad stats `{}`: {e}", line.trim()))
+}
+
+/// Fire the working set at `addr` from `clients` concurrent connections
+/// for `rounds` staggered rounds, measuring client-observed latency.
+fn hammer(
+    addr: &str,
+    keys: &[PredictRequest],
+    clients: usize,
+    rounds: usize,
+) -> Result<Phase, String> {
+    let barrier = Barrier::new(clients);
+    let t0 = Instant::now();
+    let lat: Vec<f64> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                let barrier = &barrier;
+                scope.spawn(move || -> Result<Vec<f64>, String> {
+                    let mut writer =
+                        TcpStream::connect(addr).map_err(|e| format!("connect: {e}"))?;
+                    let _ = writer.set_nodelay(true);
+                    let mut reader = BufReader::new(writer.try_clone().map_err(|e| e.to_string())?);
+                    barrier.wait();
+                    let mut lat = Vec::with_capacity(rounds * keys.len());
+                    for round in 0..rounds {
+                        for k in 0..keys.len() {
+                            // Stagger offsets so clients spread over keys.
+                            let req = &keys[(k + c + round) % keys.len()];
+                            let t = Instant::now();
+                            roundtrip(&mut writer, &mut reader, req)?;
+                            lat.push(t.elapsed().as_secs_f64() * 1e3);
+                        }
+                    }
+                    Ok(lat)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("hammer client"))
+            .collect::<Result<Vec<_>, _>>()
+            .map(|all| all.into_iter().flatten().collect())
+    })?;
+    Ok(phase(lat, t0.elapsed().as_secs_f64()))
+}
+
+/// The shard-scaleout scenario. See the module docs for the storyline;
+/// the short version: same traffic, one shard thrashes, two shards are
+/// warm, and a drained shard restarts warm from its snapshot.
+fn run_shard_scaleout_scenario(
+    model: &atlas_core::AtlasModel,
+    cfg: &ExperimentConfig,
+    cycles: usize,
+) -> Result<ShardScaleoutScenario, String> {
+    // Plan the working set against the ring the real fleet will use
+    // (ring geometry depends only on shard ids and vnode counts, so the
+    // planning ring with placeholder addresses routes identically).
+    let planning_ring = ShardRing::new(vec![
+        ShardInfo {
+            id: 0,
+            addr: String::new(),
+            vnodes: 0,
+        },
+        ShardInfo {
+            id: 1,
+            addr: String::new(),
+            vnodes: 0,
+        },
+    ])
+    .map_err(|e| format!("planning ring: {e}"))?;
+    let mut keys: Vec<PredictRequest> = Vec::new();
+    let mut owners: Vec<usize> = Vec::new();
+    'grow: for extra in 0..4usize {
+        for design in ["C1", "C2", "C3", "C4", "C5", "C6"] {
+            for workload in ["W1", "W2"] {
+                let key_cycles = cycles + extra;
+                owners.push(
+                    planning_ring.route_index(trace_route_key(None, design, workload, key_cycles)),
+                );
+                keys.push(PredictRequest::new(design, workload, key_cycles));
+                let on_a = owners.iter().filter(|&&o| o == 0).count();
+                let on_b = owners.len() - on_a;
+                if keys.len() >= 12 && on_a >= 4 && on_b >= 4 {
+                    break 'grow;
+                }
+            }
+        }
+    }
+    let shard_b_keys: Vec<PredictRequest> = keys
+        .iter()
+        .zip(&owners)
+        .filter(|(_, &owner)| owner == 1)
+        .map(|(key, _)| key.clone())
+        .collect();
+    if shard_b_keys.len() < 4 || keys.len() - shard_b_keys.len() < 4 {
+        return Err(format!(
+            "degenerate ring split: {} of {} keys on shard 1",
+            shard_b_keys.len(),
+            keys.len()
+        ));
+    }
+
+    // Measure every key's exact embedding weight on a throwaway
+    // in-process service with an effectively unbounded cache, then size
+    // the per-shard budget to hold either shard's subset but not both.
+    let meter = AtlasService::start_with(
+        model.clone(),
+        cfg.clone(),
+        ServiceConfig {
+            workers: 1,
+            embedding_cache_bytes: 1 << 30,
+            ..ServiceConfig::default()
+        },
+    );
+    let mut weights = Vec::with_capacity(keys.len());
+    for key in &keys {
+        let before = meter.stats().embedding_cache.weight;
+        meter
+            .call(key.clone())
+            .map_err(|e| format!("weight probe {}/{:?}: {e}", key.design, key.workload))?;
+        let weight = meter.stats().embedding_cache.weight - before;
+        if weight == 0 {
+            return Err(format!(
+                "weight probe {}/{:?} cached nothing",
+                key.design, key.workload
+            ));
+        }
+        weights.push(weight);
+    }
+    drop(meter);
+    let bytes_on = |owner: usize| -> usize {
+        weights
+            .iter()
+            .zip(&owners)
+            .filter(|(_, &o)| o == owner)
+            .map(|(w, _)| w)
+            .sum()
+    };
+    let (bytes_a, bytes_b) = (bytes_on(0), bytes_on(1));
+    let working_set_bytes = bytes_a + bytes_b;
+    let budget = bytes_a.max(bytes_b) + 1;
+
+    let dir = std::env::temp_dir().join(format!("atlas-shard-bench-{}", std::process::id()));
+    let scenario = (|| -> Result<ShardScaleoutScenario, String> {
+        let registry_dir = dir.join("registry");
+        let registry = ModelRegistry::open(&registry_dir).map_err(|e| format!("registry: {e}"))?;
+        registry
+            .save("bench-shard", model, cfg)
+            .map_err(|e| format!("save bench-shard: {e}"))?;
+        let snapshot_a = dir.join("shard0.snapshot");
+        let snapshot_b = dir.join("shard1.snapshot");
+
+        // Phase 1: the whole working set against one shard whose cache
+        // budget cannot hold it — the LRU sheds keys just before their
+        // next use, so throughput is recompute-bound.
+        let shard_a = spawn_shard(&registry_dir, "bench-shard", 0, budget, &snapshot_a)?;
+        let single_proxy = spawn_proxy(vec![shard_a.info.clone()])?;
+        let single_addr = single_proxy.addr().to_string();
+        for key in &keys {
+            let mut writer =
+                TcpStream::connect(&single_addr).map_err(|e| format!("prewarm connect: {e}"))?;
+            let mut reader = BufReader::new(writer.try_clone().map_err(|e| e.to_string())?);
+            roundtrip(&mut writer, &mut reader, key)?;
+        }
+        let single_shard = hammer(&single_addr, &keys, 4, 2)?;
+        single_proxy
+            .shutdown()
+            .map_err(|e| format!("single proxy shutdown: {e}"))?;
+
+        // Phase 2: the same traffic with a second shard. Each shard now
+        // holds its ring share, so the fleet serves from cache.
+        let shard_b = spawn_shard(&registry_dir, "bench-shard", 1, budget, &snapshot_b)?;
+        let dual_proxy = spawn_proxy(vec![shard_a.info.clone(), shard_b.info.clone()])?;
+        let dual_addr = dual_proxy.addr().to_string();
+        let mut writer =
+            TcpStream::connect(&dual_addr).map_err(|e| format!("dual connect: {e}"))?;
+        let _ = writer.set_nodelay(true);
+        let mut reader = BufReader::new(writer.try_clone().map_err(|e| e.to_string())?);
+        for key in &keys {
+            roundtrip(&mut writer, &mut reader, key)?;
+        }
+        let dual_shard = hammer(&dual_addr, &keys, 4, 4)?;
+
+        // Steady-state sample of shard B's keys: replies recorded for
+        // the post-restart parity check, latencies for the steady p50.
+        let mut steady_lat = Vec::new();
+        let mut steady_replies = Vec::new();
+        for round in 0..3 {
+            for key in &shard_b_keys {
+                let t = Instant::now();
+                let reply = roundtrip(&mut writer, &mut reader, key)?;
+                steady_lat.push(t.elapsed().as_secs_f64() * 1e3);
+                if !reply.cache_hit {
+                    return Err(format!(
+                        "steady round {round} missed the cache on {}/{:?}",
+                        key.design, key.workload
+                    ));
+                }
+                if round == 0 {
+                    steady_replies.push(reply);
+                }
+            }
+        }
+        dual_proxy
+            .shutdown()
+            .map_err(|e| format!("dual proxy shutdown: {e}"))?;
+
+        // Drain shard B (it writes its snapshot on the way out), then
+        // restart it from that snapshot and re-run its keys.
+        shard_b.shutdown()?;
+        let snapshot_entries = std::fs::read_to_string(&snapshot_b)
+            .map_err(|e| format!("read snapshot: {e}"))?
+            .lines()
+            .filter(|line| !line.trim().is_empty())
+            .count()
+            .saturating_sub(1); // header line
+        let shard_b = spawn_shard(&registry_dir, "bench-shard", 1, budget, &snapshot_b)?;
+        let restored_proxy = spawn_proxy(vec![shard_a.info.clone(), shard_b.info.clone()])?;
+        let restored_addr = restored_proxy.addr().to_string();
+        let mut writer =
+            TcpStream::connect(&restored_addr).map_err(|e| format!("restored connect: {e}"))?;
+        let _ = writer.set_nodelay(true);
+        let mut reader = BufReader::new(writer.try_clone().map_err(|e| e.to_string())?);
+        let mut restored_lat = Vec::new();
+        let mut restored_first_round_all_hits = true;
+        let mut restored_parity = true;
+        for round in 0..3 {
+            for (key, steady) in shard_b_keys.iter().zip(&steady_replies) {
+                let t = Instant::now();
+                let reply = roundtrip(&mut writer, &mut reader, key)?;
+                restored_lat.push(t.elapsed().as_secs_f64() * 1e3);
+                if round == 0 {
+                    restored_first_round_all_hits &= reply.cache_hit;
+                    restored_parity &= reply.per_cycle_total_w == steady.per_cycle_total_w;
+                }
+            }
+        }
+        let stats = tcp_stats(&shard_b.info.addr)?;
+        restored_proxy
+            .shutdown()
+            .map_err(|e| format!("restored proxy shutdown: {e}"))?;
+        shard_b.shutdown()?;
+        shard_a.shutdown()?;
+
+        let p50 = |lat: &mut Vec<f64>| {
+            lat.sort_by(|a, b| a.total_cmp(b));
+            lat[lat.len() / 2]
+        };
+        let steady_warm_p50_ms = p50(&mut steady_lat);
+        let restored_warm_p50_ms = p50(&mut restored_lat);
+        Ok(ShardScaleoutScenario {
+            shards: 2,
+            keys: keys.len(),
+            cache_budget_bytes_per_shard: budget,
+            working_set_bytes,
+            scaleout: dual_shard.throughput_rps / single_shard.throughput_rps.max(1e-9),
+            single_shard,
+            dual_shard,
+            snapshot_entries,
+            restored_first_round_all_hits,
+            restored_embeddings_computed: stats.embeddings_computed,
+            restored_shard_id: stats.shard_id,
+            restored_parity,
+            steady_warm_p50_ms,
+            restored_warm_p50_ms,
+            restored_p50_ratio: restored_warm_p50_ms / steady_warm_p50_ms.max(1e-9),
+        })
+    })();
+    let _ = std::fs::remove_dir_all(&dir);
+    scenario
+}
+
 fn main() -> ExitCode {
+    if std::env::args().any(|arg| arg == "--shard-server") {
+        return run_shard_server();
+    }
     let args = match parse_args() {
         Ok(args) => args,
         Err(msg) => {
@@ -948,6 +1499,26 @@ fn main() -> ExitCode {
         quota_storm.storm_embeddings_computed
     );
 
+    // Shard-scaleout pass: 1 vs 2 shard processes behind the proxy,
+    // then a drain/snapshot/restart round trip.
+    let shard_scaleout = match run_shard_scaleout_scenario(&trained.model, &cfg, args.cycles) {
+        Ok(shard_scaleout) => shard_scaleout,
+        Err(e) => {
+            eprintln!("error: shard-scaleout scenario: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "shard-scaleout: {:.0} req/s on 1 shard -> {:.0} req/s on 2 ({:.2}x); \
+         restored shard recomputed {} (p50 {:.2} ms vs steady {:.2} ms)",
+        shard_scaleout.single_shard.throughput_rps,
+        shard_scaleout.dual_shard.throughput_rps,
+        shard_scaleout.scaleout,
+        shard_scaleout.restored_embeddings_computed,
+        shard_scaleout.restored_warm_p50_ms,
+        shard_scaleout.steady_warm_p50_ms
+    );
+
     let stats = service.stats();
     let report = BenchReport {
         isa: atlas_nn::simd::isa_label().to_owned(),
@@ -971,6 +1542,7 @@ fn main() -> ExitCode {
         multimodel,
         reload,
         quota_storm,
+        shard_scaleout,
     };
     println!(
         "cache-hit speedup over cold: {:.1}x (hit latency below cold: {})",
@@ -1042,6 +1614,33 @@ fn main() -> ExitCode {
         eprintln!(
             "error: victim p50 under storm regressed {:.2}x over idle (> 3x allowed)",
             report.quota_storm.p50_ratio
+        );
+        return ExitCode::FAILURE;
+    }
+    if report.shard_scaleout.scaleout < 1.6 {
+        eprintln!(
+            "error: two shards scaled warm throughput only {:.2}x over one (>= 1.6x required)",
+            report.shard_scaleout.scaleout
+        );
+        return ExitCode::FAILURE;
+    }
+    if report.shard_scaleout.restored_embeddings_computed != 0
+        || !report.shard_scaleout.restored_first_round_all_hits
+        || !report.shard_scaleout.restored_parity
+    {
+        eprintln!(
+            "error: restarting from a snapshot was not warm ({} recomputes, all hits {}, \
+             parity {})",
+            report.shard_scaleout.restored_embeddings_computed,
+            report.shard_scaleout.restored_first_round_all_hits,
+            report.shard_scaleout.restored_parity
+        );
+        return ExitCode::FAILURE;
+    }
+    if report.shard_scaleout.restored_p50_ratio > 2.0 {
+        eprintln!(
+            "error: restored warm p50 regressed {:.2}x over steady (> 2x allowed)",
+            report.shard_scaleout.restored_p50_ratio
         );
         return ExitCode::FAILURE;
     }

@@ -177,6 +177,24 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
         true
     }
 
+    /// Snapshot every resident entry, oldest-first, with its weight.
+    ///
+    /// Recency is *not* refreshed and hit/miss counters are untouched:
+    /// exporting is an observation, not a use. Oldest-first ordering
+    /// means a consumer that re-inserts in order (warm-start restore)
+    /// reproduces the same eviction priority the cache had at export
+    /// time.
+    pub fn export(&self) -> Vec<(K, Arc<V>, usize)> {
+        let inner = self.inner.lock().expect("cache lock");
+        let mut entries: Vec<_> = inner
+            .entries
+            .iter()
+            .map(|(k, e)| (e.last_used, k.clone(), Arc::clone(&e.value), e.weight))
+            .collect();
+        entries.sort_by_key(|(last_used, ..)| *last_used);
+        entries.into_iter().map(|(_, k, v, w)| (k, v, w)).collect()
+    }
+
     /// Current counters.
     pub fn stats(&self) -> CacheStats {
         let inner = self.inner.lock().expect("cache lock");
@@ -324,6 +342,28 @@ mod tests {
         let stats = cache.stats();
         assert_eq!((stats.len, stats.weight), (1, 3));
         assert_eq!(cache.get(&1).as_deref(), Some(&11));
+    }
+
+    #[test]
+    fn export_is_oldest_first_and_not_a_use() {
+        let cache: LruCache<u32, u32> = LruCache::with_budget(100);
+        assert!(cache.insert_weighted(1, Arc::new(10), 4));
+        assert!(cache.insert_weighted(2, Arc::new(20), 8));
+        assert!(cache.insert_weighted(3, Arc::new(30), 2));
+        // Touch 1 so it becomes the most recently used entry.
+        assert!(cache.get(&1).is_some());
+        let before = cache.stats();
+        let exported = cache.export();
+        let keys: Vec<u32> = exported.iter().map(|(k, ..)| *k).collect();
+        assert_eq!(keys, vec![2, 3, 1], "oldest-first with refreshed recency");
+        let weights: Vec<usize> = exported.iter().map(|(.., w)| *w).collect();
+        assert_eq!(weights, vec![8, 2, 4]);
+        let after = cache.stats();
+        assert_eq!(
+            (before.hits, before.misses),
+            (after.hits, after.misses),
+            "export must not perturb hit/miss accounting"
+        );
     }
 
     #[test]

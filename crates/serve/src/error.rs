@@ -32,6 +32,11 @@ pub enum ServeError {
     /// An uploaded design body failed to parse. The message carries the
     /// parser's typed diagnostic (kind, line, and offending token).
     ParseError(String),
+    /// A downstream dependency could not be reached — the shard proxy's
+    /// signal that the backend owning a request's key is unreachable or
+    /// answered garbage. The request may be retried; other shards are
+    /// unaffected.
+    Unavailable(String),
     /// The service is shutting down or a worker died.
     Shutdown,
 }
@@ -48,6 +53,7 @@ impl ServeError {
             ServeError::Simulation(_) => "simulation",
             ServeError::Registry(_) => "registry",
             ServeError::ParseError(_) => "parse_error",
+            ServeError::Unavailable(_) => "unavailable",
             ServeError::Shutdown => "shutdown",
         }
     }
@@ -67,6 +73,7 @@ impl fmt::Display for ServeError {
             ServeError::Simulation(msg) => write!(f, "simulation failed: {msg}"),
             ServeError::Registry(msg) => write!(f, "registry error: {msg}"),
             ServeError::ParseError(msg) => write!(f, "design failed to parse: {msg}"),
+            ServeError::Unavailable(msg) => write!(f, "backend unavailable: {msg}"),
             ServeError::Shutdown => write!(f, "service is shut down"),
         }
     }
@@ -117,6 +124,7 @@ mod tests {
             "unknown model `m`"
         );
         assert_eq!(ServeError::ParseError("x".into()).kind(), "parse_error");
+        assert_eq!(ServeError::Unavailable("x".into()).kind(), "unavailable");
         assert_eq!(ServeError::Shutdown.kind(), "shutdown");
     }
 

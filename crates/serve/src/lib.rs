@@ -22,14 +22,23 @@
 //!   to disk and replayed at startup), and the live control plane
 //!   (`load_model`/`unload_model` mutate the hosted catalog without a
 //!   restart);
-//! * [`reactor`] — the non-blocking TCP front door: one epoll thread
-//!   multiplexes thousands of connections with per-connection
-//!   back-pressure, so idle clients cost buffers instead of threads;
+//! * [`reactor`] — the non-blocking TCP front door: N epoll reactor
+//!   threads (one by default), each with its own `SO_REUSEPORT`
+//!   listener, connection table, and wakeup, multiplex thousands of
+//!   connections with per-connection back-pressure, so idle clients
+//!   cost buffers instead of threads; any [`reactor::Frontend`] can sit
+//!   behind it;
+//! * [`shard`] — horizontal scale-out: a consistent-hash ring routing
+//!   trace keys across N serve processes, and the [`shard::ShardProxy`]
+//!   frontend the `atlas-shard` binary serves (warm-start cache
+//!   snapshots live in [`service`]:
+//!   [`AtlasService::snapshot_cache`](service::AtlasService::snapshot_cache) /
+//!   [`AtlasService::restore_cache`](service::AtlasService::restore_cache));
 //! * [`protocol`] — the JSON-lines request/response wire format spoken
 //!   over stdin/stdout or TCP by the `serve` binary: the `predict`,
 //!   `stats`, `models`, `load_model`, `unload_model`,
-//!   `register_workload`, `workloads`, and `load_design` verbs (full
-//!   reference in `docs/PROTOCOL.md`);
+//!   `register_workload`, `workloads`, `load_design`, and `shard_map`
+//!   verbs (full reference in `docs/PROTOCOL.md`);
 //! * [`error`] — typed errors ([`ServeError`]) replacing the panics of
 //!   the batch drivers.
 //!
@@ -82,19 +91,24 @@ pub mod quota;
 pub mod reactor;
 pub mod registry;
 pub mod service;
+pub mod shard;
 
 pub use cache::{CacheStats, LruCache};
 pub use error::ServeError;
 pub use protocol::{
     ErrorResponse, GroupSummary, LoadDesignRequest, LoadDesignResponse, LoadModelRequest,
     LoadModelResponse, ModelsResponse, PredictRequest, PredictResponse, RegisterWorkloadRequest,
-    RegisterWorkloadResponse, RequestLine, StatsResponse, UnloadModelRequest, UnloadModelResponse,
-    WorkloadsResponse,
+    RegisterWorkloadResponse, RequestLine, ShardInfo, ShardMapResponse, StatsResponse,
+    UnloadModelRequest, UnloadModelResponse, WorkloadsResponse,
 };
 pub use quota::{Admission, QuotaGate};
-pub use reactor::{Reactor, ReactorConfig, ReactorHandle, ReactorStats};
+pub use reactor::{
+    Frontend, PoolHandle, Reactor, ReactorConfig, ReactorHandle, ReactorPool, ReactorStats,
+};
 pub use registry::{ModelCatalog, ModelRegistry, RegistryError, SavedModel, FORMAT_VERSION};
 pub use service::{
     parse_workload_journal, render_journal_entry, AtlasService, DesignInfo, ModelInfo, ModelStats,
-    RegisteredWorkload, Reply, ServiceConfig, ServiceStats, WorkloadJournalEntry,
+    RegisteredWorkload, Reply, ServiceConfig, ServiceStats, SnapshotRestoreReport,
+    WorkloadJournalEntry,
 };
+pub use shard::{trace_route_key, ShardProxy, ShardRing};

@@ -17,8 +17,8 @@
 //!
 //! A line with a `verb` field is dispatched by verb (`"predict"`,
 //! `"stats"`, `"models"`, `"load_model"`, `"unload_model"`,
-//! `"register_workload"`, `"workloads"`, `"load_design"`); a line
-//! without one is a predict request. Predict requests may address a
+//! `"register_workload"`, `"workloads"`, `"load_design"`,
+//! `"shard_map"`); a line without one is a predict request. Predict requests may address a
 //! specific hosted model via [`PredictRequest::model`] and may carry
 //! their workload three ways: a preset name in `workload`, an inline
 //! phase schedule in `phases`, or the name of a server-registered
@@ -31,6 +31,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::cache::CacheStats;
 use crate::error::ServeError;
+use crate::reactor::ReactorStats;
 use crate::service::{DesignInfo, ModelInfo, ModelStats, RegisteredWorkload, ServiceStats};
 
 /// One prediction request: which design, under which workload, for how
@@ -202,6 +203,13 @@ pub enum RequestLine {
         /// Client-chosen correlation id, echoed in the response.
         id: Option<u64>,
     },
+    /// A shard-topology request (`"verb":"shard_map"`). A plain serve
+    /// process answers with its own shard id and an empty ring; the
+    /// `atlas-shard` proxy answers with every backend shard.
+    ShardMap {
+        /// Client-chosen correlation id, echoed in the response.
+        id: Option<u64>,
+    },
 }
 
 /// The reply to a `stats` verb: aggregate service counters, including
@@ -234,9 +242,22 @@ pub struct StatsResponse {
     /// Per-model breakdown: every hosted model's request counters and
     /// cache occupancy, sorted by serving name.
     pub models: Vec<ModelStats>,
+    /// This process's shard id (`--shard-id`), absent when unsharded —
+    /// lets operators attribute stats lines in a scale-out deployment.
+    pub shard_id: Option<u32>,
+    /// Reactor threads serving the listen address. `0` over stdio
+    /// (there is no reactor).
+    pub reactor_threads: usize,
+    /// Per-reactor connection and back-pressure counters, in reactor
+    /// order — accept-skew across reactors at a glance. Empty over
+    /// stdio.
+    pub reactors: Vec<ReactorStats>,
 }
 
-/// Build the `stats` verb reply from a service counter snapshot.
+/// Build the `stats` verb reply from a service counter snapshot. The
+/// reactor fields (`reactor_threads`, `reactors`) start empty — the
+/// service knows nothing about the I/O plane; the reactor frontend
+/// fills them in before rendering.
 pub fn stats_response(id: Option<u64>, stats: &ServiceStats) -> StatsResponse {
     StatsResponse {
         id,
@@ -248,7 +269,37 @@ pub fn stats_response(id: Option<u64>, stats: &ServiceStats) -> StatsResponse {
         embedding_cache: stats.embedding_cache,
         design_cache: stats.design_cache,
         models: stats.models.clone(),
+        shard_id: stats.shard_id,
+        reactor_threads: 0,
+        reactors: Vec::new(),
     }
+}
+
+/// One shard of a scale-out deployment, as reported by `shard_map`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShardInfo {
+    /// Shard id (the backend's `--shard-id`).
+    pub id: u32,
+    /// Backend address the proxy routes this shard's keys to.
+    pub addr: String,
+    /// Virtual nodes this shard occupies on the hash ring.
+    pub vnodes: usize,
+}
+
+/// The reply to a `shard_map` verb: the process's place in (or view of)
+/// the shard topology.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShardMapResponse {
+    /// Echo of the request id.
+    pub id: Option<u64>,
+    /// Always `"shard_map"`.
+    pub verb: String,
+    /// This process's shard id, when it is a shard (`--shard-id`).
+    /// Absent on the proxy and on unsharded serve processes.
+    pub shard_id: Option<u32>,
+    /// The routing ring: every backend shard, sorted by id. Empty on a
+    /// plain serve process (it routes nothing).
+    pub shards: Vec<ShardInfo>,
 }
 
 /// The reply to a `models` verb: every hosted model and the default.
@@ -536,6 +587,9 @@ pub fn parse_line(line: &str) -> Result<RequestLine, ServeError> {
         Some("workloads") => Ok(RequestLine::Workloads {
             id: id_of("workloads")?,
         }),
+        Some("shard_map") => Ok(RequestLine::ShardMap {
+            id: id_of("shard_map")?,
+        }),
         Some("register_workload") => RegisterWorkloadRequest::from_value(&value)
             .map(RequestLine::RegisterWorkload)
             .map_err(|e| bad(format!("bad register_workload line: {e}"))),
@@ -689,6 +743,10 @@ mod tests {
             Ok(RequestLine::Workloads { id: None })
         );
         assert_eq!(
+            parse_line(r#"{"verb":"shard_map","id":11}"#),
+            Ok(RequestLine::ShardMap { id: Some(11) })
+        );
+        assert_eq!(
             parse_line(
                 r#"{"verb":"register_workload","id":5,"name":"bursty",
                     "phases":[{"activity":0.5,"min_len":2,"max_len":4}]}"#
@@ -769,6 +827,7 @@ mod tests {
             coalesced_requests: 4,
             embedding_cache,
             design_cache,
+            shard_id: Some(3),
             models: vec![ModelStats {
                 model: "alpha".into(),
                 precision: "f64".into(),
@@ -785,6 +844,9 @@ mod tests {
         };
         let resp = stats_response(Some(9), &stats);
         assert_eq!(resp.verb, "stats");
+        assert_eq!(resp.shard_id, Some(3));
+        assert_eq!(resp.reactor_threads, 0);
+        assert!(resp.reactors.is_empty());
         assert_eq!(resp.embedding_cache.budget, 1_000_000);
         assert_eq!(resp.models.len(), 1);
         assert_eq!(resp.models[0].model, "alpha");

@@ -1,17 +1,18 @@
-//! Non-blocking TCP front door: one `epoll` reactor thread multiplexing
+//! Non-blocking TCP front door: `epoll` reactor threads multiplexing
 //! every connection, with the worker pool doing the actual prediction.
 //!
 //! The thread-per-connection front door of PR 1 pinned an OS thread per
 //! client for its whole lifetime — thousands of mostly-idle monitoring
 //! connections meant thousands of stacks. This module replaces it with a
-//! classic single-threaded event loop:
+//! classic event loop:
 //!
 //! * every connection is **non-blocking** and registered with one epoll
 //!   instance; idle connections cost a file descriptor and a small buffer
 //!   pair, not a thread;
-//! * complete JSON lines are parsed on the reactor thread and submitted
-//!   to [`AtlasService::submit_with`]; the worker's reply is queued and
-//!   the reactor is woken through an `eventfd` to write it out;
+//! * complete JSON lines are parsed on the reactor thread and handed to
+//!   a [`Frontend`] — for [`AtlasService`] that means predictions go to
+//!   the worker pool via `submit_with`; the worker's reply is queued and
+//!   the owning reactor is woken through its `eventfd` to write it out;
 //! * **back-pressure**: a connection that stops reading its responses
 //!   (write buffer above [`ReactorConfig::write_high_water`]) or floods
 //!   requests (more than [`ReactorConfig::max_inflight`] outstanding)
@@ -21,9 +22,24 @@
 //!   it, new connections get a one-line `overloaded` error and are
 //!   closed.
 //!
+//! # Scaling out: [`ReactorPool`]
+//!
+//! One reactor thread is plenty for a handful of clients, but accept,
+//! read, parse, and write for *every* connection then share one core.
+//! [`ReactorPool::bind`] starts N reactors, each with its **own** epoll
+//! instance, listener, connection table, eventfd, and counters. The
+//! listeners all bind the same address with `SO_REUSEPORT`, so the
+//! kernel spreads incoming connections across them with no shared
+//! accept lock; when the platform refuses the option the pool falls
+//! back to N dup'd handles of one listener (a shared kernel accept
+//! queue — level-triggered epoll means losers of an accept race simply
+//! see `WouldBlock`). Worker completions always route back to the
+//! reactor that owns the connection, because the [`Completer`] captured
+//! at submit time holds that reactor's queue.
+//!
 //! The total OS-thread budget of a TCP `serve` process is therefore
-//! `worker_count + 2` (workers + reactor + main), independent of
-//! connection count.
+//! `worker_count + reactors + 1` (workers + N reactors + main),
+//! independent of connection count.
 //!
 //! The `stats` protocol verb is answered inline on the reactor thread —
 //! it is a counter snapshot and never needs a worker.
@@ -33,10 +49,11 @@
 //! The build environment has no registry access (see `vendor/`), so
 //! instead of `mio`/`tokio` the private `sys` module declares the libc
 //! symbols the loop needs (`epoll_create1`, `epoll_ctl`, `epoll_wait`,
-//! `eventfd`, `close`) directly — std already links libc on Linux. This
-//! is the same vendoring policy as the serde/rand shims: the exact API
-//! subset the workspace uses, swappable for the real crates when a
-//! registry is available.
+//! `eventfd`, `socket`, `setsockopt`, `bind`, `listen`, `close`)
+//! directly — std already links libc on Linux. This is the same
+//! vendoring policy as the serde/rand shims: the exact API subset the
+//! workspace uses, swappable for the real crates when a registry is
+//! available.
 
 use std::collections::HashMap;
 use std::io::{self, Read, Write};
@@ -168,6 +185,90 @@ mod sys {
             let _ = read(fd, (&mut buf as *mut u64).cast(), 8);
         }
     }
+
+    // ---- raw IPv4 listener sockets (SO_REUSEPORT) ----
+
+    pub const AF_INET: u16 = 2;
+    pub const SOCK_STREAM: i32 = 1;
+    pub const SOCK_CLOEXEC: i32 = 0o2000000;
+    pub const SOCK_NONBLOCK: i32 = 0o4000;
+    pub const SOL_SOCKET: i32 = 1;
+    pub const SO_REUSEADDR: i32 = 2;
+    pub const SO_REUSEPORT: i32 = 15;
+
+    /// Mirror of `struct sockaddr_in` (Linux). Port and address are in
+    /// network byte order.
+    #[repr(C)]
+    pub struct SockAddrIn {
+        pub sin_family: u16,
+        pub sin_port: u16,
+        pub sin_addr: u32,
+        pub sin_zero: [u8; 8],
+    }
+
+    extern "C" {
+        fn socket(domain: i32, ty: i32, protocol: i32) -> i32;
+        fn bind(fd: i32, addr: *const SockAddrIn, len: u32) -> i32;
+        fn listen(fd: i32, backlog: i32) -> i32;
+        fn setsockopt(
+            fd: i32,
+            level: i32,
+            optname: i32,
+            optval: *const core::ffi::c_void,
+            optlen: u32,
+        ) -> i32;
+    }
+
+    /// Create a non-blocking IPv4 listener bound with `SO_REUSEPORT`
+    /// (plus `SO_REUSEADDR`, matching std). Fails if the platform
+    /// refuses the option — the caller falls back to a shared accept
+    /// queue.
+    pub fn reuseport_listener(addr: std::net::SocketAddrV4) -> io::Result<std::net::TcpListener> {
+        use std::os::unix::io::FromRawFd;
+
+        // SAFETY: no pointers involved; constants are valid.
+        let fd = unsafe {
+            cvt(socket(
+                AF_INET as i32,
+                SOCK_STREAM | SOCK_CLOEXEC | SOCK_NONBLOCK,
+                0,
+            ))?
+        };
+        // Own the fd so every early return below closes it.
+        let owned = OwnedFd(fd);
+        let one: i32 = 1;
+        for opt in [SO_REUSEADDR, SO_REUSEPORT] {
+            // SAFETY: `one` outlives the call; the kernel copies 4 bytes.
+            unsafe {
+                cvt(setsockopt(
+                    owned.0,
+                    SOL_SOCKET,
+                    opt,
+                    (&one as *const i32).cast(),
+                    4,
+                ))?;
+            }
+        }
+        let sa = SockAddrIn {
+            sin_family: AF_INET,
+            sin_port: addr.port().to_be(),
+            sin_addr: u32::from_be_bytes(addr.ip().octets()).to_be(),
+            sin_zero: [0; 8],
+        };
+        // SAFETY: `sa` outlives the call; the length matches the struct.
+        unsafe {
+            cvt(bind(
+                owned.0,
+                &sa,
+                core::mem::size_of::<SockAddrIn>() as u32,
+            ))?;
+            cvt(listen(owned.0, 1024))?;
+        }
+        let fd = owned.0;
+        core::mem::forget(owned);
+        // SAFETY: the fd is a fresh, owned listening socket.
+        Ok(unsafe { std::net::TcpListener::from_raw_fd(fd) })
+    }
 }
 
 /// Tuning knobs of the event-loop front door.
@@ -199,7 +300,9 @@ impl Default for ReactorConfig {
 }
 
 /// Monotonic counters of one reactor, readable from any thread.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+/// Serializable so the `stats` verb can report per-reactor accept and
+/// back-pressure skew.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
 pub struct ReactorStats {
     /// Connections accepted.
     pub accepted: u64,
@@ -271,6 +374,89 @@ impl Completions {
     }
 }
 
+/// An owned ticket for answering one request asynchronously. Captured
+/// by [`Frontend::handle`] when the reply will come from another thread
+/// (a worker, a proxy backend reader); completing it queues the line
+/// and wakes the reactor that owns the connection.
+pub struct Completer {
+    token: u64,
+    completions: Arc<Completions>,
+}
+
+impl Completer {
+    /// Queue `line` as the reply and wake the owning reactor.
+    pub fn complete(&self, line: String) {
+        self.completions.push(self.token, line);
+    }
+}
+
+/// The counters of every reactor serving one address, shared so the
+/// `stats` verb can report per-reactor accept and back-pressure skew
+/// from any reactor thread.
+#[derive(Clone)]
+pub struct ReactorRegistry {
+    counters: Arc<Vec<Arc<Counters>>>,
+}
+
+impl ReactorRegistry {
+    fn new(counters: Vec<Arc<Counters>>) -> ReactorRegistry {
+        ReactorRegistry {
+            counters: Arc::new(counters),
+        }
+    }
+
+    /// Number of reactor threads serving this address.
+    pub fn threads(&self) -> usize {
+        self.counters.len()
+    }
+
+    /// Per-reactor counter snapshots, in reactor order.
+    pub fn snapshot(&self) -> Vec<ReactorStats> {
+        self.counters.iter().map(|c| c.snapshot()).collect()
+    }
+}
+
+/// The per-request view a reactor hands to its [`Frontend`]: enough to
+/// reply later ([`FrontendContext::completer`]) and to report the I/O
+/// plane's shape in `stats` replies.
+pub struct FrontendContext<'a> {
+    token: u64,
+    completions: &'a Arc<Completions>,
+    registry: &'a ReactorRegistry,
+}
+
+impl FrontendContext<'_> {
+    /// An owned ticket for replying to this request from another thread.
+    pub fn completer(&self) -> Completer {
+        Completer {
+            token: self.token,
+            completions: Arc::clone(self.completions),
+        }
+    }
+
+    /// Number of reactor threads serving this listen address.
+    pub fn reactor_threads(&self) -> usize {
+        self.registry.threads()
+    }
+
+    /// Per-reactor counter snapshots, in reactor order.
+    pub fn reactor_stats(&self) -> Vec<ReactorStats> {
+        self.registry.snapshot()
+    }
+}
+
+/// What a reactor serves: one request line in, one reply line out.
+///
+/// Return `Some(reply)` to answer inline on the reactor thread (counter
+/// snapshots, control-plane verbs, parse errors). Return `None` after
+/// arranging for a [`Completer`] taken from the context to be completed
+/// elsewhere — the reactor then counts the request as in-flight for
+/// back-pressure until the completion arrives.
+pub trait Frontend: Send + Sync {
+    /// Handle one newline-framed request line (newline stripped).
+    fn handle(&self, line: &str, ctx: &FrontendContext<'_>) -> Option<String>;
+}
+
 const TOKEN_LISTENER: u64 = 0;
 const TOKEN_WAKE: u64 = 1;
 const FIRST_CONN_TOKEN: u64 = 2;
@@ -298,13 +484,15 @@ impl Conn {
     }
 }
 
-/// An event-driven TCP server over one [`AtlasService`].
+/// An event-driven TCP server over one [`Frontend`] (typically an
+/// [`AtlasService`]; the shard proxy is the other implementation).
 pub struct Reactor {
-    service: Arc<AtlasService>,
+    frontend: Arc<dyn Frontend>,
     listener: TcpListener,
     cfg: ReactorConfig,
     completions: Arc<Completions>,
     counters: Arc<Counters>,
+    registry: ReactorRegistry,
 }
 
 /// Control handle of a reactor running on its own thread.
@@ -365,23 +553,39 @@ impl Reactor {
     ///
     /// Socket or eventfd creation failures.
     pub fn bind(
-        service: Arc<AtlasService>,
+        frontend: Arc<dyn Frontend>,
         addr: impl ToSocketAddrs,
         cfg: ReactorConfig,
     ) -> io::Result<Reactor> {
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
+        let counters = Arc::new(Counters::default());
+        let registry = ReactorRegistry::new(vec![Arc::clone(&counters)]);
+        Reactor::over(frontend, listener, cfg, counters, registry)
+    }
+
+    /// Wrap an already-bound non-blocking listener (used by
+    /// [`ReactorPool`], where the listeners share a port and the
+    /// registry spans every reactor).
+    fn over(
+        frontend: Arc<dyn Frontend>,
+        listener: TcpListener,
+        cfg: ReactorConfig,
+        counters: Arc<Counters>,
+        registry: ReactorRegistry,
+    ) -> io::Result<Reactor> {
         let completions = Arc::new(Completions {
             queue: Mutex::new(Vec::new()),
             wake: sys::new_eventfd()?,
             shutdown: AtomicBool::new(false),
         });
         Ok(Reactor {
-            service,
+            frontend,
             listener,
             cfg,
             completions,
-            counters: Arc::new(Counters::default()),
+            counters,
+            registry,
         })
     }
 
@@ -433,9 +637,240 @@ impl Reactor {
     }
 }
 
+/// N reactors serving one listen address, each on its own thread with
+/// its own epoll instance, listener, connection table, and wakeup.
+///
+/// Listeners are bound with `SO_REUSEPORT` so the kernel load-balances
+/// accepts across reactors; where the option is unavailable the pool
+/// falls back to dup'd handles of one listener (a shared accept queue).
+pub struct ReactorPool {
+    reactors: Vec<Reactor>,
+    addr: SocketAddr,
+    registry: ReactorRegistry,
+    /// False when the `SO_REUSEPORT` path was refused and the pool fell
+    /// back to a shared accept queue.
+    reuseport: bool,
+}
+
+impl ReactorPool {
+    /// Bind `threads` reactors on `addr` (port 0 resolves once and every
+    /// reactor shares the concrete port).
+    ///
+    /// # Errors
+    ///
+    /// Socket or eventfd creation failures. A refused `SO_REUSEPORT` is
+    /// not an error — the pool falls back to a shared accept queue.
+    pub fn bind(
+        frontend: Arc<dyn Frontend>,
+        addr: impl ToSocketAddrs,
+        cfg: ReactorConfig,
+        threads: usize,
+    ) -> io::Result<ReactorPool> {
+        let threads = threads.max(1);
+        let addr = addr
+            .to_socket_addrs()?
+            .next()
+            .ok_or_else(|| io::Error::other("address resolved to nothing"))?;
+        let (listeners, reuseport) = bind_listeners(addr, threads)?;
+        let addr = listeners[0].local_addr()?;
+        let counters: Vec<Arc<Counters>> = (0..listeners.len())
+            .map(|_| Arc::new(Counters::default()))
+            .collect();
+        let registry = ReactorRegistry::new(counters.clone());
+        let reactors = listeners
+            .into_iter()
+            .zip(counters)
+            .map(|(listener, counters)| {
+                Reactor::over(
+                    Arc::clone(&frontend),
+                    listener,
+                    cfg.clone(),
+                    counters,
+                    registry.clone(),
+                )
+            })
+            .collect::<io::Result<Vec<Reactor>>>()?;
+        Ok(ReactorPool {
+            reactors,
+            addr,
+            registry,
+            reuseport,
+        })
+    }
+
+    /// The bound listen address (resolved, so port 0 becomes concrete).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Whether the kernel accepted `SO_REUSEPORT` (false = shared
+    /// accept-queue fallback).
+    pub fn reuseport(&self) -> bool {
+        self.reuseport
+    }
+
+    /// The shared per-reactor counter registry.
+    pub fn registry(&self) -> ReactorRegistry {
+        self.registry.clone()
+    }
+
+    /// Start every reactor on its own thread.
+    ///
+    /// # Errors
+    ///
+    /// Thread spawn failures (already-started reactors are shut down).
+    pub fn spawn(self) -> io::Result<PoolHandle> {
+        let addr = self.addr;
+        let registry = self.registry;
+        let mut handles = Vec::with_capacity(self.reactors.len());
+        for (i, reactor) in self.reactors.into_iter().enumerate() {
+            let completions = Arc::clone(&reactor.completions);
+            let counters = Arc::clone(&reactor.counters);
+            let thread = thread::Builder::new()
+                .name(format!("atlas-reactor-{i}"))
+                .spawn(move || reactor.run())?;
+            handles.push(ReactorHandle {
+                addr,
+                completions,
+                counters,
+                thread: Some(thread),
+            });
+        }
+        Ok(PoolHandle {
+            addr,
+            registry,
+            handles,
+        })
+    }
+}
+
+/// Control handle of a running [`ReactorPool`].
+pub struct PoolHandle {
+    addr: SocketAddr,
+    registry: ReactorRegistry,
+    handles: Vec<ReactorHandle>,
+}
+
+impl PoolHandle {
+    /// The bound listen address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Per-reactor counter snapshots, in reactor order.
+    pub fn reactor_stats(&self) -> Vec<ReactorStats> {
+        self.registry.snapshot()
+    }
+
+    /// Counters summed across reactors.
+    pub fn stats(&self) -> ReactorStats {
+        let mut total = ReactorStats::default();
+        for s in self.registry.snapshot() {
+            total.accepted += s.accepted;
+            total.rejected += s.rejected;
+            total.closed += s.closed;
+            total.active += s.active;
+            total.requests += s.requests;
+            total.responses += s.responses;
+            total.pauses += s.pauses;
+        }
+        total
+    }
+
+    /// Stop every reactor, close every connection, and join the threads.
+    ///
+    /// # Errors
+    ///
+    /// The first I/O error that terminated a loop, if any did not exit
+    /// cleanly.
+    pub fn shutdown(self) -> io::Result<()> {
+        // Signal every loop before joining any, so they wind down in
+        // parallel.
+        for h in &self.handles {
+            h.begin_shutdown();
+        }
+        let mut result = Ok(());
+        for h in self.handles {
+            let r = h.shutdown();
+            if result.is_ok() {
+                result = r;
+            }
+        }
+        result
+    }
+
+    /// Block until every reactor thread exits (a fatal error or an
+    /// external shutdown signal). Used by the `serve` binary, which
+    /// parks `main` here.
+    ///
+    /// # Errors
+    ///
+    /// The first I/O error that terminated a loop.
+    pub fn join(self) -> io::Result<()> {
+        let mut result = Ok(());
+        for mut h in self.handles {
+            let r = match h.thread.take() {
+                Some(t) => t
+                    .join()
+                    .unwrap_or_else(|_| Err(io::Error::other("reactor thread panicked"))),
+                None => Ok(()),
+            };
+            if result.is_ok() {
+                result = r;
+            }
+        }
+        result
+    }
+}
+
+/// Bind `n` listeners on one address: `SO_REUSEPORT` when the kernel
+/// allows it, otherwise dup'd handles of a single listener. Returns the
+/// listeners plus whether the reuseport path was taken.
+fn bind_listeners(addr: SocketAddr, n: usize) -> io::Result<(Vec<TcpListener>, bool)> {
+    if n > 1 {
+        if let SocketAddr::V4(v4) = addr {
+            if let Ok(first) = sys::reuseport_listener(v4) {
+                // Port 0: learn the concrete port before binding the rest.
+                let bound = first.local_addr()?;
+                let mut listeners = vec![first];
+                let concrete = match bound {
+                    SocketAddr::V4(b) => b,
+                    SocketAddr::V6(_) => unreachable!("IPv4 bind yields an IPv4 address"),
+                };
+                let mut ok = true;
+                for _ in 1..n {
+                    match sys::reuseport_listener(concrete) {
+                        Ok(l) => listeners.push(l),
+                        Err(_) => {
+                            ok = false;
+                            break;
+                        }
+                    }
+                }
+                if ok {
+                    return Ok((listeners, true));
+                }
+                // Partial failure: drop what we bound and fall through to
+                // the shared-queue fallback.
+            }
+        }
+    }
+    let first = TcpListener::bind(addr)?;
+    first.set_nonblocking(true)?;
+    let mut listeners = Vec::with_capacity(n);
+    for _ in 1..n {
+        let dup = first.try_clone()?;
+        dup.set_nonblocking(true)?;
+        listeners.push(dup);
+    }
+    listeners.insert(0, first);
+    Ok((listeners, false))
+}
+
 /// The running event loop (private; built by [`Reactor::run`]).
 struct Loop {
-    service: Arc<AtlasService>,
+    frontend: Arc<dyn Frontend>,
+    registry: ReactorRegistry,
     listener: TcpListener,
     cfg: ReactorConfig,
     completions: Arc<Completions>,
@@ -468,7 +903,8 @@ impl Loop {
             TOKEN_WAKE,
         )?;
         Ok(Loop {
-            service: reactor.service,
+            frontend: reactor.frontend,
+            registry: reactor.registry,
             listener: reactor.listener,
             cfg: reactor.cfg,
             completions: reactor.completions,
@@ -695,97 +1131,26 @@ impl Loop {
         }
     }
 
-    /// Route one request line: predictions to the worker pool; `stats`,
-    /// `models`, `load_model`, `unload_model`, `register_workload`,
-    /// `workloads`, and `load_design` answered inline (they are counter
-    /// snapshots or rare control-plane mutations and never need a worker
-    /// — `load_model` does read a model file and `load_design` does
-    /// parse a size-capped netlist on the reactor thread, an accepted
-    /// cost for operator-frequency verbs); parse errors answered inline.
+    /// Hand one request line to the frontend. `Some` replies are queued
+    /// inline; `None` means the frontend captured a [`Completer`] and
+    /// the reply will arrive through the completion queue — count it
+    /// in-flight for back-pressure. The in-flight bump *after* `handle`
+    /// returns is safe: completions are only drained by this same
+    /// thread's event loop, so the reply cannot be delivered before the
+    /// bump.
     fn dispatch(&mut self, token: u64, line: &str) {
-        match protocol::parse_line(line) {
-            Ok(RequestLine::Predict(request)) => {
+        let ctx = FrontendContext {
+            token,
+            completions: &self.completions,
+            registry: &self.registry,
+        };
+        match self.frontend.handle(line, &ctx) {
+            Some(reply) => self.queue_line(token, reply),
+            None => {
                 if let Some(conn) = self.conns.get_mut(&token) {
                     conn.inflight += 1;
                 }
                 self.counters.requests.fetch_add(1, Ordering::Relaxed);
-                let completions = Arc::clone(&self.completions);
-                self.service.submit_with(request, move |reply| {
-                    completions.push(token, protocol::render_result(&reply));
-                });
-            }
-            Ok(RequestLine::Stats { id }) => {
-                let line =
-                    protocol::render_stats(&protocol::stats_response(id, &self.service.stats()));
-                self.queue_line(token, line);
-            }
-            Ok(RequestLine::Models { id }) => {
-                let line = protocol::render_line(&protocol::models_response(
-                    id,
-                    self.service.default_model(),
-                    self.service.models(),
-                ));
-                self.queue_line(token, line);
-            }
-            Ok(RequestLine::LoadModel(req)) => {
-                let line = match self.service.load_model_file(&req.name, &req.path) {
-                    Ok(model) => protocol::render_line(&protocol::LoadModelResponse {
-                        id: req.id,
-                        verb: "load_model".to_owned(),
-                        model,
-                        default_model: self.service.default_model().to_owned(),
-                    }),
-                    Err(e) => protocol::render_result(&Err((req.id, e))),
-                };
-                self.queue_line(token, line);
-            }
-            Ok(RequestLine::UnloadModel(req)) => {
-                let line = match self.service.unload_model(&req.name) {
-                    Ok(()) => protocol::render_line(&protocol::UnloadModelResponse {
-                        id: req.id,
-                        verb: "unload_model".to_owned(),
-                        name: req.name,
-                    }),
-                    Err(e) => protocol::render_result(&Err((req.id, e))),
-                };
-                self.queue_line(token, line);
-            }
-            Ok(RequestLine::Workloads { id }) => {
-                let line = protocol::render_line(&protocol::workloads_response(
-                    id,
-                    self.service.workloads(),
-                ));
-                self.queue_line(token, line);
-            }
-            Ok(RequestLine::RegisterWorkload(req)) => {
-                let line = match self.service.register_workload(&req.name, req.phases) {
-                    Ok((workload, replaced)) => {
-                        protocol::render_line(&protocol::RegisterWorkloadResponse {
-                            id: req.id,
-                            verb: "register_workload".to_owned(),
-                            workload,
-                            replaced,
-                        })
-                    }
-                    Err(e) => protocol::render_result(&Err((req.id, e))),
-                };
-                self.queue_line(token, line);
-            }
-            Ok(RequestLine::LoadDesign(req)) => {
-                let line = match self.service.load_design(&req.name, &req.verilog) {
-                    Ok(design) => protocol::render_line(&protocol::LoadDesignResponse {
-                        id: req.id,
-                        verb: "load_design".to_owned(),
-                        design,
-                    }),
-                    Err(e) => protocol::render_result(&Err((req.id, e))),
-                };
-                self.queue_line(token, line);
-            }
-            Err(e) => {
-                let id = protocol::salvage_id(line);
-                let reply = protocol::render_result(&Err((id, e)));
-                self.queue_line(token, reply);
             }
         }
     }
@@ -924,6 +1289,103 @@ impl Loop {
 
 fn count_newlines(bytes: &[u8]) -> u64 {
     bytes.iter().filter(|&&b| b == b'\n').count() as u64
+}
+
+/// The service behind the front door: predictions to the worker pool
+/// (replied through the [`Completer`]); `stats`, `models`,
+/// `load_model`, `unload_model`, `register_workload`, `workloads`,
+/// `load_design`, and `shard_map` answered inline (they are counter
+/// snapshots or rare control-plane mutations and never need a worker —
+/// `load_model` does read a model file and `load_design` does parse a
+/// size-capped netlist on the reactor thread, an accepted cost for
+/// operator-frequency verbs); parse errors answered inline.
+impl Frontend for AtlasService {
+    fn handle(&self, line: &str, ctx: &FrontendContext<'_>) -> Option<String> {
+        match protocol::parse_line(line) {
+            Ok(RequestLine::Predict(request)) => {
+                let completer = ctx.completer();
+                self.submit_with(request, move |reply| {
+                    completer.complete(protocol::render_result(&reply));
+                });
+                None
+            }
+            Ok(RequestLine::Stats { id }) => {
+                let mut stats = protocol::stats_response(id, &self.stats());
+                stats.reactor_threads = ctx.reactor_threads();
+                stats.reactors = ctx.reactor_stats();
+                Some(protocol::render_stats(&stats))
+            }
+            Ok(RequestLine::Models { id }) => Some(protocol::render_line(
+                &protocol::models_response(id, self.default_model(), self.models()),
+            )),
+            Ok(RequestLine::ShardMap { id }) => {
+                // A plain serve process is not a router: it reports its
+                // own shard id and an empty ring. The proxy frontend in
+                // `shard` answers with the full ring.
+                Some(protocol::render_line(&protocol::ShardMapResponse {
+                    id,
+                    verb: "shard_map".to_owned(),
+                    shard_id: self.shard_id(),
+                    shards: Vec::new(),
+                }))
+            }
+            Ok(RequestLine::LoadModel(req)) => {
+                let line = match self.load_model_file(&req.name, &req.path) {
+                    Ok(model) => protocol::render_line(&protocol::LoadModelResponse {
+                        id: req.id,
+                        verb: "load_model".to_owned(),
+                        model,
+                        default_model: self.default_model().to_owned(),
+                    }),
+                    Err(e) => protocol::render_result(&Err((req.id, e))),
+                };
+                Some(line)
+            }
+            Ok(RequestLine::UnloadModel(req)) => {
+                let line = match self.unload_model(&req.name) {
+                    Ok(()) => protocol::render_line(&protocol::UnloadModelResponse {
+                        id: req.id,
+                        verb: "unload_model".to_owned(),
+                        name: req.name,
+                    }),
+                    Err(e) => protocol::render_result(&Err((req.id, e))),
+                };
+                Some(line)
+            }
+            Ok(RequestLine::Workloads { id }) => Some(protocol::render_line(
+                &protocol::workloads_response(id, self.workloads()),
+            )),
+            Ok(RequestLine::RegisterWorkload(req)) => {
+                let line = match self.register_workload(&req.name, req.phases) {
+                    Ok((workload, replaced)) => {
+                        protocol::render_line(&protocol::RegisterWorkloadResponse {
+                            id: req.id,
+                            verb: "register_workload".to_owned(),
+                            workload,
+                            replaced,
+                        })
+                    }
+                    Err(e) => protocol::render_result(&Err((req.id, e))),
+                };
+                Some(line)
+            }
+            Ok(RequestLine::LoadDesign(req)) => {
+                let line = match self.load_design(&req.name, &req.verilog) {
+                    Ok(design) => protocol::render_line(&protocol::LoadDesignResponse {
+                        id: req.id,
+                        verb: "load_design".to_owned(),
+                        design,
+                    }),
+                    Err(e) => protocol::render_result(&Err((req.id, e))),
+                };
+                Some(line)
+            }
+            Err(e) => {
+                let id = protocol::salvage_id(line);
+                Some(protocol::render_result(&Err((id, e))))
+            }
+        }
+    }
 }
 
 /// Best-effort one-line refusal for connections over the limit. The

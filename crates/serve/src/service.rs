@@ -131,6 +131,12 @@ pub struct ServiceConfig {
     /// accuracy delta ([`atlas_core::F32_EMBED_TOLERANCE`]) instead of
     /// bit parity.
     pub precision: Precision,
+    /// Identity of this process in a shard fleet (`None` when serving
+    /// unsharded). Purely attributive: it is echoed by `stats` and
+    /// stamped into cache snapshots so journals and dashboards stay
+    /// per-shard attributable — request routing itself lives in the
+    /// shard front door, not here.
+    pub shard_id: Option<u32>,
 }
 
 impl Default for ServiceConfig {
@@ -149,6 +155,7 @@ impl Default for ServiceConfig {
             max_queued_per_model: 1024,
             workload_file: None,
             precision: Precision::F64,
+            shard_id: None,
         }
     }
 }
@@ -158,7 +165,7 @@ impl Default for ServiceConfig {
 /// two schedule-driven requests share an entry exactly when their
 /// schedules match. Model identity is not part of the key: each model
 /// owns a separate cache.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 struct TraceKey {
     design: String,
     workload: String,
@@ -266,6 +273,9 @@ pub struct ServiceStats {
     /// Design-cache counters summed over models (`weight`/`budget` in
     /// entries).
     pub design_cache: CacheStats,
+    /// Shard identity of this process ([`ServiceConfig::shard_id`];
+    /// `None` when serving unsharded).
+    pub shard_id: Option<u32>,
     /// Per-model breakdown, sorted by serving name.
     pub models: Vec<ModelStats>,
 }
@@ -377,16 +387,68 @@ struct UploadedDesign {
     fingerprint: u64,
 }
 
-/// Stable FNV-1a fingerprint of a design's canonical structural-Verilog
-/// rendering. Computed from `to_verilog` (not the uploaded bytes), so an
-/// upload and an in-process load of the same netlist always agree.
-fn design_fingerprint(design: &Design) -> u64 {
+/// Stable FNV-1a over arbitrary bytes — the fingerprint primitive shared
+/// by design identities, cache-snapshot entries, and the shard ring.
+pub(crate) fn fnv1a(bytes: impl IntoIterator<Item = u8>) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for b in design.to_verilog().bytes() {
+    for b in bytes {
         h ^= b as u64;
         h = h.wrapping_mul(0x0000_0100_0000_01b3);
     }
     h
+}
+
+/// Stable FNV-1a fingerprint of a design's canonical structural-Verilog
+/// rendering. Computed from `to_verilog` (not the uploaded bytes), so an
+/// upload and an in-process load of the same netlist always agree.
+fn design_fingerprint(design: &Design) -> u64 {
+    fnv1a(design.to_verilog().bytes())
+}
+
+/// First line of a cache-snapshot file: the framing that must match the
+/// restoring service before any entry is considered. Reuses the model
+/// registry's format version so the two persistence formats revise in
+/// lock-step.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+struct SnapshotHeader {
+    format_version: u32,
+    precision: String,
+    shard_id: Option<u32>,
+}
+
+/// The fingerprinted payload of one snapshot entry: a cached embedding
+/// with enough identity (model name + config fingerprint) for a restore
+/// to refuse entries that no longer match the hosting service.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct SnapshotRecord {
+    model: String,
+    config_fingerprint: u64,
+    key: TraceKey,
+    embeddings: TraceEmbeddings,
+}
+
+/// One entry line of a cache snapshot (every line after the header).
+/// `fingerprint` is FNV-1a over the record's canonical JSON rendering;
+/// a restore re-derives it from the parsed record, so any bit flipped in
+/// the payload — or in the fingerprint itself — disqualifies the entry.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct SnapshotEntry {
+    fingerprint: u64,
+    record: SnapshotRecord,
+}
+
+/// Outcome of [`AtlasService::restore_cache`]. Restoring is never fatal:
+/// a missing, truncated, tampered, or mismatched snapshot degrades to a
+/// cold (or partially warm) start, and this report says how far it got.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SnapshotRestoreReport {
+    /// Entries validated and re-admitted into a model's embedding cache.
+    pub restored: usize,
+    /// Entries (or, for an unusable header, whole files) dropped:
+    /// unparsable, fingerprint-mismatched, addressed to a model this
+    /// service does not host (or hosts with different weights), or too
+    /// large for the cache budget.
+    pub skipped: usize,
 }
 
 /// One line of the workload journal ([`ServiceConfig::workload_file`]):
@@ -682,6 +744,7 @@ impl AtlasService {
         let mut stats = ServiceStats {
             requests: self.shared.requests.load(Ordering::Relaxed),
             errors: self.shared.errors.load(Ordering::Relaxed),
+            shard_id: self.shared.cfg.shard_id,
             ..ServiceStats::default()
         };
         for m in &models {
@@ -983,6 +1046,147 @@ impl AtlasService {
     /// under.
     pub fn experiment(&self) -> &ExperimentConfig {
         &self.shared.default_state.experiment
+    }
+
+    /// This process's shard identity ([`ServiceConfig::shard_id`];
+    /// `None` when serving unsharded).
+    pub fn shard_id(&self) -> Option<u32> {
+        self.shared.cfg.shard_id
+    }
+
+    /// Serialize every hosted model's resident embedding cache to
+    /// `path` — the warm-start snapshot a restarted shard reloads with
+    /// [`AtlasService::restore_cache`]. JSON lines: one header carrying
+    /// the registry format version, precision, and shard id, then one
+    /// fingerprinted entry per cached embedding, oldest-first per model
+    /// (so a restore reproduces eviction priority). Written to a
+    /// sibling temporary and renamed into place, so a crash mid-write
+    /// never leaves a truncated file under `path`. Returns the number
+    /// of entries written.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Registry`] when serialization or the filesystem
+    /// write fails.
+    pub fn snapshot_cache(&self, path: impl AsRef<std::path::Path>) -> Result<usize, ServeError> {
+        let path = path.as_ref();
+        let fail = |what: &str, e: &dyn std::fmt::Display| {
+            ServeError::Registry(format!("{what} cache snapshot {}: {e}", path.display()))
+        };
+        let header = SnapshotHeader {
+            format_version: crate::registry::FORMAT_VERSION,
+            precision: self.shared.cfg.precision.label().to_owned(),
+            shard_id: self.shared.cfg.shard_id,
+        };
+        let mut out = serde_json::to_string(&header).map_err(|e| fail("render", &e))?;
+        out.push('\n');
+        let mut models: Vec<Arc<ModelState>> = self
+            .shared
+            .models
+            .read()
+            .expect("models lock")
+            .values()
+            .cloned()
+            .collect();
+        models.sort_by(|a, b| a.name.cmp(&b.name));
+        let mut written = 0usize;
+        for state in models {
+            for (key, embeddings, _weight) in state.embeddings.export() {
+                let entry = SnapshotEntry {
+                    fingerprint: 0,
+                    record: SnapshotRecord {
+                        model: state.name.clone(),
+                        config_fingerprint: state.config_fingerprint,
+                        key,
+                        embeddings: (*embeddings).clone(),
+                    },
+                };
+                let body = serde_json::to_string(&entry.record).map_err(|e| fail("render", &e))?;
+                let entry = SnapshotEntry {
+                    fingerprint: fnv1a(body.bytes()),
+                    ..entry
+                };
+                out.push_str(&serde_json::to_string(&entry).map_err(|e| fail("render", &e))?);
+                out.push('\n');
+                written += 1;
+            }
+        }
+        let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+        std::fs::write(&tmp, out.as_bytes()).map_err(|e| fail("write", &e))?;
+        std::fs::rename(&tmp, path).map_err(|e| {
+            let _ = std::fs::remove_file(&tmp);
+            fail("rename", &e)
+        })?;
+        Ok(written)
+    }
+
+    /// Re-admit a [`AtlasService::snapshot_cache`] file into the hosted
+    /// models' embedding caches — the warm-start path of a restarted
+    /// shard. Never fatal: a missing or unreadable file, a header whose
+    /// format version or precision does not match this service, and any
+    /// entry that is unparsable, fingerprint-mismatched, addressed to an
+    /// unhosted model (or one hosted with a different config
+    /// fingerprint), internally inconsistent, or too large for the cache
+    /// budget are all *skipped*, degrading to a cold start for exactly
+    /// those keys. Restored entries count as neither computed embeddings
+    /// nor cache traffic: `embeddings_computed` stays untouched, so a
+    /// warm-started shard answering its first request reports
+    /// `embeddings_computed == 0` with a cache hit.
+    pub fn restore_cache(&self, path: impl AsRef<std::path::Path>) -> SnapshotRestoreReport {
+        let mut report = SnapshotRestoreReport::default();
+        let Ok(text) = std::fs::read_to_string(path.as_ref()) else {
+            return report;
+        };
+        let mut lines = text.lines().filter(|l| !l.trim().is_empty());
+        let header: Option<SnapshotHeader> =
+            lines.next().and_then(|l| serde_json::from_str(l).ok());
+        let header_ok = header.is_some_and(|h| {
+            h.format_version == crate::registry::FORMAT_VERSION
+                && h.precision == self.shared.cfg.precision.label()
+        });
+        if !header_ok {
+            report.skipped = lines.count();
+            return report;
+        }
+        for line in lines {
+            let Ok(entry) = serde_json::from_str::<SnapshotEntry>(line) else {
+                report.skipped += 1;
+                continue;
+            };
+            // Re-derive the fingerprint from the *parsed* record: the
+            // canonical rendering is a fixed point of parse-then-render,
+            // so any corrupted bit — payload or fingerprint — mismatches.
+            let authentic = serde_json::to_string(&entry.record)
+                .is_ok_and(|body| fnv1a(body.bytes()) == entry.fingerprint);
+            let state = self
+                .shared
+                .models
+                .read()
+                .expect("models lock")
+                .get(&entry.record.model)
+                .cloned();
+            let admissible = authentic
+                && state
+                    .as_ref()
+                    .is_some_and(|s| s.config_fingerprint == entry.record.config_fingerprint)
+                && entry.record.embeddings.precision() == self.shared.cfg.precision
+                && entry.record.embeddings.cycles() == entry.record.key.cycles;
+            let restored = admissible
+                && state.is_some_and(|s| {
+                    let weight = entry.record.embeddings.approx_bytes();
+                    s.embeddings.insert_weighted(
+                        entry.record.key,
+                        Arc::new(entry.record.embeddings),
+                        weight,
+                    )
+                });
+            if restored {
+                report.restored += 1;
+            } else {
+                report.skipped += 1;
+            }
+        }
+        report
     }
 }
 

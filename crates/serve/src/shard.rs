@@ -1,0 +1,565 @@
+//! Shard-aware routing: a consistent-hash ring over N serve processes
+//! and the [`ShardProxy`] front door that speaks it.
+//!
+//! One serve process scales vertically (worker pool, reactor threads)
+//! but stays one address space; the shard layer removes that ceiling by
+//! running N independent serve processes and routing every prediction by
+//! its **trace key** — the same `(model, design, workload, cycles)`
+//! tuple the embedding cache is keyed by. Routing by cache key is what
+//! makes scale-out *warm*: all repeats of a key land on the shard whose
+//! cache holds it, so N shards give ~N× aggregate warm throughput
+//! instead of N cold caches each holding 1/N of the hit rate.
+//!
+//! The ring is classic consistent hashing: every shard owns
+//! [`ShardInfo::vnodes`] pseudo-random points on a `u64` circle and a
+//! key routes to the first point clockwise from its hash. Adding or
+//! removing a shard therefore remaps only the keyspace adjacent to its
+//! points (~1/N of traffic), not the whole fleet — restarted shards
+//! keep most of their warm keys.
+//!
+//! [`ShardProxy`] implements the reactor's [`Frontend`] trait, so the
+//! `atlas-shard` binary reuses the exact same epoll front door (and
+//! multi-reactor pool) as `serve` itself: `predict` lines are forwarded
+//! to the owning shard over a pooled TCP connection and answered
+//! asynchronously through the reactor's [`Completer`]; `shard_map`
+//! answers the full ring; `stats` answers the proxy's own counters.
+//! Request ids are rewritten to proxy-internal ids on the way out and
+//! restored on the way back, so concurrent clients can reuse ids freely.
+
+use std::collections::HashMap;
+use std::io::{BufRead as _, BufReader, Write as _};
+use std::net::{Shutdown, TcpStream};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread;
+
+use serde::Value;
+
+use crate::error::ServeError;
+use crate::protocol::{self, PredictRequest, RequestLine, ShardInfo, ShardMapResponse};
+use crate::reactor::{Completer, Frontend, FrontendContext};
+use crate::service::{fnv1a, ServiceStats};
+
+/// Virtual nodes per shard when the caller does not pick a count. 128
+/// points per shard keeps the expected load imbalance of a small fleet
+/// under a few percent while the ring stays tiny (N × 128 points).
+pub const DEFAULT_VNODES: usize = 128;
+
+/// The routing key of one prediction: a stable FNV-1a hash of the same
+/// `(model, design, workload, cycles)` tuple the per-model embedding
+/// cache is keyed by (the workload component is the request's
+/// `workload_name` if set, else its `workload` label). Two requests that
+/// could share a cache entry always hash identically, so they always
+/// land on the same shard.
+pub fn trace_route_key(model: Option<&str>, design: &str, workload: &str, cycles: usize) -> u64 {
+    // `\0` separators keep the components prefix-free so ("ab", "c")
+    // and ("a", "bc") cannot collide structurally.
+    let parts = [model.unwrap_or(""), design, workload];
+    let bytes = parts
+        .iter()
+        .flat_map(|p| p.bytes().chain([0u8]))
+        .chain(cycles.to_le_bytes());
+    fnv1a(bytes)
+}
+
+/// Routing key of a parsed request (the proxy's entry point).
+fn request_route_key(request: &PredictRequest) -> u64 {
+    let workload = request
+        .workload_name
+        .as_deref()
+        .or(request.workload.as_deref())
+        .unwrap_or("");
+    trace_route_key(
+        request.model.as_deref(),
+        &request.design,
+        workload,
+        request.cycles,
+    )
+}
+
+/// A consistent-hash ring over a fixed shard fleet.
+#[derive(Debug, Clone)]
+pub struct ShardRing {
+    shards: Vec<ShardInfo>,
+    /// `(point, shard index)` sorted by point; a key routes to the first
+    /// point at or after its hash, wrapping at the top of the circle.
+    points: Vec<(u64, usize)>,
+}
+
+impl ShardRing {
+    /// Build a ring from the fleet description. Shards with `vnodes` of
+    /// zero get [`DEFAULT_VNODES`].
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::InvalidRequest`] for an empty fleet or duplicate
+    /// shard ids.
+    pub fn new(shards: Vec<ShardInfo>) -> Result<ShardRing, ServeError> {
+        if shards.is_empty() {
+            return Err(ServeError::InvalidRequest(
+                "a shard ring needs at least one shard".into(),
+            ));
+        }
+        let mut seen = std::collections::HashSet::new();
+        for shard in &shards {
+            if !seen.insert(shard.id) {
+                return Err(ServeError::InvalidRequest(format!(
+                    "duplicate shard id {}",
+                    shard.id
+                )));
+            }
+        }
+        let mut points = Vec::new();
+        for (index, shard) in shards.iter().enumerate() {
+            let vnodes = if shard.vnodes == 0 {
+                DEFAULT_VNODES
+            } else {
+                shard.vnodes
+            };
+            for replica in 0..vnodes {
+                // Point position depends only on (shard id, replica), so
+                // every proxy over the same fleet builds the same ring.
+                let bytes = shard
+                    .id
+                    .to_le_bytes()
+                    .into_iter()
+                    .chain(replica.to_le_bytes());
+                points.push((fnv1a(bytes), index));
+            }
+        }
+        // Ties (astronomically unlikely) resolve to the lower index on
+        // every proxy identically, keeping routing deterministic.
+        points.sort_unstable();
+        Ok(ShardRing { shards, points })
+    }
+
+    /// The fleet, in construction order.
+    pub fn shards(&self) -> &[ShardInfo] {
+        &self.shards
+    }
+
+    /// Index (into [`ShardRing::shards`]) of the shard owning `key`.
+    pub fn route_index(&self, key: u64) -> usize {
+        let at = self.points.partition_point(|&(point, _)| point < key);
+        let (_, index) = self.points[at % self.points.len()];
+        index
+    }
+
+    /// The shard owning `key`.
+    pub fn route(&self, key: u64) -> &ShardInfo {
+        &self.shards[self.route_index(key)]
+    }
+}
+
+/// One proxied request awaiting its backend reply.
+struct Pending {
+    completer: Completer,
+    /// The client's original id, restored into the reply (the id on the
+    /// wire to the backend is proxy-internal).
+    original_id: Option<u64>,
+}
+
+/// One live backend connection: the writer half plus the pending map its
+/// reader thread resolves. The map belongs to *this* connection — when
+/// the connection dies, its reader fails every entry with a structured
+/// `unavailable` error and a fresh connection starts an empty map, so a
+/// reconnect can never leak or misdeliver an old request.
+struct Live {
+    stream: TcpStream,
+    pending: Arc<Mutex<HashMap<u64, Pending>>>,
+}
+
+/// One shard of the fleet, as the proxy sees it: its ring identity and
+/// a lazily-established connection.
+struct Backend {
+    info: ShardInfo,
+    conn: Mutex<Option<Live>>,
+}
+
+impl Backend {
+    /// Forward one rendered request line, connecting (and spawning the
+    /// reply-reader thread) on first use. `entry` is registered under
+    /// `internal` before the write so a fast reply cannot race it.
+    fn send(
+        self: &Arc<Backend>,
+        internal: u64,
+        entry: Pending,
+        line: &str,
+    ) -> Result<(), ServeError> {
+        let unavailable = |e: &dyn std::fmt::Display| {
+            ServeError::Unavailable(format!("shard {} at {}: {e}", self.info.id, self.info.addr))
+        };
+        let mut guard = self.conn.lock().expect("backend lock");
+        if guard.is_none() {
+            let stream = TcpStream::connect(&self.info.addr).map_err(|e| unavailable(&e))?;
+            let _ = stream.set_nodelay(true);
+            let reader = stream.try_clone().map_err(|e| unavailable(&e))?;
+            let pending = Arc::new(Mutex::new(HashMap::new()));
+            let backend = Arc::clone(self);
+            let map = Arc::clone(&pending);
+            thread::Builder::new()
+                .name(format!("atlas-shard-io-{}", self.info.id))
+                .spawn(move || backend.reader_loop(reader, &map))
+                .map_err(|e| unavailable(&e))?;
+            *guard = Some(Live { stream, pending });
+        }
+        let live = guard.as_mut().expect("connected above");
+        live.pending
+            .lock()
+            .expect("pending lock")
+            .insert(internal, entry);
+        let mut framed = String::with_capacity(line.len() + 1);
+        framed.push_str(line);
+        framed.push('\n');
+        if let Err(e) = live.stream.write_all(framed.as_bytes()) {
+            live.pending.lock().expect("pending lock").remove(&internal);
+            // Wake the reader so it drains whatever else was in flight.
+            let _ = live.stream.shutdown(Shutdown::Both);
+            *guard = None;
+            return Err(unavailable(&e));
+        }
+        Ok(())
+    }
+
+    /// Resolve backend replies to their waiting clients until the
+    /// connection dies, then fail everything still pending on it.
+    fn reader_loop(
+        self: Arc<Backend>,
+        stream: TcpStream,
+        pending: &Arc<Mutex<HashMap<u64, Pending>>>,
+    ) {
+        let mut reader = BufReader::new(stream);
+        let mut line = String::new();
+        loop {
+            line.clear();
+            match reader.read_line(&mut line) {
+                Ok(0) | Err(_) => break,
+                Ok(_) => {}
+            }
+            let text = line.trim();
+            if text.is_empty() {
+                continue;
+            }
+            let Ok(value) = serde_json::from_str::<Value>(text) else {
+                // An unparsable line cannot be matched to a request; the
+                // disconnect path below will fail whatever was pending.
+                continue;
+            };
+            let Some(internal) = reply_id(&value) else {
+                continue;
+            };
+            let Some(entry) = pending.lock().expect("pending lock").remove(&internal) else {
+                continue;
+            };
+            entry
+                .completer
+                .complete(restore_id(value, entry.original_id));
+        }
+        // Detach this connection (unless a reconnect already replaced
+        // it), then fail its in-flight requests. A send racing this
+        // drain either lands before it (failed here, structured error)
+        // or after the detach (fresh connection, fresh map).
+        {
+            let mut guard = self.conn.lock().expect("backend lock");
+            if guard
+                .as_ref()
+                .is_some_and(|live| Arc::ptr_eq(&live.pending, pending))
+            {
+                *guard = None;
+            }
+        }
+        let drained: Vec<Pending> = {
+            let mut map = pending.lock().expect("pending lock");
+            map.drain().map(|(_, entry)| entry).collect()
+        };
+        for entry in drained {
+            let err = ServeError::Unavailable(format!(
+                "shard {} at {} disconnected mid-request",
+                self.info.id, self.info.addr
+            ));
+            entry
+                .completer
+                .complete(protocol::render_result(&Err((entry.original_id, err))));
+        }
+    }
+}
+
+/// The proxy-internal id a backend reply carries.
+fn reply_id(value: &Value) -> Option<u64> {
+    value
+        .as_map()?
+        .iter()
+        .find(|(k, _)| k == "id")
+        .and_then(|(_, v)| match v {
+            Value::UInt(n) => Some(*n),
+            Value::Int(n) if *n >= 0 => Some(*n as u64),
+            _ => None,
+        })
+}
+
+/// Re-render a backend reply with the client's original id in place of
+/// the proxy-internal one.
+fn restore_id(mut value: Value, original: Option<u64>) -> String {
+    if let Value::Map(entries) = &mut value {
+        let id_value = match original {
+            Some(n) => Value::UInt(n),
+            None => Value::Null,
+        };
+        match entries.iter_mut().find(|(k, _)| k == "id") {
+            Some(slot) => slot.1 = id_value,
+            None => entries.insert(0, ("id".to_owned(), id_value)),
+        }
+    }
+    serde_json::to_string(&value)
+        .unwrap_or_else(|e| format!(r#"{{"error":"render failure: {e}"}}"#))
+}
+
+/// The shard fleet's front door: a [`Frontend`] that routes every
+/// `predict` line to the shard owning its trace key. Plug it into a
+/// [`crate::reactor::Reactor`] or [`crate::reactor::ReactorPool`] — the
+/// `atlas-shard` binary is exactly that.
+pub struct ShardProxy {
+    ring: ShardRing,
+    backends: Vec<Arc<Backend>>,
+    next_id: AtomicU64,
+    requests: AtomicU64,
+    errors: AtomicU64,
+}
+
+impl ShardProxy {
+    /// Build a proxy over the fleet. Connections are established lazily
+    /// on the first request routed to each shard.
+    ///
+    /// # Errors
+    ///
+    /// The same fleet-validation errors as [`ShardRing::new`].
+    pub fn new(shards: Vec<ShardInfo>) -> Result<ShardProxy, ServeError> {
+        let ring = ShardRing::new(shards)?;
+        let backends = ring
+            .shards()
+            .iter()
+            .map(|info| {
+                Arc::new(Backend {
+                    info: info.clone(),
+                    conn: Mutex::new(None),
+                })
+            })
+            .collect();
+        Ok(ShardProxy {
+            ring,
+            backends,
+            // Start above zero so proxy-internal ids are never confused
+            // with common client-chosen ones in packet captures.
+            next_id: AtomicU64::new(1 << 32),
+            requests: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+        })
+    }
+
+    /// The routing ring (for `shard_map` and observability).
+    pub fn ring(&self) -> &ShardRing {
+        &self.ring
+    }
+
+    fn fail(&self, id: Option<u64>, err: ServeError) -> Option<String> {
+        self.errors.fetch_add(1, Ordering::Relaxed);
+        Some(protocol::render_result(&Err((id, err))))
+    }
+}
+
+/// `predict` forwarded to the owning shard (answered through the
+/// completer when the backend replies); `shard_map` and `stats` answered
+/// inline from the proxy itself; every other verb is per-shard state
+/// (model catalogs, workload libraries) and must be addressed to a
+/// shard directly, so it gets a structured `invalid_request`.
+impl Frontend for ShardProxy {
+    fn handle(&self, line: &str, ctx: &FrontendContext<'_>) -> Option<String> {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        let unroutable = |verb: &str| {
+            ServeError::InvalidRequest(format!(
+                "verb `{verb}` is per-shard state; address the shard's own port, not the proxy"
+            ))
+        };
+        match protocol::parse_line(line) {
+            Ok(RequestLine::Predict(mut request)) => {
+                let backend = &self.backends[self.ring.route_index(request_route_key(&request))];
+                let original_id = request.id;
+                let internal = self.next_id.fetch_add(1, Ordering::Relaxed);
+                request.id = Some(internal);
+                let rendered = match serde_json::to_string(&request) {
+                    Ok(rendered) => rendered,
+                    Err(e) => {
+                        return self.fail(
+                            original_id,
+                            ServeError::InvalidRequest(format!("unrenderable request: {e}")),
+                        )
+                    }
+                };
+                let entry = Pending {
+                    completer: ctx.completer(),
+                    original_id,
+                };
+                match backend.send(internal, entry, &rendered) {
+                    Ok(()) => None,
+                    Err(e) => self.fail(original_id, e),
+                }
+            }
+            Ok(RequestLine::ShardMap { id }) => {
+                Some(protocol::render_line(&ShardMapResponse {
+                    id,
+                    verb: "shard_map".to_owned(),
+                    // The proxy is the router, not a shard.
+                    shard_id: None,
+                    shards: self.ring.shards().to_vec(),
+                }))
+            }
+            Ok(RequestLine::Stats { id }) => {
+                // The proxy's own traffic counters — per-shard cache and
+                // model stats live behind each shard's own `stats` verb.
+                let stats = ServiceStats {
+                    requests: self.requests.load(Ordering::Relaxed),
+                    errors: self.errors.load(Ordering::Relaxed),
+                    ..ServiceStats::default()
+                };
+                let mut response = protocol::stats_response(id, &stats);
+                response.reactor_threads = ctx.reactor_threads();
+                response.reactors = ctx.reactor_stats();
+                Some(protocol::render_stats(&response))
+            }
+            Ok(RequestLine::Models { id }) => self.fail(id, unroutable("models")),
+            Ok(RequestLine::Workloads { id }) => self.fail(id, unroutable("workloads")),
+            Ok(RequestLine::LoadModel(req)) => self.fail(req.id, unroutable("load_model")),
+            Ok(RequestLine::UnloadModel(req)) => self.fail(req.id, unroutable("unload_model")),
+            Ok(RequestLine::RegisterWorkload(req)) => {
+                self.fail(req.id, unroutable("register_workload"))
+            }
+            Ok(RequestLine::LoadDesign(req)) => self.fail(req.id, unroutable("load_design")),
+            Err(e) => self.fail(protocol::salvage_id(line), e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fleet(n: u32) -> Vec<ShardInfo> {
+        (0..n)
+            .map(|id| ShardInfo {
+                id,
+                addr: format!("127.0.0.1:{}", 9000 + id),
+                vnodes: 0,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn ring_routes_deterministically() {
+        let a = ShardRing::new(fleet(3)).expect("ring");
+        let b = ShardRing::new(fleet(3)).expect("ring");
+        for key in 0..1000u64 {
+            let hashed = fnv1a(key.to_le_bytes());
+            assert_eq!(a.route_index(hashed), b.route_index(hashed));
+            assert!(a.route_index(hashed) < 3);
+        }
+    }
+
+    #[test]
+    fn ring_balances_across_shards() {
+        let ring = ShardRing::new(fleet(3)).expect("ring");
+        let mut counts = [0usize; 3];
+        for key in 0..3000u64 {
+            counts[ring.route_index(fnv1a(key.to_le_bytes()))] += 1;
+        }
+        for (shard, &count) in counts.iter().enumerate() {
+            assert!(
+                count > 3000 / 10,
+                "shard {shard} owns only {count}/3000 keys: {counts:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn growing_the_fleet_remaps_a_minority_of_keys() {
+        let before = ShardRing::new(fleet(3)).expect("ring");
+        let after = ShardRing::new(fleet(4)).expect("ring");
+        let moved = (0..4000u64)
+            .filter(|key| {
+                let hashed = fnv1a(key.to_le_bytes());
+                before.route_index(hashed) != after.route_index(hashed)
+            })
+            .count();
+        // Consistent hashing moves ~1/4 of the keyspace to the new
+        // shard; a modulo router would move ~3/4.
+        assert!(
+            moved < 2000,
+            "adding one shard remapped {moved}/4000 keys (expected ~1000)"
+        );
+        assert!(moved > 0, "the new shard must own something");
+    }
+
+    #[test]
+    fn ring_rejects_bad_fleets() {
+        assert!(matches!(
+            ShardRing::new(Vec::new()),
+            Err(ServeError::InvalidRequest(_))
+        ));
+        let mut dup = fleet(2);
+        dup[1].id = 0;
+        assert!(matches!(
+            ShardRing::new(dup),
+            Err(ServeError::InvalidRequest(_))
+        ));
+    }
+
+    #[test]
+    fn route_key_separates_components() {
+        let base = trace_route_key(None, "C2", "W1", 8);
+        assert_eq!(base, trace_route_key(None, "C2", "W1", 8));
+        assert_ne!(base, trace_route_key(Some("m"), "C2", "W1", 8));
+        assert_ne!(base, trace_route_key(None, "C3", "W1", 8));
+        assert_ne!(base, trace_route_key(None, "C2", "W2", 8));
+        assert_ne!(base, trace_route_key(None, "C2", "W1", 9));
+        // Prefix-freedom: shifting bytes between components changes the key.
+        assert_ne!(
+            trace_route_key(None, "ab", "c", 1),
+            trace_route_key(None, "a", "bc", 1)
+        );
+    }
+
+    #[test]
+    fn requests_route_like_their_cache_key() {
+        let mut named = PredictRequest::new("C2", "W1", 8);
+        named.workload = None;
+        named.workload_name = Some("lib-entry".to_owned());
+        assert_eq!(
+            request_route_key(&named),
+            trace_route_key(None, "C2", "lib-entry", 8)
+        );
+        let preset = PredictRequest::new("C2", "W1", 8);
+        assert_eq!(
+            request_route_key(&preset),
+            trace_route_key(None, "C2", "W1", 8)
+        );
+        let on_model = PredictRequest::new("C2", "W1", 8).on_model("canary");
+        assert_eq!(
+            request_route_key(&on_model),
+            trace_route_key(Some("canary"), "C2", "W1", 8)
+        );
+    }
+
+    #[test]
+    fn reply_ids_are_restored() {
+        let reply: Value = serde_json::from_str(r#"{"id":4294967297,"verb":"predict","cycles":8}"#)
+            .expect("parses");
+        assert_eq!(reply_id(&reply), Some(4294967297));
+        let restored = restore_id(reply, Some(7));
+        let value: Value = serde_json::from_str(&restored).expect("round-trips");
+        assert_eq!(reply_id(&value), Some(7));
+        // A client that sent no id gets `null` back, like talking to a
+        // shard directly.
+        let reply: Value = serde_json::from_str(r#"{"id":99,"verb":"stats"}"#).expect("parses");
+        let restored = restore_id(reply, None);
+        assert!(restored.contains(r#""id":null"#), "got: {restored}");
+    }
+}

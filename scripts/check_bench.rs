@@ -16,6 +16,11 @@
 //! # SIMD-over-scalar speedup must clear SIMD_SPEEDUP_FLOOR; and the
 //! # f32 path's accuracy delta must stay within its tolerance
 //! ./check_bench --infer BENCH_infer.json BENCH_infer.ci.json 2.0
+//! # shard gate: two shards behind the proxy must clear the scale-out
+//! # floor over one, a shard restarted from its cache snapshot must not
+//! # recompute anything, and its restored warm p50 must stay within 2x
+//! # of the steady warm p50 (all measured inside the fresh run)
+//! ./check_bench --shard BENCH_serve.json BENCH_serve.ci.json 2.0
 //! ```
 //!
 //! Exits non-zero on a regression beyond the allowed factor, and on
@@ -51,6 +56,18 @@ const INFER_SPEEDUP_FLOOR: f64 = 1.2;
 /// is runner-class independent; a scalar-only runner skips the gate
 /// (its dispatch *is* the scalar kernel — nothing to compare).
 const SIMD_SPEEDUP_FLOOR: f64 = 1.5;
+
+/// Minimum aggregate-throughput scale-out a fresh `serve_bench` report
+/// must show for two shard processes over one, both serving the same
+/// cache-thrashing working set through the consistent-hash proxy inside
+/// one run — runner-class independent, like the other in-run ratios.
+const SHARD_SCALEOUT_FLOOR: f64 = 1.6;
+
+/// Maximum warm-p50 inflation a shard restarted from its cache snapshot
+/// may show over the steady warm p50 measured just before it drained.
+/// A restore that silently failed would answer cold (tens of ms vs
+/// single-digit), blowing far past this.
+const SHARD_RESTORE_MAX_RATIO: f64 = 2.0;
 
 /// Maximum victim-model p50 inflation the quota-storm scenario may show:
 /// while one model's cold storm saturates its quota, another model's
@@ -109,15 +126,18 @@ fn run() -> Result<(), String> {
     let mut args = std::env::args().skip(1);
     let mut first = args
         .next()
-        .ok_or("usage: check_bench [--infer] BASELINE.json NEW.json [MAX_RATIO]")?;
+        .ok_or("usage: check_bench [--infer|--shard] BASELINE.json NEW.json [MAX_RATIO]")?;
     let infer_mode = first == "--infer";
-    if infer_mode {
-        first = args.next().ok_or("--infer requires BASELINE.json")?;
+    let shard_mode = first == "--shard";
+    if infer_mode || shard_mode {
+        first = args
+            .next()
+            .ok_or_else(|| format!("{} requires BASELINE.json", if infer_mode { "--infer" } else { "--shard" }))?;
     }
     let baseline_path = first;
     let new_path = args
         .next()
-        .ok_or("usage: check_bench [--infer] BASELINE.json NEW.json [MAX_RATIO]")?;
+        .ok_or("usage: check_bench [--infer|--shard] BASELINE.json NEW.json [MAX_RATIO]")?;
     let max_ratio: f64 = match args.next() {
         Some(r) => r.parse().map_err(|e| format!("bad MAX_RATIO: {e}"))?,
         None => 2.0,
@@ -195,6 +215,62 @@ fn run() -> Result<(), String> {
             return Err(format!(
                 "f32 embed accuracy delta {f32_delta:.2e} exceeded its \
                  tolerance {f32_tolerance:.2e}"
+            ));
+        }
+        return Ok(());
+    }
+
+    if shard_mode {
+        // Cross-run gate: fresh dual-shard aggregate throughput may not
+        // fall more than max_ratio below the committed baseline's.
+        let base_rps = extract(&baseline, "dual_shard", "throughput_rps")?;
+        let new_rps = extract(&fresh, "dual_shard", "throughput_rps")?;
+        if !(base_rps > 0.0) {
+            return Err(format!(
+                "baseline dual-shard throughput not positive: {base_rps}"
+            ));
+        }
+        let ratio = base_rps / new_rps.max(1e-9);
+        println!(
+            "dual-shard throughput: baseline {base_rps:.1} req/s, new {new_rps:.1} req/s \
+             ({ratio:.2}x slower, limit {max_ratio:.2}x)"
+        );
+        if ratio > max_ratio {
+            return Err(format!(
+                "dual-shard throughput regressed {ratio:.2}x (> {max_ratio:.2}x allowed)"
+            ));
+        }
+
+        // In-run gates, all runner-class independent.
+        let scaleout = extract(&fresh, "shard_scaleout", "scaleout")?;
+        println!("shard scale-out at 2 shards: {scaleout:.2}x (floor {SHARD_SCALEOUT_FLOOR:.2}x)");
+        if scaleout < SHARD_SCALEOUT_FLOOR {
+            return Err(format!(
+                "two shards scaled throughput only {scaleout:.2}x over one \
+                 (< {SHARD_SCALEOUT_FLOOR:.2}x floor)"
+            ));
+        }
+        let recomputed = extract(&fresh, "shard_scaleout", "restored_embeddings_computed")?;
+        if recomputed != 0.0 {
+            return Err(format!(
+                "a shard restarted from its snapshot recomputed {recomputed} embeddings \
+                 (must be 0)"
+            ));
+        }
+        let steady_p50 = extract(&fresh, "shard_scaleout", "steady_warm_p50_ms")?;
+        let restored_p50 = extract(&fresh, "shard_scaleout", "restored_warm_p50_ms")?;
+        if !(steady_p50 > 0.0) {
+            return Err(format!("steady warm p50 is not positive: {steady_p50}"));
+        }
+        let restore_ratio = restored_p50 / steady_p50;
+        println!(
+            "snapshot-restored warm p50: steady {steady_p50:.3} ms, restored {restored_p50:.3} ms \
+             ({restore_ratio:.2}x, limit {SHARD_RESTORE_MAX_RATIO:.2}x)"
+        );
+        if restore_ratio > SHARD_RESTORE_MAX_RATIO {
+            return Err(format!(
+                "restored warm p50 inflated {restore_ratio:.2}x over steady \
+                 (> {SHARD_RESTORE_MAX_RATIO:.2}x allowed)"
             ));
         }
         return Ok(());

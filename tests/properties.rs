@@ -321,3 +321,125 @@ proptest! {
         prop_assert!(parse_workload_journal(&text).is_err());
     }
 }
+
+// ---- warm-start cache-snapshot round-trip (atlas-serve) ----------------
+
+/// The warm-start contract, end to end: a drained service's cache
+/// snapshot, restored into a fresh process over the same model, answers
+/// every snapshotted key bit-identically as a cache hit with **zero**
+/// embeddings recomputed — and a single-bit-corrupted entry is skipped
+/// non-fatally (that key recomputes; every other key stays warm).
+///
+/// One deterministic test rather than a proptest: it trains a (micro)
+/// model, which is far too expensive per proptest case.
+#[test]
+fn cache_snapshot_roundtrip_is_bit_identical_and_corruption_is_skipped() {
+    use atlas_core::pipeline::{train_atlas, ExperimentConfig};
+    use atlas_serve::{AtlasService, ModelRegistry, PredictRequest, ServiceConfig};
+
+    let mut cfg = ExperimentConfig::quick();
+    cfg.cycles = 16;
+    cfg.scale = 0.12;
+    cfg.pretrain.steps = 14;
+    cfg.pretrain.hidden_dim = 12;
+    cfg.finetune.cycles_per_design = 6;
+    cfg.finetune.gbdt.n_estimators = 16;
+    let trained = train_atlas(&cfg);
+
+    let dir = std::env::temp_dir().join(format!("atlas-snapshot-prop-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let registry = ModelRegistry::open(dir.join("registry")).expect("registry opens");
+    registry.save("snap", &trained.model, &cfg).expect("saves");
+    let svc_cfg = || ServiceConfig {
+        workers: 2,
+        shard_id: Some(7),
+        ..ServiceConfig::default()
+    };
+
+    // A first service computes four distinct embeddings, then drains
+    // (no requests in flight) and snapshots.
+    let keys = [
+        ("C1", "W1", 8),
+        ("C2", "W1", 8),
+        ("C2", "W2", 12),
+        ("C3", "W2", 8),
+    ];
+    let first = AtlasService::start(registry.load("snap").expect("loads"), svc_cfg());
+    let originals: Vec<_> = keys
+        .iter()
+        .map(|&(d, w, c)| first.call(PredictRequest::new(d, w, c)).expect("predicts"))
+        .collect();
+    assert_eq!(first.stats().embeddings_computed, keys.len() as u64);
+    let snap = dir.join("cache.snapshot");
+    let entries = first.snapshot_cache(&snap).expect("snapshots");
+    assert_eq!(entries, keys.len(), "one snapshot entry per cached key");
+    drop(first);
+
+    // A fresh process restores every entry and answers bit-identically
+    // without recomputing anything.
+    let second = AtlasService::start(registry.load("snap").expect("loads"), svc_cfg());
+    let report = second.restore_cache(&snap);
+    assert_eq!(report.restored, keys.len());
+    assert_eq!(report.skipped, 0);
+    for (&(d, w, c), original) in keys.iter().zip(&originals) {
+        let warm = second.call(PredictRequest::new(d, w, c)).expect("predicts");
+        assert!(warm.cache_hit, "restored {d}/{w}/{c} must be a cache hit");
+        assert_eq!(
+            warm.per_cycle_total_w, original.per_cycle_total_w,
+            "restored {d}/{w}/{c} must be bit-identical"
+        );
+        assert_eq!(warm.mean_total_w, original.mean_total_w);
+    }
+    assert_eq!(
+        second.stats().embeddings_computed,
+        0,
+        "a restored shard must answer its warm keys without recomputing"
+    );
+    drop(second);
+
+    // Flip one bit in the middle of the last entry line (bit 0, so the
+    // file stays ASCII): whether that breaks the JSON or just the
+    // fingerprint, the entry must be skipped — never fatal — and every
+    // intact entry still restores.
+    let text = std::fs::read_to_string(&snap).expect("snapshot reads");
+    let mut lines: Vec<Vec<u8>> = text.lines().map(|l| l.as_bytes().to_vec()).collect();
+    assert_eq!(lines.len(), 1 + keys.len(), "header + one line per entry");
+    let last = lines.len() - 1;
+    let mid = lines[last].len() / 2;
+    lines[last][mid] ^= 1;
+    let tampered_text: Vec<u8> = lines
+        .into_iter()
+        .flat_map(|mut l| {
+            l.push(b'\n');
+            l
+        })
+        .collect();
+    let tampered = dir.join("tampered.snapshot");
+    std::fs::write(&tampered, tampered_text).expect("tampered writes");
+
+    let third = AtlasService::start(registry.load("snap").expect("loads"), svc_cfg());
+    let report = third.restore_cache(&tampered);
+    assert_eq!(
+        report.restored,
+        keys.len() - 1,
+        "intact entries still restore"
+    );
+    assert_eq!(
+        report.skipped, 1,
+        "the corrupted entry is skipped, not fatal"
+    );
+    // Every key still answers; only the corrupted one recomputes.
+    for &(d, w, c) in &keys {
+        let resp = third
+            .call(PredictRequest::new(d, w, c))
+            .expect("still answers");
+        assert!(resp.mean_total_w > 0.0);
+    }
+    assert_eq!(
+        third.stats().embeddings_computed,
+        1,
+        "exactly the corrupted entry's key recomputes"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

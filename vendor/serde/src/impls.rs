@@ -9,6 +9,18 @@ impl<T: Serialize + ?Sized> Serialize for &T {
     }
 }
 
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(value: &Value) -> Result<Value, Error> {
+        Ok(value.clone())
+    }
+}
+
 impl Serialize for bool {
     fn to_value(&self) -> Value {
         Value::Bool(*self)
@@ -241,6 +253,11 @@ mod tests {
         assert_eq!(f64::from_value(&1.5f64.to_value()), Ok(1.5));
         assert_eq!(bool::from_value(&true.to_value()), Ok(true));
         assert_eq!(String::from_value(&"hi".to_value()), Ok("hi".to_owned()));
+        // `Value` is its own identity: pass-through in both directions,
+        // which lets proxies reshape documents they do not fully type.
+        let v = Value::Map(vec![("id".to_owned(), Value::UInt(7))]);
+        assert_eq!(v.to_value(), v);
+        assert_eq!(Value::from_value(&v), Ok(v));
     }
 
     #[test]
