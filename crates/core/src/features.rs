@@ -27,6 +27,19 @@ const INTERNAL_SCALE: f64 = 400.0; // pJ → ~0.3..4
 const LEAKAGE_SCALE: f64 = 1.0 / 60.0; // nW → ~0.1..1.5
 const CAP_SCALE: f64 = 250.0; // pF → ~0.3..2
 
+/// FNV-1a over a byte stream — the crate-local copy of the hash every
+/// ATLAS fingerprint uses (the serve crate carries its own for wire-level
+/// keys). 64-bit output; collisions are treated as negligible wherever a
+/// fingerprint gates reuse, and every such site documents that.
+pub(crate) fn fnv1a64(bytes: impl IntoIterator<Item = u8>) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x100_0000_01b3);
+    }
+    hash
+}
+
 /// One sub-module prepared for encoding: its graph, static per-node
 /// features (everything except the per-cycle toggle), and bookkeeping.
 #[derive(Debug, Clone)]
@@ -36,6 +49,7 @@ pub struct SubmoduleData {
     cells: Vec<CellId>,
     static_feats: Matrix,
     class_idx: Vec<u8>,
+    graph_fp: u64,
 }
 
 impl SubmoduleData {
@@ -62,6 +76,18 @@ impl SubmoduleData {
     /// Class index (one-hot position) of each node.
     pub fn class_indices(&self) -> &[u8] {
         &self.class_idx
+    }
+
+    /// Structural fingerprint of everything the encoder's output depends
+    /// on besides the per-cycle toggle pattern: the sub-module identity,
+    /// its cells and their classes, the static feature matrix (bit-exact),
+    /// and the full CSR adjacency structure. Two `SubmoduleData` with
+    /// equal fingerprints produce identical encoder rows for identical
+    /// toggle patterns, which is what lets the delta path reuse cached
+    /// embedding rows across design edits (64-bit collisions treated as
+    /// negligible).
+    pub fn structural_fingerprint(&self) -> u64 {
+        self.graph_fp
     }
 
     /// Node features for one cycle: the static features with the toggle
@@ -253,12 +279,34 @@ pub fn build_submodule_data(design: &Design, lib: &Library) -> Vec<SubmoduleData
                 feats.set(i, CAP_CHANNEL, lc.total_input_cap() * CAP_SCALE);
             }
         }
+        // Everything the encoder sees besides the toggle channel, plus
+        // the cell identities (so two coincidentally-identical graphs in
+        // different sub-modules still fingerprint apart only if their
+        // content differs — same content is exactly the reuse we want).
+        let fp_bytes = g
+            .submodule()
+            .index()
+            .to_le_bytes()
+            .into_iter()
+            .chain(n.to_le_bytes())
+            .chain(g.cells().iter().flat_map(|c| c.index().to_le_bytes()))
+            .chain(class_idx.iter().copied())
+            .chain(
+                feats
+                    .as_slice()
+                    .iter()
+                    .flat_map(|v| v.to_bits().to_le_bytes()),
+            )
+            .chain(adj.row_offsets().iter().flat_map(|v| v.to_le_bytes()))
+            .chain(adj.col_indices().iter().flat_map(|v| v.to_le_bytes()));
+        let graph_fp = fnv1a64(fp_bytes);
         out.push(SubmoduleData {
             submodule: g.submodule(),
             adj,
             cells: g.cells().to_vec(),
             static_feats: feats,
             class_idx,
+            graph_fp,
         });
     }
     out

@@ -49,7 +49,7 @@ pub mod pretrain;
 
 pub use evaluate::EvalRow;
 pub use model::{
-    AtlasModel, EmbeddingTable, PreparedEncoder, SubmoduleEmbeddings, TraceEmbeddings,
+    AtlasModel, DeltaStats, EmbeddingTable, PreparedEncoder, SubmoduleEmbeddings, TraceEmbeddings,
 };
 pub use pipeline::{train_atlas, ExperimentConfig, LookupError, TrainedAtlas};
 

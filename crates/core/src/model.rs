@@ -101,7 +101,10 @@ impl EmbeddingTable {
 }
 
 /// Stage-one inference output for one sub-module across a whole trace:
-/// per-cycle encoder embeddings and side features.
+/// per-cycle encoder embeddings and side features, plus the item-level
+/// reuse keys ([`graph_fp`](Self::graph_fp) × per-cycle pattern digests)
+/// that make the table delta-capable — any cycle of any cached trace
+/// whose (structure, toggle pattern) keys match can donate its row.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct SubmoduleEmbeddings {
     /// Index of the sub-module in its design.
@@ -110,6 +113,16 @@ pub struct SubmoduleEmbeddings {
     pub embeddings: EmbeddingTable,
     /// `sides[cycle]` — the toggle-weighted side features for that cycle.
     pub sides: Vec<SideFeatures>,
+    /// [`SubmoduleData::structural_fingerprint`] of the graph these rows
+    /// were encoded against. Rows are reusable only under an equal
+    /// fingerprint (same cells, classes, static features, adjacency).
+    pub graph_fp: u64,
+    /// `pattern_digests[cycle]` — FNV-1a digest of that cycle's packed
+    /// toggle bitset. Equal digests (under equal `graph_fp` and storage
+    /// precision) mean bit-identical encoder input, so the delta path
+    /// copies the row instead of re-encoding; 64-bit collisions are
+    /// treated as negligible.
+    pub pattern_digests: Vec<u64>,
 }
 
 /// Everything stage two (the power heads) needs, for every sub-module and
@@ -154,9 +167,361 @@ impl TraceEmbeddings {
         self.per_submodule
             .iter()
             .map(|s| {
-                s.embeddings.approx_bytes() + s.sides.len() * std::mem::size_of::<SideFeatures>()
+                s.embeddings.approx_bytes()
+                    + s.sides.len() * std::mem::size_of::<SideFeatures>()
+                    + s.pattern_digests.len() * std::mem::size_of::<u64>()
             })
             .sum()
+    }
+}
+
+/// What [`AtlasModel::embed_trace_delta_with`] reused versus recomputed —
+/// the observability half of the delta contract (the correctness half is
+/// bit-identity, which needs no counters).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct DeltaStats {
+    /// Unique toggle patterns whose rows were copied from the base.
+    pub reused_patterns: usize,
+    /// Unique toggle patterns that had to run the encoder.
+    pub recomputed_patterns: usize,
+    /// (sub-module × cycle) items answered from reused rows.
+    pub reused_cycles: usize,
+    /// (sub-module × cycle) items answered from freshly encoded rows.
+    pub recomputed_cycles: usize,
+}
+
+/// Digest of one packed toggle pattern: FNV-1a over the node count and
+/// the bitset words. The reuse key of one (sub-module × cycle) item.
+fn pattern_digest(nodes: usize, bits: &[u64]) -> u64 {
+    crate::features::fnv1a64(
+        nodes
+            .to_le_bytes()
+            .into_iter()
+            .chain(bits.iter().flat_map(|w| w.to_le_bytes())),
+    )
+}
+
+/// Deterministic LPT packing shared by both embed phases: items sorted
+/// by estimated work, each placed on the least-loaded thread (stable
+/// sort, first-minimum tie-break), so scheduling never depends on timing.
+fn lpt_bins(weights: &[usize], threads: usize) -> Vec<Vec<usize>> {
+    let threads = threads.clamp(1, weights.len().max(1));
+    let mut order: Vec<usize> = (0..weights.len()).collect();
+    order.sort_by_key(|&i| std::cmp::Reverse(weights[i]));
+    let mut bins: Vec<Vec<usize>> = vec![Vec::new(); threads];
+    let mut load = vec![0usize; threads];
+    for i in order {
+        let t = (0..threads).min_by_key(|&t| load[t]).unwrap_or(0);
+        load[t] += weights[i];
+        bins[t].push(i);
+    }
+    bins
+}
+
+/// Split `totals[sm]` units of each sub-module into only as many
+/// contiguous ranges as thread balance needs: work smaller than a
+/// thread's fair share stays whole, a dominating sub-module cuts into
+/// enough pieces to occupy every thread.
+fn ranged_items(
+    data: &[SubmoduleData],
+    totals: &[usize],
+    threads: usize,
+) -> Vec<(usize, usize, usize)> {
+    let total_work: usize = data
+        .iter()
+        .zip(totals)
+        .map(|(s, &t)| s.node_count() * t)
+        .sum();
+    let work_target = total_work.div_ceil(threads.max(1)).max(1);
+    let mut items = Vec::new();
+    for (sm, (smd, &total)) in data.iter().zip(totals).enumerate() {
+        if total == 0 {
+            continue;
+        }
+        let splits = (smd.node_count() * total).div_ceil(work_target).max(1);
+        let item_len = total.div_ceil(splits).max(1);
+        let mut start = 0;
+        while start < total {
+            let len = item_len.min(total - start);
+            items.push((sm, start, len));
+            start += len;
+        }
+    }
+    items
+}
+
+/// Per-precision unique-pattern embedding rows (phase-2 working set).
+enum EmbRows {
+    F64(Vec<Vec<f64>>),
+    F32(Vec<Vec<f32>>),
+}
+
+/// Phase-1 output: per (sub-module, cycle) side features, and each
+/// sub-module's cycles collapsed onto its whole-trace unique
+/// toggle-pattern set (`pattern_of[sm][cycle]` indexes `uniq_bits[sm]`).
+struct TraceScan {
+    sides_of: Vec<Vec<SideFeatures>>,
+    pattern_of: Vec<Vec<usize>>,
+    uniq_bits: Vec<Vec<Vec<u64>>>,
+}
+
+/// Phase 1 of both embed paths: (sub-module × cycle-range) items pack
+/// each cycle's toggles into a bitset and compute its side features, then
+/// the bitsets merge per sub-module into one whole-trace unique
+/// toggle-pattern set (workloads repeat patterns — idle phases almost
+/// every cycle — and deduplicating across the whole trace keeps the hit
+/// rate independent of how thread balance split the sub-module).
+fn scan_trace(
+    gate: &Design,
+    lib: &Library,
+    data: &[SubmoduleData],
+    trace: &ToggleTrace,
+    threads: usize,
+) -> TraceScan {
+    let cycles = trace.cycles();
+    let scan_items = ranged_items(data, &vec![cycles; data.len()], threads);
+    let scan_weights: Vec<usize> = scan_items
+        .iter()
+        .map(|&(sm, _, len)| data[sm].node_count() * len)
+        .collect();
+    type ScanOut = (usize, usize, Vec<Vec<u64>>, Vec<SideFeatures>);
+    let scans: Vec<ScanOut> = crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for bin in lpt_bins(&scan_weights, threads) {
+            if bin.is_empty() {
+                continue;
+            }
+            let scan_items = &scan_items;
+            handles.push(scope.spawn(move |_| {
+                let mut local: Vec<ScanOut> = Vec::with_capacity(bin.len());
+                for i in bin {
+                    let (sm, start, len) = scan_items[i];
+                    let smd = &data[sm];
+                    let n = smd.node_count();
+                    let words = n.div_ceil(64);
+                    let mut bits_per_cycle = Vec::with_capacity(len);
+                    for t in start..start + len {
+                        let mut bits = vec![0u64; words];
+                        for (node, &cell) in smd.cells().iter().enumerate() {
+                            if trace.cell_toggled(gate, t, cell) {
+                                bits[node / 64] |= 1 << (node % 64);
+                            }
+                        }
+                        bits_per_cycle.push(bits);
+                    }
+                    let table = SideTable::new(smd, gate, lib, trace);
+                    let sides = (start..start + len)
+                        .map(|t| table.side_features(gate, trace, t))
+                        .collect();
+                    local.push((sm, start, bits_per_cycle, sides));
+                }
+                local
+            }));
+        }
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("worker panicked"))
+            .collect()
+    })
+    .expect("scoped threads join");
+
+    let mut sides_of: Vec<Vec<SideFeatures>> = data
+        .iter()
+        .map(|_| vec![SideFeatures::default(); cycles])
+        .collect();
+    let mut bits_of: Vec<Vec<Vec<u64>>> = data.iter().map(|_| vec![Vec::new(); cycles]).collect();
+    for (sm, start, bits_per_cycle, sides) in scans {
+        for (off, b) in bits_per_cycle.into_iter().enumerate() {
+            bits_of[sm][start + off] = b;
+        }
+        for (off, s) in sides.into_iter().enumerate() {
+            sides_of[sm][start + off] = s;
+        }
+    }
+    let mut pattern_of: Vec<Vec<usize>> = Vec::with_capacity(data.len());
+    let mut uniq_bits: Vec<Vec<Vec<u64>>> = Vec::with_capacity(data.len());
+    for bits_per_cycle in bits_of {
+        let mut uniq: HashMap<Vec<u64>, usize> = HashMap::new();
+        let mut uniqs: Vec<Vec<u64>> = Vec::new();
+        let mut slots = Vec::with_capacity(cycles);
+        for bits in bits_per_cycle {
+            let slot = match uniq.get(&bits) {
+                Some(&slot) => slot,
+                None => {
+                    let slot = uniqs.len();
+                    uniqs.push(bits.clone());
+                    uniq.insert(bits, slot);
+                    slot
+                }
+            };
+            slots.push(slot);
+        }
+        pattern_of.push(slots);
+        uniq_bits.push(uniqs);
+    }
+    TraceScan {
+        sides_of,
+        pattern_of,
+        uniq_bits,
+    }
+}
+
+/// Phase 2 of both embed paths: run the encoder's cycle-blocked batched
+/// forward over the selected unique patterns only (`slots[sm]` indexes
+/// `uniq_bits[sm]`; the full path selects everything, the delta path only
+/// the patterns its base could not donate). Returns one row per selected
+/// slot, in `slots` order. Rows are position- and chunking-independent —
+/// the encoder is a pure function of (graph, features) — which is exactly
+/// why a subset encode stays bit-identical to the full one.
+fn encode_unique(
+    encoder: &PreparedEncoder,
+    data: &[SubmoduleData],
+    uniq_bits: &[Vec<Vec<u64>>],
+    slots: &[Vec<usize>],
+    threads: usize,
+) -> Vec<EmbRows> {
+    let counts: Vec<usize> = slots.iter().map(|s| s.len()).collect();
+    let enc_items = ranged_items(data, &counts, threads);
+    let enc_weights: Vec<usize> = enc_items
+        .iter()
+        .map(|&(sm, _, len)| data[sm].node_count() * len)
+        .collect();
+    type EncOut = (usize, usize, EmbRows);
+    let encoded: Vec<EncOut> = crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for bin in lpt_bins(&enc_weights, threads) {
+            if bin.is_empty() {
+                continue;
+            }
+            let enc_items = &enc_items;
+            handles.push(scope.spawn(move |_| {
+                let mut local: Vec<EncOut> = Vec::with_capacity(bin.len());
+                for i in bin {
+                    let (sm, start, len) = enc_items[i];
+                    let smd = &data[sm];
+                    let bits = &uniq_bits[sm];
+                    let pick = &slots[sm];
+                    // Each pattern's features are expanded from its
+                    // bitset straight into the chunk's stacked operand
+                    // (no second trace scan), so live feature memory
+                    // stays within the encoder's chunk budget.
+                    let chunk = encoder.cycle_chunk(smd.node_count());
+                    let rows = match encoder {
+                        PreparedEncoder::F64(enc) => EmbRows::F64(enc.encode_graph_batch_fill(
+                            smd.adj(),
+                            len,
+                            chunk,
+                            |u, dst| smd.write_features_from_bits(&bits[pick[start + u]], dst),
+                        )),
+                        PreparedEncoder::F32(enc) => EmbRows::F32(enc.encode_graph_batch_fill(
+                            smd.adj(),
+                            len,
+                            chunk,
+                            |u, dst| smd.write_features_from_bits_f32(&bits[pick[start + u]], dst),
+                        )),
+                    };
+                    local.push((sm, start, rows));
+                }
+                local
+            }));
+        }
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("worker panicked"))
+            .collect()
+    })
+    .expect("scoped threads join");
+
+    let mut out: Vec<EmbRows> = counts
+        .iter()
+        .map(|&u| match encoder {
+            PreparedEncoder::F64(_) => EmbRows::F64(vec![Vec::new(); u]),
+            PreparedEncoder::F32(_) => EmbRows::F32(vec![Vec::new(); u]),
+        })
+        .collect();
+    for (sm, start, rows) in encoded {
+        match (&mut out[sm], rows) {
+            (EmbRows::F64(table), EmbRows::F64(rows)) => {
+                for (off, r) in rows.into_iter().enumerate() {
+                    table[start + off] = r;
+                }
+            }
+            (EmbRows::F32(table), EmbRows::F32(rows)) => {
+                for (off, r) in rows.into_iter().enumerate() {
+                    table[start + off] = r;
+                }
+            }
+            _ => unreachable!("phase-2 items share the encoder's precision"),
+        }
+    }
+    out
+}
+
+/// Resolve a `threads` argument (`0` = auto: available parallelism
+/// capped at 8).
+fn resolve_threads(threads: usize) -> usize {
+    if threads == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+            .min(8)
+    } else {
+        threads
+    }
+}
+
+/// Final step of both embed paths: every cycle copies its unique
+/// pattern's row, and the item-level reuse keys (graph fingerprint,
+/// per-cycle pattern digests) are stamped alongside.
+fn assemble_embeddings(
+    gate: &Design,
+    trace: &ToggleTrace,
+    precision: Precision,
+    data: &[SubmoduleData],
+    mut scan: TraceScan,
+    uniq_rows: &[EmbRows],
+) -> TraceEmbeddings {
+    let cycles = trace.cycles();
+    let per_submodule: Vec<SubmoduleEmbeddings> = data
+        .iter()
+        .enumerate()
+        .map(|(sm, smd)| {
+            let digests_uniq: Vec<u64> = scan.uniq_bits[sm]
+                .iter()
+                .map(|bits| pattern_digest(smd.node_count(), bits))
+                .collect();
+            SubmoduleEmbeddings {
+                submodule: smd.submodule().index(),
+                embeddings: match &uniq_rows[sm] {
+                    EmbRows::F64(uniq) => EmbeddingTable::F64(
+                        scan.pattern_of[sm]
+                            .iter()
+                            .map(|&s| uniq[s].clone())
+                            .collect(),
+                    ),
+                    EmbRows::F32(uniq) => EmbeddingTable::F32(
+                        scan.pattern_of[sm]
+                            .iter()
+                            .map(|&s| uniq[s].clone())
+                            .collect(),
+                    ),
+                },
+                sides: std::mem::take(&mut scan.sides_of[sm]),
+                graph_fp: smd.structural_fingerprint(),
+                pattern_digests: scan.pattern_of[sm]
+                    .iter()
+                    .map(|&s| digests_uniq[s])
+                    .collect(),
+            }
+        })
+        .collect();
+    TraceEmbeddings {
+        design: gate.name().to_owned(),
+        workload: trace.workload().to_owned(),
+        cycles,
+        n_submodules: gate.submodules().len(),
+        precision,
+        per_submodule,
     }
 }
 
@@ -313,258 +678,140 @@ impl AtlasModel {
         trace: &ToggleTrace,
         threads: usize,
     ) -> TraceEmbeddings {
-        let cycles = trace.cycles();
-        let threads = if threads == 0 {
-            std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(4)
-                .min(8)
-        } else {
-            threads
-        };
-
-        // Deterministic LPT packing shared by both phases: items sorted by
-        // estimated work, each placed on the least-loaded thread (stable
-        // sort, first-minimum tie-break), so scheduling never depends on
-        // timing.
-        fn lpt_bins(weights: &[usize], threads: usize) -> Vec<Vec<usize>> {
-            let threads = threads.clamp(1, weights.len().max(1));
-            let mut order: Vec<usize> = (0..weights.len()).collect();
-            order.sort_by_key(|&i| std::cmp::Reverse(weights[i]));
-            let mut bins: Vec<Vec<usize>> = vec![Vec::new(); threads];
-            let mut load = vec![0usize; threads];
-            for i in order {
-                let t = (0..threads).min_by_key(|&t| load[t]).unwrap_or(0);
-                load[t] += weights[i];
-                bins[t].push(i);
-            }
-            bins
-        }
-
-        // Split `total` units of a sub-module into only as many
-        // contiguous ranges as thread balance needs: work smaller than a
-        // thread's fair share stays whole, a dominating sub-module cuts
-        // into enough pieces to occupy every thread.
-        fn ranged_items(
-            data: &[SubmoduleData],
-            totals: &[usize],
-            threads: usize,
-        ) -> Vec<(usize, usize, usize)> {
-            let total_work: usize = data
-                .iter()
-                .zip(totals)
-                .map(|(s, &t)| s.node_count() * t)
-                .sum();
-            let work_target = total_work.div_ceil(threads.max(1)).max(1);
-            let mut items = Vec::new();
-            for (sm, (smd, &total)) in data.iter().zip(totals).enumerate() {
-                if total == 0 {
-                    continue;
-                }
-                let splits = (smd.node_count() * total).div_ceil(work_target).max(1);
-                let item_len = total.div_ceil(splits).max(1);
-                let mut start = 0;
-                while start < total {
-                    let len = item_len.min(total - start);
-                    items.push((sm, start, len));
-                    start += len;
-                }
-            }
-            items
-        }
-
-        // ---- Phase 1: toggle-bitset scan + side features, per cycle ----
-        let scan_items = ranged_items(data, &vec![cycles; data.len()], threads);
-        let scan_weights: Vec<usize> = scan_items
+        let threads = resolve_threads(threads);
+        let scan = scan_trace(gate, lib, data, trace, threads);
+        let all: Vec<Vec<usize>> = scan
+            .uniq_bits
             .iter()
-            .map(|&(sm, _, len)| data[sm].node_count() * len)
+            .map(|u| (0..u.len()).collect())
             .collect();
-        type ScanOut = (usize, usize, Vec<Vec<u64>>, Vec<SideFeatures>);
-        let scans: Vec<ScanOut> = crossbeam::thread::scope(|scope| {
-            let mut handles = Vec::new();
-            for bin in lpt_bins(&scan_weights, threads) {
-                if bin.is_empty() {
-                    continue;
-                }
-                let scan_items = &scan_items;
-                handles.push(scope.spawn(move |_| {
-                    let mut local: Vec<ScanOut> = Vec::with_capacity(bin.len());
-                    for i in bin {
-                        let (sm, start, len) = scan_items[i];
-                        let smd = &data[sm];
-                        let n = smd.node_count();
-                        let words = n.div_ceil(64);
-                        let mut bits_per_cycle = Vec::with_capacity(len);
-                        for t in start..start + len {
-                            let mut bits = vec![0u64; words];
-                            for (node, &cell) in smd.cells().iter().enumerate() {
-                                if trace.cell_toggled(gate, t, cell) {
-                                    bits[node / 64] |= 1 << (node % 64);
-                                }
-                            }
-                            bits_per_cycle.push(bits);
-                        }
-                        let table = SideTable::new(smd, gate, lib, trace);
-                        let sides = (start..start + len)
-                            .map(|t| table.side_features(gate, trace, t))
-                            .collect();
-                        local.push((sm, start, bits_per_cycle, sides));
-                    }
-                    local
-                }));
-            }
-            handles
-                .into_iter()
-                .flat_map(|h| h.join().expect("worker panicked"))
-                .collect()
-        })
-        .expect("scoped threads join");
+        let uniq_rows = encode_unique(encoder, data, &scan.uniq_bits, &all, threads);
+        assemble_embeddings(gate, trace, encoder.precision(), data, scan, &uniq_rows)
+    }
 
-        // ---- Merge: whole-trace unique patterns per sub-module ----
-        // A sub-module's features differ across cycles only in the toggle
-        // channel, so each cycle is keyed by its packed toggle bits and
-        // the encoder runs once per unique pattern over the whole trace.
-        let mut sides_of: Vec<Vec<SideFeatures>> = data
+    /// Incremental sibling of [`embed_trace_with`](Self::embed_trace_with)
+    /// for interactive what-if loops: re-embed `trace` while reusing every
+    /// (sub-module × cycle) item whose encoder input is provably unchanged
+    /// from `base`.
+    ///
+    /// The scan phase (toggle bitsets + side features) always runs in
+    /// full — it is the cheap, linear part and it is what *proves* which
+    /// items changed: a row is copied from the base only when the
+    /// sub-module's structural fingerprint, the storage precision, and the
+    /// cycle's toggle-pattern digest all match, so the result is
+    /// bit-identical to a full embed no matter how wrong a caller's edit
+    /// description is (the expensive encoder forwards run only for
+    /// patterns the base cannot donate). Appended cycles, edited
+    /// sub-modules, and `base`s of different lengths or designs all reduce
+    /// to the same rule; a base at the wrong precision simply donates
+    /// nothing. 64-bit digest collisions are treated as negligible.
+    pub fn embed_trace_delta_with(
+        &self,
+        encoder: &PreparedEncoder,
+        gate: &Design,
+        lib: &Library,
+        data: &[SubmoduleData],
+        trace: &ToggleTrace,
+        threads: usize,
+        base: &TraceEmbeddings,
+    ) -> (TraceEmbeddings, DeltaStats) {
+        let threads = resolve_threads(threads);
+        let scan = scan_trace(gate, lib, data, trace, threads);
+        let precision_ok = base.precision() == encoder.precision();
+        let base_by_sm: HashMap<usize, &SubmoduleEmbeddings> = base
+            .per_submodule
             .iter()
-            .map(|_| vec![SideFeatures::default(); cycles])
+            .map(|s| (s.submodule, s))
             .collect();
-        let mut bits_of: Vec<Vec<Vec<u64>>> =
-            data.iter().map(|_| vec![Vec::new(); cycles]).collect();
-        for (sm, start, bits_per_cycle, sides) in scans {
-            for (off, b) in bits_per_cycle.into_iter().enumerate() {
-                bits_of[sm][start + off] = b;
-            }
-            for (off, s) in sides.into_iter().enumerate() {
-                sides_of[sm][start + off] = s;
-            }
-        }
-        let mut pattern_of: Vec<Vec<usize>> = Vec::with_capacity(data.len());
-        let mut uniq_bits: Vec<Vec<Vec<u64>>> = Vec::with_capacity(data.len());
-        for bits_per_cycle in bits_of {
-            let mut uniq: HashMap<Vec<u64>, usize> = HashMap::new();
-            let mut uniqs: Vec<Vec<u64>> = Vec::new();
-            let mut slots = Vec::with_capacity(cycles);
-            for bits in bits_per_cycle {
-                let slot = match uniq.get(&bits) {
-                    Some(&slot) => slot,
-                    None => {
-                        let slot = uniqs.len();
-                        uniqs.push(bits.clone());
-                        uniq.insert(bits, slot);
-                        slot
-                    }
-                };
-                slots.push(slot);
-            }
-            pattern_of.push(slots);
-            uniq_bits.push(uniqs);
-        }
 
-        // ---- Phase 2: encode unique patterns only ----
-        let uniq_counts: Vec<usize> = uniq_bits.iter().map(|u| u.len()).collect();
-        let enc_items = ranged_items(data, &uniq_counts, threads);
-        let enc_weights: Vec<usize> = enc_items
+        let mut stats = DeltaStats::default();
+        let mut uniq_rows: Vec<EmbRows> = scan
+            .uniq_bits
             .iter()
-            .map(|&(sm, _, len)| data[sm].node_count() * len)
-            .collect();
-        enum EmbRows {
-            F64(Vec<Vec<f64>>),
-            F32(Vec<Vec<f32>>),
-        }
-        type EncOut = (usize, usize, EmbRows);
-        let encoded: Vec<EncOut> = crossbeam::thread::scope(|scope| {
-            let mut handles = Vec::new();
-            for bin in lpt_bins(&enc_weights, threads) {
-                if bin.is_empty() {
-                    continue;
-                }
-                let enc_items = &enc_items;
-                let uniq_bits = &uniq_bits;
-                handles.push(scope.spawn(move |_| {
-                    let mut local: Vec<EncOut> = Vec::with_capacity(bin.len());
-                    for i in bin {
-                        let (sm, start, len) = enc_items[i];
-                        let smd = &data[sm];
-                        let bits = &uniq_bits[sm];
-                        // Each pattern's features are expanded from its
-                        // bitset straight into the chunk's stacked operand
-                        // (no second trace scan), so live feature memory
-                        // stays within the encoder's chunk budget.
-                        let chunk = encoder.cycle_chunk(smd.node_count());
-                        let rows =
-                            match encoder {
-                                PreparedEncoder::F64(enc) => EmbRows::F64(
-                                    enc.encode_graph_batch_fill(smd.adj(), len, chunk, |u, dst| {
-                                        smd.write_features_from_bits(&bits[start + u], dst)
-                                    }),
-                                ),
-                                PreparedEncoder::F32(enc) => EmbRows::F32(
-                                    enc.encode_graph_batch_fill(smd.adj(), len, chunk, |u, dst| {
-                                        smd.write_features_from_bits_f32(&bits[start + u], dst)
-                                    }),
-                                ),
-                            };
-                        local.push((sm, start, rows));
-                    }
-                    local
-                }));
-            }
-            handles
-                .into_iter()
-                .flat_map(|h| h.join().expect("worker panicked"))
-                .collect()
-        })
-        .expect("scoped threads join");
-
-        // ---- Reassemble: every cycle copies its pattern's embedding ----
-        let mut uniq_emb: Vec<EmbRows> = data
-            .iter()
-            .zip(&uniq_counts)
-            .map(|(_, &u)| match encoder {
-                PreparedEncoder::F64(_) => EmbRows::F64(vec![Vec::new(); u]),
-                PreparedEncoder::F32(_) => EmbRows::F32(vec![Vec::new(); u]),
+            .map(|u| match encoder {
+                PreparedEncoder::F64(_) => EmbRows::F64(vec![Vec::new(); u.len()]),
+                PreparedEncoder::F32(_) => EmbRows::F32(vec![Vec::new(); u.len()]),
             })
             .collect();
-        for (sm, start, rows) in encoded {
-            match (&mut uniq_emb[sm], rows) {
+        let mut missing_slots: Vec<Vec<usize>> = vec![Vec::new(); data.len()];
+        let mut slot_reused: Vec<Vec<bool>> = scan
+            .uniq_bits
+            .iter()
+            .map(|u| vec![false; u.len()])
+            .collect();
+        for (sm, smd) in data.iter().enumerate() {
+            let donor = if precision_ok {
+                base_by_sm
+                    .get(&smd.submodule().index())
+                    .copied()
+                    .filter(|b| b.graph_fp == smd.structural_fingerprint())
+                    .filter(|b| b.embeddings.precision() == encoder.precision())
+            } else {
+                None
+            };
+            // First base cycle per digest; any occurrence donates the
+            // same row bits, so first-wins is as good as any.
+            let digest_cycle: HashMap<u64, usize> = donor
+                .map(|b| {
+                    let mut m = HashMap::new();
+                    for (t, &d) in b.pattern_digests.iter().enumerate() {
+                        m.entry(d).or_insert(t);
+                    }
+                    m
+                })
+                .unwrap_or_default();
+            for (slot, bits) in scan.uniq_bits[sm].iter().enumerate() {
+                let digest = pattern_digest(smd.node_count(), bits);
+                let hit = donor.and_then(|b| digest_cycle.get(&digest).map(|&t| (b, t)));
+                match hit {
+                    Some((b, t)) => {
+                        match (&mut uniq_rows[sm], &b.embeddings) {
+                            (EmbRows::F64(rows), EmbeddingTable::F64(table)) => {
+                                rows[slot] = table[t].clone();
+                            }
+                            (EmbRows::F32(rows), EmbeddingTable::F32(table)) => {
+                                rows[slot] = table[t].clone();
+                            }
+                            _ => unreachable!("donor filtered to the encoder's precision"),
+                        }
+                        slot_reused[sm][slot] = true;
+                        stats.reused_patterns += 1;
+                    }
+                    None => {
+                        missing_slots[sm].push(slot);
+                        stats.recomputed_patterns += 1;
+                    }
+                }
+            }
+        }
+
+        let fresh = encode_unique(encoder, data, &scan.uniq_bits, &missing_slots, threads);
+        for (sm, rows) in fresh.into_iter().enumerate() {
+            match (&mut uniq_rows[sm], rows) {
                 (EmbRows::F64(table), EmbRows::F64(rows)) => {
-                    for (off, r) in rows.into_iter().enumerate() {
-                        table[start + off] = r;
+                    for (i, r) in rows.into_iter().enumerate() {
+                        table[missing_slots[sm][i]] = r;
                     }
                 }
                 (EmbRows::F32(table), EmbRows::F32(rows)) => {
-                    for (off, r) in rows.into_iter().enumerate() {
-                        table[start + off] = r;
+                    for (i, r) in rows.into_iter().enumerate() {
+                        table[missing_slots[sm][i]] = r;
                     }
                 }
-                _ => unreachable!("phase-2 items share the encoder's precision"),
+                _ => unreachable!("fresh rows share the encoder's precision"),
             }
         }
-        let per_submodule: Vec<SubmoduleEmbeddings> = data
-            .iter()
-            .enumerate()
-            .map(|(sm, smd)| SubmoduleEmbeddings {
-                submodule: smd.submodule().index(),
-                embeddings: match &uniq_emb[sm] {
-                    EmbRows::F64(uniq) => EmbeddingTable::F64(
-                        pattern_of[sm].iter().map(|&s| uniq[s].clone()).collect(),
-                    ),
-                    EmbRows::F32(uniq) => EmbeddingTable::F32(
-                        pattern_of[sm].iter().map(|&s| uniq[s].clone()).collect(),
-                    ),
-                },
-                sides: std::mem::take(&mut sides_of[sm]),
-            })
-            .collect();
-
-        TraceEmbeddings {
-            design: gate.name().to_owned(),
-            workload: trace.workload().to_owned(),
-            cycles,
-            n_submodules: gate.submodules().len(),
-            precision: encoder.precision(),
-            per_submodule,
+        for (sm, slots) in scan.pattern_of.iter().enumerate() {
+            for &slot in slots {
+                if slot_reused[sm][slot] {
+                    stats.reused_cycles += 1;
+                } else {
+                    stats.recomputed_cycles += 1;
+                }
+            }
         }
+        let out = assemble_embeddings(gate, trace, encoder.precision(), data, scan, &uniq_rows);
+        (out, stats)
     }
 
     /// Inference stage two (cheap): run the fine-tuned heads over
@@ -678,6 +925,95 @@ mod tests {
         assert!(embeddings.approx_bytes() > 0);
         let staged = model.predict_from_embeddings(&embeddings);
         assert_eq!(fused, staged, "stage split must not change predictions");
+    }
+
+    #[test]
+    fn delta_on_identical_trace_reuses_everything_bit_identically() {
+        let (model, bundle, lib) = tiny_model();
+        let data = build_submodule_data(&bundle.gate, &lib);
+        let enc = model.prepare(Precision::F64);
+        let full = model.embed_trace_with(&enc, &bundle.gate, &lib, &data, &bundle.gate_trace, 2);
+        let (delta, stats) = model.embed_trace_delta_with(
+            &enc,
+            &bundle.gate,
+            &lib,
+            &data,
+            &bundle.gate_trace,
+            3,
+            &full,
+        );
+        assert_eq!(
+            stats.recomputed_patterns, 0,
+            "identical trace recomputed nothing"
+        );
+        assert!(stats.reused_patterns > 0);
+        assert_eq!(stats.recomputed_cycles, 0);
+        for (a, b) in full.per_submodule().iter().zip(delta.per_submodule()) {
+            assert_eq!(a.embeddings, b.embeddings, "rows must be bit-identical");
+            assert_eq!(a.pattern_digests, b.pattern_digests);
+            assert_eq!(a.graph_fp, b.graph_fp);
+            assert_eq!(a.sides, b.sides);
+        }
+        assert_eq!(
+            model.predict_from_embeddings(&full),
+            model.predict_from_embeddings(&delta)
+        );
+    }
+
+    #[test]
+    fn delta_on_appended_cycles_matches_full_recompute() {
+        use atlas_sim::{simulate, PhasedWorkload};
+        let (model, bundle, lib) = tiny_model();
+        let data = build_submodule_data(&bundle.gate, &lib);
+        let enc = model.prepare(Precision::F64);
+        let short = simulate(&bundle.gate, &mut PhasedWorkload::w1(1), 7).expect("simulates");
+        let long = simulate(&bundle.gate, &mut PhasedWorkload::w1(1), 13).expect("simulates");
+        let base = model.embed_trace_with(&enc, &bundle.gate, &lib, &data, &short, 2);
+        let full = model.embed_trace_with(&enc, &bundle.gate, &lib, &data, &long, 2);
+        let (delta, stats) =
+            model.embed_trace_delta_with(&enc, &bundle.gate, &lib, &data, &long, 2, &base);
+        assert!(
+            stats.reused_patterns > 0,
+            "the shared prefix must donate rows"
+        );
+        for (a, b) in full.per_submodule().iter().zip(delta.per_submodule()) {
+            assert_eq!(a.embeddings, b.embeddings, "rows must be bit-identical");
+            assert_eq!(a.sides, b.sides);
+        }
+        assert_eq!(
+            model.predict_from_embeddings(&full),
+            model.predict_from_embeddings(&delta)
+        );
+    }
+
+    #[test]
+    fn delta_from_foreign_base_donates_nothing_but_stays_exact() {
+        let (model, bundle, lib) = tiny_model();
+        let data = build_submodule_data(&bundle.gate, &lib);
+        let f64enc = model.prepare(Precision::F64);
+        let f32enc = model.prepare(Precision::F32);
+        // An f32 base can never donate rows to an f64 delta.
+        let base32 =
+            model.embed_trace_with(&f32enc, &bundle.gate, &lib, &data, &bundle.gate_trace, 2);
+        let full =
+            model.embed_trace_with(&f64enc, &bundle.gate, &lib, &data, &bundle.gate_trace, 2);
+        let (delta, stats) = model.embed_trace_delta_with(
+            &f64enc,
+            &bundle.gate,
+            &lib,
+            &data,
+            &bundle.gate_trace,
+            2,
+            &base32,
+        );
+        assert_eq!(
+            stats.reused_patterns, 0,
+            "precision mismatch must donate nothing"
+        );
+        assert!(stats.recomputed_patterns > 0);
+        for (a, b) in full.per_submodule().iter().zip(delta.per_submodule()) {
+            assert_eq!(a.embeddings, b.embeddings);
+        }
     }
 
     #[test]

@@ -99,6 +99,20 @@ impl SparseAdj {
         self.vals.len()
     }
 
+    /// CSR row offsets (`node_count() + 1` entries). Together with
+    /// [`col_indices`](Self::col_indices) this is the complete graph
+    /// structure — the normalized values are a pure function of it — so
+    /// callers can fingerprint a graph without reaching into the values.
+    pub fn row_offsets(&self) -> &[u32] {
+        &self.row_ptr
+    }
+
+    /// CSR column indices, row-major (see
+    /// [`row_offsets`](Self::row_offsets)).
+    pub fn col_indices(&self) -> &[u32] {
+        &self.col_idx
+    }
+
     /// Sparse-dense product `Â × x` — the sparse-aware entry point (the
     /// dense [`Matrix::matmul`] kernel does not skip zeros; adjacency
     /// products always belong here).

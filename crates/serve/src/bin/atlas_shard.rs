@@ -28,6 +28,7 @@ struct Args {
     shards: Vec<ShardInfo>,
     max_conns: usize,
     reactor_threads: usize,
+    default_model: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -36,6 +37,7 @@ fn parse_args() -> Result<Args, String> {
         shards: Vec::new(),
         max_conns: ReactorConfig::default().max_connections,
         reactor_threads: 1,
+        default_model: None,
     };
     let mut vnodes = DEFAULT_VNODES;
     let mut it = std::env::args().skip(1);
@@ -68,6 +70,7 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("--max-conns: {e}"))?;
             }
+            "--default-model" => args.default_model = Some(value("--default-model")?),
             "--reactor-threads" => {
                 args.reactor_threads = value("--reactor-threads")?
                     .parse()
@@ -79,7 +82,7 @@ fn parse_args() -> Result<Args, String> {
             "--help" | "-h" => {
                 println!(
                     "usage: atlas-shard --tcp ADDR --shard ID=ADDR [--shard ID=ADDR ...] \
-                     [--vnodes N] [--max-conns N] [--reactor-threads N]\n\
+                     [--vnodes N] [--max-conns N] [--reactor-threads N] [--default-model NAME]\n\
                      routes predict requests across serve processes by trace key \
                      (consistent hashing, N vnodes per shard)"
                 );
@@ -109,7 +112,13 @@ fn main() -> ExitCode {
         }
     };
     let proxy = match ShardProxy::new(args.shards) {
-        Ok(proxy) => Arc::new(proxy),
+        Ok(proxy) => {
+            let proxy = match args.default_model {
+                Some(name) => proxy.with_default_model(name),
+                None => proxy,
+            };
+            Arc::new(proxy)
+        }
         Err(e) => {
             eprintln!("error: {e}");
             return ExitCode::FAILURE;

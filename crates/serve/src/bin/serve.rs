@@ -302,6 +302,11 @@ fn answer(service: &AtlasService, line: &str) -> String {
             let id = request.id;
             protocol::render_result(&service.call(request).map_err(|e| (id, e)))
         }
+        Ok(RequestLine::PredictDelta(request)) => {
+            let id = request.id;
+            protocol::render_delta_result(&service.call_delta(request).map_err(|e| (id, e)))
+        }
+        Ok(RequestLine::Sweep(request)) => answer_sweep(service, request),
         Ok(RequestLine::Stats { id }) => {
             protocol::render_stats(&protocol::stats_response(id, &service.stats()))
         }
@@ -359,6 +364,103 @@ fn answer(service: &AtlasService, line: &str) -> String {
         }),
         Err(e) => protocol::render_result(&Err((protocol::salvage_id(line), e))),
     }
+}
+
+/// The stdio spelling of a `sweep`: the exact frames the TCP reactor
+/// streams, joined into one multi-line response (stdio answers
+/// synchronously, so the items run in order instead of fanning out).
+fn answer_sweep(service: &AtlasService, request: protocol::SweepRequest) -> String {
+    let invalid = |msg: String| {
+        protocol::render_result(&Err((
+            request.id,
+            atlas_serve::ServeError::InvalidRequest(msg),
+        )))
+    };
+    let items = request.items.len();
+    if items == 0 {
+        return invalid("a sweep needs at least one item".to_owned());
+    }
+    if items > protocol::MAX_SWEEP_ITEMS {
+        return invalid(format!(
+            "sweep has {items} items, limit is {}",
+            protocol::MAX_SWEEP_ITEMS
+        ));
+    }
+    let chunk = request
+        .chunk_cycles
+        .unwrap_or(protocol::DEFAULT_SERIES_CHUNK)
+        .clamp(1, protocol::MAX_SERIES_CHUNK);
+    let started = std::time::Instant::now();
+    let mut frames = vec![protocol::render_line(&protocol::SweepStartFrame {
+        id: request.id,
+        verb: "sweep".to_owned(),
+        frame: "start".to_owned(),
+        items,
+    })];
+    let mut errors = 0usize;
+    for (item, spec) in request.items.into_iter().enumerate() {
+        let predict = protocol::PredictRequest {
+            id: request.id,
+            model: request.model.clone(),
+            design: request.design.clone(),
+            workload: spec.workload,
+            workload_name: spec.workload_name,
+            cycles: request.cycles,
+            phases: spec.phases,
+        };
+        match service.call(predict) {
+            Ok(response) => {
+                frames.push(protocol::render_line(&protocol::SweepItemFrame {
+                    id: request.id,
+                    verb: "sweep".to_owned(),
+                    frame: "item".to_owned(),
+                    item,
+                    workload: response.workload,
+                    cache_hit: response.cache_hit,
+                    design_cache_hit: response.design_cache_hit,
+                    mean_total_w: response.mean_total_w,
+                    peak_total_w: response.peak_total_w,
+                    groups: response.groups,
+                }));
+                let series = response.per_cycle_total_w;
+                let total_cycles = series.len();
+                let mut offset = 0;
+                while offset < total_cycles {
+                    let end = (offset + chunk).min(total_cycles);
+                    frames.push(protocol::render_line(&protocol::SweepSeriesFrame {
+                        id: request.id,
+                        verb: "sweep".to_owned(),
+                        frame: "series".to_owned(),
+                        item,
+                        offset,
+                        total_cycles,
+                        per_cycle_total_w: series[offset..end].to_vec(),
+                    }));
+                    offset = end;
+                }
+            }
+            Err(e) => {
+                errors += 1;
+                frames.push(protocol::render_line(&protocol::SweepErrorFrame {
+                    id: request.id,
+                    verb: "sweep".to_owned(),
+                    frame: "error".to_owned(),
+                    item,
+                    error: e.to_string(),
+                    kind: e.kind().to_owned(),
+                }));
+            }
+        }
+    }
+    frames.push(protocol::render_line(&protocol::SweepEndFrame {
+        id: request.id,
+        verb: "sweep".to_owned(),
+        frame: "end".to_owned(),
+        items,
+        errors,
+        latency_ms: started.elapsed().as_secs_f64() * 1e3,
+    }));
+    frames.join("\n")
 }
 
 fn serve_stdio(service: &AtlasService) {

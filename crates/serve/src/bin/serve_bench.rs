@@ -66,8 +66,8 @@ use atlas_core::pipeline::{train_atlas, ExperimentConfig};
 use atlas_serve::reactor::{PoolHandle, Reactor, ReactorConfig, ReactorPool};
 use atlas_serve::shard::{trace_route_key, ShardProxy, ShardRing};
 use atlas_serve::{
-    AtlasService, ModelCatalog, ModelRegistry, PredictRequest, PredictResponse, ServeError,
-    ServiceConfig, ShardInfo, StatsResponse,
+    AtlasService, DeltaBase, ModelCatalog, ModelRegistry, PredictDeltaRequest, PredictRequest,
+    PredictResponse, ServeError, ServiceConfig, ShardInfo, StatsResponse,
 };
 use atlas_sim::WorkloadPhase;
 use serde::Serialize;
@@ -284,6 +284,39 @@ struct QuotaStormScenario {
     storm_embeddings_computed: u64,
 }
 
+/// Minimum `full p50 / delta p50` ratio the edit-loop scenario must
+/// deliver. Mirrored by `DELTA_SPEEDUP_FLOOR` in `scripts/check_bench.rs`.
+const DELTA_SPEEDUP_FLOOR: f64 = 2.0;
+
+/// The edit-loop scenario: an interactive what-if session editing one
+/// sub-module of an uploaded design. Every revision is predicted twice —
+/// as a cold full `predict` and as a `predict_delta` against the
+/// unedited base — and the incremental path must be bit-identical and at
+/// least [`DELTA_SPEEDUP_FLOOR`]x faster at p50.
+#[derive(Debug, Serialize)]
+struct EditLoopScenario {
+    /// Sub-modules in the uploaded design (the edit dirties exactly one).
+    submodules: usize,
+    /// Edited revisions measured on each path.
+    edits: usize,
+    /// Cold full-recompute `predict` per revision.
+    full: Phase,
+    /// `predict_delta` per revision, base = the unedited design's trace.
+    delta: Phase,
+    /// `full.p50_ms / delta.p50_ms` — gated ≥ [`DELTA_SPEEDUP_FLOOR`]
+    /// here and in `scripts/check_bench.rs`.
+    delta_speedup: f64,
+    /// Every delta found its base trace warm.
+    base_hit: bool,
+    /// (sub-module × cycle) items donated by the base across all deltas.
+    reused_cycles: u64,
+    /// Items recomputed across all deltas (the edited sub-module).
+    recomputed_cycles: u64,
+    /// Every delta answer was bit-identical to the full recompute of the
+    /// same revision.
+    parity: bool,
+}
+
 #[derive(Debug, Serialize)]
 struct BenchReport {
     /// ISA features detected on the machine that produced this report
@@ -311,6 +344,7 @@ struct BenchReport {
     multimodel: MultiModelScenario,
     reload: ReloadScenario,
     quota_storm: QuotaStormScenario,
+    edit_loop: EditLoopScenario,
     shard_scaleout: ShardScaleoutScenario,
 }
 
@@ -755,6 +789,192 @@ fn run_quota_storm_scenario(
         storm_queued: storm.queued,
         storm_rejected: storm.rejected_quota,
         storm_embeddings_computed: storm.embeddings_computed,
+    })
+}
+
+/// An uploaded design shaped like an edit loop's subject: `submodules`
+/// identical blocks fed only from shared primary inputs — no
+/// inter-submodule wiring, so editing one block can never dirty another
+/// block's toggle patterns. `variant` 0 is the base; `variant` v > 0
+/// appends a v-cell inverter tail inside the LAST block only, i.e. a
+/// 1-sub-module edit with every other block provably unchanged.
+fn build_edit_design(submodules: usize, variant: usize) -> Result<atlas_netlist::Design, String> {
+    use atlas_liberty::{CellClass, Drive};
+    let fail = |e: atlas_netlist::BuildError| format!("edit design: {e}");
+    let mut b = atlas_netlist::NetlistBuilder::new("editloop");
+    let pis = b.add_inputs(8);
+    for s in 0..submodules {
+        let sm = b.add_submodule(format!("top.u{s}"), "block");
+        // A register rank mixing the shared PIs...
+        let mut regs = Vec::new();
+        for (i, &pi) in pis.iter().enumerate() {
+            let class = if i % 2 == 0 {
+                CellClass::Xor2
+            } else {
+                CellClass::Nand2
+            };
+            let mixed = b
+                .add_cell(class, Drive::X1, &[pi, pis[(i + 1) % pis.len()]], sm)
+                .map_err(fail)?;
+            regs.push(b.add_dff(mixed, sm).map_err(fail)?);
+        }
+        // ...fanned out three ways per register so each block carries
+        // enough cells for the encoder forward to dominate its cost...
+        let mut layer = Vec::new();
+        for (i, &q) in regs.iter().enumerate() {
+            let peer = regs[(i + 3) % regs.len()];
+            layer.push(
+                b.add_cell(CellClass::And2, Drive::X1, &[q, peer], sm)
+                    .map_err(fail)?,
+            );
+            layer.push(
+                b.add_cell(CellClass::Or2, Drive::X1, &[q, peer], sm)
+                    .map_err(fail)?,
+            );
+            layer.push(
+                b.add_cell(CellClass::Xor2, Drive::X1, &[q, peer], sm)
+                    .map_err(fail)?,
+            );
+        }
+        // ...reduced to one output by alternating-class pair trees.
+        let mut depth = 0;
+        while layer.len() > 1 {
+            let class = match depth % 3 {
+                0 => CellClass::Nand2,
+                1 => CellClass::Nor2,
+                _ => CellClass::Xnor2,
+            };
+            let mut next = Vec::new();
+            for pair in layer.chunks(2) {
+                next.push(if pair.len() == 2 {
+                    b.add_cell(class, Drive::X1, &[pair[0], pair[1]], sm)
+                        .map_err(fail)?
+                } else {
+                    pair[0]
+                });
+            }
+            layer = next;
+            depth += 1;
+        }
+        let mut out = layer[0];
+        if variant > 0 && s == submodules - 1 {
+            for _ in 0..variant {
+                out = b
+                    .add_cell(CellClass::Inv, Drive::X1, &[out], sm)
+                    .map_err(fail)?;
+            }
+        }
+        b.mark_output(out);
+    }
+    b.finish().map_err(|e| format!("edit design: {e}"))
+}
+
+/// The edit-loop scenario: upload a base design, warm its trace once,
+/// then predict a stream of 1-sub-module revisions both ways — cold full
+/// `predict` vs `predict_delta` reusing the base's clean items.
+fn run_edit_loop_scenario(
+    model: &atlas_core::AtlasModel,
+    cfg: &ExperimentConfig,
+    cycles: usize,
+    edits: usize,
+) -> Result<EditLoopScenario, String> {
+    const SUBMODULES: usize = 8;
+    let edits = edits.max(2);
+    let service = AtlasService::start_with(
+        model.clone(),
+        cfg.clone(),
+        ServiceConfig {
+            workers: 1,
+            ..ServiceConfig::default()
+        },
+    );
+    let upload = |name: &str, variant: usize| -> Result<(), String> {
+        let design = build_edit_design(SUBMODULES, variant)?;
+        service
+            .load_design(name, &design.to_verilog())
+            .map_err(|e| format!("load_design {name}: {e}"))?;
+        Ok(())
+    };
+    // Each revision is uploaded twice under distinct names so the full
+    // pass and the delta pass each see a cold trace key for identical
+    // content; ingestion happens up front because it is not what this
+    // scenario measures.
+    upload("edit-v0", 0)?;
+    for r in 1..=edits {
+        upload(&format!("edit-full-{r}"), r)?;
+        upload(&format!("edit-delta-{r}"), r)?;
+    }
+    // Warm the base trace the whole loop will reuse (not timed).
+    service
+        .call(PredictRequest::new("edit-v0", "W1", cycles))
+        .map_err(|e| format!("base predict: {e}"))?;
+
+    // Full-recompute path: a cold `predict` per revision.
+    let mut full_lat = Vec::new();
+    let mut references = Vec::new();
+    let t0 = Instant::now();
+    for r in 1..=edits {
+        let resp = service
+            .call(PredictRequest::new(format!("edit-full-{r}"), "W1", cycles))
+            .map_err(|e| format!("full predict {r}: {e}"))?;
+        if resp.cache_hit {
+            return Err(format!("full predict {r} unexpectedly hit the cache"));
+        }
+        full_lat.push(resp.latency_ms);
+        references.push(resp);
+    }
+    let full = phase(full_lat, t0.elapsed().as_secs_f64());
+
+    // Incremental path: `predict_delta` against the v0 base.
+    let mut delta_lat = Vec::new();
+    let mut base_hit = true;
+    let mut parity = true;
+    let mut reused_cycles = 0u64;
+    let mut recomputed_cycles = 0u64;
+    let t1 = Instant::now();
+    for r in 1..=edits {
+        let resp = service
+            .call_delta(PredictDeltaRequest {
+                id: None,
+                model: None,
+                design: format!("edit-delta-{r}"),
+                workload: Some("W1".to_owned()),
+                workload_name: None,
+                cycles,
+                phases: None,
+                base: Some(DeltaBase {
+                    design: Some("edit-v0".to_owned()),
+                    workload: None,
+                    workload_name: None,
+                    cycles: None,
+                    phases: None,
+                }),
+                changed_submodules: Some(vec![SUBMODULES - 1]),
+            })
+            .map_err(|e| format!("delta predict {r}: {e}"))?;
+        if resp.cache_hit {
+            return Err(format!("delta predict {r} unexpectedly hit the cache"));
+        }
+        base_hit &= resp.base_hit;
+        reused_cycles += resp.reused_cycles as u64;
+        recomputed_cycles += resp.recomputed_cycles as u64;
+        let reference = &references[r - 1];
+        parity &= resp.per_cycle_total_w == reference.per_cycle_total_w
+            && resp.mean_total_w == reference.mean_total_w
+            && resp.peak_total_w == reference.peak_total_w;
+        delta_lat.push(resp.latency_ms);
+    }
+    let delta = phase(delta_lat, t1.elapsed().as_secs_f64());
+    Ok(EditLoopScenario {
+        submodules: SUBMODULES,
+        edits,
+        delta_speedup: full.p50_ms / delta.p50_ms.max(1e-9),
+        full,
+        delta,
+        base_hit,
+        reused_cycles,
+        recomputed_cycles,
+        parity,
     })
 }
 
@@ -1499,6 +1719,28 @@ fn main() -> ExitCode {
         quota_storm.storm_embeddings_computed
     );
 
+    // Edit-loop pass: incremental `predict_delta` on a 1-sub-module edit
+    // vs a cold full recompute of the same revision.
+    let edit_loop = match run_edit_loop_scenario(&trained.model, &cfg, args.cycles, args.repeat) {
+        Ok(edit_loop) => edit_loop,
+        Err(e) => {
+            eprintln!("error: edit-loop scenario: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "edit-loop: {} edits of 1/{} sub-modules, delta p50 {:.2} ms vs full {:.2} ms \
+         ({:.2}x), reused {} / recomputed {} cycle-items, parity {}",
+        edit_loop.edits,
+        edit_loop.submodules,
+        edit_loop.delta.p50_ms,
+        edit_loop.full.p50_ms,
+        edit_loop.delta_speedup,
+        edit_loop.reused_cycles,
+        edit_loop.recomputed_cycles,
+        edit_loop.parity
+    );
+
     // Shard-scaleout pass: 1 vs 2 shard processes behind the proxy,
     // then a drain/snapshot/restart round trip.
     let shard_scaleout = match run_shard_scaleout_scenario(&trained.model, &cfg, args.cycles) {
@@ -1542,6 +1784,7 @@ fn main() -> ExitCode {
         multimodel,
         reload,
         quota_storm,
+        edit_loop,
         shard_scaleout,
     };
     println!(
@@ -1614,6 +1857,23 @@ fn main() -> ExitCode {
         eprintln!(
             "error: victim p50 under storm regressed {:.2}x over idle (> 3x allowed)",
             report.quota_storm.p50_ratio
+        );
+        return ExitCode::FAILURE;
+    }
+    if !report.edit_loop.parity || !report.edit_loop.base_hit || report.edit_loop.reused_cycles == 0
+    {
+        eprintln!(
+            "error: edit-loop deltas broke correctness (parity {}, base hit {}, \
+             {} reused cycle-items)",
+            report.edit_loop.parity, report.edit_loop.base_hit, report.edit_loop.reused_cycles
+        );
+        return ExitCode::FAILURE;
+    }
+    if report.edit_loop.delta_speedup < DELTA_SPEEDUP_FLOOR {
+        eprintln!(
+            "error: delta p50 was only {:.2}x faster than a full recompute \
+             (>= {DELTA_SPEEDUP_FLOOR}x required)",
+            report.edit_loop.delta_speedup
         );
         return ExitCode::FAILURE;
     }

@@ -96,9 +96,10 @@ pub mod shard;
 pub use cache::{CacheStats, LruCache};
 pub use error::ServeError;
 pub use protocol::{
-    ErrorResponse, GroupSummary, LoadDesignRequest, LoadDesignResponse, LoadModelRequest,
-    LoadModelResponse, ModelsResponse, PredictRequest, PredictResponse, RegisterWorkloadRequest,
-    RegisterWorkloadResponse, RequestLine, ShardInfo, ShardMapResponse, StatsResponse,
+    DeltaBase, ErrorResponse, GroupSummary, LoadDesignRequest, LoadDesignResponse,
+    LoadModelRequest, LoadModelResponse, ModelsResponse, PredictDeltaRequest, PredictDeltaResponse,
+    PredictRequest, PredictResponse, RegisterWorkloadRequest, RegisterWorkloadResponse,
+    RequestLine, ShardInfo, ShardMapResponse, StatsResponse, SweepItem, SweepRequest,
     UnloadModelRequest, UnloadModelResponse, WorkloadsResponse,
 };
 pub use quota::{Admission, QuotaGate};
@@ -107,8 +108,8 @@ pub use reactor::{
 };
 pub use registry::{ModelCatalog, ModelRegistry, RegistryError, SavedModel, FORMAT_VERSION};
 pub use service::{
-    parse_workload_journal, render_journal_entry, AtlasService, DesignInfo, ModelInfo, ModelStats,
-    RegisteredWorkload, Reply, ServiceConfig, ServiceStats, SnapshotRestoreReport,
+    parse_workload_journal, render_journal_entry, AtlasService, DeltaReply, DesignInfo, ModelInfo,
+    ModelStats, RegisteredWorkload, Reply, ServiceConfig, ServiceStats, SnapshotRestoreReport,
     WorkloadJournalEntry,
 };
 pub use shard::{trace_route_key, ShardProxy, ShardRing};

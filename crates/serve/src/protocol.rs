@@ -16,13 +16,16 @@
 //! ```
 //!
 //! A line with a `verb` field is dispatched by verb (`"predict"`,
-//! `"stats"`, `"models"`, `"load_model"`, `"unload_model"`,
-//! `"register_workload"`, `"workloads"`, `"load_design"`,
-//! `"shard_map"`); a line without one is a predict request. Predict requests may address a
+//! `"predict_delta"`, `"sweep"`, `"stats"`, `"models"`, `"load_model"`,
+//! `"unload_model"`, `"register_workload"`, `"workloads"`,
+//! `"load_design"`, `"shard_map"`); a line without one is a predict
+//! request. Predict requests may address a
 //! specific hosted model via [`PredictRequest::model`] and may carry
 //! their workload three ways: a preset name in `workload`, an inline
 //! phase schedule in `phases`, or the name of a server-registered
-//! schedule in `workload_name`.
+//! schedule in `workload_name`. `predict_delta` and `sweep` reuse the
+//! same spellings; `sweep` replies stream as multiple bounded frames
+//! (`start` → `item`/`series`/`error`… → `end`) instead of one line.
 
 use atlas_liberty::PowerGroup;
 use atlas_power::PowerTrace;
@@ -117,6 +120,150 @@ impl PredictRequest {
     }
 }
 
+/// The `base` object of a `predict_delta` request: which cached trace to
+/// reuse items from. Every field defaults to the target request's own
+/// value, so an appended-cycles edit only states `cycles` and a design
+/// edit only states `design`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeltaBase {
+    /// Base design name; defaults to the target's `design`.
+    pub design: Option<String>,
+    /// Base workload label; defaults like the target's `workload`.
+    pub workload: Option<String>,
+    /// Base registered-workload name; defaults to the target's.
+    pub workload_name: Option<String>,
+    /// Base cycle count; defaults to the target's `cycles`.
+    pub cycles: Option<usize>,
+    /// Base inline schedule; defaults to the target's `phases`.
+    pub phases: Option<Vec<WorkloadPhase>>,
+}
+
+/// The `predict_delta` verb body: a normal prediction plus an edit
+/// description — the base trace whose cached (sub-module × cycle) items
+/// may be reused, and optionally which sub-modules the client believes
+/// changed. The hint is advisory only: the service re-derives dirtiness
+/// from content digests, so a wrong hint can never corrupt the result
+/// (results are bit-identical to a full `predict` either way).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PredictDeltaRequest {
+    /// Client-chosen correlation id, echoed in the response.
+    pub id: Option<u64>,
+    /// Hosted-model serving name; absent means the default model.
+    pub model: Option<String>,
+    /// Target design name (preset or uploaded).
+    pub design: String,
+    /// Target workload label (see [`PredictRequest::workload`]).
+    pub workload: Option<String>,
+    /// Target registered-workload name.
+    pub workload_name: Option<String>,
+    /// Target cycle count.
+    pub cycles: usize,
+    /// Target inline phase schedule.
+    pub phases: Option<Vec<WorkloadPhase>>,
+    /// Which cached trace to reuse from; absent means "the target's own
+    /// key" (useful to cheaply re-materialize an evicted entry from an
+    /// equal sibling — rarely what clients want, but well-defined).
+    pub base: Option<DeltaBase>,
+    /// Advisory edit hint: indices of sub-modules the client changed.
+    /// Validated (each must be in range for the target design) but not
+    /// trusted — reuse is gated on content digests, not on this list.
+    pub changed_submodules: Option<Vec<usize>>,
+}
+
+impl PredictDeltaRequest {
+    /// The target as a plain [`PredictRequest`] (what the reply must be
+    /// bit-identical to).
+    pub fn target(&self) -> PredictRequest {
+        PredictRequest {
+            id: self.id,
+            model: self.model.clone(),
+            design: self.design.clone(),
+            workload: self.workload.clone(),
+            workload_name: self.workload_name.clone(),
+            cycles: self.cycles,
+            phases: self.phases.clone(),
+        }
+    }
+
+    /// The base as a plain [`PredictRequest`], with every unset base
+    /// field defaulted from the target.
+    pub fn base_request(&self) -> PredictRequest {
+        let base = self.base.clone().unwrap_or(DeltaBase {
+            design: None,
+            workload: None,
+            workload_name: None,
+            cycles: None,
+            phases: None,
+        });
+        // A base that states any workload field replaces the whole
+        // workload spec (mixing the target's `phases` with the base's
+        // `workload_name` would name a trace nobody ever computed).
+        let workload_stated =
+            base.workload.is_some() || base.workload_name.is_some() || base.phases.is_some();
+        let (workload, workload_name, phases) = if workload_stated {
+            (base.workload, base.workload_name, base.phases)
+        } else {
+            (
+                self.workload.clone(),
+                self.workload_name.clone(),
+                self.phases.clone(),
+            )
+        };
+        PredictRequest {
+            id: self.id,
+            model: self.model.clone(),
+            design: base.design.unwrap_or_else(|| self.design.clone()),
+            workload,
+            workload_name,
+            cycles: base.cycles.unwrap_or(self.cycles),
+            phases,
+        }
+    }
+}
+
+/// One schedule of a `sweep` request: exactly one of `workload`
+/// (preset), `workload_name` (registered), or `phases` + `workload`
+/// (inline schedule + label) — the same three spellings a predict
+/// request accepts.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepItem {
+    /// Preset name or inline-schedule label.
+    pub workload: Option<String>,
+    /// Registered-workload name.
+    pub workload_name: Option<String>,
+    /// Inline phase schedule.
+    pub phases: Option<Vec<WorkloadPhase>>,
+}
+
+/// The `sweep` verb body: evaluate one design under K schedules, sharing
+/// all design-side work (netlist, sub-module data, per-design caches) and
+/// streaming the results back as chunked frames instead of one giant
+/// line.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepRequest {
+    /// Client-chosen correlation id, echoed in every frame.
+    pub id: Option<u64>,
+    /// Hosted-model serving name; absent means the default model.
+    pub model: Option<String>,
+    /// Design name (preset or uploaded), shared by every item.
+    pub design: String,
+    /// Cycles to simulate and predict, shared by every item.
+    pub cycles: usize,
+    /// The schedules to evaluate, in reply order (`item` indexes this).
+    pub items: Vec<SweepItem>,
+    /// Per-cycle values per `series` frame (default
+    /// [`DEFAULT_SERIES_CHUNK`], clamped to
+    /// [`MAX_SERIES_CHUNK`]) — the knob bounding frame size.
+    pub chunk_cycles: Option<usize>,
+}
+
+/// Default per-cycle values per `series` frame.
+pub const DEFAULT_SERIES_CHUNK: usize = 1024;
+/// Hard cap on per-cycle values per `series` frame.
+pub const MAX_SERIES_CHUNK: usize = 4096;
+/// Hard cap on schedules per `sweep` request.
+pub const MAX_SWEEP_ITEMS: usize = 64;
+
 /// The `register_workload` verb body: store `phases` server-side under
 /// `name`, making it referenceable from any later request's
 /// `workload_name` — by any client, on any hosted model.
@@ -180,6 +327,10 @@ pub struct UnloadModelRequest {
 pub enum RequestLine {
     /// A prediction request (no `verb`, or `"verb":"predict"`).
     Predict(PredictRequest),
+    /// An incremental prediction request (`"verb":"predict_delta"`).
+    PredictDelta(PredictDeltaRequest),
+    /// A multi-schedule sweep request (`"verb":"sweep"`).
+    Sweep(SweepRequest),
     /// A service-counter snapshot request (`"verb":"stats"`).
     Stats {
         /// Client-chosen correlation id, echoed in the response.
@@ -459,6 +610,197 @@ pub struct PredictResponse {
     pub per_cycle_total_w: Vec<f64>,
 }
 
+/// The reply to a `predict_delta` verb: the same prediction a full
+/// `predict` of the target would return (bit-identical), plus the reuse
+/// accounting of the delta path. Kept flat — no nested objects — so the
+/// shard proxy's id rewriting sees exactly one `id`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PredictDeltaResponse {
+    /// Echo of the request id.
+    pub id: Option<u64>,
+    /// Always `"predict_delta"`.
+    pub verb: String,
+    /// Serving name of the model that answered.
+    pub model: String,
+    /// Echo of the target design name.
+    pub design: String,
+    /// Effective target workload label.
+    pub workload: String,
+    /// Echo of the target cycle count.
+    pub cycles: usize,
+    /// Whether the base trace's embeddings were found in cache. `false`
+    /// means the edit description pointed at nothing cached and the
+    /// request degenerated to a full cold `predict` (still correct).
+    pub base_hit: bool,
+    /// Whether the *target* key itself was already cached (the delta
+    /// machinery was skipped entirely — nothing to recompute).
+    pub cache_hit: bool,
+    /// Whether the design's netlist + sub-module data came from cache.
+    pub design_cache_hit: bool,
+    /// Server-side latency of this request in milliseconds.
+    pub latency_ms: f64,
+    /// Unique toggle patterns copied from the base (see
+    /// [`atlas_core::DeltaStats`]). Zero when `base_hit` is false or
+    /// `cache_hit` is true.
+    pub reused_patterns: usize,
+    /// Unique toggle patterns that ran the encoder.
+    pub recomputed_patterns: usize,
+    /// (sub-module × cycle) items answered from reused rows.
+    pub reused_cycles: usize,
+    /// (sub-module × cycle) items freshly encoded.
+    pub recomputed_cycles: usize,
+    /// Mean total watts over the trace.
+    pub mean_total_w: f64,
+    /// Peak single-cycle total watts.
+    pub peak_total_w: f64,
+    /// Per-group rollups, in `PowerGroup::ALL` order.
+    pub groups: Vec<GroupSummary>,
+    /// Per-cycle design-total watts (all groups).
+    pub per_cycle_total_w: Vec<f64>,
+}
+
+/// Assemble a `predict_delta` reply from the equivalent full-predict
+/// summary plus the delta path's accounting.
+pub fn delta_response(
+    prediction: PredictResponse,
+    base_hit: bool,
+    stats: &atlas_core::DeltaStats,
+) -> PredictDeltaResponse {
+    PredictDeltaResponse {
+        id: prediction.id,
+        verb: "predict_delta".to_owned(),
+        model: prediction.model,
+        design: prediction.design,
+        workload: prediction.workload,
+        cycles: prediction.cycles,
+        base_hit,
+        cache_hit: prediction.cache_hit,
+        design_cache_hit: prediction.design_cache_hit,
+        latency_ms: prediction.latency_ms,
+        reused_patterns: stats.reused_patterns,
+        recomputed_patterns: stats.recomputed_patterns,
+        reused_cycles: stats.reused_cycles,
+        recomputed_cycles: stats.recomputed_cycles,
+        mean_total_w: prediction.mean_total_w,
+        peak_total_w: prediction.peak_total_w,
+        groups: prediction.groups,
+        per_cycle_total_w: prediction.per_cycle_total_w,
+    }
+}
+
+/// Render one `predict_delta` response line (no trailing newline).
+pub fn render_delta_result(
+    result: &Result<PredictDeltaResponse, (Option<u64>, ServeError)>,
+) -> String {
+    let rendered = match result {
+        Ok(response) => serde_json::to_string(response),
+        Err((id, error)) => serde_json::to_string(&ErrorResponse {
+            id: *id,
+            error: error.to_string(),
+            kind: error.kind().to_owned(),
+        }),
+    };
+    rendered.unwrap_or_else(|e| format!(r#"{{"error":"render failure: {e}","kind":"internal"}}"#))
+}
+
+/// First frame of a `sweep` reply: announces how many `item` results
+/// will follow. Every sweep frame carries the request `id`, the verb,
+/// and a `frame` discriminator, so interleaved frames of concurrent
+/// sweeps on one connection always correlate.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SweepStartFrame {
+    /// Echo of the request id.
+    pub id: Option<u64>,
+    /// Always `"sweep"`.
+    pub verb: String,
+    /// Always `"start"`.
+    pub frame: String,
+    /// Number of schedules that will be evaluated.
+    pub items: usize,
+}
+
+/// Per-schedule summary frame of a `sweep` reply (everything of a
+/// predict reply except the per-cycle series, which streams separately
+/// in bounded `series` frames).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepItemFrame {
+    /// Echo of the request id.
+    pub id: Option<u64>,
+    /// Always `"sweep"`.
+    pub verb: String,
+    /// Always `"item"`.
+    pub frame: String,
+    /// Index into the request's `items`.
+    pub item: usize,
+    /// Effective workload label of this item.
+    pub workload: String,
+    /// Whether this item's embeddings were served from cache.
+    pub cache_hit: bool,
+    /// Whether the design came from cache (shared across items).
+    pub design_cache_hit: bool,
+    /// Mean total watts over the trace.
+    pub mean_total_w: f64,
+    /// Peak single-cycle total watts.
+    pub peak_total_w: f64,
+    /// Per-group rollups, in `PowerGroup::ALL` order.
+    pub groups: Vec<GroupSummary>,
+}
+
+/// One bounded chunk of an item's per-cycle total series. Chunks arrive
+/// in offset order within an item; items may interleave.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepSeriesFrame {
+    /// Echo of the request id.
+    pub id: Option<u64>,
+    /// Always `"sweep"`.
+    pub verb: String,
+    /// Always `"series"`.
+    pub frame: String,
+    /// Index into the request's `items`.
+    pub item: usize,
+    /// Cycle offset of the first value in this chunk.
+    pub offset: usize,
+    /// Total cycles of the item's series (same every chunk).
+    pub total_cycles: usize,
+    /// The chunk's per-cycle design-total watts.
+    pub per_cycle_total_w: Vec<f64>,
+}
+
+/// Per-item failure frame of a `sweep` reply: one bad schedule fails
+/// alone; the sweep continues and still ends with an `end` frame.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SweepErrorFrame {
+    /// Echo of the request id.
+    pub id: Option<u64>,
+    /// Always `"sweep"`.
+    pub verb: String,
+    /// Always `"error"`.
+    pub frame: String,
+    /// Index into the request's `items`.
+    pub item: usize,
+    /// Human-readable description.
+    pub error: String,
+    /// Stable machine-readable class ([`ServeError::kind`]).
+    pub kind: String,
+}
+
+/// Final frame of a `sweep` reply.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepEndFrame {
+    /// Echo of the request id.
+    pub id: Option<u64>,
+    /// Always `"sweep"`.
+    pub verb: String,
+    /// Always `"end"`.
+    pub frame: String,
+    /// Number of schedules evaluated (successes + failures).
+    pub items: usize,
+    /// How many items failed (each got an `error` frame).
+    pub errors: usize,
+    /// Server-side latency of the whole sweep in milliseconds.
+    pub latency_ms: f64,
+}
+
 /// The error half of the wire protocol.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ErrorResponse {
@@ -572,6 +914,12 @@ pub fn parse_line(line: &str) -> Result<RequestLine, ServeError> {
         None | Some("predict") => PredictRequest::from_value(&value)
             .map(RequestLine::Predict)
             .map_err(|e| bad(format!("bad request line: {e}"))),
+        Some("predict_delta") => PredictDeltaRequest::from_value(&value)
+            .map(RequestLine::PredictDelta)
+            .map_err(|e| bad(format!("bad predict_delta line: {e}"))),
+        Some("sweep") => SweepRequest::from_value(&value)
+            .map(RequestLine::Sweep)
+            .map_err(|e| bad(format!("bad sweep line: {e}"))),
         Some("stats") => Ok(RequestLine::Stats {
             id: id_of("stats")?,
         }),
@@ -783,6 +1131,134 @@ mod tests {
         assert_eq!(salvage_id(r#"{"id":6,"verb":"flush"}"#), Some(6));
         assert_eq!(salvage_id(r#"{"verb":"flush"}"#), None);
         assert_eq!(salvage_id("not json"), None);
+    }
+
+    #[test]
+    fn predict_delta_lines_parse_and_default_their_base() {
+        // Appended-cycles edit: base differs only in cycles.
+        let line = r#"{"verb":"predict_delta","id":3,"design":"C2","workload":"W1",
+            "cycles":64,"base":{"cycles":48}}"#;
+        let Ok(RequestLine::PredictDelta(req)) = parse_line(line) else {
+            panic!("predict_delta must parse");
+        };
+        assert_eq!(req.target(), {
+            let mut t = PredictRequest::new("C2", "W1", 64);
+            t.id = Some(3);
+            t
+        });
+        let base = req.base_request();
+        assert_eq!(base.design, "C2");
+        assert_eq!(base.cycles, 48);
+        assert_eq!(base.workload.as_deref(), Some("W1"));
+        // Design edit: base differs only in design; workload inherited.
+        let line = r#"{"verb":"predict_delta","design":"v2","workload_name":"nightly",
+            "cycles":32,"base":{"design":"v1"},"changed_submodules":[1]}"#;
+        let Ok(RequestLine::PredictDelta(req)) = parse_line(line) else {
+            panic!("predict_delta must parse");
+        };
+        assert_eq!(req.changed_submodules, Some(vec![1]));
+        let base = req.base_request();
+        assert_eq!(base.design, "v1");
+        assert_eq!(base.workload_name.as_deref(), Some("nightly"));
+        assert_eq!(base.cycles, 32);
+        // No base at all: the target's own key.
+        let line = r#"{"verb":"predict_delta","design":"C2","workload":"W1","cycles":8}"#;
+        let Ok(RequestLine::PredictDelta(req)) = parse_line(line) else {
+            panic!("predict_delta must parse");
+        };
+        assert_eq!(req.base_request(), req.target());
+        // A base that states any workload field replaces the whole spec.
+        let line = r#"{"verb":"predict_delta","design":"C2","workload_name":"new",
+            "cycles":8,"base":{"workload_name":"old"}}"#;
+        let Ok(RequestLine::PredictDelta(req)) = parse_line(line) else {
+            panic!("predict_delta must parse");
+        };
+        assert_eq!(req.base_request().workload_name.as_deref(), Some("old"));
+        assert_eq!(req.base_request().workload, None);
+        // Malformed: missing cycles is a typed error.
+        assert!(matches!(
+            parse_line(r#"{"verb":"predict_delta","design":"C2","workload":"W1"}"#),
+            Err(ServeError::InvalidRequest(_))
+        ));
+    }
+
+    #[test]
+    fn sweep_lines_parse() {
+        let line = r#"{"verb":"sweep","id":4,"design":"C2","cycles":16,
+            "items":[{"workload":"W1"},
+                     {"workload_name":"nightly"},
+                     {"workload":"burst","phases":[{"activity":0.4,"min_len":2,"max_len":5}]}],
+            "chunk_cycles":8}"#;
+        let Ok(RequestLine::Sweep(req)) = parse_line(line) else {
+            panic!("sweep must parse");
+        };
+        assert_eq!(req.items.len(), 3);
+        assert_eq!(req.items[0].workload.as_deref(), Some("W1"));
+        assert_eq!(req.items[1].workload_name.as_deref(), Some("nightly"));
+        assert_eq!(req.items[2].phases.as_ref().map(Vec::len), Some(1));
+        assert_eq!(req.chunk_cycles, Some(8));
+        // Missing items is a typed error.
+        assert!(matches!(
+            parse_line(r#"{"verb":"sweep","design":"C2","cycles":16}"#),
+            Err(ServeError::InvalidRequest(_))
+        ));
+    }
+
+    #[test]
+    fn delta_and_sweep_frames_roundtrip() {
+        let stats = atlas_core::DeltaStats {
+            reused_patterns: 10,
+            recomputed_patterns: 2,
+            reused_cycles: 50,
+            recomputed_cycles: 14,
+        };
+        let mut trace = PowerTrace::new("d".into(), "w".into(), 2, 1);
+        trace.add(0, 0, PowerGroup::Combinational.index(), 1.0);
+        let req = PredictRequest::new("d", "w", 2);
+        let pred = summarize(&req, "default", "w", &trace, false, true, 1.5);
+        let resp = delta_response(pred, true, &stats);
+        assert_eq!(resp.verb, "predict_delta");
+        assert!(resp.base_hit);
+        assert_eq!(resp.reused_patterns, 10);
+        assert_eq!(resp.recomputed_cycles, 14);
+        let line = render_delta_result(&Ok(resp.clone()));
+        let back: PredictDeltaResponse = serde_json::from_str(&line).expect("parses");
+        assert_eq!(back, resp);
+        // Error rendering preserves the id and kind.
+        let line = render_delta_result(&Err((Some(8), ServeError::UnknownDesign("v9".into()))));
+        let err: ErrorResponse = serde_json::from_str(&line).expect("parses");
+        assert_eq!(err.id, Some(8));
+        assert_eq!(err.kind, "unknown_design");
+
+        let start = SweepStartFrame {
+            id: Some(4),
+            verb: "sweep".into(),
+            frame: "start".into(),
+            items: 3,
+        };
+        let back: SweepStartFrame = serde_json::from_str(&render_line(&start)).expect("parses");
+        assert_eq!(back, start);
+        let series = SweepSeriesFrame {
+            id: Some(4),
+            verb: "sweep".into(),
+            frame: "series".into(),
+            item: 1,
+            offset: 8,
+            total_cycles: 16,
+            per_cycle_total_w: vec![1.0, 2.0],
+        };
+        let back: SweepSeriesFrame = serde_json::from_str(&render_line(&series)).expect("parses");
+        assert_eq!(back, series);
+        let end = SweepEndFrame {
+            id: Some(4),
+            verb: "sweep".into(),
+            frame: "end".into(),
+            items: 3,
+            errors: 1,
+            latency_ms: 2.5,
+        };
+        let back: SweepEndFrame = serde_json::from_str(&render_line(&end)).expect("parses");
+        assert_eq!(back, end);
     }
 
     #[test]

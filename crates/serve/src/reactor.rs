@@ -345,10 +345,14 @@ impl Counters {
     }
 }
 
-/// A finished reply on its way back to a connection.
+/// A finished reply — or one intermediate frame of a streamed reply —
+/// on its way back to a connection.
 struct Completion {
     token: u64,
     line: String,
+    /// `false` for an intermediate frame: the request stays in flight
+    /// for back-pressure accounting until its final completion arrives.
+    last: bool,
 }
 
 /// The worker→reactor handoff: workers push rendered reply lines and
@@ -360,11 +364,11 @@ struct Completions {
 }
 
 impl Completions {
-    fn push(&self, token: u64, line: String) {
+    fn push(&self, token: u64, line: String, last: bool) {
         self.queue
             .lock()
             .expect("completion lock")
-            .push(Completion { token, line });
+            .push(Completion { token, line, last });
         sys::eventfd_signal(self.wake.0);
     }
 
@@ -384,9 +388,34 @@ pub struct Completer {
 }
 
 impl Completer {
-    /// Queue `line` as the reply and wake the owning reactor.
+    /// Queue `line` as the final reply and wake the owning reactor. The
+    /// request leaves the connection's in-flight count when the line is
+    /// delivered.
     pub fn complete(&self, line: String) {
-        self.completions.push(self.token, line);
+        self.completions.push(self.token, line, true);
+    }
+
+    /// Queue `line` as one intermediate frame of a streamed reply
+    /// (`sweep` frames). The request stays in flight — exactly one
+    /// [`Completer::complete`] must still follow, and frames are written
+    /// out as they arrive instead of buffering whole in the reactor.
+    pub fn stream(&self, line: String) {
+        self.completions.push(self.token, line, false);
+    }
+}
+
+/// Build a completer detached from any reactor, for crate-internal
+/// tests that need a [`Completer`] to satisfy an API (its lines land in
+/// a private queue nobody drains).
+#[cfg(test)]
+pub(crate) fn test_completer() -> Completer {
+    Completer {
+        token: 0,
+        completions: Arc::new(Completions {
+            queue: Mutex::new(Vec::new()),
+            wake: sys::new_eventfd().expect("eventfd"),
+            shutdown: AtomicBool::new(false),
+        }),
     }
 }
 
@@ -1155,12 +1184,17 @@ impl Loop {
         }
     }
 
-    /// A reply arrived from the worker pool.
+    /// A reply (or one streamed frame of one) arrived from the worker
+    /// pool. Only a *final* completion releases the request's in-flight
+    /// slot; intermediate frames keep it held so a client streaming a
+    /// large sweep still counts against `max_inflight`.
     fn deliver(&mut self, completion: Completion) {
         let Some(conn) = self.conns.get_mut(&completion.token) else {
             return; // connection closed while the request was in flight
         };
-        conn.inflight = conn.inflight.saturating_sub(1);
+        if completion.last {
+            conn.inflight = conn.inflight.saturating_sub(1);
+        }
         self.queue_line(completion.token, completion.line);
         if let Some(conn) = self.conns.get(&completion.token) {
             if conn.read_closed && conn.inflight == 0 && conn.pending_bytes() == 0 {
@@ -1309,6 +1343,14 @@ impl Frontend for AtlasService {
                 });
                 None
             }
+            Ok(RequestLine::PredictDelta(request)) => {
+                let completer = ctx.completer();
+                self.submit_delta_with(request, move |reply| {
+                    completer.complete(protocol::render_delta_result(&reply));
+                });
+                None
+            }
+            Ok(RequestLine::Sweep(request)) => sweep(self, request, ctx),
             Ok(RequestLine::Stats { id }) => {
                 let mut stats = protocol::stats_response(id, &self.stats());
                 stats.reactor_threads = ctx.reactor_threads();
@@ -1388,6 +1430,126 @@ impl Frontend for AtlasService {
     }
 }
 
+/// Run one `sweep` request: fan its items out to the worker pool and
+/// stream the reply back as frames — `start` synchronously, one `item`
+/// (+ bounded `series` chunks) or `error` frame per schedule as each
+/// finishes, and a final `end` frame once every item reported. Items of
+/// one sweep share the design-side work through the per-design cache
+/// (the first item to miss builds it; single-flight coalesces ties), and
+/// no frame ever carries more than [`protocol::MAX_SERIES_CHUNK`]
+/// per-cycle values, so a 10k-cycle sweep never materializes one giant
+/// response line in the reactor.
+fn sweep(
+    service: &AtlasService,
+    request: protocol::SweepRequest,
+    ctx: &FrontendContext<'_>,
+) -> Option<String> {
+    use std::sync::atomic::AtomicUsize;
+
+    let invalid = |msg: String| {
+        Some(protocol::render_result(&Err((
+            request.id,
+            crate::error::ServeError::InvalidRequest(msg),
+        ))))
+    };
+    let items = request.items.len();
+    if items == 0 {
+        return invalid("a sweep needs at least one item".to_owned());
+    }
+    if items > protocol::MAX_SWEEP_ITEMS {
+        return invalid(format!(
+            "sweep has {items} items, limit is {}",
+            protocol::MAX_SWEEP_ITEMS
+        ));
+    }
+    let chunk = request
+        .chunk_cycles
+        .unwrap_or(protocol::DEFAULT_SERIES_CHUNK)
+        .clamp(1, protocol::MAX_SERIES_CHUNK);
+    let completer = Arc::new(ctx.completer());
+    completer.stream(protocol::render_line(&protocol::SweepStartFrame {
+        id: request.id,
+        verb: "sweep".to_owned(),
+        frame: "start".to_owned(),
+        items,
+    }));
+    let remaining = Arc::new(AtomicUsize::new(items));
+    let errors = Arc::new(AtomicUsize::new(0));
+    let started = std::time::Instant::now();
+    for (item, spec) in request.items.into_iter().enumerate() {
+        let predict = protocol::PredictRequest {
+            id: request.id,
+            model: request.model.clone(),
+            design: request.design.clone(),
+            workload: spec.workload,
+            workload_name: spec.workload_name,
+            cycles: request.cycles,
+            phases: spec.phases,
+        };
+        let id = request.id;
+        let completer = Arc::clone(&completer);
+        let remaining = Arc::clone(&remaining);
+        let errors = Arc::clone(&errors);
+        service.submit_with(predict, move |reply| {
+            match reply {
+                Ok(response) => {
+                    completer.stream(protocol::render_line(&protocol::SweepItemFrame {
+                        id,
+                        verb: "sweep".to_owned(),
+                        frame: "item".to_owned(),
+                        item,
+                        workload: response.workload,
+                        cache_hit: response.cache_hit,
+                        design_cache_hit: response.design_cache_hit,
+                        mean_total_w: response.mean_total_w,
+                        peak_total_w: response.peak_total_w,
+                        groups: response.groups,
+                    }));
+                    let series = response.per_cycle_total_w;
+                    let total_cycles = series.len();
+                    let mut offset = 0;
+                    while offset < total_cycles {
+                        let end = (offset + chunk).min(total_cycles);
+                        completer.stream(protocol::render_line(&protocol::SweepSeriesFrame {
+                            id,
+                            verb: "sweep".to_owned(),
+                            frame: "series".to_owned(),
+                            item,
+                            offset,
+                            total_cycles,
+                            per_cycle_total_w: series[offset..end].to_vec(),
+                        }));
+                        offset = end;
+                    }
+                }
+                Err((_, e)) => {
+                    errors.fetch_add(1, Ordering::Relaxed);
+                    completer.stream(protocol::render_line(&protocol::SweepErrorFrame {
+                        id,
+                        verb: "sweep".to_owned(),
+                        frame: "error".to_owned(),
+                        item,
+                        error: e.to_string(),
+                        kind: e.kind().to_owned(),
+                    }));
+                }
+            }
+            // The last item to finish — in any order — seals the sweep.
+            if remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+                completer.complete(protocol::render_line(&protocol::SweepEndFrame {
+                    id,
+                    verb: "sweep".to_owned(),
+                    frame: "end".to_owned(),
+                    items,
+                    errors: errors.load(Ordering::Acquire),
+                    latency_ms: started.elapsed().as_secs_f64() * 1e3,
+                }));
+            }
+        });
+    }
+    None
+}
+
 /// Best-effort one-line refusal for connections over the limit. The
 /// socket is fresh, so the handful of bytes lands in the send buffer
 /// without blocking.
@@ -1409,11 +1571,39 @@ mod tests {
 
     use atlas_core::pipeline::{train_atlas, ExperimentConfig};
 
+    use serde::Value;
+
     use super::*;
     use crate::protocol::{
-        ModelsResponse, PredictResponse, RegisterWorkloadResponse, StatsResponse, WorkloadsResponse,
+        ModelsResponse, PredictDeltaResponse, PredictResponse, RegisterWorkloadResponse,
+        StatsResponse, SweepItemFrame, SweepSeriesFrame, WorkloadsResponse,
     };
     use crate::ServiceConfig;
+
+    /// Pull a string field out of a parsed frame (empty when absent).
+    fn field_str<'a>(value: &'a Value, name: &str) -> &'a str {
+        value
+            .as_map()
+            .and_then(|map| map.iter().find(|(k, _)| k == name))
+            .and_then(|(_, v)| match v {
+                Value::Str(s) => Some(s.as_str()),
+                _ => None,
+            })
+            .unwrap_or("")
+    }
+
+    /// Pull a numeric field out of a parsed frame (u64::MAX when absent).
+    fn field_u64(value: &Value, name: &str) -> u64 {
+        value
+            .as_map()
+            .and_then(|map| map.iter().find(|(k, _)| k == name))
+            .and_then(|(_, v)| match v {
+                Value::UInt(n) => Some(*n),
+                Value::Int(n) if *n >= 0 => Some(*n as u64),
+                _ => None,
+            })
+            .unwrap_or(u64::MAX)
+    }
 
     /// A configuration small enough to train inside a unit test.
     fn micro_trained() -> (atlas_core::AtlasModel, ExperimentConfig) {
@@ -1568,6 +1758,130 @@ mod tests {
         let stats = handle.stats();
         assert_eq!(stats.accepted, 1);
         assert_eq!(stats.requests, 6);
+        handle.shutdown().expect("clean shutdown");
+    }
+
+    /// The `predict_delta` and `sweep` verbs over the wire: a delta
+    /// against a warm base, a sweep streamed as chunked frames (start /
+    /// item / series / error / end), and malformed edit specs answered
+    /// with typed errors that preserve the request id.
+    #[test]
+    fn predict_delta_and_sweep_stream_over_the_wire() {
+        let handle = spawn_reactor(micro_service(2), ReactorConfig::default());
+        let mut stream = TcpStream::connect(handle.addr()).expect("connects");
+        let mut reader = BufReader::new(stream.try_clone().expect("clones"));
+
+        // Warm the base trace, then delta against it.
+        send_line(
+            &mut stream,
+            r#"{"id":1,"design":"C2","workload":"W1","cycles":6}"#,
+        );
+        let base: PredictResponse =
+            serde_json::from_str(&read_line(&mut reader)).expect("base parses");
+        assert!(!base.cache_hit);
+        send_line(
+            &mut stream,
+            r#"{"id":2,"verb":"predict_delta","design":"C2","workload":"W1","cycles":9,"base":{"cycles":6}}"#,
+        );
+        let delta: PredictDeltaResponse =
+            serde_json::from_str(&read_line(&mut reader)).expect("delta parses");
+        assert_eq!(delta.id, Some(2));
+        assert_eq!(delta.verb, "predict_delta");
+        assert!(delta.base_hit, "the 6-cycle base must be found warm");
+        assert!(delta.reused_cycles > 0);
+        assert_eq!(delta.per_cycle_total_w.len(), 9);
+
+        // A sweep whose chunk is smaller than the trace: the series must
+        // arrive split across frames. Item 1 names an unknown registered
+        // workload, so it answers as an `error` frame without sinking the
+        // other item or the stream.
+        send_line(
+            &mut stream,
+            r#"{"id":3,"verb":"sweep","design":"C2","cycles":6,"chunk_cycles":4,"items":[{"workload":"W1"},{"workload_name":"nope"}]}"#,
+        );
+        let mut frames: Vec<Value> = Vec::new();
+        loop {
+            let line = read_line(&mut reader);
+            let value: Value = serde_json::from_str(&line).expect("frame parses");
+            let done = field_str(&value, "frame") == "end";
+            frames.push(value);
+            if done {
+                break;
+            }
+        }
+        for frame in &frames {
+            assert_eq!(field_u64(frame, "id"), 3, "every frame echoes the id");
+            assert_eq!(field_str(frame, "verb"), "sweep");
+        }
+        assert_eq!(field_str(&frames[0], "frame"), "start");
+        assert_eq!(field_u64(&frames[0], "items"), 2);
+        let item: SweepItemFrame = {
+            let value = frames
+                .iter()
+                .find(|f| field_str(f, "frame") == "item")
+                .expect("one item frame");
+            serde_json::from_str(&serde_json::to_string(value).expect("renders"))
+                .expect("item frame parses")
+        };
+        assert_eq!(item.item, 0);
+        assert_eq!(item.workload, "W1");
+        assert!(item.cache_hit, "the W1/6 trace was warmed above");
+        let series: Vec<SweepSeriesFrame> = frames
+            .iter()
+            .filter(|f| field_str(f, "frame") == "series")
+            .map(|value| {
+                serde_json::from_str(&serde_json::to_string(value).expect("renders"))
+                    .expect("series frame parses")
+            })
+            .collect();
+        assert_eq!(series.len(), 2, "6 cycles at chunk 4 is two frames");
+        assert_eq!(
+            (series[0].offset, series[0].per_cycle_total_w.len()),
+            (0, 4)
+        );
+        assert_eq!(
+            (series[1].offset, series[1].per_cycle_total_w.len()),
+            (4, 2)
+        );
+        assert!(series.iter().all(|s| s.item == 0 && s.total_cycles == 6));
+        let errors: Vec<&Value> = frames
+            .iter()
+            .filter(|f| field_str(f, "frame") == "error")
+            .collect();
+        assert_eq!(errors.len(), 1);
+        assert_eq!(field_u64(errors[0], "item"), 1);
+        assert_eq!(field_str(errors[0], "kind"), "unknown_workload");
+        let end = frames.last().expect("end frame");
+        assert_eq!(field_u64(end, "items"), 2);
+        assert_eq!(field_u64(end, "errors"), 1);
+
+        // Malformed edit specs: a self-contradictory base and a
+        // wrong-typed hint both answer typed errors carrying the id.
+        send_line(
+            &mut stream,
+            r#"{"id":4,"verb":"predict_delta","design":"C2","workload":"W1","cycles":6,"base":{"workload_name":"x","phases":[{"activity":0.5,"min_len":1,"max_len":2}]}}"#,
+        );
+        let err = read_line(&mut reader);
+        assert!(err.contains("\"kind\":\"invalid_request\""), "got: {err}");
+        assert!(err.contains("\"id\":4"), "id must be preserved, got: {err}");
+        send_line(
+            &mut stream,
+            r#"{"id":5,"verb":"predict_delta","design":"C2","workload":"W1","cycles":6,"changed_submodules":"all"}"#,
+        );
+        let err = read_line(&mut reader);
+        assert!(err.contains("\"kind\":\"invalid_request\""), "got: {err}");
+        assert!(err.contains("\"id\":5"), "id must be preserved, got: {err}");
+        // And an empty sweep is refused up front, before any frame.
+        send_line(
+            &mut stream,
+            r#"{"id":6,"verb":"sweep","design":"C2","cycles":6,"items":[]}"#,
+        );
+        let err = read_line(&mut reader);
+        assert!(err.contains("\"kind\":\"invalid_request\""), "got: {err}");
+        assert!(err.contains("\"id\":6"), "id must be preserved, got: {err}");
+
+        drop(stream);
+        drop(reader);
         handle.shutdown().expect("clean shutdown");
     }
 

@@ -67,7 +67,9 @@ use std::thread;
 use std::time::Instant;
 
 use atlas_core::features::{build_submodule_data, SubmoduleData};
-use atlas_core::{AtlasModel, ExperimentConfig, Precision, PreparedEncoder, TraceEmbeddings};
+use atlas_core::{
+    AtlasModel, DeltaStats, ExperimentConfig, Precision, PreparedEncoder, TraceEmbeddings,
+};
 use atlas_liberty::Library;
 use atlas_netlist::Design;
 use atlas_sim::{schedule_fingerprint, simulate, PhasedWorkload, WorkloadPhase};
@@ -75,7 +77,10 @@ use serde::{Deserialize, Serialize};
 
 use crate::cache::{CacheStats, LruCache};
 use crate::error::ServeError;
-use crate::protocol::{summarize, PredictRequest, PredictResponse};
+use crate::protocol::{
+    delta_response, summarize, PredictDeltaRequest, PredictDeltaResponse, PredictRequest,
+    PredictResponse,
+};
 use crate::quota::{Admission, QuotaGate};
 use crate::registry::{ModelCatalog, ModelRegistry, RegistryError, SavedModel};
 
@@ -529,28 +534,73 @@ struct Shared {
 /// plus the typed error.
 pub type Reply = Result<PredictResponse, (Option<u64>, ServeError)>;
 
-/// Where a finished reply goes: a blocking channel ([`AtlasService::submit`])
-/// or a callback invoked on the worker thread ([`AtlasService::submit_with`],
-/// the reactor's non-blocking path).
-enum ReplySink {
-    Channel(mpsc::Sender<Reply>),
-    Callback(Box<dyn FnOnce(Reply) + Send>),
+/// The reply type of one `predict_delta` request (see
+/// [`AtlasService::submit_delta_with`]).
+pub type DeltaReply = Result<PredictDeltaResponse, (Option<u64>, ServeError)>;
+
+/// What a worker produced for one finished job: the predict summary every
+/// path shares, plus — populated only on the delta path — the reuse
+/// accounting a `predict_delta` reply carries on top of it.
+struct Outcome {
+    response: PredictResponse,
+    base_hit: bool,
+    stats: DeltaStats,
 }
 
-impl ReplySink {
-    fn send(self, reply: Reply) {
-        match self {
-            // A disconnected receiver just means the client went away.
-            ReplySink::Channel(tx) => {
-                let _ = tx.send(reply);
-            }
-            ReplySink::Callback(f) => f(reply),
+impl Outcome {
+    /// A plain-predict outcome: no base, nothing reused.
+    fn predict(response: PredictResponse) -> Outcome {
+        Outcome {
+            response,
+            base_hit: false,
+            stats: DeltaStats::default(),
         }
     }
 }
 
+/// Where a finished reply goes: a blocking channel ([`AtlasService::submit`]),
+/// a callback invoked on the worker thread ([`AtlasService::submit_with`],
+/// the reactor's non-blocking path), or the delta-shaped callback of
+/// [`AtlasService::submit_delta_with`].
+enum ReplySink {
+    Channel(mpsc::Sender<Reply>),
+    Callback(Box<dyn FnOnce(Reply) + Send>),
+    DeltaCallback(Box<dyn FnOnce(DeltaReply) + Send>),
+}
+
+impl ReplySink {
+    fn send(self, outcome: Result<Outcome, (Option<u64>, ServeError)>) {
+        match self {
+            // A disconnected receiver just means the client went away.
+            ReplySink::Channel(tx) => {
+                let _ = tx.send(outcome.map(|o| o.response));
+            }
+            ReplySink::Callback(f) => f(outcome.map(|o| o.response)),
+            ReplySink::DeltaCallback(f) => {
+                f(outcome.map(|o| delta_response(o.response, o.base_hit, &o.stats)));
+            }
+        }
+    }
+}
+
+/// What one job computes: a plain prediction, or a delta prediction that
+/// may reuse (sub-module × cycle) items from a cached base trace.
+enum Work {
+    Predict,
+    Delta {
+        /// The fully-defaulted base request naming the cache entry whose
+        /// items may be reused (same model as the target by
+        /// construction).
+        base: PredictRequest,
+        /// Advisory client hint; range-validated against the target
+        /// design, never trusted for reuse decisions.
+        changed_submodules: Option<Vec<usize>>,
+    },
+}
+
 struct Job {
     request: PredictRequest,
+    work: Work,
     reply: ReplySink,
 }
 
@@ -695,14 +745,21 @@ impl AtlasService {
         })
     }
 
-    fn enqueue(&self, request: PredictRequest, reply: ReplySink) {
-        requeue(&self.queue, Job { request, reply });
+    fn enqueue(&self, request: PredictRequest, work: Work, reply: ReplySink) {
+        requeue(
+            &self.queue,
+            Job {
+                request,
+                work,
+                reply,
+            },
+        );
     }
 
     /// Enqueue a request; the returned channel yields the reply.
     pub fn submit(&self, request: PredictRequest) -> mpsc::Receiver<Reply> {
         let (tx, rx) = mpsc::channel();
-        self.enqueue(request, ReplySink::Channel(tx));
+        self.enqueue(request, Work::Predict, ReplySink::Channel(tx));
         rx
     }
 
@@ -715,7 +772,53 @@ impl AtlasService {
         request: PredictRequest,
         callback: impl FnOnce(Reply) + Send + 'static,
     ) {
-        self.enqueue(request, ReplySink::Callback(Box::new(callback)));
+        self.enqueue(
+            request,
+            Work::Predict,
+            ReplySink::Callback(Box::new(callback)),
+        );
+    }
+
+    /// Enqueue a `predict_delta` request whose reply is delivered to
+    /// `callback` on the worker thread — the delta sibling of
+    /// [`AtlasService::submit_with`]. The response is bit-identical to a
+    /// full `predict` of the target; the base only decides how much of
+    /// the embedding work is *reused* rather than recomputed.
+    pub fn submit_delta_with(
+        &self,
+        request: PredictDeltaRequest,
+        callback: impl FnOnce(DeltaReply) + Send + 'static,
+    ) {
+        let work = Work::Delta {
+            base: request.base_request(),
+            changed_submodules: request.changed_submodules.clone(),
+        };
+        self.enqueue(
+            request.target(),
+            work,
+            ReplySink::DeltaCallback(Box::new(callback)),
+        );
+    }
+
+    /// Answer one `predict_delta` request, blocking until a worker
+    /// finishes it.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ServeError`] the request produced.
+    pub fn call_delta(
+        &self,
+        request: PredictDeltaRequest,
+    ) -> Result<PredictDeltaResponse, ServeError> {
+        let (tx, rx) = mpsc::channel();
+        self.submit_delta_with(request, move |reply| {
+            let _ = tx.send(reply);
+        });
+        match rx.recv() {
+            Ok(Ok(response)) => Ok(response),
+            Ok(Err((_, error))) => Err(error),
+            Err(_) => Err(ServeError::Shutdown),
+        }
     }
 
     /// Answer one request, blocking until a worker finishes it.
@@ -1148,6 +1251,18 @@ impl AtlasService {
             report.skipped = lines.count();
             return report;
         }
+        // Validate in file order first (oldest-first per model), then
+        // decide admission from the NEWEST end against each model's
+        // *live* budget: a snapshot taken under a larger `--cache-mb`
+        // must never churn the restored cache (restoring oldest-first
+        // would admit old entries only to evict them lines later).
+        struct Candidate {
+            state: Arc<ModelState>,
+            key: TraceKey,
+            embeddings: TraceEmbeddings,
+            weight: usize,
+        }
+        let mut candidates: Vec<Candidate> = Vec::new();
         for line in lines {
             let Ok(entry) = serde_json::from_str::<SnapshotEntry>(line) else {
                 report.skipped += 1;
@@ -1171,15 +1286,41 @@ impl AtlasService {
                     .is_some_and(|s| s.config_fingerprint == entry.record.config_fingerprint)
                 && entry.record.embeddings.precision() == self.shared.cfg.precision
                 && entry.record.embeddings.cycles() == entry.record.key.cycles;
-            let restored = admissible
-                && state.is_some_and(|s| {
+            match (admissible, state) {
+                (true, Some(state)) => {
                     let weight = entry.record.embeddings.approx_bytes();
-                    s.embeddings.insert_weighted(
-                        entry.record.key,
-                        Arc::new(entry.record.embeddings),
+                    candidates.push(Candidate {
+                        state,
+                        key: entry.record.key,
+                        embeddings: entry.record.embeddings,
                         weight,
-                    )
-                });
+                    });
+                }
+                _ => report.skipped += 1,
+            }
+        }
+        // Newest-first budget walk, stopping per model at the first entry
+        // that no longer fits — strict recency order, so an older entry
+        // is never admitted at the expense of a newer one.
+        let mut spent: HashMap<String, (usize, bool)> = HashMap::new();
+        let mut keep = vec![false; candidates.len()];
+        for (i, c) in candidates.iter().enumerate().rev() {
+            let budget = c.state.embeddings.budget();
+            let (used, full) = spent.entry(c.state.name.clone()).or_insert((0, false));
+            if !*full && *used + c.weight <= budget {
+                *used += c.weight;
+                keep[i] = true;
+            } else {
+                *full = true;
+            }
+        }
+        // Insert the kept set in file order (oldest-first), reproducing
+        // the snapshot's relative recency inside the live cache.
+        for (c, keep) in candidates.into_iter().zip(keep) {
+            let restored = keep
+                && c.state
+                    .embeddings
+                    .insert_weighted(c.key, Arc::new(c.embeddings), c.weight);
             if restored {
                 report.restored += 1;
             } else {
@@ -1343,7 +1484,7 @@ fn finish(
     shared: &Shared,
     state: Option<&ModelState>,
     job: Job,
-    result: Result<PredictResponse, ServeError>,
+    result: Result<Outcome, ServeError>,
 ) {
     shared.requests.fetch_add(1, Ordering::Relaxed);
     if result.is_err() {
@@ -1424,6 +1565,30 @@ fn process_job(shared: &Shared, queue: &Queue, job: Job) {
         cycles,
         schedule_fp: spec.fingerprint(),
     };
+    // Resolve a delta job's base to its cache key up front: a malformed
+    // edit description (e.g. a base naming both `phases` and
+    // `workload_name`) is a typed error regardless of cache state, just
+    // like the target's own validation above. The base itself is only a
+    // lookup key — an unknown base design or evicted entry is not an
+    // error, it just means nothing can be reused.
+    let delta = match &job.work {
+        Work::Predict => None,
+        Work::Delta {
+            base,
+            changed_submodules,
+        } => match resolve_workload(shared, base) {
+            Ok(base_spec) => Some(DeltaPlan {
+                base_key: TraceKey {
+                    design: base.design.clone(),
+                    workload: base_spec.label().to_owned(),
+                    cycles: base.cycles,
+                    schedule_fp: base_spec.fingerprint(),
+                },
+                changed_submodules: changed_submodules.clone(),
+            }),
+            Err(e) => return finish(shared, Some(&state), job, Err(e)),
+        },
+    };
     // The warm path pays only head evaluation and needs no admission.
     if let Some(embeddings) = state.embeddings.get(&key) {
         // Fully warm: stage one and two both skipped. Validate the
@@ -1431,7 +1596,7 @@ fn process_job(shared: &Shared, queue: &Queue, job: Job) {
         // (it cannot be cached under an invalid workload, but the
         // check is cheap and keeps the invariant obvious).
         let result = build_workload(&state, &spec, source.seed()).map(|_| {
-            respond(
+            Outcome::predict(respond(
                 &job.request,
                 &state,
                 &spec,
@@ -1439,7 +1604,7 @@ fn process_job(shared: &Shared, queue: &Queue, job: Job) {
                 true,
                 true,
                 started,
-            )
+            ))
         });
         return finish(shared, Some(&state), job, result);
     }
@@ -1452,7 +1617,16 @@ fn process_job(shared: &Shared, queue: &Queue, job: Job) {
                 gate: &state.gate,
                 queue,
             };
-            let result = cold_predict(shared, &state, &job.request, &spec, &source, &key, started);
+            let result = cold_predict(
+                shared,
+                &state,
+                &job.request,
+                &spec,
+                &source,
+                &key,
+                delta.as_ref(),
+                started,
+            );
             finish(shared, Some(&state), job, result);
         }
         // The job now lives in the gate; this worker is free for other
@@ -1530,14 +1704,20 @@ enum DesignSource {
     Uploaded(Arc<UploadedDesign>),
 }
 
+/// The workload seed every uploaded design pins. A constant, not the
+/// upload's content fingerprint: editing a netlist and re-uploading it
+/// must keep the stimulus identical, or `predict_delta` could never
+/// reuse anything (every design edit would also reshuffle every toggle
+/// pattern). Both load routes (wire upload, in-process) trivially agree.
+const UPLOADED_DESIGN_SEED: u64 = 0x0041_544c_4153;
+
 impl DesignSource {
     /// The workload seed this design pins: the preset's configured seed,
-    /// or the upload's content fingerprint — a pure function of the
-    /// netlist, so both load routes (wire upload, in-process) agree.
+    /// or [`UPLOADED_DESIGN_SEED`] for uploads.
     fn seed(&self) -> u64 {
         match self {
             DesignSource::Preset(cfg) => cfg.seed,
-            DesignSource::Uploaded(d) => d.fingerprint,
+            DesignSource::Uploaded(_) => UPLOADED_DESIGN_SEED,
         }
     }
 }
@@ -1620,6 +1800,13 @@ fn build_workload(
     }
 }
 
+/// A validated delta job, resolved to the base cache key it may reuse
+/// from plus the client's (advisory) edit hint.
+struct DeltaPlan {
+    base_key: TraceKey,
+    changed_submodules: Option<Vec<usize>>,
+}
+
 /// Role of one cold request in the single-flight protocol.
 enum FlightRole {
     Leader(Arc<Flight>),
@@ -1677,8 +1864,9 @@ fn cold_predict(
     spec: &WorkloadSpec,
     source: &DesignSource,
     key: &TraceKey,
+    delta: Option<&DeltaPlan>,
     started: Instant,
-) -> Result<PredictResponse, ServeError> {
+) -> Result<Outcome, ServeError> {
     let role = {
         let mut inflight = state.inflight.lock().expect("inflight lock");
         match inflight.get(key) {
@@ -1703,8 +1891,9 @@ fn cold_predict(
             let embeddings = slot.clone().expect("checked Some")?;
             // The embedding work was shared, not redone: report it as a
             // cache hit (the follower paid only head evaluation plus the
-            // wait).
-            Ok(respond(
+            // wait). A delta follower likewise reused everything through
+            // the flight, so its delta accounting stays zero.
+            Ok(Outcome::predict(respond(
                 request,
                 state,
                 spec,
@@ -1712,7 +1901,7 @@ fn cold_predict(
                 true,
                 true,
                 started,
-            ))
+            )))
         }
         FlightRole::Leader(flight) => {
             let guard = FlightGuard {
@@ -1726,7 +1915,7 @@ fn cold_predict(
             if let Some(embeddings) = state.embeddings.get(key) {
                 guard.resolve(Ok(Arc::clone(&embeddings)));
                 build_workload(state, spec, source.seed())?;
-                Ok(respond(
+                Ok(Outcome::predict(respond(
                     request,
                     state,
                     spec,
@@ -1734,21 +1923,25 @@ fn cold_predict(
                     true,
                     true,
                     started,
-                ))
+                )))
             } else {
-                let outcome = compute_embeddings(shared, state, request, spec, source, key);
+                let outcome = compute_embeddings(shared, state, request, spec, source, key, delta);
                 match outcome {
-                    Ok((embeddings, design_cache_hit)) => {
-                        guard.resolve(Ok(Arc::clone(&embeddings)));
-                        Ok(respond(
-                            request,
-                            state,
-                            spec,
-                            &embeddings,
-                            false,
-                            design_cache_hit,
-                            started,
-                        ))
+                    Ok(computed) => {
+                        guard.resolve(Ok(Arc::clone(&computed.embeddings)));
+                        Ok(Outcome {
+                            response: respond(
+                                request,
+                                state,
+                                spec,
+                                &computed.embeddings,
+                                false,
+                                computed.design_cache_hit,
+                                started,
+                            ),
+                            base_hit: computed.base_hit,
+                            stats: computed.stats,
+                        })
                     }
                     Err(e) => {
                         guard.resolve(Err(e.clone()));
@@ -1760,8 +1953,18 @@ fn cold_predict(
     }
 }
 
+/// What [`compute_embeddings`] produced: the (cached) embeddings plus the
+/// cache/delta accounting the reply reports.
+struct Computed {
+    embeddings: Arc<TraceEmbeddings>,
+    design_cache_hit: bool,
+    base_hit: bool,
+    stats: DeltaStats,
+}
+
 /// The cold path: materialize the design (cached), simulate the workload,
-/// run the encoder, and admit the result against the byte budget.
+/// run the encoder — reusing base items on the delta path — and admit the
+/// result against the byte budget.
 fn compute_embeddings(
     shared: &Shared,
     state: &ModelState,
@@ -1769,7 +1972,8 @@ fn compute_embeddings(
     spec: &WorkloadSpec,
     source: &DesignSource,
     key: &TraceKey,
-) -> Result<(Arc<TraceEmbeddings>, bool), ServeError> {
+    delta: Option<&DeltaPlan>,
+) -> Result<Computed, ServeError> {
     let mut workload = build_workload(state, spec, source.seed())?;
     let (artifacts, design_cache_hit) = match state.designs.get(&request.design) {
         Some(artifacts) => (artifacts, true),
@@ -1786,16 +1990,57 @@ fn compute_embeddings(
             (artifacts, false)
         }
     };
+    // The edit hint is advisory for reuse but still validated, so a typo
+    // surfaces as a typed error instead of silently degrading to a full
+    // recompute forever.
+    if let Some(changed) = delta.and_then(|d| d.changed_submodules.as_ref()) {
+        let count = artifacts.data.len();
+        if let Some(&bad) = changed.iter().find(|&&i| i >= count) {
+            return Err(ServeError::InvalidRequest(format!(
+                "changed_submodules index {bad} out of range: design `{}` has {count} sub-modules",
+                request.design
+            )));
+        }
+    }
     let trace = simulate(&artifacts.gate, &mut workload, request.cycles)
         .map_err(|e| ServeError::Simulation(e.to_string()))?;
-    let embeddings = Arc::new(state.model.embed_trace_with(
-        &state.prepared,
-        &artifacts.gate,
-        &state.lib,
-        &artifacts.data,
-        &trace,
-        shared.cfg.embed_threads,
-    ));
+    let base = delta.and_then(|d| state.embeddings.get(&d.base_key));
+    let (embeddings, base_hit, stats) = match (delta.is_some(), base) {
+        (true, Some(base)) => {
+            let (embeddings, stats) = state.model.embed_trace_delta_with(
+                &state.prepared,
+                &artifacts.gate,
+                &state.lib,
+                &artifacts.data,
+                &trace,
+                shared.cfg.embed_threads,
+                &base,
+            );
+            (Arc::new(embeddings), true, stats)
+        }
+        (has_delta, _) => {
+            // Plain predict, or a delta whose base nobody has cached:
+            // full recompute. On the missed-base path every item counts
+            // as recomputed; the unique-pattern split is not tracked.
+            let embeddings = Arc::new(state.model.embed_trace_with(
+                &state.prepared,
+                &artifacts.gate,
+                &state.lib,
+                &artifacts.data,
+                &trace,
+                shared.cfg.embed_threads,
+            ));
+            let stats = DeltaStats {
+                recomputed_cycles: if has_delta {
+                    artifacts.data.len() * request.cycles
+                } else {
+                    0
+                },
+                ..DeltaStats::default()
+            };
+            (embeddings, false, stats)
+        }
+    };
     state.embeds_computed.fetch_add(1, Ordering::Relaxed);
     // An embedding bigger than the whole budget is rejected by the cache
     // (served once, never resident); everything else evicts LRU entries
@@ -1805,7 +2050,12 @@ fn compute_embeddings(
         Arc::clone(&embeddings),
         embeddings.approx_bytes(),
     );
-    Ok((embeddings, design_cache_hit))
+    Ok(Computed {
+        embeddings,
+        design_cache_hit,
+        base_hit,
+        stats,
+    })
 }
 
 #[cfg(test)]
@@ -1814,6 +2064,7 @@ mod tests {
     use atlas_sim::WorkloadPhase;
 
     use super::*;
+    use crate::protocol::DeltaBase;
 
     /// A configuration small enough to train inside a unit test.
     fn micro_config() -> ExperimentConfig {
@@ -1888,6 +2139,174 @@ mod tests {
         assert_eq!(stats.models[0].model, "default");
         assert_eq!(stats.models[0].requests, 3);
         assert_eq!(stats.models[0].embedding_cache, stats.embedding_cache);
+    }
+
+    #[test]
+    fn predict_delta_reuses_the_base_and_stays_bit_identical() {
+        let cfg = micro_config();
+        let trained = train_atlas(&cfg);
+        let start = || {
+            AtlasService::start_with(
+                trained.model.clone(),
+                cfg.clone(),
+                ServiceConfig {
+                    workers: 2,
+                    ..ServiceConfig::default()
+                },
+            )
+        };
+        let service = start();
+
+        // Warm the base trace, then ask for the same schedule at more
+        // cycles as a delta against it.
+        let base = service
+            .call(PredictRequest::new("C2", "W1", 8))
+            .expect("base predict");
+        assert!(!base.cache_hit);
+        let delta_request = PredictDeltaRequest {
+            id: Some(7),
+            model: None,
+            design: "C2".to_owned(),
+            workload: Some("W1".to_owned()),
+            workload_name: None,
+            cycles: 12,
+            phases: None,
+            base: Some(DeltaBase {
+                design: None,
+                workload: None,
+                workload_name: None,
+                cycles: Some(8),
+                phases: None,
+            }),
+            changed_submodules: None,
+        };
+        let delta = service
+            .call_delta(delta_request.clone())
+            .expect("delta predict");
+        assert_eq!(delta.id, Some(7));
+        assert_eq!(delta.verb, "predict_delta");
+        assert!(delta.base_hit, "the 8-cycle base trace is cached");
+        assert!(!delta.cache_hit);
+        assert!(
+            delta.reused_cycles > 0,
+            "appended-cycles edit must reuse clean items"
+        );
+        assert_eq!(delta.per_cycle_total_w.len(), 12);
+
+        // Bit-identity: a fresh service computing the target cold
+        // produces exactly the same series.
+        let fresh = start()
+            .call(PredictRequest::new("C2", "W1", 12))
+            .expect("full recompute");
+        assert_eq!(delta.per_cycle_total_w, fresh.per_cycle_total_w);
+        assert_eq!(delta.mean_total_w, fresh.mean_total_w);
+        assert_eq!(delta.peak_total_w, fresh.peak_total_w);
+
+        // The delta result lands in the cache under the target key like
+        // any other predict.
+        let warm = service
+            .call(PredictRequest::new("C2", "W1", 12))
+            .expect("warm target");
+        assert!(warm.cache_hit);
+        assert_eq!(warm.per_cycle_total_w, delta.per_cycle_total_w);
+
+        // Re-issuing the delta now short-circuits on the warm target.
+        let again = service.call_delta(delta_request).expect("warm delta");
+        assert!(again.cache_hit);
+        assert_eq!(again.reused_cycles, 0);
+        assert_eq!(again.per_cycle_total_w, delta.per_cycle_total_w);
+    }
+
+    #[test]
+    fn predict_delta_handles_cold_bases_and_bad_edit_specs() {
+        let cfg = micro_config();
+        let trained = train_atlas(&cfg);
+        let service = AtlasService::start_with(
+            trained.model.clone(),
+            cfg.clone(),
+            ServiceConfig {
+                workers: 2,
+                ..ServiceConfig::default()
+            },
+        );
+
+        // A base nobody ever computed is not an error — the request
+        // degenerates to a full cold predict with `base_hit: false`.
+        let cold = service
+            .call_delta(PredictDeltaRequest {
+                id: None,
+                model: None,
+                design: "C2".to_owned(),
+                workload: Some("W1".to_owned()),
+                workload_name: None,
+                cycles: 8,
+                phases: None,
+                base: Some(DeltaBase {
+                    design: None,
+                    workload: Some("W2".to_owned()),
+                    workload_name: None,
+                    cycles: None,
+                    phases: None,
+                }),
+                changed_submodules: None,
+            })
+            .expect("cold-base delta");
+        assert!(!cold.base_hit);
+        assert!(!cold.cache_hit);
+        assert_eq!(cold.reused_cycles, 0);
+        assert!(cold.recomputed_cycles > 0);
+        let reference = AtlasService::start_with(
+            trained.model.clone(),
+            cfg.clone(),
+            ServiceConfig {
+                workers: 1,
+                ..ServiceConfig::default()
+            },
+        )
+        .call(PredictRequest::new("C2", "W1", 8))
+        .expect("reference");
+        assert_eq!(cold.per_cycle_total_w, reference.per_cycle_total_w);
+
+        // An out-of-range `changed_submodules` hint on a cold target is a
+        // typed invalid_request, not a panic and not a silent ignore. (A
+        // warm target never consults the hint — nothing recomputes.)
+        let bad_hint = service.call_delta(PredictDeltaRequest {
+            id: Some(3),
+            model: None,
+            design: "C2".to_owned(),
+            workload: Some("W1".to_owned()),
+            workload_name: None,
+            cycles: 10,
+            phases: None,
+            base: None,
+            changed_submodules: Some(vec![0, 9999]),
+        });
+        assert!(matches!(bad_hint, Err(ServeError::InvalidRequest(_))));
+
+        // A base spec that is self-contradictory gets the same typed
+        // error a predict carrying it would.
+        let bad_base = service.call_delta(PredictDeltaRequest {
+            id: Some(4),
+            model: None,
+            design: "C2".to_owned(),
+            workload: Some("W1".to_owned()),
+            workload_name: None,
+            cycles: 8,
+            phases: None,
+            base: Some(DeltaBase {
+                design: None,
+                workload: None,
+                workload_name: Some("lib".to_owned()),
+                cycles: None,
+                phases: Some(vec![WorkloadPhase {
+                    activity: 0.2,
+                    min_len: 2,
+                    max_len: 4,
+                }]),
+            }),
+            changed_submodules: None,
+        });
+        assert!(matches!(bad_base, Err(ServeError::InvalidRequest(_))));
     }
 
     #[test]

@@ -32,6 +32,7 @@ use std::net::{Shutdown, TcpStream};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread;
+use std::time::{Duration, Instant};
 
 use serde::Value;
 
@@ -62,15 +63,23 @@ pub fn trace_route_key(model: Option<&str>, design: &str, workload: &str, cycles
     fnv1a(bytes)
 }
 
-/// Routing key of a parsed request (the proxy's entry point).
-fn request_route_key(request: &PredictRequest) -> u64 {
+/// Routing key of a parsed request (the proxy's entry point). The
+/// workload component prefers `workload_name`, so a request referencing
+/// a registered schedule by name and one spelling the equivalent inline
+/// schedule (same label in `workload`, same phases) hash identically —
+/// they share a cache entry on the shard, so they must share a shard.
+/// `default_model` is the fleet's default serving name, when the proxy
+/// knows it: a request that omits `model` and one naming the default
+/// explicitly are answered bit-identically by the shards, so they must
+/// also route identically instead of aliasing onto two shards' caches.
+fn request_route_key(request: &PredictRequest, default_model: Option<&str>) -> u64 {
     let workload = request
         .workload_name
         .as_deref()
         .or(request.workload.as_deref())
         .unwrap_or("");
     trace_route_key(
-        request.model.as_deref(),
+        request.model.as_deref().or(default_model),
         &request.design,
         workload,
         request.cycles,
@@ -169,14 +178,38 @@ struct Live {
     pending: Arc<Mutex<HashMap<u64, Pending>>>,
 }
 
+/// How long a backend that failed to connect stays "down" before the
+/// next request may try again. Without it, every request routed to a
+/// dead shard pays its own connect attempt — a reconnect storm that
+/// peaks exactly when the fleet is already degraded.
+pub const RECONNECT_COOLDOWN: Duration = Duration::from_millis(500);
+
 /// One shard of the fleet, as the proxy sees it: its ring identity and
 /// a lazily-established connection.
 struct Backend {
     info: ShardInfo,
     conn: Mutex<Option<Live>>,
+    /// When the last connect attempt failed, if it did. Requests landing
+    /// inside the cooldown window after it fail fast with `unavailable`
+    /// instead of dialing again.
+    last_failure: Mutex<Option<Instant>>,
+    /// Connect attempts that reached the network and failed (fast-fails
+    /// inside the cooldown window are not counted — that is the point).
+    connect_failures: AtomicU64,
+    cooldown: Duration,
 }
 
 impl Backend {
+    fn new(info: ShardInfo, cooldown: Duration) -> Backend {
+        Backend {
+            info,
+            conn: Mutex::new(None),
+            last_failure: Mutex::new(None),
+            connect_failures: AtomicU64::new(0),
+            cooldown,
+        }
+    }
+
     /// Forward one rendered request line, connecting (and spawning the
     /// reply-reader thread) on first use. `entry` is registered under
     /// `internal` before the write so a fast reply cannot race it.
@@ -191,7 +224,26 @@ impl Backend {
         };
         let mut guard = self.conn.lock().expect("backend lock");
         if guard.is_none() {
-            let stream = TcpStream::connect(&self.info.addr).map_err(|e| unavailable(&e))?;
+            // At most one connect attempt per cooldown window: a dead
+            // shard answers `unavailable` from memory, not from a fresh
+            // (and possibly slow) dial per queued request.
+            let cooling = self
+                .last_failure
+                .lock()
+                .expect("cooldown lock")
+                .is_some_and(|at| at.elapsed() < self.cooldown);
+            if cooling {
+                return Err(unavailable(&"in reconnect cooldown after a failed connect"));
+            }
+            let stream = match TcpStream::connect(&self.info.addr) {
+                Ok(stream) => stream,
+                Err(e) => {
+                    self.connect_failures.fetch_add(1, Ordering::Relaxed);
+                    *self.last_failure.lock().expect("cooldown lock") = Some(Instant::now());
+                    return Err(unavailable(&e));
+                }
+            };
+            *self.last_failure.lock().expect("cooldown lock") = None;
             let _ = stream.set_nodelay(true);
             let reader = stream.try_clone().map_err(|e| unavailable(&e))?;
             let pending = Arc::new(Mutex::new(HashMap::new()));
@@ -248,6 +300,19 @@ impl Backend {
             let Some(internal) = reply_id(&value) else {
                 continue;
             };
+            // Streamed replies (sweep frames) keep their pending entry
+            // alive until the final `end` frame — or a frameless line,
+            // which is a single-shot reply (predict, error). Peeking
+            // instead of removing is what lets one request map to many
+            // reply lines without re-registering.
+            if frame_of(&value).is_some_and(|frame| frame != "end") {
+                let map = pending.lock().expect("pending lock");
+                if let Some(entry) = map.get(&internal) {
+                    let line = restore_id(value, entry.original_id);
+                    entry.completer.stream(line);
+                }
+                continue;
+            }
             let Some(entry) = pending.lock().expect("pending lock").remove(&internal) else {
                 continue;
             };
@@ -282,6 +347,18 @@ impl Backend {
                 .complete(protocol::render_result(&Err((entry.original_id, err))));
         }
     }
+}
+
+/// The `frame` discriminator of a streamed reply line, when present.
+fn frame_of(value: &Value) -> Option<&str> {
+    value
+        .as_map()?
+        .iter()
+        .find(|(k, _)| k == "frame")
+        .and_then(|(_, v)| match v {
+            Value::Str(s) => Some(s.as_str()),
+            _ => None,
+        })
 }
 
 /// The proxy-internal id a backend reply carries.
@@ -321,6 +398,10 @@ fn restore_id(mut value: Value, original: Option<u64>) -> String {
 pub struct ShardProxy {
     ring: ShardRing,
     backends: Vec<Arc<Backend>>,
+    /// The fleet's default model serving name, when configured — see
+    /// [`request_route_key`] for why omitted-model requests must
+    /// normalize to it.
+    default_model: Option<String>,
     next_id: AtomicU64,
     requests: AtomicU64,
     errors: AtomicU64,
@@ -338,22 +419,27 @@ impl ShardProxy {
         let backends = ring
             .shards()
             .iter()
-            .map(|info| {
-                Arc::new(Backend {
-                    info: info.clone(),
-                    conn: Mutex::new(None),
-                })
-            })
+            .map(|info| Arc::new(Backend::new(info.clone(), RECONNECT_COOLDOWN)))
             .collect();
         Ok(ShardProxy {
             ring,
             backends,
+            default_model: None,
             // Start above zero so proxy-internal ids are never confused
             // with common client-chosen ones in packet captures.
             next_id: AtomicU64::new(1 << 32),
             requests: AtomicU64::new(0),
             errors: AtomicU64::new(0),
         })
+    }
+
+    /// Declare the fleet's default model serving name, so a request that
+    /// omits `model` and one naming the default explicitly land on the
+    /// same shard (they share that shard's cache entry — routing them
+    /// apart would aliase one trace onto two cold caches).
+    pub fn with_default_model(mut self, name: impl Into<String>) -> ShardProxy {
+        self.default_model = Some(name.into());
+        self
     }
 
     /// The routing ring (for `shard_map` and observability).
@@ -365,6 +451,51 @@ impl ShardProxy {
         self.errors.fetch_add(1, Ordering::Relaxed);
         Some(protocol::render_result(&Err((id, err))))
     }
+
+    /// Forward `line` — with its id rewritten to a proxy-internal one —
+    /// to the backend owning `key`, answering through the completer when
+    /// the backend replies (possibly as a stream of frames). The raw
+    /// client line is forwarded rather than a re-render of the parsed
+    /// request, so verbs whose body types carry no `verb` field survive
+    /// the hop intact.
+    fn forward(
+        &self,
+        key: u64,
+        original_id: Option<u64>,
+        line: &str,
+        ctx: &FrontendContext<'_>,
+    ) -> Option<String> {
+        let backend = &self.backends[self.ring.route_index(key)];
+        let internal = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let Some(rendered) = rewrite_id(line, internal) else {
+            return self.fail(
+                original_id,
+                ServeError::InvalidRequest("unrenderable request".to_owned()),
+            );
+        };
+        let entry = Pending {
+            completer: ctx.completer(),
+            original_id,
+        };
+        match backend.send(internal, entry, &rendered) {
+            Ok(()) => None,
+            Err(e) => self.fail(original_id, e),
+        }
+    }
+}
+
+/// Re-render a request line with `internal` as its id (the proxy-internal
+/// id the backend's reply will echo).
+fn rewrite_id(line: &str, internal: u64) -> Option<String> {
+    let mut value: Value = serde_json::from_str(line).ok()?;
+    let Value::Map(entries) = &mut value else {
+        return None;
+    };
+    match entries.iter_mut().find(|(k, _)| k == "id") {
+        Some(slot) => slot.1 = Value::UInt(internal),
+        None => entries.insert(0, ("id".to_owned(), Value::UInt(internal))),
+    }
+    serde_json::to_string(&value).ok()
 }
 
 /// `predict` forwarded to the owning shard (answered through the
@@ -381,28 +512,26 @@ impl Frontend for ShardProxy {
             ))
         };
         match protocol::parse_line(line) {
-            Ok(RequestLine::Predict(mut request)) => {
-                let backend = &self.backends[self.ring.route_index(request_route_key(&request))];
-                let original_id = request.id;
-                let internal = self.next_id.fetch_add(1, Ordering::Relaxed);
-                request.id = Some(internal);
-                let rendered = match serde_json::to_string(&request) {
-                    Ok(rendered) => rendered,
-                    Err(e) => {
-                        return self.fail(
-                            original_id,
-                            ServeError::InvalidRequest(format!("unrenderable request: {e}")),
-                        )
-                    }
-                };
-                let entry = Pending {
-                    completer: ctx.completer(),
-                    original_id,
-                };
-                match backend.send(internal, entry, &rendered) {
-                    Ok(()) => None,
-                    Err(e) => self.fail(original_id, e),
-                }
+            Ok(RequestLine::Predict(request)) => {
+                let key = request_route_key(&request, self.default_model.as_deref());
+                self.forward(key, request.id, line, ctx)
+            }
+            // A delta routes by its BASE trace key: the whole point is
+            // landing on the shard whose cache holds the base items.
+            // (Target and base share design and model in the common
+            // edit-loop case, so the target's fresh entry warms the same
+            // shard for the next delta in the sequence.)
+            Ok(RequestLine::PredictDelta(request)) => {
+                let key = request_route_key(&request.base_request(), self.default_model.as_deref());
+                self.forward(key, request.id, line, ctx)
+            }
+            // A sweep routes by (model, design) alone — every item shares
+            // the design-side work, so the whole sweep belongs on one
+            // shard regardless of its schedules.
+            Ok(RequestLine::Sweep(request)) => {
+                let model = request.model.as_deref().or(self.default_model.as_deref());
+                let key = trace_route_key(model, &request.design, "", 0);
+                self.forward(key, request.id, line, ctx)
             }
             Ok(RequestLine::ShardMap { id }) => {
                 Some(protocol::render_line(&ShardMapResponse {
@@ -533,19 +662,89 @@ mod tests {
         named.workload = None;
         named.workload_name = Some("lib-entry".to_owned());
         assert_eq!(
-            request_route_key(&named),
+            request_route_key(&named, None),
             trace_route_key(None, "C2", "lib-entry", 8)
         );
         let preset = PredictRequest::new("C2", "W1", 8);
         assert_eq!(
-            request_route_key(&preset),
+            request_route_key(&preset, None),
             trace_route_key(None, "C2", "W1", 8)
         );
         let on_model = PredictRequest::new("C2", "W1", 8).on_model("canary");
         assert_eq!(
-            request_route_key(&on_model),
+            request_route_key(&on_model, None),
             trace_route_key(Some("canary"), "C2", "W1", 8)
         );
+    }
+
+    #[test]
+    fn default_model_requests_route_with_named_ones() {
+        // The satellite bug: a client naming the fleet default explicitly
+        // and one omitting `model` must warm the same shard's cache.
+        let implicit = PredictRequest::new("C2", "W1", 8);
+        let explicit = PredictRequest::new("C2", "W1", 8).on_model("atlas-v1");
+        assert_eq!(
+            request_route_key(&implicit, Some("atlas-v1")),
+            request_route_key(&explicit, Some("atlas-v1"))
+        );
+        // Without a configured default the two are genuinely distinct keys
+        // (the backend may resolve them differently), so they may split.
+        assert_eq!(
+            request_route_key(&implicit, None),
+            trace_route_key(None, "C2", "W1", 8)
+        );
+        // A non-default model is never rewritten.
+        let canary = PredictRequest::new("C2", "W1", 8).on_model("canary");
+        assert_eq!(
+            request_route_key(&canary, Some("atlas-v1")),
+            trace_route_key(Some("canary"), "C2", "W1", 8)
+        );
+    }
+
+    #[test]
+    fn cooldown_suppresses_reconnect_storms() {
+        // A backend nobody listens on: every dial fails. With the cooldown
+        // in place, a burst of sends performs exactly one real connect per
+        // window instead of one per request.
+        let info = ShardInfo {
+            id: 0,
+            // Reserve a port, then drop the listener so the address is dead.
+            addr: {
+                let sock = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+                sock.local_addr().expect("addr").to_string()
+            },
+            vnodes: 1,
+        };
+        let entry = || Pending {
+            completer: crate::reactor::test_completer(),
+            original_id: None,
+        };
+        let backend = Arc::new(Backend::new(info, Duration::from_secs(60)));
+        for internal in 0..5 {
+            assert!(backend
+                .send(internal, entry(), "{\"verb\":\"stats\"}")
+                .is_err());
+        }
+        assert_eq!(
+            backend.connect_failures.load(Ordering::Relaxed),
+            1,
+            "only the first send in the window may dial the dead backend"
+        );
+        // A zero cooldown restores the old always-retry behaviour.
+        let eager = Arc::new(Backend::new(
+            ShardInfo {
+                id: 1,
+                addr: backend.info.addr.clone(),
+                vnodes: 1,
+            },
+            Duration::ZERO,
+        ));
+        for internal in 0..3 {
+            assert!(eager
+                .send(internal, entry(), "{\"verb\":\"stats\"}")
+                .is_err());
+        }
+        assert_eq!(eager.connect_failures.load(Ordering::Relaxed), 3);
     }
 
     #[test]

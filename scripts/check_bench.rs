@@ -7,8 +7,9 @@
 //! ```text
 //! rustc -O scripts/check_bench.rs -o check_bench
 //! # serve gate: warm (cache-hit) p50 must not regress past MAX_RATIO,
-//! # and the fresh quota-storm scenario must keep the victim model's
-//! # p50 within 3x of its idle p50
+//! # the fresh quota-storm scenario must keep the victim model's p50
+//! # within 3x of its idle p50, and the fresh edit-loop scenario must
+//! # show predict_delta at least 2x faster at p50 than a full recompute
 //! ./check_bench BENCH_serve.json BENCH_serve.ci.json 2.0
 //! # embed gate: batched embed throughput must not regress past
 //! # MAX_RATIO; the fresh batched-vs-per-cycle speedup must stay above
@@ -68,6 +69,15 @@ const SHARD_SCALEOUT_FLOOR: f64 = 1.6;
 /// A restore that silently failed would answer cold (tens of ms vs
 /// single-digit), blowing far past this.
 const SHARD_RESTORE_MAX_RATIO: f64 = 2.0;
+
+/// Minimum `full p50 / delta p50` speedup the edit-loop scenario must
+/// show for a 1-sub-module edit: `predict_delta` reusing the base
+/// trace's clean (sub-module × cycle) items must answer at least this
+/// much faster at p50 than a cold full `predict` of the same revision.
+/// Both arms are measured inside the fresh run (same machine, same
+/// process), so the ratio is runner-class independent. Mirrored by
+/// `DELTA_SPEEDUP_FLOOR` in `crates/serve/src/bin/serve_bench.rs`.
+const DELTA_SPEEDUP_FLOOR: f64 = 2.0;
 
 /// Maximum victim-model p50 inflation the quota-storm scenario may show:
 /// while one model's cold storm saturates its quota, another model's
@@ -311,6 +321,27 @@ fn run() -> Result<(), String> {
         return Err(format!(
             "victim p50 under a quota storm inflated {storm_ratio:.2}x \
              (> {QUOTA_STORM_MAX_RATIO:.2}x allowed)"
+        ));
+    }
+
+    // Edit-loop gate: `predict_delta` on a 1-sub-module edit must beat a
+    // cold full recompute of the same revision by the floor, and must
+    // actually have reused base items (a delta that silently recomputed
+    // everything could still "win" on noise alone). In-run numbers, so
+    // runner-class independent; a report missing the scenario fails.
+    let delta_speedup = extract(&fresh, "edit_loop", "delta_speedup")?;
+    let reused_cycles = extract(&fresh, "edit_loop", "reused_cycles")?;
+    println!(
+        "edit-loop delta speedup over full recompute: {delta_speedup:.2}x \
+         (floor {DELTA_SPEEDUP_FLOOR:.2}x), {reused_cycles} cycle-items reused"
+    );
+    if reused_cycles < 1.0 {
+        return Err("edit-loop deltas reused no base items — the cache reuse path is dead".into());
+    }
+    if delta_speedup < DELTA_SPEEDUP_FLOOR {
+        return Err(format!(
+            "edit-loop delta p50 was only {delta_speedup:.2}x faster than a full \
+             recompute (< {DELTA_SPEEDUP_FLOOR:.2}x floor)"
         ));
     }
     Ok(())

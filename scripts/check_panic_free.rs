@@ -27,14 +27,18 @@
 use std::process::ExitCode;
 
 /// Files reachable from the untrusted ingestion paths: the liblite
-/// lexer/parser, the Verilog reader, the writer it round-trips with, and
-/// the builder both parsers reconstruct through.
-const PARSE_PATHS: [&str; 5] = [
+/// lexer/parser, the Verilog reader, the writer it round-trips with, the
+/// builder both parsers reconstruct through, and the serve wire protocol
+/// (request parsing for every verb — including the `predict_delta` edit
+/// specs and `sweep` item lists — plus error salvage, all fed raw client
+/// bytes).
+const PARSE_PATHS: [&str; 6] = [
     "crates/liberty/src/error.rs",
     "crates/liberty/src/format.rs",
     "crates/netlist/src/builder.rs",
     "crates/netlist/src/reader.rs",
     "crates/netlist/src/verilog.rs",
+    "crates/serve/src/protocol.rs",
 ];
 
 const FORBIDDEN: [&str; 6] = [

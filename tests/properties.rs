@@ -322,6 +322,202 @@ proptest! {
     }
 }
 
+// ---- item-granular delta reuse (atlas-serve) ---------------------------
+
+/// One micro model shared by every delta/restore test below (training
+/// per proptest case would dominate the whole suite).
+fn delta_fixture() -> &'static (
+    atlas_core::AtlasModel,
+    atlas_core::pipeline::ExperimentConfig,
+) {
+    use atlas_core::pipeline::{train_atlas, ExperimentConfig};
+    static FIXTURE: std::sync::OnceLock<(
+        atlas_core::AtlasModel,
+        atlas_core::pipeline::ExperimentConfig,
+    )> = std::sync::OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let mut cfg = ExperimentConfig::quick();
+        cfg.cycles = 12;
+        cfg.scale = 0.12;
+        cfg.pretrain.steps = 10;
+        cfg.pretrain.hidden_dim = 12;
+        cfg.finetune.cycles_per_design = 4;
+        cfg.finetune.gbdt.n_estimators = 12;
+        let trained = train_atlas(&cfg);
+        (trained.model, cfg)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 6, // each case runs a chain of predictions on two services
+        .. ProptestConfig::default()
+    })]
+
+    /// Over any chain of edits — schedule swaps and cycle-count changes
+    /// landing on and off the encoder's internal chunk boundaries —
+    /// `predict_delta` against the previous step's trace is bit-identical
+    /// to a full recompute of the same target, at every step. Reuse is an
+    /// optimization only: it must never be observable in the numbers.
+    #[test]
+    fn predict_delta_chains_are_bit_identical_to_full_recompute(
+        steps in proptest::collection::vec((0u8..3, 1usize..20), 1..5),
+    ) {
+        use atlas_serve::{
+            AtlasService, DeltaBase, PredictDeltaRequest, PredictRequest, ServiceConfig,
+        };
+
+        let (model, cfg) = delta_fixture();
+        let start = || {
+            AtlasService::start_with(
+                model.clone(),
+                cfg.clone(),
+                ServiceConfig { workers: 2, ..ServiceConfig::default() },
+            )
+        };
+        // One service answers the chain via deltas; a second recomputes
+        // every target from scratch as the reference.
+        let chained = start();
+        let reference = start();
+        let schedule = |tag: u8| match tag {
+            0 => (Some("W1".to_owned()), None),
+            1 => (Some("W2".to_owned()), None),
+            _ => (
+                Some("edit".to_owned()),
+                Some(vec![atlas_sim::WorkloadPhase {
+                    activity: 0.35,
+                    min_len: 2,
+                    max_len: 5,
+                }]),
+            ),
+        };
+        let mut base: Option<DeltaBase> = None;
+        for (tag, cycles) in steps {
+            let (workload, phases) = schedule(tag);
+            let delta = chained
+                .call_delta(PredictDeltaRequest {
+                    id: None,
+                    model: None,
+                    design: "C2".to_owned(),
+                    workload: workload.clone(),
+                    workload_name: None,
+                    cycles,
+                    phases: phases.clone(),
+                    base: base.clone(),
+                    changed_submodules: None,
+                })
+                .expect("delta predicts");
+            let full = reference
+                .call(PredictRequest {
+                    id: None,
+                    model: None,
+                    design: "C2".to_owned(),
+                    workload: workload.clone(),
+                    workload_name: None,
+                    cycles,
+                    phases: phases.clone(),
+                })
+                .expect("full predicts");
+            prop_assert_eq!(
+                &delta.per_cycle_total_w,
+                &full.per_cycle_total_w,
+                "every step of the edit chain must be bit-identical"
+            );
+            prop_assert_eq!(delta.mean_total_w, full.mean_total_w);
+            prop_assert_eq!(delta.peak_total_w, full.peak_total_w);
+            base = Some(DeltaBase {
+                design: None,
+                workload,
+                workload_name: None,
+                cycles: Some(cycles),
+                phases,
+            });
+        }
+    }
+}
+
+/// The restore side of the warm-start contract under a *shrunk* budget:
+/// a snapshot taken under a large `--cache-mb` restored into a service
+/// with a smaller one must keep the most recent entries that fit, count
+/// the rest as skipped, and never exceed the live budget.
+#[test]
+fn restore_respects_the_live_cache_budget() {
+    use atlas_serve::{AtlasService, PredictRequest, ServiceConfig};
+
+    let (model, cfg) = delta_fixture();
+    let big = AtlasService::start_with(
+        model.clone(),
+        cfg.clone(),
+        ServiceConfig {
+            workers: 2,
+            ..ServiceConfig::default()
+        },
+    );
+    // Four keys, computed oldest → newest, recording each entry's weight.
+    let keys = [("C1", 8), ("C2", 8), ("C3", 8), ("C2", 12)];
+    let mut weights = Vec::new();
+    let mut last = 0usize;
+    let mut originals = Vec::new();
+    for &(design, cycles) in &keys {
+        originals.push(
+            big.call(PredictRequest::new(design, "W1", cycles))
+                .expect("predicts"),
+        );
+        let now = big.stats().embedding_cache.weight;
+        weights.push(now - last);
+        last = now;
+    }
+    let snap = std::env::temp_dir().join(format!(
+        "atlas-budget-restore-{}.snapshot",
+        std::process::id()
+    ));
+    assert_eq!(big.snapshot_cache(&snap).expect("snapshots"), keys.len());
+    drop(big);
+
+    // A fresh process whose budget only fits the two newest entries.
+    let budget = weights[2] + weights[3];
+    let small = AtlasService::start_with(
+        model.clone(),
+        cfg.clone(),
+        ServiceConfig {
+            workers: 2,
+            embedding_cache_bytes: budget,
+            ..ServiceConfig::default()
+        },
+    );
+    let report = small.restore_cache(&snap);
+    assert_eq!(
+        report.restored, 2,
+        "only the newest entries that fit restore"
+    );
+    assert_eq!(report.skipped, 2, "the older entries count as skipped");
+    let stats = small.stats();
+    assert!(
+        stats.embedding_cache.weight <= budget,
+        "restore must never exceed the live budget: {} > {budget}",
+        stats.embedding_cache.weight
+    );
+
+    // The kept entries are exactly the two most recent — warm and
+    // bit-identical...
+    for (original, &(design, cycles)) in originals.iter().zip(&keys).skip(2) {
+        let resp = small
+            .call(PredictRequest::new(design, "W1", cycles))
+            .expect("predicts");
+        assert!(resp.cache_hit, "{design}/{cycles} must restore warm");
+        assert_eq!(resp.per_cycle_total_w, original.per_cycle_total_w);
+    }
+    assert_eq!(small.stats().embeddings_computed, 0);
+    // ...and a dropped one recomputes rather than erroring.
+    let evicted = small
+        .call(PredictRequest::new("C1", "W1", 8))
+        .expect("predicts");
+    assert!(!evicted.cache_hit);
+    assert_eq!(evicted.per_cycle_total_w, originals[0].per_cycle_total_w);
+
+    let _ = std::fs::remove_file(&snap);
+}
+
 // ---- warm-start cache-snapshot round-trip (atlas-serve) ----------------
 
 /// The warm-start contract, end to end: a drained service's cache

@@ -1,0 +1,184 @@
+//! Shard-proxy wire tests: request aliasing must never split one trace
+//! key across shards (registered vs inline schedule spellings, defaulted
+//! vs explicit model), and streamed verbs must pass through the proxy
+//! frame by frame.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+
+use atlas_core::pipeline::{train_atlas, ExperimentConfig};
+use atlas_serve::reactor::{Reactor, ReactorConfig, ReactorHandle};
+use atlas_serve::{
+    AtlasService, PredictDeltaResponse, PredictResponse, ServiceConfig, ShardInfo, ShardProxy,
+};
+
+/// A configuration small enough to train inside the test suite.
+fn micro_config() -> ExperimentConfig {
+    let mut cfg = ExperimentConfig::quick();
+    cfg.cycles = 12;
+    cfg.scale = 0.12;
+    cfg.pretrain.steps = 10;
+    cfg.pretrain.hidden_dim = 12;
+    cfg.finetune.cycles_per_design = 4;
+    cfg.finetune.gbdt.n_estimators = 12;
+    cfg
+}
+
+fn ask(stream: &mut TcpStream, reader: &mut BufReader<TcpStream>, line: &str) -> String {
+    let framed = format!("{line}\n");
+    stream.write_all(framed.as_bytes()).expect("writes");
+    let mut reply = String::new();
+    reader.read_line(&mut reply).expect("reads");
+    reply
+}
+
+/// Two serve backends behind one proxy. An explicit-model request naming
+/// a registered workload and the model-defaulted inline spelling of the
+/// same schedule must land on the same shard's warm cache — the routing
+/// bug this pins was each spelling hashing to its own shard, so the
+/// "warm" request recomputed from scratch on a cold one.
+#[test]
+fn aliased_spellings_of_one_trace_key_share_a_shard_cache() {
+    let cfg = micro_config();
+    let trained = train_atlas(&cfg);
+    let spawn_backend = || -> ReactorHandle {
+        let service = Arc::new(AtlasService::start_with(
+            trained.model.clone(),
+            cfg.clone(),
+            ServiceConfig {
+                workers: 2,
+                ..ServiceConfig::default()
+            },
+        ));
+        Reactor::bind(service, "127.0.0.1:0", ReactorConfig::default())
+            .expect("binds")
+            .spawn()
+            .expect("spawns")
+    };
+    let backends: Vec<ReactorHandle> = (0..2).map(|_| spawn_backend()).collect();
+
+    // Register the same schedule on every backend — the proxy refuses
+    // mutating verbs, so clients talk to the shards directly for that.
+    for handle in &backends {
+        let mut stream = TcpStream::connect(handle.addr()).expect("connects");
+        let mut reader = BufReader::new(stream.try_clone().expect("clones"));
+        let reply = ask(
+            &mut stream,
+            &mut reader,
+            r#"{"id":1,"verb":"register_workload","name":"spiky","phases":[{"activity":0.6,"min_len":1,"max_len":3}]}"#,
+        );
+        assert!(reply.contains(r#""name":"spiky""#), "got: {reply}");
+    }
+
+    let shards = backends
+        .iter()
+        .enumerate()
+        .map(|(id, handle)| ShardInfo {
+            id: id as u32,
+            addr: handle.addr().to_string(),
+            vnodes: 16,
+        })
+        .collect();
+    let proxy = Arc::new(
+        ShardProxy::new(shards)
+            .expect("proxy")
+            .with_default_model("default"),
+    );
+    let front = Reactor::bind(proxy, "127.0.0.1:0", ReactorConfig::default())
+        .expect("binds")
+        .spawn()
+        .expect("spawns");
+    let mut stream = TcpStream::connect(front.addr()).expect("connects");
+    let mut reader = BufReader::new(stream.try_clone().expect("clones"));
+
+    // Several distinct trace keys, so a lucky hash collision cannot mask
+    // a routing split: the registered-name spelling (explicit model)
+    // warms each key, and the inline spelling (defaulted model) must
+    // find it warm.
+    for (design, cycles) in [("C1", 6), ("C2", 6), ("C2", 9)] {
+        let cold = ask(
+            &mut stream,
+            &mut reader,
+            &format!(
+                r#"{{"id":1,"model":"default","design":"{design}","workload_name":"spiky","cycles":{cycles}}}"#
+            ),
+        );
+        let cold: PredictResponse = serde_json::from_str(&cold).expect("cold parses");
+        assert!(!cold.cache_hit, "{design}/{cycles} starts cold");
+        let warm = ask(
+            &mut stream,
+            &mut reader,
+            &format!(
+                r#"{{"id":2,"design":"{design}","workload":"spiky","cycles":{cycles},"phases":[{{"activity":0.6,"min_len":1,"max_len":3}}]}}"#
+            ),
+        );
+        let warm: PredictResponse = serde_json::from_str(&warm).expect("warm parses");
+        assert!(
+            warm.cache_hit,
+            "the inline spelling of {design}/{cycles} must hit the shard the named spelling warmed"
+        );
+        assert_eq!(warm.per_cycle_total_w, cold.per_cycle_total_w);
+    }
+
+    // `predict_delta` forwards verbatim (a proxy that re-rendered the
+    // parsed request would silently degrade it to `predict`) and routes
+    // by its *base* key, so it reuses the warm base computed above.
+    let delta = ask(
+        &mut stream,
+        &mut reader,
+        r#"{"id":3,"verb":"predict_delta","design":"C2","workload":"spiky","phases":[{"activity":0.6,"min_len":1,"max_len":3}],"cycles":12,"base":{"cycles":9}}"#,
+    );
+    let delta: PredictDeltaResponse = serde_json::from_str(&delta).expect("delta parses");
+    assert_eq!(delta.id, Some(3));
+    assert_eq!(delta.verb, "predict_delta");
+    assert!(
+        delta.base_hit,
+        "the 9-cycle base was warmed through the proxy"
+    );
+    assert_eq!(delta.per_cycle_total_w.len(), 12);
+
+    // A sweep streams back through the proxy frame by frame, id intact.
+    stream
+        .write_all(
+            b"{\"id\":7,\"verb\":\"sweep\",\"design\":\"C2\",\"cycles\":6,\"chunk_cycles\":4,\"items\":[{\"workload_name\":\"spiky\"}]}\n",
+        )
+        .expect("writes");
+    let mut frames = Vec::new();
+    loop {
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("reads a frame");
+        let done = line.contains(r#""frame":"end""#);
+        frames.push(line);
+        if done {
+            break;
+        }
+    }
+    assert!(frames[0].contains(r#""frame":"start""#), "got: {frames:?}");
+    assert_eq!(
+        frames
+            .iter()
+            .filter(|f| f.contains(r#""frame":"item""#))
+            .count(),
+        1
+    );
+    assert_eq!(
+        frames
+            .iter()
+            .filter(|f| f.contains(r#""frame":"series""#))
+            .count(),
+        2,
+        "6 cycles at chunk 4 is two series frames"
+    );
+    for frame in &frames {
+        assert!(
+            frame.contains(r#""id":7"#),
+            "id must survive the proxy: {frame}"
+        );
+    }
+
+    for handle in backends {
+        handle.shutdown().expect("backend shutdown");
+    }
+    front.shutdown().expect("proxy shutdown");
+}
